@@ -1,0 +1,100 @@
+// Reproduces Fig. 8 (and prints Table IV): the fingerprint centers of all
+// 11 smartphones of the experiment in the first two principal components'
+// space.  The paper's observation to verify: centers of same-model phones
+// nearly coincide (hard to tell apart), distinct models separate clearly.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "ml/kmeans.h"
+#include "ml/pca.h"
+#include "ml/preprocess.h"
+#include "sensing/fingerprint.h"
+
+using namespace sybiltd;
+
+int main() {
+  std::printf("=== Table IV: smartphone inventory ===\n\n");
+  TextTable inventory({"OS", "Model", "Quantity", "Role"});
+  inventory.add_row({"iOS", "iPhone SE", "1", "Attack-II"});
+  inventory.add_row({"iOS", "iPhone 6", "1", "legitimate"});
+  inventory.add_row({"iOS", "iPhone 6S", "2", "1 legitimate, 1 Attack-I"});
+  inventory.add_row({"iOS", "iPhone 7", "1", "legitimate"});
+  inventory.add_row({"iOS", "iPhone X", "1", "legitimate"});
+  inventory.add_row({"Android", "Nexus 6P", "3",
+                     "2 legitimate, 1 Attack-II"});
+  inventory.add_row({"Android", "LG G5", "1", "legitimate"});
+  inventory.add_row({"Android", "Nexus 5", "1", "legitimate"});
+  std::printf("%s\n", inventory.render().c_str());
+
+  // The 11 physical units of Table IV.
+  struct Unit {
+    const char* model;
+    std::uint64_t seed;
+  };
+  const std::vector<Unit> units = {
+      {"iPhone SE", 301}, {"iPhone 6", 302},  {"iPhone 6S", 303},
+      {"iPhone 6S", 304}, {"iPhone 7", 305},  {"iPhone X", 306},
+      {"Nexus 6P", 307},  {"Nexus 6P", 308},  {"Nexus 6P", 309},
+      {"LG G5", 310},     {"Nexus 5", 311},
+  };
+
+  std::printf("=== Fig. 8: fingerprint centers in PC1/PC2 space ===\n\n");
+  constexpr int kCapturesPerUnit = 8;
+  Rng rng(88);
+  std::vector<std::vector<double>> fingerprints;
+  for (const auto& unit : units) {
+    sensing::Device device(sensing::find_model(unit.model), unit.seed);
+    for (int c = 0; c < kCapturesPerUnit; ++c) {
+      Rng r = rng.split();
+      fingerprints.push_back(sensing::capture_fingerprint(device, {}, r));
+    }
+  }
+
+  const Matrix z = ml::standardize(Matrix::from_rows(fingerprints));
+  const ml::PcaModel pca = ml::fit_pca(z, 2);
+  const Matrix pc = pca.transform(z);
+
+  // Per-unit centers.
+  std::printf("unit centers (mean over %d captures):\n", kCapturesPerUnit);
+  std::vector<std::array<double, 2>> centers(units.size());
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    double c1 = 0.0, c2 = 0.0;
+    for (int c = 0; c < kCapturesPerUnit; ++c) {
+      c1 += pc(u * kCapturesPerUnit + c, 0);
+      c2 += pc(u * kCapturesPerUnit + c, 1);
+    }
+    centers[u] = {c1 / kCapturesPerUnit, c2 / kCapturesPerUnit};
+    std::printf("  unit %2zu  %-10s  PC1 %+8.3f  PC2 %+8.3f\n", u + 1,
+                units[u].model, centers[u][0], centers[u][1]);
+  }
+
+  // Quantify the paper's observation: same-model center distance vs
+  // cross-model center distance.
+  double same_total = 0.0, cross_total = 0.0;
+  int same_pairs = 0, cross_pairs = 0;
+  for (std::size_t a = 0; a < units.size(); ++a) {
+    for (std::size_t b = a + 1; b < units.size(); ++b) {
+      const double dx = centers[a][0] - centers[b][0];
+      const double dy = centers[a][1] - centers[b][1];
+      const double d = std::sqrt(dx * dx + dy * dy);
+      if (std::string(units[a].model) == units[b].model) {
+        same_total += d;
+        ++same_pairs;
+      } else {
+        cross_total += d;
+        ++cross_pairs;
+      }
+    }
+  }
+  std::printf("\nmean center distance, same model:  %.3f (%d pairs)\n",
+              same_total / same_pairs, same_pairs);
+  std::printf("mean center distance, cross model: %.3f (%d pairs)\n",
+              cross_total / cross_pairs, cross_pairs);
+  std::printf("ratio cross/same: %.1fx  (paper: same-model centers are "
+              "very close; models separate)\n",
+              (cross_total / cross_pairs) / (same_total / same_pairs));
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Google-benchmark microbenchmarks of the computational substrates: FFT,
+// feature extraction, DTW, k-means, elbow, truth discovery, the grouping
+// methods and the full framework.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/ag_fp.h"
+#include "core/ag_tr.h"
+#include "core/ag_ts.h"
+#include "core/framework.h"
+#include "dtw/dtw.h"
+#include "eval/adapters.h"
+#include "eval/experiment.h"
+#include "ml/elbow.h"
+#include "ml/kmeans.h"
+#include "ml/pca.h"
+#include "sensing/fingerprint.h"
+#include "signal/features.h"
+#include "signal/fft.h"
+#include "truth/crh.h"
+
+using namespace sybiltd;
+
+namespace {
+
+std::vector<double> random_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.uniform(-1, 1);
+  return out;
+}
+
+void BM_FftPowerOfTwo(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_series(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::fft_real(x));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_FftPowerOfTwo)->RangeMultiplier(4)->Range(64, 16384)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_FftBluestein(benchmark::State& state) {
+  // Prime-ish lengths force the chirp-z path.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_series(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::fft_real(x));
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(601)->Arg(1201)->Arg(4801);
+
+void BM_StreamFeatures(benchmark::State& state) {
+  const auto x = random_series(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal::extract_stream_features(x));
+  }
+}
+BENCHMARK(BM_StreamFeatures)->Arg(600)->Arg(6000);
+
+void BM_FingerprintCapture(benchmark::State& state) {
+  sensing::Device device(sensing::find_model("iPhone 6S"), 9);
+  Rng rng(4);
+  for (auto _ : state) {
+    Rng r = rng.split();
+    benchmark::DoNotOptimize(sensing::capture_fingerprint(device, {}, r));
+  }
+}
+BENCHMARK(BM_FingerprintCapture);
+
+void BM_DtwFull(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_series(n, 5);
+  const auto b = random_series(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::dtw_distance(a, b));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_DtwFull)->RangeMultiplier(2)->Range(16, 512)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_DtwBanded(benchmark::State& state) {
+  const auto a = random_series(512, 7);
+  const auto b = random_series(512, 8);
+  dtw::DtwOptions opt;
+  opt.band = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::dtw_distance(a, b, opt));
+  }
+}
+BENCHMARK(BM_DtwBanded)->Arg(8)->Arg(32)->Arg(128)->Arg(0);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(9);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Matrix data(n, 20);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < 20; ++c) data(r, c) = rng.normal();
+  }
+  ml::KMeansOptions opt;
+  opt.restarts = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::kmeans(data, 8, opt));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_ElbowScan(benchmark::State& state) {
+  Rng rng(10);
+  Matrix data(40, 20);
+  for (std::size_t r = 0; r < 40; ++r) {
+    for (std::size_t c = 0; c < 20; ++c) data(r, c) = rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::elbow_select_k(data, {}));
+  }
+}
+BENCHMARK(BM_ElbowScan);
+
+void BM_Pca(benchmark::State& state) {
+  Rng rng(11);
+  Matrix data(60, 80);
+  for (std::size_t r = 0; r < 60; ++r) {
+    for (std::size_t c = 0; c < 80; ++c) data(r, c) = rng.normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::fit_pca(data, 2));
+  }
+}
+BENCHMARK(BM_Pca);
+
+const mcs::ScenarioData& shared_scenario() {
+  static const mcs::ScenarioData data =
+      mcs::generate_scenario(mcs::make_paper_scenario(0.5, 0.5, 1234));
+  return data;
+}
+
+void BM_ScenarioGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mcs::generate_scenario(mcs::make_paper_scenario(0.5, 0.5, seed++)));
+  }
+}
+BENCHMARK(BM_ScenarioGeneration);
+
+void BM_Crh(benchmark::State& state) {
+  const auto table = eval::to_observation_table(shared_scenario());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(truth::Crh().run(table));
+  }
+}
+BENCHMARK(BM_Crh);
+
+void BM_AgFp(benchmark::State& state) {
+  const auto input = eval::to_framework_input(shared_scenario());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::AgFp().group(input));
+  }
+}
+BENCHMARK(BM_AgFp);
+
+void BM_AgTs(benchmark::State& state) {
+  const auto input = eval::to_framework_input(shared_scenario());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::AgTs().group(input));
+  }
+}
+BENCHMARK(BM_AgTs);
+
+void BM_AgTr(benchmark::State& state) {
+  const auto input = eval::to_framework_input(shared_scenario());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::AgTr().group(input));
+  }
+}
+BENCHMARK(BM_AgTr);
+
+void BM_FrameworkEndToEnd(benchmark::State& state) {
+  const auto input = eval::to_framework_input(shared_scenario());
+  const core::AgTr grouper;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_framework(input, grouper));
+  }
+}
+BENCHMARK(BM_FrameworkEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Extension bench: the *rapacious* attacker (Section I of the paper) —
+// duplicates honest data from many accounts to multiply its reward, not to
+// corrupt the truths.  Under weight-proportional payment, account-level
+// truth discovery pays each duplicate account nearly full weight, so the
+// attacker's reward share grows linearly with its account count.  The
+// framework treats each group as one participant (one group weight), so
+// duplication buys nothing.
+//
+// Sweeps the accounts-per-attacker count and reports the Sybil share of
+// total weight under CRH vs under the framework (each account's framework
+// weight = its group's weight split evenly across the group).
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/ag_tr.h"
+#include "core/framework.h"
+#include "eval/adapters.h"
+#include "eval/metrics.h"
+#include "mcs/scenario.h"
+#include "truth/crh.h"
+
+using namespace sybiltd;
+
+int main(int argc, char** argv) {
+  const std::size_t seeds = argc > 1 ? std::stoul(argv[1]) : 5;
+  std::printf("=== Extension: the rapacious attacker's reward share "
+              "(honest-duplicate attack, 8 legit users + 2 attackers, %zu "
+              "seeds) ===\n\n",
+              seeds);
+
+  TextTable table({"accounts per attacker", "fair share", "CRH share",
+                   "framework share"});
+  for (std::size_t accounts : {1ul, 2ul, 4ul, 6ul, 8ul}) {
+    double crh_share = 0.0, framework_share = 0.0, fair = 0.0;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      auto config = mcs::make_paper_scenario(0.6, 0.6, 3300 + 59 * s);
+      for (auto& attacker : config.attackers) {
+        attacker.fabrication = mcs::Fabrication::kDuplicateHonest;
+        attacker.account_count = accounts;
+      }
+      const auto data = mcs::generate_scenario(config);
+      std::vector<bool> is_sybil;
+      for (const auto& account : data.accounts) {
+        is_sybil.push_back(account.is_sybil);
+      }
+
+      // CRH: per-account weights as paid.
+      const auto crh = truth::Crh().run(eval::to_observation_table(data));
+      std::vector<double> crh_weights = crh.account_weights;
+      for (double& w : crh_weights) w = std::max(w, 0.0);
+      crh_share += eval::sybil_weight_share(crh_weights, is_sybil);
+
+      // Framework: a group is one participant; its weight splits evenly
+      // across member accounts.
+      const auto input = eval::to_framework_input(data);
+      const auto result = core::run_framework(input, core::AgTr());
+      std::vector<double> framework_weights(data.accounts.size(), 0.0);
+      for (std::size_t i = 0; i < data.accounts.size(); ++i) {
+        const std::size_t g = result.grouping.group_of(i);
+        framework_weights[i] =
+            std::max(result.group_weights[g], 0.0) /
+            static_cast<double>(result.grouping.group(g).size());
+      }
+      framework_share +=
+          eval::sybil_weight_share(framework_weights, is_sybil);
+
+      // Fair share: 2 attackers acting as honest single-account users
+      // among 10 users.
+      fair += 2.0 / 10.0;
+    }
+    const double inv = 1.0 / static_cast<double>(seeds);
+    table.add_row(std::to_string(accounts),
+                  {fair * inv, crh_share * inv, framework_share * inv}, 3);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: under CRH the duplicate accounts submit perfectly\n"
+      "plausible data, so the attacker's weight share scales with its\n"
+      "account count — duplication pays.  Under the framework the share\n"
+      "stays pinned near the fair two-users-in-ten share no matter how\n"
+      "many accounts the attacker mints, eliminating the rapacious\n"
+      "incentive the paper describes alongside Sybil-proof payments.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Extension bench: the long game across repeated campaigns.
+//
+// Legitimate users persist from campaign to campaign; the Sybil attacker's
+// accounts get flagged (or are abandoned to avoid linkage) and re-enter as
+// newcomers.  A reputation ledger that folds each campaign's truth
+// discovery weights into durable identities therefore asymmetrically
+// punishes the attacker: honest identities accumulate standing, fresh
+// Sybil identities restart at the newcomer prior every time.
+//
+// Compares per-campaign MAE of plain CRH (memoryless), reputation-weighted
+// CRH, and the single-campaign framework (TD-TR) for reference.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "eval/adapters.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "reputation/ledger.h"
+
+using namespace sybiltd;
+
+int main(int argc, char** argv) {
+  const std::size_t seeds = argc > 1 ? std::stoul(argv[1]) : 5;
+  const int campaigns = 8;
+  std::printf("=== Extension: reputation across %d campaigns (paper "
+              "scenario, legit 0.6 / sybil 0.8, %zu seeds) ===\n\n",
+              campaigns, seeds);
+
+  TextTable table({"campaign", "CRH", "Rep-CRH", "TD-TR (per-campaign)"});
+  std::vector<double> crh_mae(campaigns, 0.0), rep_mae(campaigns, 0.0),
+      tdtr_mae(campaigns, 0.0);
+
+  for (std::size_t s = 0; s < seeds; ++s) {
+    reputation::ReputationLedger ledger;
+    for (int c = 0; c < campaigns; ++c) {
+      const auto data = mcs::generate_scenario(mcs::make_paper_scenario(
+          0.6, 0.8, 10000 + 131 * s + 7 * static_cast<std::size_t>(c)));
+      const auto ground = data.ground_truths();
+      const auto observations = eval::to_observation_table(data);
+
+      // Durable identities: legitimate accounts keep their name across
+      // campaigns; Sybil accounts are fresh every campaign.
+      std::vector<std::string> identities;
+      for (const auto& account : data.accounts) {
+        identities.push_back(account.is_sybil
+                                 ? account.name + "#c" + std::to_string(c) +
+                                       "s" + std::to_string(s)
+                                 : account.name);
+      }
+
+      const auto crh = truth::Crh().run(observations);
+      crh_mae[c] += eval::mean_absolute_error(crh.truths, ground);
+
+      const reputation::ReputationWeightedCrh rep_algo(ledger, identities);
+      const auto rep = rep_algo.run(observations);
+      rep_mae[c] += eval::mean_absolute_error(rep.truths, ground);
+      ledger.update_campaign(
+          identities, reputation::normalize_scores(rep.account_weights));
+
+      tdtr_mae[c] += eval::run_method(eval::Method::kTdTr, data).mae;
+    }
+  }
+
+  const double inv = 1.0 / static_cast<double>(seeds);
+  for (int c = 0; c < campaigns; ++c) {
+    table.add_row(std::to_string(c + 1),
+                  {crh_mae[c] * inv, rep_mae[c] * inv, tdtr_mae[c] * inv});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: CRH is memoryless, so every campaign is equally bad.\n"
+      "Rep-CRH starts near CRH (everyone is a newcomer) and improves as\n"
+      "honest identities accumulate standing while fresh Sybil accounts\n"
+      "keep re-entering at the newcomer prior.  TD-TR needs no memory at\n"
+      "all — behavioral grouping beats reputation within one campaign —\n"
+      "but reputation composes with it and covers attacks (like patient\n"
+      "timestamp evasion, see bench/evasion_sweep) that defeat grouping.\n");
+  return 0;
+}

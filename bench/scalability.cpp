@@ -1,0 +1,90 @@
+// Extension bench: AG-TR at campaign scale.
+//
+// The paper's experiment has 18 accounts; a production campaign can have
+// hundreds.  AG-TR is O(pairs x DTW), so we measure wall time and grouping
+// agreement for three evaluation strategies as the account count grows:
+//   exact       — full DTW on every pair (the default)
+//   lb-pruned   — endpoint lower bound skips clearly-dissimilar pairs
+//                 (exact result by construction)
+//   fastdtw     — approximate DTW per pair
+// Also reports the grouped framework's end-to-end latency.
+#include <chrono>
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/ag_tr.h"
+#include "core/framework.h"
+#include "eval/adapters.h"
+#include "ml/clustering_metrics.h"
+#include "mcs/scenario.h"
+
+using namespace sybiltd;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t max_legit = argc > 1 ? std::stoul(argv[1]) : 320;
+  std::printf("=== Extension: AG-TR scalability (Attack-I attackers = 10%% "
+              "of users, 40 tasks) ===\n\n");
+
+  TextTable table({"accounts", "exact ms", "lb-pruned ms", "fastdtw ms",
+                   "pruned == exact", "fastdtw ARI vs exact",
+                   "framework ms"});
+
+  for (std::size_t legit = 40; legit <= max_legit; legit *= 2) {
+    const std::size_t attackers = legit / 10;
+    const auto config =
+        mcs::make_large_scenario(legit, attackers, 5, 40, 11 + legit);
+    const auto data = mcs::generate_scenario(config);
+    const auto input = eval::to_framework_input(data);
+    const std::size_t accounts = input.accounts.size();
+
+    core::AgTrOptions exact_opt;
+    core::AgTrOptions pruned_opt;
+    pruned_opt.prune_with_lower_bound = true;
+    core::AgTrOptions fast_opt;
+    fast_opt.approximate = true;
+    fast_opt.fast_dtw.radius = 2;
+
+    auto t0 = std::chrono::steady_clock::now();
+    const auto exact = core::AgTr(exact_opt).group(input);
+    const double exact_ms = ms_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const auto pruned = core::AgTr(pruned_opt).group(input);
+    const double pruned_ms = ms_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const auto fast = core::AgTr(fast_opt).group(input);
+    const double fast_ms = ms_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    (void)core::run_framework(input, pruned);
+    const double framework_ms = ms_since(t0);
+
+    const bool identical = pruned.labels() == exact.labels();
+    const double fast_agreement =
+        ml::adjusted_rand_index(fast.labels(), exact.labels());
+
+    table.add_row({std::to_string(accounts), format_cell(exact_ms, 1),
+                   format_cell(pruned_ms, 1), format_cell(fast_ms, 1),
+                   identical ? "yes" : "NO",
+                   format_cell(fast_agreement, 3),
+                   format_cell(framework_ms, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nThe endpoint lower bound is exact (identical grouping) "
+              "because pruning only\nskips pairs whose bound already "
+              "proves D >= phi; FastDTW is approximate but\nits grouping "
+              "should agree almost always (near-duplicate trajectories "
+              "have\nnear-zero cost at any radius).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Urban noise monitoring (Ear-Phone-style) — a second MCS domain showing
+// that nothing in the framework is Wi-Fi specific.
+//
+// 15 noise-level POIs (dBA), 10 legitimate users, and one Attack-II
+// attacker whose goal is to make the city center look QUIETER than it is
+// (offset fabrication of -20 dBA), e.g. to dodge a noise ordinance.  The
+// example also shows the rapacious-attacker variant (honest duplicates).
+#include <cstdio>
+
+#include "common/table.h"
+#include "eval/adapters.h"
+#include "eval/experiment.h"
+
+using namespace sybiltd;
+
+namespace {
+
+mcs::ScenarioConfig make_noise_campaign(mcs::Fabrication fabrication,
+                                        std::uint64_t seed) {
+  mcs::ScenarioConfig config;
+  config.task_count = 15;
+  config.task_kind = mcs::TaskKind::kNoiseLevel;
+  config.seed = seed;
+
+  Rng rng(seed);
+  const char* phones[] = {"iPhone 6", "iPhone 6S", "iPhone 7", "iPhone X",
+                          "Nexus 6P", "LG G5",     "Nexus 5",  "iPhone SE",
+                          "Nexus 6P", "iPhone 7"};
+  for (const char* phone : phones) {
+    mcs::LegitimateUserConfig user;
+    user.activeness = rng.uniform(0.4, 0.9);
+    user.noise_stddev = rng.uniform(1.5, 4.0);  // dBA sensing error
+    user.device_model = phone;
+    config.legit_users.push_back(std::move(user));
+  }
+
+  mcs::AttackerConfig attacker;
+  attacker.type = mcs::AttackType::kMultiDevice;
+  attacker.account_count = 6;
+  attacker.device_models = {"Nexus 5", "LG G5"};
+  attacker.activeness = 0.8;
+  attacker.fabrication = fabrication;
+  attacker.offset = -20.0;  // "the city center is quiet, honestly"
+  config.attackers.push_back(std::move(attacker));
+  return config;
+}
+
+void run_campaign(const char* title, mcs::Fabrication fabrication) {
+  std::printf("--- %s ---\n", title);
+  const auto data = mcs::generate_scenario(make_noise_campaign(fabrication,
+                                                               515));
+  const auto crh = eval::run_method(eval::Method::kCrh, data);
+  const auto tr = eval::run_method(eval::Method::kTdTr, data);
+  const auto grouping = eval::run_grouping(eval::GroupingMethod::kAgTr,
+                                           data);
+
+  TextTable table({"POI", "truth dBA", "CRH", "TD-TR"});
+  for (std::size_t j = 0; j < std::min<std::size_t>(6, data.tasks.size());
+       ++j) {
+    table.add_row(data.tasks[j].name,
+                  {data.tasks[j].ground_truth, crh.truths[j], tr.truths[j]},
+                  1);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("(first 6 of %zu POIs)\n", data.tasks.size());
+  std::printf("MAE: CRH %.2f dBA, TD-TR %.2f dBA | AG-TR ARI %.3f\n\n",
+              crh.mae, tr.mae, grouping.ari);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Urban noise monitoring with a Sybil attacker\n\n");
+  run_campaign("malicious attacker: offset fabrication (-20 dBA)",
+               mcs::Fabrication::kOffsetFromTruth);
+  run_campaign("rapacious attacker: honest duplicates (reward farming)",
+               mcs::Fabrication::kDuplicateHonest);
+  std::printf(
+      "The malicious attacker corrupts CRH but not the framework; the\n"
+      "rapacious attacker barely affects values either way (duplicated\n"
+      "honest data), yet the framework collapses its 6 accounts into one\n"
+      "group so it cannot earn 6x the weight (or 6x the reward).\n");
+  return 0;
+}

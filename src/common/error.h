@@ -1,0 +1,50 @@
+// Error handling primitives shared by all sybiltd libraries.
+//
+// Library code validates preconditions with SYBILTD_CHECK, which throws
+// std::invalid_argument / std::logic_error so callers (and tests) can observe
+// violations without aborting the process.  Internal invariants that indicate
+// a bug in this library use SYBILTD_ASSERT.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sybiltd {
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assert_failure(const char* expr,
+                                              const char* file, int line) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " at " << file << ":"
+     << line;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace sybiltd
+
+// Precondition check: throws std::invalid_argument with context on failure.
+#define SYBILTD_CHECK(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::sybiltd::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                             (msg));                      \
+    }                                                                     \
+  } while (false)
+
+// Internal invariant: throws std::logic_error on failure (a bug in sybiltd).
+#define SYBILTD_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::sybiltd::detail::throw_assert_failure(#expr, __FILE__, __LINE__); \
+    }                                                                     \
+  } while (false)

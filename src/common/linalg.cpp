@@ -1,0 +1,64 @@
+#include "common/linalg.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sybiltd {
+
+Matrix cholesky_decompose(const Matrix& a) {
+  SYBILTD_CHECK(a.rows() == a.cols(), "Cholesky needs a square matrix");
+  const std::size_t n = a.rows();
+  Matrix lower(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= lower(i, k) * lower(j, k);
+      }
+      if (i == j) {
+        SYBILTD_CHECK(sum > 0.0, "matrix is not positive definite");
+        lower(i, j) = std::sqrt(sum);
+      } else {
+        lower(i, j) = sum / lower(j, j);
+      }
+    }
+  }
+  return lower;
+}
+
+std::vector<double> cholesky_solve(const Matrix& lower,
+                                   std::span<const double> b) {
+  const std::size_t n = lower.rows();
+  SYBILTD_CHECK(lower.cols() == n && b.size() == n,
+                "Cholesky solve shape mismatch");
+  // Forward substitution: L·y = b.
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= lower(i, k) * y[k];
+    y[i] = sum / lower(i, i);
+  }
+  // Back substitution: Lᵀ·x = y.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= lower(k, i) * x[k];
+    x[i] = sum / lower(i, i);
+  }
+  return x;
+}
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b,
+                              double ridge) {
+  Matrix regularized = a;
+  if (ridge > 0.0) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      regularized(i, i) += ridge;
+    }
+  }
+  return cholesky_solve(cholesky_decompose(regularized), b);
+}
+
+}  // namespace sybiltd

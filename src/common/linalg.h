@@ -1,0 +1,26 @@
+// Small dense linear-algebra solvers on top of Matrix: Cholesky
+// factorization for symmetric positive-definite systems (used by the
+// kriging interpolator) and a ridge-regularized solve helper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace sybiltd {
+
+// Lower-triangular Cholesky factor L with A = L·Lᵀ.  Throws
+// std::invalid_argument if A is not (numerically) positive definite.
+Matrix cholesky_decompose(const Matrix& a);
+
+// Solve A·x = b given the Cholesky factor L of A (forward + back
+// substitution).
+std::vector<double> cholesky_solve(const Matrix& lower,
+                                   std::span<const double> b);
+
+// Solve (A + ridge·I)·x = b for symmetric positive semi-definite A.
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b,
+                              double ridge = 0.0);
+
+}  // namespace sybiltd

@@ -1,0 +1,173 @@
+#include "common/matrix.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace sybiltd {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    SYBILTD_CHECK(r.size() == cols_, "ragged initializer for Matrix");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    SYBILTD_CHECK(rows[r].size() == m.cols_, "ragged rows in from_rows");
+    for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  SYBILTD_CHECK(r < rows_ && c < cols_, "Matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  SYBILTD_CHECK(r < rows_ && c < cols_, "Matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  SYBILTD_CHECK(r < rows_, "Matrix row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  SYBILTD_CHECK(r < rows_, "Matrix row out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  SYBILTD_CHECK(c < cols_, "Matrix col out of range");
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  SYBILTD_CHECK(cols_ == rhs.rows_, "Matrix product shape mismatch");
+  Matrix out(rows_, rhs.cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out(r, c) += a * rhs(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  SYBILTD_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "Matrix sum shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  SYBILTD_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "Matrix difference shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out = *this;
+  out *= s;
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> v) const {
+  SYBILTD_CHECK(v.size() == cols_, "Matrix·vector shape mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    auto rr = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) acc += rr[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double Matrix::distance_frobenius(const Matrix& rhs) const {
+  SYBILTD_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                "Frobenius distance shape mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - rhs.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+std::vector<double> Matrix::column_means() const {
+  std::vector<double> means(cols_, 0.0);
+  if (rows_ == 0) return means;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto rr = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) means[c] += rr[c];
+  }
+  for (double& m : means) m /= static_cast<double>(rows_);
+  return means;
+}
+
+void Matrix::subtract_row_vector(std::span<const double> v) {
+  SYBILTD_CHECK(v.size() == cols_, "row-vector subtraction shape mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto rr = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) rr[c] -= v[c];
+  }
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << (*this)(r, c);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace sybiltd

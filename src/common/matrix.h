@@ -1,0 +1,66 @@
+// Dense row-major matrix of doubles.
+//
+// Deliberately small: the ML substrate (PCA, k-means) and the worked-example
+// benches need straightforward dense linear algebra on matrices with at most
+// a few hundred rows, not a full BLAS.  Throws on shape mismatches.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sybiltd {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  // Construct from nested braces: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  // Stack row vectors (all must share a length).
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+  std::vector<double> col(std::size_t c) const;
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator*=(double s);
+  Matrix operator*(double s) const;
+
+  // Matrix–vector product (v.size() must equal cols()).
+  std::vector<double> multiply(std::span<const double> v) const;
+
+  // Frobenius norm of (this - rhs).
+  double distance_frobenius(const Matrix& rhs) const;
+
+  // Column means as a vector of length cols().
+  std::vector<double> column_means() const;
+  // Subtract the given vector from every row in place.
+  void subtract_row_vector(std::span<const double> v);
+
+  std::string to_string(int precision = 4) const;
+
+  bool operator==(const Matrix& rhs) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace sybiltd

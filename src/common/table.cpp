@@ -1,0 +1,97 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace sybiltd {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SYBILTD_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SYBILTD_CHECK(cells.size() == header_.size(),
+                "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::string& label,
+                        const std::vector<double>& values, int precision) {
+  SYBILTD_CHECK(values.size() + 1 == header_.size(),
+                "row width does not match header");
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_cell(v, precision));
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    os << "\n";
+  };
+  auto emit_rule = [&] {
+    os << "+";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+std::string format_cell(double value, int precision) {
+  if (std::isnan(value)) return "x";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<double>>& rows,
+                   int precision) {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (c > 0) os << ",";
+    os << header[c];
+  }
+  os << "\n";
+  os << std::fixed << std::setprecision(precision);
+  for (const auto& row : rows) {
+    SYBILTD_CHECK(row.size() == header.size(), "csv row width mismatch");
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ",";
+      if (std::isnan(row[c])) {
+        os << "";
+      } else {
+        os << row[c];
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sybiltd

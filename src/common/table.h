@@ -1,0 +1,42 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every table/figure bench prints its rows through TextTable so the output
+// lines up with the layout the paper uses (e.g. Table I) and stays easy to
+// diff between runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sybiltd {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Append a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+  // Convenience: format doubles with fixed precision; NaN renders as "x"
+  // (the paper's marker for "no submission").
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format a double with fixed precision; NaN renders as "x".
+std::string format_cell(double value, int precision = 2);
+
+// Write rows of doubles as CSV (used by benches to emit plottable series).
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<double>>& rows,
+                   int precision = 6);
+
+}  // namespace sybiltd

@@ -1,0 +1,42 @@
+#include "core/ag_auto.h"
+
+#include <vector>
+
+namespace sybiltd::core {
+
+double AgAuto::mean_task_set_similarity(const FrameworkInput& input) {
+  const std::size_t n = input.accounts.size();
+  std::vector<std::vector<bool>> done(
+      n, std::vector<bool>(input.task_count, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& report : input.accounts[i].reports) {
+      done[i][report.task] = true;
+    }
+  }
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::size_t intersection = 0, set_union = 0;
+      for (std::size_t t = 0; t < input.task_count; ++t) {
+        if (done[i][t] && done[j][t]) ++intersection;
+        if (done[i][t] || done[j][t]) ++set_union;
+      }
+      if (set_union == 0) continue;
+      total += static_cast<double>(intersection) /
+               static_cast<double>(set_union);
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+AccountGrouping AgAuto::group(const FrameworkInput& input) const {
+  const double similarity = mean_task_set_similarity(input);
+  if (similarity >= options_.similarity_threshold) {
+    return AgTr(options_.ag_tr).group(input);
+  }
+  return AgTs(options_.ag_ts).group(input);
+}
+
+}  // namespace sybiltd::core

@@ -1,0 +1,41 @@
+// AG-AUTO — automatic grouping-method selection (extension).
+//
+// The paper's Section IV-C prescribes *when* to use each behavioral
+// method: "[AG-TS] can be used in the scenario where accounts have diverse
+// accomplished task sets.  To handle the scenario where most accounts have
+// similar accomplished task sets, we propose [AG-TR]."  AG-AUTO encodes
+// that guidance as a grouper: it measures the diversity of the accounts'
+// task sets (mean pairwise Jaccard similarity) and dispatches to AG-TS in
+// the diverse regime and to AG-TR in the similar regime, so callers do not
+// have to know the campaign's shape in advance.
+#pragma once
+
+#include "core/ag_tr.h"
+#include "core/ag_ts.h"
+#include "core/grouping.h"
+
+namespace sybiltd::core {
+
+struct AgAutoOptions {
+  // Above this mean pairwise Jaccard similarity of task sets, task sets are
+  // "similar" and AG-TR is used; below it AG-TS.
+  double similarity_threshold = 0.6;
+  AgTsOptions ag_ts;
+  AgTrOptions ag_tr;
+};
+
+class AgAuto final : public AccountGrouper {
+ public:
+  explicit AgAuto(AgAutoOptions options = {}) : options_(options) {}
+  std::string name() const override { return "AG-AUTO"; }
+  AccountGrouping group(const FrameworkInput& input) const override;
+
+  // Mean pairwise Jaccard similarity of the accounts' task sets (0 when
+  // fewer than two accounts report anything).
+  static double mean_task_set_similarity(const FrameworkInput& input);
+
+ private:
+  AgAutoOptions options_;
+};
+
+}  // namespace sybiltd::core

@@ -1,0 +1,47 @@
+// Combining account grouping methods — the paper's explicit future work
+// ("the aforementioned three account grouping methods are used
+// independently in the framework. We leave the combination of them for our
+// future work").
+//
+// Two canonical partition combinators:
+//   * meet (intersection): two accounts share a group only if EVERY input
+//     grouping puts them together — conservative, kills false positives
+//     (e.g. AG-FP's same-model confusion must be corroborated by AG-TR).
+//   * join (transitive union): accounts share a group if ANY input
+//     grouping links them (closed transitively) — aggressive, kills false
+//     negatives (an attacker must evade every method at once).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/grouping.h"
+
+namespace sybiltd::core {
+
+// Meet of partitions: the coarsest partition refining both inputs.
+AccountGrouping partition_meet(const AccountGrouping& a,
+                               const AccountGrouping& b);
+
+// Join of partitions: the finest partition coarsening both inputs.
+AccountGrouping partition_join(const AccountGrouping& a,
+                               const AccountGrouping& b);
+
+enum class ComboMode { kMeet, kJoin };
+
+// Runs every inner grouper on the input and folds the partitions with the
+// chosen combinator.
+class AgCombo final : public AccountGrouper {
+ public:
+  AgCombo(std::vector<std::shared_ptr<AccountGrouper>> groupers,
+          ComboMode mode);
+
+  std::string name() const override;
+  AccountGrouping group(const FrameworkInput& input) const override;
+
+ private:
+  std::vector<std::shared_ptr<AccountGrouper>> groupers_;
+  ComboMode mode_;
+};
+
+}  // namespace sybiltd::core

@@ -1,0 +1,94 @@
+#include "core/ag_fp.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "ml/kmeans.h"
+#include "ml/preprocess.h"
+
+namespace sybiltd::core {
+
+AccountGrouping AgFp::group(const FrameworkInput& input) const {
+  const std::size_t n = input.accounts.size();
+  if (n == 0) return AccountGrouping::singletons(0);
+
+  // Split accounts into those with fingerprints (clustered) and those
+  // without (singleton fallbacks).
+  std::vector<std::size_t> with_fp;
+  std::size_t dim = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& fp = input.accounts[i].fingerprint;
+    if (fp.empty()) continue;
+    if (dim == 0) {
+      dim = fp.size();
+    } else {
+      SYBILTD_CHECK(fp.size() == dim,
+                    "fingerprints must share a dimensionality");
+    }
+    with_fp.push_back(i);
+  }
+  if (with_fp.size() <= 1) return AccountGrouping::singletons(n);
+
+  Matrix features(with_fp.size(), dim);
+  for (std::size_t r = 0; r < with_fp.size(); ++r) {
+    const auto& fp = input.accounts[with_fp[r]].fingerprint;
+    for (std::size_t c = 0; c < dim; ++c) features(r, c) = fp[c];
+  }
+  if (options_.standardize_features) features = ml::standardize(features);
+
+  std::vector<std::size_t> labels;
+  std::size_t cluster_count = 0;
+  switch (options_.clustering) {
+    case FpClustering::kKMeansElbow: {
+      std::size_t k = options_.fixed_k;
+      ml::ElbowOptions elbow = options_.elbow;
+      elbow.kmeans.seed = options_.seed;
+      if (k == 0) {
+        k = ml::elbow_select_k(features, elbow).best_k;
+      }
+      k = std::min(k, with_fp.size());
+      ml::KMeansOptions km = elbow.kmeans;
+      km.seed = options_.seed;
+      labels = ml::kmeans(features, k, km).labels;
+      cluster_count = k;
+      break;
+    }
+    case FpClustering::kAgglomerative: {
+      const auto run =
+          ml::agglomerative_cluster(features, options_.agglomerative);
+      labels = run.labels;
+      cluster_count = run.cluster_count;
+      break;
+    }
+    case FpClustering::kDbscan: {
+      ml::DbscanOptions opt = options_.dbscan;
+      if (opt.epsilon <= 0.0) {
+        opt.epsilon = ml::estimate_dbscan_epsilon(
+            features, std::min<std::size_t>(opt.min_points,
+                                            with_fp.size() - 1));
+      }
+      const auto run = ml::dbscan(features, opt);
+      labels = run.partition_labels();
+      cluster_count = 0;
+      for (std::size_t lab : labels) {
+        cluster_count = std::max(cluster_count, lab + 1);
+      }
+      break;
+    }
+  }
+
+  // Cluster labels become groups; fingerprint-less accounts get singletons.
+  std::vector<std::vector<std::size_t>> groups(cluster_count);
+  for (std::size_t r = 0; r < with_fp.size(); ++r) {
+    groups[labels[r]].push_back(with_fp[r]);
+  }
+  groups.erase(std::remove_if(groups.begin(), groups.end(),
+                              [](const auto& g) { return g.empty(); }),
+               groups.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (input.accounts[i].fingerprint.empty()) groups.push_back({i});
+  }
+  return AccountGrouping(std::move(groups), n);
+}
+
+}  // namespace sybiltd::core

@@ -1,0 +1,53 @@
+// AG-FP — Account Grouping by Device Fingerprint (Section IV-C).
+//
+// Pipeline: stack every account's fingerprint feature vector, z-score the
+// columns, estimate the device count k with the elbow method, run k-means,
+// and read groups off the cluster labels.  Accounts without a fingerprint
+// become singleton groups.  Defends against Attack-I (one device behind
+// many accounts lands in one cluster).
+#pragma once
+
+#include <cstdint>
+
+#include "core/grouping.h"
+#include "ml/agglomerative.h"
+#include "ml/dbscan.h"
+#include "ml/elbow.h"
+
+namespace sybiltd::core {
+
+// Which clustering backend turns fingerprint vectors into device groups.
+enum class FpClustering {
+  kKMeansElbow,    // the paper's pipeline: elbow-estimated k + k-means
+  kAgglomerative,  // dendrogram cut at a merge threshold (no k needed)
+  kDbscan,         // density clusters; noise points become singletons
+};
+
+struct AgFpOptions {
+  FpClustering clustering = FpClustering::kKMeansElbow;
+  // kKMeansElbow: 0 = estimate k with the elbow method, else force this k.
+  std::size_t fixed_k = 0;
+  ml::ElbowOptions elbow;
+  // kAgglomerative: dendrogram cut height over standardized features.
+  ml::AgglomerativeOptions agglomerative{
+      .linkage = ml::Linkage::kAverage,
+      .target_clusters = 0,
+      .merge_threshold = 6.0,
+  };
+  // kDbscan: epsilon <= 0 triggers the k-distance estimate.
+  ml::DbscanOptions dbscan{.epsilon = 0.0, .min_points = 2};
+  bool standardize_features = true;
+  std::uint64_t seed = 11;
+};
+
+class AgFp final : public AccountGrouper {
+ public:
+  explicit AgFp(AgFpOptions options = {}) : options_(options) {}
+  std::string name() const override { return "AG-FP"; }
+  AccountGrouping group(const FrameworkInput& input) const override;
+
+ private:
+  AgFpOptions options_;
+};
+
+}  // namespace sybiltd::core

@@ -1,0 +1,120 @@
+#include "core/ag_tr.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "dtw/fastdtw.h"
+#include "graph/graph.h"
+
+namespace sybiltd::core {
+
+std::vector<double> AgTr::task_series(const AccountTrace& account) {
+  std::vector<double> series;
+  series.reserve(account.reports.size());
+  for (const auto& report : account.reports) {
+    series.push_back(static_cast<double>(report.task + 1));
+  }
+  return series;
+}
+
+std::vector<double> AgTr::timestamp_series(const AccountTrace& account) {
+  std::vector<double> series;
+  series.reserve(account.reports.size());
+  for (const auto& report : account.reports) {
+    series.push_back(report.timestamp_hours);
+  }
+  return series;
+}
+
+double AgTr::dtw_value(const std::vector<double>& a,
+                       const std::vector<double>& b) const {
+  if (a.empty() || b.empty()) {
+    // An account with no reports has no trajectory; treat it as maximally
+    // dissimilar so it always lands in its own group.
+    return std::numeric_limits<double>::infinity();
+  }
+  const dtw::DtwResult r = dtw::dtw_full(a, b, options_.dtw);
+  return options_.mode == DtwMode::kTotalCost ? r.total_cost : r.distance;
+}
+
+AgTr::Matrices AgTr::dissimilarity_matrices(
+    const FrameworkInput& input) const {
+  const std::size_t n = input.accounts.size();
+  Matrices m;
+  m.task_dtw.assign(n, std::vector<double>(n, 0.0));
+  m.time_dtw.assign(n, std::vector<double>(n, 0.0));
+  m.dissimilarity.assign(n, std::vector<double>(n, 0.0));
+
+  std::vector<std::vector<double>> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = task_series(input.accounts[i]);
+    ys[i] = timestamp_series(input.accounts[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = dtw_value(xs[i], xs[j]);
+      const double dy = dtw_value(ys[i], ys[j]);
+      m.task_dtw[i][j] = m.task_dtw[j][i] = dx;
+      m.time_dtw[i][j] = m.time_dtw[j][i] = dy;
+      m.dissimilarity[i][j] = m.dissimilarity[j][i] = dx + dy;
+    }
+  }
+  return m;
+}
+
+AccountGrouping AgTr::group(const FrameworkInput& input) const {
+  const std::size_t n = input.accounts.size();
+  if (n == 0) return AccountGrouping::singletons(0);
+  const double phi = options_.phi;
+
+  if (!options_.prune_with_lower_bound && !options_.approximate) {
+    const Matrices m = dissimilarity_matrices(input);
+    const auto g = graph::threshold_graph(
+        m.dissimilarity, [phi](double d) { return d < phi; });
+    return AccountGrouping(g.connected_components(), n);
+  }
+
+  // Scalable path: only edges (D < phi) are needed, so pairs whose cheap
+  // lower bound already reaches phi never run the exact DP.  The endpoint
+  // bound is valid for the total-cost mode; for Eq. (7) mode we fall back
+  // to exact evaluation (the normalization breaks the bound).
+  SYBILTD_CHECK(options_.mode == DtwMode::kTotalCost ||
+                    !options_.prune_with_lower_bound,
+                "lower-bound pruning requires total-cost DTW mode");
+  std::vector<std::vector<double>> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = task_series(input.accounts[i]);
+    ys[i] = timestamp_series(input.accounts[i]);
+  }
+  auto pair_dtw = [&](const std::vector<double>& a,
+                      const std::vector<double>& b) {
+    if (a.empty() || b.empty()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (options_.approximate) {
+      const auto r = dtw::fast_dtw(a, b, options_.fast_dtw);
+      return options_.mode == DtwMode::kTotalCost ? r.total_cost
+                                                  : r.distance;
+    }
+    return dtw_value(a, b);
+  };
+
+  graph::UndirectedGraph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (xs[i].empty() || xs[j].empty()) continue;
+      if (options_.prune_with_lower_bound) {
+        const double bound = dtw::endpoint_lower_bound(xs[i], xs[j]) +
+                             dtw::endpoint_lower_bound(ys[i], ys[j]);
+        if (bound >= phi) continue;
+      }
+      const double task_d = pair_dtw(xs[i], xs[j]);
+      if (task_d >= phi) continue;  // the time term can only add
+      const double d = task_d + pair_dtw(ys[i], ys[j]);
+      if (d < phi) g.add_edge(i, j, d);
+    }
+  }
+  return AccountGrouping(g.connected_components(), n);
+}
+
+}  // namespace sybiltd::core

@@ -1,0 +1,70 @@
+// AG-TR — Account Grouping by Trajectory (Section IV-C, Eq. 8).
+//
+// Each account's submissions form two time series ordered by timestamp:
+// the task series X_i (task indices, 1-based as in the paper's example) and
+// the timestamp series Y_i (hours since the campaign epoch).  Dissimilarity
+//     D(i,j) = DTW(X_i, X_j) + DTW(Y_i, Y_j)
+// feeds a graph with edges where D < phi; connected components are groups.
+//
+// DTW flavor: the paper states Eq. (7)'s path-normalized distance but its
+// worked example (Fig. 4) reports the raw accumulated squared cost — e.g.
+// DTW(X_1, X_2) = 2 for X_1=(1,2,3,4), X_2=(2,3), and D(1,4') = 1.01 =
+// 1 + 0.01 with hour-unit timestamps.  We default to the example's
+// total-cost mode (it reproduces Fig. 4 exactly) and expose Eq. (7)
+// normalization as an option for the ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "core/grouping.h"
+#include "dtw/dtw.h"
+#include "dtw/fastdtw.h"
+
+namespace sybiltd::core {
+
+enum class DtwMode {
+  kTotalCost,       // accumulated squared cost (matches Fig. 4)
+  kPathNormalized,  // Eq. (7): sqrt(total / path length)
+};
+
+struct AgTrOptions {
+  double phi = 1.0;  // edge threshold (paper's example value)
+  DtwMode mode = DtwMode::kTotalCost;
+  dtw::DtwOptions dtw;  // optional Sakoe–Chiba band
+  // Scalability knobs for large campaigns (group() only; the exposed
+  // dissimilarity_matrices() always computes exact full matrices):
+  // skip the exact DTW for pairs whose endpoint lower bound already
+  // exceeds phi — exact pruning, identical grouping (total-cost mode).
+  bool prune_with_lower_bound = false;
+  // Use FastDTW instead of the exact DP (approximate; total-cost mode).
+  bool approximate = false;
+  dtw::FastDtwOptions fast_dtw;
+};
+
+class AgTr final : public AccountGrouper {
+ public:
+  explicit AgTr(AgTrOptions options = {}) : options_(options) {}
+  std::string name() const override { return "AG-TR"; }
+  AccountGrouping group(const FrameworkInput& input) const override;
+
+  // Task series (1-based task indices in timestamp order).
+  static std::vector<double> task_series(const AccountTrace& account);
+  // Timestamp series in hours.
+  static std::vector<double> timestamp_series(const AccountTrace& account);
+
+  // Full pairwise dissimilarity matrices, exposed for the Fig. 4 bench.
+  struct Matrices {
+    std::vector<std::vector<double>> task_dtw;
+    std::vector<std::vector<double>> time_dtw;
+    std::vector<std::vector<double>> dissimilarity;  // sum of the two
+  };
+  Matrices dissimilarity_matrices(const FrameworkInput& input) const;
+
+ private:
+  double dtw_value(const std::vector<double>& a,
+                   const std::vector<double>& b) const;
+
+  AgTrOptions options_;
+};
+
+}  // namespace sybiltd::core

@@ -1,0 +1,63 @@
+#include "core/ag_ts.h"
+
+#include <vector>
+
+#include "common/error.h"
+#include "graph/graph.h"
+
+namespace sybiltd::core {
+
+double AgTs::affinity(std::size_t both, std::size_t alone,
+                      std::size_t task_count) {
+  SYBILTD_CHECK(task_count > 0, "affinity needs a positive task count");
+  const double t = static_cast<double>(both);
+  const double l = static_cast<double>(alone);
+  const double m = static_cast<double>(task_count);
+  return (t - 2.0 * l) * (t + l) / m;
+}
+
+std::vector<std::vector<double>> AgTs::affinity_matrix(
+    const FrameworkInput& input) {
+  const std::size_t n = input.accounts.size();
+  // Task membership bitmaps per account.
+  std::vector<std::vector<bool>> done(
+      n, std::vector<bool>(input.task_count, false));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& report : input.accounts[i].reports) {
+      SYBILTD_CHECK(report.task < input.task_count,
+                    "report task out of range");
+      done[i][report.task] = true;
+    }
+  }
+  std::vector<std::vector<double>> affinity_values(
+      n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::size_t both = 0;
+      std::size_t alone = 0;
+      for (std::size_t t = 0; t < input.task_count; ++t) {
+        if (done[i][t] && done[j][t]) {
+          ++both;
+        } else if (done[i][t] != done[j][t]) {
+          ++alone;
+        }
+      }
+      const double a = affinity(both, alone, input.task_count);
+      affinity_values[i][j] = a;
+      affinity_values[j][i] = a;
+    }
+  }
+  return affinity_values;
+}
+
+AccountGrouping AgTs::group(const FrameworkInput& input) const {
+  const std::size_t n = input.accounts.size();
+  if (n == 0) return AccountGrouping::singletons(0);
+  const auto affinities = affinity_matrix(input);
+  const double rho = options_.rho;
+  const auto g = graph::threshold_graph(
+      affinities, [rho](double a) { return a > rho; });
+  return AccountGrouping(g.connected_components(), n);
+}
+
+}  // namespace sybiltd::core

@@ -1,0 +1,151 @@
+#include "core/categorical_framework.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "truth/categorical.h"
+
+namespace sybiltd::core {
+
+namespace {
+
+using truth::kNoLabel;
+
+// One group's presence on one task: plurality label + Eq. (4) weight.
+struct GroupDatum {
+  std::size_t group = 0;
+  std::size_t label = 0;
+  double initial_weight = 0.0;
+};
+
+std::size_t to_label(double value, std::size_t label_count) {
+  const double rounded = std::round(value);
+  SYBILTD_CHECK(std::abs(value - rounded) < 1e-9 && rounded >= 0.0 &&
+                    rounded < static_cast<double>(label_count),
+                "categorical report value is not a valid label id");
+  return static_cast<std::size_t>(rounded);
+}
+
+}  // namespace
+
+CategoricalFrameworkResult run_categorical_framework(
+    const FrameworkInput& input, std::size_t label_count,
+    const AccountGrouping& grouping,
+    const CategoricalFrameworkOptions& options) {
+  SYBILTD_CHECK(label_count >= 2, "need at least two labels");
+  SYBILTD_CHECK(grouping.account_count() == input.accounts.size(),
+                "grouping does not match the input accounts");
+  const std::size_t n_tasks = input.task_count;
+  const std::size_t n_groups = grouping.group_count();
+
+  CategoricalFrameworkResult result;
+  result.grouping = grouping;
+  result.labels.assign(n_tasks, kNoLabel);
+  result.group_weights.assign(n_groups, 1.0);
+
+  // --- data grouping: per (task, group) label votes -----------------------
+  std::vector<std::vector<std::vector<double>>> votes(
+      n_tasks, std::vector<std::vector<double>>(n_groups));
+  std::vector<std::size_t> submitters(n_tasks, 0);
+  for (std::size_t i = 0; i < input.accounts.size(); ++i) {
+    const std::size_t k = grouping.group_of(i);
+    for (const auto& report : input.accounts[i].reports) {
+      SYBILTD_CHECK(report.task < n_tasks, "report task out of range");
+      if (votes[report.task][k].empty()) {
+        votes[report.task][k].assign(label_count, 0.0);
+      }
+      votes[report.task][k][to_label(report.value, label_count)] += 1.0;
+      ++submitters[report.task];
+    }
+  }
+
+  std::vector<std::vector<GroupDatum>> per_task(n_tasks);
+  std::vector<std::vector<std::size_t>> tasks_of_group(n_groups);
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    for (std::size_t k = 0; k < n_groups; ++k) {
+      if (votes[j][k].empty()) continue;
+      GroupDatum datum;
+      datum.group = k;
+      double members = 0.0;
+      std::size_t best = 0;
+      for (std::size_t l = 0; l < label_count; ++l) {
+        members += votes[j][k][l];
+        if (votes[j][k][l] > votes[j][k][best]) best = l;
+      }
+      datum.label = best;
+      const double w =
+          1.0 - members / static_cast<double>(submitters[j]);  // Eq. (4)
+      datum.initial_weight = std::max(w, options.weight_floor);
+      per_task[j].push_back(datum);
+      tasks_of_group[k].push_back(j);
+    }
+  }
+
+  // --- initialization: Eq. (4)-weighted plurality over groups -------------
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    if (per_task[j].empty()) continue;
+    std::vector<double> tally(label_count, 0.0);
+    for (const auto& datum : per_task[j]) {
+      tally[datum.label] += options.init_with_eq4 ? datum.initial_weight
+                                                  : 1.0;
+    }
+    result.labels[j] = static_cast<std::size_t>(
+        std::max_element(tally.begin(), tally.end()) - tally.begin());
+  }
+
+  // --- iterations -----------------------------------------------------------
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Group weights from 0/1 losses of the group aggregates.
+    std::vector<double> errors(n_groups, 0.0);
+    double total = 0.0;
+    for (std::size_t j = 0; j < n_tasks; ++j) {
+      if (result.labels[j] == kNoLabel) continue;
+      for (const auto& datum : per_task[j]) {
+        if (datum.label != result.labels[j]) errors[datum.group] += 1.0;
+      }
+    }
+    for (std::size_t k = 0; k < n_groups; ++k) {
+      if (tasks_of_group[k].empty()) continue;
+      errors[k] = std::max(errors[k], options.error_epsilon);
+      total += errors[k];
+    }
+    for (std::size_t k = 0; k < n_groups; ++k) {
+      if (tasks_of_group[k].empty()) {
+        result.group_weights[k] = 0.0;
+      } else {
+        result.group_weights[k] = std::log(total / errors[k]);
+        if (result.group_weights[k] <= 0.0) result.group_weights[k] = 1.0;
+      }
+    }
+    // Weighted plurality over groups.
+    bool changed = false;
+    for (std::size_t j = 0; j < n_tasks; ++j) {
+      if (per_task[j].empty()) continue;
+      std::vector<double> tally(label_count, 0.0);
+      for (const auto& datum : per_task[j]) {
+        tally[datum.label] += result.group_weights[datum.group];
+      }
+      const auto next = static_cast<std::size_t>(
+          std::max_element(tally.begin(), tally.end()) - tally.begin());
+      if (next != result.labels[j]) changed = true;
+      result.labels[j] = next;
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+CategoricalFrameworkResult run_categorical_framework(
+    const FrameworkInput& input, std::size_t label_count,
+    const AccountGrouper& grouper,
+    const CategoricalFrameworkOptions& options) {
+  return run_categorical_framework(input, label_count, grouper.group(input),
+                                   options);
+}
+
+}  // namespace sybiltd::core

@@ -1,0 +1,50 @@
+// Sybil-resistant truth discovery over categorical labels (extension).
+//
+// Algorithm 2 carries over with plurality in place of averaging:
+//   * data grouping: each group's reports on a task collapse into the
+//     group's *plurality label* (Eq. 3's analogue — k duplicate Sybil
+//     labels count once);
+//   * Eq. (4) weights seed the initialization exactly as in the numeric
+//     framework;
+//   * iterations alternate 0/1-loss group weights (W = log(total/own)) and
+//     weighted plurality over groups.
+//
+// Reports reuse core::FrameworkInput with `value` holding the label id
+// (validated to be an integer in [0, label_count)), so the AG-* grouping
+// methods apply unchanged — they never look at values.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/grouping.h"
+
+namespace sybiltd::core {
+
+struct CategoricalFrameworkOptions {
+  std::size_t max_iterations = 50;
+  double error_epsilon = 0.5;   // pseudo-error floor per group
+  double weight_floor = 1e-3;   // Eq. (4) floor, as in the numeric framework
+  bool init_with_eq4 = true;
+};
+
+struct CategoricalFrameworkResult {
+  // Per task; truth::kNoLabel (size_t(-1)) where no data.
+  std::vector<std::size_t> labels;
+  std::vector<double> group_weights;
+  AccountGrouping grouping;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+CategoricalFrameworkResult run_categorical_framework(
+    const FrameworkInput& input, std::size_t label_count,
+    const AccountGrouping& grouping,
+    const CategoricalFrameworkOptions& options = {});
+
+CategoricalFrameworkResult run_categorical_framework(
+    const FrameworkInput& input, std::size_t label_count,
+    const AccountGrouper& grouper,
+    const CategoricalFrameworkOptions& options = {});
+
+}  // namespace sybiltd::core

@@ -1,0 +1,88 @@
+#include "core/data_grouping.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace sybiltd::core {
+
+double aggregate_group_values(const std::vector<double>& values,
+                              const DataGroupingOptions& options) {
+  SYBILTD_CHECK(!values.empty(), "aggregating an empty group");
+  switch (options.aggregate) {
+    case GroupAggregate::kMean:
+      return mean(values);
+    case GroupAggregate::kMedian:
+      return median(values);
+    case GroupAggregate::kTrimmedMean:
+      return trimmed_mean(values, options.trim_fraction);
+    case GroupAggregate::kHuber:
+      return huber_location(values, options.huber_k);
+    case GroupAggregate::kInverseDeviation: {
+      const double mu = mean(values);
+      double num = 0.0, den = 0.0;
+      for (double v : values) {
+        const double w = 1.0 / (std::abs(v - mu) + options.deviation_epsilon);
+        num += w * v;
+        den += w;
+      }
+      return num / den;
+    }
+  }
+  SYBILTD_ASSERT(false);
+  return 0.0;
+}
+
+GroupedData group_data(const FrameworkInput& input,
+                       const AccountGrouping& grouping,
+                       const DataGroupingOptions& options) {
+  SYBILTD_CHECK(grouping.account_count() == input.accounts.size(),
+                "grouping does not match the input accounts");
+  const std::size_t n_tasks = input.task_count;
+  const std::size_t n_groups = grouping.group_count();
+
+  GroupedData out;
+  out.per_task.resize(n_tasks);
+  out.tasks_of_group.resize(n_groups);
+
+  // Collect the values each group reported per task.
+  std::vector<std::vector<std::vector<double>>> values_by_task_group(
+      n_tasks, std::vector<std::vector<double>>(n_groups));
+  std::vector<std::size_t> submitters_per_task(n_tasks, 0);
+  for (std::size_t i = 0; i < input.accounts.size(); ++i) {
+    const std::size_t k = grouping.group_of(i);
+    for (const auto& report : input.accounts[i].reports) {
+      SYBILTD_CHECK(report.task < n_tasks, "report task out of range");
+      values_by_task_group[report.task][k].push_back(report.value);
+      ++submitters_per_task[report.task];
+    }
+  }
+
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    for (std::size_t k = 0; k < n_groups; ++k) {
+      const auto& values = values_by_task_group[j][k];
+      if (values.empty()) continue;
+      GroupTaskDatum datum;
+      datum.group = k;
+      datum.value = aggregate_group_values(values, options);
+      datum.member_count = values.size();
+
+      const double group_size =
+          options.size_from_task_participants
+              ? static_cast<double>(values.size())
+              : static_cast<double>(grouping.group(k).size());
+      const double submitters =
+          static_cast<double>(submitters_per_task[j]);
+      const double w = 1.0 - group_size / submitters;  // Eq. (4)
+      datum.initial_weight = std::max(w, options.weight_floor);
+
+      out.per_task[j].push_back(datum);
+      out.tasks_of_group[k].push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace sybiltd::core

@@ -1,0 +1,121 @@
+#include "core/framework.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace sybiltd::core {
+
+namespace {
+
+using truth::nan_value;
+
+// Per-task scale normalizer over the *grouped* values, mirroring the CRH
+// baseline's std-normalized loss.
+std::vector<double> task_normalizers(const GroupedData& grouped,
+                                     std::size_t n_tasks) {
+  std::vector<double> norm(n_tasks, 1.0);
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    std::vector<double> values;
+    for (const auto& datum : grouped.per_task[j]) {
+      values.push_back(datum.value);
+    }
+    if (values.size() >= 2) {
+      const double sd = stddev(values);
+      if (sd > 1e-12) norm[j] = sd;
+    }
+  }
+  return norm;
+}
+
+}  // namespace
+
+FrameworkResult run_framework(const FrameworkInput& input,
+                              const AccountGrouping& grouping,
+                              const FrameworkOptions& options) {
+  const std::size_t n_tasks = input.task_count;
+  const std::size_t n_groups = grouping.group_count();
+
+  FrameworkResult result;
+  result.grouping = grouping;
+  result.truths.assign(n_tasks, nan_value());
+  result.group_weights.assign(n_groups, 1.0);
+
+  const GroupedData grouped =
+      group_data(input, grouping, options.data_grouping);
+  const std::vector<double> norm = task_normalizers(grouped, n_tasks);
+
+  // --- Initialization (Eq. 5 with the Eq. 4 weights) ----------------------
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    double num = 0.0, den = 0.0;
+    for (const auto& datum : grouped.per_task[j]) {
+      const double w = options.init_with_eq5 ? datum.initial_weight : 1.0;
+      num += w * datum.value;
+      den += w;
+    }
+    if (den > 0.0) result.truths[j] = num / den;
+  }
+
+  // --- Iterations (Algorithm 2, lines 8–15) -------------------------------
+  std::vector<double> next_truths(n_tasks, nan_value());
+  for (std::size_t iter = 0; iter < options.convergence.max_iterations;
+       ++iter) {
+    result.iterations = iter + 1;
+
+    // Group weight estimation: W over the group's aggregated residuals.
+    std::vector<double> losses(n_groups, 0.0);
+    double total_loss = 0.0;
+    for (std::size_t j = 0; j < n_tasks; ++j) {
+      if (std::isnan(result.truths[j])) continue;
+      for (const auto& datum : grouped.per_task[j]) {
+        const double diff = (datum.value - result.truths[j]) / norm[j];
+        losses[datum.group] += diff * diff;
+      }
+    }
+    for (std::size_t k = 0; k < n_groups; ++k) {
+      if (grouped.tasks_of_group[k].empty()) {
+        losses[k] = 0.0;
+        continue;
+      }
+      losses[k] = std::max(losses[k], options.loss_epsilon);
+      total_loss += losses[k];
+    }
+    for (std::size_t k = 0; k < n_groups; ++k) {
+      if (grouped.tasks_of_group[k].empty()) {
+        result.group_weights[k] = 0.0;
+      } else {
+        result.group_weights[k] = std::log(total_loss / losses[k]);
+        if (result.group_weights[k] <= 0.0) result.group_weights[k] = 1.0;
+      }
+    }
+
+    // Truth estimation over groups.
+    for (std::size_t j = 0; j < n_tasks; ++j) {
+      double num = 0.0, den = 0.0;
+      for (const auto& datum : grouped.per_task[j]) {
+        num += result.group_weights[datum.group] * datum.value;
+        den += result.group_weights[datum.group];
+      }
+      next_truths[j] = den > 0.0 ? num / den : nan_value();
+    }
+
+    const double delta =
+        truth::max_abs_difference(result.truths, next_truths);
+    result.truths = next_truths;
+    if (delta < options.convergence.truth_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+FrameworkResult run_framework(const FrameworkInput& input,
+                              const AccountGrouper& grouper,
+                              const FrameworkOptions& options) {
+  return run_framework(input, grouper.group(input), options);
+}
+
+}  // namespace sybiltd::core

@@ -1,0 +1,51 @@
+// The Sybil-resistant truth discovery framework (Algorithm 2).
+//
+//   1. Account grouping (AG-FP / AG-TS / AG-TR — any AccountGrouper).
+//   2. Data grouping: per task, collapse each group's reports into one
+//      value d~_j^k (Eq. 3) and seed group weights by size (Eq. 4).
+//   3. Initialize truths with the Eq. (5) size-weighted aggregate.
+//   4. Iterate CRH-style group-weight estimation (line 10: W over the
+//      group's aggregated residuals) and truth estimation (line 13) until
+//      convergence.
+//
+// The instantiation of W and D follows our CRH baseline (std-normalized
+// squared loss, log-ratio weights), so CRH and the framework differ only
+// in the grouping — exactly the comparison the paper's Fig. 7 makes.
+#pragma once
+
+#include <memory>
+
+#include "core/data_grouping.h"
+#include "core/grouping.h"
+#include "truth/truth_discovery.h"
+
+namespace sybiltd::core {
+
+struct FrameworkOptions {
+  DataGroupingOptions data_grouping;
+  truth::ConvergenceOptions convergence;
+  double loss_epsilon = 1e-6;
+  // Ablation: skip the Eq. (5) initialization and start from the plain
+  // per-task mean of the group aggregates instead.
+  bool init_with_eq5 = true;
+};
+
+struct FrameworkResult {
+  std::vector<double> truths;        // per task; NaN if no data
+  std::vector<double> group_weights; // final iterated weights, per group
+  AccountGrouping grouping;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+// Run Algorithm 2 with a precomputed grouping (steps 2–5).
+FrameworkResult run_framework(const FrameworkInput& input,
+                              const AccountGrouping& grouping,
+                              const FrameworkOptions& options = {});
+
+// Run the full pipeline: grouping method + framework.
+FrameworkResult run_framework(const FrameworkInput& input,
+                              const AccountGrouper& grouper,
+                              const FrameworkOptions& options = {});
+
+}  // namespace sybiltd::core

@@ -1,0 +1,36 @@
+// Input types of the Sybil-resistant truth discovery framework.
+//
+// The framework consumes, per account: the tasks it reported with values
+// and timestamps (for AG-TS and AG-TR) and its sign-in device fingerprint
+// feature vector (for AG-FP).  Timestamps are in HOURS since the campaign
+// epoch — the unit the paper's AG-TR worked example (Fig. 4) uses, so its
+// dissimilarity magnitudes carry over directly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sybiltd::core {
+
+struct AccountObservation {
+  std::size_t task = 0;
+  double value = 0.0;
+  double timestamp_hours = 0.0;
+};
+
+struct AccountTrace {
+  std::string name;
+  // Reports sorted by timestamp; at most one report per task.
+  std::vector<AccountObservation> reports;
+  // Device fingerprint features; may be empty when the platform could not
+  // capture one (AG-FP then treats the account as its own group).
+  std::vector<double> fingerprint;
+};
+
+struct FrameworkInput {
+  std::size_t task_count = 0;
+  std::vector<AccountTrace> accounts;
+};
+
+}  // namespace sybiltd::core

@@ -1,0 +1,63 @@
+#include "core/grouping.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sybiltd::core {
+
+AccountGrouping::AccountGrouping(
+    std::vector<std::vector<std::size_t>> groups, std::size_t account_count)
+    : groups_(std::move(groups)), account_count_(account_count) {
+  group_of_.assign(account_count_, account_count_);  // sentinel: unassigned
+  for (std::size_t k = 0; k < groups_.size(); ++k) {
+    SYBILTD_CHECK(!groups_[k].empty(), "grouping contains an empty group");
+    for (std::size_t account : groups_[k]) {
+      SYBILTD_CHECK(account < account_count_,
+                    "grouped account index out of range");
+      SYBILTD_CHECK(group_of_[account] == account_count_,
+                    "account appears in more than one group");
+      group_of_[account] = k;
+    }
+  }
+  for (std::size_t account = 0; account < account_count_; ++account) {
+    SYBILTD_CHECK(group_of_[account] != account_count_,
+                  "account missing from the grouping");
+  }
+}
+
+AccountGrouping AccountGrouping::singletons(std::size_t account_count) {
+  std::vector<std::vector<std::size_t>> groups(account_count);
+  for (std::size_t i = 0; i < account_count; ++i) groups[i] = {i};
+  return AccountGrouping(std::move(groups), account_count);
+}
+
+AccountGrouping AccountGrouping::from_labels(
+    std::span<const std::size_t> labels) {
+  std::size_t max_label = 0;
+  for (std::size_t lab : labels) max_label = std::max(max_label, lab);
+  std::vector<std::vector<std::size_t>> groups(labels.empty() ? 0
+                                                              : max_label + 1);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    groups[labels[i]].push_back(i);
+  }
+  // Drop labels with no members so the partition has no empty groups.
+  groups.erase(std::remove_if(groups.begin(), groups.end(),
+                              [](const auto& g) { return g.empty(); }),
+               groups.end());
+  return AccountGrouping(std::move(groups), labels.size());
+}
+
+const std::vector<std::size_t>& AccountGrouping::group(std::size_t k) const {
+  SYBILTD_CHECK(k < groups_.size(), "group index out of range");
+  return groups_[k];
+}
+
+std::size_t AccountGrouping::group_of(std::size_t account) const {
+  SYBILTD_CHECK(account < account_count_, "account index out of range");
+  return group_of_[account];
+}
+
+std::vector<std::size_t> AccountGrouping::labels() const { return group_of_; }
+
+}  // namespace sybiltd::core

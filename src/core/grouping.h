@@ -1,0 +1,53 @@
+// Account grouping results and the grouper interface (Section IV-C).
+//
+// A grouping is a partition of account indices: every account is in exactly
+// one group, and each group collects accounts the method believes belong to
+// one (possibly Sybil) user.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/framework_input.h"
+
+namespace sybiltd::core {
+
+class AccountGrouping {
+ public:
+  AccountGrouping() = default;
+  // Takes ownership of a partition; validates disjointness and coverage of
+  // exactly the range [0, account_count).
+  AccountGrouping(std::vector<std::vector<std::size_t>> groups,
+                  std::size_t account_count);
+
+  static AccountGrouping singletons(std::size_t account_count);
+  static AccountGrouping from_labels(std::span<const std::size_t> labels);
+
+  std::size_t group_count() const { return groups_.size(); }
+  std::size_t account_count() const { return account_count_; }
+  const std::vector<std::vector<std::size_t>>& groups() const {
+    return groups_;
+  }
+  const std::vector<std::size_t>& group(std::size_t k) const;
+  // Group index of an account.
+  std::size_t group_of(std::size_t account) const;
+  // Per-account group labels (group indices).
+  std::vector<std::size_t> labels() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> groups_;
+  std::vector<std::size_t> group_of_;
+  std::size_t account_count_ = 0;
+};
+
+// Interface of the three AG methods.
+class AccountGrouper {
+ public:
+  virtual ~AccountGrouper() = default;
+  virtual std::string name() const = 0;
+  virtual AccountGrouping group(const FrameworkInput& input) const = 0;
+};
+
+}  // namespace sybiltd::core

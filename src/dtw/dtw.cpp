@@ -1,0 +1,154 @@
+#include "dtw/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace sybiltd::dtw {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline double sq(double x) { return x * x; }
+
+// Effective band: widen to |m-n| so the end cell stays reachable.
+std::size_t effective_band(std::size_t m, std::size_t n, std::size_t band) {
+  if (band == 0) return std::max(m, n);  // unconstrained
+  const std::size_t diff = m > n ? m - n : n - m;
+  return std::max(band, diff);
+}
+
+}  // namespace
+
+DtwResult dtw_full(std::span<const double> a, std::span<const double> b,
+                   const DtwOptions& options) {
+  SYBILTD_CHECK(!a.empty() && !b.empty(), "DTW of an empty series");
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  const std::size_t w = effective_band(m, n, options.band);
+
+  // r(i, j) = cost(i, j) + min(r(i-1,j-1), r(i-1,j), r(i,j-1))
+  std::vector<double> r(m * n, kInf);
+  auto at = [&](std::size_t i, std::size_t j) -> double& {
+    return r[i * n + j];
+  };
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t j_lo = i > w ? i - w : 0;
+    const std::size_t j_hi = std::min(n - 1, i + w);
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = sq(a[i] - b[j]);
+      double best = kInf;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+      } else {
+        if (i > 0 && j > 0) best = std::min(best, at(i - 1, j - 1));
+        if (i > 0) best = std::min(best, at(i - 1, j));
+        if (j > 0) best = std::min(best, at(i, j - 1));
+      }
+      at(i, j) = cost + best;
+    }
+  }
+  SYBILTD_ASSERT(at(m - 1, n - 1) < kInf);
+
+  DtwResult result;
+  result.total_cost = at(m - 1, n - 1);
+
+  // Recover the optimal path by walking back along minimal predecessors.
+  std::size_t i = m - 1, j = n - 1;
+  result.path.emplace_back(i, j);
+  while (i > 0 || j > 0) {
+    double best = kInf;
+    std::size_t bi = i, bj = j;
+    if (i > 0 && j > 0 && at(i - 1, j - 1) < best) {
+      best = at(i - 1, j - 1);
+      bi = i - 1;
+      bj = j - 1;
+    }
+    if (i > 0 && at(i - 1, j) < best) {
+      best = at(i - 1, j);
+      bi = i - 1;
+      bj = j;
+    }
+    if (j > 0 && at(i, j - 1) < best) {
+      best = at(i, j - 1);
+      bi = i;
+      bj = j - 1;
+    }
+    SYBILTD_ASSERT(best < kInf);
+    i = bi;
+    j = bj;
+    result.path.emplace_back(i, j);
+  }
+  std::reverse(result.path.begin(), result.path.end());
+
+  result.distance = std::sqrt(result.total_cost /
+                              static_cast<double>(result.path.size()));
+  return result;
+}
+
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    const DtwOptions& options) {
+  SYBILTD_CHECK(!a.empty() && !b.empty(), "DTW of an empty series");
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  const std::size_t w = effective_band(m, n, options.band);
+
+  // Two-row DP carrying (cost, path length) so we can apply Eq. (7)'s
+  // normalization without materializing the path.  Ties in cost are broken
+  // toward the shorter path, matching the path recovered by dtw_full.
+  struct Cell {
+    double cost = kInf;
+    std::size_t len = 0;
+  };
+  std::vector<Cell> prev(n), curr(n);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    std::fill(curr.begin(), curr.end(), Cell{});
+    const std::size_t j_lo = i > w ? i - w : 0;
+    const std::size_t j_hi = std::min(n - 1, i + w);
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = sq(a[i] - b[j]);
+      Cell best{kInf, 0};
+      auto consider = [&](const Cell& c) {
+        if (c.cost < best.cost ||
+            (c.cost == best.cost && c.len < best.len)) {
+          best = c;
+        }
+      };
+      if (i == 0 && j == 0) {
+        best = {0.0, 0};
+      } else {
+        if (i > 0 && j > 0) consider(prev[j - 1]);
+        if (i > 0) consider(prev[j]);
+        if (j > 0) consider(curr[j - 1]);
+      }
+      curr[j] = {cost + best.cost, best.len + 1};
+    }
+    std::swap(prev, curr);
+  }
+  const Cell end = prev[n - 1];
+  SYBILTD_ASSERT(end.cost < kInf && end.len > 0);
+  return std::sqrt(end.cost / static_cast<double>(end.len));
+}
+
+double dtw_distance_znorm(std::span<const double> a,
+                          std::span<const double> b,
+                          const DtwOptions& options) {
+  auto znorm = [](std::span<const double> xs) {
+    std::vector<double> out(xs.begin(), xs.end());
+    const double mu = mean(xs);
+    const double sd = stddev(xs);
+    for (double& x : out) x = sd > 1e-12 ? (x - mu) / sd : 0.0;
+    return out;
+  };
+  const auto na = znorm(a);
+  const auto nb = znorm(b);
+  return dtw_distance(na, nb, options);
+}
+
+}  // namespace sybiltd::dtw

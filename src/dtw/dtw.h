@@ -1,0 +1,48 @@
+// Dynamic Time Warping (Berndt & Clifford 1994).
+//
+// AG-TR measures trajectory dissimilarity as the sum of DTW distances over
+// an account's task-index series and timestamp series (Eq. 8).  The paper
+// uses the Ratanamahatana–Keogh normalization (Eq. 7):
+//     DTW(A, B) = sqrt( sum of squared distances along the optimal path / K )
+// where K is the path length.  This file provides the full O(mn) dynamic
+// program, an optional Sakoe–Chiba band constraint, warping-path recovery,
+// and a z-normalized variant.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace sybiltd::dtw {
+
+struct DtwOptions {
+  // Sakoe–Chiba band half-width; 0 means unconstrained.  With a band w,
+  // cell (i, j) is admissible iff |i - j| <= max(w, |m - n|), which keeps
+  // the corner-to-corner path feasible for unequal lengths.
+  std::size_t band = 0;
+};
+
+struct DtwResult {
+  // Normalized distance per Eq. (7): sqrt(total squared cost / path length).
+  double distance = 0.0;
+  // Total accumulated squared distance along the optimal path.
+  double total_cost = 0.0;
+  // Optimal warping path as (i, j) index pairs from (0,0) to (m-1,n-1).
+  std::vector<std::pair<std::size_t, std::size_t>> path;
+};
+
+// Full DTW with path recovery.  Both series must be non-empty.
+DtwResult dtw_full(std::span<const double> a, std::span<const double> b,
+                   const DtwOptions& options = {});
+
+// Distance only (no path materialization; O(min(m,n)) memory).
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    const DtwOptions& options = {});
+
+// DTW distance after z-normalizing both series (constant series map to 0).
+double dtw_distance_znorm(std::span<const double> a,
+                          std::span<const double> b,
+                          const DtwOptions& options = {});
+
+}  // namespace sybiltd::dtw

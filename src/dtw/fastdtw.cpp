@@ -1,0 +1,191 @@
+#include "dtw/fastdtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace sybiltd::dtw {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline double sq(double x) { return x * x; }
+
+// Halve a series by averaging adjacent pairs (odd tail kept as-is).
+std::vector<double> shrink(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size() / 2 + 1);
+  std::size_t i = 0;
+  for (; i + 1 < xs.size(); i += 2) {
+    out.push_back((xs[i] + xs[i + 1]) / 2.0);
+  }
+  if (i < xs.size()) out.push_back(xs[i]);
+  return out;
+}
+
+// Per-row admissible column range [lo, hi] (inclusive).
+struct Window {
+  std::vector<std::size_t> lo;
+  std::vector<std::size_t> hi;
+};
+
+Window full_window(std::size_t m, std::size_t n) {
+  Window w;
+  w.lo.assign(m, 0);
+  w.hi.assign(m, n - 1);
+  return w;
+}
+
+// Project a coarse warp path onto the fine grid and expand by `radius`.
+Window expand_window(
+    const std::vector<std::pair<std::size_t, std::size_t>>& coarse_path,
+    std::size_t m, std::size_t n, std::size_t radius) {
+  Window w;
+  w.lo.assign(m, n);  // empty ranges initially (lo > hi)
+  w.hi.assign(m, 0);
+  auto mark = [&](std::ptrdiff_t i, std::ptrdiff_t j) {
+    if (i < 0 || j < 0 || i >= static_cast<std::ptrdiff_t>(m)) return;
+    const std::size_t jj = std::min<std::size_t>(
+        static_cast<std::size_t>(std::max<std::ptrdiff_t>(j, 0)), n - 1);
+    const std::size_t ii = static_cast<std::size_t>(i);
+    w.lo[ii] = std::min(w.lo[ii], jj);
+    w.hi[ii] = std::max(w.hi[ii], jj);
+  };
+  const std::ptrdiff_t r = static_cast<std::ptrdiff_t>(radius);
+  for (const auto& [ci, cj] : coarse_path) {
+    // Each coarse cell covers a 2x2 block on the fine grid.
+    for (std::ptrdiff_t di = -r; di <= 1 + r; ++di) {
+      for (std::ptrdiff_t dj = -r; dj <= 1 + r; ++dj) {
+        mark(static_cast<std::ptrdiff_t>(2 * ci) + di,
+             static_cast<std::ptrdiff_t>(2 * cj) + dj);
+      }
+    }
+  }
+  // Guarantee the corners and per-row continuity so a path exists.
+  w.lo[0] = 0;
+  w.hi[m - 1] = n - 1;
+  for (std::size_t i = 1; i < m; ++i) {
+    if (w.lo[i] > w.hi[i]) {  // row untouched; bridge from neighbor
+      w.lo[i] = w.lo[i - 1];
+      w.hi[i] = w.hi[i - 1];
+    }
+    // Ranges must not move backwards, or the path breaks.
+    w.lo[i] = std::min(w.lo[i], w.hi[i]);
+    if (w.hi[i] < w.hi[i - 1]) w.hi[i] = w.hi[i - 1];
+    if (w.lo[i] > w.hi[i - 1] + 1) w.lo[i] = w.hi[i - 1] + 1;
+  }
+  return w;
+}
+
+// Exact DP restricted to a window, with path recovery.
+DtwResult windowed_dtw(std::span<const double> a, std::span<const double> b,
+                       const Window& window) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  std::vector<double> r(m * n, kInf);
+  auto at = [&](std::size_t i, std::size_t j) -> double& {
+    return r[i * n + j];
+  };
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = window.lo[i]; j <= window.hi[i]; ++j) {
+      const double cost = sq(a[i] - b[j]);
+      double best = kInf;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+      } else {
+        if (i > 0 && j > 0) best = std::min(best, at(i - 1, j - 1));
+        if (i > 0) best = std::min(best, at(i - 1, j));
+        if (j > 0) best = std::min(best, at(i, j - 1));
+      }
+      at(i, j) = cost + best;
+    }
+  }
+  SYBILTD_ASSERT(at(m - 1, n - 1) < kInf);
+
+  DtwResult result;
+  result.total_cost = at(m - 1, n - 1);
+  std::size_t i = m - 1, j = n - 1;
+  result.path.emplace_back(i, j);
+  while (i > 0 || j > 0) {
+    double best = kInf;
+    std::size_t bi = i, bj = j;
+    if (i > 0 && j > 0 && at(i - 1, j - 1) < best) {
+      best = at(i - 1, j - 1);
+      bi = i - 1;
+      bj = j - 1;
+    }
+    if (i > 0 && at(i - 1, j) < best) {
+      best = at(i - 1, j);
+      bi = i - 1;
+      bj = j;
+    }
+    if (j > 0 && at(i, j - 1) < best) {
+      best = at(i, j - 1);
+      bi = i;
+      bj = j - 1;
+    }
+    SYBILTD_ASSERT(best < kInf);
+    i = bi;
+    j = bj;
+    result.path.emplace_back(i, j);
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  result.distance = std::sqrt(result.total_cost /
+                              static_cast<double>(result.path.size()));
+  return result;
+}
+
+}  // namespace
+
+double lb_keogh(std::span<const double> query,
+                std::span<const double> candidate, std::size_t band) {
+  SYBILTD_CHECK(query.size() == candidate.size(),
+                "LB_Keogh needs equal-length series");
+  SYBILTD_CHECK(!query.empty(), "LB_Keogh of an empty series");
+  const std::size_t n = query.size();
+  double bound = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i > band ? i - band : 0;
+    const std::size_t hi = std::min(n - 1, i + band);
+    double upper = -kInf, lower = kInf;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      upper = std::max(upper, candidate[j]);
+      lower = std::min(lower, candidate[j]);
+    }
+    if (query[i] > upper) {
+      bound += sq(query[i] - upper);
+    } else if (query[i] < lower) {
+      bound += sq(query[i] - lower);
+    }
+  }
+  return bound;
+}
+
+double endpoint_lower_bound(std::span<const double> a,
+                            std::span<const double> b) {
+  SYBILTD_CHECK(!a.empty() && !b.empty(),
+                "endpoint bound of an empty series");
+  const double first = sq(a.front() - b.front());
+  if (a.size() == 1 && b.size() == 1) return first;
+  return first + sq(a.back() - b.back());
+}
+
+DtwResult fast_dtw(std::span<const double> a, std::span<const double> b,
+                   const FastDtwOptions& options) {
+  SYBILTD_CHECK(!a.empty() && !b.empty(), "FastDTW of an empty series");
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  if (m <= options.base_case_length || n <= options.base_case_length) {
+    return windowed_dtw(a, b, full_window(m, n));
+  }
+  const auto coarse_a = shrink(a);
+  const auto coarse_b = shrink(b);
+  const DtwResult coarse = fast_dtw(coarse_a, coarse_b, options);
+  const Window window = expand_window(coarse.path, m, n, options.radius);
+  return windowed_dtw(a, b, window);
+}
+
+}  // namespace sybiltd::dtw

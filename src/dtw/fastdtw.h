@@ -1,0 +1,45 @@
+// Approximate and pruned DTW:
+//   * LB_Keogh (Keogh & Ratanamahatana 2005) — a cheap lower bound on the
+//     DTW cost under a Sakoe–Chiba band, used to skip exact computations
+//     when screening many account pairs in AG-TR.
+//   * FastDTW (Salvador & Chan 2007) — multilevel approximation: coarsen
+//     the series, solve recursively, and refine the projected warp path
+//     within a radius.  O(n) cells touched instead of O(n^2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dtw/dtw.h"
+
+namespace sybiltd::dtw {
+
+// LB_Keogh lower bound on the *total squared cost* of any band-constrained
+// warping of `candidate` onto `query`.  Requires equal lengths (pad or
+// resample first); band is the Sakoe–Chiba half-width used for the bound's
+// envelope.
+double lb_keogh(std::span<const double> query,
+                std::span<const double> candidate, std::size_t band);
+
+// A cheaper, unconditional lower bound on the unconstrained DTW total
+// cost: every warping path must align the first elements and the last
+// elements, so (a0-b0)^2 + (a_end-b_end)^2 can never be beaten (for
+// length >= 2 on both sides; singletons contribute the single alignment).
+// Used by AG-TR to skip exact DTW on clearly-dissimilar account pairs.
+double endpoint_lower_bound(std::span<const double> a,
+                            std::span<const double> b);
+
+struct FastDtwOptions {
+  // Radius of the refinement corridor around the projected path.  Larger
+  // radius = closer to exact DTW, more cells.
+  std::size_t radius = 1;
+  // Series at or below this length are solved exactly.
+  std::size_t base_case_length = 16;
+};
+
+// Approximate DTW: returns the same fields as dtw_full.  The cost is an
+// upper bound on (and typically within a few percent of) the exact cost.
+DtwResult fast_dtw(std::span<const double> a, std::span<const double> b,
+                   const FastDtwOptions& options = {});
+
+}  // namespace sybiltd::dtw

@@ -1,0 +1,33 @@
+#include "eval/adapters.h"
+
+namespace sybiltd::eval {
+
+truth::ObservationTable to_observation_table(const mcs::ScenarioData& data) {
+  truth::ObservationTable table(data.accounts.size(), data.tasks.size());
+  for (std::size_t i = 0; i < data.accounts.size(); ++i) {
+    for (const auto& report : data.accounts[i].reports) {
+      table.add(i, report.task, report.value);
+    }
+  }
+  return table;
+}
+
+core::FrameworkInput to_framework_input(const mcs::ScenarioData& data) {
+  core::FrameworkInput input;
+  input.task_count = data.tasks.size();
+  input.accounts.reserve(data.accounts.size());
+  for (const auto& account : data.accounts) {
+    core::AccountTrace trace;
+    trace.name = account.name;
+    trace.fingerprint = account.fingerprint;
+    trace.reports.reserve(account.reports.size());
+    for (const auto& report : account.reports) {
+      trace.reports.push_back(
+          {report.task, report.value, report.timestamp_s / 3600.0});
+    }
+    input.accounts.push_back(std::move(trace));
+  }
+  return input;
+}
+
+}  // namespace sybiltd::eval

@@ -1,0 +1,18 @@
+// Adapters between the scenario generator's platform view and the inputs
+// the algorithms consume: a flat ObservationTable for account-level truth
+// discovery and a FrameworkInput (values + timestamps + fingerprints) for
+// the Sybil-resistant framework.
+#pragma once
+
+#include "core/framework_input.h"
+#include "mcs/scenario.h"
+#include "truth/observation_table.h"
+
+namespace sybiltd::eval {
+
+truth::ObservationTable to_observation_table(const mcs::ScenarioData& data);
+
+// Timestamps convert from seconds to hours here (the unit AG-TR uses).
+core::FrameworkInput to_framework_input(const mcs::ScenarioData& data);
+
+}  // namespace sybiltd::eval

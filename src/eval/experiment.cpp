@@ -1,0 +1,213 @@
+#include "eval/experiment.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "eval/adapters.h"
+#include "eval/metrics.h"
+#include "ml/clustering_metrics.h"
+#include "truth/baselines.h"
+#include "truth/catd.h"
+#include "truth/gtm.h"
+#include "truth/truthfinder.h"
+
+namespace sybiltd::eval {
+
+std::string method_name(Method method) {
+  switch (method) {
+    case Method::kCrh: return "CRH";
+    case Method::kTdFp: return "TD-FP";
+    case Method::kTdTs: return "TD-TS";
+    case Method::kTdTr: return "TD-TR";
+    case Method::kTdOracle: return "TD-Oracle";
+    case Method::kMean: return "Mean";
+    case Method::kMedian: return "Median";
+    case Method::kCatd: return "CATD";
+    case Method::kGtm: return "GTM";
+    case Method::kTruthFinder: return "TruthFinder";
+  }
+  SYBILTD_ASSERT(false);
+  return {};
+}
+
+std::string grouping_method_name(GroupingMethod method) {
+  switch (method) {
+    case GroupingMethod::kAgFp: return "AG-FP";
+    case GroupingMethod::kAgTs: return "AG-TS";
+    case GroupingMethod::kAgTr: return "AG-TR";
+    case GroupingMethod::kOracle: return "Oracle";
+  }
+  SYBILTD_ASSERT(false);
+  return {};
+}
+
+namespace {
+
+core::AccountGrouping oracle_grouping(const mcs::ScenarioData& data) {
+  return core::AccountGrouping::from_labels(data.true_user_labels());
+}
+
+core::AccountGrouping compute_grouping(GroupingMethod method,
+                                       const mcs::ScenarioData& data,
+                                       const core::FrameworkInput& input,
+                                       const ExperimentOptions& options) {
+  switch (method) {
+    case GroupingMethod::kAgFp:
+      return core::AgFp(options.ag_fp).group(input);
+    case GroupingMethod::kAgTs:
+      return core::AgTs(options.ag_ts).group(input);
+    case GroupingMethod::kAgTr:
+      return core::AgTr(options.ag_tr).group(input);
+    case GroupingMethod::kOracle:
+      return oracle_grouping(data);
+  }
+  SYBILTD_ASSERT(false);
+  return core::AccountGrouping::singletons(0);
+}
+
+}  // namespace
+
+MethodRun run_method(Method method, const mcs::ScenarioData& data,
+                     const ExperimentOptions& options) {
+  MethodRun run;
+  const std::vector<double> ground = data.ground_truths();
+
+  switch (method) {
+    case Method::kCrh:
+      run.truths = truth::Crh(options.crh).run(to_observation_table(data)).truths;
+      break;
+    case Method::kMean:
+      run.truths =
+          truth::MeanAggregator().run(to_observation_table(data)).truths;
+      break;
+    case Method::kMedian:
+      run.truths =
+          truth::MedianAggregator().run(to_observation_table(data)).truths;
+      break;
+    case Method::kCatd:
+      run.truths = truth::Catd().run(to_observation_table(data)).truths;
+      break;
+    case Method::kGtm:
+      run.truths = truth::Gtm().run(to_observation_table(data)).truths;
+      break;
+    case Method::kTruthFinder:
+      run.truths =
+          truth::TruthFinder().run(to_observation_table(data)).truths;
+      break;
+    case Method::kTdFp:
+    case Method::kTdTs:
+    case Method::kTdTr:
+    case Method::kTdOracle: {
+      const core::FrameworkInput input = to_framework_input(data);
+      GroupingMethod grouping_method = GroupingMethod::kOracle;
+      if (method == Method::kTdFp) grouping_method = GroupingMethod::kAgFp;
+      if (method == Method::kTdTs) grouping_method = GroupingMethod::kAgTs;
+      if (method == Method::kTdTr) grouping_method = GroupingMethod::kAgTr;
+      const auto grouping =
+          compute_grouping(grouping_method, data, input, options);
+      run.truths =
+          core::run_framework(input, grouping, options.framework).truths;
+      break;
+    }
+  }
+  run.mae = mean_absolute_error(run.truths, ground);
+  run.rmse = root_mean_squared_error(run.truths, ground);
+  return run;
+}
+
+GroupingRun run_grouping(GroupingMethod method, const mcs::ScenarioData& data,
+                         const ExperimentOptions& options) {
+  const core::FrameworkInput input = to_framework_input(data);
+  GroupingRun run{compute_grouping(method, data, input, options), 0.0};
+  run.ari = ml::adjusted_rand_index(run.grouping.labels(),
+                                    data.true_user_labels());
+  return run;
+}
+
+namespace {
+
+template <typename PerSeed>
+std::vector<eval::SweepStat> sweep_stats(
+    std::span<const double> sybil_activeness, std::size_t seed_count,
+    PerSeed per_seed) {
+  SYBILTD_CHECK(seed_count >= 1, "sweep needs at least one seed");
+  std::vector<eval::SweepStat> out;
+  out.reserve(sybil_activeness.size());
+  for (double sybil : sybil_activeness) {
+    RunningMoments moments;
+    for (std::size_t s = 0; s < seed_count; ++s) {
+      moments.add(per_seed(sybil, s));
+    }
+    out.push_back({moments.mean(), std::sqrt(moments.sample_variance())});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SweepStat> sweep_ari_stats(
+    GroupingMethod method, double legit_activeness,
+    std::span<const double> sybil_activeness, std::size_t seed_count,
+    std::uint64_t base_seed, const ExperimentOptions& options) {
+  return sweep_stats(
+      sybil_activeness, seed_count, [&](double sybil, std::size_t s) {
+        const auto data = mcs::generate_scenario(mcs::make_paper_scenario(
+            legit_activeness, sybil, base_seed + 1000 * s));
+        return run_grouping(method, data, options).ari;
+      });
+}
+
+std::vector<SweepStat> sweep_mae_stats(
+    Method method, double legit_activeness,
+    std::span<const double> sybil_activeness, std::size_t seed_count,
+    std::uint64_t base_seed, const ExperimentOptions& options) {
+  return sweep_stats(
+      sybil_activeness, seed_count, [&](double sybil, std::size_t s) {
+        const auto data = mcs::generate_scenario(mcs::make_paper_scenario(
+            legit_activeness, sybil, base_seed + 1000 * s));
+        return run_method(method, data, options).mae;
+      });
+}
+
+std::vector<double> sweep_ari(GroupingMethod method, double legit_activeness,
+                              std::span<const double> sybil_activeness,
+                              std::size_t seed_count, std::uint64_t base_seed,
+                              const ExperimentOptions& options) {
+  SYBILTD_CHECK(seed_count >= 1, "sweep needs at least one seed");
+  std::vector<double> means;
+  means.reserve(sybil_activeness.size());
+  for (double sybil : sybil_activeness) {
+    double total = 0.0;
+    for (std::size_t s = 0; s < seed_count; ++s) {
+      const auto config = mcs::make_paper_scenario(
+          legit_activeness, sybil, base_seed + 1000 * s);
+      const auto data = mcs::generate_scenario(config);
+      total += run_grouping(method, data, options).ari;
+    }
+    means.push_back(total / static_cast<double>(seed_count));
+  }
+  return means;
+}
+
+std::vector<double> sweep_mae(Method method, double legit_activeness,
+                              std::span<const double> sybil_activeness,
+                              std::size_t seed_count, std::uint64_t base_seed,
+                              const ExperimentOptions& options) {
+  SYBILTD_CHECK(seed_count >= 1, "sweep needs at least one seed");
+  std::vector<double> means;
+  means.reserve(sybil_activeness.size());
+  for (double sybil : sybil_activeness) {
+    double total = 0.0;
+    for (std::size_t s = 0; s < seed_count; ++s) {
+      const auto config = mcs::make_paper_scenario(
+          legit_activeness, sybil, base_seed + 1000 * s);
+      const auto data = mcs::generate_scenario(config);
+      total += run_method(method, data, options).mae;
+    }
+    means.push_back(total / static_cast<double>(seed_count));
+  }
+  return means;
+}
+
+}  // namespace sybiltd::eval

@@ -1,0 +1,97 @@
+// Experiment harness: runs aggregation methods and grouping methods over
+// generated scenarios and sweeps activeness grids — the machinery behind
+// the Fig. 6 (ARI) and Fig. 7 (MAE) benches and the ablation studies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ag_fp.h"
+#include "core/ag_tr.h"
+#include "core/ag_ts.h"
+#include "core/framework.h"
+#include "mcs/scenario.h"
+#include "truth/crh.h"
+
+namespace sybiltd::eval {
+
+// Aggregation methods under test.  kTdOracle runs the framework with the
+// ground-truth account grouping — the framework's upper bound.
+enum class Method {
+  kCrh,
+  kTdFp,
+  kTdTs,
+  kTdTr,
+  kTdOracle,
+  kMean,
+  kMedian,
+  kCatd,
+  kGtm,
+  kTruthFinder,
+};
+std::string method_name(Method method);
+
+enum class GroupingMethod { kAgFp, kAgTs, kAgTr, kOracle };
+std::string grouping_method_name(GroupingMethod method);
+
+struct ExperimentOptions {
+  core::AgFpOptions ag_fp;
+  core::AgTsOptions ag_ts;
+  core::AgTrOptions ag_tr;
+  core::FrameworkOptions framework;
+  truth::CrhOptions crh;
+};
+
+struct MethodRun {
+  std::vector<double> truths;
+  double mae = 0.0;
+  double rmse = 0.0;
+};
+
+MethodRun run_method(Method method, const mcs::ScenarioData& data,
+                     const ExperimentOptions& options = {});
+
+struct GroupingRun {
+  core::AccountGrouping grouping;
+  double ari = 0.0;  // against the true account→user labels
+};
+
+GroupingRun run_grouping(GroupingMethod method, const mcs::ScenarioData& data,
+                         const ExperimentOptions& options = {});
+
+// ---- Sweeps over the paper's activeness grid ----------------------------
+
+// Mean and sample standard deviation of a metric across scenario seeds —
+// so benches can report seed-to-seed spread, not just point estimates.
+struct SweepStat {
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1); 0 for a single seed
+};
+
+std::vector<SweepStat> sweep_ari_stats(
+    GroupingMethod method, double legit_activeness,
+    std::span<const double> sybil_activeness, std::size_t seed_count,
+    std::uint64_t base_seed, const ExperimentOptions& options = {});
+
+std::vector<SweepStat> sweep_mae_stats(
+    Method method, double legit_activeness,
+    std::span<const double> sybil_activeness, std::size_t seed_count,
+    std::uint64_t base_seed, const ExperimentOptions& options = {});
+
+// Mean ARI of `method` over `seed_count` scenario seeds for each Sybil
+// activeness value, with legitimate activeness fixed (one Fig. 6 subplot).
+std::vector<double> sweep_ari(GroupingMethod method, double legit_activeness,
+                              std::span<const double> sybil_activeness,
+                              std::size_t seed_count, std::uint64_t base_seed,
+                              const ExperimentOptions& options = {});
+
+// Mean MAE of `method` over `seed_count` scenario seeds for each Sybil
+// activeness value (one Fig. 7 subplot series).
+std::vector<double> sweep_mae(Method method, double legit_activeness,
+                              std::span<const double> sybil_activeness,
+                              std::size_t seed_count, std::uint64_t base_seed,
+                              const ExperimentOptions& options = {});
+
+}  // namespace sybiltd::eval

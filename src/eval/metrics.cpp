@@ -1,0 +1,68 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sybiltd::eval {
+
+namespace {
+
+template <typename Fold>
+double fold_errors(std::span<const double> estimated,
+                   std::span<const double> truth, Fold fold, bool mean_out,
+                   bool square) {
+  SYBILTD_CHECK(estimated.size() == truth.size(),
+                "metric inputs differ in length");
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t j = 0; j < estimated.size(); ++j) {
+    if (std::isnan(estimated[j]) || std::isnan(truth[j])) continue;
+    double e = std::abs(estimated[j] - truth[j]);
+    if (square) e *= e;
+    acc = fold(acc, e);
+    ++counted;
+  }
+  if (counted == 0) return 0.0;
+  return mean_out ? acc / static_cast<double>(counted) : acc;
+}
+
+}  // namespace
+
+double mean_absolute_error(std::span<const double> estimated,
+                           std::span<const double> truth) {
+  return fold_errors(
+      estimated, truth, [](double a, double e) { return a + e; },
+      /*mean_out=*/true, /*square=*/false);
+}
+
+double root_mean_squared_error(std::span<const double> estimated,
+                               std::span<const double> truth) {
+  return std::sqrt(fold_errors(
+      estimated, truth, [](double a, double e) { return a + e; },
+      /*mean_out=*/true, /*square=*/true));
+}
+
+double max_absolute_error(std::span<const double> estimated,
+                          std::span<const double> truth) {
+  return fold_errors(
+      estimated, truth, [](double a, double e) { return std::max(a, e); },
+      /*mean_out=*/false, /*square=*/false);
+}
+
+double sybil_weight_share(std::span<const double> account_weights,
+                          const std::vector<bool>& is_sybil) {
+  SYBILTD_CHECK(account_weights.size() == is_sybil.size(),
+                "weights/sybil flags length mismatch");
+  double total = 0.0, sybil_total = 0.0;
+  for (std::size_t i = 0; i < account_weights.size(); ++i) {
+    const double w = account_weights[i];
+    SYBILTD_CHECK(w >= 0.0, "weights must be non-negative");
+    total += w;
+    if (is_sybil[i]) sybil_total += w;
+  }
+  return total > 0.0 ? sybil_total / total : 0.0;
+}
+
+}  // namespace sybiltd::eval

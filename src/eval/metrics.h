@@ -1,0 +1,30 @@
+// Accuracy metrics for aggregated truths.
+//
+// The paper's headline metric is the mean absolute error (MAE) between
+// estimated and ground-truth task values (Section V); RMSE and the worst
+// per-task error are included for diagnosis.  Tasks where the estimate is
+// NaN (no data) are skipped.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sybiltd::eval {
+
+double mean_absolute_error(std::span<const double> estimated,
+                           std::span<const double> truth);
+double root_mean_squared_error(std::span<const double> estimated,
+                               std::span<const double> truth);
+double max_absolute_error(std::span<const double> estimated,
+                          std::span<const double> truth);
+
+// The *rapacious* attacker's objective (Section I of the paper): the
+// fraction of the total account weight — a proxy for reward share under
+// weight-proportional payment — captured by Sybil accounts.  A Sybil-proof
+// pipeline should hold this near (number of attackers) / (number of
+// users), i.e. what the attacker would earn with a single account.
+// Returns 0 when all weights are zero.
+double sybil_weight_share(std::span<const double> account_weights,
+                          const std::vector<bool>& is_sybil);
+
+}  // namespace sybiltd::eval

@@ -1,0 +1,111 @@
+#include "eval/paper_example.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sybiltd::eval {
+
+namespace {
+
+// Hours since midnight for "10:MM:SS a.m.".
+constexpr double hm(double minutes, double seconds) {
+  return 10.0 + minutes / 60.0 + seconds / 3600.0;
+}
+
+struct Cell {
+  bool present = false;
+  double value = 0.0;
+  double timestamp_hours = 0.0;
+};
+
+// Table I (values) + Table III (timestamps); NaN-free by construction.
+const Cell kCells[kPaperExampleAccounts][kPaperExampleTasks] = {
+    // account 1
+    {{true, -84.48, hm(0, 35)},
+     {true, -82.11, hm(2, 42)},
+     {true, -75.16, hm(10, 22)},
+     {true, -72.71, hm(13, 41)}},
+    // account 2
+    {{false, 0, 0},
+     {true, -72.27, hm(4, 15)},
+     {true, -77.21, hm(6, 1)},
+     {false, 0, 0}},
+    // account 3
+    {{true, -72.41, hm(1, 21)},
+     {true, -91.49, hm(4, 5)},
+     {false, 0, 0},
+     {true, -73.55, hm(8, 28)}},
+    // account 4'
+    {{true, -50.0, hm(1, 10)},
+     {false, 0, 0},
+     {true, -50.0, hm(15, 24)},
+     {true, -50.0, hm(20, 6)}},
+    // account 4''
+    {{true, -50.0, hm(1, 34)},
+     {false, 0, 0},
+     {true, -50.0, hm(16, 8)},
+     {true, -50.0, hm(21, 25)}},
+    // account 4'''
+    {{true, -50.0, hm(2, 35)},
+     {false, 0, 0},
+     {true, -50.0, hm(17, 35)},
+     {true, -50.0, hm(22, 2)}},
+};
+
+}  // namespace
+
+const std::vector<std::string>& paper_example_account_names() {
+  static const std::vector<std::string> names = {"1",  "2",   "3",
+                                                 "4'", "4''", "4'''"};
+  return names;
+}
+
+core::FrameworkInput paper_example_input() {
+  core::FrameworkInput input;
+  input.task_count = kPaperExampleTasks;
+  for (std::size_t i = 0; i < kPaperExampleAccounts; ++i) {
+    core::AccountTrace trace;
+    trace.name = paper_example_account_names()[i];
+    // Collect present cells in timestamp order.
+    std::vector<core::AccountObservation> reports;
+    for (std::size_t j = 0; j < kPaperExampleTasks; ++j) {
+      const Cell& cell = kCells[i][j];
+      if (cell.present) {
+        reports.push_back({j, cell.value, cell.timestamp_hours});
+      }
+    }
+    std::sort(reports.begin(), reports.end(),
+              [](const auto& a, const auto& b) {
+                return a.timestamp_hours < b.timestamp_hours;
+              });
+    trace.reports = std::move(reports);
+    input.accounts.push_back(std::move(trace));
+  }
+  return input;
+}
+
+truth::ObservationTable paper_example_observations() {
+  truth::ObservationTable table(kPaperExampleAccounts, kPaperExampleTasks);
+  for (std::size_t i = 0; i < kPaperExampleAccounts; ++i) {
+    for (std::size_t j = 0; j < kPaperExampleTasks; ++j) {
+      if (kCells[i][j].present) table.add(i, j, kCells[i][j].value);
+    }
+  }
+  return table;
+}
+
+truth::ObservationTable paper_example_observations_no_attack() {
+  truth::ObservationTable table(3, kPaperExampleTasks);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < kPaperExampleTasks; ++j) {
+      if (kCells[i][j].present) table.add(i, j, kCells[i][j].value);
+    }
+  }
+  return table;
+}
+
+std::vector<std::size_t> paper_example_user_labels() {
+  return {0, 1, 2, 3, 3, 3};
+}
+
+}  // namespace sybiltd::eval

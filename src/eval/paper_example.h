@@ -1,0 +1,36 @@
+// The paper's worked example data: the 4-task / 6-account Sybil attack of
+// Table I (values) and Table III (timestamps).  Shared by the tests and by
+// the Table I / Fig. 3 / Fig. 4 benches.
+//
+// Accounts in order: 1, 2, 3, 4', 4'', 4''' — the last three belong to the
+// Attack-I Sybil attacker (User 4) and fabricate -50 dBm on tasks 1, 3, 4.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/framework_input.h"
+#include "truth/observation_table.h"
+
+namespace sybiltd::eval {
+
+inline constexpr std::size_t kPaperExampleTasks = 4;
+inline constexpr std::size_t kPaperExampleAccounts = 6;
+
+// Account names: {"1", "2", "3", "4'", "4''", "4'''"}.
+const std::vector<std::string>& paper_example_account_names();
+
+// Table I values with timestamps of Table III (hours since midnight) merged
+// in.  Reports appear in timestamp order per account.
+core::FrameworkInput paper_example_input();
+
+// Observation table of all six accounts (Table I "with the Sybil attack").
+truth::ObservationTable paper_example_observations();
+
+// Observation table of accounts 1–3 only ("without the Sybil attack").
+truth::ObservationTable paper_example_observations_no_attack();
+
+// Ground-truth account→user labels: {0, 1, 2, 3, 3, 3}.
+std::vector<std::size_t> paper_example_user_labels();
+
+}  // namespace sybiltd::eval

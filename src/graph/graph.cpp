@@ -1,0 +1,74 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sybiltd::graph {
+
+UndirectedGraph::UndirectedGraph(std::size_t node_count)
+    : adjacency_(node_count) {}
+
+void UndirectedGraph::add_edge(std::size_t u, std::size_t v, double weight) {
+  SYBILTD_CHECK(u < node_count() && v < node_count(),
+                "edge endpoint out of range");
+  SYBILTD_CHECK(u != v, "self-loops are not allowed");
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  edges_.push_back({u, v, weight});
+}
+
+bool UndirectedGraph::has_edge(std::size_t u, std::size_t v) const {
+  SYBILTD_CHECK(u < node_count() && v < node_count(),
+                "edge endpoint out of range");
+  const auto& nbrs = adjacency_[u];
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+std::size_t UndirectedGraph::degree(std::size_t u) const {
+  SYBILTD_CHECK(u < node_count(), "node out of range");
+  return adjacency_[u].size();
+}
+
+const std::vector<std::size_t>& UndirectedGraph::neighbors(
+    std::size_t u) const {
+  SYBILTD_CHECK(u < node_count(), "node out of range");
+  return adjacency_[u];
+}
+
+std::vector<std::vector<std::size_t>> UndirectedGraph::connected_components()
+    const {
+  std::vector<std::vector<std::size_t>> components;
+  std::vector<bool> visited(node_count(), false);
+  std::vector<std::size_t> stack;
+  for (std::size_t start = 0; start < node_count(); ++start) {
+    if (visited[start]) continue;
+    components.emplace_back();
+    auto& component = components.back();
+    stack.push_back(start);
+    visited[start] = true;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      component.push_back(u);
+      for (std::size_t v : adjacency_[u]) {
+        if (!visited[v]) {
+          visited[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+std::vector<std::size_t> UndirectedGraph::component_labels() const {
+  std::vector<std::size_t> labels(node_count(), 0);
+  const auto components = connected_components();
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    for (std::size_t node : components[c]) labels[node] = c;
+  }
+  return labels;
+}
+
+}  // namespace sybiltd::graph

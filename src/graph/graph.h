@@ -1,0 +1,60 @@
+// Undirected weighted graph with DFS connected components — the structure
+// AG-TS and AG-TR build from thresholded affinity/dissimilarity matrices
+// before reading off account groups.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sybiltd::graph {
+
+struct Edge {
+  std::size_t u = 0;
+  std::size_t v = 0;
+  double weight = 0.0;
+};
+
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(std::size_t node_count);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  // Add an undirected edge.  Self-loops are rejected.
+  void add_edge(std::size_t u, std::size_t v, double weight = 1.0);
+  bool has_edge(std::size_t u, std::size_t v) const;
+  std::size_t degree(std::size_t u) const;
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  // Neighbor node indices of u.
+  const std::vector<std::size_t>& neighbors(std::size_t u) const;
+
+  // Connected components via iterative DFS; each inner vector lists the
+  // member nodes in discovery order.  Isolated nodes form singletons.
+  std::vector<std::vector<std::size_t>> connected_components() const;
+
+  // Per-node component id (same numbering as connected_components order).
+  std::vector<std::size_t> component_labels() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+// Build a graph over n nodes from a symmetric score matrix, connecting
+// (i, j) when `keep(score[i][j])` holds.  Used with `score >= rho` for
+// AG-TS affinity and `score < phi` for AG-TR dissimilarity.
+template <typename Keep>
+UndirectedGraph threshold_graph(const std::vector<std::vector<double>>& score,
+                                Keep keep) {
+  UndirectedGraph g(score.size());
+  for (std::size_t i = 0; i < score.size(); ++i) {
+    for (std::size_t j = i + 1; j < score[i].size(); ++j) {
+      if (keep(score[i][j])) g.add_edge(i, j, score[i][j]);
+    }
+  }
+  return g;
+}
+
+}  // namespace sybiltd::graph

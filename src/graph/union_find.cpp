@@ -1,0 +1,53 @@
+#include "graph/union_find.h"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace sybiltd::graph {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), set_count_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  SYBILTD_CHECK(x < parent_.size(), "union-find element out of range");
+  // Path halving.
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --set_count_;
+  return true;
+}
+
+bool UnionFind::connected(std::size_t a, std::size_t b) {
+  return find(a) == find(b);
+}
+
+std::size_t UnionFind::size_of(std::size_t x) { return size_[find(x)]; }
+
+std::vector<std::size_t> UnionFind::labels() {
+  std::unordered_map<std::size_t, std::size_t> remap;
+  std::vector<std::size_t> out(parent_.size());
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    const std::size_t root = find(i);
+    auto [it, inserted] = remap.try_emplace(root, remap.size());
+    out[i] = it->second;
+  }
+  return out;
+}
+
+}  // namespace sybiltd::graph

@@ -1,0 +1,31 @@
+// Disjoint-set union with path compression and union by size.
+// An alternative component finder to DFS, used by tests as an independent
+// oracle and available to callers merging grouping results incrementally.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sybiltd::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::size_t find(std::size_t x);
+  // Returns true if the sets were distinct (i.e. a merge happened).
+  bool unite(std::size_t a, std::size_t b);
+  bool connected(std::size_t a, std::size_t b);
+  std::size_t set_count() const { return set_count_; }
+  std::size_t size_of(std::size_t x);
+
+  // Canonical labels in [0, #sets) per element, numbered by first occurrence.
+  std::vector<std::size_t> labels();
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t set_count_;
+};
+
+}  // namespace sybiltd::graph

@@ -1,0 +1,127 @@
+#include "incentive/auction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace sybiltd::incentive {
+
+namespace {
+
+// Marginal value of adding `bid` given per-task coverage counts.
+double marginal_value(const Bid& bid,
+                      const std::vector<std::size_t>& coverage,
+                      const AuctionConfig& config) {
+  double value = 0.0;
+  for (std::size_t task : bid.tasks) {
+    value += config.value_per_task *
+             std::pow(config.coverage_decay,
+                      static_cast<double>(coverage[task]));
+  }
+  return value;
+}
+
+void validate(const std::vector<Bid>& bids, std::size_t task_count) {
+  for (const Bid& bid : bids) {
+    SYBILTD_CHECK(bid.cost > 0.0, "bids must have positive cost");
+    SYBILTD_CHECK(!bid.tasks.empty(), "bids must cover at least one task");
+    for (std::size_t task : bid.tasks) {
+      SYBILTD_CHECK(task < task_count, "bid references unknown task");
+    }
+  }
+}
+
+// Greedy selection with an optional cost override for one bidder (used by
+// the critical-payment search).  Returns winner ids in selection order.
+std::vector<std::size_t> greedy_select(const std::vector<Bid>& bids,
+                                       std::size_t task_count,
+                                       const AuctionConfig& config,
+                                       std::size_t override_idx,
+                                       double override_cost) {
+  std::vector<std::size_t> coverage(task_count, 0);
+  std::vector<bool> taken(bids.size(), false);
+  std::vector<std::size_t> selected;
+  double spent = 0.0;
+
+  while (true) {
+    double best_ratio = 0.0;
+    std::size_t best = bids.size();
+    for (std::size_t i = 0; i < bids.size(); ++i) {
+      if (taken[i]) continue;
+      const double cost =
+          i == override_idx ? override_cost : bids[i].cost;
+      if (spent + cost > config.budget) continue;
+      const double value = marginal_value(bids[i], coverage, config);
+      const double ratio = value / cost;
+      if (ratio > best_ratio + 1e-15) {
+        best_ratio = ratio;
+        best = i;
+      }
+    }
+    if (best == bids.size() || best_ratio <= 1e-15) break;
+    taken[best] = true;
+    selected.push_back(best);
+    spent += best == override_idx ? override_cost : bids[best].cost;
+    for (std::size_t task : bids[best].tasks) ++coverage[task];
+  }
+  return selected;
+}
+
+}  // namespace
+
+double coverage_value(const std::vector<Bid>& bids,
+                      const std::vector<std::size_t>& selected,
+                      std::size_t task_count, const AuctionConfig& config) {
+  std::vector<std::size_t> coverage(task_count, 0);
+  double value = 0.0;
+  for (std::size_t idx : selected) {
+    SYBILTD_CHECK(idx < bids.size(), "selected index out of range");
+    value += marginal_value(bids[idx], coverage, config);
+    for (std::size_t task : bids[idx].tasks) ++coverage[task];
+  }
+  return value;
+}
+
+AuctionResult run_auction(const std::vector<Bid>& bids,
+                          std::size_t task_count,
+                          const AuctionConfig& config) {
+  SYBILTD_CHECK(config.budget > 0.0, "auction budget must be positive");
+  SYBILTD_CHECK(config.coverage_decay >= 0.0 && config.coverage_decay <= 1.0,
+                "coverage decay must be in [0, 1]");
+  validate(bids, task_count);
+
+  AuctionResult result;
+  const auto winners = greedy_select(bids, task_count, config, bids.size(),
+                                     0.0);
+  result.selected = winners;
+  result.total_value = coverage_value(bids, winners, task_count, config);
+
+  result.payments.resize(winners.size());
+  for (std::size_t w = 0; w < winners.size(); ++w) {
+    const std::size_t idx = winners[w];
+    if (!config.critical_payments) {
+      result.payments[w] = bids[idx].cost;
+    } else {
+      // Critical value: the greedy rule is monotone in a bidder's own cost
+      // (lowering your bid can only keep you selected), so binary search
+      // for the largest cost at which this bidder still wins.
+      double lo = bids[idx].cost;       // wins here by construction
+      double hi = config.budget + 1.0;  // cannot win above the budget
+      for (int iter = 0; iter < 40; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        const auto alt =
+            greedy_select(bids, task_count, config, idx, mid);
+        const bool wins =
+            std::find(alt.begin(), alt.end(), idx) != alt.end();
+        (wins ? lo : hi) = mid;
+      }
+      result.payments[w] = lo;
+    }
+    result.total_payment += result.payments[w];
+  }
+  return result;
+}
+
+}  // namespace sybiltd::incentive

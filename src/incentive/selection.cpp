@@ -1,0 +1,51 @@
+#include "incentive/selection.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sybiltd::incentive {
+
+SelectionOutcome select_participants(const mcs::ScenarioData& data,
+                                     const SelectionConfig& config) {
+  SYBILTD_CHECK(config.cost_per_task > 0.0, "cost per task must be positive");
+  SYBILTD_CHECK(config.cost_spread >= 0.0 && config.cost_spread < 1.0,
+                "cost spread must be in [0, 1)");
+
+  Rng rng(config.seed);
+  std::vector<Bid> bids;
+  bids.reserve(data.accounts.size());
+  for (std::size_t i = 0; i < data.accounts.size(); ++i) {
+    Bid bid;
+    bid.user = i;
+    for (const auto& report : data.accounts[i].reports) {
+      bid.tasks.push_back(report.task);
+    }
+    if (bid.tasks.empty()) continue;  // nothing to offer
+    bid.cost = config.cost_per_task *
+               static_cast<double>(bid.tasks.size()) *
+               rng.uniform(1.0 - config.cost_spread,
+                           1.0 + config.cost_spread);
+    bids.push_back(std::move(bid));
+  }
+
+  SelectionOutcome outcome;
+  outcome.auction = run_auction(bids, data.tasks.size(), config.auction);
+
+  for (std::size_t w : outcome.auction.selected) {
+    outcome.selected_accounts.push_back(bids[w].user);
+  }
+  std::sort(outcome.selected_accounts.begin(),
+            outcome.selected_accounts.end());
+
+  outcome.campaign.tasks = data.tasks;
+  outcome.campaign.devices = data.devices;
+  outcome.campaign.user_count = data.user_count;
+  for (std::size_t idx : outcome.selected_accounts) {
+    outcome.campaign.accounts.push_back(data.accounts[idx]);
+  }
+  return outcome;
+}
+
+}  // namespace sybiltd::incentive

@@ -1,0 +1,33 @@
+// Bridging the auction to generated campaigns: derive bids from accounts,
+// run the budgeted auction, and filter the campaign down to the winners —
+// the pipeline stage the paper's remark places *before* data collection.
+#pragma once
+
+#include <cstdint>
+
+#include "incentive/auction.h"
+#include "mcs/scenario.h"
+
+namespace sybiltd::incentive {
+
+struct SelectionConfig {
+  AuctionConfig auction;
+  // Bid cost model: cost_per_task * |task set| * Uniform(1-spread, 1+spread).
+  double cost_per_task = 0.3;
+  double cost_spread = 0.2;
+  std::uint64_t seed = 23;
+};
+
+struct SelectionOutcome {
+  mcs::ScenarioData campaign;         // only the selected accounts
+  AuctionResult auction;              // winners (indices into the original
+                                      // account list) and payments
+  std::vector<std::size_t> selected_accounts;  // sorted original indices
+};
+
+// Build one bid per account from its planned task set, run the auction,
+// and return the campaign restricted to winning accounts.
+SelectionOutcome select_participants(const mcs::ScenarioData& data,
+                                     const SelectionConfig& config);
+
+}  // namespace sybiltd::incentive

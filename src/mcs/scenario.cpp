@@ -1,0 +1,297 @@
+#include "mcs/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "sensing/fingerprint.h"
+
+namespace sybiltd::mcs {
+
+std::vector<std::size_t> ScenarioData::true_user_labels() const {
+  std::vector<std::size_t> labels;
+  labels.reserve(accounts.size());
+  for (const auto& a : accounts) labels.push_back(a.owner_user);
+  return labels;
+}
+
+std::vector<std::size_t> ScenarioData::true_device_labels() const {
+  std::vector<std::size_t> labels;
+  labels.reserve(accounts.size());
+  for (const auto& a : accounts) labels.push_back(a.device);
+  return labels;
+}
+
+std::vector<double> ScenarioData::ground_truths() const {
+  std::vector<double> truths;
+  truths.reserve(tasks.size());
+  for (const auto& t : tasks) truths.push_back(t.ground_truth);
+  return truths;
+}
+
+namespace {
+
+std::size_t tasks_for_activeness(double activeness, std::size_t task_count) {
+  // Eq. (9): alpha_i = |T_i| / m, with the paper's floor of 2 tasks.
+  const double clamped = std::clamp(activeness, 0.0, 1.0);
+  const auto count = static_cast<std::size_t>(
+      std::lround(clamped * static_cast<double>(task_count)));
+  return std::clamp<std::size_t>(count, std::min<std::size_t>(2, task_count),
+                                 task_count);
+}
+
+}  // namespace
+
+ScenarioData generate_scenario(const ScenarioConfig& config) {
+  SYBILTD_CHECK(config.task_count > 0, "scenario needs tasks");
+  SYBILTD_CHECK(!config.legit_users.empty() || !config.attackers.empty(),
+                "scenario needs participants");
+  for (const auto& atk : config.attackers) {
+    SYBILTD_CHECK(!atk.device_models.empty(),
+                  "attacker needs at least one device");
+    SYBILTD_CHECK(atk.type != AttackType::kSingleDevice ||
+                      atk.device_models.size() == 1,
+                  "Attack-I uses exactly one device");
+    SYBILTD_CHECK(atk.account_count >= 1, "attacker needs accounts");
+  }
+
+  Rng rng(config.seed);
+  ScenarioData data;
+  data.tasks = config.task_kind == TaskKind::kWifiRssi
+                   ? make_wifi_poi_tasks(config.task_count, config.campus,
+                                         rng)
+                   : make_noise_poi_tasks(config.task_count, config.campus,
+                                          rng);
+
+  std::size_t user_index = 0;
+
+  // ---- Legitimate users -------------------------------------------------
+  for (const auto& user : config.legit_users) {
+    Rng user_rng = rng.split();
+    const auto& model = sensing::find_model(user.device_model);
+    data.devices.emplace_back(model, user_rng.next());
+    const std::size_t device_index = data.devices.size() - 1;
+
+    const Point home =
+        user.home.value_or(Point{user_rng.uniform(0.0, config.campus.width_m),
+                                 user_rng.uniform(0.0, config.campus.height_m)});
+    const std::size_t n_tasks =
+        tasks_for_activeness(user.activeness, config.task_count);
+    const auto chosen =
+        choose_preferred_tasks(data.tasks, home, n_tasks, user_rng);
+    auto visits =
+        plan_walk(data.tasks, chosen, home, config.trajectory, user_rng);
+    if (user.start_time_s.has_value() && !visits.empty()) {
+      const double shift = *user.start_time_s - visits.front().timestamp_s;
+      for (Visit& v : visits) v.timestamp_s += shift;
+    }
+
+    AccountRecord account;
+    account.name = "U" + std::to_string(user_index + 1);
+    account.owner_user = user_index;
+    account.device = device_index;
+    account.is_sybil = false;
+    for (const Visit& v : visits) {
+      const double sensed = data.tasks[v.task].ground_truth +
+                            user_rng.normal(0.0, user.noise_stddev);
+      account.reports.push_back({v.task, sensed, v.timestamp_s});
+    }
+    Rng capture_rng = user_rng.split();
+    if (config.capture_fingerprints) {
+      account.fingerprint = sensing::capture_fingerprint(
+          data.devices[device_index], config.capture, capture_rng);
+    }
+    data.accounts.push_back(std::move(account));
+    ++user_index;
+  }
+
+  // ---- Sybil attackers ---------------------------------------------------
+  std::size_t attacker_ordinal = 0;
+  for (const auto& atk : config.attackers) {
+    Rng atk_rng = rng.split();
+    std::vector<std::size_t> device_indices;
+    for (const auto& model_name : atk.device_models) {
+      const auto& model = sensing::find_model(model_name);
+      data.devices.emplace_back(model, atk_rng.next());
+      device_indices.push_back(data.devices.size() - 1);
+    }
+
+    // The attacker physically performs each chosen task once.
+    const Point home{atk_rng.uniform(0.0, config.campus.width_m),
+                     atk_rng.uniform(0.0, config.campus.height_m)};
+    const std::size_t n_tasks =
+        tasks_for_activeness(atk.activeness, config.task_count);
+    const auto chosen =
+        choose_preferred_tasks(data.tasks, home, n_tasks, atk_rng);
+    const auto visits =
+        plan_walk(data.tasks, chosen, home, config.trajectory, atk_rng);
+
+    // Base value the attacker reports per task (before per-account jitter).
+    std::vector<TaskReport> base;
+    base.reserve(visits.size());
+    for (const Visit& v : visits) {
+      double value = 0.0;
+      switch (atk.fabrication) {
+        case Fabrication::kConstantTarget:
+          value = atk.target_value;
+          break;
+        case Fabrication::kOffsetFromTruth:
+          value = data.tasks[v.task].ground_truth + atk.offset;
+          break;
+        case Fabrication::kDuplicateHonest:
+          value = data.tasks[v.task].ground_truth +
+                  atk_rng.normal(0.0, atk.noise_stddev);
+          break;
+      }
+      base.push_back({v.task, value, v.timestamp_s});
+    }
+
+    // Replay on each account: at every POI, the attacker cycles through its
+    // accounts with a switching delay; each account's report is the base
+    // value with small jitter (a "simple modification" per Section III-C).
+    const char suffix_base = '\'';
+    for (std::size_t acct = 0; acct < atk.account_count; ++acct) {
+      AccountRecord account;
+      account.name = "A" + std::to_string(attacker_ordinal + 1) +
+                     std::string(acct + 1, suffix_base);
+      account.owner_user = user_index;
+      account.device = device_indices[acct % device_indices.size()];
+      account.is_sybil = true;
+      double cumulative_delay = 0.0;
+      if (acct > 0) {
+        cumulative_delay = static_cast<double>(acct) *
+                           atk_rng.uniform(atk.switch_delay_min_s,
+                                           atk.switch_delay_max_s);
+      }
+      // Evasion: this account's personal schedule shift and task subset.
+      const double evasion_shift =
+          atk.evasion.timestamp_jitter_s > 0.0
+              ? atk_rng.uniform(0.0, atk.evasion.timestamp_jitter_s)
+              : 0.0;
+      for (const TaskReport& b : base) {
+        if (atk.evasion.task_dropout > 0.0 && account.reports.size() > 0 &&
+            atk_rng.bernoulli(atk.evasion.task_dropout)) {
+          continue;  // this account skips the task (keeps at least one)
+        }
+        double value = b.value;
+        if (acct > 0) value += atk_rng.normal(0.0, atk.per_account_jitter);
+        if (atk.evasion.value_jitter > 0.0) {
+          value += atk_rng.normal(0.0, atk.evasion.value_jitter);
+        }
+        double timestamp = b.timestamp_s + cumulative_delay + evasion_shift;
+        if (atk.evasion.timestamp_jitter_s > 0.0) {
+          // Per-report jitter on top of the schedule shift.
+          timestamp += atk_rng.uniform(0.0, atk.evasion.timestamp_jitter_s);
+        }
+        account.reports.push_back({b.task, value, timestamp});
+      }
+      // Sign-in fingerprint from the device this account uses; the attacker
+      // re-does the 6-second hold when switching accounts, so every account
+      // gets its own capture (same device => same imperfections).
+      Rng capture_rng = atk_rng.split();
+      if (config.capture_fingerprints) {
+        account.fingerprint = sensing::capture_fingerprint(
+            data.devices[account.device], config.capture, capture_rng);
+      }
+      data.accounts.push_back(std::move(account));
+    }
+    ++user_index;
+    ++attacker_ordinal;
+  }
+
+  data.user_count = user_index;
+
+  // Keep each account's reports in timestamp order (AG-TR depends on it).
+  for (auto& account : data.accounts) {
+    std::sort(account.reports.begin(), account.reports.end(),
+              [](const TaskReport& a, const TaskReport& b) {
+                return a.timestamp_s < b.timestamp_s;
+              });
+  }
+  return data;
+}
+
+ScenarioConfig make_paper_scenario(double legit_activeness,
+                                   double sybil_activeness,
+                                   std::uint64_t seed) {
+  const double legit = std::clamp(legit_activeness, 0.2, 1.0);
+  const double sybil = std::clamp(sybil_activeness, 0.2, 1.0);
+
+  ScenarioConfig config;
+  config.task_count = 10;
+  config.seed = seed;
+
+  // Table IV: the 8 legitimate users' phones (the starred units belong to
+  // the attackers: one iPhone 6S to Attack-I, the iPhone SE and one
+  // Nexus 6P to Attack-II).
+  const std::vector<std::string> legit_models = {
+      "iPhone 6", "iPhone 6S", "iPhone 7", "iPhone X",
+      "Nexus 6P", "Nexus 6P",  "LG G5",    "Nexus 5"};
+  Rng noise_rng(seed ^ 0x5eedf00dULL);
+  for (const auto& model : legit_models) {
+    LegitimateUserConfig user;
+    user.activeness = legit;
+    user.noise_stddev = noise_rng.uniform(1.0, 3.5);
+    user.device_model = model;
+    config.legit_users.push_back(std::move(user));
+  }
+
+  AttackerConfig attack1;
+  attack1.type = AttackType::kSingleDevice;
+  attack1.account_count = 5;
+  attack1.device_models = {"iPhone 6S"};
+  attack1.activeness = sybil;
+  attack1.fabrication = Fabrication::kConstantTarget;
+  attack1.target_value = -50.0;
+  config.attackers.push_back(std::move(attack1));
+
+  AttackerConfig attack2;
+  attack2.type = AttackType::kMultiDevice;
+  attack2.account_count = 5;
+  attack2.device_models = {"iPhone SE", "Nexus 6P"};
+  attack2.activeness = sybil;
+  attack2.fabrication = Fabrication::kConstantTarget;
+  attack2.target_value = -50.0;
+  config.attackers.push_back(std::move(attack2));
+
+  return config;
+}
+
+ScenarioConfig make_large_scenario(std::size_t legit_count,
+                                   std::size_t attacker_count,
+                                   std::size_t accounts_per_attacker,
+                                   std::size_t task_count,
+                                   std::uint64_t seed) {
+  SYBILTD_CHECK(task_count >= 2, "large scenario needs at least two tasks");
+  ScenarioConfig config;
+  config.task_count = task_count;
+  config.capture_fingerprints = false;
+  config.seed = seed;
+  // Scale the campus with the task count so POIs keep realistic spacing.
+  const double side =
+      500.0 * std::sqrt(static_cast<double>(task_count) / 10.0);
+  config.campus = {side, side};
+
+  const auto& catalog = sensing::device_catalog();
+  Rng rng(seed ^ 0xb16b00b5ULL);
+  for (std::size_t u = 0; u < legit_count; ++u) {
+    LegitimateUserConfig user;
+    user.activeness = rng.uniform(0.2, 0.9);
+    user.noise_stddev = rng.uniform(1.0, 3.5);
+    user.device_model = catalog[u % catalog.size()].name;
+    config.legit_users.push_back(std::move(user));
+  }
+  for (std::size_t a = 0; a < attacker_count; ++a) {
+    AttackerConfig attacker;
+    attacker.type = AttackType::kSingleDevice;
+    attacker.account_count = accounts_per_attacker;
+    attacker.device_models = {catalog[a % catalog.size()].name};
+    attacker.activeness = rng.uniform(0.3, 0.9);
+    attacker.fabrication = Fabrication::kConstantTarget;
+    attacker.target_value = -50.0;
+    config.attackers.push_back(std::move(attacker));
+  }
+  return config;
+}
+
+}  // namespace sybiltd::mcs

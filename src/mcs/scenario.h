@@ -1,0 +1,153 @@
+// End-to-end scenario generation: the MCS platform's view of one campaign.
+//
+// A scenario instantiates tasks, legitimate users, Sybil attackers
+// (Attack-I: one device, many accounts; Attack-II: several devices, many
+// accounts), generates every account's submissions (values + timestamps)
+// and its sign-in device fingerprint, and records the ground truth the
+// evaluation needs: the true task values and the true account→user and
+// account→device mappings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "mcs/task.h"
+#include "mcs/trajectory.h"
+#include "sensing/device.h"
+#include "sensing/imu_stream.h"
+
+namespace sybiltd::mcs {
+
+enum class AttackType {
+  kSingleDevice,  // Attack-I
+  kMultiDevice,   // Attack-II
+};
+
+// How an attacker fabricates the values it submits.
+enum class Fabrication {
+  // Submit a fixed target value (e.g. -50 dBm "strong signal") per task.
+  kConstantTarget,
+  // Shift the honestly sensed value by a fixed offset.
+  kOffsetFromTruth,
+  // Honest duplicate: submit the sensed value on all accounts (the
+  // "rapacious" attacker who wants rewards without extra work).
+  kDuplicateHonest,
+};
+
+struct LegitimateUserConfig {
+  double activeness = 0.5;          // fraction of tasks performed (Eq. 9)
+  double noise_stddev = 2.0;        // sensing error, dBm
+  std::string device_model;         // Table IV model name
+  // Optional pinned behaviour (used by the incentive/false-positive
+  // experiments to create "twin" users with similar routes): when set, the
+  // user starts from this point / at this time instead of random ones.
+  std::optional<Point> home;
+  std::optional<double> start_time_s;
+};
+
+// Evasion tactics (extension): how hard a Sybil attacker works to defeat
+// the grouping methods, and what it costs them.
+struct EvasionConfig {
+  // AG-TR evasion: each account's whole submission schedule is shifted and
+  // jittered by up to this many seconds (breaks the shared time pattern).
+  double timestamp_jitter_s = 0.0;
+  // AG-TS evasion: each account independently drops this fraction of the
+  // attacker's tasks (diversifies task sets; shrinks attack coverage).
+  double task_dropout = 0.0;
+  // Weight evasion: extra per-account value noise (stddev), making copies
+  // look like independent measurements at the cost of a blunter push.
+  double value_jitter = 0.0;
+};
+
+struct AttackerConfig {
+  AttackType type = AttackType::kSingleDevice;
+  std::size_t account_count = 5;
+  std::vector<std::string> device_models;  // 1 for Attack-I, >1 for Attack-II
+  double activeness = 0.5;
+  Fabrication fabrication = Fabrication::kConstantTarget;
+  double target_value = -50.0;     // for kConstantTarget
+  double offset = 20.0;            // for kOffsetFromTruth
+  double per_account_jitter = 0.5; // small noise so copies differ slightly
+  // Delay between successive account submissions at the same POI (account
+  // or device switching time), seconds.
+  double switch_delay_min_s = 20.0;
+  double switch_delay_max_s = 90.0;
+  double noise_stddev = 2.0;       // sensing error when it actually senses
+  EvasionConfig evasion;
+};
+
+// What the sensing tasks measure; selects the ground-truth generator.
+enum class TaskKind {
+  kWifiRssi,    // Wi-Fi signal strength at POIs (the paper's experiment)
+  kNoiseLevel,  // environmental noise in dBA (Ear-Phone-style campaigns)
+};
+
+struct ScenarioConfig {
+  std::size_t task_count = 10;
+  TaskKind task_kind = TaskKind::kWifiRssi;
+  CampusConfig campus;
+  std::vector<LegitimateUserConfig> legit_users;
+  std::vector<AttackerConfig> attackers;
+  TrajectoryOptions trajectory;
+  sensing::CaptureOptions capture;
+  // Large behavioral-only experiments can skip the (relatively costly)
+  // IMU fingerprint synthesis; accounts then carry empty fingerprints and
+  // AG-FP treats them as singletons.
+  bool capture_fingerprints = true;
+  std::uint64_t seed = 1;
+};
+
+struct TaskReport {
+  std::size_t task = 0;
+  double value = 0.0;
+  double timestamp_s = 0.0;
+};
+
+struct AccountRecord {
+  std::string name;
+  std::size_t owner_user = 0;   // ground-truth user index
+  std::size_t device = 0;       // index into ScenarioData::devices
+  bool is_sybil = false;
+  std::vector<TaskReport> reports;   // sorted by timestamp
+  std::vector<double> fingerprint;   // sign-in fingerprint features
+};
+
+struct ScenarioData {
+  std::vector<Task> tasks;
+  std::vector<sensing::Device> devices;
+  std::vector<AccountRecord> accounts;
+
+  std::size_t user_count = 0;   // legitimate users + attackers
+
+  // Ground-truth labels per account (for ARI evaluation).
+  std::vector<std::size_t> true_user_labels() const;
+  std::vector<std::size_t> true_device_labels() const;
+  std::vector<double> ground_truths() const;  // per task
+};
+
+// Generate a full scenario.  Deterministic in config.seed.
+ScenarioData generate_scenario(const ScenarioConfig& config);
+
+// The paper's experimental setup (Section V-A): 10 Wi-Fi POIs, 8 legitimate
+// users each with one of the Table IV phones, one Attack-I attacker
+// (5 accounts, iPhone 6S) and one Attack-II attacker (5 accounts, iPhone SE
+// + Nexus 6P).  `legit_activeness` and `sybil_activeness` drive the Fig. 6
+// and Fig. 7 sweeps; activeness is clamped to the paper's [0.2, 1].
+ScenarioConfig make_paper_scenario(double legit_activeness,
+                                   double sybil_activeness,
+                                   std::uint64_t seed);
+
+// A scaled-up campaign for scalability experiments: `legit_count` users on
+// phones cycled from the catalog, `attacker_count` Attack-I attackers with
+// `accounts_per_attacker` accounts each, over `task_count` tasks.
+// Fingerprint capture is off by default (behavioral methods only).
+ScenarioConfig make_large_scenario(std::size_t legit_count,
+                                   std::size_t attacker_count,
+                                   std::size_t accounts_per_attacker,
+                                   std::size_t task_count,
+                                   std::uint64_t seed);
+
+}  // namespace sybiltd::mcs

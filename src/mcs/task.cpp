@@ -1,0 +1,63 @@
+#include "mcs/task.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sybiltd::mcs {
+
+double distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double PathLossModel::rssi(double distance_m) const {
+  const double d = std::max(distance_m, min_distance_m);
+  return rssi_1m_dbm - 10.0 * exponent * std::log10(d);
+}
+
+std::vector<Task> make_wifi_poi_tasks(std::size_t count,
+                                      const CampusConfig& campus, Rng& rng,
+                                      const PathLossModel& model) {
+  SYBILTD_CHECK(count > 0, "need at least one task");
+  std::vector<Task> tasks;
+  tasks.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    Task t;
+    t.id = j;
+    t.name = "POI-" + std::to_string(j + 1);
+    t.location = {rng.uniform(0.0, campus.width_m),
+                  rng.uniform(0.0, campus.height_m)};
+    // Each POI measures the signal of its nearest AP, placed 2–40 m away.
+    const double ap_distance = rng.uniform(2.0, 40.0);
+    t.ground_truth = model.rssi(ap_distance);
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+std::vector<Task> make_noise_poi_tasks(std::size_t count,
+                                       const CampusConfig& campus, Rng& rng) {
+  SYBILTD_CHECK(count > 0, "need at least one task");
+  std::vector<Task> tasks;
+  tasks.reserve(count);
+  const Point center{campus.width_m / 2.0, campus.height_m / 2.0};
+  const double max_dist =
+      std::sqrt(center.x * center.x + center.y * center.y);
+  for (std::size_t j = 0; j < count; ++j) {
+    Task t;
+    t.id = j;
+    t.name = "NOISE-" + std::to_string(j + 1);
+    t.location = {rng.uniform(0.0, campus.width_m),
+                  rng.uniform(0.0, campus.height_m)};
+    // Loud near the center, quieter toward the edges, plus local variation.
+    const double proximity =
+        1.0 - distance(t.location, center) / max_dist;  // in [0, 1]
+    t.ground_truth = 35.0 + 45.0 * proximity + rng.uniform(-4.0, 4.0);
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+}  // namespace sybiltd::mcs

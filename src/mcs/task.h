@@ -1,0 +1,58 @@
+// Sensing tasks and their ground truth.
+//
+// The paper's experiment measures Wi-Fi signal strength (dBm) at 10 POIs.
+// We place POIs on a 2D campus and derive each POI's ground-truth RSSI from
+// a log-distance path-loss model against a randomly placed access point —
+// giving realistic truths in roughly [-90, -45] dBm.  A second generator
+// produces environmental-noise-level tasks (dBA) for the noise-monitoring
+// example, demonstrating that nothing in the pipeline is Wi-Fi specific.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sybiltd::mcs {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Point& a, const Point& b);
+
+struct Task {
+  std::size_t id = 0;
+  std::string name;
+  Point location;
+  double ground_truth = 0.0;  // dBm for Wi-Fi tasks, dBA for noise tasks
+};
+
+struct CampusConfig {
+  double width_m = 500.0;
+  double height_m = 500.0;
+};
+
+// Log-distance path loss: RSSI(d) = rssi_1m - 10 * exponent * log10(d).
+struct PathLossModel {
+  double rssi_1m_dbm = -40.0;
+  double exponent = 3.0;       // indoor-ish campus environment
+  double min_distance_m = 1.0;
+
+  double rssi(double distance_m) const;
+};
+
+// `count` Wi-Fi POI tasks spread over the campus, each with a ground truth
+// from the path-loss model against its own nearby access point.
+std::vector<Task> make_wifi_poi_tasks(std::size_t count,
+                                      const CampusConfig& campus, Rng& rng,
+                                      const PathLossModel& model = {});
+
+// `count` noise-level POIs; truths in roughly [35, 85] dBA, louder near the
+// campus center (traffic) and quieter at the edges.
+std::vector<Task> make_noise_poi_tasks(std::size_t count,
+                                       const CampusConfig& campus, Rng& rng);
+
+}  // namespace sybiltd::mcs

@@ -1,0 +1,180 @@
+#include "mcs/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace sybiltd::mcs {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, sep)) out.push_back(field);
+  // Trailing empty field (line ends with separator).
+  if (!line.empty() && line.back() == sep) out.emplace_back();
+  return out;
+}
+
+double parse_double(const std::string& s, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    SYBILTD_CHECK(used == s.size(), std::string("trailing junk in ") + what);
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("malformed number in ") + what +
+                                ": '" + s + "'");
+  }
+}
+
+std::size_t parse_index(const std::string& s, const char* what) {
+  const double v = parse_double(s, what);
+  SYBILTD_CHECK(v >= 0 && v == static_cast<std::size_t>(v),
+                std::string("not an index in ") + what);
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+void write_trace(const ScenarioData& data, std::ostream& out) {
+  out << std::setprecision(17);
+  out << "#tasks\n";
+  for (const auto& task : data.tasks) {
+    out << task.id << ',' << task.name << ',' << task.location.x << ','
+        << task.location.y << ',' << task.ground_truth << '\n';
+  }
+  out << "#accounts\n";
+  for (std::size_t i = 0; i < data.accounts.size(); ++i) {
+    const auto& account = data.accounts[i];
+    out << i << ',' << account.name << ',' << account.owner_user << ','
+        << account.device << ',' << (account.is_sybil ? 1 : 0) << ',';
+    for (std::size_t f = 0; f < account.fingerprint.size(); ++f) {
+      if (f > 0) out << ';';
+      out << account.fingerprint[f];
+    }
+    out << '\n';
+  }
+  out << "#reports\n";
+  for (std::size_t i = 0; i < data.accounts.size(); ++i) {
+    for (const auto& report : data.accounts[i].reports) {
+      out << i << ',' << report.task << ',' << report.value << ','
+          << report.timestamp_s << '\n';
+    }
+  }
+}
+
+std::string write_trace_string(const ScenarioData& data) {
+  std::ostringstream os;
+  write_trace(data, os);
+  return os.str();
+}
+
+ScenarioData read_trace(std::istream& in) {
+  ScenarioData data;
+  enum class Section { kNone, kTasks, kAccounts, kReports };
+  Section section = Section::kNone;
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t max_user = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line == "#tasks") {
+      section = Section::kTasks;
+      continue;
+    }
+    if (line == "#accounts") {
+      section = Section::kAccounts;
+      continue;
+    }
+    if (line == "#reports") {
+      section = Section::kReports;
+      continue;
+    }
+    SYBILTD_CHECK(section != Section::kNone,
+                  "trace data before any section header");
+    const auto fields = split(line, ',');
+    switch (section) {
+      case Section::kTasks: {
+        SYBILTD_CHECK(fields.size() == 5, "task row needs 5 fields");
+        Task task;
+        task.id = parse_index(fields[0], "task id");
+        task.name = fields[1];
+        task.location.x = parse_double(fields[2], "task x");
+        task.location.y = parse_double(fields[3], "task y");
+        task.ground_truth = parse_double(fields[4], "task truth");
+        SYBILTD_CHECK(task.id == data.tasks.size(),
+                      "task ids must be dense and ordered");
+        data.tasks.push_back(std::move(task));
+        break;
+      }
+      case Section::kAccounts: {
+        SYBILTD_CHECK(fields.size() == 6, "account row needs 6 fields");
+        AccountRecord account;
+        const std::size_t id = parse_index(fields[0], "account id");
+        SYBILTD_CHECK(id == data.accounts.size(),
+                      "account ids must be dense and ordered");
+        account.name = fields[1];
+        account.owner_user = parse_index(fields[2], "owner user");
+        account.device = parse_index(fields[3], "device");
+        account.is_sybil = parse_index(fields[4], "is_sybil") != 0;
+        if (!fields[5].empty()) {
+          for (const auto& value : split(fields[5], ';')) {
+            account.fingerprint.push_back(
+                parse_double(value, "fingerprint"));
+          }
+        }
+        max_user = std::max(max_user, account.owner_user);
+        data.accounts.push_back(std::move(account));
+        break;
+      }
+      case Section::kReports: {
+        SYBILTD_CHECK(fields.size() == 4, "report row needs 4 fields");
+        const std::size_t account = parse_index(fields[0], "account id");
+        SYBILTD_CHECK(account < data.accounts.size(),
+                      "report references unknown account");
+        TaskReport report;
+        report.task = parse_index(fields[1], "task id");
+        SYBILTD_CHECK(report.task < data.tasks.size(),
+                      "report references unknown task");
+        report.value = parse_double(fields[2], "report value");
+        report.timestamp_s = parse_double(fields[3], "report timestamp");
+        data.accounts[account].reports.push_back(report);
+        break;
+      }
+      case Section::kNone:
+        break;
+    }
+  }
+  SYBILTD_CHECK(!data.tasks.empty(), "trace has no tasks");
+  data.user_count = data.accounts.empty() ? 0 : max_user + 1;
+  return data;
+}
+
+ScenarioData read_trace_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace(is);
+}
+
+void save_trace(const ScenarioData& data, const std::string& path) {
+  std::ofstream out(path);
+  SYBILTD_CHECK(out.good(), "cannot open trace file for writing: " + path);
+  write_trace(data, out);
+  SYBILTD_CHECK(out.good(), "failed while writing trace file: " + path);
+}
+
+ScenarioData load_trace(const std::string& path) {
+  std::ifstream in(path);
+  SYBILTD_CHECK(in.good(), "cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+}  // namespace sybiltd::mcs

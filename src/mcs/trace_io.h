@@ -1,0 +1,38 @@
+// Persistence of generated campaigns: CSV export/import of tasks,
+// submissions, and fingerprints, so experiments can be archived, diffed,
+// or re-analyzed without re-running the simulator (the analogue of the
+// paper's "54 collected walking traces").
+//
+// Format (three sections concatenated in one file):
+//   #tasks
+//   task_id,name,x,y,ground_truth
+//   #accounts
+//   account_id,name,owner_user,device,is_sybil,fingerprint(;-separated)
+//   #reports
+//   account_id,task_id,value,timestamp_s
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mcs/scenario.h"
+
+namespace sybiltd::mcs {
+
+// Serialize a scenario.  Devices are recorded by index + model name only
+// (sensor imperfections are not needed for re-analysis).
+void write_trace(const ScenarioData& data, std::ostream& out);
+std::string write_trace_string(const ScenarioData& data);
+
+// Parse a trace written by write_trace.  The returned ScenarioData has an
+// empty `devices` vector (model names were informational); everything the
+// analysis pipeline needs — tasks, reports, fingerprints, labels — round
+// trips exactly.  Throws std::invalid_argument on malformed input.
+ScenarioData read_trace(std::istream& in);
+ScenarioData read_trace_string(const std::string& text);
+
+// Convenience file wrappers.
+void save_trace(const ScenarioData& data, const std::string& path);
+ScenarioData load_trace(const std::string& path);
+
+}  // namespace sybiltd::mcs

@@ -1,0 +1,89 @@
+#include "mcs/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace sybiltd::mcs {
+
+std::vector<std::size_t> choose_preferred_tasks(
+    const std::vector<Task>& tasks, const Point& home, std::size_t count,
+    Rng& rng, double preference_scale_m) {
+  SYBILTD_CHECK(count <= tasks.size(),
+                "cannot choose more tasks than exist");
+  SYBILTD_CHECK(preference_scale_m > 0.0, "preference scale must be positive");
+
+  std::vector<std::size_t> remaining(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) remaining[i] = i;
+  std::vector<std::size_t> chosen;
+  chosen.reserve(count);
+
+  while (chosen.size() < count) {
+    // Weighted sample without replacement: w = exp(-d/scale).
+    double total = 0.0;
+    std::vector<double> weights(remaining.size());
+    for (std::size_t k = 0; k < remaining.size(); ++k) {
+      const double d = distance(tasks[remaining[k]].location, home);
+      weights[k] = std::exp(-d / preference_scale_m);
+      total += weights[k];
+    }
+    double target = rng.uniform() * total;
+    std::size_t pick = remaining.size() - 1;
+    double running = 0.0;
+    for (std::size_t k = 0; k < remaining.size(); ++k) {
+      running += weights[k];
+      if (running >= target) {
+        pick = k;
+        break;
+      }
+    }
+    chosen.push_back(remaining[pick]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return chosen;
+}
+
+std::vector<Visit> plan_walk(const std::vector<Task>& tasks,
+                             const std::vector<std::size_t>& task_ids,
+                             const Point& home,
+                             const TrajectoryOptions& options, Rng& rng) {
+  SYBILTD_CHECK(options.walking_speed_mps > 0.0,
+                "walking speed must be positive");
+  SYBILTD_CHECK(options.dwell_min_s <= options.dwell_max_s,
+                "dwell bounds out of order");
+  for (std::size_t id : task_ids) {
+    SYBILTD_CHECK(id < tasks.size(), "task id out of range");
+  }
+
+  std::vector<Visit> visits;
+  if (task_ids.empty()) return visits;
+
+  // Greedy nearest-neighbor ordering starting from home.
+  std::vector<std::size_t> pending = task_ids;
+  Point position = home;
+  double now = rng.uniform(0.0, options.start_window_s);
+
+  while (!pending.empty()) {
+    double best_d = std::numeric_limits<double>::infinity();
+    std::size_t best_k = 0;
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      const double d = distance(tasks[pending[k]].location, position);
+      if (d < best_d) {
+        best_d = d;
+        best_k = k;
+      }
+    }
+    const std::size_t task_id = pending[best_k];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_k));
+
+    now += best_d / options.walking_speed_mps;
+    now += rng.uniform(options.dwell_min_s, options.dwell_max_s);
+    position = tasks[task_id].location;
+    visits.push_back({task_id, now, position});
+  }
+  return visits;
+}
+
+}  // namespace sybiltd::mcs

@@ -1,0 +1,44 @@
+// Walking-trace planning: which tasks a user visits, in what order, and
+// when.  Reproduces the structure of the paper's 54 collected walking
+// traces: a user starts from a home point, visits their chosen POIs in a
+// nearest-neighbor order, and spends travel time plus a dwell at each stop.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "mcs/task.h"
+
+namespace sybiltd::mcs {
+
+struct Visit {
+  std::size_t task = 0;
+  double timestamp_s = 0.0;  // seconds since the scenario epoch
+  Point location;
+};
+
+struct TrajectoryOptions {
+  double walking_speed_mps = 1.4;
+  double dwell_min_s = 30.0;
+  double dwell_max_s = 90.0;
+  // The walk starts uniformly within this window after the epoch
+  // (participants spread their walks over a two-hour campaign by default).
+  double start_window_s = 7200.0;
+};
+
+// Choose `count` distinct tasks for a user who prefers POIs near `home`:
+// sampling without replacement with probability proportional to
+// exp(-distance / scale).
+std::vector<std::size_t> choose_preferred_tasks(
+    const std::vector<Task>& tasks, const Point& home, std::size_t count,
+    Rng& rng, double preference_scale_m = 150.0);
+
+// Order `task_ids` greedily by nearest-neighbor from `home` and assign
+// timestamps from walking time + dwells.  Returns visits sorted by time.
+std::vector<Visit> plan_walk(const std::vector<Task>& tasks,
+                             const std::vector<std::size_t>& task_ids,
+                             const Point& home,
+                             const TrajectoryOptions& options, Rng& rng);
+
+}  // namespace sybiltd::mcs

@@ -1,0 +1,93 @@
+#include "ml/agglomerative.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "ml/kmeans.h"
+
+namespace sybiltd::ml {
+
+AgglomerativeResult agglomerative_cluster(
+    const Matrix& data, const AgglomerativeOptions& options) {
+  const std::size_t n = data.rows();
+  SYBILTD_CHECK(n > 0, "agglomerative clustering on an empty matrix");
+  SYBILTD_CHECK(options.target_clusters >= 1 ||
+                    std::isfinite(options.merge_threshold),
+                "need a stopping rule: target_clusters or merge_threshold");
+  const std::size_t target =
+      options.target_clusters >= 1 ? options.target_clusters : 1;
+
+  // Pairwise Euclidean distances between points.
+  std::vector<std::vector<double>> point_dist(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = std::sqrt(squared_distance(data.row(i), data.row(j)));
+      point_dist[i][j] = point_dist[j][i] = d;
+    }
+  }
+
+  // Active clusters as member lists; Lance–Williams would be faster but the
+  // fingerprint matrices here are tiny (tens of rows).
+  std::vector<std::vector<std::size_t>> clusters(n);
+  for (std::size_t i = 0; i < n; ++i) clusters[i] = {i};
+
+  AgglomerativeResult result;
+
+  auto cluster_distance = [&](const std::vector<std::size_t>& a,
+                              const std::vector<std::size_t>& b) {
+    double best = options.linkage == Linkage::kSingle
+                      ? std::numeric_limits<double>::infinity()
+                      : 0.0;
+    double total = 0.0;
+    for (std::size_t x : a) {
+      for (std::size_t y : b) {
+        const double d = point_dist[x][y];
+        switch (options.linkage) {
+          case Linkage::kSingle:
+            best = std::min(best, d);
+            break;
+          case Linkage::kComplete:
+            best = std::max(best, d);
+            break;
+          case Linkage::kAverage:
+            total += d;
+            break;
+        }
+      }
+    }
+    if (options.linkage == Linkage::kAverage) {
+      return total / static_cast<double>(a.size() * b.size());
+    }
+    return best;
+  };
+
+  while (clusters.size() > target) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+        const double d = cluster_distance(clusters[i], clusters[j]);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (best > options.merge_threshold) break;
+    result.merge_distances.push_back(best);
+    clusters[bi].insert(clusters[bi].end(), clusters[bj].begin(),
+                        clusters[bj].end());
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(bj));
+  }
+
+  result.labels.assign(n, 0);
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (std::size_t member : clusters[c]) result.labels[member] = c;
+  }
+  result.cluster_count = clusters.size();
+  return result;
+}
+
+}  // namespace sybiltd::ml

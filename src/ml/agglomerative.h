@@ -1,0 +1,47 @@
+// Agglomerative (hierarchical) clustering — an alternative to k-means for
+// AG-FP.  Starts from singletons and repeatedly merges the closest pair of
+// clusters under the chosen linkage until either the target cluster count
+// is reached or no pairwise distance is below the merge threshold.
+//
+// The threshold-stopping mode is attractive for device fingerprints: it
+// needs no k at all — captures of one device are within a characteristic
+// radius, so the dendrogram is cut at that radius.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace sybiltd::ml {
+
+enum class Linkage {
+  kSingle,    // min pairwise distance between clusters
+  kComplete,  // max pairwise distance
+  kAverage,   // unweighted average pairwise distance (UPGMA)
+};
+
+struct AgglomerativeOptions {
+  Linkage linkage = Linkage::kAverage;
+  // Stop when this many clusters remain (0 = ignore; use threshold).
+  std::size_t target_clusters = 0;
+  // Stop when the closest pair is farther than this (Euclidean distance).
+  // Ignored when infinite.
+  double merge_threshold = std::numeric_limits<double>::infinity();
+};
+
+struct AgglomerativeResult {
+  std::vector<std::size_t> labels;  // cluster index per row
+  std::size_t cluster_count = 0;
+  // Distances at which merges happened, in merge order (the dendrogram
+  // heights) — useful for picking a threshold.
+  std::vector<double> merge_distances;
+};
+
+// Cluster the rows of `data`.  At least one stopping rule must be active
+// (target_clusters >= 1 or a finite merge_threshold).
+AgglomerativeResult agglomerative_cluster(
+    const Matrix& data, const AgglomerativeOptions& options);
+
+}  // namespace sybiltd::ml

@@ -1,0 +1,173 @@
+#include "ml/clustering_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "ml/kmeans.h"
+
+namespace sybiltd::ml {
+
+namespace {
+
+// Contingency table between two labelings, plus row/col sums.
+struct Contingency {
+  std::vector<std::vector<std::size_t>> cells;
+  std::vector<std::size_t> row_sums;
+  std::vector<std::size_t> col_sums;
+  std::size_t n = 0;
+};
+
+std::vector<std::size_t> normalize_labels(std::span<const std::size_t> labels,
+                                          std::size_t& cluster_count) {
+  std::unordered_map<std::size_t, std::size_t> remap;
+  std::vector<std::size_t> out(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    auto [it, inserted] = remap.try_emplace(labels[i], remap.size());
+    out[i] = it->second;
+  }
+  cluster_count = remap.size();
+  return out;
+}
+
+Contingency build_contingency(std::span<const std::size_t> a,
+                              std::span<const std::size_t> b) {
+  SYBILTD_CHECK(a.size() == b.size(), "labelings must have equal length");
+  std::size_t ka = 0, kb = 0;
+  const auto na = normalize_labels(a, ka);
+  const auto nb = normalize_labels(b, kb);
+  Contingency c;
+  c.n = a.size();
+  c.cells.assign(ka, std::vector<std::size_t>(kb, 0));
+  c.row_sums.assign(ka, 0);
+  c.col_sums.assign(kb, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ++c.cells[na[i]][nb[i]];
+    ++c.row_sums[na[i]];
+    ++c.col_sums[nb[i]];
+  }
+  return c;
+}
+
+double choose2(std::size_t x) {
+  return static_cast<double>(x) * static_cast<double>(x > 0 ? x - 1 : 0) / 2.0;
+}
+
+}  // namespace
+
+double adjusted_rand_index(std::span<const std::size_t> labels_a,
+                           std::span<const std::size_t> labels_b) {
+  const Contingency c = build_contingency(labels_a, labels_b);
+  if (c.n < 2) return 1.0;
+
+  double sum_cells = 0.0;
+  for (const auto& row : c.cells) {
+    for (std::size_t cell : row) sum_cells += choose2(cell);
+  }
+  double sum_rows = 0.0;
+  for (std::size_t r : c.row_sums) sum_rows += choose2(r);
+  double sum_cols = 0.0;
+  for (std::size_t cl : c.col_sums) sum_cols += choose2(cl);
+
+  const double total_pairs = choose2(c.n);
+  const double expected = sum_rows * sum_cols / total_pairs;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  const double denom = max_index - expected;
+  if (std::abs(denom) < 1e-15) {
+    // Both partitions are all-singletons or all-one-cluster: they agree.
+    return 1.0;
+  }
+  return (sum_cells - expected) / denom;
+}
+
+double rand_index(std::span<const std::size_t> labels_a,
+                  std::span<const std::size_t> labels_b) {
+  const Contingency c = build_contingency(labels_a, labels_b);
+  if (c.n < 2) return 1.0;
+  double sum_cells = 0.0;
+  for (const auto& row : c.cells) {
+    for (std::size_t cell : row) sum_cells += choose2(cell);
+  }
+  double sum_rows = 0.0;
+  for (std::size_t r : c.row_sums) sum_rows += choose2(r);
+  double sum_cols = 0.0;
+  for (std::size_t cl : c.col_sums) sum_cols += choose2(cl);
+  const double total = choose2(c.n);
+  // agreements = pairs together in both + pairs apart in both
+  const double agree = total + 2.0 * sum_cells - sum_rows - sum_cols;
+  return agree / total;
+}
+
+PairwiseScores pairwise_scores(std::span<const std::size_t> predicted,
+                               std::span<const std::size_t> truth) {
+  const Contingency c = build_contingency(predicted, truth);
+  double tp = 0.0;
+  for (const auto& row : c.cells) {
+    for (std::size_t cell : row) tp += choose2(cell);
+  }
+  double predicted_pairs = 0.0;
+  for (std::size_t r : c.row_sums) predicted_pairs += choose2(r);
+  double truth_pairs = 0.0;
+  for (std::size_t cl : c.col_sums) truth_pairs += choose2(cl);
+
+  PairwiseScores s;
+  s.precision = predicted_pairs > 0.0 ? tp / predicted_pairs : 1.0;
+  s.recall = truth_pairs > 0.0 ? tp / truth_pairs : 1.0;
+  s.f1 = (s.precision + s.recall) > 0.0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  return s;
+}
+
+double purity(std::span<const std::size_t> predicted,
+              std::span<const std::size_t> truth) {
+  const Contingency c = build_contingency(predicted, truth);
+  if (c.n == 0) return 1.0;
+  std::size_t majority_total = 0;
+  for (const auto& row : c.cells) {
+    majority_total += *std::max_element(row.begin(), row.end());
+  }
+  return static_cast<double>(majority_total) / static_cast<double>(c.n);
+}
+
+double mean_silhouette(const Matrix& data,
+                       std::span<const std::size_t> labels) {
+  SYBILTD_CHECK(data.rows() == labels.size(),
+                "silhouette labels/data size mismatch");
+  const std::size_t n = data.rows();
+  if (n < 2) return 0.0;
+  std::size_t k = 0;
+  const auto norm = normalize_labels(labels, k);
+  if (k < 2 || k == n) return 0.0;
+
+  std::vector<std::size_t> cluster_size(k, 0);
+  for (std::size_t lab : norm) ++cluster_size[lab];
+
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cluster_size[norm[i]] <= 1) continue;  // silhouette undefined
+    std::vector<double> dist_sum(k, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      dist_sum[norm[j]] += std::sqrt(squared_distance(data.row(i),
+                                                      data.row(j)));
+    }
+    const double a = dist_sum[norm[i]] /
+                     static_cast<double>(cluster_size[norm[i]] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t cl = 0; cl < k; ++cl) {
+      if (cl == norm[i] || cluster_size[cl] == 0) continue;
+      b = std::min(b, dist_sum[cl] / static_cast<double>(cluster_size[cl]));
+    }
+    const double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace sybiltd::ml

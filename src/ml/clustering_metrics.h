@@ -1,0 +1,47 @@
+// Clustering quality metrics.
+//
+// The paper evaluates account grouping with the Adjusted Rand Index
+// (Hubert & Arabie 1985, Fig. 6); we also provide the raw Rand index,
+// pairwise precision/recall/F1 (useful for diagnosing false-positives, the
+// paper's recurring concern), purity, and mean silhouette.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace sybiltd::ml {
+
+// Adjusted Rand Index between two labelings of the same items; in [-1, 1],
+// 1 for identical partitions, ~0 for independent random partitions.
+double adjusted_rand_index(std::span<const std::size_t> labels_a,
+                           std::span<const std::size_t> labels_b);
+
+// Unadjusted Rand index in [0, 1].
+double rand_index(std::span<const std::size_t> labels_a,
+                  std::span<const std::size_t> labels_b);
+
+// Pairwise clustering precision/recall/F1: a "positive" is a pair of items
+// placed in the same cluster.  `predicted` vs `truth`.
+struct PairwiseScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+PairwiseScores pairwise_scores(std::span<const std::size_t> predicted,
+                               std::span<const std::size_t> truth);
+
+// Fraction of items whose predicted cluster's majority true label matches
+// their own true label.
+double purity(std::span<const std::size_t> predicted,
+              std::span<const std::size_t> truth);
+
+// Mean silhouette coefficient of a labeled dataset under squared-free
+// Euclidean distance; in [-1, 1].  Returns 0 when every point is alone or
+// all points share one cluster.
+double mean_silhouette(const Matrix& data,
+                       std::span<const std::size_t> labels);
+
+}  // namespace sybiltd::ml

@@ -1,0 +1,90 @@
+#include "ml/dbscan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "ml/kmeans.h"
+
+namespace sybiltd::ml {
+
+std::vector<std::size_t> DbscanResult::partition_labels() const {
+  std::vector<std::size_t> out = labels;
+  std::size_t next = cluster_count;
+  for (auto& label : out) {
+    if (label == kDbscanNoise) label = next++;
+  }
+  return out;
+}
+
+DbscanResult dbscan(const Matrix& data, const DbscanOptions& options) {
+  SYBILTD_CHECK(options.epsilon > 0.0, "DBSCAN epsilon must be positive");
+  SYBILTD_CHECK(options.min_points >= 1, "DBSCAN min_points must be >= 1");
+  const std::size_t n = data.rows();
+
+  DbscanResult result;
+  result.labels.assign(n, kDbscanNoise);
+  if (n == 0) return result;
+
+  const double eps_sq = options.epsilon * options.epsilon;
+  auto neighbors_of = [&](std::size_t i) {
+    std::vector<std::size_t> neighbors;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (squared_distance(data.row(i), data.row(j)) <= eps_sq) {
+        neighbors.push_back(j);  // includes i itself
+      }
+    }
+    return neighbors;
+  };
+
+  std::vector<bool> visited(n, false);
+  std::size_t cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = true;
+    auto seeds = neighbors_of(i);
+    if (seeds.size() < options.min_points) continue;  // noise (for now)
+
+    result.labels[i] = cluster;
+    // Expand the cluster through density-reachable points.
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      const std::size_t q = seeds[s];
+      if (result.labels[q] == kDbscanNoise) result.labels[q] = cluster;
+      if (visited[q]) continue;
+      visited[q] = true;
+      const auto q_neighbors = neighbors_of(q);
+      if (q_neighbors.size() >= options.min_points) {
+        seeds.insert(seeds.end(), q_neighbors.begin(), q_neighbors.end());
+      }
+    }
+    ++cluster;
+  }
+  result.cluster_count = cluster;
+  return result;
+}
+
+double estimate_dbscan_epsilon(const Matrix& data, std::size_t k,
+                               double quantile_q) {
+  const std::size_t n = data.rows();
+  SYBILTD_CHECK(n >= 2, "epsilon estimation needs at least two rows");
+  SYBILTD_CHECK(k >= 1 && k < n, "k must be in [1, rows)");
+  std::vector<double> kth_distances;
+  kth_distances.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> dists;
+    dists.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      dists.push_back(
+          std::sqrt(squared_distance(data.row(i), data.row(j))));
+    }
+    std::nth_element(dists.begin(),
+                     dists.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     dists.end());
+    kth_distances.push_back(dists[k - 1]);
+  }
+  return quantile(kth_distances, quantile_q);
+}
+
+}  // namespace sybiltd::ml

@@ -1,0 +1,40 @@
+// DBSCAN (Ester et al. 1996) — density-based clustering for AG-FP that
+// needs no cluster count at all: captures of one physical device form a
+// dense blob of characteristic radius; fingerprints of devices nobody
+// shares stay isolated and are reported as noise (their own groups).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace sybiltd::ml {
+
+struct DbscanOptions {
+  double epsilon = 1.0;       // neighborhood radius (Euclidean)
+  std::size_t min_points = 2; // core point threshold, including itself
+};
+
+// Label for points not assigned to any cluster.
+inline constexpr std::size_t kDbscanNoise =
+    static_cast<std::size_t>(-1);
+
+struct DbscanResult {
+  // Cluster index per row, or kDbscanNoise.
+  std::vector<std::size_t> labels;
+  std::size_t cluster_count = 0;
+
+  // Labels with every noise point turned into its own singleton cluster —
+  // the partition form account grouping needs.
+  std::vector<std::size_t> partition_labels() const;
+};
+
+DbscanResult dbscan(const Matrix& data, const DbscanOptions& options);
+
+// Heuristic epsilon: the `quantile` of the distribution of each point's
+// k-th nearest neighbor distance (the standard k-distance elbow read).
+double estimate_dbscan_epsilon(const Matrix& data, std::size_t k = 2,
+                               double quantile = 0.5);
+
+}  // namespace sybiltd::ml

@@ -1,0 +1,78 @@
+#include "ml/elbow.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sybiltd::ml {
+
+ElbowResult elbow_select_k(const Matrix& data, const ElbowOptions& options) {
+  SYBILTD_CHECK(data.rows() > 0, "elbow method on an empty matrix");
+  const std::size_t n = data.rows();
+  const std::size_t min_k = std::max<std::size_t>(options.min_k, 1);
+  const std::size_t max_k =
+      options.max_k == 0 ? n : std::min(options.max_k, n);
+  SYBILTD_CHECK(min_k <= max_k, "elbow k range is empty");
+
+  ElbowResult result;
+  KMeansOptions km = options.kmeans;
+  Rng seed_stream(km.seed);
+  for (std::size_t k = min_k; k <= max_k; ++k) {
+    km.seed = seed_stream.next();
+    const KMeansResult run = kmeans(data, k, km);
+    result.sse_by_k.push_back(run.sse);
+    if (run.sse <= 1e-12) break;  // perfect fit; no elbow beyond this point
+  }
+
+  const std::size_t scanned = result.sse_by_k.size();
+  if (scanned <= 2) {
+    // Not enough points for a knee estimate: prefer the smallest k that
+    // already achieves (near-)zero SSE, else the last scanned.
+    result.best_k = min_k + scanned - 1;
+    if (scanned >= 1 && result.sse_by_k.front() <= 1e-12) {
+      result.best_k = min_k;
+    }
+    return result;
+  }
+
+  // Discrete curvature: SSE(k-1) - 2*SSE(k) + SSE(k+1), reported for both
+  // methods so callers can inspect the curve.
+  result.curvature.assign(scanned, 0.0);
+  double best_curv = -1.0;
+  std::size_t best_curv_idx = 0;
+  for (std::size_t i = 1; i + 1 < scanned; ++i) {
+    const double curv = result.sse_by_k[i - 1] - 2.0 * result.sse_by_k[i] +
+                        result.sse_by_k[i + 1];
+    result.curvature[i] = curv;
+    if (curv > best_curv) {
+      best_curv = curv;
+      best_curv_idx = i;
+    }
+  }
+
+  switch (options.method) {
+    case ElbowMethod::kCurvature:
+      result.best_k = min_k + best_curv_idx;
+      break;
+    case ElbowMethod::kExplainedVariance: {
+      const double base = result.sse_by_k.front();
+      std::size_t idx = scanned - 1;
+      if (base > 0.0) {
+        for (std::size_t i = 0; i < scanned; ++i) {
+          if (1.0 - result.sse_by_k[i] / base >=
+              options.explained_variance_threshold) {
+            idx = i;
+            break;
+          }
+        }
+      } else {
+        idx = 0;
+      }
+      result.best_k = min_k + idx;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sybiltd::ml

@@ -1,0 +1,43 @@
+// The elbow method for choosing the number of clusters k (Kodinariya &
+// Makwana 2013), as AG-FP uses to estimate the device count without
+// knowing it a priori.
+#pragma once
+
+#include <vector>
+
+#include "ml/kmeans.h"
+
+namespace sybiltd::ml {
+
+// How to read the knee off the SSE(k) curve.
+enum class ElbowMethod {
+  // Largest discrete second difference of SSE — the classic curvature
+  // heuristic.  Biased toward small k when the curve drops steeply early.
+  kCurvature,
+  // Smallest k whose SSE explains at least `explained_variance_threshold`
+  // of SSE(min_k) — i.e. the point where "SSE starts to diminish", the
+  // phrasing of Kodinariya & Makwana that the paper cites.
+  kExplainedVariance,
+};
+
+struct ElbowOptions {
+  std::size_t min_k = 1;
+  // 0 means "scan up to the number of rows".
+  std::size_t max_k = 0;
+  ElbowMethod method = ElbowMethod::kExplainedVariance;
+  double explained_variance_threshold = 0.9;
+  KMeansOptions kmeans;
+};
+
+struct ElbowResult {
+  std::size_t best_k = 1;
+  std::vector<double> sse_by_k;     // sse_by_k[i] is SSE at k = min_k + i
+  std::vector<double> curvature;    // discrete second difference of SSE
+};
+
+// Run k-means for every k in [min_k, max_k] and pick the k where the SSE
+// curve bends the most (largest discrete curvature).  Once the SSE reaches
+// (numerically) zero, larger k cannot improve and the scan stops early.
+ElbowResult elbow_select_k(const Matrix& data, const ElbowOptions& options = {});
+
+}  // namespace sybiltd::ml

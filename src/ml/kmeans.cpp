@@ -1,0 +1,164 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace sybiltd::ml {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  SYBILTD_CHECK(a.size() == b.size(), "distance of unequal-length vectors");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+namespace {
+
+// k-means++ seeding: first center uniform, then proportional to D^2.
+Matrix seed_centroids(const Matrix& data, std::size_t k, Rng& rng) {
+  const std::size_t n = data.rows();
+  Matrix centroids(k, data.cols());
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+
+  std::size_t first = static_cast<std::size_t>(rng.uniform_index(n));
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    centroids(0, c) = data(first, c);
+  }
+  for (std::size_t j = 1; j < k; ++j) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], squared_distance(data.row(i),
+                                               centroids.row(j - 1)));
+      total += d2[i];
+    }
+    std::size_t chosen = n - 1;
+    if (total > 0.0) {
+      double target = rng.uniform() * total;
+      double running = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        running += d2[i];
+        if (running >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      // All points coincide with existing centers; any choice is fine.
+      chosen = static_cast<std::size_t>(rng.uniform_index(n));
+    }
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      centroids(j, c) = data(chosen, c);
+    }
+  }
+  return centroids;
+}
+
+struct SingleRun {
+  Matrix centroids;
+  std::vector<std::size_t> labels;
+  double sse = 0.0;
+  std::size_t iterations = 0;
+};
+
+SingleRun run_lloyd(const Matrix& data, std::size_t k,
+                    const KMeansOptions& options, Rng& rng) {
+  const std::size_t n = data.rows();
+  SingleRun run;
+  run.centroids = seed_centroids(data, k, rng);
+  run.labels.assign(n, 0);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    run.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_j = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        const double d = squared_distance(data.row(i), run.centroids.row(j));
+        if (d < best) {
+          best = d;
+          best_j = j;
+        }
+      }
+      if (run.labels[i] != best_j) {
+        run.labels[i] = best_j;
+        changed = true;
+      }
+    }
+    // Update step.
+    Matrix next(k, data.cols(), 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = run.labels[i];
+      ++counts[j];
+      auto row = data.row(i);
+      for (std::size_t c = 0; c < data.cols(); ++c) next(j, c) += row[c];
+    }
+    double max_move = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (counts[j] == 0) {
+        // Re-seed empty clusters at the point farthest from its centroid.
+        double worst = -1.0;
+        std::size_t worst_i = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = squared_distance(
+              data.row(i), run.centroids.row(run.labels[i]));
+          if (d > worst) {
+            worst = d;
+            worst_i = i;
+          }
+        }
+        for (std::size_t c = 0; c < data.cols(); ++c) {
+          next(j, c) = data(worst_i, c);
+        }
+        run.labels[worst_i] = j;
+        changed = true;
+      } else {
+        for (std::size_t c = 0; c < data.cols(); ++c) {
+          next(j, c) /= static_cast<double>(counts[j]);
+        }
+      }
+      max_move = std::max(
+          max_move, squared_distance(next.row(j), run.centroids.row(j)));
+    }
+    run.centroids = std::move(next);
+    if (!changed || max_move < options.tolerance) break;
+  }
+
+  run.sse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    run.sse += squared_distance(data.row(i),
+                                run.centroids.row(run.labels[i]));
+  }
+  return run;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Matrix& data, std::size_t k,
+                    const KMeansOptions& options) {
+  SYBILTD_CHECK(data.rows() > 0, "kmeans on an empty matrix");
+  SYBILTD_CHECK(k >= 1 && k <= data.rows(),
+                "kmeans k must be in [1, number of rows]");
+  SYBILTD_CHECK(options.restarts >= 1, "kmeans needs at least one restart");
+
+  Rng rng(options.seed);
+  SingleRun best;
+  best.sse = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    Rng child = rng.split();
+    SingleRun run = run_lloyd(data, k, options, child);
+    if (run.sse < best.sse) best = std::move(run);
+  }
+  return {std::move(best.centroids), std::move(best.labels), best.sse,
+          best.iterations};
+}
+
+}  // namespace sybiltd::ml

@@ -1,0 +1,36 @@
+// Lloyd's k-means with k-means++ seeding — the clustering step of AG-FP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+
+namespace sybiltd::ml {
+
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  // Converged when no assignment changes, or when centroid movement
+  // (max over clusters, squared L2) drops below this tolerance.
+  double tolerance = 1e-8;
+  // Independent restarts; the run with the lowest SSE wins.
+  std::size_t restarts = 4;
+  std::uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  Matrix centroids;                  // k x d
+  std::vector<std::size_t> labels;   // n, cluster index per row
+  double sse = 0.0;                  // sum of squared distances to centroid
+  std::size_t iterations = 0;        // of the winning restart
+};
+
+// Cluster the rows of `data` into k groups.  Requires 1 <= k <= rows.
+KMeansResult kmeans(const Matrix& data, std::size_t k,
+                    const KMeansOptions& options = {});
+
+// Squared Euclidean distance between two equal-length vectors.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace sybiltd::ml

@@ -1,0 +1,118 @@
+#include "ml/kselect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ml/clustering_metrics.h"
+
+namespace sybiltd::ml {
+
+namespace {
+
+std::size_t resolve_max_k(const Matrix& data, std::size_t max_k) {
+  return max_k == 0 ? data.rows() : std::min(max_k, data.rows());
+}
+
+}  // namespace
+
+KSelectResult select_k_silhouette(const Matrix& data,
+                                  const KSelectOptions& options) {
+  SYBILTD_CHECK(data.rows() > 0, "k selection on an empty matrix");
+  const std::size_t min_k = std::max<std::size_t>(options.min_k, 1);
+  const std::size_t max_k = resolve_max_k(data, options.max_k);
+  SYBILTD_CHECK(min_k <= max_k, "k range is empty");
+
+  KSelectResult result;
+  double best_score = -2.0;
+  KMeansOptions km = options.kmeans;
+  Rng seeds(km.seed);
+  for (std::size_t k = min_k; k <= max_k; ++k) {
+    km.seed = seeds.next();
+    double score = 0.0;
+    if (k >= 2 && k < data.rows()) {
+      const auto run = kmeans(data, k, km);
+      score = mean_silhouette(data, run.labels);
+    }
+    result.score_by_k.push_back(score);
+    if (score > best_score) {
+      best_score = score;
+      result.best_k = k;
+    }
+  }
+  return result;
+}
+
+KSelectResult select_k_gap_statistic(const Matrix& data,
+                                     const GapOptions& options) {
+  SYBILTD_CHECK(data.rows() > 0, "k selection on an empty matrix");
+  SYBILTD_CHECK(options.reference_sets >= 2,
+                "gap statistic needs at least two reference sets");
+  const std::size_t min_k = std::max<std::size_t>(options.base.min_k, 1);
+  const std::size_t max_k = resolve_max_k(data, options.base.max_k);
+  SYBILTD_CHECK(min_k <= max_k, "k range is empty");
+
+  // Bounding box of the data for the uniform null.
+  const std::size_t d = data.cols();
+  std::vector<double> lo(d), hi(d);
+  for (std::size_t c = 0; c < d; ++c) {
+    const auto col = data.col(c);
+    lo[c] = *std::min_element(col.begin(), col.end());
+    hi[c] = *std::max_element(col.begin(), col.end());
+  }
+
+  Rng rng(options.seed);
+  KMeansOptions km = options.base.kmeans;
+  Rng seeds(km.seed);
+
+  auto log_sse = [&](const Matrix& m, std::size_t k, std::uint64_t seed) {
+    KMeansOptions opt = km;
+    opt.seed = seed;
+    const double sse = kmeans(m, k, opt).sse;
+    return std::log(std::max(sse, 1e-12));
+  };
+
+  KSelectResult result;
+  std::vector<double> gaps, sks;
+  for (std::size_t k = min_k; k <= max_k; ++k) {
+    const std::uint64_t kseed = seeds.next();
+    const double observed = log_sse(data, k, kseed);
+    // Reference distribution.
+    double ref_mean = 0.0;
+    std::vector<double> refs(options.reference_sets);
+    for (std::size_t b = 0; b < options.reference_sets; ++b) {
+      Matrix ref(data.rows(), d);
+      for (std::size_t r = 0; r < data.rows(); ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+          ref(r, c) = rng.uniform(lo[c], hi[c] > lo[c] ? hi[c]
+                                                        : lo[c] + 1e-12);
+        }
+      }
+      refs[b] = log_sse(ref, k, kseed);
+      ref_mean += refs[b];
+    }
+    ref_mean /= static_cast<double>(options.reference_sets);
+    double ref_var = 0.0;
+    for (double r : refs) ref_var += (r - ref_mean) * (r - ref_mean);
+    ref_var /= static_cast<double>(options.reference_sets);
+    const double sd = std::sqrt(ref_var);
+
+    gaps.push_back(ref_mean - observed);
+    sks.push_back(sd * std::sqrt(1.0 + 1.0 /
+                                 static_cast<double>(options.reference_sets)));
+    result.score_by_k.push_back(gaps.back());
+  }
+
+  // Smallest k with gap(k) >= gap(k+1) - s(k+1).
+  result.best_k = max_k;
+  for (std::size_t i = 0; i + 1 < gaps.size(); ++i) {
+    if (gaps[i] >= gaps[i + 1] - sks[i + 1]) {
+      result.best_k = min_k + i;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sybiltd::ml

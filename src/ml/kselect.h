@@ -1,0 +1,41 @@
+// Cluster-count selection beyond the elbow: silhouette maximization and
+// the gap statistic (Tibshirani, Walther & Hastie 2001).  Used by the
+// k-selection ablation bench to compare against AG-FP's default elbow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/kmeans.h"
+
+namespace sybiltd::ml {
+
+struct KSelectOptions {
+  std::size_t min_k = 1;
+  std::size_t max_k = 0;  // 0 = number of rows
+  KMeansOptions kmeans;
+};
+
+struct KSelectResult {
+  std::size_t best_k = 1;
+  std::vector<double> score_by_k;  // the criterion per scanned k
+};
+
+// Pick the k in [min_k, max_k] with the largest mean silhouette (k = 1 is
+// skipped since the silhouette is undefined there; it scores 0).
+KSelectResult select_k_silhouette(const Matrix& data,
+                                  const KSelectOptions& options = {});
+
+struct GapOptions {
+  KSelectOptions base;
+  std::size_t reference_sets = 10;  // Monte-Carlo uniform references
+  std::uint64_t seed = 17;
+};
+
+// Gap statistic: compare log(SSE) against the expectation under a uniform
+// null in the data's bounding box; best k is the smallest k with
+// gap(k) >= gap(k+1) - s(k+1).
+KSelectResult select_k_gap_statistic(const Matrix& data,
+                                     const GapOptions& options = {});
+
+}  // namespace sybiltd::ml

@@ -1,0 +1,120 @@
+#include "ml/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace sybiltd::ml {
+
+SymmetricEigen jacobi_eigen_symmetric(const Matrix& a, std::size_t max_sweeps,
+                                      double tolerance) {
+  SYBILTD_CHECK(a.rows() == a.cols(), "jacobi needs a square matrix");
+  const std::size_t n = a.rows();
+  Matrix d = a;                      // working copy, driven to diagonal
+  Matrix v = Matrix::identity(n);    // accumulated rotations
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Sum of squared off-diagonal entries; convergence criterion.
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += d(p, q) * d(p, q);
+    }
+    if (off < tolerance) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(d(p, q)) < 1e-300) continue;
+        // Compute the Jacobi rotation that zeroes d(p, q).
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * d(p, q));
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dip = d(i, p);
+          const double diq = d(i, q);
+          d(i, p) = c * dip - s * diq;
+          d(i, q) = s * dip + c * diq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dpi = d(p, i);
+          const double dqi = d(q, i);
+          d(p, i) = c * dpi - s * dqi;
+          d(q, i) = s * dpi + c * dqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort eigenpairs descending by value.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = d(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return values[x] > values[y]; });
+
+  SymmetricEigen out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = values[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      out.vectors(i, j) = v(i, order[j]);
+    }
+  }
+  return out;
+}
+
+Matrix PcaModel::transform(const Matrix& data) const {
+  SYBILTD_CHECK(data.cols() == mean.size(), "PCA width mismatch");
+  Matrix centered = data;
+  centered.subtract_row_vector(mean);
+  return centered * components;
+}
+
+PcaModel fit_pca(const Matrix& data, std::size_t components) {
+  SYBILTD_CHECK(data.rows() >= 2, "PCA needs at least two rows");
+  const std::size_t d = data.cols();
+  const std::size_t k = components == 0 ? d : std::min(components, d);
+
+  PcaModel model;
+  model.mean = data.column_means();
+  Matrix centered = data;
+  centered.subtract_row_vector(model.mean);
+
+  // Sample covariance.
+  Matrix cov = centered.transpose() * centered;
+  cov *= 1.0 / static_cast<double>(data.rows() - 1);
+
+  const SymmetricEigen eig = jacobi_eigen_symmetric(cov);
+  model.components = Matrix(d, k);
+  model.explained_variance.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    model.explained_variance[j] = std::max(eig.values[j], 0.0);
+    for (std::size_t i = 0; i < d; ++i) {
+      model.components(i, j) = eig.vectors(i, j);
+    }
+  }
+  double total = 0.0;
+  for (double v : eig.values) total += std::max(v, 0.0);
+  model.explained_variance_ratio.resize(k, 0.0);
+  if (total > 0.0) {
+    for (std::size_t j = 0; j < k; ++j) {
+      model.explained_variance_ratio[j] = model.explained_variance[j] / total;
+    }
+  }
+  return model;
+}
+
+}  // namespace sybiltd::ml

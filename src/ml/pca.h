@@ -1,0 +1,39 @@
+// Principal component analysis via a cyclic Jacobi eigensolver.
+//
+// Used to project fingerprint feature vectors into the PC1/PC2 plane for
+// the Fig. 2 and Fig. 8 reproductions, and available to callers who want a
+// decorrelated feature space before clustering.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace sybiltd::ml {
+
+// Eigen-decomposition of a symmetric matrix (values descending).
+struct SymmetricEigen {
+  std::vector<double> values;  // descending
+  Matrix vectors;              // column j is the eigenvector of values[j]
+};
+
+// Cyclic Jacobi rotations; `a` must be square and symmetric.
+SymmetricEigen jacobi_eigen_symmetric(const Matrix& a,
+                                      std::size_t max_sweeps = 64,
+                                      double tolerance = 1e-12);
+
+struct PcaModel {
+  std::vector<double> mean;          // column means of the training data
+  Matrix components;                 // d x k, column j = j-th component
+  std::vector<double> explained_variance;        // per component
+  std::vector<double> explained_variance_ratio;  // sums to <= 1
+
+  // Project rows of `data` onto the k components (returns n x k scores).
+  Matrix transform(const Matrix& data) const;
+};
+
+// Fit PCA on the rows of `data`, keeping `components` directions
+// (0 = keep all).  Uses the sample covariance (n-1 denominator).
+PcaModel fit_pca(const Matrix& data, std::size_t components = 0);
+
+}  // namespace sybiltd::ml

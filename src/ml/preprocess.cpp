@@ -1,0 +1,68 @@
+#include "ml/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace sybiltd::ml {
+
+Standardizer Standardizer::fit(const Matrix& data) {
+  Standardizer s;
+  s.means.resize(data.cols(), 0.0);
+  s.stddevs.resize(data.cols(), 1.0);
+  if (data.rows() == 0) return s;
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    const auto col = data.col(c);
+    s.means[c] = mean(col);
+    const double sd = stddev(col);
+    s.stddevs[c] = sd > 1e-12 ? sd : 1.0;
+  }
+  return s;
+}
+
+Matrix Standardizer::transform(const Matrix& data) const {
+  SYBILTD_CHECK(data.cols() == means.size(), "standardizer width mismatch");
+  Matrix out = data;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      row[c] = (row[c] - means[c]) / stddevs[c];
+    }
+  }
+  return out;
+}
+
+Matrix Standardizer::inverse_transform(const Matrix& data) const {
+  SYBILTD_CHECK(data.cols() == means.size(), "standardizer width mismatch");
+  Matrix out = data;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      row[c] = row[c] * stddevs[c] + means[c];
+    }
+  }
+  return out;
+}
+
+Matrix standardize(const Matrix& data) {
+  return Standardizer::fit(data).transform(data);
+}
+
+Matrix min_max_scale(const Matrix& data) {
+  Matrix out = data;
+  if (data.rows() == 0) return out;
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    const auto col = data.col(c);
+    const double lo = *std::min_element(col.begin(), col.end());
+    const double hi = *std::max_element(col.begin(), col.end());
+    const double span = hi - lo;
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      out(r, c) = span > 1e-12 ? (data(r, c) - lo) / span : 0.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace sybiltd::ml

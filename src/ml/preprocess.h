@@ -1,0 +1,32 @@
+// Feature preprocessing for clustering and PCA.
+//
+// Fingerprint features mix scales (Hz, counts, unitless ratios), so AG-FP
+// z-scores every column before k-means; constant columns are left at zero
+// rather than dividing by a zero standard deviation.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace sybiltd::ml {
+
+// Per-column affine transform fitted on one matrix, applicable to another.
+struct Standardizer {
+  std::vector<double> means;
+  std::vector<double> stddevs;  // 1.0 substituted for constant columns
+
+  static Standardizer fit(const Matrix& data);
+  Matrix transform(const Matrix& data) const;
+  Matrix inverse_transform(const Matrix& data) const;
+};
+
+// Fit-and-transform in one call.
+Matrix standardize(const Matrix& data);
+
+// Min-max scale each column into [0, 1]; constant columns map to 0.
+Matrix min_max_scale(const Matrix& data);
+
+using sybiltd::Matrix;
+
+}  // namespace sybiltd::ml

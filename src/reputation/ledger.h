@@ -1,0 +1,74 @@
+// Cross-campaign reputation (extension).
+//
+// A single campaign's truth discovery only sees one snapshot of behaviour;
+// real platforms run many campaigns, and the economics of the Sybil attack
+// change across them: legitimate accounts persist and accumulate standing,
+// while an attacker's accounts — once flagged/banned or abandoned to evade
+// linkage — re-enter as newcomers.  RTSense (Zhu et al., cited as [36] in
+// the paper) builds on exactly this trust dimension.
+//
+// ReputationLedger keeps an EWMA reputation per durable identity; a
+// campaign's truth-discovery weights are normalized into [0, 1] scores and
+// folded in.  ReputationWeightedCrh multiplies CRH's per-campaign weights
+// with the prior reputation, so newcomers (and therefore freshly minted
+// Sybil accounts) start with little influence.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "truth/crh.h"
+
+namespace sybiltd::reputation {
+
+struct LedgerOptions {
+  double initial = 0.2;    // a newcomer's reputation
+  double ewma_alpha = 0.3; // weight of the newest campaign score
+  double floor = 0.02;     // reputation never hits zero (allows recovery)
+};
+
+class ReputationLedger {
+ public:
+  explicit ReputationLedger(LedgerOptions options = {});
+
+  // Current reputation of an identity (options.initial if unseen).
+  double get(const std::string& identity) const;
+  bool known(const std::string& identity) const;
+  std::size_t size() const { return scores_.size(); }
+
+  // Fold one campaign score (in [0, 1]) into the identity's reputation.
+  void update(const std::string& identity, double campaign_score);
+
+  // Fold a whole campaign: identities[i] scored scores[i].
+  void update_campaign(const std::vector<std::string>& identities,
+                       const std::vector<double>& scores);
+
+ private:
+  LedgerOptions options_;
+  std::unordered_map<std::string, double> scores_;
+};
+
+// Map raw algorithm weights (arbitrary non-negative scale) to [0, 1]
+// scores by dividing by the maximum; all-zero weights map to all-zero.
+std::vector<double> normalize_scores(const std::vector<double>& weights);
+
+// CRH with reputation priors: each account's iterated weight is multiplied
+// by its ledger reputation before the truth update, so low-reputation
+// newcomers cannot dominate a task even in numbers.
+class ReputationWeightedCrh final : public truth::TruthDiscovery {
+ public:
+  ReputationWeightedCrh(const ReputationLedger& ledger,
+                        std::vector<std::string> account_identities,
+                        truth::CrhOptions options = {});
+
+  std::string name() const override { return "Rep-CRH"; }
+  truth::Result run(const truth::ObservationTable& data) const override;
+
+ private:
+  const ReputationLedger& ledger_;
+  std::vector<std::string> identities_;
+  truth::CrhOptions options_;
+};
+
+}  // namespace sybiltd::reputation

@@ -1,0 +1,135 @@
+#include "sensing/device.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sybiltd::sensing {
+
+namespace {
+
+// Helper to build a model entry.  Gains are unitless multipliers around 1,
+// accel biases in m/s^2, gyro biases in rad/s.  The *nominal* values differ
+// clearly between models (different sensor vendors/generations) while the
+// tolerances keep same-model units close together — reproducing the
+// clustering structure of the paper's Fig. 8.
+DeviceModelSpec make_model(std::string name, Os os, double accel_gain,
+                           double accel_bias, double accel_noise,
+                           double accel_res_hz, double gyro_gain,
+                           double gyro_bias, double gyro_noise,
+                           double gyro_res_hz) {
+  DeviceModelSpec m;
+  m.name = std::move(name);
+  m.os = os;
+
+  m.accelerometer.gain_nominal = {accel_gain, accel_gain * 0.999,
+                                  accel_gain * 1.001};
+  m.accelerometer.gain_tolerance = 2e-4;
+  m.accelerometer.bias_nominal = {accel_bias, -accel_bias * 0.5,
+                                  accel_bias * 0.8};
+  m.accelerometer.bias_tolerance = 2e-3;
+  m.accelerometer.noise_density = accel_noise;
+  m.accelerometer.resonance_hz = accel_res_hz;
+  m.accelerometer.resonance_tolerance_hz = 0.15;
+  m.accelerometer.resonance_gain = accel_noise * 8.0;
+  m.accelerometer.quantization_step = 2.39e-3;  // ±2g over 14 bits
+  m.accelerometer.temp_coefficient = 1.5e-3;    // m/s^2 per K
+  m.accelerometer.temp_coefficient_tolerance = 3e-4;
+
+  m.gyroscope.gain_nominal = {gyro_gain, gyro_gain * 1.001,
+                              gyro_gain * 0.999};
+  m.gyroscope.gain_tolerance = 3e-4;
+  m.gyroscope.bias_nominal = {gyro_bias, gyro_bias * 0.6, -gyro_bias * 0.9};
+  m.gyroscope.bias_tolerance = 4e-4;
+  m.gyroscope.noise_density = gyro_noise;
+  m.gyroscope.resonance_hz = gyro_res_hz;
+  m.gyroscope.resonance_tolerance_hz = 0.2;
+  m.gyroscope.resonance_gain = gyro_noise * 6.0;
+  m.gyroscope.quantization_step = 1.33e-4;  // ±250 dps over 16 bits
+  m.gyroscope.temp_coefficient = 4.0e-4;    // rad/s per K
+  m.gyroscope.temp_coefficient_tolerance = 1e-4;
+
+  return m;
+}
+
+}  // namespace
+
+const std::vector<DeviceModelSpec>& device_catalog() {
+  // Table IV inventory.  Parameters are synthetic but ordered so that
+  // different models occupy distinct regions of feature space (different
+  // sensor generations), while iPhone 6 and 6S (same accelerometer family)
+  // sit relatively close — the paper notes same/similar models are the
+  // hard cases for AG-FP.
+  static const std::vector<DeviceModelSpec> catalog = {
+      make_model("iPhone SE", Os::kIos, 1.0110, 0.120, 0.0045, 18.0,
+                 0.9930, 0.0300, 0.0024, 24.0),
+      make_model("iPhone 6", Os::kIos, 0.9870, 0.075, 0.0075, 14.0,
+                 1.0120, 0.0190, 0.0036, 19.5),
+      make_model("iPhone 6S", Os::kIos, 0.9895, 0.085, 0.0068, 15.0,
+                 1.0095, 0.0210, 0.0032, 20.5),
+      make_model("iPhone 7", Os::kIos, 1.0190, 0.045, 0.0030, 22.0,
+                 0.9840, 0.0420, 0.0016, 28.0),
+      make_model("iPhone X", Os::kIos, 0.9780, 0.160, 0.0022, 26.0,
+                 1.0210, 0.0120, 0.0012, 32.0),
+      make_model("Nexus 6P", Os::kAndroid, 1.0300, 0.200, 0.0095, 11.0,
+                 0.9750, 0.0550, 0.0048, 16.0),
+      make_model("LG G5", Os::kAndroid, 0.9680, 0.240, 0.0125, 8.5,
+                 1.0320, 0.0650, 0.0062, 13.0),
+      make_model("Nexus 5", Os::kAndroid, 1.0420, 0.280, 0.0160, 7.0,
+                 0.9620, 0.0780, 0.0080, 11.0),
+  };
+  return catalog;
+}
+
+const DeviceModelSpec& find_model(const std::string& name) {
+  for (const auto& model : device_catalog()) {
+    if (model.name == name) return model;
+  }
+  SYBILTD_CHECK(false, "unknown device model: " + name);
+  // Unreachable; SYBILTD_CHECK throws.
+  throw std::logic_error("unreachable");
+}
+
+SensorUnit SensorUnit::manufacture(const SensorSpec& spec, Rng& rng) {
+  SensorUnit u;
+  for (int axis = 0; axis < 3; ++axis) {
+    u.gain[axis] =
+        spec.gain_nominal[axis] + rng.normal(0.0, spec.gain_tolerance);
+    u.bias[axis] =
+        spec.bias_nominal[axis] + rng.normal(0.0, spec.bias_tolerance);
+  }
+  // Noise density varies a few percent unit-to-unit.
+  u.noise_density = spec.noise_density * (1.0 + rng.normal(0.0, 0.03));
+  u.resonance_hz =
+      spec.resonance_hz + rng.normal(0.0, spec.resonance_tolerance_hz);
+  u.resonance_gain = spec.resonance_gain * (1.0 + rng.normal(0.0, 0.05));
+  u.quantization_step = spec.quantization_step;
+  u.temp_coefficient = spec.temp_coefficient +
+                       rng.normal(0.0, spec.temp_coefficient_tolerance);
+  return u;
+}
+
+Vec3 SensorUnit::measure(const Vec3& truth, double resonance_phase,
+                         Rng& noise_rng, double temperature_c) const {
+  Vec3 out{};
+  const double resonant = resonance_gain * std::sin(resonance_phase);
+  const double thermal = temp_coefficient * (temperature_c - 25.0);
+  for (int axis = 0; axis < 3; ++axis) {
+    double v = gain[axis] * truth[axis] + bias[axis] + thermal +
+               noise_rng.normal(0.0, noise_density) + resonant;
+    if (quantization_step > 0.0) {
+      v = std::round(v / quantization_step) * quantization_step;
+    }
+    out[axis] = v;
+  }
+  return out;
+}
+
+Device::Device(const DeviceModelSpec& model, std::uint64_t seed)
+    : model_name_(model.name), os_(model.os), unit_seed_(seed) {
+  Rng rng(seed);
+  accel_ = SensorUnit::manufacture(model.accelerometer, rng);
+  gyro_ = SensorUnit::manufacture(model.gyroscope, rng);
+}
+
+}  // namespace sybiltd::sensing

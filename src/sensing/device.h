@@ -1,0 +1,105 @@
+// MEMS IMU device simulation.
+//
+// The paper fingerprints smartphones through the manufacturing
+// imperfections of their MEMS accelerometer and gyroscope (Section III-D):
+// electrode-gap variation shifts per-axis gain and bias, and each chip's
+// proof-mass structure has a slightly different resonance.  We reproduce
+// exactly that structure:
+//
+//   * A DeviceModelSpec carries the *nominal* sensor parameters of a phone
+//     model (e.g. "iPhone 6S") plus manufacturing tolerances.
+//   * A Device is one physical unit: its parameters are the model nominals
+//     plus per-unit draws within tolerance.  Same-model units are therefore
+//     close in parameter space and cross-model units are far — which is the
+//     behaviour Fig. 8 of the paper observes on real hardware.
+//
+// measured_accel = gain ⊙ (true_accel) + bias + resonant_noise, then
+// quantized to the ADC resolution; gyro likewise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sybiltd::sensing {
+
+using Vec3 = std::array<double, 3>;
+
+// Per-sensor nominal characteristics and unit-to-unit tolerances.
+struct SensorSpec {
+  Vec3 gain_nominal{1.0, 1.0, 1.0};
+  double gain_tolerance = 0.0;    // stddev of per-unit gain deviation
+  Vec3 bias_nominal{0.0, 0.0, 0.0};
+  double bias_tolerance = 0.0;    // stddev of per-unit bias deviation
+  double noise_density = 0.0;     // white-noise stddev per sample
+  double resonance_hz = 0.0;      // structural resonance of the MEMS chip
+  double resonance_tolerance_hz = 0.0;
+  double resonance_gain = 0.0;    // amplitude of the resonance component
+  double quantization_step = 0.0; // ADC LSB; 0 disables quantization
+  // Bias drift per Kelvin away from the 25 °C calibration point — MEMS
+  // sensors are temperature sensitive, which smears fingerprints captured
+  // at different ambient temperatures (a known confounder in Das et al.).
+  double temp_coefficient = 0.0;
+  double temp_coefficient_tolerance = 0.0;
+};
+
+enum class Os { kIos, kAndroid };
+
+// A phone model as shipped: identical nominal sensors, per-unit tolerance.
+struct DeviceModelSpec {
+  std::string name;
+  Os os = Os::kIos;
+  SensorSpec accelerometer;
+  SensorSpec gyroscope;
+};
+
+// The eight models of Table IV, with distinct sensor characteristics per
+// model and tight tolerances within a model.
+const std::vector<DeviceModelSpec>& device_catalog();
+// Look up a catalog model by name; throws if unknown.
+const DeviceModelSpec& find_model(const std::string& name);
+
+// One sensor of one physical unit: nominal spec + per-unit imperfections.
+struct SensorUnit {
+  Vec3 gain{1.0, 1.0, 1.0};
+  Vec3 bias{0.0, 0.0, 0.0};
+  double noise_density = 0.0;
+  double resonance_hz = 0.0;
+  double resonance_gain = 0.0;
+  double quantization_step = 0.0;
+  double temp_coefficient = 0.0;  // bias shift per Kelvin from 25 °C
+
+  static SensorUnit manufacture(const SensorSpec& spec, Rng& rng);
+
+  // Apply the unit's transfer function to a true physical value.
+  // `resonance_phase` advances with time and feeds the resonant component;
+  // `temperature_c` shifts the bias through the unit's temp coefficient.
+  Vec3 measure(const Vec3& truth, double resonance_phase, Rng& noise_rng,
+               double temperature_c = 25.0) const;
+};
+
+// One physical smartphone.
+class Device {
+ public:
+  // Manufacture a unit of `model`, drawing imperfections from `seed`.
+  Device(const DeviceModelSpec& model, std::uint64_t seed);
+
+  const std::string& model_name() const { return model_name_; }
+  Os os() const { return os_; }
+  std::uint64_t unit_seed() const { return unit_seed_; }
+
+  const SensorUnit& accelerometer() const { return accel_; }
+  const SensorUnit& gyroscope() const { return gyro_; }
+
+ private:
+  std::string model_name_;
+  Os os_;
+  std::uint64_t unit_seed_;
+  SensorUnit accel_;
+  SensorUnit gyro_;
+};
+
+}  // namespace sybiltd::sensing

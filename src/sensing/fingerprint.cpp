@@ -1,0 +1,95 @@
+#include "sensing/fingerprint.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sybiltd::sensing {
+
+FingerprintStreams to_streams(const ImuCapture& capture) {
+  SYBILTD_CHECK(capture.accel.size() == capture.gyro.size(),
+                "capture sensor streams must align");
+  FingerprintStreams s;
+  s.sample_rate_hz = capture.sample_rate_hz;
+  s.accel_magnitude.reserve(capture.accel.size());
+  s.gyro_x.reserve(capture.gyro.size());
+  s.gyro_y.reserve(capture.gyro.size());
+  s.gyro_z.reserve(capture.gyro.size());
+  for (const Vec3& a : capture.accel) {
+    s.accel_magnitude.push_back(
+        std::sqrt(a[0] * a[0] + a[1] * a[1] + a[2] * a[2]));
+  }
+  for (const Vec3& w : capture.gyro) {
+    s.gyro_x.push_back(w[0]);
+    s.gyro_y.push_back(w[1]);
+    s.gyro_z.push_back(w[2]);
+  }
+  return s;
+}
+
+std::vector<double> fingerprint_features(
+    const FingerprintStreams& streams, const signal::FeatureOptions& options) {
+  signal::FeatureOptions opts = options;
+  opts.sample_rate_hz = streams.sample_rate_hz > 0.0 ? streams.sample_rate_hz
+                                                     : options.sample_rate_hz;
+  std::vector<double> out;
+  out.reserve(kFingerprintDim);
+  const std::array<const std::vector<double>*,
+                   FingerprintStreams::kStreamCount>
+      streams_in_order = {&streams.accel_magnitude, &streams.gyro_x,
+                          &streams.gyro_y, &streams.gyro_z};
+  for (const auto* stream : streams_in_order) {
+    const auto features = signal::extract_stream_features(*stream, opts);
+    const auto arr = features.to_array();
+    out.insert(out.end(), arr.begin(), arr.end());
+  }
+  SYBILTD_ASSERT(out.size() == kFingerprintDim);
+  return out;
+}
+
+std::vector<double> fingerprint_features_windowed(
+    const FingerprintStreams& streams, std::size_t windows,
+    const signal::FeatureOptions& options) {
+  SYBILTD_CHECK(windows >= 1, "need at least one window");
+  const std::size_t samples = streams.accel_magnitude.size();
+  SYBILTD_CHECK(samples >= windows * 8,
+                "streams too short for the requested window count");
+  if (windows == 1) return fingerprint_features(streams, options);
+
+  std::vector<double> accumulated(kFingerprintDim, 0.0);
+  const std::size_t window_len = samples / windows;
+  for (std::size_t w = 0; w < windows; ++w) {
+    const std::size_t begin = w * window_len;
+    FingerprintStreams window;
+    window.sample_rate_hz = streams.sample_rate_hz;
+    auto slice = [&](const std::vector<double>& xs) {
+      return std::vector<double>(
+          xs.begin() + static_cast<std::ptrdiff_t>(begin),
+          xs.begin() + static_cast<std::ptrdiff_t>(begin + window_len));
+    };
+    window.accel_magnitude = slice(streams.accel_magnitude);
+    window.gyro_x = slice(streams.gyro_x);
+    window.gyro_y = slice(streams.gyro_y);
+    window.gyro_z = slice(streams.gyro_z);
+    const auto features = fingerprint_features(window, options);
+    for (std::size_t f = 0; f < kFingerprintDim; ++f) {
+      accumulated[f] += features[f];
+    }
+  }
+  for (double& f : accumulated) f /= static_cast<double>(windows);
+  return accumulated;
+}
+
+std::vector<double> capture_fingerprint(const Device& device,
+                                        const CaptureOptions& options,
+                                        Rng& rng) {
+  const ImuCapture capture = capture_imu(device, options, rng);
+  return fingerprint_features(to_streams(capture));
+}
+
+Matrix fingerprint_matrix(
+    const std::vector<std::vector<double>>& fingerprints) {
+  return Matrix::from_rows(fingerprints);
+}
+
+}  // namespace sybiltd::sensing

@@ -1,0 +1,58 @@
+// Device fingerprints (Section III-D / IV-C, AG-FP).
+//
+// A fingerprint is built from one sign-in capture: the accelerometer's
+// orientation-independent magnitude stream |a(t)| plus the three gyroscope
+// axis streams, each featurized with the 20 temporal/spectral features of
+// Table II — an 80-dimensional vector per account.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/matrix.h"
+#include "sensing/imu_stream.h"
+#include "signal/features.h"
+
+namespace sybiltd::sensing {
+
+// The four scalar streams AG-FP derives from a raw capture.
+struct FingerprintStreams {
+  std::vector<double> accel_magnitude;  // |a(t)| — orientation independent
+  std::vector<double> gyro_x;
+  std::vector<double> gyro_y;
+  std::vector<double> gyro_z;
+  double sample_rate_hz = 0.0;
+
+  static constexpr std::size_t kStreamCount = 4;
+};
+
+FingerprintStreams to_streams(const ImuCapture& capture);
+
+// Feature dimensionality of a fingerprint vector: 4 streams x 20 features.
+inline constexpr std::size_t kFingerprintDim =
+    FingerprintStreams::kStreamCount * signal::StreamFeatures::kCount;
+
+// Featurize the four streams into one fingerprint vector (length
+// kFingerprintDim), ordered stream-major: accel, gyro x, gyro y, gyro z.
+std::vector<double> fingerprint_features(
+    const FingerprintStreams& streams,
+    const signal::FeatureOptions& options = {});
+
+// Windowed variant: split each stream into `windows` equal segments,
+// featurize each, and average the per-window features.  Averaging reduces
+// the capture-to-capture variance of the noisier features (extrema,
+// higher moments) at the cost of spectral resolution — an AG-FP stability
+// knob evaluated in bench/ablation_kselection.
+std::vector<double> fingerprint_features_windowed(
+    const FingerprintStreams& streams, std::size_t windows,
+    const signal::FeatureOptions& options = {});
+
+// Convenience: capture + featurize in one call.
+std::vector<double> capture_fingerprint(const Device& device,
+                                        const CaptureOptions& options,
+                                        Rng& rng);
+
+// Stack per-account fingerprint vectors into a matrix (row per account).
+Matrix fingerprint_matrix(const std::vector<std::vector<double>>& fingerprints);
+
+}  // namespace sybiltd::sensing

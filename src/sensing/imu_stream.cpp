@@ -1,0 +1,110 @@
+#include "sensing/imu_stream.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace sybiltd::sensing {
+
+namespace {
+
+constexpr double kGravity = 9.80665;  // m/s^2
+
+// A small bank of sinusoids with random phases models the tremor band.
+struct Oscillator {
+  double freq_hz = 0.0;
+  double amplitude = 0.0;
+  double phase = 0.0;
+
+  double value(double t) const {
+    return amplitude * std::sin(2.0 * std::numbers::pi * freq_hz * t + phase);
+  }
+};
+
+std::vector<Oscillator> make_tremor_bank(double base_amplitude, Rng& rng) {
+  std::vector<Oscillator> bank;
+  // Physiological tremor 8–12 Hz plus a slow postural sway component.
+  const int tremor_components = 3;
+  for (int i = 0; i < tremor_components; ++i) {
+    bank.push_back({rng.uniform(8.0, 12.0),
+                    base_amplitude * rng.uniform(0.5, 1.0),
+                    rng.uniform(0.0, 2.0 * std::numbers::pi)});
+  }
+  bank.push_back({rng.uniform(0.3, 1.2),
+                  base_amplitude * rng.uniform(1.0, 2.0),
+                  rng.uniform(0.0, 2.0 * std::numbers::pi)});
+  return bank;
+}
+
+}  // namespace
+
+ImuCapture capture_imu(const Device& device, const CaptureOptions& options,
+                       Rng& rng) {
+  SYBILTD_CHECK(options.duration_s > 0.0, "capture duration must be positive");
+  SYBILTD_CHECK(options.sample_rate_hz > 0.0, "sample rate must be positive");
+
+  const std::size_t samples = static_cast<std::size_t>(
+      options.duration_s * options.sample_rate_hz);
+  SYBILTD_CHECK(samples >= 8, "capture too short for spectral analysis");
+
+  ImuCapture capture;
+  capture.sample_rate_hz = options.sample_rate_hz;
+  capture.accel.reserve(samples);
+  capture.gyro.reserve(samples);
+
+  // Random (but fixed within a capture) hand orientation: gravity projects
+  // onto the three axes through two tilt angles.
+  const double tilt = rng.uniform(0.0, 0.35);
+  const double azimuth = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const Vec3 gravity = {
+      kGravity * std::sin(tilt) * std::cos(azimuth),
+      kGravity * std::sin(tilt) * std::sin(azimuth),
+      kGravity * std::cos(tilt),
+  };
+
+  // Capture-to-capture variability of the tremor strength.
+  const double accel_amp =
+      options.tremor_accel_amplitude *
+      (1.0 + options.instability * rng.uniform(-0.4, 0.4));
+  const double gyro_amp =
+      options.tremor_gyro_amplitude *
+      (1.0 + options.instability * rng.uniform(-0.4, 0.4));
+
+  std::array<std::vector<Oscillator>, 3> accel_tremor;
+  std::array<std::vector<Oscillator>, 3> gyro_tremor;
+  for (int axis = 0; axis < 3; ++axis) {
+    accel_tremor[axis] = make_tremor_bank(accel_amp, rng);
+    gyro_tremor[axis] = make_tremor_bank(gyro_amp, rng);
+  }
+
+  Rng noise_rng = rng.split();
+  const double dt = 1.0 / options.sample_rate_hz;
+  const double accel_res_omega =
+      2.0 * std::numbers::pi * device.accelerometer().resonance_hz;
+  const double gyro_res_omega =
+      2.0 * std::numbers::pi * device.gyroscope().resonance_hz;
+
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double t = static_cast<double>(s) * dt;
+    Vec3 true_accel{};
+    Vec3 true_gyro{};
+    for (int axis = 0; axis < 3; ++axis) {
+      double a = gravity[axis];
+      for (const auto& osc : accel_tremor[axis]) a += osc.value(t);
+      true_accel[axis] = a;
+      double g = 0.0;
+      for (const auto& osc : gyro_tremor[axis]) g += osc.value(t);
+      true_gyro[axis] = g;
+    }
+    capture.accel.push_back(device.accelerometer().measure(
+        true_accel, accel_res_omega * t, noise_rng,
+        options.ambient_temperature_c));
+    capture.gyro.push_back(device.gyroscope().measure(
+        true_gyro, gyro_res_omega * t, noise_rng,
+        options.ambient_temperature_c));
+  }
+  return capture;
+}
+
+}  // namespace sybiltd::sensing

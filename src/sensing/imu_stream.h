@@ -1,0 +1,52 @@
+// Synthesis of raw IMU streams for a hand-held stationary phone.
+//
+// The paper's capture protocol (Section V-A): the user holds the phone in
+// hand for T seconds at sign-in, and the platform records accelerometer and
+// gyroscope at the app sample rate.  "Stationary" in a hand still shows
+// physiological micro-tremor (8–12 Hz, small amplitude) plus slow postural
+// drift; the device's own transfer function (gain/bias/noise/resonance) is
+// then applied per sample by Device.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sensing/device.h"
+
+namespace sybiltd::sensing {
+
+struct CaptureOptions {
+  double duration_s = 6.0;      // the paper holds for 6 seconds
+  double sample_rate_hz = 100.0;
+  // Hand micro-tremor: base amplitude of the 8–12 Hz physiological band
+  // (m/s^2 for accel, rad/s for gyro).  Varies per capture around these.
+  // The defaults model the paper's protocol of holding the phone as still
+  // as possible for the 6-second sign-in capture.
+  double tremor_accel_amplitude = 0.008;
+  double tremor_gyro_amplitude = 0.004;
+  // Multiplier of capture-to-capture variability; raise it to produce the
+  // unstable fingerprints of the paper's Fig. 2 "Smartphone 1".
+  double instability = 0.3;
+  // Ambient temperature during the capture.  MEMS bias drifts with
+  // temperature (SensorSpec::temp_coefficient), so captures of one device
+  // at different temperatures smear its fingerprint — see
+  // bench/ablation_temperature.
+  double ambient_temperature_c = 25.0;
+};
+
+// Raw 6-axis capture: one sample per timestep for each sensor.
+struct ImuCapture {
+  std::vector<Vec3> accel;  // m/s^2, includes gravity
+  std::vector<Vec3> gyro;   // rad/s
+  double sample_rate_hz = 0.0;
+};
+
+// Simulate holding `device` in hand and recording both sensors.
+// `rng` drives the hand motion and the device's sample noise; captures with
+// different rngs on the same device share the device's imperfections but
+// not the hand motion — exactly the split AG-FP relies on.
+ImuCapture capture_imu(const Device& device, const CaptureOptions& options,
+                       Rng& rng);
+
+}  // namespace sybiltd::sensing

@@ -1,0 +1,202 @@
+#include "signal/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace sybiltd::signal {
+
+std::array<double, TemporalFeatures::kCount> TemporalFeatures::to_array()
+    const {
+  return {mean, stddev,          skewness, kurtosis,
+          rms,  max,             min,      zero_crossing_rate,
+          non_negative_count};
+}
+
+std::array<double, SpectralFeatures::kCount> SpectralFeatures::to_array()
+    const {
+  return {centroid,   spread,  skewness, kurtosis, flatness, irregularity,
+          entropy,    rolloff, brightness, rms,    roughness};
+}
+
+std::array<double, StreamFeatures::kCount> StreamFeatures::to_array() const {
+  std::array<double, kCount> out{};
+  const auto t = temporal.to_array();
+  const auto s = spectral.to_array();
+  std::copy(t.begin(), t.end(), out.begin());
+  std::copy(s.begin(), s.end(), out.begin() + t.size());
+  return out;
+}
+
+TemporalFeatures extract_temporal_features(std::span<const double> stream) {
+  SYBILTD_CHECK(!stream.empty(), "temporal features of an empty stream");
+  RunningMoments m;
+  for (double x : stream) m.add(x);
+  TemporalFeatures f;
+  f.mean = m.mean();
+  f.stddev = m.stddev();
+  f.skewness = m.skewness();
+  f.kurtosis = m.excess_kurtosis();
+  f.rms = root_mean_square(stream);
+  f.max = m.max();
+  f.min = m.min();
+  f.zero_crossing_rate = zero_crossing_rate(stream);
+  f.non_negative_count =
+      static_cast<double>(non_negative_count(stream));
+  return f;
+}
+
+double plomp_levelt_dissonance(double f1, double a1, double f2, double a2) {
+  // Plomp & Levelt (1965) as parameterized by Sethares: dissonance of two
+  // partials peaks at ~a quarter of the critical bandwidth apart.
+  if (f2 < f1) {
+    std::swap(f1, f2);
+    std::swap(a1, a2);
+  }
+  constexpr double kB1 = 3.5;
+  constexpr double kB2 = 5.75;
+  constexpr double kDStar = 0.24;  // point of maximum dissonance
+  constexpr double kS1 = 0.0207;
+  constexpr double kS2 = 18.96;
+  const double s = kDStar / (kS1 * f1 + kS2);
+  const double diff = f2 - f1;
+  const double amp = a1 * a2;
+  return amp * (std::exp(-kB1 * s * diff) - std::exp(-kB2 * s * diff));
+}
+
+SpectralFeatures extract_spectral_features(const Spectrum& spectrum,
+                                           const FeatureOptions& options) {
+  SpectralFeatures f;
+  const auto& mag = spectrum.magnitude;
+  if (mag.size() < 2) return f;
+
+  // Work on the one-sided spectrum excluding DC, which only reflects the
+  // stream's offset and is already captured by the temporal mean.
+  double total_mag = 0.0;
+  for (std::size_t k = 1; k < mag.size(); ++k) total_mag += mag[k];
+  if (total_mag <= 0.0) return f;
+
+  // --- centroid / spread / skewness / kurtosis (magnitude-weighted moments
+  // over frequency) -----------------------------------------------------
+  double centroid = 0.0;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    centroid += spectrum.frequency(k) * mag[k];
+  }
+  centroid /= total_mag;
+
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    const double d = spectrum.frequency(k) - centroid;
+    const double w = mag[k] / total_mag;
+    m2 += d * d * w;
+    m3 += d * d * d * w;
+    m4 += d * d * d * d * w;
+  }
+  const double spread = std::sqrt(m2);
+  f.centroid = centroid;
+  f.spread = spread;
+  f.skewness = spread > 0.0 ? m3 / (spread * spread * spread) : 0.0;
+  f.kurtosis = m2 > 0.0 ? m4 / (m2 * m2) : 0.0;
+
+  // --- flatness: geometric over arithmetic mean of the power spectrum ---
+  double log_sum = 0.0;
+  double arith_sum = 0.0;
+  std::size_t bins = 0;
+  constexpr double kEps = 1e-30;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    const double p = mag[k] * mag[k];
+    log_sum += std::log(p + kEps);
+    arith_sum += p;
+    ++bins;
+  }
+  const double geo_mean = std::exp(log_sum / static_cast<double>(bins));
+  const double arith_mean = arith_sum / static_cast<double>(bins);
+  f.flatness = arith_mean > 0.0 ? geo_mean / arith_mean : 0.0;
+
+  // --- irregularity (Jensen): variation between successive bins ---------
+  double irr_num = 0.0, irr_den = 0.0;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    const double next = (k + 1 < mag.size()) ? mag[k + 1] : 0.0;
+    const double d = mag[k] - next;
+    irr_num += d * d;
+    irr_den += mag[k] * mag[k];
+  }
+  f.irregularity = irr_den > 0.0 ? irr_num / irr_den : 0.0;
+
+  // --- normalized Shannon entropy ---------------------------------------
+  double entropy = 0.0;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    const double p = mag[k] / total_mag;
+    if (p > 0.0) entropy -= p * std::log(p);
+  }
+  f.entropy = bins > 1 ? entropy / std::log(static_cast<double>(bins)) : 0.0;
+
+  // --- rolloff: frequency below which `rolloff_fraction` of the magnitude
+  // is concentrated -------------------------------------------------------
+  const double target = options.rolloff_fraction * total_mag;
+  double running = 0.0;
+  f.rolloff = spectrum.frequency(mag.size() - 1);
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    running += mag[k];
+    if (running >= target) {
+      f.rolloff = spectrum.frequency(k);
+      break;
+    }
+  }
+
+  // --- brightness: magnitude fraction above the cut-off ------------------
+  const double cutoff = options.brightness_cutoff_fraction *
+                        spectrum.nyquist();
+  double above = 0.0;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    if (spectrum.frequency(k) >= cutoff) above += mag[k];
+  }
+  f.brightness = above / total_mag;
+
+  // --- spectral RMS -------------------------------------------------------
+  {
+    double sum_sq = 0.0;
+    for (std::size_t k = 1; k < mag.size(); ++k) sum_sq += mag[k] * mag[k];
+    f.rms = std::sqrt(sum_sq / static_cast<double>(bins));
+  }
+
+  // --- roughness: average Plomp–Levelt dissonance over all peak pairs ----
+  const auto peaks = find_peaks(spectrum, options.peak_relative_threshold);
+  if (peaks.size() >= 2) {
+    double total = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < peaks.size(); ++i) {
+      for (std::size_t j = i + 1; j < peaks.size(); ++j) {
+        total += plomp_levelt_dissonance(peaks[i].frequency_hz,
+                                         peaks[i].magnitude,
+                                         peaks[j].frequency_hz,
+                                         peaks[j].magnitude);
+        ++pairs;
+      }
+    }
+    f.roughness = total / static_cast<double>(pairs);
+  }
+  return f;
+}
+
+StreamFeatures extract_stream_features(std::span<const double> stream,
+                                       const FeatureOptions& options) {
+  StreamFeatures out;
+  out.temporal = extract_temporal_features(stream);
+  const Spectrum spec =
+      compute_spectrum(stream, options.sample_rate_hz, options.window);
+  out.spectral = extract_spectral_features(spec, options);
+  return out;
+}
+
+std::vector<std::string> feature_names() {
+  return {"t_mean",       "t_stddev",     "t_skewness",  "t_kurtosis",
+          "t_rms",        "t_max",        "t_min",       "t_zcr",
+          "t_nonneg",     "s_centroid",   "s_spread",    "s_skewness",
+          "s_kurtosis",   "s_flatness",   "s_irregular", "s_entropy",
+          "s_rolloff",    "s_brightness", "s_rms",       "s_roughness"};
+}
+
+}  // namespace sybiltd::signal

@@ -1,0 +1,85 @@
+// The 20 temporal + spectral stream features of Table II (Lin et al.,
+// ICDCS'19), following the definitions of Das et al. (NDSS'16) and
+// Peeters (CUIDADO 2004).  These featurize one sensor data stream; AG-FP
+// concatenates the features of four streams (|a|, wx, wy, wz) into an
+// 80-dimensional device fingerprint vector.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "signal/spectrum.h"
+
+namespace sybiltd::signal {
+
+// Table II rows 1–9.
+struct TemporalFeatures {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double skewness = 0.0;
+  double kurtosis = 0.0;  // excess kurtosis
+  double rms = 0.0;
+  double max = 0.0;
+  double min = 0.0;
+  double zero_crossing_rate = 0.0;
+  double non_negative_count = 0.0;
+
+  static constexpr std::size_t kCount = 9;
+  std::array<double, kCount> to_array() const;
+};
+
+// Table II rows 10–20.
+struct SpectralFeatures {
+  double centroid = 0.0;      // Hz
+  double spread = 0.0;        // Hz
+  double skewness = 0.0;
+  double kurtosis = 0.0;
+  double flatness = 0.0;      // geometric / arithmetic mean of power
+  double irregularity = 0.0;  // Jensen irregularity of successive bins
+  double entropy = 0.0;       // normalized Shannon entropy of the spectrum
+  double rolloff = 0.0;       // Hz below which 85% of magnitude concentrates
+  double brightness = 0.0;    // energy fraction above the cut-off frequency
+  double rms = 0.0;           // RMS of the magnitude spectrum
+  double roughness = 0.0;     // mean Plomp–Levelt dissonance over peak pairs
+
+  static constexpr std::size_t kCount = 11;
+  std::array<double, kCount> to_array() const;
+};
+
+struct FeatureOptions {
+  double sample_rate_hz = 100.0;
+  WindowKind window = WindowKind::kHann;
+  double rolloff_fraction = 0.85;  // Table II: 85%
+  // Brightness cut-off as a fraction of Nyquist (the audio literature uses
+  // 1500 Hz; IMU streams are far narrower so we scale by bandwidth).
+  double brightness_cutoff_fraction = 0.1;
+  double peak_relative_threshold = 0.05;
+};
+
+TemporalFeatures extract_temporal_features(std::span<const double> stream);
+SpectralFeatures extract_spectral_features(const Spectrum& spectrum,
+                                           const FeatureOptions& options = {});
+
+// All 20 features of one stream, temporal first, spectral second —
+// the per-stream fingerprint block.
+struct StreamFeatures {
+  TemporalFeatures temporal;
+  SpectralFeatures spectral;
+
+  static constexpr std::size_t kCount =
+      TemporalFeatures::kCount + SpectralFeatures::kCount;
+  std::array<double, kCount> to_array() const;
+};
+
+StreamFeatures extract_stream_features(std::span<const double> stream,
+                                       const FeatureOptions& options = {});
+
+// Human-readable names matching Table II order, "t_mean" … "s_roughness".
+std::vector<std::string> feature_names();
+
+// Plomp–Levelt pairwise dissonance of two partials (used by roughness).
+double plomp_levelt_dissonance(double f1, double a1, double f2, double a2);
+
+}  // namespace sybiltd::signal

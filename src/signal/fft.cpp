@@ -1,0 +1,118 @@
+#include "signal/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace sybiltd::signal {
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_radix2(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  SYBILTD_CHECK(is_power_of_two(n), "fft_radix2 needs a power-of-two size");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+namespace {
+
+// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
+// convolution, evaluated with a power-of-two FFT.
+std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  const double sign = inverse ? 1.0 : -1.0;
+  // chirp[k] = exp(sign * i * pi * k^2 / n)
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument small and exact.
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle =
+        sign * std::numbers::pi * static_cast<double>(k2) /
+        static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+  const std::size_t m = next_power_of_two(2 * n - 1);
+  std::vector<Complex> a(m, Complex(0.0, 0.0));
+  std::vector<Complex> b(m, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = b[m - k] = std::conj(chirp[k]);
+  }
+  fft_radix2(a, /*inverse=*/false);
+  fft_radix2(b, /*inverse=*/false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_radix2(a, /*inverse=*/true);
+  const double scale = 1.0 / static_cast<double>(m);
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * scale * chirp[k];
+  return out;
+}
+
+}  // namespace
+
+std::vector<Complex> fft(std::span<const Complex> input) {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  if (is_power_of_two(n)) {
+    std::vector<Complex> data(input.begin(), input.end());
+    fft_radix2(data, /*inverse=*/false);
+    return data;
+  }
+  return bluestein(input, /*inverse=*/false);
+}
+
+std::vector<Complex> inverse_fft(std::span<const Complex> input) {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  std::vector<Complex> data;
+  if (is_power_of_two(n)) {
+    data.assign(input.begin(), input.end());
+    fft_radix2(data, /*inverse=*/true);
+  } else {
+    data = bluestein(input, /*inverse=*/true);
+  }
+  const double scale = 1.0 / static_cast<double>(n);
+  for (auto& x : data) x *= scale;
+  return data;
+}
+
+std::vector<Complex> fft_real(std::span<const double> input) {
+  std::vector<Complex> cx(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    cx[i] = Complex(input[i], 0.0);
+  }
+  return fft(cx);
+}
+
+}  // namespace sybiltd::signal

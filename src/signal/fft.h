@@ -1,0 +1,33 @@
+// Fast Fourier transforms, implemented from scratch.
+//
+// The device-fingerprint feature extractor (signal/features.h) needs the
+// power spectrum of short IMU streams of arbitrary length.  We provide an
+// iterative radix-2 Cooley–Tukey FFT for power-of-two sizes and Bluestein's
+// chirp-z algorithm for everything else, so callers never have to pad.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace sybiltd::signal {
+
+using Complex = std::complex<double>;
+
+// True iff n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+// In-place radix-2 FFT.  data.size() must be a power of two.
+// inverse=true computes the unscaled inverse transform; callers divide by n.
+void fft_radix2(std::vector<Complex>& data, bool inverse = false);
+
+// FFT of arbitrary length via Bluestein's algorithm (radix-2 internally).
+std::vector<Complex> fft(std::span<const Complex> input);
+std::vector<Complex> inverse_fft(std::span<const Complex> input);
+
+// FFT of a real signal; returns the full complex spectrum of input.size().
+std::vector<Complex> fft_real(std::span<const double> input);
+
+}  // namespace sybiltd::signal

@@ -1,0 +1,53 @@
+#include "signal/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "signal/fft.h"
+
+namespace sybiltd::signal {
+
+double Spectrum::frequency(std::size_t bin) const {
+  SYBILTD_CHECK(bin < magnitude.size(), "spectrum bin out of range");
+  if (signal_length == 0) return 0.0;
+  return sample_rate_hz * static_cast<double>(bin) /
+         static_cast<double>(signal_length);
+}
+
+Spectrum compute_spectrum(std::span<const double> signal,
+                          double sample_rate_hz, WindowKind window) {
+  SYBILTD_CHECK(sample_rate_hz > 0.0, "sample rate must be positive");
+  Spectrum out;
+  out.sample_rate_hz = sample_rate_hz;
+  out.signal_length = signal.size();
+  if (signal.empty()) return out;
+
+  const auto w = make_window(window, signal.size());
+  const auto windowed = apply_window(signal, w);
+  const auto full = fft_real(windowed);
+
+  const std::size_t half = signal.size() / 2 + 1;
+  out.magnitude.resize(half);
+  for (std::size_t k = 0; k < half; ++k) {
+    out.magnitude[k] = std::abs(full[k]);
+  }
+  return out;
+}
+
+std::vector<SpectralPeak> find_peaks(const Spectrum& spectrum,
+                                     double relative_threshold) {
+  std::vector<SpectralPeak> peaks;
+  const auto& mag = spectrum.magnitude;
+  if (mag.size() < 3) return peaks;
+  const double max_mag = *std::max_element(mag.begin() + 1, mag.end());
+  const double threshold = relative_threshold * max_mag;
+  for (std::size_t k = 1; k + 1 < mag.size(); ++k) {
+    if (mag[k] > mag[k - 1] && mag[k] >= mag[k + 1] && mag[k] >= threshold) {
+      peaks.push_back({spectrum.frequency(k), mag[k]});
+    }
+  }
+  return peaks;
+}
+
+}  // namespace sybiltd::signal

@@ -1,0 +1,39 @@
+// Magnitude spectra and spectral peak analysis.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "signal/window.h"
+
+namespace sybiltd::signal {
+
+// One-sided magnitude spectrum of a real signal.
+// bins() holds |X[k]| for k = 0..N/2; frequency(k) maps a bin to Hz.
+struct Spectrum {
+  std::vector<double> magnitude;  // one-sided, DC first
+  double sample_rate_hz = 0.0;
+  std::size_t signal_length = 0;
+
+  std::size_t bins() const { return magnitude.size(); }
+  double frequency(std::size_t bin) const;
+  double nyquist() const { return sample_rate_hz / 2.0; }
+};
+
+// Compute the one-sided magnitude spectrum after applying `window`.
+Spectrum compute_spectrum(std::span<const double> signal,
+                          double sample_rate_hz,
+                          WindowKind window = WindowKind::kHann);
+
+// A local maximum of the magnitude spectrum.
+struct SpectralPeak {
+  double frequency_hz = 0.0;
+  double magnitude = 0.0;
+};
+
+// Local maxima of the spectrum whose magnitude exceeds
+// `relative_threshold` * max magnitude.  DC is excluded.
+std::vector<SpectralPeak> find_peaks(const Spectrum& spectrum,
+                                     double relative_threshold = 0.05);
+
+}  // namespace sybiltd::signal

@@ -1,0 +1,75 @@
+#include "signal/welch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "signal/fft.h"
+
+namespace sybiltd::signal {
+
+double PowerSpectralDensity::frequency(std::size_t bin) const {
+  SYBILTD_CHECK(bin < psd.size(), "PSD bin out of range");
+  if (segment_length == 0) return 0.0;
+  return sample_rate_hz * static_cast<double>(bin) /
+         static_cast<double>(segment_length);
+}
+
+PowerSpectralDensity welch_psd(std::span<const double> signal,
+                               double sample_rate_hz,
+                               const WelchOptions& options) {
+  SYBILTD_CHECK(!signal.empty(), "Welch PSD of an empty signal");
+  SYBILTD_CHECK(sample_rate_hz > 0.0, "sample rate must be positive");
+  SYBILTD_CHECK(options.overlap >= 0.0 && options.overlap < 1.0,
+                "overlap must be in [0, 1)");
+  SYBILTD_CHECK(options.segment_length >= 2, "segment too short");
+
+  const std::size_t seg =
+      std::min(options.segment_length, signal.size());
+  const std::size_t hop = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(static_cast<double>(seg) * (1.0 - options.overlap))));
+
+  const auto window = make_window(options.window, seg);
+  double window_power = 0.0;
+  for (double w : window) window_power += w * w;
+
+  PowerSpectralDensity out;
+  out.sample_rate_hz = sample_rate_hz;
+  out.segment_length = seg;
+  out.psd.assign(seg / 2 + 1, 0.0);
+
+  for (std::size_t start = 0; start + seg <= signal.size(); start += hop) {
+    std::vector<double> segment(seg);
+    for (std::size_t i = 0; i < seg; ++i) {
+      segment[i] = signal[start + i] * window[i];
+    }
+    const auto spectrum = fft_real(segment);
+    for (std::size_t k = 0; k < out.psd.size(); ++k) {
+      // One-sided periodogram scaling: double the interior bins.
+      const double scale = (k == 0 || 2 * k == seg) ? 1.0 : 2.0;
+      out.psd[k] += scale * std::norm(spectrum[k]) /
+                    (sample_rate_hz * window_power);
+    }
+    ++out.segments_averaged;
+    if (signal.size() < seg + hop) break;
+  }
+  SYBILTD_ASSERT(out.segments_averaged >= 1);
+  for (double& p : out.psd) {
+    p /= static_cast<double>(out.segments_averaged);
+  }
+  return out;
+}
+
+Spectrum to_spectrum(const PowerSpectralDensity& psd) {
+  Spectrum s;
+  s.sample_rate_hz = psd.sample_rate_hz;
+  s.signal_length = psd.segment_length;
+  s.magnitude.resize(psd.psd.size());
+  for (std::size_t k = 0; k < psd.psd.size(); ++k) {
+    s.magnitude[k] = std::sqrt(std::max(psd.psd[k], 0.0));
+  }
+  return s;
+}
+
+}  // namespace sybiltd::signal

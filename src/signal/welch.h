@@ -1,0 +1,45 @@
+// Welch's method for power spectral density estimation: average the
+// periodograms of overlapping windowed segments.  Gives lower-variance
+// spectra than a single periodogram, which stabilizes the spectral
+// fingerprint features across captures (exposed via FeatureOptions in the
+// AG-FP ablations).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "signal/spectrum.h"
+#include "signal/window.h"
+
+namespace sybiltd::signal {
+
+struct WelchOptions {
+  std::size_t segment_length = 128;
+  // Overlap between consecutive segments as a fraction of segment_length,
+  // in [0, 1).  0.5 is the classic choice.
+  double overlap = 0.5;
+  WindowKind window = WindowKind::kHann;
+};
+
+// One-sided PSD estimate.  psd[k] is in units^2/Hz; frequency(k) maps bins
+// to Hz like Spectrum.  Signals shorter than one segment fall back to a
+// single full-length periodogram.
+struct PowerSpectralDensity {
+  std::vector<double> psd;
+  double sample_rate_hz = 0.0;
+  std::size_t segment_length = 0;
+  std::size_t segments_averaged = 0;
+
+  std::size_t bins() const { return psd.size(); }
+  double frequency(std::size_t bin) const;
+};
+
+PowerSpectralDensity welch_psd(std::span<const double> signal,
+                               double sample_rate_hz,
+                               const WelchOptions& options = {});
+
+// Convert a PSD estimate into the magnitude-spectrum form the feature
+// extractor consumes (sqrt of the PSD, same bin/frequency layout).
+Spectrum to_spectrum(const PowerSpectralDensity& psd);
+
+}  // namespace sybiltd::signal

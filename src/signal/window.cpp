@@ -1,0 +1,46 @@
+#include "signal/window.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace sybiltd::signal {
+
+std::vector<double> make_window(WindowKind kind, std::size_t length) {
+  std::vector<double> w(length, 1.0);
+  if (length <= 1) return w;
+  const double denom = static_cast<double>(length - 1);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double x = static_cast<double>(i) / denom;
+    switch (kind) {
+      case WindowKind::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * x);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * x);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(2.0 * std::numbers::pi * x) +
+               0.08 * std::cos(4.0 * std::numbers::pi * x);
+        break;
+    }
+  }
+  return w;
+}
+
+std::vector<double> apply_window(std::span<const double> signal,
+                                 std::span<const double> window) {
+  SYBILTD_CHECK(signal.size() == window.size(),
+                "window/signal length mismatch");
+  std::vector<double> out(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    out[i] = signal[i] * window[i];
+  }
+  return out;
+}
+
+}  // namespace sybiltd::signal

@@ -1,0 +1,23 @@
+// Window functions applied before spectral analysis to reduce leakage.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sybiltd::signal {
+
+enum class WindowKind {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+// Window coefficients of the given length (symmetric form).
+std::vector<double> make_window(WindowKind kind, std::size_t length);
+
+// Element-wise product of the signal with the window (lengths must match).
+std::vector<double> apply_window(std::span<const double> signal,
+                                 std::span<const double> window);
+
+}  // namespace sybiltd::signal

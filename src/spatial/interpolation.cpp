@@ -1,0 +1,67 @@
+#include "spatial/interpolation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sybiltd::spatial {
+
+IdwInterpolator::IdwInterpolator(std::vector<Sample> samples,
+                                 IdwOptions options)
+    : samples_(std::move(samples)), options_(options) {
+  SYBILTD_CHECK(!samples_.empty(), "IDW needs at least one sample");
+  SYBILTD_CHECK(options_.power > 0.0, "IDW power must be positive");
+}
+
+double IdwInterpolator::operator()(const mcs::Point& query) const {
+  double num = 0.0, den = 0.0;
+  for (const Sample& sample : samples_) {
+    const double d = mcs::distance(query, sample.location);
+    if (d <= options_.epsilon_m) return sample.value;
+    const double w = 1.0 / std::pow(d, options_.power);
+    num += w * sample.value;
+    den += w;
+  }
+  return num / den;
+}
+
+KnnInterpolator::KnnInterpolator(std::vector<Sample> samples, std::size_t k)
+    : samples_(std::move(samples)), k_(k) {
+  SYBILTD_CHECK(!samples_.empty(), "k-NN needs at least one sample");
+  SYBILTD_CHECK(k_ >= 1, "k must be at least 1");
+  k_ = std::min(k_, samples_.size());
+}
+
+double KnnInterpolator::operator()(const mcs::Point& query) const {
+  std::vector<std::pair<double, double>> by_distance;  // (distance, value)
+  by_distance.reserve(samples_.size());
+  for (const Sample& sample : samples_) {
+    by_distance.emplace_back(mcs::distance(query, sample.location),
+                             sample.value);
+  }
+  std::nth_element(by_distance.begin(),
+                   by_distance.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
+                   by_distance.end());
+  double total = 0.0;
+  for (std::size_t i = 0; i < k_; ++i) total += by_distance[i].second;
+  return total / static_cast<double>(k_);
+}
+
+double raster_mae(const std::vector<std::vector<double>>& a,
+                  const std::vector<std::vector<double>>& b) {
+  SYBILTD_CHECK(a.size() == b.size(), "raster shapes differ");
+  double total = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t y = 0; y < a.size(); ++y) {
+    SYBILTD_CHECK(a[y].size() == b[y].size(), "raster shapes differ");
+    for (std::size_t x = 0; x < a[y].size(); ++x) {
+      total += std::abs(a[y][x] - b[y][x]);
+      ++cells;
+    }
+  }
+  SYBILTD_CHECK(cells > 0, "empty rasters");
+  return total / static_cast<double>(cells);
+}
+
+}  // namespace sybiltd::spatial

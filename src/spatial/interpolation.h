@@ -1,0 +1,77 @@
+// Spatial field reconstruction from point estimates (extension).
+//
+// The Wi-Fi mapping application's actual product is a *coverage map*, not
+// ten numbers: the per-POI truths estimated by truth discovery are
+// interpolated over the campus.  This header provides the classic
+// deterministic interpolators — inverse distance weighting (Shepard) and
+// k-nearest-neighbor averaging; spatial/kriging.h adds the geostatistical
+// one.  Corrupted POI estimates propagate into the map, which is how the
+// Sybil attack's damage is experienced by end users.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mcs/task.h"
+
+namespace sybiltd::spatial {
+
+struct Sample {
+  mcs::Point location;
+  double value = 0.0;
+};
+
+// Shepard's inverse-distance weighting: value(x) = Σ wᵢ vᵢ / Σ wᵢ with
+// wᵢ = 1 / d(x, xᵢ)^power.  A query on top of a sample returns it exactly.
+struct IdwOptions {
+  double power = 2.0;
+  double epsilon_m = 1e-9;  // snap-to-sample radius
+};
+
+class IdwInterpolator {
+ public:
+  IdwInterpolator(std::vector<Sample> samples, IdwOptions options = {});
+  double operator()(const mcs::Point& query) const;
+
+ private:
+  std::vector<Sample> samples_;
+  IdwOptions options_;
+};
+
+// Mean of the k nearest samples.
+class KnnInterpolator {
+ public:
+  KnnInterpolator(std::vector<Sample> samples, std::size_t k = 3);
+  double operator()(const mcs::Point& query) const;
+
+ private:
+  std::vector<Sample> samples_;
+  std::size_t k_;
+};
+
+// Evaluate an interpolator over a regular grid; rows are y-major.
+template <typename Interpolator>
+std::vector<std::vector<double>> rasterize(const Interpolator& interp,
+                                           const mcs::CampusConfig& campus,
+                                           std::size_t cells_x,
+                                           std::size_t cells_y) {
+  std::vector<std::vector<double>> grid(
+      cells_y, std::vector<double>(cells_x, 0.0));
+  for (std::size_t gy = 0; gy < cells_y; ++gy) {
+    for (std::size_t gx = 0; gx < cells_x; ++gx) {
+      const mcs::Point p{
+          (static_cast<double>(gx) + 0.5) * campus.width_m /
+              static_cast<double>(cells_x),
+          (static_cast<double>(gy) + 0.5) * campus.height_m /
+              static_cast<double>(cells_y)};
+      grid[gy][gx] = interp(p);
+    }
+  }
+  return grid;
+}
+
+// Mean absolute difference between two rasters of identical shape.
+double raster_mae(const std::vector<std::vector<double>>& a,
+                  const std::vector<std::vector<double>>& b);
+
+}  // namespace sybiltd::spatial

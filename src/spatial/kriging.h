@@ -1,0 +1,47 @@
+// Ordinary kriging — the geostatistical interpolator (best linear unbiased
+// predictor under a stationary covariance model).
+//
+// Model: value(x) = mu + Z(x) with E[Z] = 0 and an exponential covariance
+// C(d) = sill * exp(-d / range) + nugget * [d == 0].  Weights solve the
+// ordinary-kriging system with a Lagrange multiplier enforcing Σ w = 1,
+// via the Cholesky solver in common/linalg.h.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "spatial/interpolation.h"
+
+namespace sybiltd::spatial {
+
+struct KrigingOptions {
+  double range_m = 150.0;   // correlation length of the field
+  double sill = 1.0;        // process variance (scales out of the weights)
+  double nugget = 1e-6;     // measurement noise / numerical ridge
+};
+
+class KrigingInterpolator {
+ public:
+  KrigingInterpolator(std::vector<Sample> samples,
+                      KrigingOptions options = {});
+
+  // Predicted value at the query point.
+  double operator()(const mcs::Point& query) const;
+
+  // Prediction with the kriging variance (uncertainty at the query).
+  struct Prediction {
+    double value = 0.0;
+    double variance = 0.0;
+  };
+  Prediction predict(const mcs::Point& query) const;
+
+ private:
+  double covariance(double distance_m) const;
+
+  std::vector<Sample> samples_;
+  KrigingOptions options_;
+  // Cholesky factor of the n x n sample-covariance matrix.
+  sybiltd::Matrix factor_;
+};
+
+}  // namespace sybiltd::spatial

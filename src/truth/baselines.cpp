@@ -1,0 +1,35 @@
+#include "truth/baselines.h"
+
+#include "common/stats.h"
+
+namespace sybiltd::truth {
+
+Result MeanAggregator::run(const ObservationTable& data) const {
+  Result result;
+  result.truths.assign(data.task_count(), nan_value());
+  result.account_weights.assign(data.account_count(), 1.0);
+  result.iterations = 1;
+  result.converged = true;
+  for (std::size_t j = 0; j < data.task_count(); ++j) {
+    result.truths[j] = data.task_mean(j);
+  }
+  return result;
+}
+
+Result MedianAggregator::run(const ObservationTable& data) const {
+  Result result;
+  result.truths.assign(data.task_count(), nan_value());
+  result.account_weights.assign(data.account_count(), 1.0);
+  result.iterations = 1;
+  result.converged = true;
+  for (std::size_t j = 0; j < data.task_count(); ++j) {
+    std::vector<double> values;
+    for (std::size_t idx : data.task_observations(j)) {
+      values.push_back(data.observations()[idx].value);
+    }
+    if (!values.empty()) result.truths[j] = median(values);
+  }
+  return result;
+}
+
+}  // namespace sybiltd::truth

@@ -1,0 +1,22 @@
+// Aggregation baselines that do not model account reliability: the plain
+// mean and the median.  Useful both as comparison points in benches and as
+// oracles in tests (CRH on clean symmetric data should approach the mean).
+#pragma once
+
+#include "truth/truth_discovery.h"
+
+namespace sybiltd::truth {
+
+class MeanAggregator final : public TruthDiscovery {
+ public:
+  std::string name() const override { return "Mean"; }
+  Result run(const ObservationTable& data) const override;
+};
+
+class MedianAggregator final : public TruthDiscovery {
+ public:
+  std::string name() const override { return "Median"; }
+  Result run(const ObservationTable& data) const override;
+};
+
+}  // namespace sybiltd::truth

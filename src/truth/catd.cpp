@@ -1,0 +1,119 @@
+#include "truth/catd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sybiltd::truth {
+
+double standard_normal_quantile(double p) {
+  SYBILTD_CHECK(p > 0.0 && p < 1.0, "normal quantile needs p in (0,1)");
+  // Acklam's rational approximation, |relative error| < 1.15e-9.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double chi_squared_quantile(double p, double k) {
+  SYBILTD_CHECK(p > 0.0 && p < 1.0, "chi2 quantile needs p in (0,1)");
+  SYBILTD_CHECK(k > 0.0, "chi2 quantile needs k > 0");
+  // Wilson–Hilferty: chi2_p(k) ~ k * (1 - 2/(9k) + z_p * sqrt(2/(9k)))^3
+  const double z = standard_normal_quantile(p);
+  const double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+Result Catd::run(const ObservationTable& data) const {
+  const std::size_t n_tasks = data.task_count();
+  const std::size_t n_accounts = data.account_count();
+
+  Result result;
+  result.truths.assign(n_tasks, nan_value());
+  result.account_weights.assign(n_accounts, 1.0);
+
+  std::vector<double> task_norm(n_tasks, 1.0);
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    const double sd = data.task_stddev(j);
+    task_norm[j] = sd > 1e-12 ? sd : 1.0;
+  }
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    result.truths[j] = data.task_mean(j);
+  }
+
+  std::vector<double> next_truths(n_tasks, nan_value());
+  for (std::size_t iter = 0; iter < options_.convergence.max_iterations;
+       ++iter) {
+    result.iterations = iter + 1;
+
+    // Weight: chi2 upper-tail quantile over the account's loss.
+    std::vector<double> losses(n_accounts, 0.0);
+    for (const Observation& obs : data.observations()) {
+      if (std::isnan(result.truths[obs.task])) continue;
+      const double diff =
+          (obs.value - result.truths[obs.task]) / task_norm[obs.task];
+      losses[obs.account] += diff * diff;
+    }
+    for (std::size_t i = 0; i < n_accounts; ++i) {
+      const std::size_t n_i = data.account_observations(i).size();
+      if (n_i == 0) {
+        result.account_weights[i] = 0.0;
+        continue;
+      }
+      const double quantile = chi_squared_quantile(
+          1.0 - options_.alpha / 2.0, static_cast<double>(n_i));
+      result.account_weights[i] =
+          quantile / std::max(losses[i], options_.loss_epsilon);
+    }
+
+    for (std::size_t j = 0; j < n_tasks; ++j) {
+      double num = 0.0, den = 0.0;
+      for (std::size_t idx : data.task_observations(j)) {
+        const Observation& obs = data.observations()[idx];
+        num += result.account_weights[obs.account] * obs.value;
+        den += result.account_weights[obs.account];
+      }
+      next_truths[j] = den > 0.0 ? num / den : nan_value();
+    }
+
+    const double delta = max_abs_difference(result.truths, next_truths);
+    result.truths = next_truths;
+    if (delta < options_.convergence.truth_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sybiltd::truth

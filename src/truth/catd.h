@@ -1,0 +1,34 @@
+// CATD — Confidence-Aware Truth Discovery (Li et al., VLDB'14), reference
+// [9] of the paper.  Designed for long-tail participation: an account's
+// weight is the upper bound of the (1-α) chi-squared confidence interval on
+// its error variance, so accounts with few observations are not over-trusted:
+//     w_i = chi2_inv(1 - alpha/2, n_i) / sum_j loss_ij
+#pragma once
+
+#include "truth/truth_discovery.h"
+
+namespace sybiltd::truth {
+
+struct CatdOptions {
+  ConvergenceOptions convergence;
+  double alpha = 0.05;       // confidence level of the interval
+  double loss_epsilon = 1e-6;
+};
+
+class Catd final : public TruthDiscovery {
+ public:
+  explicit Catd(CatdOptions options = {}) : options_(options) {}
+  std::string name() const override { return "CATD"; }
+  Result run(const ObservationTable& data) const override;
+
+ private:
+  CatdOptions options_;
+};
+
+// Chi-squared quantile via the Wilson–Hilferty transformation; accurate to
+// a few permille for k >= 1, which is ample for weighting purposes.
+double chi_squared_quantile(double p, double k);
+// Standard normal quantile (Acklam's rational approximation).
+double standard_normal_quantile(double p);
+
+}  // namespace sybiltd::truth

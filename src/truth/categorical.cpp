@@ -1,0 +1,255 @@
+#include "truth/categorical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sybiltd::truth {
+
+CategoricalTable::CategoricalTable(std::size_t account_count,
+                                   std::size_t task_count,
+                                   std::size_t label_count)
+    : account_count_(account_count),
+      task_count_(task_count),
+      label_count_(label_count),
+      by_task_(task_count),
+      by_account_(account_count) {
+  SYBILTD_CHECK(label_count_ >= 2, "need at least two labels");
+}
+
+void CategoricalTable::add(std::size_t account, std::size_t task,
+                           std::size_t label_id) {
+  SYBILTD_CHECK(account < account_count_, "account index out of range");
+  SYBILTD_CHECK(task < task_count_, "task index out of range");
+  SYBILTD_CHECK(label_id < label_count_, "label out of range");
+  SYBILTD_CHECK(!label(account, task).has_value(),
+                "one account may label a task at most once");
+  const std::size_t idx = observations_.size();
+  observations_.push_back({account, task, label_id});
+  by_task_[task].push_back(idx);
+  by_account_[account].push_back(idx);
+}
+
+std::optional<std::size_t> CategoricalTable::label(std::size_t account,
+                                                   std::size_t task) const {
+  SYBILTD_CHECK(account < account_count_, "account index out of range");
+  SYBILTD_CHECK(task < task_count_, "task index out of range");
+  for (std::size_t idx : by_account_[account]) {
+    if (observations_[idx].task == task) return observations_[idx].label;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::size_t>& CategoricalTable::task_observations(
+    std::size_t task) const {
+  SYBILTD_CHECK(task < task_count_, "task index out of range");
+  return by_task_[task];
+}
+
+const std::vector<std::size_t>& CategoricalTable::account_observations(
+    std::size_t account) const {
+  SYBILTD_CHECK(account < account_count_, "account index out of range");
+  return by_account_[account];
+}
+
+namespace {
+
+// Weighted plurality; ties break toward the smallest label.
+std::size_t weighted_plurality(const CategoricalTable& data,
+                               std::size_t task,
+                               const std::vector<double>& weights) {
+  std::vector<double> votes(data.label_count(), 0.0);
+  bool any = false;
+  for (std::size_t idx : data.task_observations(task)) {
+    const auto& obs = data.observations()[idx];
+    votes[obs.label] += weights[obs.account];
+    any = true;
+  }
+  if (!any) return kNoLabel;
+  std::size_t best = 0;
+  for (std::size_t l = 1; l < votes.size(); ++l) {
+    if (votes[l] > votes[best]) best = l;
+  }
+  return best;
+}
+
+}  // namespace
+
+CategoricalResult MajorityVote::run(const CategoricalTable& data) const {
+  CategoricalResult result;
+  result.account_weights.assign(data.account_count(), 1.0);
+  result.labels.assign(data.task_count(), kNoLabel);
+  for (std::size_t j = 0; j < data.task_count(); ++j) {
+    result.labels[j] = weighted_plurality(data, j, result.account_weights);
+  }
+  result.iterations = 1;
+  result.converged = true;
+  return result;
+}
+
+CategoricalResult CategoricalCrh::run(const CategoricalTable& data) const {
+  CategoricalResult result;
+  result.account_weights.assign(data.account_count(), 1.0);
+  result.labels.assign(data.task_count(), kNoLabel);
+  // Init: unweighted plurality.
+  for (std::size_t j = 0; j < data.task_count(); ++j) {
+    result.labels[j] = weighted_plurality(data, j, result.account_weights);
+  }
+
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Weight estimation: 0/1 losses against the current labels.
+    std::vector<double> errors(data.account_count(), 0.0);
+    double total = 0.0;
+    for (const auto& obs : data.observations()) {
+      if (result.labels[obs.task] == kNoLabel) continue;
+      if (obs.label != result.labels[obs.task]) errors[obs.account] += 1.0;
+    }
+    for (std::size_t i = 0; i < data.account_count(); ++i) {
+      if (data.account_observations(i).empty()) continue;
+      errors[i] = std::max(errors[i], options_.loss_epsilon);
+      total += errors[i];
+    }
+    for (std::size_t i = 0; i < data.account_count(); ++i) {
+      if (data.account_observations(i).empty()) {
+        result.account_weights[i] = 0.0;
+      } else {
+        result.account_weights[i] = std::log(total / errors[i]);
+        if (result.account_weights[i] <= 0.0) result.account_weights[i] = 1.0;
+      }
+    }
+    // Truth estimation: weighted plurality.
+    bool changed = false;
+    for (std::size_t j = 0; j < data.task_count(); ++j) {
+      const std::size_t next =
+          weighted_plurality(data, j, result.account_weights);
+      if (next != result.labels[j]) changed = true;
+      result.labels[j] = next;
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<double>> DawidSkene::posteriors(
+    const CategoricalTable& data) const {
+  const std::size_t n_tasks = data.task_count();
+  const std::size_t n_accounts = data.account_count();
+  const std::size_t n_labels = data.label_count();
+
+  // Initialize posteriors from vote shares.
+  std::vector<std::vector<double>> posterior(
+      n_tasks, std::vector<double>(n_labels, 0.0));
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    const auto& obs_idx = data.task_observations(j);
+    if (obs_idx.empty()) continue;
+    for (std::size_t idx : obs_idx) {
+      posterior[j][data.observations()[idx].label] += 1.0;
+    }
+    for (double& p : posterior[j]) {
+      p /= static_cast<double>(obs_idx.size());
+    }
+  }
+
+  // confusion[i][t][l] = P(account i reports l | truth t)
+  std::vector<std::vector<std::vector<double>>> confusion(
+      n_accounts, std::vector<std::vector<double>>(
+                      n_labels, std::vector<double>(n_labels, 0.0)));
+  std::vector<double> prior(n_labels, 1.0 / static_cast<double>(n_labels));
+
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // M-step: confusion matrices and class priors from soft counts.
+    for (auto& per_account : confusion) {
+      for (auto& row : per_account) {
+        std::fill(row.begin(), row.end(), options_.smoothing);
+      }
+    }
+    std::vector<double> prior_counts(n_labels, options_.smoothing);
+    for (const auto& obs : data.observations()) {
+      for (std::size_t t = 0; t < n_labels; ++t) {
+        confusion[obs.account][t][obs.label] += posterior[obs.task][t];
+      }
+    }
+    double prior_total = 0.0;
+    for (std::size_t j = 0; j < n_tasks; ++j) {
+      for (std::size_t t = 0; t < n_labels; ++t) {
+        prior_counts[t] += posterior[j][t];
+      }
+    }
+    for (double c : prior_counts) prior_total += c;
+    for (std::size_t t = 0; t < n_labels; ++t) {
+      prior[t] = prior_counts[t] / prior_total;
+    }
+    for (auto& per_account : confusion) {
+      for (auto& row : per_account) {
+        double row_total = 0.0;
+        for (double c : row) row_total += c;
+        for (double& c : row) c /= row_total;
+      }
+    }
+
+    // E-step: task posteriors from the likelihood of the observed labels.
+    double max_change = 0.0;
+    for (std::size_t j = 0; j < n_tasks; ++j) {
+      const auto& obs_idx = data.task_observations(j);
+      if (obs_idx.empty()) continue;
+      std::vector<double> log_post(n_labels, 0.0);
+      for (std::size_t t = 0; t < n_labels; ++t) {
+        log_post[t] = std::log(std::max(prior[t], 1e-12));
+        for (std::size_t idx : obs_idx) {
+          const auto& obs = data.observations()[idx];
+          log_post[t] +=
+              std::log(std::max(confusion[obs.account][t][obs.label],
+                                1e-12));
+        }
+      }
+      const double max_log =
+          *std::max_element(log_post.begin(), log_post.end());
+      double norm = 0.0;
+      std::vector<double> next(n_labels);
+      for (std::size_t t = 0; t < n_labels; ++t) {
+        next[t] = std::exp(log_post[t] - max_log);
+        norm += next[t];
+      }
+      for (std::size_t t = 0; t < n_labels; ++t) {
+        next[t] /= norm;
+        max_change = std::max(max_change,
+                              std::abs(next[t] - posterior[j][t]));
+        posterior[j][t] = next[t];
+      }
+    }
+    if (max_change < options_.tolerance) break;
+  }
+  return posterior;
+}
+
+CategoricalResult DawidSkene::run(const CategoricalTable& data) const {
+  const auto posterior = posteriors(data);
+  CategoricalResult result;
+  result.labels.assign(data.task_count(), kNoLabel);
+  for (std::size_t j = 0; j < data.task_count(); ++j) {
+    if (data.task_observations(j).empty()) continue;
+    result.labels[j] = static_cast<std::size_t>(
+        std::max_element(posterior[j].begin(), posterior[j].end()) -
+        posterior[j].begin());
+  }
+  // Account accuracy estimate: posterior-weighted agreement rate.
+  result.account_weights.assign(data.account_count(), 0.0);
+  std::vector<double> mass(data.account_count(), 0.0);
+  for (const auto& obs : data.observations()) {
+    result.account_weights[obs.account] += posterior[obs.task][obs.label];
+    mass[obs.account] += 1.0;
+  }
+  for (std::size_t i = 0; i < data.account_count(); ++i) {
+    if (mass[i] > 0.0) result.account_weights[i] /= mass[i];
+  }
+  result.iterations = options_.max_iterations;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace sybiltd::truth

@@ -1,0 +1,120 @@
+// Categorical truth discovery (extension).
+//
+// The paper's framework targets numerical sensing data, but much of the
+// truth discovery literature it builds on (TruthFinder [34], Dawid–Skene)
+// is categorical: tasks have one of L discrete labels ("is parking
+// available?", "which species?").  This module provides the categorical
+// substrate — majority vote, a CRH-style weighted-plurality algorithm, and
+// Dawid–Skene EM with per-account confusion matrices — which
+// core/categorical_framework.h lifts to a Sybil-resistant variant.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sybiltd::truth {
+
+inline constexpr std::size_t kNoLabel = static_cast<std::size_t>(-1);
+
+struct CategoricalObservation {
+  std::size_t account = 0;
+  std::size_t task = 0;
+  std::size_t label = 0;
+};
+
+class CategoricalTable {
+ public:
+  CategoricalTable(std::size_t account_count, std::size_t task_count,
+                   std::size_t label_count);
+
+  std::size_t account_count() const { return account_count_; }
+  std::size_t task_count() const { return task_count_; }
+  std::size_t label_count() const { return label_count_; }
+  std::size_t observation_count() const { return observations_.size(); }
+
+  // At most one report per (account, task) pair.
+  void add(std::size_t account, std::size_t task, std::size_t label);
+  std::optional<std::size_t> label(std::size_t account,
+                                   std::size_t task) const;
+
+  const std::vector<CategoricalObservation>& observations() const {
+    return observations_;
+  }
+  const std::vector<std::size_t>& task_observations(std::size_t task) const;
+  const std::vector<std::size_t>& account_observations(
+      std::size_t account) const;
+
+ private:
+  std::size_t account_count_;
+  std::size_t task_count_;
+  std::size_t label_count_;
+  std::vector<CategoricalObservation> observations_;
+  std::vector<std::vector<std::size_t>> by_task_;
+  std::vector<std::vector<std::size_t>> by_account_;
+};
+
+struct CategoricalResult {
+  std::vector<std::size_t> labels;      // per task; kNoLabel if unobserved
+  std::vector<double> account_weights;  // algorithm-specific scale
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+class CategoricalTruthDiscovery {
+ public:
+  virtual ~CategoricalTruthDiscovery() = default;
+  virtual std::string name() const = 0;
+  virtual CategoricalResult run(const CategoricalTable& data) const = 0;
+};
+
+// Unweighted plurality per task; ties break toward the smallest label.
+class MajorityVote final : public CategoricalTruthDiscovery {
+ public:
+  std::string name() const override { return "MajorityVote"; }
+  CategoricalResult run(const CategoricalTable& data) const override;
+};
+
+// CRH with 0/1 loss: weight = log(total_errors / own_errors), truth =
+// weighted plurality; initialization by unweighted plurality.
+struct CategoricalCrhOptions {
+  std::size_t max_iterations = 50;
+  double loss_epsilon = 0.5;  // pseudo-error floor (half a mistake)
+};
+
+class CategoricalCrh final : public CategoricalTruthDiscovery {
+ public:
+  explicit CategoricalCrh(CategoricalCrhOptions options = {})
+      : options_(options) {}
+  std::string name() const override { return "CategoricalCRH"; }
+  CategoricalResult run(const CategoricalTable& data) const override;
+
+ private:
+  CategoricalCrhOptions options_;
+};
+
+// Dawid & Skene (1979): EM over per-account confusion matrices and
+// per-task label posteriors.  account_weights reports the mean diagonal of
+// each account's confusion matrix (its estimated accuracy).
+struct DawidSkeneOptions {
+  std::size_t max_iterations = 50;
+  double tolerance = 1e-6;       // max change in task posteriors
+  double smoothing = 0.1;        // Laplace smoothing of confusion counts
+};
+
+class DawidSkene final : public CategoricalTruthDiscovery {
+ public:
+  explicit DawidSkene(DawidSkeneOptions options = {}) : options_(options) {}
+  std::string name() const override { return "DawidSkene"; }
+  CategoricalResult run(const CategoricalTable& data) const override;
+
+  // Full posterior over labels per task (rows sum to 1 where observed).
+  std::vector<std::vector<double>> posteriors(
+      const CategoricalTable& data) const;
+
+ private:
+  DawidSkeneOptions options_;
+};
+
+}  // namespace sybiltd::truth

@@ -1,0 +1,111 @@
+#include "truth/crh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace sybiltd::truth {
+
+double max_abs_difference(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  SYBILTD_CHECK(a.size() == b.size(), "truth vectors differ in length");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) || std::isnan(b[i])) continue;
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+Result Crh::run(const ObservationTable& data) const {
+  const std::size_t n_tasks = data.task_count();
+  const std::size_t n_accounts = data.account_count();
+
+  Result result;
+  result.truths.assign(n_tasks, nan_value());
+  result.account_weights.assign(n_accounts, 1.0);
+
+  // Per-task normalizer: std of reported values (1.0 when degenerate), so
+  // tasks on different scales contribute comparable losses.
+  std::vector<double> task_norm(n_tasks, 1.0);
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    const double sd = data.task_stddev(j);
+    task_norm[j] = sd > 1e-12 ? sd : 1.0;
+  }
+
+  // Initialization.
+  if (options_.random_init) {
+    Rng rng(options_.init_seed);
+    for (std::size_t j = 0; j < n_tasks; ++j) {
+      std::vector<double> values;
+      for (std::size_t idx : data.task_observations(j)) {
+        values.push_back(data.observations()[idx].value);
+      }
+      if (values.empty()) continue;
+      const double lo = *std::min_element(values.begin(), values.end());
+      const double hi = *std::max_element(values.begin(), values.end());
+      result.truths[j] = rng.uniform(lo, hi == lo ? lo + 1.0 : hi);
+    }
+  } else {
+    for (std::size_t j = 0; j < n_tasks; ++j) {
+      result.truths[j] = data.task_mean(j);
+    }
+  }
+
+  std::vector<double> next_truths(n_tasks, nan_value());
+  for (std::size_t iter = 0; iter < options_.convergence.max_iterations;
+       ++iter) {
+    result.iterations = iter + 1;
+
+    // --- Weight estimation (Eq. 1 with W = log(sum/·)) ------------------
+    std::vector<double> losses(n_accounts, 0.0);
+    double total_loss = 0.0;
+    for (const Observation& obs : data.observations()) {
+      if (std::isnan(result.truths[obs.task])) continue;
+      const double diff =
+          (obs.value - result.truths[obs.task]) / task_norm[obs.task];
+      losses[obs.account] += diff * diff;
+    }
+    for (std::size_t i = 0; i < n_accounts; ++i) {
+      if (data.account_observations(i).empty()) {
+        losses[i] = 0.0;
+        continue;
+      }
+      losses[i] = std::max(losses[i], options_.loss_epsilon);
+      total_loss += losses[i];
+    }
+    for (std::size_t i = 0; i < n_accounts; ++i) {
+      if (data.account_observations(i).empty()) {
+        result.account_weights[i] = 0.0;
+      } else {
+        result.account_weights[i] = std::log(total_loss / losses[i]);
+        // With a single participating account, total == its own loss and the
+        // log collapses to 0; give it unit weight instead.
+        if (result.account_weights[i] <= 0.0) result.account_weights[i] = 1.0;
+      }
+    }
+
+    // --- Truth estimation (Eq. 2) ----------------------------------------
+    for (std::size_t j = 0; j < n_tasks; ++j) {
+      double num = 0.0, den = 0.0;
+      for (std::size_t idx : data.task_observations(j)) {
+        const Observation& obs = data.observations()[idx];
+        num += result.account_weights[obs.account] * obs.value;
+        den += result.account_weights[obs.account];
+      }
+      next_truths[j] = den > 0.0 ? num / den : nan_value();
+    }
+
+    const double delta = max_abs_difference(result.truths, next_truths);
+    result.truths = next_truths;
+    if (delta < options_.convergence.truth_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sybiltd::truth

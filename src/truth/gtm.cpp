@@ -1,0 +1,72 @@
+#include "truth/gtm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sybiltd::truth {
+
+Result Gtm::run(const ObservationTable& data) const {
+  const std::size_t n_tasks = data.task_count();
+  const std::size_t n_accounts = data.account_count();
+
+  Result result;
+  result.truths.assign(n_tasks, nan_value());
+  result.account_weights.assign(n_accounts, 1.0);
+
+  std::vector<double> task_norm(n_tasks, 1.0);
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    const double sd = data.task_stddev(j);
+    task_norm[j] = sd > 1e-12 ? sd : 1.0;
+  }
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    result.truths[j] = data.task_mean(j);
+  }
+
+  // sigma^2 per account, in task-normalized units.
+  std::vector<double> variance(n_accounts, 1.0);
+  std::vector<double> next_truths(n_tasks, nan_value());
+
+  for (std::size_t iter = 0; iter < options_.convergence.max_iterations;
+       ++iter) {
+    result.iterations = iter + 1;
+
+    // M-step: per-account variance from residuals under the prior.
+    std::vector<double> sum_sq(n_accounts, 0.0);
+    for (const Observation& obs : data.observations()) {
+      if (std::isnan(result.truths[obs.task])) continue;
+      const double diff =
+          (obs.value - result.truths[obs.task]) / task_norm[obs.task];
+      sum_sq[obs.account] += diff * diff;
+    }
+    for (std::size_t i = 0; i < n_accounts; ++i) {
+      const double n_i =
+          static_cast<double>(data.account_observations(i).size());
+      variance[i] = std::max(
+          (options_.prior_beta + sum_sq[i]) / (options_.prior_alpha + n_i),
+          options_.variance_floor);
+      result.account_weights[i] = n_i > 0.0 ? 1.0 / variance[i] : 0.0;
+    }
+
+    // E-step: precision-weighted truth.
+    for (std::size_t j = 0; j < n_tasks; ++j) {
+      double num = 0.0, den = 0.0;
+      for (std::size_t idx : data.task_observations(j)) {
+        const Observation& obs = data.observations()[idx];
+        const double w = result.account_weights[obs.account];
+        num += w * obs.value;
+        den += w;
+      }
+      next_truths[j] = den > 0.0 ? num / den : nan_value();
+    }
+
+    const double delta = max_abs_difference(result.truths, next_truths);
+    result.truths = next_truths;
+    if (delta < options_.convergence.truth_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sybiltd::truth

@@ -1,0 +1,31 @@
+// GTM — a Gaussian Truth Model in the spirit of Zhao & Han's GTM (QDB'12)
+// and the "evolving truth" line of work (reference [11] of the paper):
+// every account i draws its report for task j from N(truth_j, sigma_i^2).
+// EM alternates
+//   E-step: truth_j = sum_i d_ij / sigma_i^2  /  sum_i 1 / sigma_i^2
+//   M-step: sigma_i^2 = (beta + sum_j (d_ij - truth_j)^2) / (alpha + n_i)
+// with a weak inverse-gamma prior (alpha, beta) regularizing small sources.
+#pragma once
+
+#include "truth/truth_discovery.h"
+
+namespace sybiltd::truth {
+
+struct GtmOptions {
+  ConvergenceOptions convergence;
+  double prior_alpha = 1.0;   // pseudo-count of the variance prior
+  double prior_beta = 0.25;   // pseudo sum-of-squares (in normalized units)
+  double variance_floor = 1e-6;
+};
+
+class Gtm final : public TruthDiscovery {
+ public:
+  explicit Gtm(GtmOptions options = {}) : options_(options) {}
+  std::string name() const override { return "GTM"; }
+  Result run(const ObservationTable& data) const override;
+
+ private:
+  GtmOptions options_;
+};
+
+}  // namespace sybiltd::truth

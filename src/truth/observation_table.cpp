@@ -1,0 +1,93 @@
+#include "truth/observation_table.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace sybiltd::truth {
+
+ObservationTable::ObservationTable(std::size_t account_count,
+                                   std::size_t task_count)
+    : account_count_(account_count),
+      task_count_(task_count),
+      by_task_(task_count),
+      by_account_(account_count) {}
+
+void ObservationTable::add(std::size_t account, std::size_t task,
+                           double value) {
+  SYBILTD_CHECK(account < account_count_, "account index out of range");
+  SYBILTD_CHECK(task < task_count_, "task index out of range");
+  SYBILTD_CHECK(!std::isnan(value), "observation value must not be NaN");
+  SYBILTD_CHECK(!has(account, task),
+                "one account may report a task at most once");
+  const std::size_t idx = observations_.size();
+  observations_.push_back({account, task, value});
+  by_task_[task].push_back(idx);
+  by_account_[account].push_back(idx);
+}
+
+std::optional<double> ObservationTable::value(std::size_t account,
+                                              std::size_t task) const {
+  SYBILTD_CHECK(account < account_count_, "account index out of range");
+  SYBILTD_CHECK(task < task_count_, "task index out of range");
+  for (std::size_t idx : by_account_[account]) {
+    if (observations_[idx].task == task) return observations_[idx].value;
+  }
+  return std::nullopt;
+}
+
+bool ObservationTable::has(std::size_t account, std::size_t task) const {
+  return value(account, task).has_value();
+}
+
+const std::vector<std::size_t>& ObservationTable::task_observations(
+    std::size_t task) const {
+  SYBILTD_CHECK(task < task_count_, "task index out of range");
+  return by_task_[task];
+}
+
+const std::vector<std::size_t>& ObservationTable::account_observations(
+    std::size_t account) const {
+  SYBILTD_CHECK(account < account_count_, "account index out of range");
+  return by_account_[account];
+}
+
+std::vector<std::size_t> ObservationTable::accounts_for_task(
+    std::size_t task) const {
+  std::vector<std::size_t> accounts;
+  for (std::size_t idx : task_observations(task)) {
+    accounts.push_back(observations_[idx].account);
+  }
+  return accounts;
+}
+
+std::vector<std::size_t> ObservationTable::tasks_for_account(
+    std::size_t account) const {
+  std::vector<std::size_t> tasks;
+  for (std::size_t idx : account_observations(account)) {
+    tasks.push_back(observations_[idx].task);
+  }
+  return tasks;
+}
+
+double ObservationTable::task_stddev(std::size_t task) const {
+  std::vector<double> values;
+  for (std::size_t idx : task_observations(task)) {
+    values.push_back(observations_[idx].value);
+  }
+  if (values.size() < 2) return 0.0;
+  return stddev(values);
+}
+
+double ObservationTable::task_mean(std::size_t task) const {
+  std::vector<double> values;
+  for (std::size_t idx : task_observations(task)) {
+    values.push_back(observations_[idx].value);
+  }
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return mean(values);
+}
+
+}  // namespace sybiltd::truth

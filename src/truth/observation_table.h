@@ -1,0 +1,60 @@
+// The sparse account × task observation table all truth discovery
+// algorithms consume.  Accounts and tasks are dense indices; a task may
+// have any subset of accounts reporting (the paper's "x" cells are simply
+// absent observations).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace sybiltd::truth {
+
+struct Observation {
+  std::size_t account = 0;
+  std::size_t task = 0;
+  double value = 0.0;
+};
+
+class ObservationTable {
+ public:
+  ObservationTable(std::size_t account_count, std::size_t task_count);
+
+  std::size_t account_count() const { return account_count_; }
+  std::size_t task_count() const { return task_count_; }
+  std::size_t observation_count() const { return observations_.size(); }
+
+  // Each (account, task) pair may be reported at most once, matching the
+  // paper's "each account submits at most one data per task" rule.
+  void add(std::size_t account, std::size_t task, double value);
+  std::optional<double> value(std::size_t account, std::size_t task) const;
+  bool has(std::size_t account, std::size_t task) const;
+
+  const std::vector<Observation>& observations() const {
+    return observations_;
+  }
+  // Indices into observations() for one task / one account.
+  const std::vector<std::size_t>& task_observations(std::size_t task) const;
+  const std::vector<std::size_t>& account_observations(
+      std::size_t account) const;
+
+  // Accounts that reported task `task` (U_j in the paper).
+  std::vector<std::size_t> accounts_for_task(std::size_t task) const;
+  // Tasks account `account` performed (T_i in the paper).
+  std::vector<std::size_t> tasks_for_account(std::size_t account) const;
+
+  // Population stddev of the values reported for a task (used by CRH-style
+  // loss normalization); 0 when fewer than 2 observations.
+  double task_stddev(std::size_t task) const;
+  // Arithmetic mean of the values reported for a task; NaN when empty.
+  double task_mean(std::size_t task) const;
+
+ private:
+  std::size_t account_count_;
+  std::size_t task_count_;
+  std::vector<Observation> observations_;
+  std::vector<std::vector<std::size_t>> by_task_;
+  std::vector<std::vector<std::size_t>> by_account_;
+};
+
+}  // namespace sybiltd::truth

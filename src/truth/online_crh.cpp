@@ -1,0 +1,107 @@
+#include "truth/online_crh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace sybiltd::truth {
+
+OnlineCrh::OnlineCrh(std::size_t account_count, std::size_t task_count,
+                     OnlineCrhOptions options)
+    : account_count_(account_count),
+      task_count_(task_count),
+      options_(options),
+      truths_(task_count, nan_value()),
+      weights_(account_count, 0.0) {
+  SYBILTD_CHECK(options_.decay > 0.0 && options_.decay <= 1.0,
+                "decay must be in (0, 1]");
+  SYBILTD_CHECK(options_.refine_iterations >= 1,
+                "need at least one refinement iteration");
+}
+
+double OnlineCrh::influence(const Decayed& obs) const {
+  return std::pow(options_.decay, static_cast<double>(step_ - obs.born));
+}
+
+void OnlineCrh::observe(std::size_t account, std::size_t task,
+                        double value) {
+  SYBILTD_CHECK(account < account_count_, "account index out of range");
+  SYBILTD_CHECK(task < task_count_, "task index out of range");
+  SYBILTD_CHECK(!std::isnan(value), "observation value must not be NaN");
+  ++step_;
+  observations_.push_back({account, task, value, step_});
+
+  // Evict observations whose influence has decayed away.
+  if (options_.decay < 1.0) {
+    observations_.erase(
+        std::remove_if(observations_.begin(), observations_.end(),
+                       [&](const Decayed& obs) {
+                         return influence(obs) < options_.influence_floor;
+                       }),
+        observations_.end());
+  }
+
+  // Warm start for a fresh task: seed with the incoming value so the first
+  // iteration has a defined residual.
+  if (std::isnan(truths_[task])) truths_[task] = value;
+  refine(options_.refine_iterations);
+}
+
+void OnlineCrh::refine(std::size_t iterations) {
+  for (std::size_t i = 0; i < iterations; ++i) iterate_once();
+}
+
+void OnlineCrh::iterate_once() {
+  if (observations_.empty()) return;
+
+  // Per-task scale (influence-weighted std of live values; 1 if degenerate).
+  std::vector<RunningMoments> task_stats(task_count_);
+  for (const Decayed& obs : observations_) {
+    task_stats[obs.task].add(obs.value);
+  }
+  std::vector<double> norm(task_count_, 1.0);
+  for (std::size_t j = 0; j < task_count_; ++j) {
+    const double sd = task_stats[j].stddev();
+    if (sd > 1e-12) norm[j] = sd;
+  }
+
+  // Weight estimation with decayed losses.
+  std::vector<double> losses(account_count_, 0.0);
+  std::vector<double> mass(account_count_, 0.0);
+  for (const Decayed& obs : observations_) {
+    if (std::isnan(truths_[obs.task])) continue;
+    const double w = influence(obs);
+    const double diff = (obs.value - truths_[obs.task]) / norm[obs.task];
+    losses[obs.account] += w * diff * diff;
+    mass[obs.account] += w;
+  }
+  double total_loss = 0.0;
+  for (std::size_t i = 0; i < account_count_; ++i) {
+    if (mass[i] <= 0.0) continue;
+    losses[i] = std::max(losses[i], options_.loss_epsilon);
+    total_loss += losses[i];
+  }
+  for (std::size_t i = 0; i < account_count_; ++i) {
+    if (mass[i] <= 0.0) {
+      weights_[i] = 0.0;
+    } else {
+      weights_[i] = std::log(total_loss / losses[i]);
+      if (weights_[i] <= 0.0) weights_[i] = 1.0;
+    }
+  }
+
+  // Truth estimation with decay-weighted, weight-weighted means.
+  std::vector<double> num(task_count_, 0.0), den(task_count_, 0.0);
+  for (const Decayed& obs : observations_) {
+    const double w = influence(obs) * weights_[obs.account];
+    num[obs.task] += w * obs.value;
+    den[obs.task] += w;
+  }
+  for (std::size_t j = 0; j < task_count_; ++j) {
+    truths_[j] = den[j] > 0.0 ? num[j] / den[j] : nan_value();
+  }
+}
+
+}  // namespace sybiltd::truth

@@ -1,0 +1,72 @@
+// Online (incremental) CRH-style truth discovery (extension).
+//
+// MCS platforms receive submissions as a stream; re-running batch CRH from
+// scratch after every report is wasteful, and when the underlying truths
+// drift ("evolving truth", reference [11] of the paper) old data should
+// fade.  OnlineCrh keeps the observation multiset with exponential decay
+// by age and, after each observe() call, refines the current truth/weight
+// state with a small number of warm-started CRH iterations.
+//
+// With decay = 1 and enough refinement iterations the state converges to
+// exactly what batch CRH computes on the same data (tested).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "truth/crh.h"
+
+namespace sybiltd::truth {
+
+struct OnlineCrhOptions {
+  // Multiplicative decay applied per unit of age (in observe-steps) to an
+  // observation's influence; 1 = never forget.
+  double decay = 1.0;
+  // CRH refinement iterations run after each new observation.
+  std::size_t refine_iterations = 2;
+  double loss_epsilon = 1e-6;
+  // Observations whose decayed influence drops below this are dropped.
+  double influence_floor = 1e-4;
+};
+
+class OnlineCrh {
+ public:
+  OnlineCrh(std::size_t account_count, std::size_t task_count,
+            OnlineCrhOptions options = {});
+
+  std::size_t account_count() const { return account_count_; }
+  std::size_t task_count() const { return task_count_; }
+  std::size_t live_observation_count() const { return observations_.size(); }
+
+  // Ingest one report and refine the estimates.
+  void observe(std::size_t account, std::size_t task, double value);
+
+  // Current truth estimates (NaN where no live data).
+  const std::vector<double>& truths() const { return truths_; }
+  // Current account weights (0 for accounts with no live data).
+  const std::vector<double>& weights() const { return weights_; }
+
+  // Run extra refinement sweeps (e.g. to force convergence before reading).
+  void refine(std::size_t iterations);
+
+ private:
+  struct Decayed {
+    std::size_t account;
+    std::size_t task;
+    double value;
+    std::size_t born;  // observe-step of arrival
+  };
+
+  double influence(const Decayed& obs) const;
+  void iterate_once();
+
+  std::size_t account_count_;
+  std::size_t task_count_;
+  OnlineCrhOptions options_;
+  std::vector<Decayed> observations_;
+  std::vector<double> truths_;
+  std::vector<double> weights_;
+  std::size_t step_ = 0;
+};
+
+}  // namespace sybiltd::truth

@@ -1,0 +1,43 @@
+// Common interface of all truth discovery algorithms (Algorithm 1 of the
+// paper): iterate weight estimation and truth estimation until convergence.
+// Tasks with no observations get a NaN truth.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "truth/observation_table.h"
+
+namespace sybiltd::truth {
+
+struct ConvergenceOptions {
+  std::size_t max_iterations = 100;
+  // Converged when the max absolute truth change across tasks drops below
+  // this threshold.
+  double truth_tolerance = 1e-6;
+};
+
+struct Result {
+  std::vector<double> truths;           // per task; NaN if unobserved
+  std::vector<double> account_weights;  // per account (algorithm-specific scale)
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+class TruthDiscovery {
+ public:
+  virtual ~TruthDiscovery() = default;
+  virtual std::string name() const = 0;
+  virtual Result run(const ObservationTable& data) const = 0;
+};
+
+inline double nan_value() { return std::numeric_limits<double>::quiet_NaN(); }
+
+// Max |a - b| over indices where both are finite; used as the convergence
+// measure on successive truth vectors.
+double max_abs_difference(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace sybiltd::truth

@@ -1,0 +1,91 @@
+#include "truth/truthfinder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sybiltd::truth {
+
+Result TruthFinder::run(const ObservationTable& data) const {
+  const std::size_t n_tasks = data.task_count();
+  const std::size_t n_accounts = data.account_count();
+
+  Result result;
+  result.truths.assign(n_tasks, nan_value());
+  result.account_weights.assign(n_accounts, options_.initial_trust);
+
+  // Kernel bandwidth per task: the spread of its reports.
+  std::vector<double> bandwidth(n_tasks, 1.0);
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    const double sd = data.task_stddev(j);
+    bandwidth[j] = sd > 1e-12 ? sd : 1.0;
+  }
+
+  std::vector<double> trust(n_accounts, options_.initial_trust);
+  std::vector<double> confidence(data.observation_count(), 0.0);
+  std::vector<double> prev_truths(n_tasks, nan_value());
+
+  for (std::size_t iter = 0; iter < options_.convergence.max_iterations;
+       ++iter) {
+    result.iterations = iter + 1;
+
+    // Trust scores tau = -ln(1 - t).
+    std::vector<double> tau(n_accounts, 0.0);
+    for (std::size_t i = 0; i < n_accounts; ++i) {
+      const double t = std::min(trust[i], options_.trust_cap);
+      tau[i] = -std::log(1.0 - t);
+    }
+
+    // Confidence of each observation: Gaussian-kernel weighted trust mass
+    // of the reports agreeing with it on the same task.
+    for (std::size_t j = 0; j < n_tasks; ++j) {
+      const auto& obs_idx = data.task_observations(j);
+      const double h = bandwidth[j];
+      for (std::size_t a : obs_idx) {
+        const double va = data.observations()[a].value;
+        double support = 0.0;
+        for (std::size_t b : obs_idx) {
+          const Observation& ob = data.observations()[b];
+          const double diff = (va - ob.value) / h;
+          const double kernel =
+              std::max(std::exp(-0.5 * diff * diff), options_.kernel_floor);
+          support += tau[ob.account] * kernel;
+        }
+        confidence[a] = 1.0 - std::exp(-options_.gamma * support);
+      }
+    }
+
+    // Trust update (damped mean of claim confidences).
+    for (std::size_t i = 0; i < n_accounts; ++i) {
+      const auto& obs_idx = data.account_observations(i);
+      if (obs_idx.empty()) {
+        trust[i] = 0.0;
+        continue;
+      }
+      double mean_conf = 0.0;
+      for (std::size_t idx : obs_idx) mean_conf += confidence[idx];
+      mean_conf /= static_cast<double>(obs_idx.size());
+      trust[i] = options_.rho * trust[i] + (1.0 - options_.rho) * mean_conf;
+    }
+
+    // Truth estimate: confidence-weighted mean per task.
+    for (std::size_t j = 0; j < n_tasks; ++j) {
+      double num = 0.0, den = 0.0;
+      for (std::size_t idx : data.task_observations(j)) {
+        num += confidence[idx] * data.observations()[idx].value;
+        den += confidence[idx];
+      }
+      result.truths[j] = den > 0.0 ? num / den : nan_value();
+    }
+
+    const double delta = max_abs_difference(prev_truths, result.truths);
+    prev_truths = result.truths;
+    if (iter > 0 && delta < options_.convergence.truth_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.account_weights = trust;
+  return result;
+}
+
+}  // namespace sybiltd::truth

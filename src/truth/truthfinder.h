@@ -1,0 +1,38 @@
+// TruthFinder (Yin, Han & Yu, TKDE'08 — reference [34] of the paper),
+// adapted from categorical facts to numerical sensing data.
+//
+// Original TruthFinder iterates between source trustworthiness t(i) and
+// fact confidence s(f), where facts support each other through an
+// implication function.  For numeric values we use a Gaussian kernel as the
+// implication: a report v' supports v with strength exp(-(v-v')^2 / 2h^2),
+// h being the per-task report spread.  Per iteration:
+//   tau(i)  = -ln(1 - t(i))                  (trust score)
+//   s(d_ij) = 1 - exp(-gamma * sum_{i' in U_j} tau(i') * K(d_ij, d_i'j))
+//   t(i)    = mean over its reports of s(d_ij), damped by rho
+// Truths are the confidence-weighted means per task.
+#pragma once
+
+#include "truth/truth_discovery.h"
+
+namespace sybiltd::truth {
+
+struct TruthFinderOptions {
+  ConvergenceOptions convergence;
+  double initial_trust = 0.9;
+  double gamma = 0.3;       // dampens the confidence saturation
+  double rho = 0.5;         // weight of the previous trust (damping)
+  double trust_cap = 1.0 - 1e-9;
+  double kernel_floor = 1e-12;
+};
+
+class TruthFinder final : public TruthDiscovery {
+ public:
+  explicit TruthFinder(TruthFinderOptions options = {}) : options_(options) {}
+  std::string name() const override { return "TruthFinder"; }
+  Result run(const ObservationTable& data) const override;
+
+ private:
+  TruthFinderOptions options_;
+};
+
+}  // namespace sybiltd::truth

@@ -1,0 +1,288 @@
+// Tests for categorical truth discovery (majority vote, categorical CRH,
+// Dawid–Skene) and the Sybil-resistant categorical framework.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/ag_tr.h"
+#include "core/categorical_framework.h"
+#include "truth/categorical.h"
+
+namespace sybiltd::truth {
+namespace {
+
+// Synthetic labeling campaign: `accounts` annotators of given accuracies
+// label `tasks` tasks with `labels` classes; truth uniform.
+struct SyntheticLabels {
+  CategoricalTable table;
+  std::vector<std::size_t> truth;
+};
+
+SyntheticLabels make_labels(const std::vector<double>& accuracies,
+                            std::size_t tasks, std::size_t labels,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  SyntheticLabels out{
+      CategoricalTable(accuracies.size(), tasks, labels), {}};
+  out.truth.resize(tasks);
+  for (auto& t : out.truth) t = rng.uniform_index(labels);
+  for (std::size_t i = 0; i < accuracies.size(); ++i) {
+    for (std::size_t j = 0; j < tasks; ++j) {
+      std::size_t label = out.truth[j];
+      if (!rng.bernoulli(accuracies[i])) {
+        // A wrong label, uniform among the others.
+        label = (label + 1 + rng.uniform_index(labels - 1)) % labels;
+      }
+      out.table.add(i, j, label);
+    }
+  }
+  return out;
+}
+
+double accuracy(const std::vector<std::size_t>& estimated,
+                const std::vector<std::size_t>& truth) {
+  std::size_t correct = 0;
+  for (std::size_t j = 0; j < truth.size(); ++j) {
+    if (estimated[j] == truth[j]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+TEST(CategoricalTable, BasicsAndValidation) {
+  CategoricalTable t(2, 3, 4);
+  t.add(0, 0, 2);
+  t.add(1, 0, 3);
+  EXPECT_EQ(t.observation_count(), 2u);
+  EXPECT_EQ(t.label(0, 0).value(), 2u);
+  EXPECT_FALSE(t.label(0, 1).has_value());
+  EXPECT_THROW(t.add(0, 0, 1), std::invalid_argument);  // duplicate
+  EXPECT_THROW(t.add(0, 1, 4), std::invalid_argument);  // label range
+  EXPECT_THROW(t.add(2, 1, 0), std::invalid_argument);  // account range
+  EXPECT_THROW(CategoricalTable(1, 1, 1), std::invalid_argument);
+}
+
+TEST(MajorityVote, PluralityAndTies) {
+  CategoricalTable t(4, 2, 3);
+  t.add(0, 0, 1);
+  t.add(1, 0, 1);
+  t.add(2, 0, 2);
+  // Task 1: tie between 0 and 2 -> smallest label wins.
+  t.add(0, 1, 2);
+  t.add(1, 1, 0);
+  const auto result = MajorityVote().run(t);
+  EXPECT_EQ(result.labels[0], 1u);
+  EXPECT_EQ(result.labels[1], 0u);
+}
+
+TEST(MajorityVote, UnobservedTaskIsNoLabel) {
+  CategoricalTable t(1, 2, 2);
+  t.add(0, 0, 1);
+  const auto result = MajorityVote().run(t);
+  EXPECT_EQ(result.labels[1], kNoLabel);
+}
+
+TEST(CategoricalCrh, BeatsMajorityWithUnreliableAnnotators) {
+  double crh_total = 0.0, mv_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    // Three good annotators, four coin-flippers.
+    const auto data = make_labels({0.95, 0.95, 0.95, 0.3, 0.3, 0.3, 0.3},
+                                  40, 3, 100 + seed);
+    crh_total += accuracy(CategoricalCrh().run(data.table).labels,
+                          data.truth);
+    mv_total += accuracy(MajorityVote().run(data.table).labels, data.truth);
+  }
+  EXPECT_GT(crh_total, mv_total + 0.5);
+  EXPECT_GT(crh_total / 10.0, 0.9);
+}
+
+TEST(CategoricalCrh, WeightsOrderedByAccuracy) {
+  const auto data = make_labels({0.95, 0.7, 0.4}, 60, 3, 7);
+  const auto result = CategoricalCrh().run(data.table);
+  EXPECT_GT(result.account_weights[0], result.account_weights[1]);
+  EXPECT_GT(result.account_weights[1], result.account_weights[2]);
+}
+
+TEST(DawidSkene, RecoversTruthAndAccuracies) {
+  const auto data = make_labels({0.9, 0.85, 0.8, 0.75, 0.35}, 80, 4, 9);
+  const DawidSkene ds;
+  const auto result = ds.run(data.table);
+  EXPECT_GT(accuracy(result.labels, data.truth), 0.9);
+  // Estimated account accuracy ranks the good above the bad annotator.
+  EXPECT_GT(result.account_weights[0], result.account_weights[4]);
+}
+
+TEST(DawidSkene, HandlesAdversarialAnnotator) {
+  // A systematic liar (accuracy 0 on binary labels) is *informative* to
+  // Dawid-Skene (it learns the flipped confusion matrix) but poison to
+  // majority vote.
+  Rng rng(11);
+  CategoricalTable t(5, 60, 2);
+  std::vector<std::size_t> truth(60);
+  for (std::size_t j = 0; j < 60; ++j) {
+    truth[j] = rng.uniform_index(2);
+    for (std::size_t i = 0; i < 3; ++i) {
+      t.add(i, j, rng.bernoulli(0.8) ? truth[j] : 1 - truth[j]);
+    }
+    t.add(3, j, 1 - truth[j]);  // inverted annotator
+    t.add(4, j, 1 - truth[j]);  // inverted annotator
+  }
+  const auto ds = DawidSkene().run(t);
+  const auto mv = MajorityVote().run(t);
+  EXPECT_GT(accuracy(ds.labels, truth), accuracy(mv.labels, truth));
+  EXPECT_GT(accuracy(ds.labels, truth), 0.85);
+}
+
+TEST(DawidSkene, PosteriorsNormalized) {
+  const auto data = make_labels({0.9, 0.8}, 20, 3, 13);
+  const auto posterior = DawidSkene().posteriors(data.table);
+  for (const auto& row : posterior) {
+    double total = 0.0;
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sybiltd::truth
+
+namespace sybiltd::core {
+namespace {
+
+using truth::kNoLabel;
+
+// A categorical Sybil attack: honest accounts label mostly correctly; one
+// attacker pushes a chosen wrong label from `sybil_accounts` accounts that
+// share one trajectory.
+struct CategoricalAttack {
+  FrameworkInput input;
+  std::vector<std::size_t> truth;
+  std::size_t label_count = 3;
+};
+
+CategoricalAttack make_attack(std::size_t honest, std::size_t sybil_accounts,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  CategoricalAttack out;
+  const std::size_t tasks = 12;
+  out.input.task_count = tasks;
+  out.truth.resize(tasks);
+  for (auto& t : out.truth) t = rng.uniform_index(out.label_count);
+
+  for (std::size_t i = 0; i < honest; ++i) {
+    AccountTrace trace;
+    trace.name = "H" + std::to_string(i);
+    double ts = rng.uniform(8.0, 12.0);
+    std::vector<std::size_t> order(tasks);
+    for (std::size_t j = 0; j < tasks; ++j) order[j] = j;
+    rng.shuffle(order);
+    for (std::size_t j : order) {
+      ts += rng.uniform(0.05, 0.2);
+      std::size_t label = out.truth[j];
+      if (!rng.bernoulli(0.85)) {
+        label = (label + 1) % out.label_count;
+      }
+      trace.reports.push_back({j, static_cast<double>(label), ts});
+    }
+    out.input.accounts.push_back(std::move(trace));
+  }
+  // Attacker: one walk, replayed accounts, always the wrong label "0"+1.
+  std::vector<double> visit_times;
+  double ts = 13.0;
+  for (std::size_t j = 0; j < tasks; ++j) {
+    ts += rng.uniform(0.05, 0.2);
+    visit_times.push_back(ts);
+  }
+  for (std::size_t a = 0; a < sybil_accounts; ++a) {
+    AccountTrace trace;
+    trace.name = "S" + std::to_string(a);
+    const double delay = static_cast<double>(a) * rng.uniform(0.01, 0.02);
+    for (std::size_t j = 0; j < tasks; ++j) {
+      const std::size_t wrong = (out.truth[j] + 1) % out.label_count;
+      trace.reports.push_back(
+          {j, static_cast<double>(wrong), visit_times[j] + delay});
+    }
+    out.input.accounts.push_back(std::move(trace));
+  }
+  return out;
+}
+
+double label_accuracy(const std::vector<std::size_t>& estimated,
+                      const std::vector<std::size_t>& truth) {
+  std::size_t correct = 0;
+  for (std::size_t j = 0; j < truth.size(); ++j) {
+    if (estimated[j] == truth[j]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+TEST(CategoricalFramework, ResistsLabelFlippingSybilAttack) {
+  double framework_acc = 0.0, majority_acc = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    const auto attack = make_attack(5, 7, 900 + t);
+    // Majority over accounts (vulnerable: 7 Sybil > 5 honest).
+    truth::CategoricalTable table(attack.input.accounts.size(),
+                                  attack.input.task_count,
+                                  attack.label_count);
+    for (std::size_t i = 0; i < attack.input.accounts.size(); ++i) {
+      for (const auto& r : attack.input.accounts[i].reports) {
+        table.add(i, r.task, static_cast<std::size_t>(r.value));
+      }
+    }
+    majority_acc += label_accuracy(
+        truth::MajorityVote().run(table).labels, attack.truth);
+    const auto result = run_categorical_framework(
+        attack.input, attack.label_count, AgTr());
+    framework_acc += label_accuracy(result.labels, attack.truth);
+  }
+  framework_acc /= trials;
+  majority_acc /= trials;
+  EXPECT_LT(majority_acc, 0.5);   // the attack wins against plain voting
+  EXPECT_GT(framework_acc, 0.8);  // the framework shrugs it off
+}
+
+TEST(CategoricalFramework, ValidatesInput) {
+  FrameworkInput input;
+  input.task_count = 1;
+  AccountTrace trace;
+  trace.reports.push_back({0, 0.5, 0.0});  // not an integral label
+  input.accounts.push_back(trace);
+  EXPECT_THROW(run_categorical_framework(
+                   input, 2, AccountGrouping::singletons(1)),
+               std::invalid_argument);
+  EXPECT_THROW(run_categorical_framework(
+                   input, 1, AccountGrouping::singletons(1)),
+               std::invalid_argument);
+}
+
+TEST(CategoricalFramework, UncoveredTaskGetsNoLabel) {
+  FrameworkInput input;
+  input.task_count = 2;
+  AccountTrace trace;
+  trace.reports.push_back({0, 1.0, 0.0});
+  input.accounts.push_back(trace);
+  const auto result = run_categorical_framework(
+      input, 3, AccountGrouping::singletons(1));
+  EXPECT_EQ(result.labels[0], 1u);
+  EXPECT_EQ(result.labels[1], kNoLabel);
+}
+
+TEST(CategoricalFramework, SybilGroupGetsLowWeight) {
+  const auto attack = make_attack(5, 7, 77);
+  const auto result = run_categorical_framework(
+      attack.input, attack.label_count, AgTr());
+  // The Sybil accounts share one group; find it and compare weights.
+  const std::size_t sybil_group =
+      result.grouping.group_of(attack.input.accounts.size() - 1);
+  double max_other = 0.0;
+  for (std::size_t k = 0; k < result.group_weights.size(); ++k) {
+    if (k == sybil_group) continue;
+    max_other = std::max(max_other, result.group_weights[k]);
+  }
+  EXPECT_LT(result.group_weights[sybil_group], max_other);
+}
+
+}  // namespace
+}  // namespace sybiltd::core

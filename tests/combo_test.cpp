@@ -1,0 +1,132 @@
+// Tests for grouping combination (partition meet/join, AgCombo) and the
+// alternative AG-FP clustering backends.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/ag_combo.h"
+#include "core/ag_fp.h"
+#include "core/ag_tr.h"
+#include "core/ag_ts.h"
+#include "eval/adapters.h"
+#include "eval/paper_example.h"
+#include "ml/clustering_metrics.h"
+#include "mcs/scenario.h"
+
+namespace sybiltd::core {
+namespace {
+
+AccountGrouping from(std::initializer_list<std::size_t> labels) {
+  return AccountGrouping::from_labels(std::vector<std::size_t>(labels));
+}
+
+TEST(PartitionMeet, IntersectsGroups) {
+  // a: {0,1,2},{3} ; b: {0,1},{2,3} -> meet: {0,1},{2},{3}
+  const auto meet = partition_meet(from({0, 0, 0, 1}), from({0, 0, 1, 1}));
+  EXPECT_EQ(meet.group_count(), 3u);
+  EXPECT_EQ(meet.group_of(0), meet.group_of(1));
+  EXPECT_NE(meet.group_of(1), meet.group_of(2));
+  EXPECT_NE(meet.group_of(2), meet.group_of(3));
+}
+
+TEST(PartitionJoin, UnionsTransitively) {
+  // a: {0,1},{2},{3} ; b: {0},{1,2},{3} -> join chains 0-1-2: {0,1,2},{3}
+  const auto join = partition_join(from({0, 0, 1, 2}), from({0, 1, 1, 2}));
+  EXPECT_EQ(join.group_count(), 2u);
+  EXPECT_EQ(join.group_of(0), join.group_of(2));
+  EXPECT_NE(join.group_of(0), join.group_of(3));
+}
+
+TEST(PartitionOps, IdentityLaws) {
+  const auto p = from({0, 1, 1, 2, 0});
+  const auto singles = AccountGrouping::singletons(5);
+  // meet with itself = itself; join with singletons = itself.
+  EXPECT_EQ(partition_meet(p, p).labels(), p.labels());
+  EXPECT_EQ(partition_join(p, singles).labels(), p.labels());
+  // meet with singletons = singletons.
+  EXPECT_EQ(partition_meet(p, singles).group_count(), 5u);
+}
+
+TEST(PartitionOps, RejectSizeMismatch) {
+  EXPECT_THROW(partition_meet(from({0, 1}), from({0, 1, 2})),
+               std::invalid_argument);
+  EXPECT_THROW(partition_join(from({0}), from({0, 0})),
+               std::invalid_argument);
+}
+
+TEST(AgCombo, MeetIsConservativeJoinIsAggressive) {
+  const auto input = eval::paper_example_input();
+  auto ts = std::make_shared<AgTs>();
+  auto tr = std::make_shared<AgTr>();
+  const AgCombo meet({ts, tr}, ComboMode::kMeet);
+  const AgCombo join({ts, tr}, ComboMode::kJoin);
+  const auto meet_g = meet.group(input);
+  const auto join_g = join.group(input);
+  // Both still isolate the Sybil trio (both methods agree on it).
+  EXPECT_EQ(meet_g.group_of(3), meet_g.group_of(4));
+  EXPECT_EQ(join_g.group_of(3), join_g.group_of(5));
+  // Meet has at least as many groups as either input; join at most.
+  const auto ts_g = ts->group(input);
+  const auto tr_g = tr->group(input);
+  EXPECT_GE(meet_g.group_count(),
+            std::max(ts_g.group_count(), tr_g.group_count()));
+  EXPECT_LE(join_g.group_count(),
+            std::min(ts_g.group_count(), tr_g.group_count()));
+  EXPECT_NE(meet.name().find("meet"), std::string::npos);
+  EXPECT_NE(join.name().find("AG-TR"), std::string::npos);
+}
+
+TEST(AgCombo, RejectsEmptyOrNull) {
+  EXPECT_THROW(AgCombo({}, ComboMode::kMeet), std::invalid_argument);
+  EXPECT_THROW(AgCombo({nullptr}, ComboMode::kJoin), std::invalid_argument);
+}
+
+TEST(AgCombo, MeetOfThreeMethodsOnScenario) {
+  const auto data =
+      mcs::generate_scenario(mcs::make_paper_scenario(0.5, 0.8, 77));
+  const auto input = eval::to_framework_input(data);
+  const AgCombo combo({std::make_shared<AgFp>(), std::make_shared<AgTs>(),
+                       std::make_shared<AgTr>()},
+                      ComboMode::kMeet);
+  const auto grouping = combo.group(input);
+  // Valid partition of all accounts.
+  EXPECT_EQ(grouping.account_count(), data.accounts.size());
+  // The meet never has false positives that all three methods do not share:
+  // its pairwise precision is at least AG-TR's.
+  const auto tr_grouping = AgTr().group(input);
+  const auto truth = data.true_user_labels();
+  const auto combo_scores =
+      ml::pairwise_scores(grouping.labels(), truth);
+  const auto tr_scores = ml::pairwise_scores(tr_grouping.labels(), truth);
+  EXPECT_GE(combo_scores.precision + 1e-9, tr_scores.precision);
+}
+
+// --- AG-FP clustering backends -------------------------------------------
+
+class AgFpBackend : public ::testing::TestWithParam<FpClustering> {};
+
+TEST_P(AgFpBackend, GroupsAttackOneAccountsTogether) {
+  const auto data =
+      mcs::generate_scenario(mcs::make_paper_scenario(0.5, 0.5, 55));
+  const auto input = eval::to_framework_input(data);
+  AgFpOptions opt;
+  opt.clustering = GetParam();
+  const auto grouping = AgFp(opt).group(input);
+  EXPECT_EQ(grouping.account_count(), 18u);
+  // Attack-I accounts (8..12, same physical phone) should mostly share a
+  // group: count the largest subset in one group.
+  std::map<std::size_t, int> counts;
+  for (std::size_t i = 8; i < 13; ++i) ++counts[grouping.group_of(i)];
+  int largest = 0;
+  for (const auto& [group, count] : counts) largest = std::max(largest, count);
+  EXPECT_GE(largest, 4) << "backend " << static_cast<int>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, AgFpBackend,
+                         ::testing::Values(FpClustering::kKMeansElbow,
+                                           FpClustering::kAgglomerative,
+                                           FpClustering::kDbscan));
+
+}  // namespace
+}  // namespace sybiltd::core

@@ -1,0 +1,170 @@
+// Tests for src/eval: metrics, scenario adapters, the paper-example data,
+// and the experiment runner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/adapters.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/paper_example.h"
+
+namespace sybiltd::eval {
+namespace {
+
+TEST(Metrics, MaeAndRmseKnownValues) {
+  const std::vector<double> est{1.0, 2.0, 3.0};
+  const std::vector<double> truth{1.0, 4.0, 7.0};
+  EXPECT_NEAR(mean_absolute_error(est, truth), 2.0, 1e-12);
+  EXPECT_NEAR(root_mean_squared_error(est, truth),
+              std::sqrt((0.0 + 4.0 + 16.0) / 3.0), 1e-12);
+  EXPECT_NEAR(max_absolute_error(est, truth), 4.0, 1e-12);
+}
+
+TEST(Metrics, SkipsNanEstimates) {
+  const std::vector<double> est{1.0, std::nan(""), 5.0};
+  const std::vector<double> truth{2.0, 100.0, 5.0};
+  EXPECT_NEAR(mean_absolute_error(est, truth), 0.5, 1e-12);
+}
+
+TEST(Metrics, EmptyAndMismatched) {
+  EXPECT_EQ(mean_absolute_error({}, {}), 0.0);
+  const std::vector<double> a{1.0};
+  EXPECT_THROW(mean_absolute_error(a, {}), std::invalid_argument);
+}
+
+TEST(Metrics, SybilWeightShare) {
+  const std::vector<double> weights{1.0, 1.0, 2.0};
+  const std::vector<bool> flags{false, true, true};
+  EXPECT_NEAR(sybil_weight_share(weights, flags), 3.0 / 4.0, 1e-12);
+  // No sybil accounts.
+  EXPECT_NEAR(sybil_weight_share(weights, {false, false, false}), 0.0,
+              1e-12);
+  // Degenerate all-zero weights.
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_EQ(sybil_weight_share(zeros, {true, false}), 0.0);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(sybil_weight_share(one, {true, false}),
+               std::invalid_argument);
+  const std::vector<double> negative{-1.0};
+  EXPECT_THROW(sybil_weight_share(negative, {true}), std::invalid_argument);
+}
+
+TEST(PaperExample, StructureMatchesTables) {
+  const auto obs = paper_example_observations();
+  EXPECT_EQ(obs.account_count(), 6u);
+  EXPECT_EQ(obs.task_count(), 4u);
+  // Spot-check Table I cells.
+  EXPECT_NEAR(obs.value(0, 0).value(), -84.48, 1e-9);
+  EXPECT_NEAR(obs.value(2, 1).value(), -91.49, 1e-9);
+  EXPECT_FALSE(obs.has(1, 0));
+  EXPECT_FALSE(obs.has(3, 1));
+  EXPECT_NEAR(obs.value(5, 3).value(), -50.0, 1e-9);
+  const auto clean = paper_example_observations_no_attack();
+  EXPECT_EQ(clean.account_count(), 3u);
+
+  const auto input = paper_example_input();
+  EXPECT_EQ(input.accounts.size(), 6u);
+  // Account 1's first report is T1 at 10:00:35 -> 10.00972h.
+  EXPECT_EQ(input.accounts[0].reports.front().task, 0u);
+  EXPECT_NEAR(input.accounts[0].reports.front().timestamp_hours,
+              10.0 + 35.0 / 3600.0, 1e-9);
+  // Reports are in timestamp order.
+  for (const auto& account : input.accounts) {
+    for (std::size_t r = 1; r < account.reports.size(); ++r) {
+      EXPECT_LT(account.reports[r - 1].timestamp_hours,
+                account.reports[r].timestamp_hours);
+    }
+  }
+  EXPECT_EQ(paper_example_user_labels(),
+            (std::vector<std::size_t>{0, 1, 2, 3, 3, 3}));
+}
+
+TEST(Adapters, ObservationTableMatchesScenario) {
+  const auto data =
+      mcs::generate_scenario(mcs::make_paper_scenario(0.5, 0.5, 21));
+  const auto table = to_observation_table(data);
+  EXPECT_EQ(table.account_count(), data.accounts.size());
+  EXPECT_EQ(table.task_count(), data.tasks.size());
+  std::size_t total_reports = 0;
+  for (const auto& a : data.accounts) total_reports += a.reports.size();
+  EXPECT_EQ(table.observation_count(), total_reports);
+  // Spot-check one value.
+  const auto& first = data.accounts.front().reports.front();
+  EXPECT_NEAR(table.value(0, first.task).value(), first.value, 1e-12);
+}
+
+TEST(Adapters, FrameworkInputConvertsSecondsToHours) {
+  const auto data =
+      mcs::generate_scenario(mcs::make_paper_scenario(0.5, 0.5, 22));
+  const auto input = to_framework_input(data);
+  EXPECT_EQ(input.task_count, data.tasks.size());
+  ASSERT_EQ(input.accounts.size(), data.accounts.size());
+  const auto& report = data.accounts[0].reports[0];
+  EXPECT_NEAR(input.accounts[0].reports[0].timestamp_hours,
+              report.timestamp_s / 3600.0, 1e-12);
+  EXPECT_EQ(input.accounts[0].fingerprint,
+            data.accounts[0].fingerprint);
+}
+
+TEST(Experiment, MethodNamesAreUnique) {
+  std::set<std::string> names;
+  for (Method m : {Method::kCrh, Method::kTdFp, Method::kTdTs,
+                   Method::kTdTr, Method::kTdOracle, Method::kMean,
+                   Method::kMedian, Method::kCatd, Method::kGtm,
+                   Method::kTruthFinder}) {
+    EXPECT_TRUE(names.insert(method_name(m)).second);
+  }
+  EXPECT_EQ(grouping_method_name(GroupingMethod::kAgTr), "AG-TR");
+}
+
+TEST(Experiment, AllMethodsRunOnScenario) {
+  const auto data =
+      mcs::generate_scenario(mcs::make_paper_scenario(0.5, 0.5, 23));
+  for (Method m : {Method::kCrh, Method::kTdFp, Method::kTdTs,
+                   Method::kTdTr, Method::kTdOracle, Method::kMean,
+                   Method::kMedian, Method::kCatd, Method::kGtm,
+                   Method::kTruthFinder}) {
+    const MethodRun run = run_method(m, data);
+    EXPECT_EQ(run.truths.size(), 10u) << method_name(m);
+    EXPECT_GE(run.mae, 0.0) << method_name(m);
+    EXPECT_GE(run.rmse, run.mae - 1e-9) << method_name(m);
+  }
+}
+
+TEST(Experiment, OracleGroupingHasPerfectAri) {
+  const auto data =
+      mcs::generate_scenario(mcs::make_paper_scenario(0.5, 0.5, 24));
+  const GroupingRun run = run_grouping(GroupingMethod::kOracle, data);
+  EXPECT_NEAR(run.ari, 1.0, 1e-12);
+}
+
+TEST(Experiment, FrameworkBeatsCrhUnderStrongAttack) {
+  double crh = 0.0, tr = 0.0;
+  for (std::uint64_t seed : {31ull, 32ull, 33ull}) {
+    const auto data =
+        mcs::generate_scenario(mcs::make_paper_scenario(0.5, 1.0, seed));
+    crh += run_method(Method::kCrh, data).mae;
+    tr += run_method(Method::kTdTr, data).mae;
+  }
+  EXPECT_LT(tr, crh * 0.5);
+}
+
+TEST(Experiment, SweepsReturnOnePointPerActiveness) {
+  const std::vector<double> sybil{0.2, 0.6};
+  const auto ari =
+      sweep_ari(GroupingMethod::kAgTr, 0.5, sybil, 1, 41);
+  EXPECT_EQ(ari.size(), 2u);
+  for (double a : ari) {
+    EXPECT_GE(a, -1.0);
+    EXPECT_LE(a, 1.0);
+  }
+  const auto mae = sweep_mae(Method::kCrh, 0.5, sybil, 1, 41);
+  EXPECT_EQ(mae.size(), 2u);
+  EXPECT_LT(mae[0], mae[1]);  // more Sybil activeness, more damage
+  EXPECT_THROW(sweep_mae(Method::kCrh, 0.5, sybil, 0, 41),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sybiltd::eval

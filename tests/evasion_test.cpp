@@ -1,0 +1,126 @@
+// Tests for the attacker-evasion extension: evasion knobs change the
+// generated campaign in the intended ways, and the detection/effectiveness
+// trade-off points the right direction.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/adapters.h"
+#include "eval/experiment.h"
+#include "ml/clustering_metrics.h"
+#include "mcs/scenario.h"
+
+namespace sybiltd::mcs {
+namespace {
+
+ScenarioConfig evading_config(EvasionConfig evasion, std::uint64_t seed) {
+  auto config = make_paper_scenario(0.5, 0.8, seed);
+  for (auto& attacker : config.attackers) attacker.evasion = evasion;
+  return config;
+}
+
+TEST(Evasion, TaskDropoutDiversifiesSybilTaskSets) {
+  EvasionConfig evasion;
+  evasion.task_dropout = 0.4;
+  const auto data = generate_scenario(evading_config(evasion, 1));
+  // Attack-I accounts should no longer all share one task set.
+  std::set<std::set<std::size_t>> distinct_sets;
+  for (const auto& account : data.accounts) {
+    if (!account.is_sybil || !account.name.starts_with("A1")) continue;
+    std::set<std::size_t> tasks;
+    for (const auto& r : account.reports) tasks.insert(r.task);
+    EXPECT_GE(tasks.size(), 1u);  // dropout keeps at least one report
+    distinct_sets.insert(std::move(tasks));
+  }
+  EXPECT_GT(distinct_sets.size(), 1u);
+}
+
+TEST(Evasion, TimestampJitterSpreadsSchedules) {
+  EvasionConfig evasion;
+  evasion.timestamp_jitter_s = 1800.0;
+  const auto jittered = generate_scenario(evading_config(evasion, 2));
+  const auto plain = generate_scenario(evading_config({}, 2));
+  // Max spread of the Attack-I accounts' first-report times grows.
+  auto spread = [](const ScenarioData& data) {
+    double lo = 1e18, hi = -1e18;
+    for (const auto& account : data.accounts) {
+      if (!account.is_sybil || !account.name.starts_with("A1")) continue;
+      if (account.reports.empty()) continue;
+      lo = std::min(lo, account.reports.front().timestamp_s);
+      hi = std::max(hi, account.reports.front().timestamp_s);
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(spread(jittered), spread(plain));
+}
+
+TEST(Evasion, ValueJitterSpreadsSubmittedValues) {
+  EvasionConfig evasion;
+  evasion.value_jitter = 5.0;
+  const auto data = generate_scenario(evading_config(evasion, 3));
+  double lo = 1e18, hi = -1e18;
+  for (const auto& account : data.accounts) {
+    if (!account.is_sybil) continue;
+    for (const auto& r : account.reports) {
+      lo = std::min(lo, r.value);
+      hi = std::max(hi, r.value);
+    }
+  }
+  EXPECT_GT(hi - lo, 4.0);  // plain attack stays within ~target +- 2
+}
+
+TEST(Evasion, TimestampJitterDegradesAgTrDetection) {
+  double ari_plain = 0.0, ari_evading = 0.0;
+  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    const auto plain = generate_scenario(evading_config({}, seed));
+    EvasionConfig evasion;
+    evasion.timestamp_jitter_s = 3600.0;
+    const auto evading = generate_scenario(evading_config(evasion, seed));
+    ari_plain +=
+        eval::run_grouping(eval::GroupingMethod::kAgTr, plain).ari;
+    ari_evading +=
+        eval::run_grouping(eval::GroupingMethod::kAgTr, evading).ari;
+  }
+  EXPECT_GT(ari_plain, ari_evading);
+}
+
+TEST(Evasion, DropoutWeakensTheAttackItself) {
+  // Even if dropout helps evade AG-TS, it shrinks the attack's coverage,
+  // so the damage to plain CRH is smaller.
+  double mae_plain = 0.0, mae_evading = 0.0;
+  for (std::uint64_t seed : {21ull, 22ull, 23ull}) {
+    const auto plain = generate_scenario(evading_config({}, seed));
+    EvasionConfig evasion;
+    evasion.task_dropout = 0.6;
+    const auto evading = generate_scenario(evading_config(evasion, seed));
+    mae_plain += eval::run_method(eval::Method::kCrh, plain).mae;
+    mae_evading += eval::run_method(eval::Method::kCrh, evading).mae;
+  }
+  EXPECT_LT(mae_evading, mae_plain);
+}
+
+TEST(Evasion, FingerprintGroupingUnaffectedByBehavioralEvasion) {
+  // AG-FP keys on hardware, not behaviour: evasion of the behavioral
+  // methods leaves its ARI essentially unchanged.
+  const auto plain = generate_scenario(evading_config({}, 31));
+  EvasionConfig evasion;
+  evasion.timestamp_jitter_s = 3600.0;
+  evasion.task_dropout = 0.5;
+  const auto evading = generate_scenario(evading_config(evasion, 31));
+  const double a = eval::run_grouping(eval::GroupingMethod::kAgFp, plain).ari;
+  const double b =
+      eval::run_grouping(eval::GroupingMethod::kAgFp, evading).ari;
+  EXPECT_NEAR(a, b, 0.25);
+}
+
+TEST(Evasion, PinnedHomeAndStartAreHonored) {
+  ScenarioConfig config = make_paper_scenario(0.5, 0.5, 41);
+  config.legit_users[0].home = Point{100.0, 100.0};
+  config.legit_users[0].start_time_s = 1234.0;
+  const auto data = generate_scenario(config);
+  ASSERT_FALSE(data.accounts[0].reports.empty());
+  EXPECT_NEAR(data.accounts[0].reports.front().timestamp_s, 1234.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sybiltd::mcs

@@ -1,0 +1,152 @@
+// Tests for the approximate DTW layer: LB_Keogh lower bound and FastDTW.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dtw/dtw.h"
+#include "dtw/fastdtw.h"
+
+namespace sybiltd::dtw {
+namespace {
+
+std::vector<double> noisy_sine(std::size_t n, double phase,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    out[t] = std::sin(0.15 * static_cast<double>(t) + phase) +
+             rng.normal(0.0, 0.05);
+  }
+  return out;
+}
+
+class LbKeoghBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: LB_Keogh never exceeds the banded DTW total cost.
+TEST_P(LbKeoghBound, IsALowerBoundOnBandedDtw) {
+  Rng rng(GetParam());
+  const std::size_t n = 32;
+  std::vector<double> a(n), b(n);
+  for (auto& v : a) v = rng.uniform(-2, 2);
+  for (auto& v : b) v = rng.uniform(-2, 2);
+  for (std::size_t band : {1ul, 3ul, 8ul}) {
+    const double bound = lb_keogh(a, b, band);
+    DtwOptions opt;
+    opt.band = band;
+    const double exact = dtw_full(a, b, opt).total_cost;
+    EXPECT_LE(bound, exact + 1e-9) << "band " << band;
+    EXPECT_GE(bound, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LbKeoghBound,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(LbKeogh, ZeroForSeriesInsideEnvelope) {
+  const std::vector<double> a{0, 0, 0, 0};
+  const std::vector<double> b{1, -1, 1, -1};
+  // Query constant 0 always lies within [min, max] of any window of b.
+  EXPECT_EQ(lb_keogh(a, b, 1), 0.0);
+}
+
+TEST(LbKeogh, PositiveForSeparatedSeries) {
+  const std::vector<double> a{5, 5, 5, 5};
+  const std::vector<double> b{0, 0, 0, 0};
+  EXPECT_NEAR(lb_keogh(a, b, 1), 4 * 25.0, 1e-12);
+}
+
+TEST(LbKeogh, ValidatesInput) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1};
+  EXPECT_THROW(lb_keogh(a, b, 1), std::invalid_argument);
+  EXPECT_THROW(lb_keogh({}, {}, 1), std::invalid_argument);
+}
+
+TEST(FastDtw, ExactOnShortSeries) {
+  // At or below the base-case length FastDTW IS the exact DP.
+  Rng rng(9);
+  std::vector<double> a(12), b(10);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const auto exact = dtw_full(a, b);
+  const auto fast = fast_dtw(a, b);
+  EXPECT_NEAR(fast.total_cost, exact.total_cost, 1e-12);
+  EXPECT_EQ(fast.path.size(), exact.path.size());
+}
+
+TEST(FastDtw, UpperBoundsExactCost) {
+  // The approximation explores a subset of cells, so its cost can never be
+  // below the exact optimum.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto a = noisy_sine(100, 0.0, 100 + seed);
+    const auto b = noisy_sine(90, 0.4, 200 + seed);
+    const double exact = dtw_full(a, b).total_cost;
+    const double fast = fast_dtw(a, b).total_cost;
+    EXPECT_GE(fast + 1e-9, exact);
+  }
+}
+
+TEST(FastDtw, CloseToExactWithModestRadius) {
+  double worst_ratio = 1.0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto a = noisy_sine(128, 0.0, 300 + seed);
+    const auto b = noisy_sine(128, 0.3, 400 + seed);
+    const double exact = dtw_full(a, b).total_cost;
+    FastDtwOptions opt;
+    opt.radius = 2;
+    const double fast = fast_dtw(a, b, opt).total_cost;
+    if (exact > 1e-9) {
+      worst_ratio = std::max(worst_ratio, fast / exact);
+    }
+  }
+  EXPECT_LT(worst_ratio, 1.25);
+}
+
+TEST(FastDtw, LargerRadiusNeverWorse) {
+  const auto a = noisy_sine(150, 0.0, 500);
+  const auto b = noisy_sine(140, 0.5, 501);
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t radius : {0ul, 1ul, 3ul, 8ul}) {
+    FastDtwOptions opt;
+    opt.radius = radius;
+    const double cost = fast_dtw(a, b, opt).total_cost;
+    EXPECT_LE(cost, prev + 1e-9) << "radius " << radius;
+    prev = cost;
+  }
+}
+
+TEST(FastDtw, PathIsValid) {
+  const auto a = noisy_sine(70, 0.0, 600);
+  const auto b = noisy_sine(64, 0.2, 601);
+  const auto result = fast_dtw(a, b);
+  EXPECT_EQ(result.path.front(),
+            (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(result.path.back(),
+            (std::pair<std::size_t, std::size_t>{a.size() - 1,
+                                                 b.size() - 1}));
+  double cost = 0.0;
+  for (std::size_t k = 0; k < result.path.size(); ++k) {
+    const auto [i, j] = result.path[k];
+    cost += (a[i] - b[j]) * (a[i] - b[j]);
+    if (k > 0) {
+      const auto [pi, pj] = result.path[k - 1];
+      EXPECT_TRUE((i == pi || i == pi + 1) && (j == pj || j == pj + 1));
+      EXPECT_TRUE(i > pi || j > pj);
+    }
+  }
+  EXPECT_NEAR(cost, result.total_cost, 1e-9);
+}
+
+TEST(FastDtw, IdenticalSeriesZero) {
+  const auto a = noisy_sine(200, 0.0, 700);
+  EXPECT_NEAR(fast_dtw(a, a).total_cost, 0.0, 1e-12);
+}
+
+TEST(FastDtw, RejectsEmpty) {
+  const std::vector<double> a{1.0};
+  EXPECT_THROW(fast_dtw({}, a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sybiltd::dtw

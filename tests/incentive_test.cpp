@@ -1,0 +1,215 @@
+// Tests for the incentive substrate: the greedy budgeted coverage auction,
+// its truthfulness properties, and participant selection on campaigns —
+// including the paper's remark that incentive selection alleviates
+// AG-TS/AG-TR false positives among similar legitimate users.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/ag_tr.h"
+#include "eval/adapters.h"
+#include "incentive/selection.h"
+#include "ml/clustering_metrics.h"
+
+namespace sybiltd::incentive {
+namespace {
+
+Bid make_bid(std::size_t user, double cost,
+             std::initializer_list<std::size_t> tasks) {
+  return {user, cost, std::vector<std::size_t>(tasks)};
+}
+
+TEST(Auction, SelectsHighValuePerCostFirst) {
+  // Two bidders covering disjoint tasks; cheap one first, both fit.
+  const std::vector<Bid> bids = {make_bid(0, 2.0, {0, 1}),
+                                 make_bid(1, 1.0, {2, 3})};
+  AuctionConfig config;
+  config.budget = 10.0;
+  const auto result = run_auction(bids, 4, config);
+  ASSERT_EQ(result.selected.size(), 2u);
+  EXPECT_EQ(result.selected.front(), 1u);  // better value/cost ratio
+}
+
+TEST(Auction, BudgetLimitsSelection) {
+  const std::vector<Bid> bids = {make_bid(0, 3.0, {0}),
+                                 make_bid(1, 3.0, {1}),
+                                 make_bid(2, 3.0, {2})};
+  AuctionConfig config;
+  config.budget = 6.5;
+  const auto result = run_auction(bids, 3, config);
+  EXPECT_EQ(result.selected.size(), 2u);
+}
+
+TEST(Auction, RedundantCoverageHasLowMarginalValue) {
+  // Twin bidders covering the same tasks: once one is in, the other's
+  // marginal value collapses by the coverage decay, so a cheap
+  // complementary bidder wins over the redundant twin.
+  const std::vector<Bid> bids = {
+      make_bid(0, 1.0, {0, 1, 2}),   // first twin
+      make_bid(1, 1.0, {0, 1, 2}),   // second twin, fully redundant
+      make_bid(2, 2.0, {3}),         // complementary but pricier per task
+  };
+  AuctionConfig config;
+  config.budget = 3.2;  // room for exactly two of cost 1 + 2
+  config.coverage_decay = 0.1;
+  const auto result = run_auction(bids, 4, config);
+  ASSERT_EQ(result.selected.size(), 2u);
+  EXPECT_TRUE(std::find(result.selected.begin(), result.selected.end(), 2u)
+              != result.selected.end());
+  // The redundant twin is not selected.
+  EXPECT_TRUE(std::find(result.selected.begin(), result.selected.end(), 1u)
+              == result.selected.end());
+}
+
+TEST(Auction, CoverageValueIsSubmodular) {
+  const std::vector<Bid> bids = {make_bid(0, 1.0, {0, 1}),
+                                 make_bid(1, 1.0, {0, 1}),
+                                 make_bid(2, 1.0, {0, 1})};
+  AuctionConfig config;
+  config.coverage_decay = 0.5;
+  const double v1 = coverage_value(bids, {0}, 2, config);
+  const double v2 = coverage_value(bids, {0, 1}, 2, config);
+  const double v3 = coverage_value(bids, {0, 1, 2}, 2, config);
+  EXPECT_GT(v2 - v1, v3 - v2);  // diminishing returns
+  EXPECT_NEAR(v1, 2.0, 1e-12);
+  EXPECT_NEAR(v2 - v1, 1.0, 1e-12);
+}
+
+TEST(Auction, CriticalPaymentsAtLeastBidAndWithinBudget) {
+  Rng rng(1);
+  std::vector<Bid> bids;
+  for (std::size_t i = 0; i < 8; ++i) {
+    Bid bid;
+    bid.user = i;
+    bid.cost = rng.uniform(0.5, 2.0);
+    for (std::size_t t = 0; t < 5; ++t) {
+      if (rng.bernoulli(0.5)) bid.tasks.push_back(t);
+    }
+    if (bid.tasks.empty()) bid.tasks.push_back(0);
+    bids.push_back(std::move(bid));
+  }
+  AuctionConfig config;
+  config.budget = 5.0;
+  const auto result = run_auction(bids, 5, config);
+  ASSERT_EQ(result.payments.size(), result.selected.size());
+  for (std::size_t w = 0; w < result.selected.size(); ++w) {
+    EXPECT_GE(result.payments[w] + 1e-6, bids[result.selected[w]].cost);
+    EXPECT_LE(result.payments[w], config.budget + 1.0);
+  }
+}
+
+TEST(Auction, SelectionMonotoneInOwnCost) {
+  // Truthfulness precondition: if a winner lowers its cost, it still wins.
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Bid> bids;
+    for (std::size_t i = 0; i < 6; ++i) {
+      Bid bid;
+      bid.user = i;
+      bid.cost = rng.uniform(0.5, 2.0);
+      bid.tasks = {rng.uniform_index(4), rng.uniform_index(4)};
+      bids.push_back(std::move(bid));
+    }
+    AuctionConfig config;
+    config.budget = 4.0;
+    config.critical_payments = false;
+    const auto before = run_auction(bids, 4, config);
+    if (before.selected.empty()) continue;
+    const std::size_t winner = before.selected.front();
+    auto cheaper = bids;
+    cheaper[winner].cost *= 0.5;
+    const auto after = run_auction(cheaper, 4, config);
+    EXPECT_TRUE(std::find(after.selected.begin(), after.selected.end(),
+                          winner) != after.selected.end());
+  }
+}
+
+TEST(Auction, ValidatesInput) {
+  AuctionConfig config;
+  EXPECT_THROW(run_auction({make_bid(0, 0.0, {0})}, 1, config),
+               std::invalid_argument);
+  EXPECT_THROW(run_auction({make_bid(0, 1.0, {5})}, 1, config),
+               std::invalid_argument);
+  config.budget = 0.0;
+  EXPECT_THROW(run_auction({}, 1, config), std::invalid_argument);
+}
+
+TEST(Selection, FiltersCampaignToWinners) {
+  const auto data =
+      mcs::generate_scenario(mcs::make_paper_scenario(0.5, 0.5, 31));
+  SelectionConfig config;
+  config.auction.budget = 8.0;
+  const auto outcome = select_participants(data, config);
+  EXPECT_LT(outcome.campaign.accounts.size(), data.accounts.size());
+  EXPECT_EQ(outcome.campaign.accounts.size(),
+            outcome.selected_accounts.size());
+  EXPECT_EQ(outcome.campaign.tasks.size(), data.tasks.size());
+  // Selected account records are copied verbatim.
+  for (std::size_t k = 0; k < outcome.selected_accounts.size(); ++k) {
+    EXPECT_EQ(outcome.campaign.accounts[k].name,
+              data.accounts[outcome.selected_accounts[k]].name);
+  }
+}
+
+TEST(Selection, ReducesTrajectoryFalsePositivesAmongTwins) {
+  // Build a campaign with pairs of "twin" legitimate users: same home,
+  // same start time, same activeness -> AG-TR tends to group each pair
+  // (false positives).  Incentive selection should rarely pick both twins
+  // (the second has little marginal coverage), cutting false positives.
+  auto build = [](std::uint64_t seed) {
+    mcs::ScenarioConfig config;
+    config.task_count = 10;
+    config.seed = seed;
+    Rng rng(seed);
+    for (int pair = 0; pair < 4; ++pair) {
+      const mcs::Point home{rng.uniform(50.0, 450.0),
+                            rng.uniform(50.0, 450.0)};
+      const double start = rng.uniform(0.0, 3600.0);
+      for (int twin = 0; twin < 2; ++twin) {
+        mcs::LegitimateUserConfig user;
+        // Full activeness: twins share the task set, the greedy route from
+        // the shared home, and the start time — the AG-TR collision case.
+        user.activeness = 1.0;
+        user.noise_stddev = 2.0;
+        user.device_model = twin == 0 ? "iPhone 6" : "Nexus 5";
+        user.home = home;
+        user.start_time_s = start;
+        config.legit_users.push_back(std::move(user));
+      }
+    }
+    return mcs::generate_scenario(config);
+  };
+
+  double fp_before = 0.0, fp_after = 0.0;
+  int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    const auto data = build(400 + t);
+    auto false_positive_pairs = [&](const mcs::ScenarioData& campaign) {
+      const auto grouping =
+          core::AgTr().group(eval::to_framework_input(campaign));
+      const auto truth = campaign.true_user_labels();
+      int fp = 0;
+      for (std::size_t i = 0; i < campaign.accounts.size(); ++i) {
+        for (std::size_t j = i + 1; j < campaign.accounts.size(); ++j) {
+          if (grouping.group_of(i) == grouping.group_of(j) &&
+              truth[i] != truth[j]) {
+            ++fp;
+          }
+        }
+      }
+      return fp;
+    };
+    fp_before += false_positive_pairs(data);
+    SelectionConfig sel;
+    sel.auction.budget = 10.0;
+    sel.auction.coverage_decay = 0.2;
+    sel.seed = 700 + t;
+    fp_after += false_positive_pairs(select_participants(data, sel).campaign);
+  }
+  EXPECT_GT(fp_before, 0.0);       // twins do collide without selection
+  EXPECT_LT(fp_after, fp_before);  // selection alleviates it (paper remark)
+}
+
+}  // namespace
+}  // namespace sybiltd::incentive

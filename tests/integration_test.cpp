@@ -1,0 +1,146 @@
+// End-to-end integration tests asserting the paper's headline claims on
+// full generated scenarios: CRH is vulnerable, the framework resists, and
+// the expected orderings between methods hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/adapters.h"
+#include "eval/experiment.h"
+#include "ml/clustering_metrics.h"
+
+namespace sybiltd::eval {
+namespace {
+
+// Average a method's MAE over several seeds at one activeness setting.
+double avg_mae(Method m, double legit, double sybil, int seeds) {
+  double total = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    const auto data = mcs::generate_scenario(
+        mcs::make_paper_scenario(legit, sybil, 500 + 97 * s));
+    total += run_method(m, data).mae;
+  }
+  return total / seeds;
+}
+
+double avg_ari(GroupingMethod g, double legit, double sybil, int seeds) {
+  double total = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    const auto data = mcs::generate_scenario(
+        mcs::make_paper_scenario(legit, sybil, 500 + 97 * s));
+    total += run_grouping(g, data).ari;
+  }
+  return total / seeds;
+}
+
+TEST(Integration, CrhDegradesWithSybilActiveness) {
+  const double low = avg_mae(Method::kCrh, 0.5, 0.2, 3);
+  const double high = avg_mae(Method::kCrh, 0.5, 1.0, 3);
+  EXPECT_GT(high, low + 5.0);
+}
+
+TEST(Integration, CrhImprovesWithLegitActiveness) {
+  const double sparse = avg_mae(Method::kCrh, 0.2, 0.6, 3);
+  const double dense = avg_mae(Method::kCrh, 1.0, 0.6, 3);
+  EXPECT_LT(dense, sparse);
+}
+
+TEST(Integration, FrameworkBeatsCrhAcrossTheGrid) {
+  // TD-FP and TD-TR beat CRH at every grid point; TD-TS everywhere except
+  // the degenerate identical-task-set regime (legit activeness 1), where
+  // the paper itself says to use AG-TR instead.
+  for (double legit : {0.2, 0.5, 1.0}) {
+    for (double sybil : {0.2, 0.6, 1.0}) {
+      const double crh = avg_mae(Method::kCrh, legit, sybil, 2);
+      EXPECT_LE(avg_mae(Method::kTdFp, legit, sybil, 2), crh + 0.5)
+          << "TD-FP at " << legit << "," << sybil;
+      EXPECT_LE(avg_mae(Method::kTdTr, legit, sybil, 2), crh + 0.5)
+          << "TD-TR at " << legit << "," << sybil;
+      if (legit < 0.99) {
+        EXPECT_LE(avg_mae(Method::kTdTs, legit, sybil, 2), crh + 0.5)
+            << "TD-TS at " << legit << "," << sybil;
+      }
+    }
+  }
+}
+
+TEST(Integration, TdTrIsTheBestGroupedMethod) {
+  double tr = 0.0, fp = 0.0;
+  for (double sybil : {0.4, 0.8}) {
+    tr += avg_mae(Method::kTdTr, 0.5, sybil, 3);
+    fp += avg_mae(Method::kTdFp, 0.5, sybil, 3);
+  }
+  EXPECT_LT(tr, fp);
+}
+
+TEST(Integration, TdTrTracksOracle) {
+  for (double sybil : {0.4, 1.0}) {
+    const double tr = avg_mae(Method::kTdTr, 0.5, sybil, 3);
+    const double oracle = avg_mae(Method::kTdOracle, 0.5, sybil, 3);
+    EXPECT_LT(tr, oracle + 2.0) << "sybil " << sybil;
+  }
+}
+
+TEST(Integration, AgTrAriExceedsAgTs) {
+  double tr = 0.0, ts = 0.0;
+  for (double sybil : {0.2, 0.6, 1.0}) {
+    tr += avg_ari(GroupingMethod::kAgTr, 0.5, sybil, 2);
+    ts += avg_ari(GroupingMethod::kAgTs, 0.5, sybil, 2);
+  }
+  EXPECT_GT(tr, ts);
+}
+
+TEST(Integration, AgTsAriRisesWithSybilActiveness) {
+  // With more accomplished tasks, Sybil task sets clear the affinity
+  // threshold and become groupable.
+  const double low = avg_ari(GroupingMethod::kAgTs, 0.5, 0.2, 3);
+  const double high = avg_ari(GroupingMethod::kAgTs, 0.5, 0.6, 3);
+  EXPECT_GT(high, low);
+}
+
+TEST(Integration, AgTrAriIsHighEverywhere) {
+  for (double legit : {0.2, 0.5, 1.0}) {
+    for (double sybil : {0.2, 0.6, 1.0}) {
+      EXPECT_GT(avg_ari(GroupingMethod::kAgTr, legit, sybil, 2), 0.55)
+          << legit << "," << sybil;
+    }
+  }
+}
+
+TEST(Integration, HonestDuplicationAlsoMitigated) {
+  // A rapacious attacker (duplicate honest data) inflates its weight under
+  // CRH; the framework collapses the duplicates.  Truth estimates stay
+  // accurate either way, but group weights should not reward duplication.
+  auto config = mcs::make_paper_scenario(0.5, 0.8, 61);
+  for (auto& atk : config.attackers) {
+    atk.fabrication = mcs::Fabrication::kDuplicateHonest;
+  }
+  const auto data = mcs::generate_scenario(config);
+  const auto crh = run_method(Method::kCrh, data);
+  const auto tr = run_method(Method::kTdTr, data);
+  // Honest duplicates do not corrupt values badly, so both MAEs are small.
+  EXPECT_LT(crh.mae, 6.0);
+  EXPECT_LT(tr.mae, 6.0);
+}
+
+TEST(Integration, FullPipelineIsDeterministic) {
+  const auto run_once = [] {
+    const auto data =
+        mcs::generate_scenario(mcs::make_paper_scenario(0.5, 0.7, 71));
+    return run_method(Method::kTdTr, data).truths;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Integration, NoAttackersMeansAllMethodsAgree) {
+  auto config = mcs::make_paper_scenario(0.8, 0.2, 81);
+  config.attackers.clear();
+  const auto data = mcs::generate_scenario(config);
+  const auto crh = run_method(Method::kCrh, data);
+  const auto tr = run_method(Method::kTdTr, data);
+  EXPECT_LT(crh.mae, 3.5);
+  EXPECT_LT(tr.mae, 3.5);
+}
+
+}  // namespace
+}  // namespace sybiltd::eval

@@ -1,0 +1,300 @@
+// Tests for src/mcs: task/POI generation, trajectory planning, and the
+// scenario generator's invariants (attack structure, activeness, ordering).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "mcs/scenario.h"
+#include "mcs/task.h"
+#include "mcs/trajectory.h"
+
+namespace sybiltd::mcs {
+namespace {
+
+TEST(Task, DistanceIsEuclidean) {
+  EXPECT_NEAR(distance({0, 0}, {3, 4}), 5.0, 1e-12);
+  EXPECT_NEAR(distance({1, 1}, {1, 1}), 0.0, 1e-12);
+}
+
+TEST(Task, PathLossDecreasesWithDistance) {
+  PathLossModel model;
+  EXPECT_GT(model.rssi(2.0), model.rssi(20.0));
+  EXPECT_NEAR(model.rssi(1.0), model.rssi_1m_dbm, 1e-12);
+  // Below min distance clamps.
+  EXPECT_EQ(model.rssi(0.1), model.rssi(1.0));
+}
+
+TEST(Task, WifiTasksHaveRealisticTruthsAndLocations) {
+  Rng rng(1);
+  CampusConfig campus;
+  const auto tasks = make_wifi_poi_tasks(10, campus, rng);
+  EXPECT_EQ(tasks.size(), 10u);
+  for (const auto& t : tasks) {
+    EXPECT_GE(t.location.x, 0.0);
+    EXPECT_LE(t.location.x, campus.width_m);
+    EXPECT_GE(t.location.y, 0.0);
+    EXPECT_LE(t.location.y, campus.height_m);
+    EXPECT_LT(t.ground_truth, -40.0);
+    EXPECT_GT(t.ground_truth, -95.0);
+  }
+  EXPECT_THROW(make_wifi_poi_tasks(0, campus, rng), std::invalid_argument);
+}
+
+TEST(Task, NoiseTasksLouderNearCenter) {
+  Rng rng(2);
+  CampusConfig campus;
+  const auto tasks = make_noise_poi_tasks(200, campus, rng);
+  const Point center{campus.width_m / 2, campus.height_m / 2};
+  double near_sum = 0, far_sum = 0;
+  int near_n = 0, far_n = 0;
+  for (const auto& t : tasks) {
+    if (distance(t.location, center) < 120) {
+      near_sum += t.ground_truth;
+      ++near_n;
+    } else if (distance(t.location, center) > 250) {
+      far_sum += t.ground_truth;
+      ++far_n;
+    }
+  }
+  ASSERT_GT(near_n, 0);
+  ASSERT_GT(far_n, 0);
+  EXPECT_GT(near_sum / near_n, far_sum / far_n);
+}
+
+TEST(Trajectory, ChoosesRequestedDistinctTasks) {
+  Rng rng(3);
+  CampusConfig campus;
+  const auto tasks = make_wifi_poi_tasks(10, campus, rng);
+  const auto chosen = choose_preferred_tasks(tasks, {0, 0}, 6, rng);
+  EXPECT_EQ(chosen.size(), 6u);
+  std::set<std::size_t> unique(chosen.begin(), chosen.end());
+  EXPECT_EQ(unique.size(), 6u);
+  EXPECT_THROW(choose_preferred_tasks(tasks, {0, 0}, 11, rng),
+               std::invalid_argument);
+}
+
+TEST(Trajectory, PrefersNearbyTasks) {
+  Rng rng(4);
+  // 5 tasks near origin, 5 far away: a home at the origin should mostly
+  // pick the near ones.
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < 5; ++i) {
+    tasks.push_back({i, "near", {10.0 * (i + 1), 0}, -60});
+  }
+  for (std::size_t i = 5; i < 10; ++i) {
+    tasks.push_back({i, "far", {450, 450}, -60});
+  }
+  int near_picks = 0, total = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto chosen = choose_preferred_tasks(tasks, {0, 0}, 3, rng, 100.0);
+    for (std::size_t id : chosen) {
+      ++total;
+      if (id < 5) ++near_picks;
+    }
+  }
+  EXPECT_GT(static_cast<double>(near_picks) / total, 0.8);
+}
+
+TEST(Trajectory, WalkTimestampsStrictlyIncrease) {
+  Rng rng(5);
+  CampusConfig campus;
+  const auto tasks = make_wifi_poi_tasks(8, campus, rng);
+  const std::vector<std::size_t> ids{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto visits = plan_walk(tasks, ids, {250, 250}, {}, rng);
+  ASSERT_EQ(visits.size(), 8u);
+  for (std::size_t k = 1; k < visits.size(); ++k) {
+    EXPECT_GT(visits[k].timestamp_s, visits[k - 1].timestamp_s);
+  }
+  // Each task visited exactly once.
+  std::set<std::size_t> seen;
+  for (const auto& v : visits) EXPECT_TRUE(seen.insert(v.task).second);
+}
+
+TEST(Trajectory, WalkingTimeConsistentWithSpeed) {
+  Rng rng(6);
+  std::vector<Task> tasks{{0, "a", {0, 0}, -60}, {1, "b", {140, 0}, -60}};
+  TrajectoryOptions opt;
+  opt.walking_speed_mps = 1.4;
+  opt.dwell_min_s = opt.dwell_max_s = 0.0;
+  opt.start_window_s = 1e-9;
+  const auto visits = plan_walk(tasks, {0, 1}, {0, 0}, opt, rng);
+  // 140 m at 1.4 m/s = 100 s between the two visits.
+  EXPECT_NEAR(visits[1].timestamp_s - visits[0].timestamp_s, 100.0, 1e-6);
+}
+
+TEST(Scenario, PaperSetupCounts) {
+  const auto config = make_paper_scenario(0.5, 0.5, 1);
+  const auto data = generate_scenario(config);
+  EXPECT_EQ(data.tasks.size(), 10u);
+  // 8 legit accounts + 2 attackers x 5 accounts.
+  EXPECT_EQ(data.accounts.size(), 18u);
+  // 8 legit phones + 1 (Attack-I) + 2 (Attack-II).
+  EXPECT_EQ(data.devices.size(), 11u);
+  EXPECT_EQ(data.user_count, 10u);
+  int sybil = 0;
+  for (const auto& a : data.accounts) sybil += a.is_sybil ? 1 : 0;
+  EXPECT_EQ(sybil, 10);
+}
+
+TEST(Scenario, DeterministicInSeed) {
+  const auto a = generate_scenario(make_paper_scenario(0.5, 0.8, 9));
+  const auto b = generate_scenario(make_paper_scenario(0.5, 0.8, 9));
+  ASSERT_EQ(a.accounts.size(), b.accounts.size());
+  for (std::size_t i = 0; i < a.accounts.size(); ++i) {
+    ASSERT_EQ(a.accounts[i].reports.size(), b.accounts[i].reports.size());
+    for (std::size_t r = 0; r < a.accounts[i].reports.size(); ++r) {
+      EXPECT_EQ(a.accounts[i].reports[r].value,
+                b.accounts[i].reports[r].value);
+      EXPECT_EQ(a.accounts[i].reports[r].timestamp_s,
+                b.accounts[i].reports[r].timestamp_s);
+    }
+    EXPECT_EQ(a.accounts[i].fingerprint, b.accounts[i].fingerprint);
+  }
+}
+
+TEST(Scenario, AttackOneUsesASingleDevice) {
+  const auto data = generate_scenario(make_paper_scenario(0.5, 0.5, 2));
+  std::set<std::size_t> attack1_devices;
+  for (const auto& a : data.accounts) {
+    if (a.is_sybil && a.name.starts_with("A1")) {
+      attack1_devices.insert(a.device);
+    }
+  }
+  EXPECT_EQ(attack1_devices.size(), 1u);
+}
+
+TEST(Scenario, AttackTwoRotatesAcrossTwoDevices) {
+  const auto data = generate_scenario(make_paper_scenario(0.5, 0.5, 3));
+  std::set<std::size_t> attack2_devices;
+  for (const auto& a : data.accounts) {
+    if (a.is_sybil && a.name.starts_with("A2")) {
+      attack2_devices.insert(a.device);
+    }
+  }
+  EXPECT_EQ(attack2_devices.size(), 2u);
+}
+
+TEST(Scenario, SybilAccountsShareTaskSets) {
+  const auto data = generate_scenario(make_paper_scenario(0.5, 0.6, 4));
+  std::set<std::size_t> first_set;
+  bool first = true;
+  for (const auto& a : data.accounts) {
+    if (!a.is_sybil || !a.name.starts_with("A1")) continue;
+    std::set<std::size_t> tasks;
+    for (const auto& r : a.reports) tasks.insert(r.task);
+    if (first) {
+      first_set = tasks;
+      first = false;
+    } else {
+      EXPECT_EQ(tasks, first_set);
+    }
+  }
+  EXPECT_FALSE(first);
+}
+
+TEST(Scenario, SybilValuesAreFabricatedTarget) {
+  const auto data = generate_scenario(make_paper_scenario(0.5, 0.5, 5));
+  for (const auto& a : data.accounts) {
+    if (!a.is_sybil) continue;
+    for (const auto& r : a.reports) {
+      EXPECT_NEAR(r.value, -50.0, 3.0);  // target plus small jitter
+    }
+  }
+}
+
+TEST(Scenario, ActivenessControlsTaskCounts) {
+  for (double act : {0.2, 0.5, 1.0}) {
+    const auto data = generate_scenario(make_paper_scenario(act, act, 6));
+    const auto expected = static_cast<std::size_t>(std::lround(act * 10));
+    for (const auto& a : data.accounts) {
+      EXPECT_EQ(a.reports.size(), std::max<std::size_t>(expected, 2))
+          << a.name;
+    }
+  }
+}
+
+TEST(Scenario, ReportsSortedByTimestamp) {
+  const auto data = generate_scenario(make_paper_scenario(1.0, 1.0, 7));
+  for (const auto& a : data.accounts) {
+    for (std::size_t r = 1; r < a.reports.size(); ++r) {
+      EXPECT_LE(a.reports[r - 1].timestamp_s, a.reports[r].timestamp_s);
+    }
+  }
+}
+
+TEST(Scenario, LegitimateValuesNearGroundTruth) {
+  const auto data = generate_scenario(make_paper_scenario(1.0, 0.2, 8));
+  for (const auto& a : data.accounts) {
+    if (a.is_sybil) continue;
+    for (const auto& r : a.reports) {
+      EXPECT_NEAR(r.value, data.tasks[r.task].ground_truth, 15.0);
+    }
+  }
+}
+
+TEST(Scenario, LabelsMatchStructure) {
+  const auto data = generate_scenario(make_paper_scenario(0.5, 0.5, 10));
+  const auto users = data.true_user_labels();
+  const auto devices = data.true_device_labels();
+  ASSERT_EQ(users.size(), 18u);
+  // First 8 accounts: unique users.
+  std::set<std::size_t> legit_users(users.begin(), users.begin() + 8);
+  EXPECT_EQ(legit_users.size(), 8u);
+  // Accounts 8-12 share user 8; 13-17 share user 9.
+  for (std::size_t i = 8; i < 13; ++i) EXPECT_EQ(users[i], 8u);
+  for (std::size_t i = 13; i < 18; ++i) EXPECT_EQ(users[i], 9u);
+  // Attack-I accounts share one device.
+  std::set<std::size_t> a1_dev(devices.begin() + 8, devices.begin() + 13);
+  EXPECT_EQ(a1_dev.size(), 1u);
+  EXPECT_EQ(data.ground_truths().size(), 10u);
+}
+
+TEST(Scenario, FingerprintsPresentAndDistinctAcrossCaptures) {
+  const auto data = generate_scenario(make_paper_scenario(0.2, 0.2, 11));
+  for (const auto& a : data.accounts) {
+    EXPECT_EQ(a.fingerprint.size(), 80u) << a.name;
+  }
+  // Two accounts of the same attacker on the same device still get
+  // *different* captures (they re-do the sign-in hold).
+  EXPECT_NE(data.accounts[8].fingerprint, data.accounts[9].fingerprint);
+}
+
+TEST(Scenario, ValidatesAttackerConfig) {
+  ScenarioConfig config = make_paper_scenario(0.5, 0.5, 12);
+  config.attackers[0].device_models = {};
+  EXPECT_THROW(generate_scenario(config), std::invalid_argument);
+  config = make_paper_scenario(0.5, 0.5, 12);
+  config.attackers[0].type = AttackType::kSingleDevice;
+  config.attackers[0].device_models = {"iPhone 6", "iPhone 7"};
+  EXPECT_THROW(generate_scenario(config), std::invalid_argument);
+}
+
+TEST(Scenario, OffsetFabricationShiftsValues) {
+  ScenarioConfig config = make_paper_scenario(0.5, 0.5, 13);
+  config.attackers[0].fabrication = Fabrication::kOffsetFromTruth;
+  config.attackers[0].offset = 25.0;
+  const auto data = generate_scenario(config);
+  for (const auto& a : data.accounts) {
+    if (!a.is_sybil || !a.name.starts_with("A1")) continue;
+    for (const auto& r : a.reports) {
+      EXPECT_NEAR(r.value, data.tasks[r.task].ground_truth + 25.0, 3.0);
+    }
+  }
+}
+
+TEST(Scenario, DuplicateHonestAttackTracksTruth) {
+  ScenarioConfig config = make_paper_scenario(0.5, 0.5, 14);
+  config.attackers[0].fabrication = Fabrication::kDuplicateHonest;
+  const auto data = generate_scenario(config);
+  for (const auto& a : data.accounts) {
+    if (!a.is_sybil || !a.name.starts_with("A1")) continue;
+    for (const auto& r : a.reports) {
+      EXPECT_NEAR(r.value, data.tasks[r.task].ground_truth, 12.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sybiltd::mcs

@@ -1,0 +1,209 @@
+// Tests for the extended ML substrate: agglomerative clustering, DBSCAN,
+// and the silhouette / gap-statistic k-selection criteria.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "ml/agglomerative.h"
+#include "ml/clustering_metrics.h"
+#include "ml/dbscan.h"
+#include "ml/kselect.h"
+
+namespace sybiltd::ml {
+namespace {
+
+Matrix blobs3(std::size_t per_cluster, std::uint64_t seed,
+              std::vector<std::size_t>* labels = nullptr,
+              double sigma = 0.4) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {12, 0}, {0, 12}};
+  Matrix data(3 * per_cluster, 2);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      const std::size_t row = c * per_cluster + i;
+      data(row, 0) = centers[c][0] + rng.normal(0.0, sigma);
+      data(row, 1) = centers[c][1] + rng.normal(0.0, sigma);
+      if (labels) labels->push_back(c);
+    }
+  }
+  return data;
+}
+
+// --- agglomerative -----------------------------------------------------
+
+TEST(Agglomerative, TargetClustersRecoverBlobs) {
+  std::vector<std::size_t> truth;
+  const Matrix data = blobs3(8, 1, &truth);
+  AgglomerativeOptions opt;
+  opt.target_clusters = 3;
+  const auto result = agglomerative_cluster(data, opt);
+  EXPECT_EQ(result.cluster_count, 3u);
+  EXPECT_NEAR(adjusted_rand_index(result.labels, truth), 1.0, 1e-12);
+}
+
+TEST(Agglomerative, ThresholdStopsBeforeMergingBlobs) {
+  std::vector<std::size_t> truth;
+  const Matrix data = blobs3(6, 2, &truth);
+  AgglomerativeOptions opt;
+  opt.merge_threshold = 4.0;  // blob diameter << 4 << inter-blob distance
+  const auto result = agglomerative_cluster(data, opt);
+  EXPECT_EQ(result.cluster_count, 3u);
+  EXPECT_NEAR(adjusted_rand_index(result.labels, truth), 1.0, 1e-12);
+  // Merge heights recorded and non-decreasing for average linkage blobs.
+  EXPECT_EQ(result.merge_distances.size(), data.rows() - 3);
+}
+
+TEST(Agglomerative, AllLinkagesAgreeOnSeparatedBlobs) {
+  std::vector<std::size_t> truth;
+  const Matrix data = blobs3(5, 3, &truth);
+  for (auto linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    AgglomerativeOptions opt;
+    opt.linkage = linkage;
+    opt.target_clusters = 3;
+    const auto result = agglomerative_cluster(data, opt);
+    EXPECT_NEAR(adjusted_rand_index(result.labels, truth), 1.0, 1e-12);
+  }
+}
+
+TEST(Agglomerative, SingleLinkageChains) {
+  // A chain of points 1 apart with one big gap: single linkage keeps the
+  // chain together, complete linkage may split it — classic difference.
+  Matrix data(7, 1);
+  for (std::size_t i = 0; i < 5; ++i) data(i, 0) = static_cast<double>(i);
+  data(5, 0) = 50.0;
+  data(6, 0) = 51.0;
+  AgglomerativeOptions opt;
+  opt.linkage = Linkage::kSingle;
+  opt.merge_threshold = 2.0;
+  const auto result = agglomerative_cluster(data, opt);
+  EXPECT_EQ(result.cluster_count, 2u);
+  EXPECT_EQ(result.labels[0], result.labels[4]);
+  EXPECT_NE(result.labels[0], result.labels[5]);
+}
+
+TEST(Agglomerative, RequiresStoppingRule) {
+  const Matrix data = blobs3(2, 4);
+  EXPECT_THROW(agglomerative_cluster(data, {}), std::invalid_argument);
+  EXPECT_THROW(agglomerative_cluster(Matrix{}, {}), std::invalid_argument);
+}
+
+TEST(Agglomerative, SingletonInput) {
+  Matrix data(1, 2, 0.0);
+  AgglomerativeOptions opt;
+  opt.target_clusters = 1;
+  const auto result = agglomerative_cluster(data, opt);
+  EXPECT_EQ(result.cluster_count, 1u);
+}
+
+// --- DBSCAN --------------------------------------------------------------
+
+TEST(Dbscan, RecoversBlobsWithoutK) {
+  std::vector<std::size_t> truth;
+  const Matrix data = blobs3(8, 5, &truth);
+  DbscanOptions opt;
+  opt.epsilon = 2.0;
+  opt.min_points = 3;
+  const auto result = dbscan(data, opt);
+  EXPECT_EQ(result.cluster_count, 3u);
+  EXPECT_NEAR(adjusted_rand_index(result.labels, truth), 1.0, 1e-12);
+}
+
+TEST(Dbscan, IsolatedPointIsNoise) {
+  Matrix data(5, 1);
+  data(0, 0) = 0.0;
+  data(1, 0) = 0.1;
+  data(2, 0) = 0.2;
+  data(3, 0) = 100.0;  // isolated
+  data(4, 0) = 0.15;
+  DbscanOptions opt;
+  opt.epsilon = 1.0;
+  opt.min_points = 2;
+  const auto result = dbscan(data, opt);
+  EXPECT_EQ(result.labels[3], kDbscanNoise);
+  EXPECT_EQ(result.cluster_count, 1u);
+  // Partition form: the noise point becomes its own group.
+  const auto partition = result.partition_labels();
+  std::set<std::size_t> distinct(partition.begin(), partition.end());
+  EXPECT_EQ(distinct.size(), 2u);
+  EXPECT_EQ(partition[3], 1u);
+}
+
+TEST(Dbscan, ValidatesOptions) {
+  const Matrix data = blobs3(2, 6);
+  DbscanOptions opt;
+  opt.epsilon = 0.0;
+  EXPECT_THROW(dbscan(data, opt), std::invalid_argument);
+  opt.epsilon = 1.0;
+  opt.min_points = 0;
+  EXPECT_THROW(dbscan(data, opt), std::invalid_argument);
+}
+
+TEST(Dbscan, EpsilonEstimateSeparatesBlobScale) {
+  const Matrix data = blobs3(8, 7);
+  const double eps = estimate_dbscan_epsilon(data, 2);
+  // The 2-NN distance inside a blob is ~sigma, far below inter-blob 12.
+  EXPECT_GT(eps, 0.0);
+  EXPECT_LT(eps, 4.0);
+  DbscanOptions opt;
+  opt.epsilon = eps;
+  opt.min_points = 3;
+  EXPECT_EQ(dbscan(data, opt).cluster_count, 3u);
+  EXPECT_THROW(estimate_dbscan_epsilon(data, 0), std::invalid_argument);
+}
+
+TEST(Dbscan, EmptyMatrix) {
+  DbscanOptions opt;
+  opt.epsilon = 1.0;
+  const auto result = dbscan(Matrix{}, opt);
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_EQ(result.cluster_count, 0u);
+}
+
+// --- k selection ------------------------------------------------------------
+
+TEST(KSelect, SilhouettePicksTrueK) {
+  const Matrix data = blobs3(10, 8);
+  KSelectOptions opt;
+  opt.max_k = 8;
+  const auto result = select_k_silhouette(data, opt);
+  EXPECT_EQ(result.best_k, 3u);
+  EXPECT_EQ(result.score_by_k.size(), 8u);
+}
+
+TEST(KSelect, GapStatisticPicksTrueK) {
+  const Matrix data = blobs3(10, 9);
+  GapOptions opt;
+  opt.base.max_k = 6;
+  opt.reference_sets = 8;
+  const auto result = select_k_gap_statistic(data, opt);
+  EXPECT_EQ(result.best_k, 3u);
+}
+
+TEST(KSelect, GapStatisticOnUniformDataPrefersOne) {
+  Rng rng(10);
+  Matrix data(60, 2);
+  for (std::size_t r = 0; r < 60; ++r) {
+    data(r, 0) = rng.uniform(0, 1);
+    data(r, 1) = rng.uniform(0, 1);
+  }
+  GapOptions opt;
+  opt.base.max_k = 6;
+  const auto result = select_k_gap_statistic(data, opt);
+  EXPECT_LE(result.best_k, 2u);  // no real structure
+}
+
+TEST(KSelect, ValidatesRanges) {
+  const Matrix data = blobs3(2, 11);
+  KSelectOptions opt;
+  opt.min_k = 5;
+  opt.max_k = 3;
+  EXPECT_THROW(select_k_silhouette(data, opt), std::invalid_argument);
+  GapOptions gopt;
+  gopt.reference_sets = 1;
+  EXPECT_THROW(select_k_gap_statistic(data, gopt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sybiltd::ml

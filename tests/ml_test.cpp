@@ -1,0 +1,341 @@
+// Unit and property tests for src/ml: preprocessing, k-means, elbow, PCA,
+// and clustering metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "ml/clustering_metrics.h"
+#include "ml/elbow.h"
+#include "ml/kmeans.h"
+#include "ml/pca.h"
+#include "ml/preprocess.h"
+
+namespace sybiltd::ml {
+namespace {
+
+// Three well-separated Gaussian blobs in 2-D.
+Matrix make_blobs(std::size_t per_cluster, std::uint64_t seed,
+                  std::vector<std::size_t>* labels = nullptr) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 12}};
+  Matrix data(3 * per_cluster, 2);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      const std::size_t row = c * per_cluster + i;
+      data(row, 0) = centers[c][0] + rng.normal(0.0, 0.5);
+      data(row, 1) = centers[c][1] + rng.normal(0.0, 0.5);
+      if (labels) labels->push_back(c);
+    }
+  }
+  return data;
+}
+
+TEST(Standardize, ZeroMeanUnitVariance) {
+  Rng rng(1);
+  Matrix data(50, 3);
+  for (std::size_t r = 0; r < 50; ++r) {
+    data(r, 0) = rng.normal(5.0, 2.0);
+    data(r, 1) = rng.normal(-3.0, 0.1);
+    data(r, 2) = 7.0;  // constant column
+  }
+  const Matrix z = standardize(data);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double m = 0.0, v = 0.0;
+    for (std::size_t r = 0; r < 50; ++r) m += z(r, c);
+    m /= 50;
+    for (std::size_t r = 0; r < 50; ++r) v += (z(r, c) - m) * (z(r, c) - m);
+    v /= 50;
+    EXPECT_NEAR(m, 0.0, 1e-9);
+    EXPECT_NEAR(v, 1.0, 1e-9);
+  }
+  for (std::size_t r = 0; r < 50; ++r) EXPECT_NEAR(z(r, 2), 0.0, 1e-12);
+}
+
+TEST(Standardize, InverseTransformRoundTrips) {
+  Rng rng(2);
+  Matrix data(20, 2);
+  for (std::size_t r = 0; r < 20; ++r) {
+    data(r, 0) = rng.uniform(-5, 5);
+    data(r, 1) = rng.uniform(100, 200);
+  }
+  const auto s = Standardizer::fit(data);
+  const Matrix back = s.inverse_transform(s.transform(data));
+  EXPECT_LT(back.distance_frobenius(data), 1e-9);
+}
+
+TEST(MinMaxScale, MapsToUnitInterval) {
+  Matrix data{{1, 10}, {2, 20}, {3, 30}};
+  const Matrix scaled = min_max_scale(data);
+  EXPECT_NEAR(scaled(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(scaled(2, 0), 1.0, 1e-12);
+  EXPECT_NEAR(scaled(1, 1), 0.5, 1e-12);
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  std::vector<std::size_t> truth;
+  const Matrix data = make_blobs(20, 3, &truth);
+  const KMeansResult result = kmeans(data, 3, {});
+  EXPECT_NEAR(adjusted_rand_index(result.labels, truth), 1.0, 1e-12);
+  EXPECT_LT(result.sse, 60.0);  // ~2 * n * sigma^2
+}
+
+TEST(KMeans, KEqualsOneGivesGlobalCentroid) {
+  const Matrix data{{0, 0}, {2, 0}, {4, 0}};
+  const KMeansResult result = kmeans(data, 1, {});
+  EXPECT_NEAR(result.centroids(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(result.sse, 8.0, 1e-12);
+}
+
+TEST(KMeans, KEqualsNGivesZeroSse) {
+  std::vector<std::size_t> truth;
+  const Matrix data = make_blobs(2, 4, &truth);
+  const KMeansResult result = kmeans(data, data.rows(), {});
+  EXPECT_NEAR(result.sse, 0.0, 1e-9);
+  std::set<std::size_t> distinct(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(distinct.size(), data.rows());
+}
+
+TEST(KMeans, DeterministicForSameSeed) {
+  const Matrix data = make_blobs(10, 5);
+  KMeansOptions opt;
+  opt.seed = 77;
+  const auto a = kmeans(data, 3, opt);
+  const auto b = kmeans(data, 3, opt);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.sse, b.sse);
+}
+
+TEST(KMeans, ValidatesArguments) {
+  const Matrix data = make_blobs(2, 6);
+  EXPECT_THROW(kmeans(data, 0, {}), std::invalid_argument);
+  EXPECT_THROW(kmeans(data, data.rows() + 1, {}), std::invalid_argument);
+  EXPECT_THROW(kmeans(Matrix{}, 1, {}), std::invalid_argument);
+}
+
+TEST(KMeans, HandlesDuplicatePoints) {
+  Matrix data(6, 1);
+  for (std::size_t r = 0; r < 6; ++r) data(r, 0) = r < 3 ? 1.0 : 1.0;
+  const auto result = kmeans(data, 2, {});
+  EXPECT_EQ(result.labels.size(), 6u);  // no crash, all same point
+}
+
+class KMeansSseMonotone : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KMeansSseMonotone, MoreClustersNeverRaiseBestSse) {
+  const Matrix data = make_blobs(8, GetParam());
+  KMeansOptions opt;
+  opt.restarts = 8;
+  opt.seed = GetParam();
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const double sse = kmeans(data, k, opt).sse;
+    EXPECT_LE(sse, prev * 1.0 + 1e-9) << "k=" << k;
+    prev = sse;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansSseMonotone,
+                         ::testing::Values(11, 12, 13, 14));
+
+TEST(Elbow, FindsTrueClusterCountOnBlobs) {
+  const Matrix data = make_blobs(15, 9);
+  ElbowOptions opt;
+  opt.method = ElbowMethod::kCurvature;
+  EXPECT_EQ(elbow_select_k(data, opt).best_k, 3u);
+  opt.method = ElbowMethod::kExplainedVariance;
+  opt.explained_variance_threshold = 0.9;
+  EXPECT_EQ(elbow_select_k(data, opt).best_k, 3u);
+}
+
+TEST(Elbow, StopsEarlyOnPerfectFit) {
+  // Four identical points: SSE is 0 at k=1 already.
+  Matrix data(4, 2, 1.0);
+  const auto result = elbow_select_k(data, {});
+  EXPECT_EQ(result.best_k, 1u);
+}
+
+TEST(Elbow, RespectsRangeBounds) {
+  const Matrix data = make_blobs(5, 10);
+  ElbowOptions opt;
+  opt.min_k = 2;
+  opt.max_k = 4;
+  const auto result = elbow_select_k(data, opt);
+  EXPECT_GE(result.best_k, 2u);
+  EXPECT_LE(result.best_k, 4u);
+  opt.min_k = 5;
+  opt.max_k = 4;
+  EXPECT_THROW(elbow_select_k(data, opt), std::invalid_argument);
+}
+
+TEST(Jacobi, DiagonalizesKnownMatrix) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  const Matrix a{{2, 1}, {1, 2}};
+  const auto eig = jacobi_eigen_symmetric(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), std::numbers::sqrt2 / 2.0, 1e-8);
+}
+
+TEST(Jacobi, ReconstructsMatrix) {
+  Rng rng(20);
+  Matrix a(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i; j < 5; ++j) {
+      a(i, j) = a(j, i) = rng.uniform(-2, 2);
+    }
+  }
+  const auto eig = jacobi_eigen_symmetric(a);
+  // A = V * diag(lambda) * V^T
+  Matrix lambda(5, 5, 0.0);
+  for (std::size_t i = 0; i < 5; ++i) lambda(i, i) = eig.values[i];
+  const Matrix rebuilt = eig.vectors * lambda * eig.vectors.transpose();
+  EXPECT_LT(rebuilt.distance_frobenius(a), 1e-8);
+}
+
+TEST(Jacobi, RejectsNonSquare) {
+  EXPECT_THROW(jacobi_eigen_symmetric(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Pca, FindsDominantDirection) {
+  // Points spread along y = x with tiny orthogonal noise.
+  Rng rng(21);
+  Matrix data(200, 2);
+  for (std::size_t r = 0; r < 200; ++r) {
+    const double t = rng.normal(0.0, 3.0);
+    const double eps = rng.normal(0.0, 0.05);
+    data(r, 0) = t + eps;
+    data(r, 1) = t - eps;
+  }
+  const PcaModel pca = fit_pca(data, 2);
+  EXPECT_GT(pca.explained_variance_ratio[0], 0.99);
+  // First component is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(pca.components(0, 0)), std::numbers::sqrt2 / 2, 1e-2);
+  EXPECT_NEAR(std::abs(pca.components(1, 0)), std::numbers::sqrt2 / 2, 1e-2);
+}
+
+TEST(Pca, TransformCentersData) {
+  Matrix data{{1, 2}, {3, 4}, {5, 6}};
+  const PcaModel pca = fit_pca(data, 1);
+  const Matrix scores = pca.transform(data);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < 3; ++r) sum += scores(r, 0);
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(Pca, VarianceRatiosSumToOne) {
+  Rng rng(22);
+  Matrix data(40, 4);
+  for (std::size_t r = 0; r < 40; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) data(r, c) = rng.normal();
+  }
+  const PcaModel pca = fit_pca(data, 0);
+  double total = 0.0;
+  for (double v : pca.explained_variance_ratio) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (std::size_t i = 1; i < pca.explained_variance.size(); ++i) {
+    EXPECT_LE(pca.explained_variance[i], pca.explained_variance[i - 1]);
+  }
+}
+
+TEST(Ari, IdenticalPartitionsGiveOne) {
+  const std::vector<std::size_t> a{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(adjusted_rand_index(a, a), 1.0, 1e-12);
+}
+
+TEST(Ari, LabelPermutationInvariant) {
+  const std::vector<std::size_t> a{0, 0, 1, 1, 2, 2};
+  const std::vector<std::size_t> b{5, 5, 9, 9, 1, 1};
+  EXPECT_NEAR(adjusted_rand_index(a, b), 1.0, 1e-12);
+}
+
+TEST(Ari, KnownValueForPartialAgreement) {
+  // Classic example: ARI is symmetric and < 1 for differing partitions.
+  const std::vector<std::size_t> a{0, 0, 0, 1, 1, 1};
+  const std::vector<std::size_t> b{0, 0, 1, 1, 2, 2};
+  const double ab = adjusted_rand_index(a, b);
+  const double ba = adjusted_rand_index(b, a);
+  EXPECT_NEAR(ab, ba, 1e-12);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_LT(ab, 1.0);
+  // Hand-computed: 15 pairs, 2 together-in-both, 8 apart-in-both -> 10/15.
+  EXPECT_NEAR(rand_index(a, b), 10.0 / 15.0, 1e-12);
+}
+
+TEST(Ari, IndependentRandomPartitionsNearZero) {
+  Rng rng(30);
+  std::vector<std::size_t> a(2000), b(2000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.uniform_index(4);
+    b[i] = rng.uniform_index(4);
+  }
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.0, 0.05);
+}
+
+TEST(Ari, DisagreementCanBeNegative) {
+  // Perfectly "anti-correlated" partitions can push ARI below 0.
+  const std::vector<std::size_t> a{0, 1, 0, 1};
+  const std::vector<std::size_t> b{0, 0, 1, 1};
+  EXPECT_LT(adjusted_rand_index(a, b), 0.0 + 1e-9);
+}
+
+TEST(Ari, RejectsLengthMismatch) {
+  const std::vector<std::size_t> a{0, 1};
+  const std::vector<std::size_t> b{0};
+  EXPECT_THROW(adjusted_rand_index(a, b), std::invalid_argument);
+}
+
+TEST(PairwiseScores, PerfectPrediction) {
+  const std::vector<std::size_t> t{0, 0, 1, 1};
+  const auto s = pairwise_scores(t, t);
+  EXPECT_EQ(s.precision, 1.0);
+  EXPECT_EQ(s.recall, 1.0);
+  EXPECT_EQ(s.f1, 1.0);
+}
+
+TEST(PairwiseScores, AllSingletonsHaveFullPrecisionZeroRecall) {
+  const std::vector<std::size_t> pred{0, 1, 2, 3};
+  const std::vector<std::size_t> truth{0, 0, 1, 1};
+  const auto s = pairwise_scores(pred, truth);
+  EXPECT_EQ(s.precision, 1.0);  // vacuous: no predicted pairs
+  EXPECT_EQ(s.recall, 0.0);
+}
+
+TEST(PairwiseScores, OneBigClusterHasFullRecall) {
+  const std::vector<std::size_t> pred{0, 0, 0, 0};
+  const std::vector<std::size_t> truth{0, 0, 1, 1};
+  const auto s = pairwise_scores(pred, truth);
+  EXPECT_EQ(s.recall, 1.0);
+  EXPECT_NEAR(s.precision, 2.0 / 6.0, 1e-12);
+}
+
+TEST(Purity, MajorityLabelFraction) {
+  const std::vector<std::size_t> pred{0, 0, 0, 1, 1};
+  const std::vector<std::size_t> truth{0, 0, 1, 1, 1};
+  EXPECT_NEAR(purity(pred, truth), 4.0 / 5.0, 1e-12);
+}
+
+TEST(Silhouette, HighForSeparatedLowForMixed) {
+  std::vector<std::size_t> truth;
+  const Matrix data = make_blobs(10, 31, &truth);
+  EXPECT_GT(mean_silhouette(data, truth), 0.8);
+  // Random labels should score much worse.
+  Rng rng(32);
+  std::vector<std::size_t> random_labels(truth.size());
+  for (auto& l : random_labels) l = rng.uniform_index(3);
+  EXPECT_LT(mean_silhouette(data, random_labels),
+            mean_silhouette(data, truth));
+}
+
+TEST(Silhouette, DegenerateCasesReturnZero) {
+  const Matrix data{{0, 0}, {1, 1}};
+  const std::vector<std::size_t> one_cluster{0, 0};
+  EXPECT_EQ(mean_silhouette(data, one_cluster), 0.0);
+  const std::vector<std::size_t> all_singletons{0, 1};
+  EXPECT_EQ(mean_silhouette(data, all_singletons), 0.0);
+}
+
+}  // namespace
+}  // namespace sybiltd::ml

@@ -1,0 +1,114 @@
+// Tests for online (incremental) CRH.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "truth/crh.h"
+#include "truth/online_crh.h"
+
+namespace sybiltd::truth {
+namespace {
+
+TEST(OnlineCrh, MatchesBatchCrhWithoutDecay) {
+  Rng rng(1);
+  const std::size_t accounts = 6, tasks = 8;
+  std::vector<double> truths(tasks);
+  for (auto& t : truths) t = rng.uniform(-90, -50);
+
+  ObservationTable batch(accounts, tasks);
+  OnlineCrh online(accounts, tasks);
+  for (std::size_t i = 0; i < accounts; ++i) {
+    const double sigma = i == accounts - 1 ? 10.0 : 1.0;
+    for (std::size_t j = 0; j < tasks; ++j) {
+      const double value = truths[j] + rng.normal(0.0, sigma);
+      batch.add(i, j, value);
+      online.observe(i, j, value);
+    }
+  }
+  online.refine(100);
+  const Result reference = Crh().run(batch);
+  for (std::size_t j = 0; j < tasks; ++j) {
+    EXPECT_NEAR(online.truths()[j], reference.truths[j], 1e-6) << j;
+  }
+  // Weight ordering agrees (noisy account last).
+  for (std::size_t i = 0; i + 1 < accounts; ++i) {
+    EXPECT_GT(online.weights()[i], online.weights()[accounts - 1]);
+  }
+}
+
+TEST(OnlineCrh, IncrementalEstimatesAreUsableMidStream) {
+  OnlineCrh online(3, 2);
+  EXPECT_TRUE(std::isnan(online.truths()[0]));
+  online.observe(0, 0, -70.0);
+  EXPECT_NEAR(online.truths()[0], -70.0, 1e-9);
+  EXPECT_TRUE(std::isnan(online.truths()[1]));
+  online.observe(1, 0, -72.0);
+  online.observe(2, 1, -60.0);
+  EXPECT_FALSE(std::isnan(online.truths()[1]));
+  EXPECT_EQ(online.live_observation_count(), 3u);
+}
+
+TEST(OnlineCrh, DecayTracksDriftingTruth) {
+  // The truth drifts from -80 to -55; with decay the estimate follows,
+  // without decay it lags near the overall mean.
+  OnlineCrhOptions decaying;
+  decaying.decay = 0.9;
+  OnlineCrh with_decay(4, 1, decaying);
+  OnlineCrh without_decay(4, 1);
+  Rng rng(2);
+  double truth = -80.0;
+  for (int round = 0; round < 50; ++round) {
+    truth += 0.5;  // drift
+    for (std::size_t account = 0; account < 4; ++account) {
+      const double value = truth + rng.normal(0.0, 1.0);
+      with_decay.observe(account, 0, value);
+      without_decay.observe(account, 0, value);
+    }
+  }
+  with_decay.refine(20);
+  without_decay.refine(20);
+  const double final_truth = truth;
+  EXPECT_LT(std::abs(with_decay.truths()[0] - final_truth),
+            std::abs(without_decay.truths()[0] - final_truth));
+  EXPECT_NEAR(with_decay.truths()[0], final_truth, 4.0);
+}
+
+TEST(OnlineCrh, DecayEvictsStaleObservations) {
+  OnlineCrhOptions opt;
+  opt.decay = 0.5;
+  opt.influence_floor = 1e-3;
+  OnlineCrh online(2, 1, opt);
+  for (int i = 0; i < 100; ++i) {
+    online.observe(static_cast<std::size_t>(i % 2), 0, -70.0);
+  }
+  // 0.5^k < 1e-3 for k > 10, so at most ~11 observations stay live.
+  EXPECT_LE(online.live_observation_count(), 12u);
+}
+
+TEST(OnlineCrh, DownweightsStreamingOutlierAccount) {
+  OnlineCrh online(3, 4);
+  Rng rng(3);
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (int round = 0; round < 3; ++round) {
+      online.observe(0, j, -70.0 + rng.normal(0.0, 0.5));
+      online.observe(1, j, -70.0 + rng.normal(0.0, 0.5));
+      online.observe(2, j, -40.0 + rng.normal(0.0, 0.5));  // liar
+    }
+  }
+  online.refine(20);
+  EXPECT_GT(online.weights()[0], online.weights()[2]);
+  EXPECT_NEAR(online.truths()[0], -70.0, 3.0);
+}
+
+TEST(OnlineCrh, ValidatesArguments) {
+  EXPECT_THROW(OnlineCrh(1, 1, {.decay = 0.0}), std::invalid_argument);
+  EXPECT_THROW(OnlineCrh(1, 1, {.decay = 1.5}), std::invalid_argument);
+  OnlineCrh online(2, 2);
+  EXPECT_THROW(online.observe(2, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(online.observe(0, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW(online.observe(0, 0, std::nan("")), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sybiltd::truth

@@ -1,0 +1,85 @@
+// Tests for the AG-TR scalability options (lower-bound pruning, FastDTW)
+// and the large-scenario generator.
+#include <gtest/gtest.h>
+
+#include "core/ag_tr.h"
+#include "eval/adapters.h"
+#include "ml/clustering_metrics.h"
+#include "mcs/scenario.h"
+
+namespace sybiltd::core {
+namespace {
+
+TEST(AgTrScalable, PrunedGroupingIdenticalToExact) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto data = mcs::generate_scenario(
+        mcs::make_large_scenario(40, 4, 5, 20, seed));
+    const auto input = eval::to_framework_input(data);
+    AgTrOptions pruned_opt;
+    pruned_opt.prune_with_lower_bound = true;
+    const auto exact = AgTr().group(input);
+    const auto pruned = AgTr(pruned_opt).group(input);
+    EXPECT_EQ(exact.labels(), pruned.labels()) << "seed " << seed;
+  }
+}
+
+TEST(AgTrScalable, FastDtwGroupingAgreesOnPaperScenario) {
+  const auto data =
+      mcs::generate_scenario(mcs::make_paper_scenario(0.5, 0.8, 5));
+  const auto input = eval::to_framework_input(data);
+  AgTrOptions fast_opt;
+  fast_opt.approximate = true;
+  const auto exact = AgTr().group(input);
+  const auto fast = AgTr(fast_opt).group(input);
+  EXPECT_NEAR(ml::adjusted_rand_index(exact.labels(), fast.labels()), 1.0,
+              1e-9);
+}
+
+TEST(AgTrScalable, PruningRequiresTotalCostMode) {
+  AgTrOptions opt;
+  opt.prune_with_lower_bound = true;
+  opt.mode = DtwMode::kPathNormalized;
+  const auto data =
+      mcs::generate_scenario(mcs::make_paper_scenario(0.5, 0.5, 6));
+  const auto input = eval::to_framework_input(data);
+  EXPECT_THROW(AgTr(opt).group(input), std::invalid_argument);
+}
+
+TEST(LargeScenario, StructureMatchesParameters) {
+  const auto config = mcs::make_large_scenario(50, 5, 4, 25, 9);
+  const auto data = mcs::generate_scenario(config);
+  EXPECT_EQ(data.tasks.size(), 25u);
+  EXPECT_EQ(data.accounts.size(), 50u + 5u * 4u);
+  EXPECT_EQ(data.user_count, 55u);
+  // Fingerprints skipped by default for large scenarios.
+  for (const auto& account : data.accounts) {
+    EXPECT_TRUE(account.fingerprint.empty());
+  }
+  std::size_t sybil = 0;
+  for (const auto& account : data.accounts) sybil += account.is_sybil;
+  EXPECT_EQ(sybil, 20u);
+}
+
+TEST(LargeScenario, FingerprintFlagRestoresCaptures) {
+  auto config = mcs::make_large_scenario(4, 1, 2, 10, 10);
+  config.capture_fingerprints = true;
+  const auto data = mcs::generate_scenario(config);
+  for (const auto& account : data.accounts) {
+    EXPECT_EQ(account.fingerprint.size(), 80u);
+  }
+}
+
+TEST(LargeScenario, AgTrStillSeparatesAttackers) {
+  const auto data = mcs::generate_scenario(
+      mcs::make_large_scenario(30, 3, 5, 20, 12));
+  const auto input = eval::to_framework_input(data);
+  AgTrOptions opt;
+  opt.prune_with_lower_bound = true;
+  const auto grouping = AgTr(opt).group(input);
+  const double ari = ml::adjusted_rand_index(grouping.labels(),
+                                             data.true_user_labels());
+  EXPECT_GT(ari, 0.8);
+}
+
+}  // namespace
+}  // namespace sybiltd::core

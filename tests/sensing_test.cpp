@@ -1,0 +1,299 @@
+// Tests for src/sensing: the device catalog, MEMS unit manufacturing,
+// capture synthesis, and the fingerprint pipeline — including the core
+// property AG-FP relies on: same-device captures are closer in feature
+// space than cross-model captures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/kmeans.h"
+#include "ml/preprocess.h"
+#include "sensing/device.h"
+#include "sensing/fingerprint.h"
+#include "sensing/imu_stream.h"
+
+namespace sybiltd::sensing {
+namespace {
+
+TEST(DeviceCatalog, ContainsTableIvModels) {
+  const auto& catalog = device_catalog();
+  EXPECT_EQ(catalog.size(), 8u);
+  for (const char* name :
+       {"iPhone SE", "iPhone 6", "iPhone 6S", "iPhone 7", "iPhone X",
+        "Nexus 6P", "LG G5", "Nexus 5"}) {
+    EXPECT_NO_THROW(find_model(name)) << name;
+  }
+  EXPECT_THROW(find_model("Galaxy S9"), std::invalid_argument);
+  EXPECT_EQ(find_model("LG G5").os, Os::kAndroid);
+  EXPECT_EQ(find_model("iPhone X").os, Os::kIos);
+}
+
+TEST(Device, ManufactureIsDeterministicInSeed) {
+  const auto& model = find_model("iPhone 7");
+  Device a(model, 123), b(model, 123), c(model, 124);
+  EXPECT_EQ(a.accelerometer().bias, b.accelerometer().bias);
+  EXPECT_EQ(a.gyroscope().gain, b.gyroscope().gain);
+  EXPECT_NE(a.accelerometer().bias, c.accelerometer().bias);
+}
+
+TEST(Device, UnitsStayNearModelNominal) {
+  const auto& model = find_model("Nexus 5");
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Device d(model, seed);
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_NEAR(d.accelerometer().gain[axis],
+                  model.accelerometer.gain_nominal[axis], 1e-2);
+      EXPECT_NEAR(d.gyroscope().bias[axis],
+                  model.gyroscope.bias_nominal[axis], 1e-2);
+    }
+  }
+}
+
+TEST(SensorUnit, QuantizationSnapsToGrid) {
+  SensorSpec spec;
+  spec.quantization_step = 0.5;
+  Rng rng(1);
+  const SensorUnit unit = SensorUnit::manufacture(spec, rng);
+  Rng noise(2);
+  const Vec3 out = unit.measure({1.23, -0.74, 0.1}, 0.0, noise);
+  for (double v : out) {
+    EXPECT_NEAR(std::remainder(v, 0.5), 0.0, 1e-9);
+  }
+}
+
+TEST(Capture, ProducesRequestedSampleCount) {
+  Device d(find_model("iPhone 6"), 7);
+  CaptureOptions opt;
+  opt.duration_s = 6.0;
+  opt.sample_rate_hz = 100.0;
+  Rng rng(3);
+  const ImuCapture cap = capture_imu(d, opt, rng);
+  EXPECT_EQ(cap.accel.size(), 600u);
+  EXPECT_EQ(cap.gyro.size(), 600u);
+  EXPECT_EQ(cap.sample_rate_hz, 100.0);
+}
+
+TEST(Capture, RejectsDegenerateOptions) {
+  Device d(find_model("iPhone 6"), 7);
+  Rng rng(4);
+  CaptureOptions opt;
+  opt.duration_s = 0.0;
+  EXPECT_THROW(capture_imu(d, opt, rng), std::invalid_argument);
+  opt.duration_s = 0.01;
+  opt.sample_rate_hz = 100.0;
+  EXPECT_THROW(capture_imu(d, opt, rng), std::invalid_argument);
+}
+
+TEST(Capture, AccelMagnitudeNearGravity) {
+  Device d(find_model("iPhone SE"), 11);
+  Rng rng(5);
+  const ImuCapture cap = capture_imu(d, {}, rng);
+  const auto streams = to_streams(cap);
+  double mean_mag = 0.0;
+  for (double m : streams.accel_magnitude) mean_mag += m;
+  mean_mag /= static_cast<double>(streams.accel_magnitude.size());
+  EXPECT_NEAR(mean_mag, 9.80665, 0.5);
+}
+
+TEST(Fingerprint, StreamsAlignWithCapture) {
+  Device d(find_model("LG G5"), 13);
+  Rng rng(6);
+  const ImuCapture cap = capture_imu(d, {}, rng);
+  const auto streams = to_streams(cap);
+  EXPECT_EQ(streams.accel_magnitude.size(), cap.accel.size());
+  EXPECT_EQ(streams.gyro_x.size(), cap.gyro.size());
+  // Magnitude identity on the first sample.
+  const Vec3& a = cap.accel.front();
+  EXPECT_NEAR(streams.accel_magnitude.front(),
+              std::sqrt(a[0] * a[0] + a[1] * a[1] + a[2] * a[2]), 1e-12);
+  EXPECT_EQ(streams.gyro_y[3], cap.gyro[3][1]);
+}
+
+TEST(Fingerprint, FeatureVectorHasExpectedDimension) {
+  Device d(find_model("Nexus 6P"), 17);
+  Rng rng(7);
+  const auto fp = capture_fingerprint(d, {}, rng);
+  EXPECT_EQ(fp.size(), kFingerprintDim);
+  EXPECT_EQ(kFingerprintDim, 80u);
+  for (double v : fp) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Fingerprint, SameDeviceClosterThanCrossModel) {
+  // The property AG-FP depends on: intra-device distance (across captures)
+  // is smaller than cross-model distance.
+  Device iphone(find_model("iPhone 7"), 21);
+  Device nexus(find_model("Nexus 5"), 22);
+  Rng rng(8);
+  std::vector<std::vector<double>> fps;
+  for (int c = 0; c < 3; ++c) {
+    Rng r = rng.split();
+    fps.push_back(capture_fingerprint(iphone, {}, r));
+  }
+  for (int c = 0; c < 3; ++c) {
+    Rng r = rng.split();
+    fps.push_back(capture_fingerprint(nexus, {}, r));
+  }
+  // Standardize jointly, then compare mean intra vs inter distances.
+  const Matrix z = ml::standardize(Matrix::from_rows(fps));
+  auto dist = [&](std::size_t i, std::size_t j) {
+    return ml::squared_distance(z.row(i), z.row(j));
+  };
+  double intra = (dist(0, 1) + dist(0, 2) + dist(1, 2) + dist(3, 4) +
+                  dist(3, 5) + dist(4, 5)) /
+                 6.0;
+  double inter = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 3; j < 6; ++j) inter += dist(i, j);
+  }
+  inter /= 9.0;
+  EXPECT_LT(intra * 3.0, inter);
+}
+
+TEST(Fingerprint, SameModelUnitsCloserThanCrossModel) {
+  // Two units of one model sit near each other relative to other models —
+  // the structure of the paper's Fig. 8.
+  Device a(find_model("iPhone 6S"), 31);
+  Device b(find_model("iPhone 6S"), 32);
+  Device c(find_model("LG G5"), 33);
+  Rng rng(9);
+  std::vector<std::vector<double>> fps;
+  for (Device* d : {&a, &b, &c}) {
+    Rng r = rng.split();
+    fps.push_back(capture_fingerprint(*d, {}, r));
+  }
+  const Matrix z = ml::standardize(Matrix::from_rows(fps));
+  const double same_model = ml::squared_distance(z.row(0), z.row(1));
+  const double cross_model_a = ml::squared_distance(z.row(0), z.row(2));
+  const double cross_model_b = ml::squared_distance(z.row(1), z.row(2));
+  EXPECT_LT(same_model, cross_model_a);
+  EXPECT_LT(same_model, cross_model_b);
+}
+
+TEST(Fingerprint, InstabilityIncreasesCaptureScatter) {
+  Device d(find_model("iPhone X"), 41);
+  auto scatter = [&](double instability) {
+    CaptureOptions opt;
+    opt.instability = instability;
+    Rng rng(10);
+    std::vector<std::vector<double>> fps;
+    for (int c = 0; c < 4; ++c) {
+      Rng r = rng.split();
+      fps.push_back(capture_fingerprint(d, opt, r));
+    }
+    // Mean pairwise distance in raw feature space.
+    double total = 0.0;
+    int pairs = 0;
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+      for (std::size_t j = i + 1; j < fps.size(); ++j) {
+        double acc = 0.0;
+        for (std::size_t f = 0; f < fps[i].size(); ++f) {
+          const double diff = fps[i][f] - fps[j][f];
+          acc += diff * diff;
+        }
+        total += std::sqrt(acc);
+        ++pairs;
+      }
+    }
+    return total / pairs;
+  };
+  EXPECT_LT(scatter(0.2), scatter(3.0));
+}
+
+TEST(SensorUnit, TemperatureShiftsBias) {
+  SensorSpec spec;
+  spec.temp_coefficient = 1e-2;
+  Rng rng(50);
+  const SensorUnit unit = SensorUnit::manufacture(spec, rng);
+  Rng quiet_a(1), quiet_b(1);
+  const Vec3 cold = unit.measure({0, 0, 0}, 0.0, quiet_a, 25.0);
+  const Vec3 hot = unit.measure({0, 0, 0}, 0.0, quiet_b, 45.0);
+  for (int axis = 0; axis < 3; ++axis) {
+    EXPECT_NEAR(hot[axis] - cold[axis], 20.0 * unit.temp_coefficient, 1e-9);
+  }
+}
+
+TEST(Fingerprint, TemperatureSpreadGrowsIntraDeviceScatter) {
+  Device d(find_model("iPhone 6"), 71);
+  auto scatter = [&](double temperature_delta) {
+    Rng rng(51);
+    std::vector<std::vector<double>> fps;
+    for (int c = 0; c < 4; ++c) {
+      sensing::CaptureOptions opt;
+      opt.ambient_temperature_c = 25.0 + (c % 2 == 0 ? 0.0 : temperature_delta);
+      Rng r = rng.split();
+      fps.push_back(capture_fingerprint(d, opt, r));
+    }
+    double total = 0.0;
+    int pairs = 0;
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+      for (std::size_t j = i + 1; j < fps.size(); ++j) {
+        double acc = 0.0;
+        for (std::size_t f = 0; f < fps[i].size(); ++f) {
+          const double diff = fps[i][f] - fps[j][f];
+          acc += diff * diff;
+        }
+        total += std::sqrt(acc);
+        ++pairs;
+      }
+    }
+    return total / pairs;
+  };
+  EXPECT_LT(scatter(0.0), scatter(30.0));
+}
+
+TEST(Fingerprint, WindowedFeaturesMatchDimAndReduceScatter) {
+  Device d(find_model("iPhone 7"), 81);
+  Rng rng(52);
+  auto scatter = [&](std::size_t windows) {
+    Rng local(53);
+    std::vector<std::vector<double>> fps;
+    for (int c = 0; c < 5; ++c) {
+      Rng r = local.split();
+      const auto capture = capture_imu(d, {}, r);
+      const auto streams = to_streams(capture);
+      fps.push_back(windows == 0
+                        ? fingerprint_features(streams)
+                        : fingerprint_features_windowed(streams, windows));
+      EXPECT_EQ(fps.back().size(), kFingerprintDim);
+    }
+    // Mean pairwise distance over the temporal max/min features (the
+    // noisiest, most capture-dependent block).
+    double total = 0.0;
+    int pairs = 0;
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+      for (std::size_t j = i + 1; j < fps.size(); ++j) {
+        // feature 5 = t_max, 6 = t_min of the accel stream.
+        total += std::abs(fps[i][5] - fps[j][5]) +
+                 std::abs(fps[i][6] - fps[j][6]);
+        ++pairs;
+      }
+    }
+    return total / pairs;
+  };
+  // Averaging 3 windows shrinks the extrema scatter vs a single window.
+  EXPECT_LT(scatter(3), scatter(0) + 1e-12);
+}
+
+TEST(Fingerprint, WindowedValidation) {
+  Device d(find_model("iPhone 7"), 82);
+  Rng rng(54);
+  const auto streams = to_streams(capture_imu(d, {}, rng));
+  EXPECT_THROW(fingerprint_features_windowed(streams, 0),
+               std::invalid_argument);
+  EXPECT_THROW(fingerprint_features_windowed(streams, 1000),
+               std::invalid_argument);
+  // One window reduces to the plain featurizer.
+  EXPECT_EQ(fingerprint_features_windowed(streams, 1),
+            fingerprint_features(streams));
+}
+
+TEST(Fingerprint, MatrixStacksRows) {
+  const std::vector<std::vector<double>> fps{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix m = fingerprint_matrix(fps);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(2, 1), 6.0);
+}
+
+}  // namespace
+}  // namespace sybiltd::sensing

@@ -1,0 +1,323 @@
+// Unit and property tests for src/signal: FFT correctness against a naive
+// DFT, window functions, spectra, and the 20 Table-II features.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "signal/features.h"
+#include "signal/fft.h"
+#include "signal/spectrum.h"
+#include "signal/window.h"
+
+namespace sybiltd::signal {
+namespace {
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      out[k] += x[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  return out;
+}
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return x;
+}
+
+TEST(Fft, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(48));
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(17), 32u);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> x(8, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  const auto spectrum = fft(x);
+  for (const auto& bin : spectrum) {
+    EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+    EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SinusoidConcentratesInOneBin) {
+  const std::size_t n = 64;
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = std::sin(2.0 * std::numbers::pi * 5.0 * static_cast<double>(t) /
+                    static_cast<double>(n));
+  }
+  const auto spectrum = fft_real(x);
+  // Bin 5 should carry magnitude n/2; all non-conjugate bins near zero.
+  EXPECT_NEAR(std::abs(spectrum[5]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(spectrum[59]), static_cast<double>(n) / 2.0, 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == 5 || k == 59) continue;
+    EXPECT_LT(std::abs(spectrum[k]), 1e-9) << "bin " << k;
+  }
+}
+
+TEST(Fft, MatchesNaiveDftPowerOfTwo) {
+  const auto x = random_signal(32, 1);
+  const auto fast = fft(x);
+  const auto slow = naive_dft(x);
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    EXPECT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-9);
+  }
+}
+
+class FftArbitraryLength : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftArbitraryLength, BluesteinMatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 17 + n);
+  const auto fast = fft(x);
+  const auto slow = naive_dft(x);
+  ASSERT_EQ(fast.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(fast[k] - slow[k]), 0.0, 1e-8) << "bin " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftArbitraryLength,
+                         ::testing::Values(1, 2, 3, 5, 7, 12, 13, 30, 100,
+                                           127, 240, 600));
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversSignal) {
+  const std::size_t n = GetParam();
+  const auto x = random_signal(n, 99 + n);
+  const auto back = inverse_fft(fft(x));
+  ASSERT_EQ(back.size(), n);
+  for (std::size_t t = 0; t < n; ++t) {
+    EXPECT_NEAR(std::abs(back[t] - x[t]), 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftRoundTrip,
+                         ::testing::Values(1, 4, 6, 11, 64, 100, 255, 256));
+
+TEST(Fft, ParsevalHolds) {
+  const auto x = random_signal(128, 5);
+  const auto spec = fft(x);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  for (const auto& v : spec) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * 128.0, 1e-6);
+}
+
+TEST(Fft, LinearityProperty) {
+  const auto a = random_signal(50, 7);
+  const auto b = random_signal(50, 8);
+  std::vector<Complex> sum(50);
+  for (std::size_t i = 0; i < 50; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  const auto fa = fft(a);
+  const auto fb = fft(b);
+  const auto fsum = fft(sum);
+  for (std::size_t k = 0; k < 50; ++k) {
+    EXPECT_NEAR(std::abs(fsum[k] - (2.0 * fa[k] + 3.0 * fb[k])), 0.0, 1e-8);
+  }
+}
+
+TEST(Window, HannEndsAtZeroPeaksAtCenter) {
+  const auto w = make_window(WindowKind::kHann, 65);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(WindowKind::kRectangular, 10);
+  for (double v : w) EXPECT_EQ(v, 1.0);
+}
+
+TEST(Window, AllKindsBoundedAndSymmetric) {
+  for (auto kind : {WindowKind::kHann, WindowKind::kHamming,
+                    WindowKind::kBlackman}) {
+    const auto w = make_window(kind, 33);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      EXPECT_GE(w[i], -1e-12);
+      EXPECT_LE(w[i], 1.0 + 1e-12);
+      EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+    }
+  }
+}
+
+TEST(Window, ApplyWindowChecksLength) {
+  const std::vector<double> signal{1, 2, 3};
+  const auto w = make_window(WindowKind::kHann, 4);
+  EXPECT_THROW(apply_window(signal, w), std::invalid_argument);
+}
+
+TEST(Spectrum, FrequencyMapping) {
+  std::vector<double> x(100, 0.0);
+  const auto spec = compute_spectrum(x, 100.0, WindowKind::kRectangular);
+  EXPECT_EQ(spec.bins(), 51u);
+  EXPECT_NEAR(spec.frequency(0), 0.0, 1e-12);
+  EXPECT_NEAR(spec.frequency(50), 50.0, 1e-12);  // Nyquist
+  EXPECT_NEAR(spec.nyquist(), 50.0, 1e-12);
+}
+
+TEST(Spectrum, PeakAtToneFrequency) {
+  const double fs = 100.0;
+  std::vector<double> x(200);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = std::sin(2.0 * std::numbers::pi * 10.0 *
+                    static_cast<double>(t) / fs);
+  }
+  const auto spec = compute_spectrum(x, fs, WindowKind::kHann);
+  const auto peaks = find_peaks(spec, 0.5);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(peaks.front().frequency_hz, 10.0, 0.6);
+}
+
+TEST(Spectrum, TwoTonesGiveTwoPeaks) {
+  const double fs = 100.0;
+  std::vector<double> x(400);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    const double s = static_cast<double>(t) / fs;
+    x[t] = std::sin(2.0 * std::numbers::pi * 8.0 * s) +
+           0.8 * std::sin(2.0 * std::numbers::pi * 23.0 * s);
+  }
+  const auto spec = compute_spectrum(x, fs, WindowKind::kHann);
+  const auto peaks = find_peaks(spec, 0.3);
+  ASSERT_GE(peaks.size(), 2u);
+}
+
+TEST(TemporalFeatures, ExactValuesOnKnownData) {
+  const std::vector<double> xs{1.0, -1.0, 1.0, -1.0};
+  const auto f = extract_temporal_features(xs);
+  EXPECT_NEAR(f.mean, 0.0, 1e-12);
+  EXPECT_NEAR(f.stddev, 1.0, 1e-12);
+  EXPECT_NEAR(f.rms, 1.0, 1e-12);
+  EXPECT_NEAR(f.max, 1.0, 1e-12);
+  EXPECT_NEAR(f.min, -1.0, 1e-12);
+  EXPECT_NEAR(f.zero_crossing_rate, 1.0, 1e-12);
+  EXPECT_NEAR(f.non_negative_count, 2.0, 1e-12);
+}
+
+TEST(TemporalFeatures, ThrowsOnEmpty) {
+  EXPECT_THROW(extract_temporal_features({}), std::invalid_argument);
+}
+
+TEST(SpectralFeatures, CentroidTracksToneFrequency) {
+  const double fs = 100.0;
+  auto tone = [&](double f0) {
+    std::vector<double> x(256);
+    for (std::size_t t = 0; t < x.size(); ++t) {
+      x[t] = std::sin(2.0 * std::numbers::pi * f0 *
+                      static_cast<double>(t) / fs);
+    }
+    return extract_spectral_features(compute_spectrum(x, fs));
+  };
+  const auto low = tone(5.0);
+  const auto high = tone(30.0);
+  EXPECT_LT(low.centroid, high.centroid);
+  EXPECT_NEAR(low.centroid, 5.0, 2.5);
+  EXPECT_NEAR(high.centroid, 30.0, 2.5);
+}
+
+TEST(SpectralFeatures, FlatnessSeparatesNoiseFromTone) {
+  const double fs = 100.0;
+  Rng rng(3);
+  std::vector<double> noise(512), tone(512);
+  for (std::size_t t = 0; t < 512; ++t) {
+    noise[t] = rng.normal();
+    tone[t] = std::sin(2.0 * std::numbers::pi * 12.0 *
+                       static_cast<double>(t) / fs);
+  }
+  const auto fn = extract_spectral_features(compute_spectrum(noise, fs));
+  const auto ft = extract_spectral_features(compute_spectrum(tone, fs));
+  EXPECT_GT(fn.flatness, 10.0 * ft.flatness);
+  EXPECT_GT(fn.entropy, ft.entropy);
+}
+
+TEST(SpectralFeatures, RolloffBelowNyquistAndOrdered) {
+  const double fs = 100.0;
+  Rng rng(4);
+  std::vector<double> x(512);
+  for (auto& v : x) v = rng.normal();
+  FeatureOptions opt;
+  opt.rolloff_fraction = 0.5;
+  const auto spec = compute_spectrum(x, fs);
+  const auto f50 = extract_spectral_features(spec, opt);
+  opt.rolloff_fraction = 0.95;
+  const auto f95 = extract_spectral_features(spec, opt);
+  EXPECT_LE(f50.rolloff, f95.rolloff);
+  EXPECT_LE(f95.rolloff, fs / 2.0 + 1e-9);
+}
+
+TEST(SpectralFeatures, BrightnessHigherForHighFrequencyTone) {
+  const double fs = 100.0;
+  auto bright = [&](double f0) {
+    std::vector<double> x(256);
+    for (std::size_t t = 0; t < x.size(); ++t) {
+      x[t] = std::sin(2.0 * std::numbers::pi * f0 *
+                      static_cast<double>(t) / fs);
+    }
+    return extract_spectral_features(compute_spectrum(x, fs)).brightness;
+  };
+  EXPECT_LT(bright(2.0), bright(40.0));
+}
+
+TEST(SpectralFeatures, RoughnessPositiveForCloseTonePair) {
+  const double fs = 100.0;
+  std::vector<double> x(512);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    const double s = static_cast<double>(t) / fs;
+    x[t] = std::sin(2.0 * std::numbers::pi * 20.0 * s) +
+           std::sin(2.0 * std::numbers::pi * 22.0 * s);
+  }
+  const auto f = extract_spectral_features(compute_spectrum(x, fs));
+  EXPECT_GT(f.roughness, 0.0);
+}
+
+TEST(SpectralFeatures, PlompLeveltShape) {
+  // Dissonance vanishes at unison and far separation, peaks in between.
+  const double unison = plomp_levelt_dissonance(400, 1, 400, 1);
+  const double near = plomp_levelt_dissonance(400, 1, 425, 1);
+  const double far = plomp_levelt_dissonance(400, 1, 800, 1);
+  EXPECT_NEAR(unison, 0.0, 1e-12);
+  EXPECT_GT(near, far);
+  EXPECT_GT(near, 0.1);
+}
+
+TEST(StreamFeatures, ArrayLayoutAndNames) {
+  Rng rng(5);
+  std::vector<double> x(128);
+  for (auto& v : x) v = rng.normal();
+  const auto f = extract_stream_features(x);
+  const auto arr = f.to_array();
+  EXPECT_EQ(arr.size(), 20u);
+  EXPECT_EQ(feature_names().size(), 20u);
+  EXPECT_EQ(arr[0], f.temporal.mean);
+  EXPECT_EQ(arr[9], f.spectral.centroid);
+  EXPECT_EQ(arr[19], f.spectral.roughness);
+}
+
+TEST(StreamFeatures, DeterministicForSameInput) {
+  Rng rng(6);
+  std::vector<double> x(200);
+  for (auto& v : x) v = rng.normal();
+  const auto a = extract_stream_features(x).to_array();
+  const auto b = extract_stream_features(x).to_array();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sybiltd::signal

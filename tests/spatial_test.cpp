@@ -1,0 +1,157 @@
+// Tests for the spatial substrate: Cholesky solver, IDW, k-NN, kriging,
+// and the raster utilities — plus the end-to-end property that Sybil
+// corruption of POI estimates propagates into the interpolated map.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/linalg.h"
+#include "common/rng.h"
+#include "eval/adapters.h"
+#include "eval/experiment.h"
+#include "spatial/interpolation.h"
+#include "spatial/kriging.h"
+
+namespace sybiltd {
+namespace {
+
+TEST(Cholesky, FactorizesAndSolves) {
+  const Matrix a{{4, 2, 0}, {2, 5, 1}, {0, 1, 3}};
+  const Matrix lower = cholesky_decompose(a);
+  // L is lower triangular and L·Lᵀ = A.
+  EXPECT_EQ(lower(0, 1), 0.0);
+  EXPECT_EQ(lower(0, 2), 0.0);
+  EXPECT_LT((lower * lower.transpose()).distance_frobenius(a), 1e-10);
+  // Solve against a known RHS.
+  const std::vector<double> x_true{1.0, -2.0, 3.0};
+  const auto b = a.multiply(x_true);
+  const auto x = cholesky_solve(lower, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Cholesky, RejectsNonPositiveDefinite) {
+  const Matrix bad{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_decompose(bad), std::invalid_argument);
+  EXPECT_THROW(cholesky_decompose(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Cholesky, RidgeRescuesSingularSystem) {
+  const Matrix singular{{1, 1}, {1, 1}};
+  EXPECT_THROW(solve_spd(singular, std::vector<double>{1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(solve_spd(singular, std::vector<double>{1.0, 1.0}, 1e-6));
+}
+
+std::vector<spatial::Sample> grid_samples() {
+  // A tilted plane sampled on a 3x3 grid: v = 2 + 0.01 x + 0.02 y.
+  std::vector<spatial::Sample> samples;
+  for (double x : {0.0, 50.0, 100.0}) {
+    for (double y : {0.0, 50.0, 100.0}) {
+      samples.push_back({{x, y}, 2.0 + 0.01 * x + 0.02 * y});
+    }
+  }
+  return samples;
+}
+
+TEST(Idw, ExactAtSamplesAndBounded) {
+  const spatial::IdwInterpolator idw(grid_samples());
+  EXPECT_NEAR(idw({50.0, 50.0}), 2.0 + 0.5 + 1.0, 1e-9);  // on a sample
+  // Between samples, the value stays within the sample range.
+  const double v = idw({25.0, 75.0});
+  EXPECT_GT(v, 2.0);
+  EXPECT_LT(v, 5.0);
+  EXPECT_THROW(spatial::IdwInterpolator({}), std::invalid_argument);
+}
+
+TEST(Knn, AveragesNearestNeighbors) {
+  std::vector<spatial::Sample> samples = {
+      {{0, 0}, 10.0}, {{1, 0}, 20.0}, {{100, 100}, 1000.0}};
+  const spatial::KnnInterpolator knn(samples, 2);
+  EXPECT_NEAR(knn({0.4, 0.0}), 15.0, 1e-9);
+  const spatial::KnnInterpolator knn1(samples, 1);
+  EXPECT_NEAR(knn1({99.0, 99.0}), 1000.0, 1e-9);
+}
+
+TEST(Kriging, ExactAtSamplesWithZeroVariance) {
+  const spatial::KrigingInterpolator kriging(grid_samples());
+  const auto prediction = kriging.predict({50.0, 50.0});
+  EXPECT_NEAR(prediction.value, 3.5, 1e-6);
+  EXPECT_NEAR(prediction.variance, 0.0, 1e-6);
+}
+
+TEST(Kriging, VarianceGrowsAwayFromSamples) {
+  const spatial::KrigingInterpolator kriging(grid_samples());
+  const double near = kriging.predict({50.0, 55.0}).variance;
+  const double far = kriging.predict({400.0, 400.0}).variance;
+  EXPECT_LT(near, far);
+}
+
+TEST(Kriging, BeatsIdwOnSmoothField) {
+  // Samples from a smooth field; compare interpolation error at held-out
+  // points.  Kriging's covariance model should win on average.
+  Rng rng(5);
+  auto field = [](const mcs::Point& p) {
+    return std::sin(p.x / 60.0) + std::cos(p.y / 45.0);
+  };
+  std::vector<spatial::Sample> samples;
+  for (int i = 0; i < 40; ++i) {
+    const mcs::Point p{rng.uniform(0.0, 300.0), rng.uniform(0.0, 300.0)};
+    samples.push_back({p, field(p)});
+  }
+  spatial::KrigingOptions opt;
+  opt.range_m = 60.0;
+  const spatial::KrigingInterpolator kriging(samples, opt);
+  const spatial::IdwInterpolator idw(samples);
+  double kriging_err = 0.0, idw_err = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const mcs::Point p{rng.uniform(20.0, 280.0), rng.uniform(20.0, 280.0)};
+    kriging_err += std::abs(kriging(p) - field(p));
+    idw_err += std::abs(idw(p) - field(p));
+  }
+  EXPECT_LT(kriging_err, idw_err);
+}
+
+TEST(Raster, ShapeAndMae) {
+  const spatial::IdwInterpolator idw(grid_samples());
+  mcs::CampusConfig campus{100.0, 100.0};
+  const auto grid = spatial::rasterize(idw, campus, 8, 6);
+  EXPECT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0].size(), 8u);
+  EXPECT_NEAR(spatial::raster_mae(grid, grid), 0.0, 1e-12);
+  auto shifted = grid;
+  for (auto& row : shifted) {
+    for (double& v : row) v += 1.5;
+  }
+  EXPECT_NEAR(spatial::raster_mae(grid, shifted), 1.5, 1e-12);
+}
+
+TEST(SpatialIntegration, SybilCorruptionPropagatesIntoTheMap) {
+  // Build the coverage map from CRH estimates vs framework estimates under
+  // attack; compare both maps against the map built from ground truth.
+  const auto data =
+      mcs::generate_scenario(mcs::make_paper_scenario(0.8, 0.8, 555));
+  auto samples_from = [&](const std::vector<double>& values) {
+    std::vector<spatial::Sample> samples;
+    for (std::size_t j = 0; j < data.tasks.size(); ++j) {
+      if (std::isnan(values[j])) continue;
+      samples.push_back({data.tasks[j].location, values[j]});
+    }
+    return samples;
+  };
+  const mcs::CampusConfig campus;
+  const auto truth_map = spatial::rasterize(
+      spatial::IdwInterpolator(samples_from(data.ground_truths())), campus,
+      16, 16);
+  const auto crh = eval::run_method(eval::Method::kCrh, data);
+  const auto tdtr = eval::run_method(eval::Method::kTdTr, data);
+  const auto crh_map = spatial::rasterize(
+      spatial::IdwInterpolator(samples_from(crh.truths)), campus, 16, 16);
+  const auto tdtr_map = spatial::rasterize(
+      spatial::IdwInterpolator(samples_from(tdtr.truths)), campus, 16, 16);
+  const double crh_map_mae = spatial::raster_mae(crh_map, truth_map);
+  const double tdtr_map_mae = spatial::raster_mae(tdtr_map, truth_map);
+  EXPECT_GT(crh_map_mae, 3.0 * tdtr_map_mae);
+}
+
+}  // namespace
+}  // namespace sybiltd

@@ -1,0 +1,103 @@
+// Tests for campaign trace serialization (mcs/trace_io).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "eval/adapters.h"
+#include "eval/experiment.h"
+#include "mcs/trace_io.h"
+
+namespace sybiltd::mcs {
+namespace {
+
+TEST(TraceIo, RoundTripsAllAnalysisFields) {
+  const auto original =
+      generate_scenario(make_paper_scenario(0.5, 0.7, 123));
+  const auto restored = read_trace_string(write_trace_string(original));
+
+  ASSERT_EQ(restored.tasks.size(), original.tasks.size());
+  for (std::size_t j = 0; j < original.tasks.size(); ++j) {
+    EXPECT_EQ(restored.tasks[j].name, original.tasks[j].name);
+    EXPECT_EQ(restored.tasks[j].ground_truth,
+              original.tasks[j].ground_truth);
+    EXPECT_EQ(restored.tasks[j].location.x, original.tasks[j].location.x);
+  }
+  ASSERT_EQ(restored.accounts.size(), original.accounts.size());
+  for (std::size_t i = 0; i < original.accounts.size(); ++i) {
+    const auto& a = original.accounts[i];
+    const auto& b = restored.accounts[i];
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.owner_user, a.owner_user);
+    EXPECT_EQ(b.device, a.device);
+    EXPECT_EQ(b.is_sybil, a.is_sybil);
+    EXPECT_EQ(b.fingerprint, a.fingerprint);
+    ASSERT_EQ(b.reports.size(), a.reports.size());
+    for (std::size_t r = 0; r < a.reports.size(); ++r) {
+      EXPECT_EQ(b.reports[r].task, a.reports[r].task);
+      EXPECT_EQ(b.reports[r].value, a.reports[r].value);
+      EXPECT_EQ(b.reports[r].timestamp_s, a.reports[r].timestamp_s);
+    }
+  }
+  EXPECT_EQ(restored.user_count, original.user_count);
+  EXPECT_EQ(restored.true_user_labels(), original.true_user_labels());
+}
+
+TEST(TraceIo, RestoredTraceGivesIdenticalResults) {
+  const auto original =
+      generate_scenario(make_paper_scenario(0.6, 0.8, 321));
+  const auto restored = read_trace_string(write_trace_string(original));
+  const auto run_a = eval::run_method(eval::Method::kTdTr, original);
+  const auto run_b = eval::run_method(eval::Method::kTdTr, restored);
+  EXPECT_EQ(run_a.truths, run_b.truths);
+  EXPECT_EQ(run_a.mae, run_b.mae);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto original =
+      generate_scenario(make_paper_scenario(0.4, 0.4, 11));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sybiltd_trace_test.csv")
+          .string();
+  save_trace(original, path);
+  const auto restored = load_trace(path);
+  EXPECT_EQ(restored.accounts.size(), original.accounts.size());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_trace("/nonexistent/path/trace.csv"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  // Data before any section.
+  EXPECT_THROW(read_trace_string("1,foo,2,3,4\n"), std::invalid_argument);
+  // Wrong field count.
+  EXPECT_THROW(read_trace_string("#tasks\n1,name,2\n"),
+               std::invalid_argument);
+  // Non-dense task ids.
+  EXPECT_THROW(read_trace_string("#tasks\n5,name,0,0,-70\n"),
+               std::invalid_argument);
+  // Report referencing unknown account.
+  EXPECT_THROW(read_trace_string(
+                   "#tasks\n0,p,0,0,-70\n#reports\n0,0,-71,10\n"),
+               std::invalid_argument);
+  // Malformed number.
+  EXPECT_THROW(read_trace_string("#tasks\n0,p,zero,0,-70\n"),
+               std::invalid_argument);
+  // Empty trace.
+  EXPECT_THROW(read_trace_string(""), std::invalid_argument);
+}
+
+TEST(TraceIo, AccountWithoutFingerprintOrReports) {
+  const std::string text =
+      "#tasks\n0,poi,1,2,-70\n"
+      "#accounts\n0,lonely,0,0,0,\n"
+      "#reports\n";
+  const auto data = read_trace_string(text);
+  ASSERT_EQ(data.accounts.size(), 1u);
+  EXPECT_TRUE(data.accounts[0].fingerprint.empty());
+  EXPECT_TRUE(data.accounts[0].reports.empty());
+  EXPECT_EQ(data.user_count, 1u);
+}
+
+}  // namespace
+}  // namespace sybiltd::mcs

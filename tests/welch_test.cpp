@@ -1,0 +1,103 @@
+// Tests for Welch PSD estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "signal/features.h"
+#include "signal/welch.h"
+
+namespace sybiltd::signal {
+namespace {
+
+std::vector<double> tone(double f0, double fs, std::size_t n,
+                         double amplitude = 1.0) {
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = amplitude *
+           std::sin(2.0 * std::numbers::pi * f0 * static_cast<double>(t) / fs);
+  }
+  return x;
+}
+
+TEST(Welch, PeakAtToneFrequency) {
+  const double fs = 100.0;
+  const auto x = tone(10.0, fs, 1024);
+  const auto psd = welch_psd(x, fs);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < psd.bins(); ++k) {
+    if (psd.psd[k] > psd.psd[peak]) peak = k;
+  }
+  EXPECT_NEAR(psd.frequency(peak), 10.0, 1.0);
+  EXPECT_GT(psd.segments_averaged, 1u);
+}
+
+TEST(Welch, TotalPowerMatchesSignalVariance) {
+  // Parseval-style check: integrated PSD ~ signal variance for white noise.
+  Rng rng(1);
+  const double fs = 100.0;
+  std::vector<double> x(4096);
+  for (auto& v : x) v = rng.normal(0.0, 1.0);
+  WelchOptions opt;
+  opt.segment_length = 256;
+  const auto psd = welch_psd(x, fs, opt);
+  const double df = fs / static_cast<double>(opt.segment_length);
+  double power = 0.0;
+  for (double p : psd.psd) power += p * df;
+  EXPECT_NEAR(power, 1.0, 0.15);
+}
+
+TEST(Welch, AveragingReducesVariance) {
+  // The PSD of white noise is flat; averaging more segments should shrink
+  // the spread of bin values relative to their mean.
+  Rng rng(2);
+  const double fs = 100.0;
+  std::vector<double> x(8192);
+  for (auto& v : x) v = rng.normal();
+  auto spread = [&](std::size_t seg) {
+    WelchOptions opt;
+    opt.segment_length = seg;
+    const auto psd = welch_psd(x, fs, opt);
+    double mean = 0.0;
+    for (double p : psd.psd) mean += p;
+    mean /= static_cast<double>(psd.bins());
+    double var = 0.0;
+    for (double p : psd.psd) var += (p - mean) * (p - mean);
+    var /= static_cast<double>(psd.bins());
+    return std::sqrt(var) / mean;
+  };
+  // 64-sample segments average ~255 periodograms vs ~3 for 4096.
+  EXPECT_LT(spread(64), spread(4096));
+}
+
+TEST(Welch, ShortSignalFallsBackToSinglePeriodogram) {
+  const double fs = 100.0;
+  const auto x = tone(5.0, fs, 60);
+  WelchOptions opt;
+  opt.segment_length = 128;
+  const auto psd = welch_psd(x, fs, opt);
+  EXPECT_EQ(psd.segment_length, 60u);
+  EXPECT_EQ(psd.segments_averaged, 1u);
+}
+
+TEST(Welch, ValidatesOptions) {
+  const auto x = tone(5.0, 100.0, 100);
+  WelchOptions opt;
+  opt.overlap = 1.0;
+  EXPECT_THROW(welch_psd(x, 100.0, opt), std::invalid_argument);
+  EXPECT_THROW(welch_psd({}, 100.0, {}), std::invalid_argument);
+  EXPECT_THROW(welch_psd(x, 0.0, {}), std::invalid_argument);
+}
+
+TEST(Welch, ToSpectrumFeedsFeatureExtractor) {
+  const double fs = 100.0;
+  const auto x = tone(20.0, fs, 2048);
+  const auto spectrum = to_spectrum(welch_psd(x, fs));
+  const auto features = extract_spectral_features(spectrum);
+  EXPECT_NEAR(features.centroid, 20.0, 3.0);
+  EXPECT_EQ(spectrum.bins(), welch_psd(x, fs).bins());
+}
+
+}  // namespace
+}  // namespace sybiltd::signal
