@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_incentive.dir/ablation_incentive.cpp.o"
+  "CMakeFiles/ablation_incentive.dir/ablation_incentive.cpp.o.d"
+  "ablation_incentive"
+  "ablation_incentive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_incentive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

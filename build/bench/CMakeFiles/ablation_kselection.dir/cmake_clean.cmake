@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kselection.dir/ablation_kselection.cpp.o"
+  "CMakeFiles/ablation_kselection.dir/ablation_kselection.cpp.o.d"
+  "ablation_kselection"
+  "ablation_kselection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kselection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/categorical_attack.dir/categorical_attack.cpp.o"
+  "CMakeFiles/categorical_attack.dir/categorical_attack.cpp.o.d"
+  "categorical_attack"
+  "categorical_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/categorical_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

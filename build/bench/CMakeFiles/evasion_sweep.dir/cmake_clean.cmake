@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evasion_sweep.dir/evasion_sweep.cpp.o"
+  "CMakeFiles/evasion_sweep.dir/evasion_sweep.cpp.o.d"
+  "evasion_sweep"
+  "evasion_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evasion_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fingerprint_space.dir/fig8_fingerprint_space.cpp.o"
+  "CMakeFiles/fig8_fingerprint_space.dir/fig8_fingerprint_space.cpp.o.d"
+  "fig8_fingerprint_space"
+  "fig8_fingerprint_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fingerprint_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapacious_attack.dir/rapacious_attack.cpp.o"
+  "CMakeFiles/rapacious_attack.dir/rapacious_attack.cpp.o.d"
+  "rapacious_attack"
+  "rapacious_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapacious_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

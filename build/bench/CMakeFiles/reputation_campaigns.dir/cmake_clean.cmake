@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reputation_campaigns.dir/reputation_campaigns.cpp.o"
+  "CMakeFiles/reputation_campaigns.dir/reputation_campaigns.cpp.o.d"
+  "reputation_campaigns"
+  "reputation_campaigns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reputation_campaigns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_monitoring.dir/noise_monitoring.cpp.o"
+  "CMakeFiles/noise_monitoring.dir/noise_monitoring.cpp.o.d"
+  "noise_monitoring"
+  "noise_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

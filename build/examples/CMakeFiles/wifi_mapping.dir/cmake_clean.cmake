@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_mapping.dir/wifi_mapping.cpp.o"
+  "CMakeFiles/wifi_mapping.dir/wifi_mapping.cpp.o.d"
+  "wifi_mapping"
+  "wifi_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

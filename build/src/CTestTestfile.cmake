@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("signal")
+subdirs("ml")
+subdirs("dtw")
+subdirs("graph")
+subdirs("sensing")
+subdirs("mcs")
+subdirs("incentive")
+subdirs("truth")
+subdirs("reputation")
+subdirs("core")
+subdirs("spatial")
+subdirs("eval")

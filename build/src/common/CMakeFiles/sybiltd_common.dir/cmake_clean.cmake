@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybiltd_common.dir/linalg.cpp.o"
+  "CMakeFiles/sybiltd_common.dir/linalg.cpp.o.d"
+  "CMakeFiles/sybiltd_common.dir/matrix.cpp.o"
+  "CMakeFiles/sybiltd_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/sybiltd_common.dir/rng.cpp.o"
+  "CMakeFiles/sybiltd_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sybiltd_common.dir/stats.cpp.o"
+  "CMakeFiles/sybiltd_common.dir/stats.cpp.o.d"
+  "CMakeFiles/sybiltd_common.dir/table.cpp.o"
+  "CMakeFiles/sybiltd_common.dir/table.cpp.o.d"
+  "libsybiltd_common.a"
+  "libsybiltd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybiltd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

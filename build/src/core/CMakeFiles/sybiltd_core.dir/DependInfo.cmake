@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ag_auto.cpp" "src/core/CMakeFiles/sybiltd_core.dir/ag_auto.cpp.o" "gcc" "src/core/CMakeFiles/sybiltd_core.dir/ag_auto.cpp.o.d"
+  "/root/repo/src/core/ag_combo.cpp" "src/core/CMakeFiles/sybiltd_core.dir/ag_combo.cpp.o" "gcc" "src/core/CMakeFiles/sybiltd_core.dir/ag_combo.cpp.o.d"
+  "/root/repo/src/core/ag_fp.cpp" "src/core/CMakeFiles/sybiltd_core.dir/ag_fp.cpp.o" "gcc" "src/core/CMakeFiles/sybiltd_core.dir/ag_fp.cpp.o.d"
+  "/root/repo/src/core/ag_tr.cpp" "src/core/CMakeFiles/sybiltd_core.dir/ag_tr.cpp.o" "gcc" "src/core/CMakeFiles/sybiltd_core.dir/ag_tr.cpp.o.d"
+  "/root/repo/src/core/ag_ts.cpp" "src/core/CMakeFiles/sybiltd_core.dir/ag_ts.cpp.o" "gcc" "src/core/CMakeFiles/sybiltd_core.dir/ag_ts.cpp.o.d"
+  "/root/repo/src/core/categorical_framework.cpp" "src/core/CMakeFiles/sybiltd_core.dir/categorical_framework.cpp.o" "gcc" "src/core/CMakeFiles/sybiltd_core.dir/categorical_framework.cpp.o.d"
+  "/root/repo/src/core/data_grouping.cpp" "src/core/CMakeFiles/sybiltd_core.dir/data_grouping.cpp.o" "gcc" "src/core/CMakeFiles/sybiltd_core.dir/data_grouping.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/sybiltd_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/sybiltd_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/grouping.cpp" "src/core/CMakeFiles/sybiltd_core.dir/grouping.cpp.o" "gcc" "src/core/CMakeFiles/sybiltd_core.dir/grouping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sybiltd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sybiltd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/sybiltd_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sybiltd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/truth/CMakeFiles/sybiltd_truth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybiltd_core.dir/ag_auto.cpp.o"
+  "CMakeFiles/sybiltd_core.dir/ag_auto.cpp.o.d"
+  "CMakeFiles/sybiltd_core.dir/ag_combo.cpp.o"
+  "CMakeFiles/sybiltd_core.dir/ag_combo.cpp.o.d"
+  "CMakeFiles/sybiltd_core.dir/ag_fp.cpp.o"
+  "CMakeFiles/sybiltd_core.dir/ag_fp.cpp.o.d"
+  "CMakeFiles/sybiltd_core.dir/ag_tr.cpp.o"
+  "CMakeFiles/sybiltd_core.dir/ag_tr.cpp.o.d"
+  "CMakeFiles/sybiltd_core.dir/ag_ts.cpp.o"
+  "CMakeFiles/sybiltd_core.dir/ag_ts.cpp.o.d"
+  "CMakeFiles/sybiltd_core.dir/categorical_framework.cpp.o"
+  "CMakeFiles/sybiltd_core.dir/categorical_framework.cpp.o.d"
+  "CMakeFiles/sybiltd_core.dir/data_grouping.cpp.o"
+  "CMakeFiles/sybiltd_core.dir/data_grouping.cpp.o.d"
+  "CMakeFiles/sybiltd_core.dir/framework.cpp.o"
+  "CMakeFiles/sybiltd_core.dir/framework.cpp.o.d"
+  "CMakeFiles/sybiltd_core.dir/grouping.cpp.o"
+  "CMakeFiles/sybiltd_core.dir/grouping.cpp.o.d"
+  "libsybiltd_core.a"
+  "libsybiltd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybiltd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybiltd_dtw.dir/dtw.cpp.o"
+  "CMakeFiles/sybiltd_dtw.dir/dtw.cpp.o.d"
+  "CMakeFiles/sybiltd_dtw.dir/fastdtw.cpp.o"
+  "CMakeFiles/sybiltd_dtw.dir/fastdtw.cpp.o.d"
+  "libsybiltd_dtw.a"
+  "libsybiltd_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybiltd_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

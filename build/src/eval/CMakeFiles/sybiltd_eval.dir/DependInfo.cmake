@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/adapters.cpp" "src/eval/CMakeFiles/sybiltd_eval.dir/adapters.cpp.o" "gcc" "src/eval/CMakeFiles/sybiltd_eval.dir/adapters.cpp.o.d"
+  "/root/repo/src/eval/experiment.cpp" "src/eval/CMakeFiles/sybiltd_eval.dir/experiment.cpp.o" "gcc" "src/eval/CMakeFiles/sybiltd_eval.dir/experiment.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/sybiltd_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/sybiltd_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/paper_example.cpp" "src/eval/CMakeFiles/sybiltd_eval.dir/paper_example.cpp.o" "gcc" "src/eval/CMakeFiles/sybiltd_eval.dir/paper_example.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sybiltd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcs/CMakeFiles/sybiltd_mcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/truth/CMakeFiles/sybiltd_truth.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sybiltd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sybiltd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/sybiltd_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/sybiltd_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/sybiltd_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sybiltd_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

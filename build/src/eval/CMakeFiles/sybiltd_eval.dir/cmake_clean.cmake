@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybiltd_eval.dir/adapters.cpp.o"
+  "CMakeFiles/sybiltd_eval.dir/adapters.cpp.o.d"
+  "CMakeFiles/sybiltd_eval.dir/experiment.cpp.o"
+  "CMakeFiles/sybiltd_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/sybiltd_eval.dir/metrics.cpp.o"
+  "CMakeFiles/sybiltd_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/sybiltd_eval.dir/paper_example.cpp.o"
+  "CMakeFiles/sybiltd_eval.dir/paper_example.cpp.o.d"
+  "libsybiltd_eval.a"
+  "libsybiltd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybiltd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsybiltd_eval.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybiltd_graph.dir/graph.cpp.o"
+  "CMakeFiles/sybiltd_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/sybiltd_graph.dir/union_find.cpp.o"
+  "CMakeFiles/sybiltd_graph.dir/union_find.cpp.o.d"
+  "libsybiltd_graph.a"
+  "libsybiltd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybiltd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

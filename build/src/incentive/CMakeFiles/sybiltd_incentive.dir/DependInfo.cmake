@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/incentive/auction.cpp" "src/incentive/CMakeFiles/sybiltd_incentive.dir/auction.cpp.o" "gcc" "src/incentive/CMakeFiles/sybiltd_incentive.dir/auction.cpp.o.d"
+  "/root/repo/src/incentive/selection.cpp" "src/incentive/CMakeFiles/sybiltd_incentive.dir/selection.cpp.o" "gcc" "src/incentive/CMakeFiles/sybiltd_incentive.dir/selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sybiltd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcs/CMakeFiles/sybiltd_mcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/sybiltd_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/sybiltd_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

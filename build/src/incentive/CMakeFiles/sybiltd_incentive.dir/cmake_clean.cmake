@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybiltd_incentive.dir/auction.cpp.o"
+  "CMakeFiles/sybiltd_incentive.dir/auction.cpp.o.d"
+  "CMakeFiles/sybiltd_incentive.dir/selection.cpp.o"
+  "CMakeFiles/sybiltd_incentive.dir/selection.cpp.o.d"
+  "libsybiltd_incentive.a"
+  "libsybiltd_incentive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybiltd_incentive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

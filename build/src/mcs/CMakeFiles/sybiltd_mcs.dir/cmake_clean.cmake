@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybiltd_mcs.dir/scenario.cpp.o"
+  "CMakeFiles/sybiltd_mcs.dir/scenario.cpp.o.d"
+  "CMakeFiles/sybiltd_mcs.dir/task.cpp.o"
+  "CMakeFiles/sybiltd_mcs.dir/task.cpp.o.d"
+  "CMakeFiles/sybiltd_mcs.dir/trace_io.cpp.o"
+  "CMakeFiles/sybiltd_mcs.dir/trace_io.cpp.o.d"
+  "CMakeFiles/sybiltd_mcs.dir/trajectory.cpp.o"
+  "CMakeFiles/sybiltd_mcs.dir/trajectory.cpp.o.d"
+  "libsybiltd_mcs.a"
+  "libsybiltd_mcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybiltd_mcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

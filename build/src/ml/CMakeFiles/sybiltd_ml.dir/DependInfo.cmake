@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/agglomerative.cpp" "src/ml/CMakeFiles/sybiltd_ml.dir/agglomerative.cpp.o" "gcc" "src/ml/CMakeFiles/sybiltd_ml.dir/agglomerative.cpp.o.d"
+  "/root/repo/src/ml/clustering_metrics.cpp" "src/ml/CMakeFiles/sybiltd_ml.dir/clustering_metrics.cpp.o" "gcc" "src/ml/CMakeFiles/sybiltd_ml.dir/clustering_metrics.cpp.o.d"
+  "/root/repo/src/ml/dbscan.cpp" "src/ml/CMakeFiles/sybiltd_ml.dir/dbscan.cpp.o" "gcc" "src/ml/CMakeFiles/sybiltd_ml.dir/dbscan.cpp.o.d"
+  "/root/repo/src/ml/elbow.cpp" "src/ml/CMakeFiles/sybiltd_ml.dir/elbow.cpp.o" "gcc" "src/ml/CMakeFiles/sybiltd_ml.dir/elbow.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/sybiltd_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/sybiltd_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/kselect.cpp" "src/ml/CMakeFiles/sybiltd_ml.dir/kselect.cpp.o" "gcc" "src/ml/CMakeFiles/sybiltd_ml.dir/kselect.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/sybiltd_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/sybiltd_ml.dir/pca.cpp.o.d"
+  "/root/repo/src/ml/preprocess.cpp" "src/ml/CMakeFiles/sybiltd_ml.dir/preprocess.cpp.o" "gcc" "src/ml/CMakeFiles/sybiltd_ml.dir/preprocess.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sybiltd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

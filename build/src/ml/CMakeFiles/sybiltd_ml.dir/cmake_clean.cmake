@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybiltd_ml.dir/agglomerative.cpp.o"
+  "CMakeFiles/sybiltd_ml.dir/agglomerative.cpp.o.d"
+  "CMakeFiles/sybiltd_ml.dir/clustering_metrics.cpp.o"
+  "CMakeFiles/sybiltd_ml.dir/clustering_metrics.cpp.o.d"
+  "CMakeFiles/sybiltd_ml.dir/dbscan.cpp.o"
+  "CMakeFiles/sybiltd_ml.dir/dbscan.cpp.o.d"
+  "CMakeFiles/sybiltd_ml.dir/elbow.cpp.o"
+  "CMakeFiles/sybiltd_ml.dir/elbow.cpp.o.d"
+  "CMakeFiles/sybiltd_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/sybiltd_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/sybiltd_ml.dir/kselect.cpp.o"
+  "CMakeFiles/sybiltd_ml.dir/kselect.cpp.o.d"
+  "CMakeFiles/sybiltd_ml.dir/pca.cpp.o"
+  "CMakeFiles/sybiltd_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/sybiltd_ml.dir/preprocess.cpp.o"
+  "CMakeFiles/sybiltd_ml.dir/preprocess.cpp.o.d"
+  "libsybiltd_ml.a"
+  "libsybiltd_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybiltd_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybiltd_reputation.dir/ledger.cpp.o"
+  "CMakeFiles/sybiltd_reputation.dir/ledger.cpp.o.d"
+  "libsybiltd_reputation.a"
+  "libsybiltd_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybiltd_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

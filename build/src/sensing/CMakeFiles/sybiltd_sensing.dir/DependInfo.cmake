@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensing/device.cpp" "src/sensing/CMakeFiles/sybiltd_sensing.dir/device.cpp.o" "gcc" "src/sensing/CMakeFiles/sybiltd_sensing.dir/device.cpp.o.d"
+  "/root/repo/src/sensing/fingerprint.cpp" "src/sensing/CMakeFiles/sybiltd_sensing.dir/fingerprint.cpp.o" "gcc" "src/sensing/CMakeFiles/sybiltd_sensing.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/sensing/imu_stream.cpp" "src/sensing/CMakeFiles/sybiltd_sensing.dir/imu_stream.cpp.o" "gcc" "src/sensing/CMakeFiles/sybiltd_sensing.dir/imu_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sybiltd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/sybiltd_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

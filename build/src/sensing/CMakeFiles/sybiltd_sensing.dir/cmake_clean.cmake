@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybiltd_sensing.dir/device.cpp.o"
+  "CMakeFiles/sybiltd_sensing.dir/device.cpp.o.d"
+  "CMakeFiles/sybiltd_sensing.dir/fingerprint.cpp.o"
+  "CMakeFiles/sybiltd_sensing.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/sybiltd_sensing.dir/imu_stream.cpp.o"
+  "CMakeFiles/sybiltd_sensing.dir/imu_stream.cpp.o.d"
+  "libsybiltd_sensing.a"
+  "libsybiltd_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybiltd_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

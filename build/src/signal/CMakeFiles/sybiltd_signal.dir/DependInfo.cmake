@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/features.cpp" "src/signal/CMakeFiles/sybiltd_signal.dir/features.cpp.o" "gcc" "src/signal/CMakeFiles/sybiltd_signal.dir/features.cpp.o.d"
+  "/root/repo/src/signal/fft.cpp" "src/signal/CMakeFiles/sybiltd_signal.dir/fft.cpp.o" "gcc" "src/signal/CMakeFiles/sybiltd_signal.dir/fft.cpp.o.d"
+  "/root/repo/src/signal/spectrum.cpp" "src/signal/CMakeFiles/sybiltd_signal.dir/spectrum.cpp.o" "gcc" "src/signal/CMakeFiles/sybiltd_signal.dir/spectrum.cpp.o.d"
+  "/root/repo/src/signal/welch.cpp" "src/signal/CMakeFiles/sybiltd_signal.dir/welch.cpp.o" "gcc" "src/signal/CMakeFiles/sybiltd_signal.dir/welch.cpp.o.d"
+  "/root/repo/src/signal/window.cpp" "src/signal/CMakeFiles/sybiltd_signal.dir/window.cpp.o" "gcc" "src/signal/CMakeFiles/sybiltd_signal.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sybiltd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybiltd_signal.dir/features.cpp.o"
+  "CMakeFiles/sybiltd_signal.dir/features.cpp.o.d"
+  "CMakeFiles/sybiltd_signal.dir/fft.cpp.o"
+  "CMakeFiles/sybiltd_signal.dir/fft.cpp.o.d"
+  "CMakeFiles/sybiltd_signal.dir/spectrum.cpp.o"
+  "CMakeFiles/sybiltd_signal.dir/spectrum.cpp.o.d"
+  "CMakeFiles/sybiltd_signal.dir/welch.cpp.o"
+  "CMakeFiles/sybiltd_signal.dir/welch.cpp.o.d"
+  "CMakeFiles/sybiltd_signal.dir/window.cpp.o"
+  "CMakeFiles/sybiltd_signal.dir/window.cpp.o.d"
+  "libsybiltd_signal.a"
+  "libsybiltd_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybiltd_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/interpolation.cpp" "src/spatial/CMakeFiles/sybiltd_spatial.dir/interpolation.cpp.o" "gcc" "src/spatial/CMakeFiles/sybiltd_spatial.dir/interpolation.cpp.o.d"
+  "/root/repo/src/spatial/kriging.cpp" "src/spatial/CMakeFiles/sybiltd_spatial.dir/kriging.cpp.o" "gcc" "src/spatial/CMakeFiles/sybiltd_spatial.dir/kriging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sybiltd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcs/CMakeFiles/sybiltd_mcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/sybiltd_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/sybiltd_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybiltd_spatial.dir/interpolation.cpp.o"
+  "CMakeFiles/sybiltd_spatial.dir/interpolation.cpp.o.d"
+  "CMakeFiles/sybiltd_spatial.dir/kriging.cpp.o"
+  "CMakeFiles/sybiltd_spatial.dir/kriging.cpp.o.d"
+  "libsybiltd_spatial.a"
+  "libsybiltd_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybiltd_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

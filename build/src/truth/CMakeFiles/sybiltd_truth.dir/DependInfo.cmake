@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/truth/baselines.cpp" "src/truth/CMakeFiles/sybiltd_truth.dir/baselines.cpp.o" "gcc" "src/truth/CMakeFiles/sybiltd_truth.dir/baselines.cpp.o.d"
+  "/root/repo/src/truth/catd.cpp" "src/truth/CMakeFiles/sybiltd_truth.dir/catd.cpp.o" "gcc" "src/truth/CMakeFiles/sybiltd_truth.dir/catd.cpp.o.d"
+  "/root/repo/src/truth/categorical.cpp" "src/truth/CMakeFiles/sybiltd_truth.dir/categorical.cpp.o" "gcc" "src/truth/CMakeFiles/sybiltd_truth.dir/categorical.cpp.o.d"
+  "/root/repo/src/truth/crh.cpp" "src/truth/CMakeFiles/sybiltd_truth.dir/crh.cpp.o" "gcc" "src/truth/CMakeFiles/sybiltd_truth.dir/crh.cpp.o.d"
+  "/root/repo/src/truth/gtm.cpp" "src/truth/CMakeFiles/sybiltd_truth.dir/gtm.cpp.o" "gcc" "src/truth/CMakeFiles/sybiltd_truth.dir/gtm.cpp.o.d"
+  "/root/repo/src/truth/observation_table.cpp" "src/truth/CMakeFiles/sybiltd_truth.dir/observation_table.cpp.o" "gcc" "src/truth/CMakeFiles/sybiltd_truth.dir/observation_table.cpp.o.d"
+  "/root/repo/src/truth/online_crh.cpp" "src/truth/CMakeFiles/sybiltd_truth.dir/online_crh.cpp.o" "gcc" "src/truth/CMakeFiles/sybiltd_truth.dir/online_crh.cpp.o.d"
+  "/root/repo/src/truth/truthfinder.cpp" "src/truth/CMakeFiles/sybiltd_truth.dir/truthfinder.cpp.o" "gcc" "src/truth/CMakeFiles/sybiltd_truth.dir/truthfinder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sybiltd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

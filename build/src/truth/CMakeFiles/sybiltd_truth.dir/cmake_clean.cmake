@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybiltd_truth.dir/baselines.cpp.o"
+  "CMakeFiles/sybiltd_truth.dir/baselines.cpp.o.d"
+  "CMakeFiles/sybiltd_truth.dir/catd.cpp.o"
+  "CMakeFiles/sybiltd_truth.dir/catd.cpp.o.d"
+  "CMakeFiles/sybiltd_truth.dir/categorical.cpp.o"
+  "CMakeFiles/sybiltd_truth.dir/categorical.cpp.o.d"
+  "CMakeFiles/sybiltd_truth.dir/crh.cpp.o"
+  "CMakeFiles/sybiltd_truth.dir/crh.cpp.o.d"
+  "CMakeFiles/sybiltd_truth.dir/gtm.cpp.o"
+  "CMakeFiles/sybiltd_truth.dir/gtm.cpp.o.d"
+  "CMakeFiles/sybiltd_truth.dir/observation_table.cpp.o"
+  "CMakeFiles/sybiltd_truth.dir/observation_table.cpp.o.d"
+  "CMakeFiles/sybiltd_truth.dir/online_crh.cpp.o"
+  "CMakeFiles/sybiltd_truth.dir/online_crh.cpp.o.d"
+  "CMakeFiles/sybiltd_truth.dir/truthfinder.cpp.o"
+  "CMakeFiles/sybiltd_truth.dir/truthfinder.cpp.o.d"
+  "libsybiltd_truth.a"
+  "libsybiltd_truth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybiltd_truth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

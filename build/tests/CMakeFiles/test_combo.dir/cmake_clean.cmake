@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combo.dir/combo_test.cpp.o"
+  "CMakeFiles/test_combo.dir/combo_test.cpp.o.d"
+  "test_combo"
+  "test_combo.pdb"
+  "test_combo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evasion.dir/evasion_test.cpp.o"
+  "CMakeFiles/test_evasion.dir/evasion_test.cpp.o.d"
+  "test_evasion"
+  "test_evasion.pdb"
+  "test_evasion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastdtw.dir/fastdtw_test.cpp.o"
+  "CMakeFiles/test_fastdtw.dir/fastdtw_test.cpp.o.d"
+  "test_fastdtw"
+  "test_fastdtw.pdb"
+  "test_fastdtw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastdtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

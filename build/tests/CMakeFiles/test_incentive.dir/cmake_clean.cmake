@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incentive.dir/incentive_test.cpp.o"
+  "CMakeFiles/test_incentive.dir/incentive_test.cpp.o.d"
+  "test_incentive"
+  "test_incentive.pdb"
+  "test_incentive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incentive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

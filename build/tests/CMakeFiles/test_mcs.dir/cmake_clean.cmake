@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcs.dir/mcs_test.cpp.o"
+  "CMakeFiles/test_mcs.dir/mcs_test.cpp.o.d"
+  "test_mcs"
+  "test_mcs.pdb"
+  "test_mcs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_extra.dir/ml_extra_test.cpp.o"
+  "CMakeFiles/test_ml_extra.dir/ml_extra_test.cpp.o.d"
+  "test_ml_extra"
+  "test_ml_extra.pdb"
+  "test_ml_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

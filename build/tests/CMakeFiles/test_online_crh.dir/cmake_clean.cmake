@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_crh.dir/online_crh_test.cpp.o"
+  "CMakeFiles/test_online_crh.dir/online_crh_test.cpp.o.d"
+  "test_online_crh"
+  "test_online_crh.pdb"
+  "test_online_crh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_crh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/signal_test.cpp" "tests/CMakeFiles/test_signal.dir/signal_test.cpp.o" "gcc" "tests/CMakeFiles/test_signal.dir/signal_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sybiltd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/sybiltd_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sybiltd_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/sybiltd_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sybiltd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/sybiltd_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcs/CMakeFiles/sybiltd_mcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/incentive/CMakeFiles/sybiltd_incentive.dir/DependInfo.cmake"
+  "/root/repo/build/src/truth/CMakeFiles/sybiltd_truth.dir/DependInfo.cmake"
+  "/root/repo/build/src/reputation/CMakeFiles/sybiltd_reputation.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sybiltd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/sybiltd_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sybiltd_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

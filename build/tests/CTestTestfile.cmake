@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_signal[1]_include.cmake")
+include("/root/repo/build/tests/test_ml[1]_include.cmake")
+include("/root/repo/build/tests/test_dtw[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_sensing[1]_include.cmake")
+include("/root/repo/build/tests/test_mcs[1]_include.cmake")
+include("/root/repo/build/tests/test_truth[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_fastdtw[1]_include.cmake")
+include("/root/repo/build/tests/test_welch[1]_include.cmake")
+include("/root/repo/build/tests/test_combo[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_incentive[1]_include.cmake")
+include("/root/repo/build/tests/test_online_crh[1]_include.cmake")
+include("/root/repo/build/tests/test_evasion[1]_include.cmake")
+include("/root/repo/build/tests/test_categorical[1]_include.cmake")
+include("/root/repo/build/tests/test_scalability[1]_include.cmake")
+include("/root/repo/build/tests/test_spatial[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_reputation[1]_include.cmake")
