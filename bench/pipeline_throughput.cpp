@@ -1,0 +1,102 @@
+// Extension bench: streaming pipeline ingestion throughput.
+//
+// Measures sustained reports/sec through the concurrent campaign engine
+// (bounded MPMC queues -> sharded workers -> incremental AG-TS grouping ->
+// group-level CRH refinement -> snapshot publication) for 1, 2, 4 and 8
+// producer threads, ending each run with the drain() barrier so every
+// accepted report is fully aggregated before the clock stops.  Also
+// reports micro-batch and regroup counts so the amortization behaviour is
+// visible.
+//
+//   pipeline_throughput [reports_per_run] [shards]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "pipeline/engine.h"
+
+using namespace sybiltd;
+
+namespace {
+
+constexpr std::size_t kCampaigns = 4;
+constexpr std::size_t kAccounts = 128;
+constexpr std::size_t kTasks = 64;
+
+std::vector<pipeline::Report> make_reports(std::size_t total) {
+  Rng rng(42);
+  std::vector<pipeline::Report> reports;
+  reports.reserve(total);
+  for (std::size_t k = 0; k < total; ++k) {
+    const std::size_t campaign = rng.uniform_index(kCampaigns);
+    const std::size_t account = rng.uniform_index(kAccounts);
+    // Accounts favor a task block (clone structure for the grouping to
+    // find) with occasional out-of-block reports.
+    const std::size_t block = (account % 4) * (kTasks / 4);
+    const std::size_t task = rng.bernoulli(0.9)
+                                 ? block + rng.uniform_index(kTasks / 4)
+                                 : rng.uniform_index(kTasks);
+    reports.push_back(
+        {campaign, account, task, rng.uniform(-90.0, -50.0), 0.0});
+  }
+  return reports;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t total =
+      argc > 1 ? std::stoul(argv[1]) : std::size_t{200000};
+  const std::size_t shards = argc > 2 ? std::stoul(argv[2]) : 2;
+
+  std::printf("=== Extension: streaming pipeline throughput ===\n");
+  std::printf("%zu campaigns x %zu accounts x %zu tasks, %zu reports/run, "
+              "%zu shard worker(s), %u hardware thread(s)\n\n",
+              kCampaigns, kAccounts, kTasks, total, shards,
+              std::thread::hardware_concurrency());
+
+  const std::vector<pipeline::Report> reports = make_reports(total);
+
+  TextTable table({"producers", "reports", "seconds", "reports/sec",
+                   "micro-batches", "regroups", "snapshots"});
+  for (std::size_t producers : {1u, 2u, 4u, 8u}) {
+    pipeline::EngineOptions options;
+    options.shard_count = shards;
+    options.queue_capacity = 8192;
+    options.max_batch = 512;
+    pipeline::CampaignEngine engine(options);
+    for (std::size_t c = 0; c < kCampaigns; ++c) engine.add_campaign(kTasks);
+    engine.start();
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (std::size_t p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        for (std::size_t k = p; k < reports.size(); k += producers) {
+          engine.submit(reports[k]);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    engine.drain();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    engine.stop();
+
+    const pipeline::EngineCounters counters = engine.counters();
+    table.add_row({std::to_string(producers), std::to_string(total),
+                   format_cell(seconds, 3),
+                   std::to_string(static_cast<std::size_t>(total / seconds)),
+                   std::to_string(counters.batches),
+                   std::to_string(counters.regroups),
+                   std::to_string(counters.publications)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

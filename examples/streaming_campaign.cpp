@@ -1,0 +1,99 @@
+// Streaming campaign: replay a generated MCS scenario through the
+// concurrent campaign engine and watch the truth estimates converge.
+//
+// The paper evaluates Algorithm 2 as a one-shot batch computation; a real
+// platform receives the same reports as a stream.  This example generates
+// the paper's Wi-Fi scenario (8 legitimate users, one Attack-I and one
+// Attack-II Sybil attacker), sorts every account's submissions by
+// timestamp, and feeds them to pipeline::CampaignEngine in ten slices.
+// After each slice it prints the MAE of the engine's snapshot against the
+// ground truth plus what the incremental AG-TS grouping currently
+// believes — showing the estimate tightening as evidence accumulates, and
+// the Sybil accounts collapsing into shared groups long before the stream
+// ends.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/streaming_campaign
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "eval/adapters.h"
+#include "eval/metrics.h"
+#include "mcs/scenario.h"
+#include "pipeline/engine.h"
+
+using namespace sybiltd;
+
+int main() {
+  // --- 1. a full campaign scenario (the paper's Section V-A setup) --------
+  const auto config = mcs::make_paper_scenario(/*legit_activeness=*/0.5,
+                                               /*sybil_activeness=*/0.8,
+                                               /*seed=*/17);
+  const auto data = mcs::generate_scenario(config);
+  const auto input = eval::to_framework_input(data);
+  const std::vector<double> ground_truth = data.ground_truths();
+
+  // Flatten every account's reports into one stream ordered by timestamp —
+  // the platform's ingestion order.
+  std::vector<pipeline::Report> stream;
+  for (std::size_t a = 0; a < input.accounts.size(); ++a) {
+    for (const auto& report : input.accounts[a].reports) {
+      stream.push_back(
+          {0, a, report.task, report.value, report.timestamp_hours});
+    }
+  }
+  std::sort(stream.begin(), stream.end(),
+            [](const pipeline::Report& lhs, const pipeline::Report& rhs) {
+              return lhs.timestamp_hours < rhs.timestamp_hours;
+            });
+
+  std::size_t sybil_accounts = 0;
+  for (const auto& account : data.accounts) {
+    if (account.is_sybil) ++sybil_accounts;
+  }
+  std::printf("scenario: %zu tasks, %zu accounts (%zu Sybil), %zu reports\n\n",
+              input.task_count, input.accounts.size(), sybil_accounts,
+              stream.size());
+
+  // --- 2. stream through the engine in ten slices -------------------------
+  pipeline::EngineOptions options;
+  options.shard_count = 1;
+  options.max_batch = 32;
+  pipeline::CampaignEngine engine(options);
+  engine.add_campaign(input.task_count);
+  engine.start();
+
+  std::printf("%8s %10s %8s %8s %8s\n", "reports", "mae(dBm)", "groups",
+              "live", "version");
+  const std::size_t slices = 10;
+  std::size_t sent = 0;
+  for (std::size_t s = 0; s < slices; ++s) {
+    const std::size_t end = stream.size() * (s + 1) / slices;
+    for (; sent < end; ++sent) engine.submit(stream[sent]);
+    engine.drain();  // barrier: converge before reading this slice's MAE
+    const auto snap = engine.snapshot(0);
+    const double mae = eval::mean_absolute_error(
+        std::span<const double>(snap->truths),
+        std::span<const double>(ground_truth));
+    std::printf("%8zu %10.3f %8zu %8zu %8llu\n", sent, mae,
+                snap->group_count, snap->live_observations,
+                static_cast<unsigned long long>(snap->version));
+  }
+
+  // --- 3. final snapshot: grouped accounts vs ground truth ----------------
+  const auto snap = engine.snapshot(0);
+  engine.stop();
+  std::printf("\nfinal per-task estimates:\n");
+  for (std::size_t j = 0; j < input.task_count; ++j) {
+    std::printf("  task %2zu: estimate %7.2f  truth %7.2f\n", j,
+                snap->truths[j], ground_truth[j]);
+  }
+  std::printf("\naccount groups (AG-TS, incremental):\n");
+  for (std::size_t a = 0; a < snap->group_of.size(); ++a) {
+    std::printf("  %-12s group %2zu%s\n", data.accounts[a].name.c_str(),
+                snap->group_of[a], data.accounts[a].is_sybil ? "  [sybil]" : "");
+  }
+  return 0;
+}

@@ -8,16 +8,16 @@
 
 namespace sybiltd::core {
 
-namespace {
-
 using truth::nan_value;
 
 // Per-task scale normalizer over the *grouped* values, mirroring the CRH
 // baseline's std-normalized loss.
-std::vector<double> task_normalizers(const GroupedData& grouped,
-                                     std::size_t n_tasks) {
-  std::vector<double> norm(n_tasks, 1.0);
-  for (std::size_t j = 0; j < n_tasks; ++j) {
+std::vector<double> framework_task_normalizers(const GroupedData& grouped,
+                                               std::size_t task_count) {
+  SYBILTD_CHECK(grouped.per_task.size() == task_count,
+                "grouped data does not match the task count");
+  std::vector<double> norm(task_count, 1.0);
+  for (std::size_t j = 0; j < task_count; ++j) {
     std::vector<double> values;
     for (const auto& datum : grouped.per_task[j]) {
       values.push_back(datum.value);
@@ -30,80 +30,103 @@ std::vector<double> task_normalizers(const GroupedData& grouped,
   return norm;
 }
 
-}  // namespace
+std::vector<double> framework_initial_truths(const GroupedData& grouped,
+                                             std::size_t task_count,
+                                             bool init_with_eq5) {
+  SYBILTD_CHECK(grouped.per_task.size() == task_count,
+                "grouped data does not match the task count");
+  std::vector<double> truths(task_count, nan_value());
+  for (std::size_t j = 0; j < task_count; ++j) {
+    double num = 0.0, den = 0.0;
+    for (const auto& datum : grouped.per_task[j]) {
+      const double w = init_with_eq5 ? datum.initial_weight : 1.0;
+      num += w * datum.value;
+      den += w;
+    }
+    if (den > 0.0) truths[j] = num / den;
+  }
+  return truths;
+}
+
+double framework_iterate_once(const GroupedData& grouped,
+                              const std::vector<double>& normalizers,
+                              double loss_epsilon, std::vector<double>& truths,
+                              std::vector<double>& group_weights) {
+  const std::size_t n_tasks = grouped.per_task.size();
+  const std::size_t n_groups = grouped.tasks_of_group.size();
+  SYBILTD_CHECK(truths.size() == n_tasks,
+                "truth vector does not match the grouped data");
+  SYBILTD_CHECK(normalizers.size() == n_tasks,
+                "normalizers do not match the grouped data");
+
+  // Group weight estimation: W over the group's aggregated residuals.
+  std::vector<double> losses(n_groups, 0.0);
+  double total_loss = 0.0;
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    if (std::isnan(truths[j])) continue;
+    for (const auto& datum : grouped.per_task[j]) {
+      const double diff = (datum.value - truths[j]) / normalizers[j];
+      losses[datum.group] += diff * diff;
+    }
+  }
+  for (std::size_t k = 0; k < n_groups; ++k) {
+    if (grouped.tasks_of_group[k].empty()) {
+      losses[k] = 0.0;
+      continue;
+    }
+    losses[k] = std::max(losses[k], loss_epsilon);
+    total_loss += losses[k];
+  }
+  group_weights.assign(n_groups, 0.0);
+  for (std::size_t k = 0; k < n_groups; ++k) {
+    if (grouped.tasks_of_group[k].empty()) {
+      group_weights[k] = 0.0;
+    } else {
+      group_weights[k] = std::log(total_loss / losses[k]);
+      if (group_weights[k] <= 0.0) group_weights[k] = 1.0;
+    }
+  }
+
+  // Truth estimation over groups.
+  std::vector<double> next_truths(n_tasks, nan_value());
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    double num = 0.0, den = 0.0;
+    for (const auto& datum : grouped.per_task[j]) {
+      num += group_weights[datum.group] * datum.value;
+      den += group_weights[datum.group];
+    }
+    next_truths[j] = den > 0.0 ? num / den : nan_value();
+  }
+
+  const double delta = truth::max_abs_difference(truths, next_truths);
+  truths = std::move(next_truths);
+  return delta;
+}
 
 FrameworkResult run_framework(const FrameworkInput& input,
                               const AccountGrouping& grouping,
                               const FrameworkOptions& options) {
   const std::size_t n_tasks = input.task_count;
-  const std::size_t n_groups = grouping.group_count();
 
   FrameworkResult result;
   result.grouping = grouping;
-  result.truths.assign(n_tasks, nan_value());
-  result.group_weights.assign(n_groups, 1.0);
+  result.group_weights.assign(grouping.group_count(), 1.0);
 
   const GroupedData grouped =
       group_data(input, grouping, options.data_grouping);
-  const std::vector<double> norm = task_normalizers(grouped, n_tasks);
+  const std::vector<double> norm = framework_task_normalizers(grouped, n_tasks);
 
   // --- Initialization (Eq. 5 with the Eq. 4 weights) ----------------------
-  for (std::size_t j = 0; j < n_tasks; ++j) {
-    double num = 0.0, den = 0.0;
-    for (const auto& datum : grouped.per_task[j]) {
-      const double w = options.init_with_eq5 ? datum.initial_weight : 1.0;
-      num += w * datum.value;
-      den += w;
-    }
-    if (den > 0.0) result.truths[j] = num / den;
-  }
+  result.truths =
+      framework_initial_truths(grouped, n_tasks, options.init_with_eq5);
 
   // --- Iterations (Algorithm 2, lines 8–15) -------------------------------
-  std::vector<double> next_truths(n_tasks, nan_value());
   for (std::size_t iter = 0; iter < options.convergence.max_iterations;
        ++iter) {
     result.iterations = iter + 1;
-
-    // Group weight estimation: W over the group's aggregated residuals.
-    std::vector<double> losses(n_groups, 0.0);
-    double total_loss = 0.0;
-    for (std::size_t j = 0; j < n_tasks; ++j) {
-      if (std::isnan(result.truths[j])) continue;
-      for (const auto& datum : grouped.per_task[j]) {
-        const double diff = (datum.value - result.truths[j]) / norm[j];
-        losses[datum.group] += diff * diff;
-      }
-    }
-    for (std::size_t k = 0; k < n_groups; ++k) {
-      if (grouped.tasks_of_group[k].empty()) {
-        losses[k] = 0.0;
-        continue;
-      }
-      losses[k] = std::max(losses[k], options.loss_epsilon);
-      total_loss += losses[k];
-    }
-    for (std::size_t k = 0; k < n_groups; ++k) {
-      if (grouped.tasks_of_group[k].empty()) {
-        result.group_weights[k] = 0.0;
-      } else {
-        result.group_weights[k] = std::log(total_loss / losses[k]);
-        if (result.group_weights[k] <= 0.0) result.group_weights[k] = 1.0;
-      }
-    }
-
-    // Truth estimation over groups.
-    for (std::size_t j = 0; j < n_tasks; ++j) {
-      double num = 0.0, den = 0.0;
-      for (const auto& datum : grouped.per_task[j]) {
-        num += result.group_weights[datum.group] * datum.value;
-        den += result.group_weights[datum.group];
-      }
-      next_truths[j] = den > 0.0 ? num / den : nan_value();
-    }
-
     const double delta =
-        truth::max_abs_difference(result.truths, next_truths);
-    result.truths = next_truths;
+        framework_iterate_once(grouped, norm, options.loss_epsilon,
+                               result.truths, result.group_weights);
     if (delta < options.convergence.truth_tolerance) {
       result.converged = true;
       break;

@@ -48,4 +48,32 @@ FrameworkResult run_framework(const FrameworkInput& input,
                               const AccountGrouper& grouper,
                               const FrameworkOptions& options = {});
 
+// --- Iteration primitives -------------------------------------------------
+//
+// run_framework is composed of the three steps below.  They are exposed so
+// the streaming pipeline (src/pipeline) can warm-start a few iterations per
+// micro-batch while sharing the exact arithmetic of the batch path; with
+// identical grouped data the incremental and batch computations therefore
+// agree to the last bit.
+
+// Per-task scale normalizers over the grouped values (the std-normalized
+// loss denominator); 1 where fewer than two values or a degenerate spread.
+std::vector<double> framework_task_normalizers(const GroupedData& grouped,
+                                               std::size_t task_count);
+
+// Initial truths: Eq. (5) with the Eq. (4) size weights, or the plain mean
+// of the group aggregates when init_with_eq5 is false.  NaN for tasks with
+// no data.
+std::vector<double> framework_initial_truths(const GroupedData& grouped,
+                                             std::size_t task_count,
+                                             bool init_with_eq5);
+
+// One Algorithm-2 iteration (lines 8–15): group-weight estimation over the
+// aggregated residuals, then truth re-estimation.  Updates `truths` and
+// `group_weights` in place and returns the max absolute truth change.
+double framework_iterate_once(const GroupedData& grouped,
+                              const std::vector<double>& normalizers,
+                              double loss_epsilon, std::vector<double>& truths,
+                              std::vector<double>& group_weights);
+
 }  // namespace sybiltd::core

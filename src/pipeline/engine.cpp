@@ -1,0 +1,121 @@
+#include "pipeline/engine.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace sybiltd::pipeline {
+
+CampaignEngine::CampaignEngine(EngineOptions options)
+    : options_(std::move(options)) {
+  SYBILTD_CHECK(options_.shard_count >= 1, "need at least one shard");
+  SYBILTD_CHECK(options_.queue_capacity >= 1,
+                "queue capacity must be positive");
+  shards_.reserve(options_.shard_count);
+  for (std::size_t s = 0; s < options_.shard_count; ++s) {
+    shards_.push_back(std::make_unique<Shard>(
+        options_.shard, options_.queue_capacity, options_.max_batch));
+  }
+}
+
+CampaignEngine::~CampaignEngine() { stop(); }
+
+std::size_t CampaignEngine::add_campaign(std::size_t task_count) {
+  SYBILTD_CHECK(!started_.load(std::memory_order_acquire),
+                "register campaigns before start()");
+  SYBILTD_CHECK(task_count > 0, "campaign needs at least one task");
+  const std::size_t campaign = task_counts_.size();
+  task_counts_.push_back(task_count);
+  cells_.push_back(std::make_unique<SnapshotCell>());
+  shards_[shard_of(campaign)]->add_campaign(campaign, task_count,
+                                            cells_.back().get());
+  return campaign;
+}
+
+void CampaignEngine::start() {
+  SYBILTD_CHECK(!started_.exchange(true, std::memory_order_acq_rel),
+                "engine already started");
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    workers_.emplace_back([raw = shard.get()] { raw->run(); });
+  }
+}
+
+PushResult CampaignEngine::submit(const Report& report) {
+  SYBILTD_CHECK(running_.load(std::memory_order_acquire),
+                "submit() needs a running engine");
+  SYBILTD_CHECK(report.campaign < task_counts_.size(), "unknown campaign");
+  SYBILTD_CHECK(report.task < task_counts_[report.campaign],
+                "task index out of range for the campaign");
+  SYBILTD_CHECK(!std::isnan(report.value), "report value must not be NaN");
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const PushResult result = shards_[shard_of(report.campaign)]->queue().push(
+      report, options_.backpressure);
+  switch (result) {
+    case PushResult::kOk:
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case PushResult::kDropped:
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case PushResult::kRejected:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case PushResult::kClosed:
+      break;
+  }
+  return result;
+}
+
+std::shared_ptr<const CampaignSnapshot> CampaignEngine::snapshot(
+    std::size_t campaign) const {
+  SYBILTD_CHECK(campaign < cells_.size(), "unknown campaign");
+  return cells_[campaign]->read();
+}
+
+void CampaignEngine::drain() {
+  SYBILTD_CHECK(running_.load(std::memory_order_acquire),
+                "drain() needs a running engine");
+  std::vector<std::uint64_t> tickets;
+  tickets.reserve(shards_.size());
+  for (auto& shard : shards_) tickets.push_back(shard->request_finalize());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->wait_finalized(tickets[s]);
+  }
+}
+
+void CampaignEngine::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  for (auto& shard : shards_) shard->queue().close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+EngineCounters CampaignEngine::counters() const {
+  EngineCounters totals;
+  totals.submitted = submitted_.load(std::memory_order_relaxed);
+  totals.accepted = accepted_.load(std::memory_order_relaxed);
+  totals.dropped = dropped_.load(std::memory_order_relaxed);
+  totals.rejected = rejected_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    const ShardCounters& c = shard->counters();
+    totals.applied += c.applied.load(std::memory_order_relaxed);
+    totals.batches += c.batches.load(std::memory_order_relaxed);
+    totals.regroups += c.regroups.load(std::memory_order_relaxed);
+    totals.evictions += c.evictions.load(std::memory_order_relaxed);
+    totals.publications += c.publications.load(std::memory_order_relaxed);
+  }
+  return totals;
+}
+
+const CampaignState* CampaignEngine::debug_state(std::size_t campaign) const {
+  SYBILTD_CHECK(!running_.load(std::memory_order_acquire),
+                "debug_state is only safe while the workers are stopped");
+  SYBILTD_CHECK(campaign < task_counts_.size(), "unknown campaign");
+  return shards_[shard_of(campaign)]->campaign_state(campaign);
+}
+
+}  // namespace sybiltd::pipeline

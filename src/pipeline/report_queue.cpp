@@ -1,0 +1,91 @@
+#include "pipeline/report_queue.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sybiltd::pipeline {
+
+ReportQueue::ReportQueue(std::size_t capacity)
+    : capacity_(capacity), ring_(capacity) {
+  SYBILTD_CHECK(capacity >= 1, "queue capacity must be positive");
+}
+
+PushResult ReportQueue::push(const Report& report, BackpressurePolicy policy) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) return PushResult::kClosed;
+  if (count_ == capacity_) {
+    switch (policy) {
+      case BackpressurePolicy::kDropNewest:
+        return PushResult::kDropped;
+      case BackpressurePolicy::kReject:
+        return PushResult::kRejected;
+      case BackpressurePolicy::kBlock:
+        not_full_.wait(lock, [&] { return count_ < capacity_ || closed_; });
+        if (closed_) return PushResult::kClosed;
+        break;
+    }
+  }
+  ring_[(head_ + count_) % capacity_] = report;
+  ++count_;
+  lock.unlock();
+  not_empty_.notify_one();
+  return PushResult::kOk;
+}
+
+bool ReportQueue::pop(Report& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+  if (count_ == 0) return false;  // closed and drained
+  out = ring_[head_];
+  head_ = (head_ + 1) % capacity_;
+  --count_;
+  lock.unlock();
+  not_full_.notify_all();
+  return true;
+}
+
+std::size_t ReportQueue::pop_batch(std::vector<Report>& out, std::size_t max,
+                                   std::chrono::milliseconds wait) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (count_ == 0 && !closed_) {
+    not_empty_.wait_for(lock, wait, [&] { return count_ > 0 || closed_; });
+  }
+  const std::size_t n = std::min(max, count_);
+  for (std::size_t k = 0; k < n; ++k) {
+    out.push_back(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+  }
+  count_ -= n;
+  if (n > 0) {
+    lock.unlock();
+    not_full_.notify_all();
+  }
+  return n;
+}
+
+void ReportQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool ReportQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+bool ReportQueue::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0;
+}
+
+std::size_t ReportQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+}  // namespace sybiltd::pipeline

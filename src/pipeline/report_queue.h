@@ -1,0 +1,84 @@
+// Bounded MPMC report queue — the ingestion edge of the streaming pipeline.
+//
+// A real MCS platform receives sensing reports from millions of account
+// sessions concurrently; the aggregation side must be able to push back
+// when it falls behind instead of growing without bound.  ReportQueue is a
+// fixed-capacity ring buffer with three producer-side backpressure
+// policies:
+//
+//   kBlock      — wait until space frees up (lossless; producers slow down
+//                 to the consumer's pace),
+//   kDropNewest — discard the incoming report when full (lossy but
+//                 non-blocking; the engine counts every drop),
+//   kReject     — return kRejected when full so the caller can retry later
+//                 or shed load upstream (non-blocking, caller-visible).
+//
+// All operations are linearizable under one internal mutex; consumers can
+// pop single reports or micro-batches (pop_batch), which is how the
+// pipeline workers amortize per-batch regrouping and refinement.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace sybiltd::pipeline {
+
+// One sensing report as it enters the platform.  Campaign, account and task
+// are dense indices; the account universe of a campaign grows as new
+// accounts appear in the stream.
+struct Report {
+  std::size_t campaign = 0;
+  std::size_t account = 0;
+  std::size_t task = 0;
+  double value = 0.0;
+  double timestamp_hours = 0.0;
+};
+
+enum class BackpressurePolicy { kBlock, kDropNewest, kReject };
+
+enum class PushResult { kOk, kDropped, kRejected, kClosed };
+
+class ReportQueue {
+ public:
+  explicit ReportQueue(std::size_t capacity);
+
+  ReportQueue(const ReportQueue&) = delete;
+  ReportQueue& operator=(const ReportQueue&) = delete;
+
+  // Enqueue one report under the given policy.  Returns kClosed once the
+  // queue has been closed (also wakes blocked producers).
+  PushResult push(const Report& report, BackpressurePolicy policy);
+
+  // Blocking single pop; returns false when the queue is closed and empty.
+  bool pop(Report& out);
+
+  // Pop up to `max` reports, appending to `out`.  Blocks up to `wait` for
+  // the first report, then takes everything immediately available.  Returns
+  // the number popped: 0 on timeout or when closed and empty.
+  std::size_t pop_batch(std::vector<Report>& out, std::size_t max,
+                        std::chrono::milliseconds wait);
+
+  // Close the queue: producers get kClosed, consumers drain the remaining
+  // reports and then see pop() == false / pop_batch() == 0.
+  void close();
+
+  bool closed() const;
+  bool empty() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<Report> ring_;
+  std::size_t head_ = 0;   // index of the oldest report
+  std::size_t count_ = 0;  // live reports in the ring
+  bool closed_ = false;
+};
+
+}  // namespace sybiltd::pipeline

@@ -1,0 +1,350 @@
+#include "pipeline/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/error.h"
+#include "core/ag_ts.h"
+#include "core/data_grouping.h"
+#include "graph/union_find.h"
+
+namespace sybiltd::pipeline {
+
+using truth::nan_value;
+
+// --- CampaignState ---------------------------------------------------------
+
+CampaignState::CampaignState(std::size_t campaign, std::size_t task_count,
+                             const ShardOptions* options, SnapshotCell* cell,
+                             ShardCounters* counters)
+    : campaign_(campaign),
+      task_count_(task_count),
+      options_(options),
+      cell_(cell),
+      counters_(counters),
+      truths_(task_count, nan_value()) {
+  SYBILTD_CHECK(task_count_ > 0, "campaign needs at least one task");
+  // Version-0 snapshot so readers never observe a null cell.
+  auto snapshot = std::make_shared<CampaignSnapshot>();
+  snapshot->campaign = campaign_;
+  snapshot->truths = truths_;
+  cell_->publish(std::move(snapshot));
+}
+
+std::uint32_t& CampaignState::pair_both(std::size_t i, std::size_t j) {
+  return i > j ? both_[i][j] : both_[j][i];
+}
+
+std::uint32_t& CampaignState::pair_alone(std::size_t i, std::size_t j) {
+  return i > j ? alone_[i][j] : alone_[j][i];
+}
+
+void CampaignState::ensure_account(std::size_t account) {
+  while (observations_.size() <= account) {
+    const std::size_t n = observations_.size();
+    observations_.emplace_back();
+    has_task_.emplace_back(task_count_, false);
+    // A fresh account's task set is empty: T_ij = 0 and L_ij = |T_j| for
+    // every existing account j.
+    both_.emplace_back(n, 0u);
+    std::vector<std::uint32_t> alone_row(n);
+    for (std::size_t j = 0; j < n; ++j) alone_row[j] = tasks_of_account_[j];
+    alone_.push_back(std::move(alone_row));
+    tasks_of_account_.push_back(0);
+    grouping_dirty_ = true;  // a new singleton changes the partition
+  }
+}
+
+void CampaignState::add_membership(std::size_t account, std::size_t task) {
+  has_task_[account][task] = true;
+  ++tasks_of_account_[account];
+  const std::size_t n = observations_.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == account) continue;
+    if (has_task_[j][task]) {
+      // The task moves from j's side of the symmetric difference into the
+      // intersection.
+      ++pair_both(account, j);
+      --pair_alone(account, j);
+    } else {
+      ++pair_alone(account, j);
+    }
+  }
+  grouping_dirty_ = true;
+}
+
+void CampaignState::remove_membership(std::size_t account, std::size_t task) {
+  has_task_[account][task] = false;
+  --tasks_of_account_[account];
+  const std::size_t n = observations_.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == account) continue;
+    if (has_task_[j][task]) {
+      --pair_both(account, j);
+      ++pair_alone(account, j);
+    } else {
+      --pair_alone(account, j);
+    }
+  }
+  grouping_dirty_ = true;
+}
+
+void CampaignState::apply(const Report& report) {
+  SYBILTD_ASSERT(report.campaign == campaign_ && report.task < task_count_);
+  ensure_account(report.account);
+  ++step_;
+  ++applied_;
+  auto& row = observations_[report.account];
+  auto it = std::lower_bound(
+      row.begin(), row.end(), report.task,
+      [](const Slot& slot, std::size_t task) { return slot.task < task; });
+  if (it != row.end() && it->task == report.task) {
+    // Re-submission: last write wins, influence age resets.
+    it->value = report.value;
+    it->timestamp_hours = report.timestamp_hours;
+    it->born = step_;
+  } else {
+    row.insert(it, Slot{report.task, report.value, report.timestamp_hours,
+                        step_});
+    ++live_;
+    add_membership(report.account, report.task);
+  }
+}
+
+void CampaignState::evict_stale() {
+  if (options_->decay >= 1.0) return;
+  const std::size_t n = observations_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& row = observations_[i];
+    for (auto it = row.begin(); it != row.end();) {
+      const double age = static_cast<double>(step_ - it->born);
+      if (std::pow(options_->decay, age) < options_->influence_floor) {
+        remove_membership(i, it->task);
+        it = row.erase(it);
+        --live_;
+        counters_->evictions.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+const core::AccountGrouping& CampaignState::grouping() {
+  if (!grouping_dirty_) return grouping_;
+  const std::size_t n = observations_.size();
+  if (n == 0) {
+    grouping_ = core::AccountGrouping::singletons(0);
+  } else {
+    graph::UnionFind components(n);
+    for (std::size_t i = 1; i < n; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        if (core::AgTs::affinity(both_[i][j], alone_[i][j], task_count_) >
+            options_->rho) {
+          components.unite(i, j);
+        }
+      }
+    }
+    grouping_ = core::AccountGrouping::from_labels(components.labels());
+  }
+  grouping_dirty_ = false;
+  counters_->regroups.fetch_add(1, std::memory_order_relaxed);
+  return grouping_;
+}
+
+std::vector<std::vector<double>> CampaignState::affinity_matrix() const {
+  const std::size_t n = observations_.size();
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double a =
+          core::AgTs::affinity(both_[i][j], alone_[i][j], task_count_);
+      matrix[i][j] = a;
+      matrix[j][i] = a;
+    }
+  }
+  return matrix;
+}
+
+core::FrameworkInput CampaignState::as_framework_input() const {
+  core::FrameworkInput view;
+  view.task_count = task_count_;
+  view.accounts.resize(observations_.size());
+  for (std::size_t i = 0; i < observations_.size(); ++i) {
+    auto& reports = view.accounts[i].reports;
+    reports.reserve(observations_[i].size());
+    for (const Slot& slot : observations_[i]) {
+      reports.push_back({slot.task, slot.value, slot.timestamp_hours});
+    }
+  }
+  return view;
+}
+
+void CampaignState::refine_and_publish(bool to_convergence) {
+  const core::AccountGrouping& current = grouping();
+  const core::FrameworkInput view = as_framework_input();
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  if (to_convergence) {
+    // The drain path *is* the batch path: identical grouped data through
+    // identical code, so a drained campaign equals core::run_framework.
+    core::FrameworkResult result =
+        core::run_framework(view, current, options_->framework);
+    truths_ = std::move(result.truths);
+    group_weights_ = std::move(result.group_weights);
+    iterations = result.iterations;
+    converged = result.converged;
+  } else {
+    const core::GroupedData grouped =
+        core::group_data(view, current, options_->framework.data_grouping);
+    const std::vector<double> norm =
+        core::framework_task_normalizers(grouped, task_count_);
+    const std::vector<double> init = core::framework_initial_truths(
+        grouped, task_count_, options_->framework.init_with_eq5);
+    // Warm start: keep converged truths, seed newly-covered tasks with the
+    // Eq. (5) initializer.
+    for (std::size_t j = 0; j < task_count_; ++j) {
+      if (std::isnan(truths_[j])) truths_[j] = init[j];
+    }
+    for (std::size_t k = 0; k < options_->refine_iterations; ++k) {
+      ++iterations;
+      const double delta = core::framework_iterate_once(
+          grouped, norm, options_->framework.loss_epsilon, truths_,
+          group_weights_);
+      if (delta < options_->framework.convergence.truth_tolerance) {
+        converged = true;
+        break;
+      }
+    }
+  }
+
+  auto snapshot = std::make_shared<CampaignSnapshot>();
+  snapshot->campaign = campaign_;
+  snapshot->version = ++version_;
+  snapshot->truths = truths_;
+  snapshot->group_weights = group_weights_;
+  snapshot->group_of = current.labels();
+  snapshot->group_count = current.group_count();
+  snapshot->live_observations = live_;
+  snapshot->applied_reports = applied_;
+  snapshot->iterations = iterations;
+  snapshot->converged = converged;
+  cell_->publish(std::move(snapshot));
+  counters_->publications.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- Shard -----------------------------------------------------------------
+
+Shard::Shard(const ShardOptions& options, std::size_t queue_capacity,
+             std::size_t max_batch)
+    : options_(options), max_batch_(max_batch), queue_(queue_capacity) {
+  SYBILTD_CHECK(options_.decay > 0.0 && options_.decay <= 1.0,
+                "decay must be in (0, 1]");
+  SYBILTD_CHECK(options_.influence_floor > 0.0,
+                "influence floor must be positive");
+  SYBILTD_CHECK(options_.refine_iterations >= 1,
+                "need at least one refinement iteration per micro-batch");
+  SYBILTD_CHECK(max_batch_ >= 1, "micro-batch size must be positive");
+}
+
+void Shard::add_campaign(std::size_t campaign, std::size_t task_count,
+                         SnapshotCell* cell) {
+  const bool inserted =
+      states_
+          .try_emplace(campaign, campaign, task_count, &options_, cell,
+                       &counters_)
+          .second;
+  SYBILTD_CHECK(inserted, "campaign already registered with this shard");
+}
+
+const CampaignState* Shard::campaign_state(std::size_t campaign) const {
+  const auto it = states_.find(campaign);
+  return it == states_.end() ? nullptr : &it->second;
+}
+
+void Shard::process_batch(const std::vector<Report>& batch) {
+  // Apply everything first, then evict/refine/publish once per touched
+  // campaign — the micro-batch amortizes regrouping and iteration cost.
+  std::vector<CampaignState*> touched;
+  for (const Report& report : batch) {
+    const auto it = states_.find(report.campaign);
+    SYBILTD_ASSERT(it != states_.end());
+    CampaignState& state = it->second;
+    state.apply(report);
+    if (!state.touched_) {
+      state.touched_ = true;
+      touched.push_back(&state);
+    }
+  }
+  for (CampaignState* state : touched) {
+    state->touched_ = false;
+    state->evict_stale();
+    state->refine_and_publish(false);
+  }
+  counters_.applied.fetch_add(batch.size(), std::memory_order_relaxed);
+  counters_.batches.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Shard::finalize_all() {
+  for (auto& [campaign, state] : states_) {
+    (void)campaign;
+    state.refine_and_publish(true);
+  }
+}
+
+std::uint64_t Shard::request_finalize() {
+  return finalize_requested_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+void Shard::wait_finalized(std::uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(finalize_mutex_);
+  finalize_cv_.wait(lock, [&] {
+    return finalize_done_.load(std::memory_order_acquire) >= ticket;
+  });
+}
+
+void Shard::run() {
+  constexpr std::chrono::milliseconds kIdlePoll{2};
+  std::vector<Report> batch;
+  batch.reserve(max_batch_);
+  for (;;) {
+    batch.clear();
+    if (queue_.pop_batch(batch, max_batch_, kIdlePoll) > 0) {
+      process_batch(batch);
+      continue;
+    }
+    // Idle tick: honor a pending drain barrier, but only once the queue is
+    // verifiably empty (the acquire load orders the emptiness check after
+    // every push that preceded the finalize request).
+    const std::uint64_t requested =
+        finalize_requested_.load(std::memory_order_acquire);
+    if (finalize_done_.load(std::memory_order_relaxed) < requested) {
+      if (!queue_.empty()) continue;
+      finalize_all();
+      finalize_done_.store(requested, std::memory_order_release);
+      {
+        // Empty critical section: pairs with the waiter's predicate check
+        // so the notify cannot be lost.
+        std::lock_guard<std::mutex> lock(finalize_mutex_);
+      }
+      finalize_cv_.notify_all();
+      continue;
+    }
+    if (queue_.closed() && queue_.empty()) break;
+  }
+  // Safety net: never strand a drain that raced with shutdown.
+  const std::uint64_t requested =
+      finalize_requested_.load(std::memory_order_acquire);
+  if (finalize_done_.load(std::memory_order_relaxed) < requested) {
+    finalize_all();
+    finalize_done_.store(requested, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(finalize_mutex_);
+    }
+    finalize_cv_.notify_all();
+  }
+}
+
+}  // namespace sybiltd::pipeline

@@ -1,0 +1,206 @@
+// Pipeline shard: thread-confined incremental state for a subset of
+// campaigns, plus the worker loop that consumes the shard's report queue.
+//
+// Each shard owns the campaigns the engine routed to it.  Per campaign it
+// keeps an incremental mirror of exactly the state the batch framework
+// derives from scratch:
+//
+//   * an observation store (per account, sorted by task; last write wins,
+//     so re-submissions update in place as the paper's one-report-per-task
+//     rule implies),
+//   * AG-TS pair statistics — for every account pair the counts T_ij
+//     (tasks both did) and L_ij (tasks either did alone) that Eq. (6)
+//     combines into the affinity.  Applying a report touches one row of
+//     those counts (O(accounts)) instead of recomputing the O(n²·m)
+//     matrix,
+//   * the connected-component grouping over the affinity > rho graph,
+//     rebuilt lazily (union-find over the pair counts) only when some
+//     report changed a task-set membership,
+//   * warm CRH truth state at the group granularity, refined a few
+//     iterations per micro-batch the way truth::OnlineCrh refines per
+//     observation.
+//
+// Forgetting follows OnlineCrh semantics lifted to the grouped setting:
+// each observation records its arrival step; once its influence
+// decay^age falls below influence_floor it is evicted, which updates the
+// pair counts and (possibly) splits groups.  With decay = 1 nothing is
+// ever forgotten and a drained shard reproduces the batch
+// core::run_framework output exactly (tested to 1e-9).
+//
+// Threading contract: all CampaignState mutation happens on the shard's
+// worker thread; readers see results only through the published
+// SnapshotCell.  The finalize handshake (request_finalize/wait_finalized)
+// is how the engine's drain() barrier asks the worker to run every owned
+// campaign to full convergence once its queue is empty.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/grouping.h"
+#include "pipeline/report_queue.h"
+#include "pipeline/snapshot.h"
+
+namespace sybiltd::pipeline {
+
+struct ShardOptions {
+  // AG-TS edge threshold rho (Eq. 6): accounts with affinity > rho share a
+  // group.
+  double rho = 1.0;
+  // Influence decay per arrival step within a campaign; 1 = never forget.
+  double decay = 1.0;
+  // Observations whose decayed influence drops below this are evicted.
+  double influence_floor = 1e-4;
+  // Warm-started CRH iterations per micro-batch (drain() always runs to
+  // convergence instead).
+  std::size_t refine_iterations = 2;
+  // Eq. 3/4 aggregation and convergence configuration shared with the
+  // batch framework.
+  core::FrameworkOptions framework;
+};
+
+// Monotonic work counters, aggregated across a shard's campaigns.  Atomics
+// so the engine can sum them while workers run.
+struct ShardCounters {
+  std::atomic<std::uint64_t> applied{0};       // reports applied to states
+  std::atomic<std::uint64_t> batches{0};       // micro-batches processed
+  std::atomic<std::uint64_t> regroups{0};      // grouping rebuilds
+  std::atomic<std::uint64_t> evictions{0};     // decayed-out observations
+  std::atomic<std::uint64_t> publications{0};  // snapshots published
+};
+
+// Incremental per-campaign state.  Single-writer: only the owning shard's
+// worker thread calls the mutating members.
+class CampaignState {
+ public:
+  CampaignState(std::size_t campaign, std::size_t task_count,
+                const ShardOptions* options, SnapshotCell* cell,
+                ShardCounters* counters);
+
+  std::size_t campaign() const { return campaign_; }
+  std::size_t task_count() const { return task_count_; }
+  std::size_t account_count() const { return observations_.size(); }
+  std::size_t live_observations() const { return live_; }
+  std::uint64_t applied_reports() const { return applied_; }
+
+  // Upsert one report: new (account, task) memberships update the AG-TS
+  // pair counts incrementally and dirty the grouping; repeat reports only
+  // refresh value and age.
+  void apply(const Report& report);
+
+  // Drop observations whose influence decayed below the floor (no-op when
+  // decay = 1).  Membership removals dirty the grouping.
+  void evict_stale();
+
+  // Current grouping; rebuilt from the pair counts when dirty.
+  const core::AccountGrouping& grouping();
+
+  // Refine the warm truth state (a few iterations, or to convergence via
+  // the batch run_framework path) and publish a fresh snapshot.
+  void refine_and_publish(bool to_convergence);
+
+  // The full Eq. (6) affinity matrix from the incremental pair counts;
+  // matches core::AgTs::affinity_matrix on the same data (tested).
+  std::vector<std::vector<double>> affinity_matrix() const;
+
+  // Reconstruct the batch-framework view of the live observations.
+  core::FrameworkInput as_framework_input() const;
+
+ private:
+  struct Slot {
+    std::size_t task = 0;
+    double value = 0.0;
+    double timestamp_hours = 0.0;
+    std::uint64_t born = 0;  // arrival step, for decay
+  };
+
+  void ensure_account(std::size_t account);
+  void add_membership(std::size_t account, std::size_t task);
+  void remove_membership(std::size_t account, std::size_t task);
+  std::uint32_t& pair_both(std::size_t i, std::size_t j);
+  std::uint32_t& pair_alone(std::size_t i, std::size_t j);
+
+  std::size_t campaign_;
+  std::size_t task_count_;
+  const ShardOptions* options_;
+  SnapshotCell* cell_;
+  ShardCounters* counters_;
+
+  // Per-account observations sorted by task (at most one slot per task).
+  std::vector<std::vector<Slot>> observations_;
+  // Per-account task membership bitmap and |T_i| counts.
+  std::vector<std::vector<bool>> has_task_;
+  std::vector<std::uint32_t> tasks_of_account_;
+  // Lower-triangular pair counts: row i holds entries for j < i.
+  std::vector<std::vector<std::uint32_t>> both_;
+  std::vector<std::vector<std::uint32_t>> alone_;
+
+  core::AccountGrouping grouping_;
+  bool grouping_dirty_ = false;
+
+  std::vector<double> truths_;         // warm CRH state, per task
+  std::vector<double> group_weights_;  // last iterated weights, per group
+
+  std::uint64_t step_ = 0;     // arrivals, ages decay
+  std::uint64_t applied_ = 0;  // reports applied (including upserts)
+  std::uint64_t version_ = 0;  // snapshot publications
+  std::size_t live_ = 0;       // distinct (account, task) pairs held
+  // Marker used by the worker to dedupe touched campaigns per micro-batch.
+  bool touched_ = false;
+
+  friend class Shard;
+};
+
+class Shard {
+ public:
+  Shard(const ShardOptions& options, std::size_t queue_capacity,
+        std::size_t max_batch);
+
+  // Register an owned campaign.  Must happen before run() starts; publishes
+  // the version-0 empty snapshot so readers never observe a null cell.
+  void add_campaign(std::size_t campaign, std::size_t task_count,
+                    SnapshotCell* cell);
+
+  ReportQueue& queue() { return queue_; }
+  const ShardCounters& counters() const { return counters_; }
+
+  // Worker loop: micro-batch the queue, apply/evict/refine/publish, honor
+  // finalize requests, return when the queue is closed and drained.
+  void run();
+
+  // Drain barrier: ask the worker to run every owned campaign to full
+  // convergence once its queue is empty.  Returns a ticket for
+  // wait_finalized.  Callers must not submit concurrently with a drain
+  // they expect to cover those reports.
+  std::uint64_t request_finalize();
+  void wait_finalized(std::uint64_t ticket);
+
+  // Test/diagnostic access to a campaign's state.  Only safe when the
+  // worker is not running (before start or after the engine stopped, whose
+  // join provides the happens-before edge).
+  const CampaignState* campaign_state(std::size_t campaign) const;
+
+ private:
+  void process_batch(const std::vector<Report>& batch);
+  void finalize_all();
+
+  ShardOptions options_;
+  std::size_t max_batch_;
+  ReportQueue queue_;
+  std::unordered_map<std::size_t, CampaignState> states_;
+  ShardCounters counters_;
+
+  std::atomic<std::uint64_t> finalize_requested_{0};
+  std::atomic<std::uint64_t> finalize_done_{0};
+  std::mutex finalize_mutex_;
+  std::condition_variable finalize_cv_;
+};
+
+}  // namespace sybiltd::pipeline

@@ -1,0 +1,59 @@
+// Snapshot publication: how readers see the stream's current truth state.
+//
+// Each campaign has one SnapshotCell.  The owning worker thread builds a
+// fresh immutable CampaignSnapshot off to the side after every micro-batch
+// and publishes it with a single pointer swap (double-buffered in the
+// classic sense: while the new snapshot is under construction the previous
+// one stays fully readable).  Readers copy the shared_ptr under a mutex
+// held only for the pointer copy — never while a snapshot is built — and
+// hold their snapshot alive through the shared_ptr for as long as they
+// need, so there is no reclamation race when the writer publishes the next
+// version.  (std::atomic<std::shared_ptr> would make the swap lock-free,
+// but libstdc++'s lock-bit implementation is opaque to ThreadSanitizer;
+// a plain mutex keeps the concurrency story verifiable.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace sybiltd::pipeline {
+
+// An immutable view of one campaign's aggregation state at a publication
+// point.  Vector fields are indexed like the batch FrameworkResult: truths
+// per task, group_weights per group, group_of per account.
+struct CampaignSnapshot {
+  std::size_t campaign = 0;
+  // Publication sequence number for this campaign (0 = pre-data snapshot).
+  std::uint64_t version = 0;
+  std::vector<double> truths;          // per task; NaN where no live data
+  std::vector<double> group_weights;   // per group, final iterated weights
+  std::vector<std::size_t> group_of;   // per account: its group index
+  std::size_t group_count = 0;
+  std::size_t live_observations = 0;   // distinct (account, task) pairs held
+  std::uint64_t applied_reports = 0;   // reports applied since campaign start
+  std::size_t iterations = 0;          // CRH iterations in the last refine
+  // True when the last refine ran to convergence (always after drain()).
+  bool converged = false;
+};
+
+class SnapshotCell {
+ public:
+  std::shared_ptr<const CampaignSnapshot> read() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cell_;
+  }
+
+  void publish(std::shared_ptr<const CampaignSnapshot> snapshot) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cell_ = std::move(snapshot);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const CampaignSnapshot> cell_;
+};
+
+}  // namespace sybiltd::pipeline

@@ -1,6 +1,7 @@
 // Tests for online (incremental) CRH.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
@@ -84,6 +85,61 @@ TEST(OnlineCrh, DecayEvictsStaleObservations) {
   }
   // 0.5^k < 1e-3 for k > 10, so at most ~11 observations stay live.
   EXPECT_LE(online.live_observation_count(), 12u);
+}
+
+TEST(OnlineCrh, InfluenceFloorDropsOldObservationsAndTracksRegimeChange) {
+  // With decay = 0.9 and floor = 1e-4 an observation's influence falls
+  // below the floor after ceil(ln(1e-4)/ln(0.9)) = 88 observe-steps, so at
+  // most 88 observations can ever be live — and a level shift older than
+  // the horizon must stop influencing the estimate entirely.
+  OnlineCrhOptions opt;
+  opt.decay = 0.9;
+  opt.influence_floor = 1e-4;
+  OnlineCrh online(4, 2, opt);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    online.observe(static_cast<std::size_t>(i % 4),
+                   static_cast<std::size_t>(i % 2),
+                   -80.0 + rng.normal(0.0, 0.5));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    online.observe(static_cast<std::size_t>(i % 4),
+                   static_cast<std::size_t>(i % 2),
+                   -50.0 + rng.normal(0.0, 0.5));
+  }
+  EXPECT_LE(online.live_observation_count(), 88u);
+  online.refine(20);
+  // Every live observation post-dates the regime change; the old level
+  // cannot drag the estimate.
+  EXPECT_NEAR(online.truths()[0], -50.0, 1.0);
+  EXPECT_NEAR(online.truths()[1], -50.0, 1.0);
+}
+
+TEST(OnlineCrh, LiveObservationCountStaysBoundedUnderLongStream) {
+  // decay = 0.99, floor = 1e-3: horizon = ceil(ln(1e-3)/ln(0.99)) = 688
+  // steps.  Over a 10k-observation stream the live multiset must never
+  // exceed the horizon — the memory bound that makes unbounded streams
+  // safe to aggregate.
+  OnlineCrhOptions opt;
+  opt.decay = 0.99;
+  opt.influence_floor = 1e-3;
+  opt.refine_iterations = 1;  // keep the long stream cheap
+  OnlineCrh online(8, 4, opt);
+  Rng rng(10);
+  std::size_t max_live = 0;
+  for (int i = 0; i < 10000; ++i) {
+    online.observe(static_cast<std::size_t>(i % 8),
+                   static_cast<std::size_t>(i % 4),
+                   -70.0 + rng.normal(0.0, 2.0));
+    max_live = std::max(max_live, online.live_observation_count());
+  }
+  EXPECT_LE(max_live, 688u);
+  EXPECT_GT(online.live_observation_count(), 0u);
+  // The state still aggregates sensibly at the end of the stream.
+  online.refine(10);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(online.truths()[j], -70.0, 2.0);
+  }
 }
 
 TEST(OnlineCrh, DownweightsStreamingOutlierAccount) {

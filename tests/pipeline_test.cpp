@@ -1,0 +1,497 @@
+// Tests for the streaming ingestion pipeline: the bounded MPMC report
+// queue, the sharded campaign engine, and the equivalence of a drained
+// engine with the one-shot batch framework.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ag_ts.h"
+#include "core/framework.h"
+#include "pipeline/engine.h"
+#include "pipeline/report_queue.h"
+
+namespace sybiltd::pipeline {
+namespace {
+
+using std::chrono::milliseconds;
+
+// --- ReportQueue -----------------------------------------------------------
+
+TEST(ReportQueue, FifoOrderWithinCapacity) {
+  ReportQueue queue(8);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(queue.push({0, k, 0, double(k), 0.0},
+                         BackpressurePolicy::kBlock),
+              PushResult::kOk);
+  }
+  EXPECT_EQ(queue.size(), 5u);
+  Report out;
+  for (std::size_t k = 0; k < 5; ++k) {
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.account, k);
+    EXPECT_DOUBLE_EQ(out.value, double(k));
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(ReportQueue, DropAndRejectPoliciesWhenFull) {
+  ReportQueue queue(2);
+  EXPECT_EQ(queue.push({}, BackpressurePolicy::kBlock), PushResult::kOk);
+  EXPECT_EQ(queue.push({}, BackpressurePolicy::kBlock), PushResult::kOk);
+  EXPECT_EQ(queue.push({}, BackpressurePolicy::kDropNewest),
+            PushResult::kDropped);
+  EXPECT_EQ(queue.push({}, BackpressurePolicy::kReject),
+            PushResult::kRejected);
+  EXPECT_EQ(queue.size(), 2u);  // the full ring was untouched
+}
+
+TEST(ReportQueue, BlockingPushWaitsForSpace) {
+  ReportQueue queue(2);
+  queue.push({0, 0, 0, 0.0, 0.0}, BackpressurePolicy::kBlock);
+  queue.push({0, 1, 0, 0.0, 0.0}, BackpressurePolicy::kBlock);
+  std::thread producer([&] {
+    EXPECT_EQ(queue.push({0, 2, 0, 0.0, 0.0}, BackpressurePolicy::kBlock),
+              PushResult::kOk);
+  });
+  Report out;
+  ASSERT_TRUE(queue.pop(out));  // frees the slot the producer is waiting on
+  producer.join();
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(ReportQueue, CloseUnblocksProducersAndConsumers) {
+  ReportQueue queue(1);
+  queue.push({}, BackpressurePolicy::kBlock);
+  std::thread producer([&] {
+    // Blocks on the full ring (no consumer is draining) until close()
+    // fails the push from underneath.
+    EXPECT_EQ(queue.push({}, BackpressurePolicy::kBlock), PushResult::kClosed);
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  queue.close();
+  producer.join();
+
+  // The pre-close item is still delivered; afterwards pop() reports
+  // closed-and-drained and further pushes fail immediately.
+  std::thread consumer([&] {
+    Report out;
+    std::size_t drained = 0;
+    while (queue.pop(out)) ++drained;
+    EXPECT_EQ(drained, 1u);
+  });
+  consumer.join();
+  EXPECT_EQ(queue.push({}, BackpressurePolicy::kBlock), PushResult::kClosed);
+}
+
+TEST(ReportQueue, MultiProducerMultiConsumerLosesNothing) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 5000;
+  ReportQueue queue(64);
+  std::atomic<std::uint64_t> consumed{0};
+  std::atomic<std::uint64_t> value_sum{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<Report> batch;
+      for (;;) {
+        batch.clear();
+        if (queue.pop_batch(batch, 128, milliseconds(50)) == 0) {
+          if (queue.closed() && queue.empty()) return;
+          continue;
+        }
+        for (const Report& r : batch) {
+          value_sum.fetch_add(r.account, std::memory_order_relaxed);
+        }
+        consumed.fetch_add(batch.size(), std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t k = 0; k < kPerProducer; ++k) {
+        const std::size_t tag = p * kPerProducer + k;
+        ASSERT_EQ(queue.push({0, tag, 0, 0.0, 0.0},
+                             BackpressurePolicy::kBlock),
+                  PushResult::kOk);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.close();
+  for (auto& t : consumers) t.join();
+  const std::uint64_t total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), total);
+  // Sum of all tags: every report arrived exactly once.
+  EXPECT_EQ(value_sum.load(), total * (total - 1) / 2);
+}
+
+// --- Engine helpers --------------------------------------------------------
+
+// A campaign whose accounts form clone blocks: account a performs the
+// contiguous task block (a % blocks), so same-block accounts share their
+// whole task set (grouped by AG-TS) and distinct blocks never connect.
+std::vector<Report> block_campaign_reports(std::size_t campaign,
+                                           std::size_t accounts,
+                                           std::size_t tasks,
+                                           std::size_t blocks, Rng& rng) {
+  const std::size_t span = tasks / blocks;
+  std::vector<Report> reports;
+  reports.reserve(accounts * span);
+  for (std::size_t a = 0; a < accounts; ++a) {
+    const std::size_t base = (a % blocks) * span;
+    for (std::size_t t = base; t < base + span; ++t) {
+      reports.push_back({campaign, a, t, rng.uniform(-90.0, -50.0), 0.0});
+    }
+  }
+  return reports;
+}
+
+void run_producers(CampaignEngine& engine, const std::vector<Report>& reports,
+                   std::size_t producer_count) {
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < producer_count; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t k = p; k < reports.size(); k += producer_count) {
+        ASSERT_EQ(engine.submit(reports[k]), PushResult::kOk);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+}
+
+// --- Engine: lossless multi-producer ingest (acceptance a) -----------------
+
+TEST(CampaignEngine, MultiProducerIngestLosesNothing) {
+  constexpr std::size_t kCampaigns = 4;
+  constexpr std::size_t kAccounts = 500;
+  constexpr std::size_t kTasks = 200;
+  constexpr std::size_t kBlocks = 4;
+  constexpr std::size_t kProducers = 4;
+
+  EngineOptions options;
+  options.shard_count = 4;
+  options.queue_capacity = 4096;
+  options.max_batch = 512;
+  CampaignEngine engine(options);
+  for (std::size_t c = 0; c < kCampaigns; ++c) {
+    ASSERT_EQ(engine.add_campaign(kTasks), c);
+  }
+  engine.start();
+
+  Rng rng(11);
+  std::vector<Report> reports;
+  for (std::size_t c = 0; c < kCampaigns; ++c) {
+    auto campaign_reports =
+        block_campaign_reports(c, kAccounts, kTasks, kBlocks, rng);
+    reports.insert(reports.end(), campaign_reports.begin(),
+                   campaign_reports.end());
+  }
+  ASSERT_GE(reports.size(), 100000u);
+  std::shuffle(reports.begin(), reports.end(), rng);
+
+  run_producers(engine, reports, kProducers);
+  engine.drain();
+
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.submitted, reports.size());
+  EXPECT_EQ(counters.accepted, reports.size());
+  EXPECT_EQ(counters.applied, reports.size());
+  EXPECT_EQ(counters.dropped, 0u);
+  EXPECT_EQ(counters.rejected, 0u);
+  EXPECT_GT(counters.batches, 0u);
+
+  const std::size_t per_campaign = kAccounts * (kTasks / kBlocks);
+  std::size_t live_total = 0;
+  for (std::size_t c = 0; c < kCampaigns; ++c) {
+    const auto snap = engine.snapshot(c);
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->applied_reports, per_campaign);
+    EXPECT_EQ(snap->live_observations, per_campaign);
+    EXPECT_EQ(snap->group_of.size(), kAccounts);
+    EXPECT_EQ(snap->group_count, kBlocks);  // clone blocks found by AG-TS
+    EXPECT_TRUE(snap->converged);
+    live_total += snap->live_observations;
+  }
+  // Zero lost, zero duplicated: every accepted report is live exactly once.
+  EXPECT_EQ(live_total, reports.size());
+  engine.stop();
+}
+
+// --- Engine: drained state equals the batch framework (acceptance b) -------
+
+TEST(CampaignEngine, DrainMatchesBatchFramework) {
+  constexpr std::size_t kTasks = 12;
+  Rng rng(23);
+
+  // Ground-truth-ish task values plus two Sybil clone sets and legit users
+  // with small distinct task subsets.
+  std::vector<double> truth(kTasks);
+  for (auto& t : truth) t = rng.uniform(-90.0, -50.0);
+
+  core::FrameworkInput input;
+  input.task_count = kTasks;
+  auto add_account = [&](const std::vector<std::size_t>& tasks, double base,
+                         double sigma) {
+    core::AccountTrace trace;
+    std::vector<std::size_t> sorted = tasks;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t t : sorted) {
+      const double value =
+          (base == 0.0 ? truth[t] : base) + rng.normal(0.0, sigma);
+      trace.reports.push_back({t, value, 0.0});
+    }
+    input.accounts.push_back(std::move(trace));
+  };
+  // Sybil set 1: 3 clones over tasks 0..7 pushing -50.
+  for (int s = 0; s < 3; ++s) {
+    add_account({0, 1, 2, 3, 4, 5, 6, 7}, -50.0, 0.2);
+  }
+  // Sybil set 2: 2 clones over tasks 4..11 pushing -55.
+  for (int s = 0; s < 2; ++s) {
+    add_account({4, 5, 6, 7, 8, 9, 10, 11}, -55.0, 0.2);
+  }
+  // 8 legit accounts, three tasks each, honest noisy values.
+  for (std::size_t u = 0; u < 8; ++u) {
+    add_account({u % kTasks, (u + 3) % kTasks, (u + 6) % kTasks}, 0.0, 2.0);
+  }
+
+  std::vector<Report> reports;
+  for (std::size_t a = 0; a < input.accounts.size(); ++a) {
+    for (const auto& r : input.accounts[a].reports) {
+      reports.push_back({0, a, r.task, r.value, r.timestamp_hours});
+    }
+  }
+  std::shuffle(reports.begin(), reports.end(), rng);
+
+  EngineOptions options;
+  options.shard_count = 2;
+  options.max_batch = 16;  // many micro-batches exercise the warm refine
+  CampaignEngine engine(options);
+  ASSERT_EQ(engine.add_campaign(kTasks), 0u);
+  engine.start();
+  run_producers(engine, reports, 3);
+  engine.drain();
+  const auto snap = engine.snapshot(0);
+  engine.stop();
+
+  const core::FrameworkOptions framework_options;  // engine default
+  const core::FrameworkResult batch = core::run_framework(
+      input, core::AgTs(core::AgTsOptions{1.0}), framework_options);
+
+  ASSERT_EQ(snap->truths.size(), batch.truths.size());
+  for (std::size_t j = 0; j < kTasks; ++j) {
+    ASSERT_FALSE(std::isnan(batch.truths[j]));
+    EXPECT_NEAR(snap->truths[j], batch.truths[j], 1e-9) << "task " << j;
+  }
+  EXPECT_TRUE(snap->converged);
+  EXPECT_EQ(snap->group_of, batch.grouping.labels());
+  ASSERT_EQ(snap->group_weights.size(), batch.group_weights.size());
+  for (std::size_t k = 0; k < batch.group_weights.size(); ++k) {
+    EXPECT_NEAR(snap->group_weights[k], batch.group_weights[k], 1e-9);
+  }
+
+  // The incrementally maintained pair counts reproduce the full Eq. (6)
+  // affinity matrix.
+  const CampaignState* state = engine.debug_state(0);
+  ASSERT_NE(state, nullptr);
+  const auto incremental = state->affinity_matrix();
+  const auto reference = core::AgTs::affinity_matrix(input);
+  ASSERT_EQ(incremental.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    for (std::size_t j = 0; j < reference.size(); ++j) {
+      EXPECT_DOUBLE_EQ(incremental[i][j], reference[i][j])
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+// --- Engine: snapshots stay fresh without drain ----------------------------
+
+TEST(CampaignEngine, SnapshotsAreFreshMidStream) {
+  EngineOptions options;
+  options.shard_count = 1;
+  options.max_batch = 8;
+  CampaignEngine engine(options);
+  engine.add_campaign(4);
+  engine.start();
+
+  const auto initial = engine.snapshot(0);
+  ASSERT_NE(initial, nullptr);
+  EXPECT_EQ(initial->version, 0u);
+  EXPECT_TRUE(std::isnan(initial->truths[0]));
+
+  Rng rng(5);
+  std::size_t submitted = 0;
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      engine.submit({0, a, t, -70.0 + rng.normal(0.0, 1.0), 0.0});
+      ++submitted;
+    }
+  }
+  // No drain: poll until the worker has caught up and published.
+  std::shared_ptr<const CampaignSnapshot> snap;
+  for (int tries = 0; tries < 1000; ++tries) {
+    snap = engine.snapshot(0);
+    if (snap->applied_reports == submitted) break;
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->applied_reports, submitted);
+  EXPECT_GT(snap->version, 0u);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_FALSE(std::isnan(snap->truths[t]));
+    EXPECT_NEAR(snap->truths[t], -70.0, 3.0);
+  }
+  engine.stop();
+}
+
+// --- Engine: decay evicts abandoned observations ---------------------------
+
+TEST(CampaignEngine, DecayEvictsAbandonedAccounts) {
+  EngineOptions options;
+  options.shard_count = 1;
+  options.shard.decay = 0.9;
+  options.shard.influence_floor = 1e-3;  // horizon ≈ 66 arrival steps
+  CampaignEngine engine(options);
+  engine.add_campaign(5);
+  engine.start();
+  // Ten accounts, each active for 100 consecutive arrivals then silent.
+  for (std::size_t r = 0; r < 1000; ++r) {
+    engine.submit({0, r / 100, r % 5, -70.0, 0.0});
+  }
+  engine.drain();
+  const auto snap = engine.snapshot(0);
+  // Only the last account's five observations are inside the horizon.
+  EXPECT_EQ(snap->live_observations, 5u);
+  EXPECT_EQ(snap->group_of.size(), 10u);  // accounts stay known
+  EXPECT_EQ(engine.counters().evictions, 45u);  // 9 silent accounts × 5 tasks
+  engine.stop();
+}
+
+// --- Engine: argument validation -------------------------------------------
+
+TEST(CampaignEngine, ValidatesArguments) {
+  {
+    EngineOptions bad;
+    bad.shard_count = 0;
+    EXPECT_THROW(CampaignEngine{bad}, std::invalid_argument);
+  }
+  {
+    EngineOptions bad;
+    bad.shard.decay = 0.0;
+    EXPECT_THROW(CampaignEngine{bad}, std::invalid_argument);
+  }
+  CampaignEngine engine;
+  EXPECT_THROW(engine.add_campaign(0), std::invalid_argument);
+  engine.add_campaign(3);
+  EXPECT_THROW(engine.submit({0, 0, 0, -70.0, 0.0}),
+               std::invalid_argument);  // not started
+  engine.start();
+  EXPECT_THROW(engine.add_campaign(3), std::invalid_argument);
+  EXPECT_THROW(engine.submit({1, 0, 0, -70.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(engine.submit({0, 0, 3, -70.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(engine.submit({0, 0, 0, std::nan(""), 0.0}),
+               std::invalid_argument);
+  engine.stop();
+  EXPECT_THROW(engine.drain(), std::invalid_argument);
+}
+
+// --- Engine: concurrent producers + readers (the TSan stress target) -------
+
+TEST(CampaignEngine, StressConcurrentProducersAndReaders) {
+  constexpr std::size_t kCampaigns = 4;
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 5000;
+  EngineOptions options;
+  options.shard_count = 2;
+  options.queue_capacity = 256;
+  options.max_batch = 64;
+  CampaignEngine engine(options);
+  for (std::size_t c = 0; c < kCampaigns; ++c) engine.add_campaign(20);
+  engine.start();
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      double sink = 0.0;
+      std::uint64_t reads = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        for (std::size_t c = 0; c < kCampaigns; ++c) {
+          const auto snap = engine.snapshot(c);
+          for (double t : snap->truths) {
+            if (!std::isnan(t)) sink += t;
+          }
+          ++reads;
+        }
+      }
+      EXPECT_GT(reads, 0u);
+      (void)sink;
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(100 + p);
+      for (std::size_t k = 0; k < kPerProducer; ++k) {
+        // Random pairs: plenty of upserts exercising last-write-wins.
+        const Report report{rng.uniform_index(kCampaigns),
+                            rng.uniform_index(40), rng.uniform_index(20),
+                            rng.uniform(-90.0, -50.0), 0.0};
+        ASSERT_EQ(engine.submit(report), PushResult::kOk);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  engine.drain();
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.accepted, kProducers * kPerProducer);
+  EXPECT_EQ(counters.applied, counters.accepted);
+  std::size_t live = 0;
+  for (std::size_t c = 0; c < kCampaigns; ++c) {
+    live += engine.snapshot(c)->live_observations;
+  }
+  EXPECT_LE(live, kCampaigns * 40 * 20);  // distinct pairs only
+  EXPECT_GT(live, 0u);
+  engine.stop();
+}
+
+// --- Engine: repeated drains are supported ---------------------------------
+
+TEST(CampaignEngine, RepeatedDrainsSeeMonotoneState) {
+  EngineOptions options;
+  options.shard_count = 1;
+  CampaignEngine engine(options);
+  engine.add_campaign(3);
+  engine.start();
+  Rng rng(7);
+  std::uint64_t sent = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t a = 0; a < 4; ++a) {
+      for (std::size_t t = 0; t < 3; ++t) {
+        engine.submit({0, a, t, -60.0 + rng.normal(0.0, 1.0), 0.0});
+        ++sent;
+      }
+    }
+    engine.drain();
+    const auto snap = engine.snapshot(0);
+    EXPECT_EQ(snap->applied_reports, sent);
+    EXPECT_TRUE(snap->converged);
+  }
+  engine.stop();
+}
+
+}  // namespace
+}  // namespace sybiltd::pipeline
