@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/ag_fp.h"
 #include "core/ag_tr.h"
 #include "core/ag_ts.h"
@@ -186,6 +187,75 @@ void BM_FrameworkEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FrameworkEndToEnd);
+
+// --- Thread-pool scaling of the pairwise kernels ---------------------------
+// Arg(0) is the pool size; 1 takes the serial fallback.  A larger
+// behavioral-only scenario so the quadratic stage dominates the timer.
+// bench/parallel_scaling reports the same sweep as a speedup table plus a
+// determinism check.
+
+const mcs::ScenarioData& large_scenario() {
+  static const mcs::ScenarioData data = mcs::generate_scenario(
+      mcs::make_large_scenario(150, 10, 5, 40, 1234));
+  return data;
+}
+
+// Restores the SYBILTD_THREADS-configured pool when the sweep item ends,
+// so the non-parallel benchmarks above are unaffected by ordering.
+struct PoolSizeGuard {
+  explicit PoolSizeGuard(std::size_t threads) {
+    ThreadPool::set_global_concurrency(threads);
+  }
+  ~PoolSizeGuard() {
+    ThreadPool::set_global_concurrency(
+        ThreadPool::configured_concurrency());
+  }
+};
+
+void BM_AgTrThreads(benchmark::State& state) {
+  const auto input = eval::to_framework_input(large_scenario());
+  PoolSizeGuard guard(static_cast<std::size_t>(state.range(0)));
+  core::AgTrOptions opt;
+  opt.prune_with_lower_bound = true;
+  const core::AgTr grouper(opt);
+  core::AgTrStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grouper.group_with_stats(input, &stats));
+  }
+  state.counters["prune_rate"] =
+      stats.pairs > 0 ? static_cast<double>(stats.lb_pruned +
+                                            stats.task_abandoned) /
+                            static_cast<double>(stats.pairs)
+                      : 0.0;
+}
+BENCHMARK(BM_AgTrThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AgTsThreads(benchmark::State& state) {
+  const auto input = eval::to_framework_input(large_scenario());
+  PoolSizeGuard guard(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::AgTs().group(input));
+  }
+}
+BENCHMARK(BM_AgTsThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KMeansThreads(benchmark::State& state) {
+  Rng rng(12);
+  Matrix data(800, 20);
+  for (std::size_t r = 0; r < 800; ++r) {
+    for (std::size_t c = 0; c < 20; ++c) data(r, c) = rng.normal();
+  }
+  PoolSizeGuard guard(static_cast<std::size_t>(state.range(0)));
+  ml::KMeansOptions opt;
+  opt.restarts = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::kmeans(data, 8, opt));
+  }
+}
+BENCHMARK(BM_KMeansThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -4,8 +4,9 @@
 // hundreds.  AG-TR is O(pairs x DTW), so we measure wall time and grouping
 // agreement for three evaluation strategies as the account count grows:
 //   exact       — full DTW on every pair (the default)
-//   lb-pruned   — endpoint lower bound skips clearly-dissimilar pairs
-//                 (exact result by construction)
+//   lb-pruned   — endpoint + LB_Keogh-style envelope bounds skip
+//                 clearly-dissimilar pairs (exact result by construction;
+//                 see docs/PERFORMANCE.md)
 //   fastdtw     — approximate DTW per pair
 // Also reports the grouped framework's end-to-end latency.
 #include <chrono>
@@ -81,7 +82,7 @@ int main(int argc, char** argv) {
                    format_cell(framework_ms, 1)});
   }
   std::printf("%s", table.render().c_str());
-  std::printf("\nThe endpoint lower bound is exact (identical grouping) "
+  std::printf("\nThe lower-bound prefilter is exact (identical grouping) "
               "because pruning only\nskips pairs whose bound already "
               "proves D >= phi; FastDTW is approximate but\nits grouping "
               "should agree almost always (near-duplicate trajectories "

@@ -1,12 +1,60 @@
 #include "core/ag_tr.h"
 
+#include <atomic>
 #include <limits>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "dtw/fastdtw.h"
 #include "graph/graph.h"
 
 namespace sybiltd::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline double sq(double v) { return v * v; }
+
+// Whole-series min/max, cached per account so the degenerate LB_Keogh
+// envelope bound is one pass per pair instead of three.
+struct Envelope {
+  double lo = kInf;
+  double hi = -kInf;
+};
+
+Envelope envelope_of(const std::vector<double>& series) {
+  Envelope e;
+  for (double v : series) {
+    e.lo = std::min(e.lo, v);
+    e.hi = std::max(e.hi, v);
+  }
+  return e;
+}
+
+// LB_Keogh with the degenerate whole-series envelope: every warping path
+// aligns each element of `query` with *some* element of `candidate`, so
+// the squared distance to [lo, hi] can never be beaten.  Valid for any
+// pair of lengths and with or without a band, unlike the strict LB_Keogh.
+double envelope_bound(const std::vector<double>& query,
+                      const Envelope& candidate) {
+  double bound = 0.0;
+  for (double v : query) {
+    if (v > candidate.hi) {
+      bound += sq(v - candidate.hi);
+    } else if (v < candidate.lo) {
+      bound += sq(candidate.lo - v);
+    }
+  }
+  return bound;
+}
+
+// Row-major rank of the unordered pair (i, j), i < j, in [0, n*(n-1)/2).
+inline std::size_t pair_rank(std::size_t n, std::size_t i, std::size_t j) {
+  return i * n - i * (i + 1) / 2 + (j - i - 1);
+}
+
+}  // namespace
 
 std::vector<double> AgTr::task_series(const AccountTrace& account) {
   std::vector<double> series;
@@ -31,7 +79,7 @@ double AgTr::dtw_value(const std::vector<double>& a,
   if (a.empty() || b.empty()) {
     // An account with no reports has no trajectory; treat it as maximally
     // dissimilar so it always lands in its own group.
-    return std::numeric_limits<double>::infinity();
+    return kInf;
   }
   const dtw::DtwResult r = dtw::dtw_full(a, b, options_.dtw);
   return options_.mode == DtwMode::kTotalCost ? r.total_cost : r.distance;
@@ -50,47 +98,52 @@ AgTr::Matrices AgTr::dissimilarity_matrices(
     xs[i] = task_series(input.accounts[i]);
     ys[i] = timestamp_series(input.accounts[i]);
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double dx = dtw_value(xs[i], xs[j]);
-      const double dy = dtw_value(ys[i], ys[j]);
-      m.task_dtw[i][j] = m.task_dtw[j][i] = dx;
-      m.time_dtw[i][j] = m.time_dtw[j][i] = dy;
-      m.dissimilarity[i][j] = m.dissimilarity[j][i] = dx + dy;
-    }
-  }
+  // One DTW evaluation per unordered pair fills both triangles; each pair
+  // task owns its four mirror cells, so the parallel writes are disjoint.
+  parallel_pairwise(n, [&](std::size_t i, std::size_t j) {
+    const double dx = dtw_value(xs[i], xs[j]);
+    const double dy = dtw_value(ys[i], ys[j]);
+    m.task_dtw[i][j] = m.task_dtw[j][i] = dx;
+    m.time_dtw[i][j] = m.time_dtw[j][i] = dy;
+    m.dissimilarity[i][j] = m.dissimilarity[j][i] = dx + dy;
+  });
   return m;
 }
 
 AccountGrouping AgTr::group(const FrameworkInput& input) const {
+  return group_with_stats(input, nullptr);
+}
+
+AccountGrouping AgTr::group_with_stats(const FrameworkInput& input,
+                                       AgTrStats* stats) const {
   const std::size_t n = input.accounts.size();
-  if (n == 0) return AccountGrouping::singletons(0);
+  if (n == 0) {
+    if (stats != nullptr) *stats = AgTrStats{};
+    return AccountGrouping::singletons(0);
+  }
   const double phi = options_.phi;
 
-  if (!options_.prune_with_lower_bound && !options_.approximate) {
-    const Matrices m = dissimilarity_matrices(input);
-    const auto g = graph::threshold_graph(
-        m.dissimilarity, [phi](double d) { return d < phi; });
-    return AccountGrouping(g.connected_components(), n);
-  }
-
-  // Scalable path: only edges (D < phi) are needed, so pairs whose cheap
-  // lower bound already reaches phi never run the exact DP.  The endpoint
-  // bound is valid for the total-cost mode; for Eq. (7) mode we fall back
-  // to exact evaluation (the normalization breaks the bound).
+  // The lower bounds hold for the accumulated squared cost; Eq. (7)'s
+  // path-length normalization breaks them, so that mode runs unpruned.
   SYBILTD_CHECK(options_.mode == DtwMode::kTotalCost ||
                     !options_.prune_with_lower_bound,
                 "lower-bound pruning requires total-cost DTW mode");
+
   std::vector<std::vector<double>> xs(n), ys(n);
   for (std::size_t i = 0; i < n; ++i) {
     xs[i] = task_series(input.accounts[i]);
     ys[i] = timestamp_series(input.accounts[i]);
   }
+  std::vector<Envelope> xenv(n), yenv(n);
+  if (options_.prune_with_lower_bound) {
+    for (std::size_t i = 0; i < n; ++i) {
+      xenv[i] = envelope_of(xs[i]);
+      yenv[i] = envelope_of(ys[i]);
+    }
+  }
+
   auto pair_dtw = [&](const std::vector<double>& a,
                       const std::vector<double>& b) {
-    if (a.empty() || b.empty()) {
-      return std::numeric_limits<double>::infinity();
-    }
     if (options_.approximate) {
       const auto r = dtw::fast_dtw(a, b, options_.fast_dtw);
       return options_.mode == DtwMode::kTotalCost ? r.total_cost
@@ -98,21 +151,62 @@ AccountGrouping AgTr::group(const FrameworkInput& input) const {
     }
     return dtw_value(a, b);
   };
+  // Lower bound on one DTW term: endpoint alignment plus the tightest
+  // applicable LB_Keogh flavor.  The strict LB_Keogh needs equal lengths
+  // and bounds the band-constrained cost, so it only applies when a band
+  // is configured; the envelope bound applies always.
+  auto term_bound = [&](const std::vector<double>& a,
+                        const std::vector<double>& b, const Envelope& ea,
+                        const Envelope& eb) {
+    double bound = dtw::endpoint_lower_bound(a, b);
+    bound = std::max(bound, envelope_bound(a, eb));
+    bound = std::max(bound, envelope_bound(b, ea));
+    if (options_.dtw.band > 0 && a.size() == b.size()) {
+      bound = std::max(bound, dtw::lb_keogh(a, b, options_.dtw.band));
+      bound = std::max(bound, dtw::lb_keogh(b, a, options_.dtw.band));
+    }
+    return bound;
+  };
+
+  // One dissimilarity per unordered pair, written to a slot owned by the
+  // pair; kInf marks "no edge" (excluded, pruned, or >= phi).  The edge
+  // pass below is serial and in canonical order, so the graph — and the
+  // grouping — is identical at every thread count.
+  std::vector<double> dissim(ThreadPool::pair_count(n), kInf);
+  std::atomic<std::size_t> lb_pruned{0};
+  std::atomic<std::size_t> task_abandoned{0};
+  std::atomic<std::size_t> exact_pairs{0};
+  parallel_pairwise(n, [&](std::size_t i, std::size_t j) {
+    if (xs[i].empty() || xs[j].empty()) return;
+    if (options_.prune_with_lower_bound) {
+      const double bound = term_bound(xs[i], xs[j], xenv[i], xenv[j]) +
+                           term_bound(ys[i], ys[j], yenv[i], yenv[j]);
+      if (bound >= phi) {
+        lb_pruned.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    const double task_d = pair_dtw(xs[i], xs[j]);
+    if (task_d >= phi) {  // the time term can only add
+      task_abandoned.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    exact_pairs.fetch_add(1, std::memory_order_relaxed);
+    dissim[pair_rank(n, i, j)] = task_d + pair_dtw(ys[i], ys[j]);
+  });
 
   graph::UndirectedGraph g(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      if (xs[i].empty() || xs[j].empty()) continue;
-      if (options_.prune_with_lower_bound) {
-        const double bound = dtw::endpoint_lower_bound(xs[i], xs[j]) +
-                             dtw::endpoint_lower_bound(ys[i], ys[j]);
-        if (bound >= phi) continue;
-      }
-      const double task_d = pair_dtw(xs[i], xs[j]);
-      if (task_d >= phi) continue;  // the time term can only add
-      const double d = task_d + pair_dtw(ys[i], ys[j]);
+      const double d = dissim[pair_rank(n, i, j)];
       if (d < phi) g.add_edge(i, j, d);
     }
+  }
+  if (stats != nullptr) {
+    stats->pairs = ThreadPool::pair_count(n);
+    stats->lb_pruned = lb_pruned.load(std::memory_order_relaxed);
+    stats->task_abandoned = task_abandoned.load(std::memory_order_relaxed);
+    stats->exact_pairs = exact_pairs.load(std::memory_order_relaxed);
   }
   return AccountGrouping(g.connected_components(), n);
 }

@@ -33,12 +33,24 @@ struct AgTrOptions {
   dtw::DtwOptions dtw;  // optional Sakoe–Chiba band
   // Scalability knobs for large campaigns (group() only; the exposed
   // dissimilarity_matrices() always computes exact full matrices):
-  // skip the exact DTW for pairs whose endpoint lower bound already
-  // exceeds phi — exact pruning, identical grouping (total-cost mode).
+  // skip the exact DTW for pairs whose lower bound already reaches phi —
+  // exact pruning, identical grouping (total-cost mode).  The bound is the
+  // endpoint bound plus an LB_Keogh-style envelope bound: the true
+  // LB_Keogh under the configured band for equal-length series, and the
+  // degenerate whole-series envelope (valid for any lengths and any band)
+  // otherwise.
   bool prune_with_lower_bound = false;
   // Use FastDTW instead of the exact DP (approximate; total-cost mode).
   bool approximate = false;
   dtw::FastDtwOptions fast_dtw;
+};
+
+// Counters from one group() run, for the scalability/parallel benches.
+struct AgTrStats {
+  std::size_t pairs = 0;           // unordered pairs considered
+  std::size_t lb_pruned = 0;       // excluded by the lower-bound prefilter
+  std::size_t task_abandoned = 0;  // excluded after the task-series DTW alone
+  std::size_t exact_pairs = 0;     // pairs that ran both DTW evaluations
 };
 
 class AgTr final : public AccountGrouper {
@@ -46,6 +58,12 @@ class AgTr final : public AccountGrouper {
   explicit AgTr(AgTrOptions options = {}) : options_(options) {}
   std::string name() const override { return "AG-TR"; }
   AccountGrouping group(const FrameworkInput& input) const override;
+
+  // group() plus pruning counters (stats may be null).  The pairwise stage
+  // runs on the shared ThreadPool; the grouping is identical at every
+  // concurrency, and identical with pruning on or off (total-cost mode).
+  AccountGrouping group_with_stats(const FrameworkInput& input,
+                                   AgTrStats* stats) const;
 
   // Task series (1-based task indices in timestamp order).
   static std::vector<double> task_series(const AccountTrace& account);

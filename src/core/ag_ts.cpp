@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "graph/graph.h"
 
 namespace sybiltd::core {
@@ -31,22 +32,22 @@ std::vector<std::vector<double>> AgTs::affinity_matrix(
   }
   std::vector<std::vector<double>> affinity_values(
       n, std::vector<double>(n, 0.0));
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      std::size_t both = 0;
-      std::size_t alone = 0;
-      for (std::size_t t = 0; t < input.task_count; ++t) {
-        if (done[i][t] && done[j][t]) {
-          ++both;
-        } else if (done[i][t] != done[j][t]) {
-          ++alone;
-        }
+  // Each unordered pair owns its two mirror cells, so the parallel writes
+  // are disjoint and the matrix is identical at every thread count.
+  parallel_pairwise(n, [&](std::size_t i, std::size_t j) {
+    std::size_t both = 0;
+    std::size_t alone = 0;
+    for (std::size_t t = 0; t < input.task_count; ++t) {
+      if (done[i][t] && done[j][t]) {
+        ++both;
+      } else if (done[i][t] != done[j][t]) {
+        ++alone;
       }
-      const double a = affinity(both, alone, input.task_count);
-      affinity_values[i][j] = a;
-      affinity_values[j][i] = a;
     }
-  }
+    const double a = affinity(both, alone, input.task_count);
+    affinity_values[i][j] = a;
+    affinity_values[j][i] = a;
+  });
   return affinity_values;
 }
 

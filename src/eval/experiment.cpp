@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "eval/adapters.h"
 #include "eval/metrics.h"
 #include "ml/clustering_metrics.h"
@@ -127,17 +128,33 @@ GroupingRun run_grouping(GroupingMethod method, const mcs::ScenarioData& data,
 
 namespace {
 
+// Evaluate every (sweep point, seed) cell of the grid in parallel — each
+// cell is an independent scenario — into a slot owned by the cell, then
+// fold the moments serially in the original order so the statistics are
+// bit-identical to the serial sweep at any thread count.
+template <typename PerSeed>
+std::vector<double> sweep_grid(std::span<const double> sybil_activeness,
+                               std::size_t seed_count, PerSeed per_seed) {
+  SYBILTD_CHECK(seed_count >= 1, "sweep needs at least one seed");
+  std::vector<double> values(sybil_activeness.size() * seed_count, 0.0);
+  parallel_for(values.size(), [&](std::size_t cell) {
+    values[cell] =
+        per_seed(sybil_activeness[cell / seed_count], cell % seed_count);
+  });
+  return values;
+}
+
 template <typename PerSeed>
 std::vector<eval::SweepStat> sweep_stats(
     std::span<const double> sybil_activeness, std::size_t seed_count,
     PerSeed per_seed) {
-  SYBILTD_CHECK(seed_count >= 1, "sweep needs at least one seed");
+  const auto values = sweep_grid(sybil_activeness, seed_count, per_seed);
   std::vector<eval::SweepStat> out;
   out.reserve(sybil_activeness.size());
-  for (double sybil : sybil_activeness) {
+  for (std::size_t p = 0; p < sybil_activeness.size(); ++p) {
     RunningMoments moments;
     for (std::size_t s = 0; s < seed_count; ++s) {
-      moments.add(per_seed(sybil, s));
+      moments.add(values[p * seed_count + s]);
     }
     out.push_back({moments.mean(), std::sqrt(moments.sample_variance())});
   }
@@ -170,44 +187,50 @@ std::vector<SweepStat> sweep_mae_stats(
       });
 }
 
-std::vector<double> sweep_ari(GroupingMethod method, double legit_activeness,
-                              std::span<const double> sybil_activeness,
-                              std::size_t seed_count, std::uint64_t base_seed,
-                              const ExperimentOptions& options) {
-  SYBILTD_CHECK(seed_count >= 1, "sweep needs at least one seed");
+namespace {
+
+// Same parallel-grid/serial-fold shape as sweep_stats, reduced to means.
+std::vector<double> fold_means(std::span<const double> sybil_activeness,
+                               std::size_t seed_count,
+                               const std::vector<double>& values) {
   std::vector<double> means;
   means.reserve(sybil_activeness.size());
-  for (double sybil : sybil_activeness) {
+  for (std::size_t p = 0; p < sybil_activeness.size(); ++p) {
     double total = 0.0;
     for (std::size_t s = 0; s < seed_count; ++s) {
-      const auto config = mcs::make_paper_scenario(
-          legit_activeness, sybil, base_seed + 1000 * s);
-      const auto data = mcs::generate_scenario(config);
-      total += run_grouping(method, data, options).ari;
+      total += values[p * seed_count + s];
     }
     means.push_back(total / static_cast<double>(seed_count));
   }
   return means;
 }
 
+}  // namespace
+
+std::vector<double> sweep_ari(GroupingMethod method, double legit_activeness,
+                              std::span<const double> sybil_activeness,
+                              std::size_t seed_count, std::uint64_t base_seed,
+                              const ExperimentOptions& options) {
+  const auto values = sweep_grid(
+      sybil_activeness, seed_count, [&](double sybil, std::size_t s) {
+        const auto data = mcs::generate_scenario(mcs::make_paper_scenario(
+            legit_activeness, sybil, base_seed + 1000 * s));
+        return run_grouping(method, data, options).ari;
+      });
+  return fold_means(sybil_activeness, seed_count, values);
+}
+
 std::vector<double> sweep_mae(Method method, double legit_activeness,
                               std::span<const double> sybil_activeness,
                               std::size_t seed_count, std::uint64_t base_seed,
                               const ExperimentOptions& options) {
-  SYBILTD_CHECK(seed_count >= 1, "sweep needs at least one seed");
-  std::vector<double> means;
-  means.reserve(sybil_activeness.size());
-  for (double sybil : sybil_activeness) {
-    double total = 0.0;
-    for (std::size_t s = 0; s < seed_count; ++s) {
-      const auto config = mcs::make_paper_scenario(
-          legit_activeness, sybil, base_seed + 1000 * s);
-      const auto data = mcs::generate_scenario(config);
-      total += run_method(method, data, options).mae;
-    }
-    means.push_back(total / static_cast<double>(seed_count));
-  }
-  return means;
+  const auto values = sweep_grid(
+      sybil_activeness, seed_count, [&](double sybil, std::size_t s) {
+        const auto data = mcs::generate_scenario(mcs::make_paper_scenario(
+            legit_activeness, sybil, base_seed + 1000 * s));
+        return run_method(method, data, options).mae;
+      });
+  return fold_means(sybil_activeness, seed_count, values);
 }
 
 }  // namespace sybiltd::eval

@@ -1,10 +1,12 @@
 #include "ml/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace sybiltd::ml {
 
@@ -75,9 +77,12 @@ SingleRun run_lloyd(const Matrix& data, std::size_t k,
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     run.iterations = iter + 1;
-    // Assignment step.
-    bool changed = false;
-    for (std::size_t i = 0; i < n; ++i) {
+    // Assignment step: each point's nearest centroid depends only on the
+    // frozen centroids, so points are assigned in parallel (each writes its
+    // own label slot).  The update step below stays serial so the centroid
+    // sums accumulate in a fixed order — bit-identical at any thread count.
+    std::atomic<bool> changed{false};
+    parallel_for(n, [&](std::size_t i) {
       double best = std::numeric_limits<double>::infinity();
       std::size_t best_j = 0;
       for (std::size_t j = 0; j < k; ++j) {
@@ -89,9 +94,9 @@ SingleRun run_lloyd(const Matrix& data, std::size_t k,
       }
       if (run.labels[i] != best_j) {
         run.labels[i] = best_j;
-        changed = true;
+        changed.store(true, std::memory_order_relaxed);
       }
-    }
+    });
     // Update step.
     Matrix next(k, data.cols(), 0.0);
     std::vector<std::size_t> counts(k, 0);

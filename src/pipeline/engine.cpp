@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace sybiltd::pipeline {
 
@@ -36,10 +37,29 @@ void CampaignEngine::start() {
   SYBILTD_CHECK(!started_.exchange(true, std::memory_order_acq_rel),
                 "engine already started");
   running_.store(true, std::memory_order_release);
-  workers_.reserve(shards_.size());
-  for (auto& shard : shards_) {
-    workers_.emplace_back([raw = shard.get()] { raw->run(); });
+  {
+    std::lock_guard<std::mutex> lock(chains_mutex_);
+    live_chains_ = shards_.size();
   }
+  for (auto& shard : shards_) schedule_shard(shard.get());
+}
+
+void CampaignEngine::schedule_shard(Shard* shard) {
+  // Each task runs exactly one cooperative step, then either re-submits
+  // itself (so other pool work interleaves between micro-batches) or
+  // retires the chain.  The pool's own-deque FIFO guarantees a chain on a
+  // saturated pool still makes progress without starving its deque-mates.
+  ThreadPool::global().submit([this, shard] {
+    if (shard->step()) {
+      schedule_shard(shard);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(chains_mutex_);
+    --live_chains_;
+    // Notify under the lock: the engine may be destroyed as soon as the
+    // waiter in stop() observes zero.
+    chains_cv_.notify_all();
+  });
 }
 
 PushResult CampaignEngine::submit(const Report& report) {
@@ -88,10 +108,8 @@ void CampaignEngine::drain() {
 void CampaignEngine::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   for (auto& shard : shards_) shard->queue().close();
-  for (auto& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  workers_.clear();
+  std::unique_lock<std::mutex> lock(chains_mutex_);
+  chains_cv_.wait(lock, [&] { return live_chains_ == 0; });
 }
 
 EngineCounters CampaignEngine::counters() const {

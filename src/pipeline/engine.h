@@ -5,20 +5,26 @@
 //
 //   producers ──submit()──► per-shard bounded ReportQueue (backpressure)
 //                                │
-//                       shard worker thread
+//                  shard step() chain on ThreadPool::global()
 //              micro-batch → apply → evict → regroup → refine
 //                                │
 //                       SnapshotCell per campaign
 //                                │
 //   readers ──snapshot()──► immutable CampaignSnapshot (wait-free read)
 //
-// Campaigns are routed to shards by campaign id; each shard's state is
-// owned by exactly one worker thread, so the hot path needs no locks
-// beyond the ingestion queue.  Reports for one campaign are therefore
-// applied in a single total order even with many producers, and the
-// engine's counters make loss/duplication observable: after drain(),
-// accepted == applied and every accepted report is reflected in exactly
-// one campaign state.
+// Campaigns are routed to shards by campaign id.  Each shard runs as a
+// self-resubmitting chain of Shard::step() tasks on the process-wide
+// ThreadPool — the same pool the batch kernels use, so one concurrency
+// budget (SYBILTD_THREADS) governs ingestion and quadratic regrouping.
+// Chain tasks for one shard never overlap (the next step is submitted
+// only after the previous one returns, and the pool's queue hand-off
+// provides the happens-before edge between consecutive steps even when
+// they land on different workers), so each shard's state keeps exactly
+// the single-writer discipline it had with a dedicated thread.  Reports
+// for one campaign are therefore applied in a single total order even
+// with many producers, and the engine's counters make loss/duplication
+// observable: after drain(), accepted == applied and every accepted
+// report is reflected in exactly one campaign state.
 //
 // drain() is the batch-equivalence barrier: it waits until every accepted
 // report has been applied, then has each worker run its campaigns to full
@@ -28,9 +34,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <thread>
+#include <mutex>
 #include <vector>
 
 #include "pipeline/report_queue.h"
@@ -40,7 +47,8 @@
 namespace sybiltd::pipeline {
 
 struct EngineOptions {
-  // Worker threads; each owns one shard of the campaigns.
+  // Shards; each owns a partition of the campaigns and runs as one step()
+  // chain on the shared thread pool.
   std::size_t shard_count = 2;
   // Capacity of each shard's ingestion queue.
   std::size_t queue_capacity = 4096;
@@ -77,7 +85,9 @@ class CampaignEngine {
   // Register a campaign (before start()).  Returns its dense id.
   std::size_t add_campaign(std::size_t task_count);
 
-  // Spawn the shard workers.  Idempotent calls are an error.
+  // Schedule the shard chains on ThreadPool::global().  Idempotent calls
+  // are an error.  The global pool must not be replaced (e.g. via
+  // ThreadPool::set_global_concurrency) while the engine is running.
   void start();
 
   // Enqueue one report under the configured backpressure policy.
@@ -94,8 +104,9 @@ class CampaignEngine {
   // the barrier is expected to cover.
   void drain();
 
-  // Close the queues and join the workers (remaining queued reports are
-  // applied first).  Idempotent; also run by the destructor.
+  // Close the queues and wait for every shard chain to finish (remaining
+  // queued reports are applied first).  Idempotent; also run by the
+  // destructor.
   void stop();
 
   EngineCounters counters() const;
@@ -107,17 +118,24 @@ class CampaignEngine {
   }
 
   // Test/diagnostic access to a campaign's shard state; only valid while
-  // the workers are not running (e.g. after stop()).
+  // the shard chains are not running (e.g. after stop()).
   const CampaignState* debug_state(std::size_t campaign) const;
 
  private:
+  // Submit the next step of a shard's chain to the shared pool.
+  void schedule_shard(Shard* shard);
+
   EngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<SnapshotCell>> cells_;  // per campaign
   std::vector<std::size_t> task_counts_;              // per campaign
-  std::vector<std::thread> workers_;
   std::atomic<bool> started_{false};
   std::atomic<bool> running_{false};
+
+  // Shard chains still alive on the pool; stop() waits for zero.
+  std::mutex chains_mutex_;
+  std::condition_variable chains_cv_;
+  std::size_t live_chains_ = 0;
 
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> accepted_{0};

@@ -247,6 +247,7 @@ Shard::Shard(const ShardOptions& options, std::size_t queue_capacity,
   SYBILTD_CHECK(options_.refine_iterations >= 1,
                 "need at least one refinement iteration per micro-batch");
   SYBILTD_CHECK(max_batch_ >= 1, "micro-batch size must be positive");
+  batch_.reserve(max_batch_);
 }
 
 void Shard::add_campaign(std::size_t campaign, std::size_t task_count,
@@ -305,45 +306,48 @@ void Shard::wait_finalized(std::uint64_t ticket) {
   });
 }
 
-void Shard::run() {
+bool Shard::step() {
   constexpr std::chrono::milliseconds kIdlePoll{2};
-  std::vector<Report> batch;
-  batch.reserve(max_batch_);
-  for (;;) {
-    batch.clear();
-    if (queue_.pop_batch(batch, max_batch_, kIdlePoll) > 0) {
-      process_batch(batch);
-      continue;
-    }
-    // Idle tick: honor a pending drain barrier, but only once the queue is
-    // verifiably empty (the acquire load orders the emptiness check after
-    // every push that preceded the finalize request).
-    const std::uint64_t requested =
-        finalize_requested_.load(std::memory_order_acquire);
-    if (finalize_done_.load(std::memory_order_relaxed) < requested) {
-      if (!queue_.empty()) continue;
-      finalize_all();
-      finalize_done_.store(requested, std::memory_order_release);
-      {
-        // Empty critical section: pairs with the waiter's predicate check
-        // so the notify cannot be lost.
-        std::lock_guard<std::mutex> lock(finalize_mutex_);
-      }
-      finalize_cv_.notify_all();
-      continue;
-    }
-    if (queue_.closed() && queue_.empty()) break;
+  batch_.clear();
+  if (queue_.pop_batch(batch_, max_batch_, kIdlePoll) > 0) {
+    process_batch(batch_);
+    return true;
   }
-  // Safety net: never strand a drain that raced with shutdown.
+  // Idle tick: honor a pending drain barrier, but only once the queue is
+  // verifiably empty (the acquire load orders the emptiness check after
+  // every push that preceded the finalize request).
   const std::uint64_t requested =
       finalize_requested_.load(std::memory_order_acquire);
   if (finalize_done_.load(std::memory_order_relaxed) < requested) {
+    if (!queue_.empty()) return true;
     finalize_all();
     finalize_done_.store(requested, std::memory_order_release);
+    {
+      // Empty critical section: pairs with the waiter's predicate check
+      // so the notify cannot be lost.
+      std::lock_guard<std::mutex> lock(finalize_mutex_);
+    }
+    finalize_cv_.notify_all();
+    return true;
+  }
+  if (!(queue_.closed() && queue_.empty())) return true;
+  // Shutting down.  Safety net: never strand a drain that raced with close
+  // (the finalize request may have landed after the idle check above).
+  const std::uint64_t late =
+      finalize_requested_.load(std::memory_order_acquire);
+  if (finalize_done_.load(std::memory_order_relaxed) < late) {
+    finalize_all();
+    finalize_done_.store(late, std::memory_order_release);
     {
       std::lock_guard<std::mutex> lock(finalize_mutex_);
     }
     finalize_cv_.notify_all();
+  }
+  return false;
+}
+
+void Shard::run() {
+  while (step()) {
   }
 }
 

@@ -171,8 +171,16 @@ class Shard {
   ReportQueue& queue() { return queue_; }
   const ShardCounters& counters() const { return counters_; }
 
-  // Worker loop: micro-batch the queue, apply/evict/refine/publish, honor
-  // finalize requests, return when the queue is closed and drained.
+  // One cooperative scheduling round: pop one micro-batch and process it,
+  // or (when idle) honor a pending finalize request.  Returns false once
+  // the queue is closed and drained — after running any finalize that
+  // raced with shutdown — at which point the shard's chain ends.  The
+  // engine schedules step() as a self-resubmitting thread-pool task, so a
+  // shard never monopolizes a pool worker between batches.
+  bool step();
+
+  // Worker loop: step() until the shard is done.  Equivalent to the chain
+  // the engine schedules, for callers that dedicate a thread to the shard.
   void run();
 
   // Drain barrier: ask the worker to run every owned campaign to full
@@ -196,6 +204,9 @@ class Shard {
   ReportQueue queue_;
   std::unordered_map<std::size_t, CampaignState> states_;
   ShardCounters counters_;
+  // Reused micro-batch buffer; only touched from step(), which the engine
+  // runs strictly sequentially per shard.
+  std::vector<Report> batch_;
 
   std::atomic<std::uint64_t> finalize_requested_{0};
   std::atomic<std::uint64_t> finalize_done_{0};

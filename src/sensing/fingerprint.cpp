@@ -1,8 +1,10 @@
 #include "sensing/fingerprint.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace sybiltd::sensing {
 
@@ -32,18 +34,23 @@ std::vector<double> fingerprint_features(
   signal::FeatureOptions opts = options;
   opts.sample_rate_hz = streams.sample_rate_hz > 0.0 ? streams.sample_rate_hz
                                                      : options.sample_rate_hz;
-  std::vector<double> out;
-  out.reserve(kFingerprintDim);
   const std::array<const std::vector<double>*,
                    FingerprintStreams::kStreamCount>
       streams_in_order = {&streams.accel_magnitude, &streams.gyro_x,
                           &streams.gyro_y, &streams.gyro_z};
-  for (const auto* stream : streams_in_order) {
-    const auto features = signal::extract_stream_features(*stream, opts);
+  constexpr std::size_t kPerStream =
+      kFingerprintDim / FingerprintStreams::kStreamCount;
+  // The four streams featurize independently; each writes its own slice of
+  // the output vector, so the result matches the serial concatenation.
+  std::vector<double> out(kFingerprintDim, 0.0);
+  parallel_for(streams_in_order.size(), [&](std::size_t s) {
+    const auto features =
+        signal::extract_stream_features(*streams_in_order[s], opts);
     const auto arr = features.to_array();
-    out.insert(out.end(), arr.begin(), arr.end());
-  }
-  SYBILTD_ASSERT(out.size() == kFingerprintDim);
+    SYBILTD_ASSERT(arr.size() == kPerStream);
+    std::copy(arr.begin(), arr.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(s * kPerStream));
+  });
   return out;
 }
 
@@ -56,9 +63,12 @@ std::vector<double> fingerprint_features_windowed(
                 "streams too short for the requested window count");
   if (windows == 1) return fingerprint_features(streams, options);
 
-  std::vector<double> accumulated(kFingerprintDim, 0.0);
+  // Per-window features in parallel (each window owns its slot), then a
+  // serial fold in window order so the average accumulates exactly as the
+  // serial loop did.
   const std::size_t window_len = samples / windows;
-  for (std::size_t w = 0; w < windows; ++w) {
+  std::vector<std::vector<double>> per_window(windows);
+  parallel_for(windows, [&](std::size_t w) {
     const std::size_t begin = w * window_len;
     FingerprintStreams window;
     window.sample_rate_hz = streams.sample_rate_hz;
@@ -71,7 +81,10 @@ std::vector<double> fingerprint_features_windowed(
     window.gyro_x = slice(streams.gyro_x);
     window.gyro_y = slice(streams.gyro_y);
     window.gyro_z = slice(streams.gyro_z);
-    const auto features = fingerprint_features(window, options);
+    per_window[w] = fingerprint_features(window, options);
+  });
+  std::vector<double> accumulated(kFingerprintDim, 0.0);
+  for (const auto& features : per_window) {
     for (std::size_t f = 0; f < kFingerprintDim; ++f) {
       accumulated[f] += features[f];
     }

@@ -1,0 +1,137 @@
+// Determinism of the parallelized kernels: every grouper, the framework
+// truths, and the evaluation sweeps must produce identical results at
+// pool size 1 (the serial fallback) and pool size 8 on the same seeded
+// scenario.  This is the contract documented in docs/PERFORMANCE.md —
+// parallel tasks write disjoint slots and reductions fold serially, so
+// the outputs are bit-identical, not merely close.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/ag_fp.h"
+#include "core/ag_tr.h"
+#include "core/ag_ts.h"
+#include "core/framework.h"
+#include "eval/adapters.h"
+#include "eval/experiment.h"
+#include "mcs/scenario.h"
+
+namespace sybiltd {
+namespace {
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new mcs::ScenarioData(
+        mcs::generate_scenario(mcs::make_paper_scenario(0.5, 0.5, 4242)));
+    input_ = new core::FrameworkInput(eval::to_framework_input(*data_));
+  }
+  static void TearDownTestSuite() {
+    ThreadPool::set_global_concurrency(
+        ThreadPool::configured_concurrency());
+    delete input_;
+    delete data_;
+    input_ = nullptr;
+    data_ = nullptr;
+  }
+
+  // Runs `compute` at 1 and 8 threads and returns the two results.
+  template <typename Fn>
+  static auto at_1_and_8(Fn compute) {
+    ThreadPool::set_global_concurrency(1);
+    auto serial = compute();
+    ThreadPool::set_global_concurrency(8);
+    auto pooled = compute();
+    return std::array{std::move(serial), std::move(pooled)};
+  }
+
+  static mcs::ScenarioData* data_;
+  static core::FrameworkInput* input_;
+};
+
+mcs::ScenarioData* ParallelDeterminismTest::data_ = nullptr;
+core::FrameworkInput* ParallelDeterminismTest::input_ = nullptr;
+
+TEST_F(ParallelDeterminismTest, AgTrGroupingAndMatrices) {
+  const core::AgTr grouper;
+  const auto groupings =
+      at_1_and_8([&] { return grouper.group(*input_).labels(); });
+  EXPECT_EQ(groupings[0], groupings[1]);
+
+  const auto matrices =
+      at_1_and_8([&] { return grouper.dissimilarity_matrices(*input_); });
+  // Bit-identical: each pair's DTW is computed once and written to slots
+  // the pair owns, in both runs.
+  EXPECT_EQ(matrices[0].task_dtw, matrices[1].task_dtw);
+  EXPECT_EQ(matrices[0].time_dtw, matrices[1].time_dtw);
+  EXPECT_EQ(matrices[0].dissimilarity, matrices[1].dissimilarity);
+}
+
+TEST_F(ParallelDeterminismTest, AgTrPrunedMatchesAtBothSizes) {
+  core::AgTrOptions options;
+  options.prune_with_lower_bound = true;
+  const core::AgTr pruned(options);
+  core::AgTrStats stats1, stats8;
+  ThreadPool::set_global_concurrency(1);
+  const auto g1 = pruned.group_with_stats(*input_, &stats1);
+  ThreadPool::set_global_concurrency(8);
+  const auto g8 = pruned.group_with_stats(*input_, &stats8);
+  EXPECT_EQ(g1.labels(), g8.labels());
+  // The prefilter decision per pair depends only on the pair, so the
+  // counters match too.
+  EXPECT_EQ(stats1.lb_pruned, stats8.lb_pruned);
+  EXPECT_EQ(stats1.task_abandoned, stats8.task_abandoned);
+  EXPECT_EQ(stats1.exact_pairs, stats8.exact_pairs);
+  // And pruning never changes the grouping.
+  const auto exact = core::AgTr().group(*input_);
+  EXPECT_EQ(g8.labels(), exact.labels());
+}
+
+TEST_F(ParallelDeterminismTest, AgTsAffinityAndGrouping) {
+  const auto affinities =
+      at_1_and_8([&] { return core::AgTs::affinity_matrix(*input_); });
+  EXPECT_EQ(affinities[0], affinities[1]);
+  const auto groupings =
+      at_1_and_8([&] { return core::AgTs().group(*input_).labels(); });
+  EXPECT_EQ(groupings[0], groupings[1]);
+}
+
+TEST_F(ParallelDeterminismTest, AgFpGrouping) {
+  const auto groupings =
+      at_1_and_8([&] { return core::AgFp().group(*input_).labels(); });
+  EXPECT_EQ(groupings[0], groupings[1]);
+}
+
+TEST_F(ParallelDeterminismTest, FrameworkTruths) {
+  const auto truths = at_1_and_8(
+      [&] { return core::run_framework(*input_, core::AgTr()).truths; });
+  ASSERT_EQ(truths[0].size(), truths[1].size());
+  for (std::size_t j = 0; j < truths[0].size(); ++j) {
+    EXPECT_NEAR(truths[0][j], truths[1][j], 1e-12) << "task " << j;
+  }
+}
+
+TEST_F(ParallelDeterminismTest, EvaluationSweeps) {
+  const std::vector<double> sybil = {0.3, 0.7};
+  const auto ari = at_1_and_8([&] {
+    return eval::sweep_ari_stats(eval::GroupingMethod::kAgTs, 0.5, sybil, 3,
+                                 77, {});
+  });
+  ASSERT_EQ(ari[0].size(), ari[1].size());
+  for (std::size_t p = 0; p < ari[0].size(); ++p) {
+    EXPECT_NEAR(ari[0][p].mean, ari[1][p].mean, 1e-12);
+    EXPECT_NEAR(ari[0][p].stddev, ari[1][p].stddev, 1e-12);
+  }
+  const auto mae = at_1_and_8([&] {
+    return eval::sweep_mae(eval::Method::kTdTs, 0.5, sybil, 2, 77, {});
+  });
+  ASSERT_EQ(mae[0].size(), mae[1].size());
+  for (std::size_t p = 0; p < mae[0].size(); ++p) {
+    EXPECT_NEAR(mae[0][p], mae[1][p], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace sybiltd

@@ -1,0 +1,205 @@
+// ThreadPool: scheduling, the data-parallel primitives, the pair
+// flattening, exception propagation, nesting, and the SYBILTD_THREADS
+// parsing.  The concurrency-stress tests also run under ThreadSanitizer in
+// CI (the tsan job builds this binary).
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace sybiltd {
+namespace {
+
+TEST(ThreadPool, RejectsZeroConcurrency) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    std::vector<int> visits(1000, 0);
+    pool.parallel_for(visits.size(),
+                      [&](std::size_t i) { visits[i] += 1; });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 1000)
+        << "threads=" << threads;
+    for (int v : visits) EXPECT_EQ(v, 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForAtConcurrencyOneRunsInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(64, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOneElement) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, PairCount) {
+  EXPECT_EQ(ThreadPool::pair_count(0), 0u);
+  EXPECT_EQ(ThreadPool::pair_count(1), 0u);
+  EXPECT_EQ(ThreadPool::pair_count(2), 1u);
+  EXPECT_EQ(ThreadPool::pair_count(18), 153u);
+}
+
+TEST(ThreadPool, UnrankPairIsTheRowMajorInverse) {
+  for (std::size_t n : {2u, 3u, 7u, 40u, 201u}) {
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j, ++k) {
+        const auto [ri, rj] = ThreadPool::unrank_pair(n, k);
+        ASSERT_EQ(ri, i) << "n=" << n << " k=" << k;
+        ASSERT_EQ(rj, j) << "n=" << n << " k=" << k;
+      }
+    }
+    EXPECT_EQ(k, ThreadPool::pair_count(n));
+  }
+}
+
+TEST(ThreadPool, ParallelPairwiseVisitsEveryUnorderedPairOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 53;
+  std::mutex mutex;
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  pool.parallel_pairwise(n, [&](std::size_t i, std::size_t j) {
+    ASSERT_LT(i, j);
+    ASSERT_LT(j, n);
+    std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_TRUE(seen.emplace(i, j).second) << i << "," << j;
+  });
+  EXPECT_EQ(seen.size(), ThreadPool::pair_count(n));
+}
+
+TEST(ThreadPool, ExceptionsPropagateToTheCaller) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(100,
+                          [](std::size_t i) {
+                            if (i == 37) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error)
+        << "threads=" << threads;
+    // The pool survives the failed loop and runs new work.
+    std::atomic<int> ran{0};
+    pool.parallel_for(10, [&](std::size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 10);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    // Runs inside a parallel region -> inline serial, no new pool work.
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    pool.parallel_for(8, [&](std::size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 64);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPool, ParallelForFromAPlainTaskCompletes) {
+  // A submitted task (like a pipeline shard step) may fan a loop out
+  // across the pool; the caller participates, so it completes even when
+  // the other workers are busy.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  pool.submit([&] {
+    pool.parallel_for(256, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+    std::lock_guard<std::mutex> lock(mutex);
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done; });
+  EXPECT_EQ(total.load(), 256);
+}
+
+TEST(ThreadPool, SubmittedChainsMakeProgressOnOneWorker) {
+  // Two self-resubmitting chains on a single-threaded pool: FIFO own-deque
+  // popping must interleave them instead of starving one.
+  ThreadPool pool(1);
+  std::atomic<int> a_steps{0};
+  std::atomic<int> b_steps{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  int live = 2;
+  std::function<void(std::atomic<int>*)> chain =
+      [&](std::atomic<int>* steps) {
+        if (steps->fetch_add(1, std::memory_order_relaxed) + 1 < 100) {
+          pool.submit([&chain, steps] { chain(steps); });
+          return;
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        --live;
+        cv.notify_all();
+      };
+  pool.submit([&chain, steps = &a_steps] { chain(steps); });
+  pool.submit([&chain, steps = &b_steps] { chain(steps); });
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return live == 0; });
+  EXPECT_EQ(a_steps.load(), 100);
+  EXPECT_EQ(b_steps.load(), 100);
+}
+
+TEST(ThreadPool, ManyConcurrentLoops) {
+  // Stress cross-thread chunk claiming and completion signalling; the CI
+  // tsan job runs this under ThreadSanitizer.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(257, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 257L * 256L / 2L);
+  }
+}
+
+TEST(ThreadPool, ParseConcurrency) {
+  EXPECT_EQ(ThreadPool::parse_concurrency(nullptr), 0u);
+  EXPECT_EQ(ThreadPool::parse_concurrency(""), 0u);
+  EXPECT_EQ(ThreadPool::parse_concurrency("0"), 0u);
+  EXPECT_EQ(ThreadPool::parse_concurrency("8"), 8u);
+  EXPECT_EQ(ThreadPool::parse_concurrency("nope"), 0u);
+  EXPECT_EQ(ThreadPool::parse_concurrency("4x"), 0u);
+  EXPECT_EQ(ThreadPool::parse_concurrency("80000"), 1024u);  // capped
+}
+
+TEST(ThreadPool, GlobalPoolResizes) {
+  ThreadPool::set_global_concurrency(3);
+  EXPECT_EQ(ThreadPool::global().concurrency(), 3u);
+  std::atomic<int> total{0};
+  parallel_for(100, [&](std::size_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 100);
+  ThreadPool::set_global_concurrency(ThreadPool::configured_concurrency());
+}
+
+}  // namespace
+}  // namespace sybiltd
