@@ -1,7 +1,14 @@
 // Google-benchmark microbenchmarks of the computational substrates: FFT,
 // feature extraction, DTW, k-means, elbow, truth discovery, the grouping
 // methods and the full framework.
+//
+// `--json` is shorthand for google-benchmark's `--benchmark_format=json`;
+// the CI perf-smoke job captures that output and diffs it against the
+// committed BENCH_baseline.json with bench/compare_bench.py.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -18,6 +25,7 @@
 #include "sensing/fingerprint.h"
 #include "signal/features.h"
 #include "signal/fft.h"
+#include "signal/welch.h"
 #include "truth/crh.h"
 
 using namespace sybiltd;
@@ -51,6 +59,18 @@ void BM_FftBluestein(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FftBluestein)->Arg(601)->Arg(1201)->Arg(4801);
+
+void BM_WelchPsd(benchmark::State& state) {
+  // welch_psd_into with reused output storage: zero heap allocations per
+  // call once the WelchPlan and workspace buffers are warm.
+  const auto x = random_series(static_cast<std::size_t>(state.range(0)), 13);
+  signal::PowerSpectralDensity out;
+  for (auto _ : state) {
+    signal::welch_psd_into(x, 100.0, {}, out);
+    benchmark::DoNotOptimize(out.psd.data());
+  }
+}
+BENCHMARK(BM_WelchPsd)->Arg(600)->Arg(6000);
 
 void BM_StreamFeatures(benchmark::State& state) {
   const auto x = random_series(static_cast<std::size_t>(state.range(0)), 3);
@@ -92,6 +112,17 @@ void BM_DtwBanded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DtwBanded)->Arg(8)->Arg(32)->Arg(128)->Arg(0);
+
+void BM_DtwZnorm(benchmark::State& state) {
+  const auto a = random_series(512, 21);
+  const auto b = random_series(512, 22);
+  dtw::DtwOptions opt;
+  opt.band = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::dtw_distance_znorm(a, b, opt));
+  }
+}
+BENCHMARK(BM_DtwZnorm);
 
 void BM_KMeans(benchmark::State& state) {
   Rng rng(9);
@@ -259,4 +290,20 @@ BENCHMARK(BM_KMeansThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a `--json` alias for --benchmark_format=json, so CI
+// scripts don't need to remember the long flag.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char json_flag[] = "--benchmark_format=json";
+  for (char*& arg : args) {
+    if (std::strcmp(arg, "--json") == 0) arg = json_flag;
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

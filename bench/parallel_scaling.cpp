@@ -12,11 +12,16 @@
 // slots and every reduction folds serially in a fixed order).  Any mismatch
 // makes the binary exit nonzero, so CI can run it as a check.
 //
-// Usage: parallel_scaling [legit_count] [--markdown]
+// Usage: parallel_scaling [legit_count] [--markdown | --json]
 //   legit_count  scenario size knob (default 150 -> 200 accounts)
 //   --markdown   emit the results as a GitHub table (docs/PERFORMANCE.md
 //                is generated with `./build/bench/parallel_scaling
 //                --markdown`)
+//   --json       emit a google-benchmark-compatible JSON document (one
+//                entry per kernel/thread-count pair, times in ms) that
+//                bench/compare_bench.py can merge with the micro_benchmarks
+//                output and diff against BENCH_baseline.json.  The
+//                determinism gate still applies: a mismatch exits nonzero.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -72,9 +77,12 @@ std::string format_speedup(double serial_ms, double ms) {
 int main(int argc, char** argv) {
   std::size_t legit = 150;
   bool markdown = false;
+  bool json = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--markdown") == 0) {
       markdown = true;
+    } else if (std::strcmp(argv[a], "--json") == 0) {
+      json = true;
     } else {
       legit = std::stoul(argv[a]);
     }
@@ -148,6 +156,39 @@ int main(int argc, char** argv) {
                                 pruned_stats.task_abandoned) /
                 static_cast<double>(pruned_stats.pairs)
           : 0.0;
+
+  if (json) {
+    // google-benchmark JSON shape: one "iteration" entry per
+    // kernel/thread-count pair, so compare_bench.py can treat this file
+    // and the micro_benchmarks output uniformly.
+    std::printf("{\n");
+    std::printf("  \"context\": {\n");
+    std::printf("    \"executable\": \"parallel_scaling\",\n");
+    std::printf("    \"accounts\": %zu,\n", accounts);
+    std::printf("    \"tasks\": %zu,\n", input.task_count);
+    std::printf("    \"prune_rate\": %.6f,\n", prune_rate);
+    std::printf("    \"deterministic\": %s\n", identical ? "true" : "false");
+    std::printf("  },\n");
+    std::printf("  \"benchmarks\": [\n");
+    bool first = true;
+    for (const auto& row : rows) {
+      for (std::size_t t = 0; t < std::size(kThreadCounts); ++t) {
+        std::printf("%s    {\n", first ? "" : ",\n");
+        first = false;
+        std::printf("      \"name\": \"%s/threads:%zu\",\n", row.name.c_str(),
+                    kThreadCounts[t]);
+        std::printf("      \"run_type\": \"iteration\",\n");
+        std::printf("      \"iterations\": %d,\n", kReps);
+        std::printf("      \"real_time\": %.6f,\n", row.ms[t]);
+        std::printf("      \"cpu_time\": %.6f,\n", row.ms[t]);
+        std::printf("      \"time_unit\": \"ms\"\n");
+        std::printf("    }");
+      }
+    }
+    std::printf("\n  ]\n}\n");
+    if (!identical) return 1;
+    return 0;
+  }
 
   if (markdown) {
     std::printf("| kernel | 1 thread | 2 threads | 4 threads | 8 threads "

@@ -7,6 +7,7 @@
 #include <exception>
 
 #include "common/error.h"
+#include "common/workspace.h"
 
 namespace sybiltd {
 
@@ -122,6 +123,9 @@ void ThreadPool::worker_main(std::size_t self) {
     std::function<void()> task;
     if (try_pop_or_steal(self, task)) {
       task();  // a throwing task terminates, as it would on a raw thread
+      // Reset this worker's scratch arena between tasks: a borrow leaked
+      // by the task is orphaned rather than handed to the next task.
+      Workspace::local().end_task_scope();
       continue;
     }
     std::unique_lock<std::mutex> lock(wake_mutex_);

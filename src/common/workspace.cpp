@@ -1,0 +1,78 @@
+#include "common/workspace.h"
+
+#include <new>
+
+namespace sybiltd {
+
+Workspace& Workspace::local() {
+  static thread_local Workspace workspace;
+  return workspace;
+}
+
+Workspace::~Workspace() { trim(); }
+
+std::size_t Workspace::class_for(std::size_t bytes) {
+  std::size_t class_index = 0;
+  while (class_bytes(class_index) < bytes) {
+    ++class_index;
+    SYBILTD_CHECK(class_index < kClassCount,
+                  "workspace borrow exceeds the largest size class");
+  }
+  return class_index;
+}
+
+void* Workspace::acquire(std::size_t bytes, std::size_t* class_index) {
+  const std::size_t cls = class_for(bytes);
+  *class_index = cls;
+  void* raw = nullptr;
+  auto& bucket = pool_[cls];
+  if (!bucket.empty()) {
+    raw = bucket.back();
+    bucket.pop_back();
+    --stats_.pooled_buffers;
+    stats_.pooled_bytes -= class_bytes(cls);
+  } else {
+    raw = ::operator new(class_bytes(cls));
+    ++stats_.heap_allocations;
+    stats_.heap_bytes += class_bytes(cls);
+  }
+  ++stats_.borrows;
+  ++stats_.live_borrows;
+  return raw;
+}
+
+void Workspace::release(void* raw, std::size_t class_index,
+                        std::uint64_t generation) {
+  if (generation != generation_) {
+    // Borrowed across an end_task_scope() boundary: the arena already
+    // disowned this buffer, so send it straight back to the heap.
+    ::operator delete(raw);
+    ++stats_.orphaned;
+    return;
+  }
+  pool_[class_index].push_back(raw);
+  ++stats_.pooled_buffers;
+  stats_.pooled_bytes += class_bytes(class_index);
+  --stats_.live_borrows;
+}
+
+void Workspace::end_task_scope() {
+  if (stats_.live_borrows != 0) {
+    // A task leaked a borrow.  Disown the outstanding buffers (their
+    // release will hit the generation check above) so the next task starts
+    // from a clean arena.
+    ++generation_;
+    stats_.live_borrows = 0;
+  }
+}
+
+void Workspace::trim() {
+  for (auto& bucket : pool_) {
+    for (void* raw : bucket) ::operator delete(raw);
+    bucket.clear();
+  }
+  stats_.pooled_buffers = 0;
+  stats_.pooled_bytes = 0;
+}
+
+}  // namespace sybiltd

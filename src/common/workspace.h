@@ -1,0 +1,163 @@
+// Per-thread scratch arena for the hot kernels.
+//
+// PR 2 parallelized the quadratic kernels, which left per-call heap
+// allocation as the dominant fixed cost of each scalar kernel invocation:
+// DTW rebuilt its DP rows per pair, Bluestein FFT five vectors per
+// transform, Welch one segment buffer per segment.  The workspace removes
+// that cost without changing any kernel's numerics: each thread owns a
+// size-class-bucketed pool of raw buffers, kernels check buffers out with
+// RAII (`Workspace::local().borrow<double>(n)`) and the buffer returns to
+// the pool at scope exit.  After one warm-up call per shape, the steady
+// state performs zero heap allocations (asserted by
+// tests/workspace_test.cpp with a counting operator new).
+//
+// Rules:
+//  - A Borrowed<T> must stay on the thread that borrowed it and must not
+//    outlive the pool task it was borrowed in.  The thread pool calls
+//    end_task_scope() between tasks; a borrow leaked across that boundary
+//    is orphaned (freed straight to the heap, never pooled) so a buggy
+//    task cannot poison the next one's arena.
+//  - Buffers hand back *uninitialized* memory — kernels must write before
+//    they read, exactly as they would with a fresh std::vector only when
+//    they relied on zero/infinity fills (those fills stay explicit).
+//  - T must be trivially copyable and destructible (double, Complex,
+//    POD cells); the arena stores raw bytes, nothing is constructed.
+//
+// The `stats()` counters (`heap_allocations` in particular) are the
+// opt-in allocation accounting for tests: a test records the counter,
+// runs the kernel, and asserts the counter did not move.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sybiltd {
+
+class Workspace {
+ public:
+  struct Stats {
+    std::uint64_t borrows = 0;           // total checkouts since thread start
+    std::uint64_t heap_allocations = 0;  // pool misses -> operator new
+    std::uint64_t heap_bytes = 0;        // bytes fetched from the heap
+    std::uint64_t orphaned = 0;          // borrows leaked across a task scope
+    std::size_t live_borrows = 0;        // currently checked out
+    std::size_t pooled_buffers = 0;      // idle buffers awaiting reuse
+    std::size_t pooled_bytes = 0;        // bytes held by idle buffers
+  };
+
+  // RAII checkout.  Movable, not copyable; releases at destruction.
+  template <typename T>
+  class Borrowed {
+   public:
+    Borrowed() = default;
+    Borrowed(Borrowed&& other) noexcept { *this = std::move(other); }
+    Borrowed& operator=(Borrowed&& other) noexcept {
+      if (this != &other) {
+        reset();
+        owner_ = other.owner_;
+        raw_ = other.raw_;
+        class_index_ = other.class_index_;
+        generation_ = other.generation_;
+        count_ = other.count_;
+        other.owner_ = nullptr;
+        other.raw_ = nullptr;
+        other.count_ = 0;
+      }
+      return *this;
+    }
+    Borrowed(const Borrowed&) = delete;
+    Borrowed& operator=(const Borrowed&) = delete;
+    ~Borrowed() { reset(); }
+
+    T* data() const { return static_cast<T*>(raw_); }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    T& operator[](std::size_t i) const { return data()[i]; }
+    std::span<T> span() const { return {data(), count_}; }
+    T* begin() const { return data(); }
+    T* end() const { return data() + count_; }
+
+    // Return the buffer to the arena early.
+    void reset() {
+      if (owner_ != nullptr) {
+        owner_->release(raw_, class_index_, generation_);
+        owner_ = nullptr;
+        raw_ = nullptr;
+        count_ = 0;
+      }
+    }
+
+   private:
+    friend class Workspace;
+    Borrowed(Workspace* owner, void* raw, std::size_t class_index,
+             std::uint64_t generation, std::size_t count)
+        : owner_(owner),
+          raw_(raw),
+          class_index_(class_index),
+          generation_(generation),
+          count_(count) {}
+
+    Workspace* owner_ = nullptr;
+    void* raw_ = nullptr;
+    std::size_t class_index_ = 0;
+    std::uint64_t generation_ = 0;
+    std::size_t count_ = 0;
+  };
+
+  Workspace() = default;
+  ~Workspace();
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // The calling thread's arena.
+  static Workspace& local();
+
+  // Check out uninitialized scratch for `count` elements of T.
+  template <typename T>
+  Borrowed<T> borrow(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "workspace buffers hold raw bytes; T must be trivial");
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "over-aligned workspace types are not supported");
+    std::size_t class_index = 0;
+    void* raw = acquire(count * sizeof(T), &class_index);
+    return Borrowed<T>(this, raw, class_index, generation_, count);
+  }
+
+  Stats stats() const { return stats_; }
+
+  // Task boundary hook (called by the thread pool between tasks).  A
+  // well-behaved task has zero live borrows here; if one leaked, the
+  // outstanding buffers are orphaned — their eventual release frees to the
+  // heap instead of re-pooling a buffer the arena no longer tracks.
+  void end_task_scope();
+
+  // Free every pooled (idle) buffer back to the heap.
+  void trim();
+
+ private:
+  // Size classes are powers of two from 64 B up; class i holds buffers of
+  // exactly (kMinClassBytes << i) bytes.
+  static constexpr std::size_t kMinClassBytes = 64;
+  static constexpr std::size_t kClassCount = 40;
+
+  static std::size_t class_for(std::size_t bytes);
+  static std::size_t class_bytes(std::size_t class_index) {
+    return kMinClassBytes << class_index;
+  }
+
+  void* acquire(std::size_t bytes, std::size_t* class_index);
+  void release(void* raw, std::size_t class_index, std::uint64_t generation);
+
+  std::vector<void*> pool_[kClassCount];
+  Stats stats_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace sybiltd

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/stats.h"
+#include "common/workspace.h"
 
 namespace sybiltd::core {
 
@@ -17,13 +18,20 @@ std::vector<double> framework_task_normalizers(const GroupedData& grouped,
   SYBILTD_CHECK(grouped.per_task.size() == task_count,
                 "grouped data does not match the task count");
   std::vector<double> norm(task_count, 1.0);
+  // Scratch for the per-task value list lives in the per-thread workspace
+  // instead of a fresh vector per task.
+  std::size_t max_group_size = 0;
+  for (const auto& per_task : grouped.per_task) {
+    max_group_size = std::max(max_group_size, per_task.size());
+  }
+  auto values = Workspace::local().borrow<double>(max_group_size);
   for (std::size_t j = 0; j < task_count; ++j) {
-    std::vector<double> values;
-    for (const auto& datum : grouped.per_task[j]) {
-      values.push_back(datum.value);
+    const auto& per_task = grouped.per_task[j];
+    for (std::size_t i = 0; i < per_task.size(); ++i) {
+      values[i] = per_task[i].value;
     }
-    if (values.size() >= 2) {
-      const double sd = stddev(values);
+    if (per_task.size() >= 2) {
+      const double sd = stddev(values.span().first(per_task.size()));
       if (sd > 1e-12) norm[j] = sd;
     }
   }
@@ -60,7 +68,11 @@ double framework_iterate_once(const GroupedData& grouped,
                 "normalizers do not match the grouped data");
 
   // Group weight estimation: W over the group's aggregated residuals.
-  std::vector<double> losses(n_groups, 0.0);
+  // Per-iteration scratch comes from the per-thread workspace, so a warm
+  // iteration performs zero heap allocations.
+  auto losses_storage = Workspace::local().borrow<double>(n_groups);
+  std::span<double> losses = losses_storage.span();
+  std::fill(losses.begin(), losses.end(), 0.0);
   double total_loss = 0.0;
   for (std::size_t j = 0; j < n_tasks; ++j) {
     if (std::isnan(truths[j])) continue;
@@ -88,7 +100,8 @@ double framework_iterate_once(const GroupedData& grouped,
   }
 
   // Truth estimation over groups.
-  std::vector<double> next_truths(n_tasks, nan_value());
+  auto next_storage = Workspace::local().borrow<double>(n_tasks);
+  std::span<double> next_truths = next_storage.span();
   for (std::size_t j = 0; j < n_tasks; ++j) {
     double num = 0.0, den = 0.0;
     for (const auto& datum : grouped.per_task[j]) {
@@ -98,8 +111,13 @@ double framework_iterate_once(const GroupedData& grouped,
     next_truths[j] = den > 0.0 ? num / den : nan_value();
   }
 
-  const double delta = truth::max_abs_difference(truths, next_truths);
-  truths = std::move(next_truths);
+  double delta = 0.0;
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    if (!std::isnan(truths[j]) && !std::isnan(next_truths[j])) {
+      delta = std::max(delta, std::abs(truths[j] - next_truths[j]));
+    }
+    truths[j] = next_truths[j];
+  }
   return delta;
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/stats.h"
+#include "common/workspace.h"
 
 namespace sybiltd::dtw {
 
@@ -22,6 +23,14 @@ std::size_t effective_band(std::size_t m, std::size_t n, std::size_t band) {
   return std::max(band, diff);
 }
 
+// DP cell for the distance-only recursion: (cost, path length), so Eq. (7)
+// normalization works without materializing the path.
+struct Cell {
+  double cost;
+  std::size_t len;
+};
+constexpr Cell kInfCell{kInf, 0};
+
 }  // namespace
 
 DtwResult dtw_full(std::span<const double> a, std::span<const double> b,
@@ -31,14 +40,28 @@ DtwResult dtw_full(std::span<const double> a, std::span<const double> b,
   const std::size_t n = b.size();
   const std::size_t w = effective_band(m, n, options.band);
 
-  // r(i, j) = cost(i, j) + min(r(i-1,j-1), r(i-1,j), r(i,j-1))
-  std::vector<double> r(m * n, kInf);
+  // r(i, j) = cost(i, j) + min(r(i-1,j-1), r(i-1,j), r(i,j-1)), stored
+  // band-only: row i keeps columns [base(i), min(n-1, i+w)], at most
+  // min(n, 2w+1) cells, instead of the dense m*n infinity matrix.  Every
+  // in-band cell is written before it is read, so no fill is needed;
+  // out-of-band reads return infinity from the accessor, exactly as the
+  // dense matrix's untouched cells did.
+  const std::size_t width = std::min(n, 2 * w + 1);
+  auto band_storage = Workspace::local().borrow<double>(m * width);
+  double* band = band_storage.data();
+  auto base = [&](std::size_t i) { return i > w ? i - w : 0; };
   auto at = [&](std::size_t i, std::size_t j) -> double& {
-    return r[i * n + j];
+    return band[i * width + (j - base(i))];
+  };
+  auto in_band = [&](std::size_t i, std::size_t j) {
+    return j >= base(i) && j <= i + w && j < n;
+  };
+  auto cost_at = [&](std::size_t i, std::size_t j) {
+    return in_band(i, j) ? at(i, j) : kInf;
   };
 
   for (std::size_t i = 0; i < m; ++i) {
-    const std::size_t j_lo = i > w ? i - w : 0;
+    const std::size_t j_lo = base(i);
     const std::size_t j_hi = std::min(n - 1, i + w);
     for (std::size_t j = j_lo; j <= j_hi; ++j) {
       const double cost = sq(a[i] - b[j]);
@@ -46,14 +69,14 @@ DtwResult dtw_full(std::span<const double> a, std::span<const double> b,
       if (i == 0 && j == 0) {
         best = 0.0;
       } else {
-        if (i > 0 && j > 0) best = std::min(best, at(i - 1, j - 1));
-        if (i > 0) best = std::min(best, at(i - 1, j));
-        if (j > 0) best = std::min(best, at(i, j - 1));
+        if (i > 0 && j > 0) best = std::min(best, cost_at(i - 1, j - 1));
+        if (i > 0) best = std::min(best, cost_at(i - 1, j));
+        if (j > 0) best = std::min(best, cost_at(i, j - 1));
       }
       at(i, j) = cost + best;
     }
   }
-  SYBILTD_ASSERT(at(m - 1, n - 1) < kInf);
+  SYBILTD_ASSERT(cost_at(m - 1, n - 1) < kInf);
 
   DtwResult result;
   result.total_cost = at(m - 1, n - 1);
@@ -64,17 +87,17 @@ DtwResult dtw_full(std::span<const double> a, std::span<const double> b,
   while (i > 0 || j > 0) {
     double best = kInf;
     std::size_t bi = i, bj = j;
-    if (i > 0 && j > 0 && at(i - 1, j - 1) < best) {
+    if (i > 0 && j > 0 && cost_at(i - 1, j - 1) < best) {
       best = at(i - 1, j - 1);
       bi = i - 1;
       bj = j - 1;
     }
-    if (i > 0 && at(i - 1, j) < best) {
+    if (i > 0 && cost_at(i - 1, j) < best) {
       best = at(i - 1, j);
       bi = i - 1;
       bj = j;
     }
-    if (j > 0 && at(i, j - 1) < best) {
+    if (j > 0 && cost_at(i, j - 1) < best) {
       best = at(i, j - 1);
       bi = i;
       bj = j - 1;
@@ -98,19 +121,23 @@ double dtw_distance(std::span<const double> a, std::span<const double> b,
   const std::size_t n = b.size();
   const std::size_t w = effective_band(m, n, options.band);
 
-  // Two-row DP carrying (cost, path length) so we can apply Eq. (7)'s
-  // normalization without materializing the path.  Ties in cost are broken
-  // toward the shorter path, matching the path recovered by dtw_full.
-  struct Cell {
-    double cost = kInf;
-    std::size_t len = 0;
-  };
-  std::vector<Cell> prev(n), curr(n);
+  // Two rolling rows from the per-thread workspace.  The rows start
+  // uninitialized and only the band-edge cells are ever cleared: row i
+  // writes its whole band [j_lo, j_hi], so the only cells a later row can
+  // read without this row having written them are the two just outside the
+  // band (the bands of consecutive rows shift by at most one column).
+  // Those get an explicit infinity; everything further out is unreachable.
+  auto prev_storage = Workspace::local().borrow<Cell>(n);
+  auto curr_storage = Workspace::local().borrow<Cell>(n);
+  Cell* prev = prev_storage.data();
+  Cell* curr = curr_storage.data();
 
   for (std::size_t i = 0; i < m; ++i) {
-    std::fill(curr.begin(), curr.end(), Cell{});
     const std::size_t j_lo = i > w ? i - w : 0;
     const std::size_t j_hi = std::min(n - 1, i + w);
+    // Left edge: curr[j_lo - 1] is read as this row's in-row predecessor
+    // and as the next row's diagonal/vertical predecessor.
+    if (j_lo > 0) curr[j_lo - 1] = kInfCell;
     for (std::size_t j = j_lo; j <= j_hi; ++j) {
       const double cost = sq(a[i] - b[j]);
       Cell best{kInf, 0};
@@ -129,6 +156,8 @@ double dtw_distance(std::span<const double> a, std::span<const double> b,
       }
       curr[j] = {cost + best.cost, best.len + 1};
     }
+    // Right edge: the next row's band may reach one past this row's.
+    if (j_hi + 1 < n) curr[j_hi + 1] = kInfCell;
     std::swap(prev, curr);
   }
   const Cell end = prev[n - 1];
@@ -139,16 +168,19 @@ double dtw_distance(std::span<const double> a, std::span<const double> b,
 double dtw_distance_znorm(std::span<const double> a,
                           std::span<const double> b,
                           const DtwOptions& options) {
-  auto znorm = [](std::span<const double> xs) {
-    std::vector<double> out(xs.begin(), xs.end());
+  auto& workspace = Workspace::local();
+  auto na = workspace.borrow<double>(a.size());
+  auto nb = workspace.borrow<double>(b.size());
+  auto znorm = [](std::span<const double> xs, double* out) {
     const double mu = mean(xs);
     const double sd = stddev(xs);
-    for (double& x : out) x = sd > 1e-12 ? (x - mu) / sd : 0.0;
-    return out;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      out[i] = sd > 1e-12 ? (xs[i] - mu) / sd : 0.0;
+    }
   };
-  const auto na = znorm(a);
-  const auto nb = znorm(b);
-  return dtw_distance(na, nb, options);
+  znorm(a, na.data());
+  znorm(b, nb.data());
+  return dtw_distance(na.span(), nb.span(), options);
 }
 
 }  // namespace sybiltd::dtw

@@ -75,6 +75,11 @@ SingleRun run_lloyd(const Matrix& data, std::size_t k,
   run.centroids = seed_centroids(data, k, rng);
   run.labels.assign(n, 0);
 
+  // Update-step scratch hoisted out of the Lloyd loop: the accumulator
+  // matrix and counts are zeroed and swapped each iteration instead of
+  // reallocated.
+  Matrix next(k, data.cols(), 0.0);
+  std::vector<std::size_t> counts(k, 0);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     run.iterations = iter + 1;
     // Assignment step: each point's nearest centroid depends only on the
@@ -98,8 +103,11 @@ SingleRun run_lloyd(const Matrix& data, std::size_t k,
       }
     });
     // Update step.
-    Matrix next(k, data.cols(), 0.0);
-    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t j = 0; j < k; ++j) {
+      auto next_row = next.row(j);
+      std::fill(next_row.begin(), next_row.end(), 0.0);
+    }
+    std::fill(counts.begin(), counts.end(), 0);
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t j = run.labels[i];
       ++counts[j];
@@ -133,7 +141,7 @@ SingleRun run_lloyd(const Matrix& data, std::size_t k,
       max_move = std::max(
           max_move, squared_distance(next.row(j), run.centroids.row(j)));
     }
-    run.centroids = std::move(next);
+    std::swap(run.centroids, next);
     if (!changed || max_move < options.tolerance) break;
   }
 

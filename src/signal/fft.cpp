@@ -1,9 +1,13 @@
 #include "signal/fft.h"
 
 #include <cmath>
+#include <mutex>
 #include <numbers>
+#include <unordered_map>
+#include <utility>
 
 #include "common/error.h"
+#include "common/workspace.h"
 
 namespace sybiltd::signal {
 
@@ -15,9 +19,106 @@ std::size_t next_power_of_two(std::size_t n) {
   return p;
 }
 
-void fft_radix2(std::vector<Complex>& data, bool inverse) {
-  const std::size_t n = data.size();
-  SYBILTD_CHECK(is_power_of_two(n), "fft_radix2 needs a power-of-two size");
+namespace {
+
+std::mutex g_plan_mutex;
+std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>>& plan_cache() {
+  static std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> cache;
+  return cache;
+}
+std::size_t plan_key(std::size_t n, bool inverse) {
+  return (n << 1) | static_cast<std::size_t>(inverse);
+}
+
+}  // namespace
+
+FftPlan::FftPlan(std::size_t n, bool inverse) : n_(n), inverse_(inverse) {
+  SYBILTD_CHECK(n >= 1, "FFT plan needs a nonzero length");
+  const std::size_t radix2_n = is_power_of_two(n) ? n : next_power_of_two(2 * n - 1);
+  if (is_power_of_two(n)) {
+    // Twiddle table for the iterative butterflies, generated with the same
+    // w *= wlen recurrence the per-call loop used — the k-th entry of each
+    // stage is the incremental product, not a directly evaluated
+    // exponential, so cached results match the uncached ones bitwise.
+    twiddles_.reserve(radix2_n > 1 ? radix2_n - 1 : 0);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                           static_cast<double>(len);
+      const Complex wlen(std::cos(angle), std::sin(angle));
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        twiddles_.push_back(w);
+        w *= wlen;
+      }
+    }
+    return;
+  }
+
+  // Bluestein invariants: chirp[k] = exp(sign * i * pi * k^2 / n), the
+  // zero-padded conjugate-chirp kernel b, and b's forward FFT.
+  const double sign = inverse ? 1.0 : -1.0;
+  chirp_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument small and exact.
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle = sign * std::numbers::pi * static_cast<double>(k2) /
+                         static_cast<double>(n);
+    chirp_[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+  m_ = next_power_of_two(2 * n - 1);
+  forward_m_ = plan_for(m_, /*inverse=*/false);
+  inverse_m_ = plan_for(m_, /*inverse=*/true);
+  kernel_fft_.assign(m_, Complex(0.0, 0.0));
+  kernel_fft_[0] = std::conj(chirp_[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    kernel_fft_[k] = kernel_fft_[m_ - k] = std::conj(chirp_[k]);
+  }
+  forward_m_->apply(kernel_fft_);
+}
+
+std::shared_ptr<const FftPlan> FftPlan::plan_for(std::size_t n,
+                                                 bool inverse) {
+  const std::size_t key = plan_key(n, inverse);
+  {
+    std::lock_guard<std::mutex> lock(g_plan_mutex);
+    auto it = plan_cache().find(key);
+    if (it != plan_cache().end()) return it->second;
+  }
+  // Build outside the lock: plan construction can itself look up sub-plans
+  // (Bluestein needs the length-m radix-2 plans), and concurrent builders
+  // of the same plan at worst duplicate work — emplace keeps the first.
+  auto plan = make_cold(n, inverse);
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  auto [it, inserted] = plan_cache().emplace(key, std::move(plan));
+  return it->second;
+}
+
+std::shared_ptr<const FftPlan> FftPlan::make_cold(std::size_t n,
+                                                  bool inverse) {
+  return std::shared_ptr<const FftPlan>(new FftPlan(n, inverse));
+}
+
+std::size_t FftPlan::cache_size() {
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  return plan_cache().size();
+}
+
+void FftPlan::clear_cache() {
+  std::lock_guard<std::mutex> lock(g_plan_mutex);
+  plan_cache().clear();
+}
+
+void FftPlan::apply(std::span<Complex> data) const {
+  SYBILTD_CHECK(data.size() == n_, "FFT plan length mismatch");
+  if (uses_bluestein()) {
+    apply_bluestein(data);
+  } else {
+    apply_radix2(data);
+  }
+}
+
+void FftPlan::apply_radix2(std::span<Complex> data) const {
+  const std::size_t n = n_;
   // Bit-reversal permutation.
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
@@ -25,83 +126,55 @@ void fft_radix2(std::vector<Complex>& data, bool inverse) {
     j ^= bit;
     if (i < j) std::swap(data[i], data[j]);
   }
-  // Butterflies.
+  // Butterflies over the cached twiddles.
+  const Complex* tw = twiddles_.data();
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
-    const Complex wlen(std::cos(angle), std::sin(angle));
     for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
       for (std::size_t k = 0; k < len / 2; ++k) {
         const Complex u = data[i + k];
-        const Complex v = data[i + k + len / 2] * w;
+        const Complex v = data[i + k + len / 2] * tw[k];
         data[i + k] = u + v;
         data[i + k + len / 2] = u - v;
-        w *= wlen;
       }
     }
+    tw += len / 2;
   }
 }
 
-namespace {
-
-// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
-// convolution, evaluated with a power-of-two FFT.
-std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
-  const std::size_t n = input.size();
-  if (n == 0) return {};
-  const double sign = inverse ? 1.0 : -1.0;
-  // chirp[k] = exp(sign * i * pi * k^2 / n)
-  std::vector<Complex> chirp(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n keeps the angle argument small and exact.
-    const std::size_t k2 = (k * k) % (2 * n);
-    const double angle =
-        sign * std::numbers::pi * static_cast<double>(k2) /
-        static_cast<double>(n);
-    chirp[k] = Complex(std::cos(angle), std::sin(angle));
-  }
-  const std::size_t m = next_power_of_two(2 * n - 1);
-  std::vector<Complex> a(m, Complex(0.0, 0.0));
-  std::vector<Complex> b(m, Complex(0.0, 0.0));
-  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
-  b[0] = std::conj(chirp[0]);
-  for (std::size_t k = 1; k < n; ++k) {
-    b[k] = b[m - k] = std::conj(chirp[k]);
-  }
-  fft_radix2(a, /*inverse=*/false);
-  fft_radix2(b, /*inverse=*/false);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fft_radix2(a, /*inverse=*/true);
-  const double scale = 1.0 / static_cast<double>(m);
-  std::vector<Complex> out(n);
-  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * scale * chirp[k];
-  return out;
+void FftPlan::apply_bluestein(std::span<Complex> data) const {
+  const std::size_t n = n_;
+  // a = (input .* chirp), zero-padded to m; convolve with the cached
+  // kernel spectrum via the length-m radix-2 plans.
+  auto a_storage = Workspace::local().borrow<Complex>(m_);
+  Complex* a = a_storage.data();
+  for (std::size_t k = 0; k < n; ++k) a[k] = data[k] * chirp_[k];
+  for (std::size_t k = n; k < m_; ++k) a[k] = Complex(0.0, 0.0);
+  forward_m_->apply({a, m_});
+  for (std::size_t k = 0; k < m_; ++k) a[k] *= kernel_fft_[k];
+  inverse_m_->apply({a, m_});
+  const double scale = 1.0 / static_cast<double>(m_);
+  for (std::size_t k = 0; k < n; ++k) data[k] = a[k] * scale * chirp_[k];
 }
 
-}  // namespace
+void fft_radix2(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  SYBILTD_CHECK(is_power_of_two(n), "fft_radix2 needs a power-of-two size");
+  FftPlan::plan_for(n, inverse)->apply(data);
+}
 
 std::vector<Complex> fft(std::span<const Complex> input) {
   const std::size_t n = input.size();
   if (n == 0) return {};
-  if (is_power_of_two(n)) {
-    std::vector<Complex> data(input.begin(), input.end());
-    fft_radix2(data, /*inverse=*/false);
-    return data;
-  }
-  return bluestein(input, /*inverse=*/false);
+  std::vector<Complex> data(input.begin(), input.end());
+  FftPlan::plan_for(n, /*inverse=*/false)->apply(data);
+  return data;
 }
 
 std::vector<Complex> inverse_fft(std::span<const Complex> input) {
   const std::size_t n = input.size();
   if (n == 0) return {};
-  std::vector<Complex> data;
-  if (is_power_of_two(n)) {
-    data.assign(input.begin(), input.end());
-    fft_radix2(data, /*inverse=*/true);
-  } else {
-    data = bluestein(input, /*inverse=*/true);
-  }
+  std::vector<Complex> data(input.begin(), input.end());
+  FftPlan::plan_for(n, /*inverse=*/true)->apply(data);
   const double scale = 1.0 / static_cast<double>(n);
   for (auto& x : data) x *= scale;
   return data;
@@ -112,7 +185,8 @@ std::vector<Complex> fft_real(std::span<const double> input) {
   for (std::size_t i = 0; i < input.size(); ++i) {
     cx[i] = Complex(input[i], 0.0);
   }
-  return fft(cx);
+  if (!cx.empty()) FftPlan::plan_for(cx.size(), /*inverse=*/false)->apply(cx);
+  return cx;
 }
 
 }  // namespace sybiltd::signal

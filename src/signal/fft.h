@@ -4,9 +4,20 @@
 // power spectrum of short IMU streams of arbitrary length.  We provide an
 // iterative radix-2 Cooley–Tukey FFT for power-of-two sizes and Bluestein's
 // chirp-z algorithm for everything else, so callers never have to pad.
+//
+// Transforms execute through cached FftPlans: all per-length invariants —
+// the radix-2 twiddle tables (stored stage by stage, generated with the
+// same incremental w *= wlen recurrence the direct loop used, so results
+// are bit-identical), and for Bluestein the chirp table plus the
+// pre-transformed convolution kernel — are computed once per (length,
+// direction) and shared process-wide.  Per-call scratch comes from the
+// per-thread Workspace, so a warm transform performs no heap allocation
+// beyond its output.
 #pragma once
 
 #include <complex>
+#include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -18,6 +29,53 @@ using Complex = std::complex<double>;
 bool is_power_of_two(std::size_t n);
 // Smallest power of two >= n.
 std::size_t next_power_of_two(std::size_t n);
+
+// Cached per-length transform plan.  Immutable after construction; safe to
+// share between threads (apply() mutates only its argument and per-thread
+// workspace scratch).
+class FftPlan {
+ public:
+  // The process-wide cached plan for this (length, direction).  Lookups
+  // are mutex-guarded; plan construction happens outside the lock, so a
+  // rare duplicate build may be discarded, never a torn one.
+  static std::shared_ptr<const FftPlan> plan_for(std::size_t n, bool inverse);
+
+  // A fresh, uncached plan.  For tests proving cached == cold output.
+  static std::shared_ptr<const FftPlan> make_cold(std::size_t n,
+                                                  bool inverse);
+
+  std::size_t length() const { return n_; }
+  bool inverse() const { return inverse_; }
+  bool uses_bluestein() const { return !chirp_.empty(); }
+
+  // Transform `data` (length() elements) in place.  No normalization is
+  // applied; inverse callers divide by n, exactly as with fft_radix2.
+  void apply(std::span<Complex> data) const;
+
+  // Cache introspection for tests.
+  static std::size_t cache_size();
+  static void clear_cache();
+
+ private:
+  FftPlan(std::size_t n, bool inverse);
+
+  void apply_radix2(std::span<Complex> data) const;
+  void apply_bluestein(std::span<Complex> data) const;
+
+  std::size_t n_ = 0;
+  bool inverse_ = false;
+
+  // Radix-2 butterflies (used directly for power-of-two lengths): one
+  // twiddle per (stage, k), concatenated in stage order.
+  std::vector<Complex> twiddles_;
+
+  // Bluestein state (non-power-of-two lengths only).
+  std::size_t m_ = 0;                      // convolution length (power of 2)
+  std::vector<Complex> chirp_;             // exp(sign*i*pi*k^2/n)
+  std::vector<Complex> kernel_fft_;        // forward FFT of the b sequence
+  std::shared_ptr<const FftPlan> forward_m_;  // radix-2 plans for length m
+  std::shared_ptr<const FftPlan> inverse_m_;
+};
 
 // In-place radix-2 FFT.  data.size() must be a power of two.
 // inverse=true computes the unscaled inverse transform; callers divide by n.

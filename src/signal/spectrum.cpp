@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/workspace.h"
 #include "signal/fft.h"
+#include "signal/welch.h"
 
 namespace sybiltd::signal {
 
@@ -23,11 +25,19 @@ Spectrum compute_spectrum(std::span<const double> signal,
   out.signal_length = signal.size();
   if (signal.empty()) return out;
 
-  const auto w = make_window(window, signal.size());
-  const auto windowed = apply_window(signal, w);
-  const auto full = fft_real(windowed);
+  // Window coefficients and the FFT plan are cached per (kind, length);
+  // the windowed complex buffer is per-thread workspace scratch.
+  const std::size_t n = signal.size();
+  const auto plan = WelchPlan::plan_for(window, n);
+  const std::span<const double> w = plan->window();
+  auto full_storage = Workspace::local().borrow<Complex>(n);
+  Complex* full = full_storage.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    full[i] = Complex(signal[i] * w[i], 0.0);
+  }
+  plan->fft().apply({full, n});
 
-  const std::size_t half = signal.size() / 2 + 1;
+  const std::size_t half = n / 2 + 1;
   out.magnitude.resize(half);
   for (std::size_t k = 0; k < half; ++k) {
     out.magnitude[k] = std::abs(full[k]);

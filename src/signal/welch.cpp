@@ -2,11 +2,64 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 
 #include "common/error.h"
-#include "signal/fft.h"
+#include "common/workspace.h"
 
 namespace sybiltd::signal {
+
+namespace {
+
+std::mutex g_welch_mutex;
+std::unordered_map<std::size_t, std::shared_ptr<const WelchPlan>>&
+welch_cache() {
+  static std::unordered_map<std::size_t, std::shared_ptr<const WelchPlan>>
+      cache;
+  return cache;
+}
+std::size_t welch_key(WindowKind kind, std::size_t length) {
+  return (length << 3) | static_cast<std::size_t>(kind);
+}
+
+}  // namespace
+
+WelchPlan::WelchPlan(WindowKind kind, std::size_t length)
+    : window_(make_window(kind, length)),
+      fft_(FftPlan::plan_for(length, /*inverse=*/false)) {
+  for (double w : window_) window_power_ += w * w;
+}
+
+std::shared_ptr<const WelchPlan> WelchPlan::plan_for(WindowKind kind,
+                                                     std::size_t length) {
+  const std::size_t key = welch_key(kind, length);
+  {
+    std::lock_guard<std::mutex> lock(g_welch_mutex);
+    auto it = welch_cache().find(key);
+    if (it != welch_cache().end()) return it->second;
+  }
+  auto plan = make_cold(kind, length);
+  std::lock_guard<std::mutex> lock(g_welch_mutex);
+  auto [it, inserted] = welch_cache().emplace(key, std::move(plan));
+  return it->second;
+}
+
+std::shared_ptr<const WelchPlan> WelchPlan::make_cold(WindowKind kind,
+                                                      std::size_t length) {
+  return std::shared_ptr<const WelchPlan>(new WelchPlan(kind, length));
+}
+
+std::size_t WelchPlan::cache_size() {
+  std::lock_guard<std::mutex> lock(g_welch_mutex);
+  return welch_cache().size();
+}
+
+void WelchPlan::clear_cache() {
+  std::lock_guard<std::mutex> lock(g_welch_mutex);
+  welch_cache().clear();
+}
 
 double PowerSpectralDensity::frequency(std::size_t bin) const {
   SYBILTD_CHECK(bin < psd.size(), "PSD bin out of range");
@@ -15,9 +68,8 @@ double PowerSpectralDensity::frequency(std::size_t bin) const {
          static_cast<double>(segment_length);
 }
 
-PowerSpectralDensity welch_psd(std::span<const double> signal,
-                               double sample_rate_hz,
-                               const WelchOptions& options) {
+void welch_psd_into(std::span<const double> signal, double sample_rate_hz,
+                    const WelchOptions& options, PowerSpectralDensity& out) {
   SYBILTD_CHECK(!signal.empty(), "Welch PSD of an empty signal");
   SYBILTD_CHECK(sample_rate_hz > 0.0, "sample rate must be positive");
   SYBILTD_CHECK(options.overlap >= 0.0 && options.overlap < 1.0,
@@ -30,25 +82,28 @@ PowerSpectralDensity welch_psd(std::span<const double> signal,
       1, static_cast<std::size_t>(
              std::lround(static_cast<double>(seg) * (1.0 - options.overlap))));
 
-  const auto window = make_window(options.window, seg);
-  double window_power = 0.0;
-  for (double w : window) window_power += w * w;
+  const auto plan = WelchPlan::plan_for(options.window, seg);
+  const std::span<const double> window = plan->window();
+  const double window_power = plan->window_power();
 
-  PowerSpectralDensity out;
   out.sample_rate_hz = sample_rate_hz;
   out.segment_length = seg;
+  out.segments_averaged = 0;
   out.psd.assign(seg / 2 + 1, 0.0);
 
+  // One complex segment buffer from the per-thread workspace, windowed and
+  // transformed in place per segment.
+  auto segment_storage = Workspace::local().borrow<Complex>(seg);
+  Complex* segment = segment_storage.data();
   for (std::size_t start = 0; start + seg <= signal.size(); start += hop) {
-    std::vector<double> segment(seg);
     for (std::size_t i = 0; i < seg; ++i) {
-      segment[i] = signal[start + i] * window[i];
+      segment[i] = Complex(signal[start + i] * window[i], 0.0);
     }
-    const auto spectrum = fft_real(segment);
+    plan->fft().apply({segment, seg});
     for (std::size_t k = 0; k < out.psd.size(); ++k) {
       // One-sided periodogram scaling: double the interior bins.
       const double scale = (k == 0 || 2 * k == seg) ? 1.0 : 2.0;
-      out.psd[k] += scale * std::norm(spectrum[k]) /
+      out.psd[k] += scale * std::norm(segment[k]) /
                     (sample_rate_hz * window_power);
     }
     ++out.segments_averaged;
@@ -58,6 +113,13 @@ PowerSpectralDensity welch_psd(std::span<const double> signal,
   for (double& p : out.psd) {
     p /= static_cast<double>(out.segments_averaged);
   }
+}
+
+PowerSpectralDensity welch_psd(std::span<const double> signal,
+                               double sample_rate_hz,
+                               const WelchOptions& options) {
+  PowerSpectralDensity out;
+  welch_psd_into(signal, sample_rate_hz, options, out);
   return out;
 }
 

@@ -3,11 +3,20 @@
 // spectra than a single periodogram, which stabilizes the spectral
 // fingerprint features across captures (exposed via FeatureOptions in the
 // AG-FP ablations).
+//
+// Per-shape invariants — the window coefficients, their power, and the
+// segment FFT plan — are cached in a WelchPlan keyed by (window kind,
+// segment length); per-segment scratch comes from the per-thread
+// Workspace.  welch_psd_into() reuses the caller's output storage, so a
+// warm call performs zero heap allocations.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "signal/fft.h"
 #include "signal/spectrum.h"
 #include "signal/window.h"
 
@@ -34,9 +43,42 @@ struct PowerSpectralDensity {
   double frequency(std::size_t bin) const;
 };
 
+// Cached invariants of one (window kind, segment length) spectral shape:
+// the window coefficients, their summed squared power, and the segment's
+// FFT plan.  Immutable and shareable across threads.
+class WelchPlan {
+ public:
+  // Process-wide cached plan (mutex-guarded lookups).
+  static std::shared_ptr<const WelchPlan> plan_for(WindowKind kind,
+                                                   std::size_t length);
+  // A fresh, uncached plan, for tests proving cached == cold output.
+  static std::shared_ptr<const WelchPlan> make_cold(WindowKind kind,
+                                                    std::size_t length);
+
+  std::span<const double> window() const { return window_; }
+  double window_power() const { return window_power_; }
+  std::size_t length() const { return window_.size(); }
+  const FftPlan& fft() const { return *fft_; }
+
+  static std::size_t cache_size();
+  static void clear_cache();
+
+ private:
+  WelchPlan(WindowKind kind, std::size_t length);
+
+  std::vector<double> window_;
+  double window_power_ = 0.0;
+  std::shared_ptr<const FftPlan> fft_;
+};
+
 PowerSpectralDensity welch_psd(std::span<const double> signal,
                                double sample_rate_hz,
                                const WelchOptions& options = {});
+
+// Same estimate written into caller-owned storage.  `out.psd`'s capacity
+// is reused, so repeated calls with the same shape allocate nothing.
+void welch_psd_into(std::span<const double> signal, double sample_rate_hz,
+                    const WelchOptions& options, PowerSpectralDensity& out);
 
 // Convert a PSD estimate into the magnitude-spectrum form the feature
 // extractor consumes (sqrt of the PSD, same bin/frequency layout).

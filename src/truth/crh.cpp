@@ -39,13 +39,20 @@ Result Crh::run(const ObservationTable& data) const {
   if (options_.random_init) {
     Rng rng(options_.init_seed);
     for (std::size_t j = 0; j < n_tasks; ++j) {
-      std::vector<double> values;
+      // Min/max fold over the task's observations — no temporary vector.
+      bool any = false;
+      double lo = 0.0, hi = 0.0;
       for (std::size_t idx : data.task_observations(j)) {
-        values.push_back(data.observations()[idx].value);
+        const double v = data.observations()[idx].value;
+        if (!any) {
+          lo = hi = v;
+          any = true;
+        } else {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
       }
-      if (values.empty()) continue;
-      const double lo = *std::min_element(values.begin(), values.end());
-      const double hi = *std::max_element(values.begin(), values.end());
+      if (!any) continue;
       result.truths[j] = rng.uniform(lo, hi == lo ? lo + 1.0 : hi);
     }
   } else {
@@ -54,13 +61,16 @@ Result Crh::run(const ObservationTable& data) const {
     }
   }
 
+  // Per-iteration scratch, allocated once: the iteration loop itself is
+  // heap-allocation-free (asserted in tests/workspace_test.cpp).
   std::vector<double> next_truths(n_tasks, nan_value());
+  std::vector<double> losses(n_accounts, 0.0);
   for (std::size_t iter = 0; iter < options_.convergence.max_iterations;
        ++iter) {
     result.iterations = iter + 1;
 
     // --- Weight estimation (Eq. 1 with W = log(sum/·)) ------------------
-    std::vector<double> losses(n_accounts, 0.0);
+    std::fill(losses.begin(), losses.end(), 0.0);
     double total_loss = 0.0;
     for (const Observation& obs : data.observations()) {
       if (std::isnan(result.truths[obs.task])) continue;
@@ -99,7 +109,9 @@ Result Crh::run(const ObservationTable& data) const {
     }
 
     const double delta = max_abs_difference(result.truths, next_truths);
-    result.truths = next_truths;
+    // Swap instead of copy: next_truths' old contents are fully rewritten
+    // at the top of the next iteration.
+    std::swap(result.truths, next_truths);
     if (delta < options_.convergence.truth_tolerance) {
       result.converged = true;
       break;

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/stats.h"
+#include "common/workspace.h"
 
 namespace sybiltd::truth {
 
@@ -56,20 +57,28 @@ void OnlineCrh::refine(std::size_t iterations) {
 void OnlineCrh::iterate_once() {
   if (observations_.empty()) return;
 
+  // All per-iteration scratch comes from the per-thread workspace: after
+  // the first call every buffer is a warm pool hit, so a steady-state
+  // refinement sweep performs zero heap allocations.
+  auto& workspace = Workspace::local();
+
   // Per-task scale (influence-weighted std of live values; 1 if degenerate).
-  std::vector<RunningMoments> task_stats(task_count_);
+  auto task_stats = workspace.borrow<RunningMoments>(task_count_);
+  std::fill(task_stats.begin(), task_stats.end(), RunningMoments{});
   for (const Decayed& obs : observations_) {
     task_stats[obs.task].add(obs.value);
   }
-  std::vector<double> norm(task_count_, 1.0);
+  auto norm = workspace.borrow<double>(task_count_);
   for (std::size_t j = 0; j < task_count_; ++j) {
     const double sd = task_stats[j].stddev();
-    if (sd > 1e-12) norm[j] = sd;
+    norm[j] = sd > 1e-12 ? sd : 1.0;
   }
 
   // Weight estimation with decayed losses.
-  std::vector<double> losses(account_count_, 0.0);
-  std::vector<double> mass(account_count_, 0.0);
+  auto losses = workspace.borrow<double>(account_count_);
+  auto mass = workspace.borrow<double>(account_count_);
+  std::fill(losses.begin(), losses.end(), 0.0);
+  std::fill(mass.begin(), mass.end(), 0.0);
   for (const Decayed& obs : observations_) {
     if (std::isnan(truths_[obs.task])) continue;
     const double w = influence(obs);
@@ -93,7 +102,10 @@ void OnlineCrh::iterate_once() {
   }
 
   // Truth estimation with decay-weighted, weight-weighted means.
-  std::vector<double> num(task_count_, 0.0), den(task_count_, 0.0);
+  auto num = workspace.borrow<double>(task_count_);
+  auto den = workspace.borrow<double>(task_count_);
+  std::fill(num.begin(), num.end(), 0.0);
+  std::fill(den.begin(), den.end(), 0.0);
   for (const Decayed& obs : observations_) {
     const double w = influence(obs) * weights_[obs.account];
     num[obs.task] += w * obs.value;

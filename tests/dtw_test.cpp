@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
 
 #include "common/rng.h"
 #include "dtw/dtw.h"
@@ -172,6 +175,136 @@ TEST(Dtw, ZnormConstantSeriesIsZeroVector) {
   const std::vector<double> a{2, 2, 2};
   const std::vector<double> b{7, 7, 7};
   EXPECT_NEAR(dtw_distance_znorm(a, b), 0.0, 1e-12);
+}
+
+// --- Banded vs dense-reference equivalence ---------------------------------
+// The production kernels store only the band (dtw_full) or two rolling rows
+// with band-edge infinity clears (dtw_distance).  This reference builds the
+// obviously-correct dense m*n matrix, infinity-filled up front, with the
+// same Sakoe–Chiba band and the same (cost, path-length) tie-breaking —
+// any stale-cell bug in the banded storage shows up as a mismatch here.
+
+struct RefCell {
+  double cost;
+  std::size_t len;
+};
+
+RefCell dense_banded_reference(std::span<const double> a,
+                               std::span<const double> b, std::size_t band) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  std::size_t w = band == 0 ? std::max(m, n) : band;
+  const std::size_t diff = m > n ? m - n : n - m;
+  w = std::max(w, diff);  // same widening as the implementation
+
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<RefCell> dp(m * n, {inf, 0});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t gap = i > j ? i - j : j - i;
+      if (gap > w) continue;
+      const double cost = (a[i] - b[j]) * (a[i] - b[j]);
+      RefCell best{inf, 0};
+      auto consider = [&](const RefCell& c) {
+        if (c.cost < best.cost ||
+            (c.cost == best.cost && c.len < best.len)) {
+          best = c;
+        }
+      };
+      if (i == 0 && j == 0) {
+        best = {0.0, 0};
+      } else {
+        if (i > 0 && j > 0) consider(dp[(i - 1) * n + (j - 1)]);
+        if (i > 0) consider(dp[(i - 1) * n + j]);
+        if (j > 0) consider(dp[i * n + (j - 1)]);
+      }
+      dp[i * n + j] = {cost + best.cost, best.len + 1};
+    }
+  }
+  return dp[m * n - 1];
+}
+
+TEST(DtwBandedEquivalence, DistanceMatchesDenseReference) {
+  Rng rng(40);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<double> a(2 + rng.uniform_index(24));
+    std::vector<double> b(2 + rng.uniform_index(24));
+    for (auto& v : a) v = rng.uniform(-3, 3);
+    for (auto& v : b) v = rng.uniform(-3, 3);
+    for (const std::size_t band : {0ul, 1ul, 2ul, 4ul, 8ul}) {
+      DtwOptions opt;
+      opt.band = band;
+      const RefCell ref = dense_banded_reference(a, b, band);
+      ASSERT_TRUE(std::isfinite(ref.cost));
+      const double expected =
+          std::sqrt(ref.cost / static_cast<double>(ref.len));
+      EXPECT_EQ(dtw_distance(a, b, opt), expected)
+          << "m=" << a.size() << " n=" << b.size() << " band=" << band
+          << " trial=" << trial;
+    }
+  }
+}
+
+TEST(DtwBandedEquivalence, FullMatchesDenseReference) {
+  Rng rng(41);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> a(2 + rng.uniform_index(16));
+    std::vector<double> b(2 + rng.uniform_index(16));
+    for (auto& v : a) v = rng.uniform(-3, 3);
+    for (auto& v : b) v = rng.uniform(-3, 3);
+    for (const std::size_t band : {0ul, 1ul, 3ul, 6ul}) {
+      DtwOptions opt;
+      opt.band = band;
+      const RefCell ref = dense_banded_reference(a, b, band);
+      const auto r = dtw_full(a, b, opt);
+      EXPECT_EQ(r.total_cost, ref.cost)
+          << "m=" << a.size() << " n=" << b.size() << " band=" << band;
+      // The recovered path must realize the optimal cost inside the band.
+      double path_cost = 0.0;
+      for (const auto& [i, j] : r.path) {
+        const std::size_t gap = i > j ? i - j : j - i;
+        const std::size_t diff = a.size() > b.size()
+                                     ? a.size() - b.size()
+                                     : b.size() - a.size();
+        const std::size_t w =
+            band == 0 ? std::max(a.size(), b.size()) : std::max(band, diff);
+        EXPECT_LE(gap, w) << "path left the band";
+        path_cost += (a[i] - b[j]) * (a[i] - b[j]);
+      }
+      EXPECT_NEAR(path_cost, r.total_cost, 1e-9);
+    }
+  }
+}
+
+TEST(DtwBandedEquivalence, RepeatedCallsDoNotLeakStaleCells) {
+  // Stale rolling-row state from a previous (larger or differently-banded)
+  // call must not bleed into later results: interleave shapes and compare
+  // every call against a fresh reference.
+  Rng rng(42);
+  std::vector<double> big_a(48), big_b(48);
+  for (auto& v : big_a) v = rng.uniform(-2, 2);
+  for (auto& v : big_b) v = rng.uniform(-2, 2);
+  std::vector<double> small_a(7), small_b(9);
+  for (auto& v : small_a) v = rng.uniform(-2, 2);
+  for (auto& v : small_b) v = rng.uniform(-2, 2);
+
+  DtwOptions narrow;
+  narrow.band = 2;
+  DtwOptions wide;
+  wide.band = 30;
+  for (int round = 0; round < 5; ++round) {
+    for (const auto* opt : {&narrow, &wide}) {
+      const RefCell ref_big =
+          dense_banded_reference(big_a, big_b, opt->band);
+      EXPECT_EQ(dtw_distance(big_a, big_b, *opt),
+                std::sqrt(ref_big.cost / static_cast<double>(ref_big.len)));
+      const RefCell ref_small =
+          dense_banded_reference(small_a, small_b, opt->band);
+      EXPECT_EQ(
+          dtw_distance(small_a, small_b, *opt),
+          std::sqrt(ref_small.cost / static_cast<double>(ref_small.len)));
+    }
+  }
 }
 
 class DtwLowerBound : public ::testing::TestWithParam<std::uint64_t> {};

@@ -90,6 +90,40 @@ TEST(Welch, ValidatesOptions) {
   EXPECT_THROW(welch_psd(x, 0.0, {}), std::invalid_argument);
 }
 
+TEST(Welch, IntoVariantMatchesValueVariantExactly) {
+  const double fs = 100.0;
+  const auto x = tone(12.5, fs, 1500);
+  WelchOptions opt;
+  opt.segment_length = 256;
+  const auto fresh = welch_psd(x, fs, opt);
+
+  // Reused output storage must give bit-identical results, including when
+  // the storage previously held a different (larger) shape.
+  PowerSpectralDensity reused;
+  WelchOptions bigger;
+  bigger.segment_length = 512;
+  welch_psd_into(x, fs, bigger, reused);
+  welch_psd_into(x, fs, opt, reused);
+  EXPECT_EQ(reused.segment_length, fresh.segment_length);
+  EXPECT_EQ(reused.segments_averaged, fresh.segments_averaged);
+  ASSERT_EQ(reused.psd.size(), fresh.psd.size());
+  for (std::size_t k = 0; k < fresh.psd.size(); ++k) {
+    EXPECT_EQ(reused.psd[k], fresh.psd[k]) << "bin " << k;
+  }
+}
+
+TEST(Welch, PlanCacheIsSharedAcrossCalls) {
+  const auto x = tone(5.0, 100.0, 400);
+  welch_psd(x, 100.0, {});
+  const auto plan =
+      WelchPlan::plan_for(WindowKind::kHann, WelchOptions{}.segment_length);
+  const auto again =
+      WelchPlan::plan_for(WindowKind::kHann, WelchOptions{}.segment_length);
+  EXPECT_EQ(plan.get(), again.get());
+  EXPECT_EQ(plan->length(), WelchOptions{}.segment_length);
+  EXPECT_GT(plan->window_power(), 0.0);
+}
+
 TEST(Welch, ToSpectrumFeedsFeatureExtractor) {
   const double fs = 100.0;
   const auto x = tone(20.0, fs, 2048);
