@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts a campaign run leaves behind.
+
+Usage: check_trace.py <trace.json> <metrics.json>
+
+The trace file is the Chrome trace-event JSON written when SYBILTD_TRACE is
+set; the metrics file is the obs::to_json() dump written by
+`streaming_campaign --metrics`.  CI runs the example with both enabled and
+then this script, so a refactor that silently stops emitting spans or
+renames a core metric fails the build instead of being discovered the next
+time someone opens Perfetto.
+"""
+import json
+import sys
+
+# Spans the streaming example must emit: the per-shard drain, the campaign
+# regroup/refine pair, and the truth-discovery iteration loop.
+REQUIRED_SPANS = {
+    "shard/step",
+    "shard/apply",
+    "campaign/regroup",
+    "campaign/refine",
+    "framework/run",
+    "framework/iterate",
+}
+
+# Metrics whose disappearance would mean an instrumentation regression.
+REQUIRED_COUNTERS = {
+    "pipeline.accepted",
+    "pipeline.applied",
+    "pipeline.batches",
+    "pipeline.regroups",
+    "framework.runs",
+    "threadpool.submitted",
+    "threadpool.executed",
+    "workspace.borrows",
+}
+REQUIRED_HISTOGRAMS = {
+    "pipeline.batch_us",
+    "framework.iterations",
+    "framework.final_residual",
+    "threadpool.task_run_us",
+}
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as handle:
+        trace = json.load(handle)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents array")
+    names = set()
+    for event in events:
+        if event.get("ph") != "X":
+            fail(f"{path}: unexpected event phase {event.get('ph')!r}")
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                fail(f"{path}: event missing {key!r}: {event}")
+        names.add(event["name"])
+    missing = REQUIRED_SPANS - names
+    if missing:
+        fail(f"{path}: missing spans {sorted(missing)}; saw {sorted(names)}")
+    print(f"check_trace: {path}: {len(events)} spans, "
+          f"{len(names)} distinct names, all required spans present")
+
+
+def check_metrics(path):
+    with open(path) as handle:
+        metrics = json.load(handle)
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), list):
+            fail(f"{path}: missing {section!r} array")
+    for entry in metrics["counters"]:
+        if not isinstance(entry.get("name"), str):
+            fail(f"{path}: counter without name: {entry}")
+        if not isinstance(entry.get("value"), int) or entry["value"] < 0:
+            fail(f"{path}: counter {entry.get('name')}: bad value")
+    for entry in metrics["gauges"]:
+        if not isinstance(entry.get("name"), str):
+            fail(f"{path}: gauge without name: {entry}")
+        if not isinstance(entry.get("value"), (int, float)):
+            fail(f"{path}: gauge {entry.get('name')}: bad value")
+    for entry in metrics["histograms"]:
+        if not isinstance(entry.get("name"), str):
+            fail(f"{path}: histogram without name: {entry}")
+        if not isinstance(entry.get("count"), int):
+            fail(f"{path}: histogram {entry.get('name')}: bad count")
+        buckets = entry.get("buckets")
+        if not isinstance(buckets, list):
+            fail(f"{path}: histogram {entry.get('name')}: missing buckets")
+        total = sum(b.get("count", 0) for b in buckets)
+        if total != entry["count"]:
+            fail(f"{path}: histogram {entry.get('name')}: bucket counts "
+                 f"sum to {total}, expected {entry['count']}")
+
+    counters = {c["name"] for c in metrics["counters"]}
+    histograms = {h["name"] for h in metrics["histograms"]}
+    missing = REQUIRED_COUNTERS - counters
+    if missing:
+        fail(f"{path}: missing counters {sorted(missing)}")
+    missing = REQUIRED_HISTOGRAMS - histograms
+    if missing:
+        fail(f"{path}: missing histograms {sorted(missing)}")
+    applied = next(c["value"] for c in metrics["counters"]
+                   if c["name"] == "pipeline.applied")
+    if applied <= 0:
+        fail(f"{path}: pipeline.applied is {applied}; the run did no work")
+    print(f"check_trace: {path}: {len(counters)} counters, "
+          f"{len(metrics['gauges'])} gauges, {len(histograms)} histograms, "
+          f"schema OK")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    check_trace(argv[1])
+    check_metrics(argv[2])
+    print("check_trace: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

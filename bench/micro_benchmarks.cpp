@@ -22,6 +22,7 @@
 #include "ml/elbow.h"
 #include "ml/kmeans.h"
 #include "ml/pca.h"
+#include "obs/metrics.h"
 #include "sensing/fingerprint.h"
 #include "signal/features.h"
 #include "signal/fft.h"
@@ -38,6 +39,25 @@ std::vector<double> random_series(std::size_t n, std::uint64_t seed) {
   for (auto& v : out) v = rng.uniform(-1, 1);
   return out;
 }
+
+// Delta of a registry counter across the timed loop, attached to the
+// benchmark as a per-iteration rate: proves zero-alloc / cache-hit claims
+// directly in the `--json` report instead of a separate test binary.
+// compare_bench.py only reads the timing metric, so the extra counters
+// never affect the perf gate.
+class CounterDelta {
+ public:
+  explicit CounterDelta(const char* name)
+      : counter_(obs::MetricsRegistry::global().counter(name)),
+        start_(counter_.value()) {}
+  double delta() const {
+    return static_cast<double>(counter_.value() - start_);
+  }
+
+ private:
+  obs::Counter& counter_;
+  std::uint64_t start_;
+};
 
 void BM_FftPowerOfTwo(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -62,13 +82,25 @@ BENCHMARK(BM_FftBluestein)->Arg(601)->Arg(1201)->Arg(4801);
 
 void BM_WelchPsd(benchmark::State& state) {
   // welch_psd_into with reused output storage: zero heap allocations per
-  // call once the WelchPlan and workspace buffers are warm.
+  // call once the WelchPlan and workspace buffers are warm.  The registry
+  // deltas back that up in the JSON report: ws_heap_allocs/iter ~ 0 and
+  // plan_misses/iter ~ 0 once warm, while plan_hits tracks iterations.
   const auto x = random_series(static_cast<std::size_t>(state.range(0)), 13);
   signal::PowerSpectralDensity out;
+  signal::welch_psd_into(x, 100.0, {}, out);  // warm plan + workspace
+  CounterDelta heap_allocs("workspace.heap_allocations");
+  CounterDelta plan_hits("welch.plan_hits");
+  CounterDelta plan_misses("welch.plan_misses");
   for (auto _ : state) {
     signal::welch_psd_into(x, 100.0, {}, out);
     benchmark::DoNotOptimize(out.psd.data());
   }
+  state.counters["ws_heap_allocs"] =
+      benchmark::Counter(heap_allocs.delta(), benchmark::Counter::kAvgIterations);
+  state.counters["plan_hits"] =
+      benchmark::Counter(plan_hits.delta(), benchmark::Counter::kAvgIterations);
+  state.counters["plan_misses"] =
+      benchmark::Counter(plan_misses.delta(), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_WelchPsd)->Arg(600)->Arg(6000);
 
@@ -94,9 +126,13 @@ void BM_DtwFull(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto a = random_series(n, 5);
   const auto b = random_series(n, 6);
+  benchmark::DoNotOptimize(dtw::dtw_distance(a, b));  // warm workspace
+  CounterDelta heap_allocs("workspace.heap_allocations");
   for (auto _ : state) {
     benchmark::DoNotOptimize(dtw::dtw_distance(a, b));
   }
+  state.counters["ws_heap_allocs"] =
+      benchmark::Counter(heap_allocs.delta(), benchmark::Counter::kAvgIterations);
   state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
 }
 BENCHMARK(BM_DtwFull)->RangeMultiplier(2)->Range(16, 512)
@@ -118,9 +154,13 @@ void BM_DtwZnorm(benchmark::State& state) {
   const auto b = random_series(512, 22);
   dtw::DtwOptions opt;
   opt.band = 32;
+  benchmark::DoNotOptimize(dtw::dtw_distance_znorm(a, b, opt));
+  CounterDelta heap_allocs("workspace.heap_allocations");
   for (auto _ : state) {
     benchmark::DoNotOptimize(dtw::dtw_distance_znorm(a, b, opt));
   }
+  state.counters["ws_heap_allocs"] =
+      benchmark::Counter(heap_allocs.delta(), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_DtwZnorm);
 

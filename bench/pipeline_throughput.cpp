@@ -8,15 +8,21 @@
 // reports micro-batch and regroup counts so the amortization behaviour is
 // visible.
 //
-//   pipeline_throughput [reports_per_run] [shards]
+//   pipeline_throughput [reports_per_run] [shards] [--metrics <path>]
+//
+// After the sweep it prints the per-shard queue/work breakdown of the last
+// run, and `--metrics <path>` dumps the process metrics registry as JSON.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/table.h"
+#include "obs/metrics.h"
 #include "pipeline/engine.h"
 
 using namespace sybiltd;
@@ -49,9 +55,18 @@ std::vector<pipeline::Report> make_reports(std::size_t total) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
   const std::size_t total =
-      argc > 1 ? std::stoul(argv[1]) : std::size_t{200000};
-  const std::size_t shards = argc > 2 ? std::stoul(argv[2]) : 2;
+      !positional.empty() ? std::stoul(positional[0]) : std::size_t{200000};
+  const std::size_t shards = positional.size() > 1 ? std::stoul(positional[1]) : 2;
 
   std::printf("=== Extension: streaming pipeline throughput ===\n");
   std::printf("%zu campaigns x %zu accounts x %zu tasks, %zu reports/run, "
@@ -63,6 +78,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"producers", "reports", "seconds", "reports/sec",
                    "micro-batches", "regroups", "snapshots"});
+  std::vector<pipeline::ShardStatus> last_shards;
   for (std::size_t producers : {1u, 2u, 4u, 8u}) {
     pipeline::EngineOptions options;
     options.shard_count = shards;
@@ -90,6 +106,7 @@ int main(int argc, char** argv) {
     engine.stop();
 
     const pipeline::EngineCounters counters = engine.counters();
+    last_shards = counters.shards;
     table.add_row({std::to_string(producers), std::to_string(total),
                    format_cell(seconds, 3),
                    std::to_string(static_cast<std::size_t>(total / seconds)),
@@ -98,5 +115,30 @@ int main(int argc, char** argv) {
                    std::to_string(counters.publications)});
   }
   std::printf("%s", table.render().c_str());
+
+  TextTable shard_table({"shard", "accepted", "dropped", "rejected",
+                         "applied", "batches", "regroups", "queue hwm"});
+  for (const pipeline::ShardStatus& s : last_shards) {
+    shard_table.add_row(
+        {std::to_string(s.shard), std::to_string(s.accepted),
+         std::to_string(s.dropped), std::to_string(s.rejected),
+         std::to_string(s.applied), std::to_string(s.batches),
+         std::to_string(s.regroups),
+         std::to_string(s.queue_high_watermark) + "/" +
+             std::to_string(s.queue_capacity)});
+  }
+  std::printf("\nper-shard breakdown (last run):\n%s",
+              shard_table.render().c_str());
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    out << obs::to_json(obs::snapshot());
+    std::printf("\nmetrics written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

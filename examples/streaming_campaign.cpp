@@ -14,19 +14,39 @@
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/streaming_campaign
+//
+// Observability: run with SYBILTD_TRACE=<path> to record a Chrome trace of
+// the shard steps / regroups / framework runs, and pass
+// `--metrics <path>` to dump the process metrics registry as JSON at exit
+// (docs/OBSERVABILITY.md describes both).
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "eval/adapters.h"
 #include "eval/metrics.h"
 #include "mcs/scenario.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/engine.h"
 
 using namespace sybiltd;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
   // --- 1. a full campaign scenario (the paper's Section V-A setup) --------
   const auto config = mcs::make_paper_scenario(/*legit_activeness=*/0.5,
                                                /*sybil_activeness=*/0.8,
@@ -65,8 +85,8 @@ int main() {
   engine.add_campaign(input.task_count);
   engine.start();
 
-  std::printf("%8s %10s %8s %8s %8s\n", "reports", "mae(dBm)", "groups",
-              "live", "version");
+  std::printf("%8s %10s %8s %8s %8s %6s %10s %8s\n", "reports", "mae(dBm)",
+              "groups", "live", "version", "iters", "residual", "entropy");
   const std::size_t slices = 10;
   std::size_t sent = 0;
   for (std::size_t s = 0; s < slices; ++s) {
@@ -77,9 +97,11 @@ int main() {
     const double mae = eval::mean_absolute_error(
         std::span<const double>(snap->truths),
         std::span<const double>(ground_truth));
-    std::printf("%8zu %10.3f %8zu %8zu %8llu\n", sent, mae,
+    std::printf("%8zu %10.3f %8zu %8zu %8llu %6zu %10.2e %8.3f\n", sent, mae,
                 snap->group_count, snap->live_observations,
-                static_cast<unsigned long long>(snap->version));
+                static_cast<unsigned long long>(snap->version),
+                snap->iterations, snap->final_residual,
+                snap->weight_entropy);
   }
 
   // --- 3. final snapshot: grouped accounts vs ground truth ----------------
@@ -94,6 +116,27 @@ int main() {
   for (std::size_t a = 0; a < snap->group_of.size(); ++a) {
     std::printf("  %-12s group %2zu%s\n", data.accounts[a].name.c_str(),
                 snap->group_of[a], data.accounts[a].is_sybil ? "  [sybil]" : "");
+  }
+  std::printf(
+      "\nconvergence: %zu iterations, residual %.2e, weight entropy %.3f "
+      "(converged: %s)\n",
+      snap->iterations, snap->final_residual, snap->weight_entropy,
+      snap->converged ? "yes" : "no");
+
+  // --- 4. observability exports -------------------------------------------
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    out << obs::to_json(obs::snapshot());
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
+  if (obs::trace_enabled()) {
+    obs::flush_trace();
+    std::printf("trace flushed (%zu spans)\n", obs::trace_event_count());
   }
   return 0;
 }

@@ -83,6 +83,25 @@ int analyze(const mcs::ScenarioData& data, const std::string& method) {
                 runs[m].mae);
   }
   std::printf("\n");
+
+  // Convergence telemetry for the framework methods: how many CRH
+  // iterations each needed, how far the last truth update moved, and how
+  // concentrated the final group weights are (entropy near 0 = one group
+  // dominates).
+  bool printed_header = false;
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    if (runs[m].iterations == 0) continue;  // baseline, no framework run
+    if (!printed_header) {
+      std::printf("\nconvergence (framework methods):\n");
+      std::printf("  %-10s %6s %10s %9s %10s\n", "method", "iters",
+                  "residual", "entropy", "converged");
+      printed_header = true;
+    }
+    std::printf("  %-10s %6zu %10.2e %9.3f %10s\n",
+                eval::method_name(methods[m]).c_str(), runs[m].iterations,
+                runs[m].final_residual, runs[m].weight_entropy,
+                runs[m].converged ? "yes" : "no");
+  }
   return 0;
 }
 

@@ -8,10 +8,36 @@
 
 #include "common/error.h"
 #include "common/workspace.h"
+#include "obs/metrics.h"
 
 namespace sybiltd {
 
 namespace {
+
+// Pool-wide instruments, registered once.  Queue-wait is submit-to-start,
+// run-time is the task body itself; both in microseconds.
+struct PoolMetrics {
+  obs::Counter& submitted = obs::MetricsRegistry::global().counter(
+      "threadpool.submitted", "tasks enqueued on the pool");
+  obs::Counter& executed = obs::MetricsRegistry::global().counter(
+      "threadpool.executed", "tasks run to completion");
+  obs::Counter& stolen = obs::MetricsRegistry::global().counter(
+      "threadpool.stolen", "tasks taken from another worker's deque");
+  obs::Histogram& queue_wait_us = obs::MetricsRegistry::global().histogram(
+      "threadpool.queue_wait_us", "submit-to-start latency per task");
+  obs::Histogram& task_run_us = obs::MetricsRegistry::global().histogram(
+      "threadpool.task_run_us", "task body run time");
+
+  static PoolMetrics& get() {
+    static PoolMetrics metrics;
+    return metrics;
+  }
+};
+
+double elapsed_us(std::chrono::steady_clock::time_point since,
+                  std::chrono::steady_clock::time_point until) {
+  return std::chrono::duration<double, std::micro>(until - since).count();
+}
 
 // Which pool (if any) owns the current thread, and whether the thread is
 // inside a parallel_for region.  Both drive the inline-serial fallbacks.
@@ -45,8 +71,17 @@ struct ThreadPool::LoopState {
 ThreadPool::ThreadPool(std::size_t concurrency) {
   SYBILTD_CHECK(concurrency >= 1, "thread pool needs at least one thread");
   workers_.reserve(concurrency);
+  auto& registry = obs::MetricsRegistry::global();
   for (std::size_t i = 0; i < concurrency; ++i) {
-    workers_.push_back(std::make_unique<Worker>());
+    auto worker = std::make_unique<Worker>();
+    // Per-worker counters are keyed by index, so successive pools of the
+    // same size (benchmark sweeps, set_global_concurrency) share them.
+    const std::string prefix = "threadpool.worker" + std::to_string(i);
+    worker->submitted = &registry.counter(prefix + ".submitted",
+                                          "tasks routed to this worker");
+    worker->steals = &registry.counter(prefix + ".steals",
+                                       "tasks this worker stole");
+    workers_.push_back(std::move(worker));
   }
   threads_.reserve(concurrency);
   for (std::size_t i = 0; i < concurrency; ++i) {
@@ -77,8 +112,11 @@ void ThreadPool::submit(std::function<void()> task) {
   }
   {
     std::lock_guard<std::mutex> lock(workers_[target]->mutex);
-    workers_[target]->tasks.push_back(std::move(task));
+    workers_[target]->tasks.push_back(
+        {std::move(task), std::chrono::steady_clock::now()});
   }
+  PoolMetrics::get().submitted.inc();
+  workers_[target]->submitted->inc();
   {
     std::lock_guard<std::mutex> lock(wake_mutex_);
     ++pending_;
@@ -86,8 +124,7 @@ void ThreadPool::submit(std::function<void()> task) {
   wake_cv_.notify_one();
 }
 
-bool ThreadPool::try_pop_or_steal(std::size_t self,
-                                  std::function<void()>& task) {
+bool ThreadPool::try_pop_or_steal(std::size_t self, Task& task) {
   bool found = false;
   {
     // Own deque, oldest first: a chain that re-submits itself lands at the
@@ -102,11 +139,17 @@ bool ThreadPool::try_pop_or_steal(std::size_t self,
   }
   for (std::size_t offset = 1; !found && offset < workers_.size(); ++offset) {
     Worker& victim = *workers_[(self + offset) % workers_.size()];
-    std::lock_guard<std::mutex> lock(victim.mutex);
-    if (!victim.tasks.empty()) {
-      task = std::move(victim.tasks.back());
-      victim.tasks.pop_back();
-      found = true;
+    {
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.back());
+        victim.tasks.pop_back();
+        found = true;
+      }
+    }
+    if (found) {
+      PoolMetrics::get().stolen.inc();
+      workers_[self]->steals->inc();
     }
   }
   if (found) {
@@ -120,9 +163,15 @@ void ThreadPool::worker_main(std::size_t self) {
   tl_worker_pool = this;
   tl_worker_index = self;
   for (;;) {
-    std::function<void()> task;
+    Task task;
     if (try_pop_or_steal(self, task)) {
-      task();  // a throwing task terminates, as it would on a raw thread
+      PoolMetrics& metrics = PoolMetrics::get();
+      const auto start = std::chrono::steady_clock::now();
+      metrics.queue_wait_us.record(elapsed_us(task.enqueued, start));
+      task.fn();  // a throwing task terminates, as it would on a raw thread
+      metrics.task_run_us.record(
+          elapsed_us(start, std::chrono::steady_clock::now()));
+      metrics.executed.inc();
       // Reset this worker's scratch arena between tasks: a borrow leaked
       // by the task is orphaned rather than handed to the next task.
       Workspace::local().end_task_scope();

@@ -37,6 +37,7 @@
 // budget governs ingestion and batch regrouping.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -49,6 +50,10 @@
 #include <vector>
 
 namespace sybiltd {
+
+namespace obs {
+class Counter;
+}  // namespace obs
 
 class ThreadPool {
  public:
@@ -110,19 +115,31 @@ class ThreadPool {
   static void set_global_concurrency(std::size_t concurrency);
 
  private:
+  // A queued task plus its enqueue timestamp, so the pool can report the
+  // queue-wait distribution (threadpool.queue_wait_us in the metrics
+  // registry) without a side table.
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   // One per-worker deque under its own mutex: owner pushes the back and
   // pops the front, thieves take the back.  A mutex per deque is plenty here — tasks are
   // macro-sized (a whole chunk of DTW pairs, a pipeline micro-batch), so
   // queue contention is not the bottleneck a lock-free Chase–Lev deque
   // exists to solve, and it keeps the invariants ThreadSanitizer-obvious.
+  // The counters are registry-owned (`threadpool.worker<i>.*`), recording
+  // per-worker submit routing and steal pressure.
   struct Worker {
     std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    std::deque<Task> tasks;
+    obs::Counter* submitted = nullptr;
+    obs::Counter* steals = nullptr;
   };
   struct LoopState;
 
   void worker_main(std::size_t self);
-  bool try_pop_or_steal(std::size_t self, std::function<void()>& task);
+  bool try_pop_or_steal(std::size_t self, Task& task);
   static void run_loop_chunks(const std::shared_ptr<LoopState>& state);
 
   std::vector<std::unique_ptr<Worker>> workers_;

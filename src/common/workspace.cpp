@@ -2,7 +2,34 @@
 
 #include <new>
 
+#include "obs/metrics.h"
+
 namespace sybiltd {
+
+namespace {
+
+// Process-wide aggregation of the per-thread Stats: every arena bumps the
+// same registry counters, so obs::snapshot() sees allocation behaviour
+// across all threads without walking thread_locals.  Increments are
+// striped relaxed atomics — no locks, no allocation, so the zero-alloc
+// steady-state contract of the arena itself is preserved.
+struct WorkspaceMetrics {
+  obs::Counter& borrows = obs::MetricsRegistry::global().counter(
+      "workspace.borrows", "buffer checkouts across all threads");
+  obs::Counter& heap_allocations = obs::MetricsRegistry::global().counter(
+      "workspace.heap_allocations", "pool misses that hit operator new");
+  obs::Counter& heap_bytes = obs::MetricsRegistry::global().counter(
+      "workspace.heap_bytes", "bytes fetched from the heap on pool misses");
+  obs::Counter& orphaned = obs::MetricsRegistry::global().counter(
+      "workspace.orphaned", "borrows leaked across a task scope");
+
+  static WorkspaceMetrics& get() {
+    static WorkspaceMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Workspace& Workspace::local() {
   static thread_local Workspace workspace;
@@ -35,9 +62,12 @@ void* Workspace::acquire(std::size_t bytes, std::size_t* class_index) {
     raw = ::operator new(class_bytes(cls));
     ++stats_.heap_allocations;
     stats_.heap_bytes += class_bytes(cls);
+    WorkspaceMetrics::get().heap_allocations.inc();
+    WorkspaceMetrics::get().heap_bytes.inc(class_bytes(cls));
   }
   ++stats_.borrows;
   ++stats_.live_borrows;
+  WorkspaceMetrics::get().borrows.inc();
   return raw;
 }
 
@@ -48,6 +78,7 @@ void Workspace::release(void* raw, std::size_t class_index,
     // disowned this buffer, so send it straight back to the heap.
     ::operator delete(raw);
     ++stats_.orphaned;
+    WorkspaceMetrics::get().orphaned.inc();
     return;
   }
   pool_[class_index].push_back(raw);

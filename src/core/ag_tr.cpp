@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "dtw/fastdtw.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 
 namespace sybiltd::core {
 
@@ -53,6 +54,25 @@ double envelope_bound(const std::vector<double>& query,
 inline std::size_t pair_rank(std::size_t n, std::size_t i, std::size_t j) {
   return i * n - i * (i + 1) / 2 + (j - i - 1);
 }
+
+// Registry mirror of AgTrStats, accumulated across every grouping pass so
+// pruning effectiveness shows up in obs::snapshot() even when callers do
+// not ask for per-call stats.
+struct AgTrMetrics {
+  obs::Counter& pairs = obs::MetricsRegistry::global().counter(
+      "agtr.pairs", "unordered account pairs considered by AG-TR");
+  obs::Counter& lb_pruned = obs::MetricsRegistry::global().counter(
+      "agtr.lb_pruned", "pairs discarded by the DTW lower bound");
+  obs::Counter& task_abandoned = obs::MetricsRegistry::global().counter(
+      "agtr.task_abandoned", "pairs abandoned after the task-series DTW");
+  obs::Counter& exact_pairs = obs::MetricsRegistry::global().counter(
+      "agtr.exact_pairs", "pairs that ran both exact DTW terms");
+
+  static AgTrMetrics& get() {
+    static AgTrMetrics metrics;
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -202,6 +222,11 @@ AccountGrouping AgTr::group_with_stats(const FrameworkInput& input,
       if (d < phi) g.add_edge(i, j, d);
     }
   }
+  auto& metrics = AgTrMetrics::get();
+  metrics.pairs.inc(ThreadPool::pair_count(n));
+  metrics.lb_pruned.inc(lb_pruned.load(std::memory_order_relaxed));
+  metrics.task_abandoned.inc(task_abandoned.load(std::memory_order_relaxed));
+  metrics.exact_pairs.inc(exact_pairs.load(std::memory_order_relaxed));
   if (stats != nullptr) {
     stats->pairs = ThreadPool::pair_count(n);
     stats->lb_pruned = lb_pruned.load(std::memory_order_relaxed);

@@ -6,10 +6,52 @@
 #include "common/error.h"
 #include "common/stats.h"
 #include "common/workspace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sybiltd::core {
 
 using truth::nan_value;
+
+namespace {
+
+// Convergence telemetry: every run_framework call — batch evaluation or a
+// pipeline drain — lands in these distributions, so obs::snapshot() shows
+// how hard the CRH iteration is working across the whole process.
+struct FrameworkMetrics {
+  obs::Counter& runs = obs::MetricsRegistry::global().counter(
+      "framework.runs", "run_framework invocations");
+  obs::Counter& converged_runs = obs::MetricsRegistry::global().counter(
+      "framework.converged_runs", "runs that met the truth tolerance");
+  obs::Histogram& iterations = obs::MetricsRegistry::global().histogram(
+      "framework.iterations", "CRH iterations per run");
+  obs::Histogram& final_residual = obs::MetricsRegistry::global().histogram(
+      "framework.final_residual", "max truth change of the last iteration");
+  obs::Histogram& weight_entropy = obs::MetricsRegistry::global().histogram(
+      "framework.weight_entropy", "entropy of the final group weights");
+
+  static FrameworkMetrics& get() {
+    static FrameworkMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+double group_weight_entropy(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (double w : weights) {
+    if (w <= 0.0) continue;
+    const double p = w / total;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
 
 // Per-task scale normalizer over the *grouped* values, mirroring the CRH
 // baseline's std-normalized loss.
@@ -124,6 +166,7 @@ double framework_iterate_once(const GroupedData& grouped,
 FrameworkResult run_framework(const FrameworkInput& input,
                               const AccountGrouping& grouping,
                               const FrameworkOptions& options) {
+  obs::TraceSpan run_span("framework/run");
   const std::size_t n_tasks = input.task_count;
 
   FrameworkResult result;
@@ -142,14 +185,27 @@ FrameworkResult run_framework(const FrameworkInput& input,
   for (std::size_t iter = 0; iter < options.convergence.max_iterations;
        ++iter) {
     result.iterations = iter + 1;
+    obs::TraceSpan iterate_span("framework/iterate");
+    iterate_span.arg("iteration", static_cast<double>(iter + 1));
     const double delta =
         framework_iterate_once(grouped, norm, options.loss_epsilon,
                                result.truths, result.group_weights);
+    result.final_residual = delta;
     if (delta < options.convergence.truth_tolerance) {
       result.converged = true;
       break;
     }
   }
+  result.weight_entropy = group_weight_entropy(result.group_weights);
+
+  auto& metrics = FrameworkMetrics::get();
+  metrics.runs.inc();
+  if (result.converged) metrics.converged_runs.inc();
+  metrics.iterations.record(static_cast<double>(result.iterations));
+  metrics.final_residual.record(result.final_residual);
+  metrics.weight_entropy.record(result.weight_entropy);
+  run_span.arg("iterations", static_cast<double>(result.iterations));
+  run_span.arg("converged", result.converged ? 1.0 : 0.0);
   return result;
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "core/data_grouping.h"
 #include "core/grouping.h"
@@ -36,7 +37,19 @@ struct FrameworkResult {
   AccountGrouping grouping;
   std::size_t iterations = 0;
   bool converged = false;
+  // Max absolute truth change of the last iteration — the quantity the
+  // convergence test compares against truth_tolerance.
+  double final_residual = 0.0;
+  // Shannon entropy (nats) of the normalized group-weight distribution.
+  // Near log(#groups) the groups are indistinguishable; near 0 one group
+  // dominates — i.e. the framework has singled out the trusted cluster.
+  double weight_entropy = 0.0;
 };
+
+// Entropy of the weight vector viewed as a distribution (weights are
+// normalized by their sum; non-positive weights contribute nothing).
+// Returns 0 for an empty or all-zero vector.
+double group_weight_entropy(std::span<const double> weights);
 
 // Run Algorithm 2 with a precomputed grouping (steps 2–5).
 FrameworkResult run_framework(const FrameworkInput& input,

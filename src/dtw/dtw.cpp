@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/stats.h"
 #include "common/workspace.h"
+#include "obs/metrics.h"
 
 namespace sybiltd::dtw {
 
@@ -15,6 +16,14 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 inline double sq(double x) { return x * x; }
+
+// Full dynamic programs actually run (the pruned ones never get here), so
+// the AG-TR lower-bound effectiveness is `dtw.evals` vs `agtr.pairs`.
+obs::Counter& dtw_evals() {
+  static obs::Counter& counter = obs::MetricsRegistry::global().counter(
+      "dtw.evals", "DTW dynamic programs evaluated");
+  return counter;
+}
 
 // Effective band: widen to |m-n| so the end cell stays reachable.
 std::size_t effective_band(std::size_t m, std::size_t n, std::size_t band) {
@@ -36,6 +45,7 @@ constexpr Cell kInfCell{kInf, 0};
 DtwResult dtw_full(std::span<const double> a, std::span<const double> b,
                    const DtwOptions& options) {
   SYBILTD_CHECK(!a.empty() && !b.empty(), "DTW of an empty series");
+  dtw_evals().inc();
   const std::size_t m = a.size();
   const std::size_t n = b.size();
   const std::size_t w = effective_band(m, n, options.band);
@@ -117,6 +127,7 @@ DtwResult dtw_full(std::span<const double> a, std::span<const double> b,
 double dtw_distance(std::span<const double> a, std::span<const double> b,
                     const DtwOptions& options) {
   SYBILTD_CHECK(!a.empty() && !b.empty(), "DTW of an empty series");
+  dtw_evals().inc();
   const std::size_t m = a.size();
   const std::size_t n = b.size();
   const std::size_t w = effective_band(m, n, options.band);

@@ -107,8 +107,13 @@ MethodRun run_method(Method method, const mcs::ScenarioData& data,
       if (method == Method::kTdTr) grouping_method = GroupingMethod::kAgTr;
       const auto grouping =
           compute_grouping(grouping_method, data, input, options);
-      run.truths =
-          core::run_framework(input, grouping, options.framework).truths;
+      core::FrameworkResult result =
+          core::run_framework(input, grouping, options.framework);
+      run.truths = std::move(result.truths);
+      run.iterations = result.iterations;
+      run.converged = result.converged;
+      run.final_residual = result.final_residual;
+      run.weight_entropy = result.weight_entropy;
       break;
     }
   }

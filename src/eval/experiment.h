@@ -48,6 +48,12 @@ struct MethodRun {
   std::vector<double> truths;
   double mae = 0.0;
   double rmse = 0.0;
+  // Convergence telemetry, populated for the framework methods (kTd*);
+  // zero / false for the baselines, which run their own iteration loops.
+  std::size_t iterations = 0;
+  bool converged = false;
+  double final_residual = 0.0;
+  double weight_entropy = 0.0;
 };
 
 MethodRun run_method(Method method, const mcs::ScenarioData& data,

@@ -1,0 +1,345 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sybiltd::obs {
+
+namespace detail {
+
+std::size_t thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+// --- Histogram --------------------------------------------------------------
+
+std::size_t Histogram::bucket_for(double value) {
+  if (!(value > 0.0) || !std::isfinite(value)) return 0;
+  const int exponent = std::ilogb(value);  // floor(log2(value))
+  const int bucket = exponent + kBucketOffset;
+  if (bucket < 0) return 0;
+  if (bucket >= static_cast<int>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(bucket);
+}
+
+double Histogram::bucket_upper_edge(std::size_t bucket) {
+  return std::ldexp(1.0, static_cast<int>(bucket) - kBucketOffset + 1);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(kBuckets, 0);
+  for (const Stripe& stripe : stripes_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      counts[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+// --- Registry ---------------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::size_t index;  // into the matching deque
+  };
+
+  std::mutex mutex;
+  // Deques: instrument addresses never move once registered, so the
+  // references handed to instrumented code are stable.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::unordered_map<std::string, Entry> by_name;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> histogram_names;
+  // Help text parallel to the name vectors; the first non-empty help for a
+  // name wins (instrumented code may register the same name help-free).
+  std::vector<std::string> counter_helps;
+  std::vector<std::string> gauge_helps;
+  std::vector<std::string> histogram_helps;
+
+  Entry& lookup(std::string_view name, Kind kind, std::string_view help) {
+    auto [it, inserted] = by_name.try_emplace(std::string(name));
+    if (!inserted) {
+      if (it->second.kind != kind) {
+        throw std::logic_error("metric '" + it->first +
+                               "' already registered as a different kind");
+      }
+      if (!help.empty()) {
+        std::vector<std::string>* helps = nullptr;
+        switch (kind) {
+          case Kind::kCounter: helps = &counter_helps; break;
+          case Kind::kGauge: helps = &gauge_helps; break;
+          case Kind::kHistogram: helps = &histogram_helps; break;
+        }
+        if ((*helps)[it->second.index].empty()) {
+          (*helps)[it->second.index] = std::string(help);
+        }
+      }
+      return it->second;
+    }
+    switch (kind) {
+      case Kind::kCounter:
+        it->second = {kind, counters.size()};
+        counters.emplace_back();
+        counter_names.emplace_back(name);
+        counter_helps.emplace_back(help);
+        break;
+      case Kind::kGauge:
+        it->second = {kind, gauges.size()};
+        gauges.emplace_back();
+        gauge_names.emplace_back(name);
+        gauge_helps.emplace_back(help);
+        break;
+      case Kind::kHistogram:
+        it->second = {kind, histograms.size()};
+        histograms.emplace_back();
+        histogram_names.emplace_back(name);
+        histogram_helps.emplace_back(help);
+        break;
+    }
+    return it->second;
+  }
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: instrumented destructors (thread_local workspaces,
+  // the global thread pool) may run after static destruction begins.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_
+      ->counters[impl_->lookup(name, Impl::Kind::kCounter, help).index];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->gauges[impl_->lookup(name, Impl::Kind::kGauge, help).index];
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_
+      ->histograms[impl_->lookup(name, Impl::Kind::kHistogram, help).index];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  // Collect names and stable instrument addresses under the lock (deque
+  // elements never move, but the containers themselves may grow under a
+  // concurrent registration); aggregate the striped cells outside it.
+  struct Named {
+    std::string name;
+    std::string help;
+  };
+  std::vector<std::pair<Named, const Counter*>> counters;
+  std::vector<std::pair<Named, const Gauge*>> gauges;
+  std::vector<std::pair<Named, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    counters.reserve(impl_->counters.size());
+    for (std::size_t i = 0; i < impl_->counters.size(); ++i) {
+      counters.emplace_back(
+          Named{impl_->counter_names[i], impl_->counter_helps[i]},
+          &impl_->counters[i]);
+    }
+    gauges.reserve(impl_->gauges.size());
+    for (std::size_t i = 0; i < impl_->gauges.size(); ++i) {
+      gauges.emplace_back(Named{impl_->gauge_names[i], impl_->gauge_helps[i]},
+                          &impl_->gauges[i]);
+    }
+    histograms.reserve(impl_->histograms.size());
+    for (std::size_t i = 0; i < impl_->histograms.size(); ++i) {
+      histograms.emplace_back(
+          Named{impl_->histogram_names[i], impl_->histogram_helps[i]},
+          &impl_->histograms[i]);
+    }
+  }
+  out.counters.reserve(counters.size());
+  for (auto& [named, counter] : counters) {
+    out.counters.push_back(
+        {std::move(named.name), std::move(named.help), counter->value()});
+  }
+  out.gauges.reserve(gauges.size());
+  for (auto& [named, gauge] : gauges) {
+    out.gauges.push_back(
+        {std::move(named.name), std::move(named.help), gauge->value()});
+  }
+  out.histograms.reserve(histograms.size());
+  for (auto& [named, histogram] : histograms) {
+    HistogramValue value;
+    value.name = std::move(named.name);
+    value.help = std::move(named.help);
+    value.count = histogram->count();
+    value.sum = histogram->sum();
+    const auto counts = histogram->bucket_counts();
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      if (counts[b] > 0) {
+        value.buckets.push_back({Histogram::bucket_upper_edge(b), counts[b]});
+      }
+    }
+    out.histograms.push_back(std::move(value));
+  }
+  const auto by_name = [](const auto& lhs, const auto& rhs) {
+    return lhs.name < rhs.name;
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  return out;
+}
+
+MetricsSnapshot snapshot() { return MetricsRegistry::global().snapshot(); }
+
+// --- Exposition -------------------------------------------------------------
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+namespace {
+
+// HELP text is free-form but must stay on one line; escape per the
+// exposition format (backslash and newline only).
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void append_help(std::string& out, const std::string& name,
+                 const std::string& help) {
+  if (help.empty()) return;
+  out += "# HELP " + name + " " + escape_help(help) + "\n";
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = sanitize(c.name) + "_total";
+    append_help(out, name, c.help);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = sanitize(g.name);
+    append_help(out, name, g.help);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + format_double(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = sanitize(h.name);
+    append_help(out, name, h.help);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& bucket : h.buckets) {
+      cumulative += bucket.count;
+      out += name + "_bucket{le=\"" + format_double(bucket.upper_edge) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += name + "_sum " + format_double(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": [";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + c.name +
+           "\", \"value\": " + std::to_string(c.value) + "}";
+  }
+  out += "\n  ],\n  \"gauges\": [";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + g.name +
+           "\", \"value\": " + format_double(g.value) + "}";
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"" + h.name +
+           "\", \"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + format_double(h.sum) + ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += "{\"le\": " + format_double(h.buckets[b].upper_edge) +
+             ", \"count\": " + std::to_string(h.buckets[b].count) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace sybiltd::obs

@@ -1,0 +1,215 @@
+// Process-wide metrics registry: the uniform collection point for every
+// internal signal the engine produces.
+//
+// PRs 1–3 grew ad-hoc observability — pipeline::EngineCounters,
+// core::AgTrStats prune rates, Workspace::stats() allocation counts, the
+// FFT/Welch plan-cache sizes — each reachable only through its own struct,
+// none exportable without bespoke glue.  The registry unifies them behind
+// three instrument kinds with one collection path:
+//
+//   Counter   — monotonic u64, striped across cache-line-padded atomic
+//               cells indexed by a per-thread slot.  inc() is one relaxed
+//               fetch_add on a cell other threads rarely touch: no locks,
+//               no allocation, safe from any thread including pool workers
+//               inside zero-allocation kernels.
+//   Gauge     — a single atomic double (set/add), for level-style signals
+//               such as queue depth.
+//   Histogram — fixed log2 buckets (2^-32 .. 2^31, 64 buckets) over
+//               double-valued samples, striped like Counter; count and sum
+//               per stripe so mean and tail shape both survive aggregation.
+//
+// Instruments are registered once by name (registration takes a mutex;
+// re-registration returns the existing instrument so instrumented code can
+// hold `static Counter&` references) and live forever — the registry is a
+// leaked singleton, so references stay valid through thread_local and
+// static destruction.  Reads (`value()`, `snapshot()`) aggregate over the
+// stripes with relaxed loads: totals are monotonic and exact once writer
+// threads are quiescent, and never torn within one cell.
+//
+// snapshot() returns a structured record; to_prometheus() renders the
+// text exposition format and to_json() a machine-checkable JSON dump (the
+// CI observability job validates its schema).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sybiltd::obs {
+
+namespace detail {
+// Small dense id for the calling thread, assigned on first use; instruments
+// mask it down to their stripe count.
+std::size_t thread_slot();
+
+// One cache line per cell so concurrent writers on different stripes never
+// false-share.
+struct alignas(64) StripeCell {
+  std::atomic<std::uint64_t> value{0};
+};
+}  // namespace detail
+
+// Monotonic counter.  inc() from any thread, lock- and allocation-free.
+class Counter {
+ public:
+  static constexpr std::size_t kStripes = 16;  // power of two
+
+  void inc(std::uint64_t delta = 1) {
+    cells_[detail::thread_slot() & (kStripes - 1)].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  detail::StripeCell cells_[kStripes];
+};
+
+// Level gauge: one atomic double with last-write-wins set() and CAS add().
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  void add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  // Raise the gauge to `value` if it is higher (high-watermark semantics).
+  void track_max(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (current < value &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-log-bucket histogram over positive doubles.  Bucket i covers
+// [2^(i-kBucketOffset), 2^(i-kBucketOffset+1)); values <= 0 or below the
+// smallest edge land in bucket 0, values beyond the top edge in the last.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  static constexpr int kBucketOffset = 32;  // bucket 32 covers [1, 2)
+  static constexpr std::size_t kStripes = 8;  // power of two
+
+  static std::size_t bucket_for(double value);
+  // Inclusive upper edge of bucket i: 2^(i - kBucketOffset + 1).
+  static double bucket_upper_edge(std::size_t bucket);
+
+  void record(double value) {
+    Stripe& stripe = stripes_[detail::thread_slot() & (kStripes - 1)];
+    stripe.buckets[bucket_for(value)].fetch_add(1,
+                                                std::memory_order_relaxed);
+    stripe.count.fetch_add(1, std::memory_order_relaxed);
+    double current = stripe.sum.load(std::memory_order_relaxed);
+    while (!stripe.sum.compare_exchange_weak(current, current + value,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const;
+  double sum() const;
+  // Aggregated per-bucket counts (kBuckets entries).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> buckets[kBuckets]{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+// --- Snapshot --------------------------------------------------------------
+
+struct CounterValue {
+  std::string name;
+  std::string help;
+  std::uint64_t value = 0;
+};
+
+struct GaugeValue {
+  std::string name;
+  std::string help;
+  double value = 0.0;
+};
+
+struct HistogramBucket {
+  double upper_edge = 0.0;    // inclusive upper bound of the bucket
+  std::uint64_t count = 0;    // samples in this bucket (not cumulative)
+};
+
+struct HistogramValue {
+  std::string name;
+  std::string help;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<HistogramBucket> buckets;  // non-empty buckets only
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+// --- Registry --------------------------------------------------------------
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry.  Never destroyed, so instrument references
+  // obtained from it stay valid during static/thread_local teardown.
+  static MetricsRegistry& global();
+
+  // Register-or-fetch by name.  Thread-safe; the returned reference is
+  // stable forever.  Registering one name as two different kinds throws.
+  // The first non-empty help string for a name is kept and surfaces in the
+  // snapshot and the Prometheus `# HELP` lines.
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  Histogram& histogram(std::string_view name, std::string_view help = {});
+
+  // Aggregated point-in-time view, sorted by name.  Concurrent writers keep
+  // running; each cell is read atomically, so counters are monotonic
+  // between snapshots and exact once writers are quiescent.
+  MetricsSnapshot snapshot() const;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// Convenience wrappers over MetricsRegistry::global().
+MetricsSnapshot snapshot();
+
+// Prometheus text exposition (names sanitized to [a-zA-Z0-9_:]).
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+// JSON dump: {"counters": [...], "gauges": [...], "histograms": [...]}.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace sybiltd::obs

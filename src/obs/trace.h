@@ -1,0 +1,102 @@
+// RAII trace spans emitting Chrome trace-event JSON.
+//
+// Set SYBILTD_TRACE=<path> (or call enable_trace) and every TraceSpan
+// records one complete ("ph": "X") event — name, start timestamp, duration,
+// a small thread id, and up to two numeric args — into an in-memory buffer
+// that flush_trace() serializes to <path>.  The file loads directly in
+// Perfetto / chrome://tracing, which is how an operator inspects where a
+// shard step, a regroup, or a framework run spends its time.
+//
+// Cost model: when tracing is disabled (the default) the span constructor
+// is one relaxed atomic load and the destructor a null check — no clock
+// reads, no locks, and no allocation, so instrumented hot kernels keep
+// their zero-allocation steady state (asserted by tests/obs_test.cpp with
+// a counting operator new).  When enabled, each span end takes a mutex to
+// append one POD event; spans mark macro work (a micro-batch, a regroup, a
+// framework run), so the mutex is never on a per-element path.
+//
+// Span names must be string literals (the buffer stores the pointer, not a
+// copy) — which is also what keeps the enabled path allocation-light.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sybiltd::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+// Microseconds since the trace epoch (process start of tracing).
+std::uint64_t trace_now_us();
+void trace_span_end(const char* name, std::uint64_t start_us,
+                    const char* key1, double value1, const char* key2,
+                    double value2);
+}  // namespace detail
+
+// True when span recording is active (SYBILTD_TRACE was set at startup or
+// enable_trace() was called).
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// Programmatic control, primarily for tests; SYBILTD_TRACE drives the same
+// switch at first use.  enable_trace resets the in-memory event buffer.
+void enable_trace(const std::string& path);
+void disable_trace();
+
+// Serialize every recorded event to the configured path (Chrome trace JSON,
+// {"traceEvents": [...]}).  Returns false when tracing is disabled or the
+// file cannot be written.  Callable repeatedly — each call rewrites the
+// file with the complete event set; also invoked automatically at process
+// exit when tracing is on.
+bool flush_trace();
+
+// Events recorded so far (diagnostic; 0 when disabled).
+std::size_t trace_event_count();
+
+// RAII span: measures construction-to-destruction and records it under
+// `name` (must be a string literal).  Up to two numeric args attached with
+// arg() appear in the trace event's "args" dict.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (trace_enabled()) {
+      name_ = name;
+      start_us_ = detail::trace_now_us();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      detail::trace_span_end(name_, start_us_, key1_, value1_, key2_,
+                             value2_);
+    }
+  }
+
+  // Attach a numeric arg (key must be a string literal).  At most two args
+  // are kept; extras are dropped.  No-op when tracing is disabled.
+  void arg(const char* key, double value) {
+    if (name_ == nullptr) return;
+    if (key1_ == nullptr) {
+      key1_ = key;
+      value1_ = value;
+    } else if (key2_ == nullptr) {
+      key2_ = key;
+      value2_ = value;
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_us_ = 0;
+  const char* key1_ = nullptr;
+  const char* key2_ = nullptr;
+  double value1_ = 0.0;
+  double value2_ = 0.0;
+};
+
+}  // namespace sybiltd::obs

@@ -15,7 +15,7 @@ CampaignEngine::CampaignEngine(EngineOptions options)
   shards_.reserve(options_.shard_count);
   for (std::size_t s = 0; s < options_.shard_count; ++s) {
     shards_.push_back(std::make_unique<Shard>(
-        options_.shard, options_.queue_capacity, options_.max_batch));
+        s, options_.shard, options_.queue_capacity, options_.max_batch));
   }
 }
 
@@ -70,21 +70,9 @@ PushResult CampaignEngine::submit(const Report& report) {
                 "task index out of range for the campaign");
   SYBILTD_CHECK(!std::isnan(report.value), "report value must not be NaN");
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  const PushResult result = shards_[shard_of(report.campaign)]->queue().push(
-      report, options_.backpressure);
-  switch (result) {
-    case PushResult::kOk:
-      accepted_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case PushResult::kDropped:
-      dropped_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case PushResult::kRejected:
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case PushResult::kClosed:
-      break;
-  }
+  Shard& shard = *shards_[shard_of(report.campaign)];
+  const PushResult result = shard.queue().push(report, options_.backpressure);
+  shard.record_push(result);
   return result;
 }
 
@@ -115,16 +103,31 @@ void CampaignEngine::stop() {
 EngineCounters CampaignEngine::counters() const {
   EngineCounters totals;
   totals.submitted = submitted_.load(std::memory_order_relaxed);
-  totals.accepted = accepted_.load(std::memory_order_relaxed);
-  totals.dropped = dropped_.load(std::memory_order_relaxed);
-  totals.rejected = rejected_.load(std::memory_order_relaxed);
+  totals.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
     const ShardCounters& c = shard->counters();
-    totals.applied += c.applied.load(std::memory_order_relaxed);
-    totals.batches += c.batches.load(std::memory_order_relaxed);
-    totals.regroups += c.regroups.load(std::memory_order_relaxed);
-    totals.evictions += c.evictions.load(std::memory_order_relaxed);
-    totals.publications += c.publications.load(std::memory_order_relaxed);
+    ShardStatus status;
+    status.shard = shard->index();
+    status.queue_depth = shard->queue().size();
+    status.queue_capacity = shard->queue().capacity();
+    status.queue_high_watermark = shard->queue().high_watermark();
+    status.accepted = c.accepted.load(std::memory_order_relaxed);
+    status.dropped = c.dropped.load(std::memory_order_relaxed);
+    status.rejected = c.rejected.load(std::memory_order_relaxed);
+    status.applied = c.applied.load(std::memory_order_relaxed);
+    status.batches = c.batches.load(std::memory_order_relaxed);
+    status.regroups = c.regroups.load(std::memory_order_relaxed);
+    status.evictions = c.evictions.load(std::memory_order_relaxed);
+    status.publications = c.publications.load(std::memory_order_relaxed);
+    totals.accepted += status.accepted;
+    totals.dropped += status.dropped;
+    totals.rejected += status.rejected;
+    totals.applied += status.applied;
+    totals.batches += status.batches;
+    totals.regroups += status.regroups;
+    totals.evictions += status.evictions;
+    totals.publications += status.publications;
+    totals.shards.push_back(status);
   }
   return totals;
 }

@@ -60,8 +60,31 @@ struct EngineOptions {
   ShardOptions shard;
 };
 
-// Monotonic engine-wide counters (a consistent-enough snapshot; exact once
-// the engine is drained or stopped).
+// Point-in-time view of one shard: its work counters plus the state of its
+// ingestion queue.  Queue depth is instantaneous; everything else is
+// monotonic.
+struct ShardStatus {
+  std::size_t shard = 0;                 // shard index in the engine
+  std::size_t queue_depth = 0;           // reports waiting right now
+  std::size_t queue_capacity = 0;        // configured ring capacity
+  std::size_t queue_high_watermark = 0;  // max occupancy ever observed
+  std::uint64_t accepted = 0;            // reports enqueued to this shard
+  std::uint64_t dropped = 0;             // kDropNewest discards here
+  std::uint64_t rejected = 0;            // kReject refusals here
+  std::uint64_t applied = 0;             // reports applied to states
+  std::uint64_t batches = 0;             // micro-batches processed
+  std::uint64_t regroups = 0;            // grouping rebuilds
+  std::uint64_t evictions = 0;           // observations decayed out
+  std::uint64_t publications = 0;        // snapshots published
+};
+
+// Engine-wide counters.  Each total is the sum of per-shard atomics read
+// with relaxed loads while the workers run, so individual counters are
+// monotonic but the struct is not one consistent cut: a sum taken
+// mid-stream may pair a shard's post-batch `applied` with another's
+// pre-batch `batches`.  Quiescence (after drain() has covered every
+// submit(), or after stop()) is what makes cross-counter invariants such
+// as accepted == applied hold exactly.
 struct EngineCounters {
   std::uint64_t submitted = 0;  // submit() calls that passed validation
   std::uint64_t accepted = 0;   // reports enqueued
@@ -72,6 +95,9 @@ struct EngineCounters {
   std::uint64_t regroups = 0;   // incremental grouping rebuilds
   std::uint64_t evictions = 0;  // observations decayed out
   std::uint64_t publications = 0;  // snapshots published
+  // Per-shard breakdown (same relaxed-read semantics), one entry per
+  // shard in index order.
+  std::vector<ShardStatus> shards;
 };
 
 class CampaignEngine {
@@ -138,9 +164,6 @@ class CampaignEngine {
   std::size_t live_chains_ = 0;
 
   std::atomic<std::uint64_t> submitted_{0};
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> dropped_{0};
-  std::atomic<std::uint64_t> rejected_{0};
 };
 
 }  // namespace sybiltd::pipeline

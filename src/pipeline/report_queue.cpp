@@ -28,6 +28,7 @@ PushResult ReportQueue::push(const Report& report, BackpressurePolicy policy) {
   }
   ring_[(head_ + count_) % capacity_] = report;
   ++count_;
+  if (count_ > high_watermark_) high_watermark_ = count_;
   lock.unlock();
   not_empty_.notify_one();
   return PushResult::kOk;
@@ -86,6 +87,11 @@ bool ReportQueue::empty() const {
 std::size_t ReportQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return count_;
+}
+
+std::size_t ReportQueue::high_watermark() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_watermark_;
 }
 
 }  // namespace sybiltd::pipeline

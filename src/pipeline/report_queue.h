@@ -69,6 +69,9 @@ class ReportQueue {
   bool empty() const;
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  // Largest occupancy the queue ever reached — how close ingestion came to
+  // triggering backpressure.  Monotonic; never reset.
+  std::size_t high_watermark() const;
 
  private:
   const std::size_t capacity_;
@@ -76,8 +79,9 @@ class ReportQueue {
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::vector<Report> ring_;
-  std::size_t head_ = 0;   // index of the oldest report
-  std::size_t count_ = 0;  // live reports in the ring
+  std::size_t head_ = 0;            // index of the oldest report
+  std::size_t count_ = 0;           // live reports in the ring
+  std::size_t high_watermark_ = 0;  // max count_ ever observed
   bool closed_ = false;
 };
 

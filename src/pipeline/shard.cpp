@@ -3,15 +3,52 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <string>
 
 #include "common/error.h"
 #include "core/ag_ts.h"
 #include "core/data_grouping.h"
 #include "graph/union_find.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sybiltd::pipeline {
 
 using truth::nan_value;
+
+namespace {
+
+// Process-wide registry mirror of the per-shard work counters, plus the
+// micro-batch latency distribution.  Shards bump these alongside their own
+// ShardCounters so obs::snapshot() covers the pipeline without holding a
+// CampaignEngine pointer.
+struct PipelineMetrics {
+  obs::Counter& accepted = obs::MetricsRegistry::global().counter(
+      "pipeline.accepted", "reports enqueued across all shards");
+  obs::Counter& dropped = obs::MetricsRegistry::global().counter(
+      "pipeline.dropped", "reports discarded by kDropNewest backpressure");
+  obs::Counter& rejected = obs::MetricsRegistry::global().counter(
+      "pipeline.rejected", "reports refused by kReject backpressure");
+  obs::Counter& applied = obs::MetricsRegistry::global().counter(
+      "pipeline.applied", "reports applied to campaign states");
+  obs::Counter& batches = obs::MetricsRegistry::global().counter(
+      "pipeline.batches", "micro-batches processed");
+  obs::Counter& regroups = obs::MetricsRegistry::global().counter(
+      "pipeline.regroups", "incremental grouping rebuilds");
+  obs::Counter& evictions = obs::MetricsRegistry::global().counter(
+      "pipeline.evictions", "observations decayed out");
+  obs::Counter& publications = obs::MetricsRegistry::global().counter(
+      "pipeline.publications", "campaign snapshots published");
+  obs::Histogram& batch_us = obs::MetricsRegistry::global().histogram(
+      "pipeline.batch_us", "micro-batch processing latency (us)");
+
+  static PipelineMetrics& get() {
+    static PipelineMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 // --- CampaignState ---------------------------------------------------------
 
@@ -124,6 +161,7 @@ void CampaignState::evict_stale() {
         it = row.erase(it);
         --live_;
         counters_->evictions.fetch_add(1, std::memory_order_relaxed);
+        PipelineMetrics::get().evictions.inc();
       } else {
         ++it;
       }
@@ -133,7 +171,10 @@ void CampaignState::evict_stale() {
 
 const core::AccountGrouping& CampaignState::grouping() {
   if (!grouping_dirty_) return grouping_;
+  obs::TraceSpan span("campaign/regroup");
+  span.arg("campaign", static_cast<double>(campaign_));
   const std::size_t n = observations_.size();
+  span.arg("accounts", static_cast<double>(n));
   if (n == 0) {
     grouping_ = core::AccountGrouping::singletons(0);
   } else {
@@ -150,6 +191,7 @@ const core::AccountGrouping& CampaignState::grouping() {
   }
   grouping_dirty_ = false;
   counters_->regroups.fetch_add(1, std::memory_order_relaxed);
+  PipelineMetrics::get().regroups.inc();
   return grouping_;
 }
 
@@ -182,10 +224,13 @@ core::FrameworkInput CampaignState::as_framework_input() const {
 }
 
 void CampaignState::refine_and_publish(bool to_convergence) {
+  obs::TraceSpan span("campaign/refine");
+  span.arg("campaign", static_cast<double>(campaign_));
   const core::AccountGrouping& current = grouping();
   const core::FrameworkInput view = as_framework_input();
   std::size_t iterations = 0;
   bool converged = false;
+  double final_residual = 0.0;
 
   if (to_convergence) {
     // The drain path *is* the batch path: identical grouped data through
@@ -196,6 +241,7 @@ void CampaignState::refine_and_publish(bool to_convergence) {
     group_weights_ = std::move(result.group_weights);
     iterations = result.iterations;
     converged = result.converged;
+    final_residual = result.final_residual;
   } else {
     const core::GroupedData grouped =
         core::group_data(view, current, options_->framework.data_grouping);
@@ -213,12 +259,14 @@ void CampaignState::refine_and_publish(bool to_convergence) {
       const double delta = core::framework_iterate_once(
           grouped, norm, options_->framework.loss_epsilon, truths_,
           group_weights_);
+      final_residual = delta;
       if (delta < options_->framework.convergence.truth_tolerance) {
         converged = true;
         break;
       }
     }
   }
+  span.arg("iterations", static_cast<double>(iterations));
 
   auto snapshot = std::make_shared<CampaignSnapshot>();
   snapshot->campaign = campaign_;
@@ -231,15 +279,21 @@ void CampaignState::refine_and_publish(bool to_convergence) {
   snapshot->applied_reports = applied_;
   snapshot->iterations = iterations;
   snapshot->converged = converged;
+  snapshot->final_residual = final_residual;
+  snapshot->weight_entropy = core::group_weight_entropy(group_weights_);
   cell_->publish(std::move(snapshot));
   counters_->publications.fetch_add(1, std::memory_order_relaxed);
+  PipelineMetrics::get().publications.inc();
 }
 
 // --- Shard -----------------------------------------------------------------
 
-Shard::Shard(const ShardOptions& options, std::size_t queue_capacity,
-             std::size_t max_batch)
-    : options_(options), max_batch_(max_batch), queue_(queue_capacity) {
+Shard::Shard(std::size_t index, const ShardOptions& options,
+             std::size_t queue_capacity, std::size_t max_batch)
+    : index_(index),
+      options_(options),
+      max_batch_(max_batch),
+      queue_(queue_capacity) {
   SYBILTD_CHECK(options_.decay > 0.0 && options_.decay <= 1.0,
                 "decay must be in (0, 1]");
   SYBILTD_CHECK(options_.influence_floor > 0.0,
@@ -248,6 +302,35 @@ Shard::Shard(const ShardOptions& options, std::size_t queue_capacity,
                 "need at least one refinement iteration per micro-batch");
   SYBILTD_CHECK(max_batch_ >= 1, "micro-batch size must be positive");
   batch_.reserve(max_batch_);
+  // Index-keyed gauge names, so repeated engine constructions (tests,
+  // benchmark sweeps) reuse the same registry entries.
+  const std::string prefix = "pipeline.shard" + std::to_string(index_);
+  auto& registry = obs::MetricsRegistry::global();
+  queue_depth_gauge_ = &registry.gauge(prefix + ".queue_depth",
+                                       "shard ingestion queue occupancy");
+  queue_hwm_gauge_ =
+      &registry.gauge(prefix + ".queue_high_watermark",
+                      "max shard queue occupancy ever observed");
+}
+
+void Shard::record_push(PushResult result) {
+  auto& metrics = PipelineMetrics::get();
+  switch (result) {
+    case PushResult::kOk:
+      counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+      metrics.accepted.inc();
+      break;
+    case PushResult::kDropped:
+      counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+      metrics.dropped.inc();
+      break;
+    case PushResult::kRejected:
+      counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+      metrics.rejected.inc();
+      break;
+    case PushResult::kClosed:
+      break;
+  }
 }
 
 void Shard::add_campaign(std::size_t campaign, std::size_t task_count,
@@ -266,17 +349,23 @@ const CampaignState* Shard::campaign_state(std::size_t campaign) const {
 }
 
 void Shard::process_batch(const std::vector<Report>& batch) {
+  const auto batch_start = std::chrono::steady_clock::now();
   // Apply everything first, then evict/refine/publish once per touched
   // campaign — the micro-batch amortizes regrouping and iteration cost.
   std::vector<CampaignState*> touched;
-  for (const Report& report : batch) {
-    const auto it = states_.find(report.campaign);
-    SYBILTD_ASSERT(it != states_.end());
-    CampaignState& state = it->second;
-    state.apply(report);
-    if (!state.touched_) {
-      state.touched_ = true;
-      touched.push_back(&state);
+  {
+    obs::TraceSpan apply_span("shard/apply");
+    apply_span.arg("shard", static_cast<double>(index_));
+    apply_span.arg("reports", static_cast<double>(batch.size()));
+    for (const Report& report : batch) {
+      const auto it = states_.find(report.campaign);
+      SYBILTD_ASSERT(it != states_.end());
+      CampaignState& state = it->second;
+      state.apply(report);
+      if (!state.touched_) {
+        state.touched_ = true;
+        touched.push_back(&state);
+      }
     }
   }
   for (CampaignState* state : touched) {
@@ -286,6 +375,13 @@ void Shard::process_batch(const std::vector<Report>& batch) {
   }
   counters_.applied.fetch_add(batch.size(), std::memory_order_relaxed);
   counters_.batches.fetch_add(1, std::memory_order_relaxed);
+  auto& metrics = PipelineMetrics::get();
+  metrics.applied.inc(batch.size());
+  metrics.batches.inc();
+  metrics.batch_us.record(
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          std::chrono::steady_clock::now() - batch_start)
+          .count());
 }
 
 void Shard::finalize_all() {
@@ -310,9 +406,18 @@ bool Shard::step() {
   constexpr std::chrono::milliseconds kIdlePoll{2};
   batch_.clear();
   if (queue_.pop_batch(batch_, max_batch_, kIdlePoll) > 0) {
+    // Spanned only when there is work — idle polls would otherwise flood
+    // the trace with 2 ms no-op events.
+    obs::TraceSpan span("shard/step");
+    span.arg("shard", static_cast<double>(index_));
+    span.arg("reports", static_cast<double>(batch_.size()));
+    queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+    queue_hwm_gauge_->set(static_cast<double>(queue_.high_watermark()));
     process_batch(batch_);
     return true;
   }
+  queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+  queue_hwm_gauge_->set(static_cast<double>(queue_.high_watermark()));
   // Idle tick: honor a pending drain barrier, but only once the queue is
   // verifiably empty (the acquire load orders the emptiness check after
   // every push that preceded the finalize request).

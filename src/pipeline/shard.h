@@ -48,7 +48,13 @@
 #include "pipeline/report_queue.h"
 #include "pipeline/snapshot.h"
 
-namespace sybiltd::pipeline {
+namespace sybiltd {
+
+namespace obs {
+class Gauge;
+}  // namespace obs
+
+namespace pipeline {
 
 struct ShardOptions {
   // AG-TS edge threshold rho (Eq. 6): accounts with affinity > rho share a
@@ -67,8 +73,13 @@ struct ShardOptions {
 };
 
 // Monotonic work counters, aggregated across a shard's campaigns.  Atomics
-// so the engine can sum them while workers run.
+// so the engine can sum them while workers run; each is read with a relaxed
+// load, so a sum across shards is per-counter monotone but not a single
+// consistent cut (see EngineCounters).
 struct ShardCounters {
+  std::atomic<std::uint64_t> accepted{0};      // reports enqueued here
+  std::atomic<std::uint64_t> dropped{0};       // kDropNewest discards here
+  std::atomic<std::uint64_t> rejected{0};      // kReject refusals here
   std::atomic<std::uint64_t> applied{0};       // reports applied to states
   std::atomic<std::uint64_t> batches{0};       // micro-batches processed
   std::atomic<std::uint64_t> regroups{0};      // grouping rebuilds
@@ -160,8 +171,11 @@ class CampaignState {
 
 class Shard {
  public:
-  Shard(const ShardOptions& options, std::size_t queue_capacity,
-        std::size_t max_batch);
+  // `index` is the shard's position in the engine — it keys the registry
+  // gauges (`pipeline.shard<index>.queue_depth` / `.queue_high_watermark`),
+  // so repeated engine constructions reuse the same registry entries.
+  Shard(std::size_t index, const ShardOptions& options,
+        std::size_t queue_capacity, std::size_t max_batch);
 
   // Register an owned campaign.  Must happen before run() starts; publishes
   // the version-0 empty snapshot so readers never observe a null cell.
@@ -170,6 +184,11 @@ class Shard {
 
   ReportQueue& queue() { return queue_; }
   const ShardCounters& counters() const { return counters_; }
+  std::size_t index() const { return index_; }
+
+  // Record the outcome of a push into this shard's queue (called by the
+  // engine's submit path; thread-safe relaxed increments).
+  void record_push(PushResult result);
 
   // One cooperative scheduling round: pop one micro-batch and process it,
   // or (when idle) honor a pending finalize request.  Returns false once
@@ -199,9 +218,14 @@ class Shard {
   void process_batch(const std::vector<Report>& batch);
   void finalize_all();
 
+  std::size_t index_;
   ShardOptions options_;
   std::size_t max_batch_;
   ReportQueue queue_;
+  // Registry gauges for this shard's queue occupancy, refreshed once per
+  // step() round (never on the producer path).
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* queue_hwm_gauge_ = nullptr;
   std::unordered_map<std::size_t, CampaignState> states_;
   ShardCounters counters_;
   // Reused micro-batch buffer; only touched from step(), which the engine
@@ -214,4 +238,5 @@ class Shard {
   std::condition_variable finalize_cv_;
 };
 
-}  // namespace sybiltd::pipeline
+}  // namespace pipeline
+}  // namespace sybiltd

@@ -37,6 +37,11 @@ struct CampaignSnapshot {
   std::size_t iterations = 0;          // CRH iterations in the last refine
   // True when the last refine ran to convergence (always after drain()).
   bool converged = false;
+  // Max absolute truth change of the last refine iteration.
+  double final_residual = 0.0;
+  // Entropy (nats) of the normalized group weights (core::group_weight_entropy):
+  // near 0 one group dominates, near log(#groups) none stands out.
+  double weight_entropy = 0.0;
 };
 
 class SnapshotCell {

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/workspace.h"
+#include "obs/metrics.h"
 
 namespace sybiltd::signal {
 
@@ -78,12 +79,22 @@ FftPlan::FftPlan(std::size_t n, bool inverse) : n_(n), inverse_(inverse) {
 
 std::shared_ptr<const FftPlan> FftPlan::plan_for(std::size_t n,
                                                  bool inverse) {
+  // Registry counters so cache behaviour is visible outside unit tests
+  // (`fft.plan_hits` / `fft.plan_misses` in obs::snapshot()).
+  static obs::Counter& hits = obs::MetricsRegistry::global().counter(
+      "fft.plan_hits", "FFT plan cache lookups served from the cache");
+  static obs::Counter& misses = obs::MetricsRegistry::global().counter(
+      "fft.plan_misses", "FFT plan cache lookups that built a plan");
   const std::size_t key = plan_key(n, inverse);
   {
     std::lock_guard<std::mutex> lock(g_plan_mutex);
     auto it = plan_cache().find(key);
-    if (it != plan_cache().end()) return it->second;
+    if (it != plan_cache().end()) {
+      hits.inc();
+      return it->second;
+    }
   }
+  misses.inc();
   // Build outside the lock: plan construction can itself look up sub-plans
   // (Bluestein needs the length-m radix-2 plans), and concurrent builders
   // of the same plan at worst duplicate work — emplace keeps the first.

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/workspace.h"
+#include "obs/metrics.h"
 
 namespace sybiltd::signal {
 
@@ -34,12 +35,20 @@ WelchPlan::WelchPlan(WindowKind kind, std::size_t length)
 
 std::shared_ptr<const WelchPlan> WelchPlan::plan_for(WindowKind kind,
                                                      std::size_t length) {
+  static obs::Counter& hits = obs::MetricsRegistry::global().counter(
+      "welch.plan_hits", "Welch plan cache lookups served from the cache");
+  static obs::Counter& misses = obs::MetricsRegistry::global().counter(
+      "welch.plan_misses", "Welch plan cache lookups that built a plan");
   const std::size_t key = welch_key(kind, length);
   {
     std::lock_guard<std::mutex> lock(g_welch_mutex);
     auto it = welch_cache().find(key);
-    if (it != welch_cache().end()) return it->second;
+    if (it != welch_cache().end()) {
+      hits.inc();
+      return it->second;
+    }
   }
+  misses.inc();
   auto plan = make_cold(kind, length);
   std::lock_guard<std::mutex> lock(g_welch_mutex);
   auto [it, inserted] = welch_cache().emplace(key, std::move(plan));

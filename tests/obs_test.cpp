@@ -1,0 +1,328 @@
+// Tests for the observability subsystem (src/obs): the lock-light metrics
+// registry and the trace-span recorder.
+//
+// The concurrency tests hammer one Counter/Histogram from eight threads and
+// assert the aggregated totals are exact — the striped relaxed increments
+// must not lose updates.  The allocation tests replace global operator new
+// with a counting forwarder (same probe as workspace_test.cpp) and prove
+// the instrumented hot paths — counter inc, histogram record, and a
+// disabled TraceSpan — allocate nothing, which is what lets them live
+// inside the zero-alloc kernels.  The format tests pin the Prometheus and
+// JSON exposition shapes that bench/check_trace.py and the CI
+// observability job validate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// --- Counting allocation probe ---------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_alloc_tracking{false};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (g_alloc_tracking.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sybiltd::obs {
+namespace {
+
+template <typename Fn>
+std::uint64_t count_allocations(Fn&& body) {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_tracking.store(true, std::memory_order_relaxed);
+  body();
+  g_alloc_tracking.store(false, std::memory_order_relaxed);
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+// --- Registry semantics -----------------------------------------------------
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  auto& a = MetricsRegistry::global().counter("obs_test.idempotent");
+  auto& b = MetricsRegistry::global().counter("obs_test.idempotent");
+  EXPECT_EQ(&a, &b);
+  auto& g1 = MetricsRegistry::global().gauge("obs_test.idempotent_gauge");
+  auto& g2 = MetricsRegistry::global().gauge("obs_test.idempotent_gauge");
+  EXPECT_EQ(&g1, &g2);
+  auto& h1 = MetricsRegistry::global().histogram("obs_test.idempotent_hist");
+  auto& h2 = MetricsRegistry::global().histogram("obs_test.idempotent_hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry::global().counter("obs_test.kind_clash");
+  EXPECT_THROW(MetricsRegistry::global().gauge("obs_test.kind_clash"),
+               std::exception);
+  EXPECT_THROW(MetricsRegistry::global().histogram("obs_test.kind_clash"),
+               std::exception);
+}
+
+TEST(MetricsRegistry, CounterIncrements) {
+  auto& c = MetricsRegistry::global().counter("obs_test.basic_counter");
+  const std::uint64_t before = c.value();
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), before + 42);
+}
+
+TEST(MetricsRegistry, GaugeSetAddTrackMax) {
+  auto& g = MetricsRegistry::global().gauge("obs_test.basic_gauge");
+  g.set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.track_max(3.0);  // lower: no change
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.track_max(11.0);
+  EXPECT_DOUBLE_EQ(g.value(), 11.0);
+}
+
+// --- Histogram bucketing ----------------------------------------------------
+
+TEST(Histogram, BucketPlacement) {
+  // Bucket kBucketOffset covers [1, 2).
+  EXPECT_EQ(Histogram::bucket_for(1.0), std::size_t{Histogram::kBucketOffset});
+  EXPECT_EQ(Histogram::bucket_for(1.5), std::size_t{Histogram::kBucketOffset});
+  EXPECT_EQ(Histogram::bucket_for(2.0),
+            std::size_t{Histogram::kBucketOffset + 1});
+  EXPECT_EQ(Histogram::bucket_for(0.5),
+            std::size_t{Histogram::kBucketOffset - 1});
+  // Degenerate inputs land in bucket 0 instead of trapping.
+  EXPECT_EQ(Histogram::bucket_for(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_for(-3.0), 0u);
+  // Huge values clamp into the last bucket.
+  EXPECT_EQ(Histogram::bucket_for(1e300), Histogram::kBuckets - 1);
+  // Edges are consistent: bucket_for(value) <= edge of its own bucket.
+  for (double v : {0.001, 0.7, 1.0, 3.3, 100.0, 123456.0}) {
+    const std::size_t b = Histogram::bucket_for(v);
+    EXPECT_LE(v, Histogram::bucket_upper_edge(b)) << "value " << v;
+  }
+}
+
+TEST(Histogram, CountSumAndBuckets) {
+  auto& h = MetricsRegistry::global().histogram("obs_test.basic_hist");
+  const std::uint64_t count_before = h.count();
+  const double sum_before = h.sum();
+  h.record(1.5);
+  h.record(3.0);
+  h.record(100.0);
+  EXPECT_EQ(h.count(), count_before + 3);
+  EXPECT_DOUBLE_EQ(h.sum(), sum_before + 104.5);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), Histogram::kBuckets);
+  EXPECT_GE(buckets[Histogram::bucket_for(1.5)], 1u);
+  EXPECT_GE(buckets[Histogram::bucket_for(100.0)], 1u);
+}
+
+// --- Concurrency: no lost updates ------------------------------------------
+
+TEST(MetricsConcurrency, EightThreadCounterHammerIsExact) {
+  auto& c = MetricsRegistry::global().counter("obs_test.hammer_counter");
+  const std::uint64_t before = c.value();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), before + kThreads * kPerThread);
+}
+
+TEST(MetricsConcurrency, EightThreadHistogramHammerIsExact) {
+  auto& h = MetricsRegistry::global().histogram("obs_test.hammer_hist");
+  const std::uint64_t before = h.count();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), before + kThreads * kPerThread);
+}
+
+TEST(MetricsConcurrency, SnapshotWhileWritingIsMonotonic) {
+  auto& c = MetricsRegistry::global().counter("obs_test.snapshot_race");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) c.inc();
+  });
+  // Concurrent registration must not invalidate snapshotting either.
+  std::thread registrar([&] {
+    for (int i = 0; i < 50; ++i) {
+      MetricsRegistry::global().counter("obs_test.registrar" +
+                                        std::to_string(i));
+    }
+  });
+  std::uint64_t last = 0;
+  for (int round = 0; round < 20; ++round) {
+    const MetricsSnapshot snap = snapshot();
+    std::uint64_t seen = 0;
+    bool found = false;
+    for (const auto& counter : snap.counters) {
+      if (counter.name == "obs_test.snapshot_race") {
+        seen = counter.value;
+        found = true;
+      }
+    }
+    ASSERT_TRUE(found);
+    EXPECT_GE(seen, last);  // counters never move backwards
+    last = seen;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  registrar.join();
+}
+
+// --- Zero-allocation contract ----------------------------------------------
+
+TEST(MetricsAllocation, CounterIncAllocatesNothing) {
+  auto& c = MetricsRegistry::global().counter("obs_test.zero_alloc_counter");
+  c.inc();  // warm the thread slot
+  const std::uint64_t allocs = count_allocations([&] {
+    for (int i = 0; i < 1000; ++i) c.inc();
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(MetricsAllocation, HistogramRecordAllocatesNothing) {
+  auto& h = MetricsRegistry::global().histogram("obs_test.zero_alloc_hist");
+  h.record(1.0);  // warm the thread slot
+  const std::uint64_t allocs = count_allocations([&] {
+    for (int i = 0; i < 1000; ++i) h.record(static_cast<double>(i));
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(MetricsAllocation, DisabledTraceSpanAllocatesNothing) {
+  ASSERT_FALSE(trace_enabled());
+  const std::uint64_t allocs = count_allocations([&] {
+    for (int i = 0; i < 1000; ++i) {
+      TraceSpan span("obs_test/disabled");
+      span.arg("i", static_cast<double>(i));
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+// --- Trace recording --------------------------------------------------------
+
+TEST(Trace, RecordsAndFlushesSpans) {
+  const std::string path = ::testing::TempDir() + "obs_test_trace.json";
+  enable_trace(path);
+  {
+    TraceSpan outer("obs_test/outer");
+    outer.arg("answer", 42.0);
+    TraceSpan inner("obs_test/inner");
+  }
+  EXPECT_EQ(trace_event_count(), 2u);
+  EXPECT_TRUE(flush_trace());
+  disable_trace();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("obs_test/outer"), std::string::npos);
+  EXPECT_NE(text.find("obs_test/inner"), std::string::npos);
+  EXPECT_NE(text.find("\"answer\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(trace_enabled());
+  const std::size_t before = trace_event_count();
+  {
+    TraceSpan span("obs_test/never");
+  }
+  EXPECT_EQ(trace_event_count(), before);
+}
+
+TEST(Trace, EnableResetsBuffer) {
+  const std::string path = ::testing::TempDir() + "obs_test_trace2.json";
+  enable_trace(path);
+  { TraceSpan span("obs_test/first"); }
+  EXPECT_EQ(trace_event_count(), 1u);
+  enable_trace(path);  // re-enable resets the buffer
+  EXPECT_EQ(trace_event_count(), 0u);
+  disable_trace();
+  std::remove(path.c_str());
+}
+
+// --- Exposition formats -----------------------------------------------------
+
+TEST(Exposition, PrometheusShape) {
+  auto& c = MetricsRegistry::global().counter("obs_test.promo_counter",
+                                              "a test counter");
+  c.inc(7);
+  MetricsRegistry::global().gauge("obs_test.promo_gauge").set(2.5);
+  MetricsRegistry::global().histogram("obs_test.promo_hist").record(1.5);
+  const std::string text = to_prometheus(snapshot());
+  // Dots are sanitized to underscores; counters gain the _total suffix.
+  EXPECT_NE(text.find("obs_test_promo_counter_total"), std::string::npos);
+  EXPECT_NE(text.find("# HELP obs_test_promo_counter_total a test counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_promo_counter_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_promo_gauge 2.5"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_promo_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_promo_hist_count"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_promo_hist_sum"), std::string::npos);
+}
+
+TEST(Exposition, JsonShapeParsesAndCarriesValues) {
+  auto& c = MetricsRegistry::global().counter("obs_test.json_counter");
+  c.inc(3);
+  const std::string text = to_json(snapshot());
+  // Structural spot-checks (no JSON parser in the test deps): the three
+  // top-level arrays and the counter we just bumped.
+  EXPECT_EQ(text.front(), '{');
+  const auto last = text.find_last_not_of(" \n");
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_EQ(text[last], '}');
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(text.find("\"obs_test.json_counter\""), std::string::npos);
+  // Snapshot is sorted by name, so exposition order is deterministic.
+  const auto snap = snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace sybiltd::obs
