@@ -87,15 +87,15 @@ def cmd_compare(args):
                 table[name] /= anchor
 
     shared = sorted(set(baseline) & set(current))
-    missing = sorted(set(baseline) - set(current))
-    added = sorted(set(current) - set(baseline))
+    removed = sorted(set(baseline) - set(current))
+    new = sorted(set(current) - set(baseline))
     if not shared:
         print("error: no benchmarks in common between baseline and current",
               file=sys.stderr)
         return 2
 
     regressions = []
-    width = max(len(name) for name in shared)
+    width = max(len(name) for name in shared + removed + new)
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
           f"{'ratio':>7}")
     for name in shared:
@@ -109,12 +109,21 @@ def cmd_compare(args):
             flag = "  improved"
         print(f"{name:<{width}}  {base:>12.1f}  {cur:>12.1f}  "
               f"{ratio:>6.2f}x{flag}")
-
-    for name in missing:
-        print(f"note: {name!r} present only in baseline", file=sys.stderr)
-    for name in added:
-        print(f"note: {name!r} present only in current (refresh the "
-              "baseline to track it)", file=sys.stderr)
+    # Benchmarks on one side only are informational, never a failure: a
+    # candidate adding benches must be able to land before the committed
+    # baseline is refreshed to track them, and a baseline refresh must not
+    # be blocked by benches the candidate dropped.
+    for name in new:
+        print(f"{name:<{width}}  {'-':>12}  {current[name]:>12.1f}  "
+              f"{'new':>7}")
+    for name in removed:
+        print(f"{name:<{width}}  {baseline[name]:>12.1f}  {'-':>12}  "
+              f"{'removed':>7}")
+    if new:
+        print(f"\n{len(new)} new benchmark(s) not in the baseline "
+              "(refresh BENCH_baseline.json to gate them)")
+    if removed:
+        print(f"{len(removed)} benchmark(s) removed since the baseline")
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed beyond "

@@ -15,6 +15,7 @@
 #include "core/ag_fp.h"
 #include "core/ag_tr.h"
 #include "core/ag_ts.h"
+#include "core/data_grouping.h"
 #include "core/framework.h"
 #include "dtw/dtw.h"
 #include "eval/adapters.h"
@@ -27,6 +28,7 @@
 #include "signal/features.h"
 #include "signal/fft.h"
 #include "signal/welch.h"
+#include "simd/simd.h"
 #include "truth/crh.h"
 
 using namespace sybiltd;
@@ -58,6 +60,15 @@ class CounterDelta {
   obs::Counter& counter_;
   std::uint64_t start_;
 };
+
+// The active SIMD dispatch level (0=scalar 1=sse2 2=neon 3=avx2) as a
+// user counter, so the `--json` report records which kernel backend the
+// numbers were measured with.  The CI perf-smoke job asserts this is > 0
+// on its x86-64 runner (i.e. the vector path was actually selected).
+void attach_simd_level(benchmark::State& state) {
+  state.counters["simd_level"] =
+      static_cast<double>(static_cast<int>(simd::active_level()));
+}
 
 void BM_FftPowerOfTwo(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -101,6 +112,7 @@ void BM_WelchPsd(benchmark::State& state) {
       benchmark::Counter(plan_hits.delta(), benchmark::Counter::kAvgIterations);
   state.counters["plan_misses"] =
       benchmark::Counter(plan_misses.delta(), benchmark::Counter::kAvgIterations);
+  attach_simd_level(state);
 }
 BENCHMARK(BM_WelchPsd)->Arg(600)->Arg(6000);
 
@@ -161,8 +173,23 @@ void BM_DtwZnorm(benchmark::State& state) {
   }
   state.counters["ws_heap_allocs"] =
       benchmark::Counter(heap_allocs.delta(), benchmark::Counter::kAvgIterations);
+  attach_simd_level(state);
 }
 BENCHMARK(BM_DtwZnorm);
+
+void BM_DtwWavefront(benchmark::State& state) {
+  // The cost-only DP: at vector levels this runs the diagonal-wavefront
+  // recurrence through the dtw_wave_cost kernel, at scalar the serial
+  // rolling rows — the same number the AG-TR kTotalCost mode consumes.
+  const auto a = random_series(512, 23);
+  const auto b = random_series(512, 24);
+  benchmark::DoNotOptimize(dtw::dtw_total_cost(a, b));  // warm workspace
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw::dtw_total_cost(a, b));
+  }
+  attach_simd_level(state);
+}
+BENCHMARK(BM_DtwWavefront);
 
 void BM_KMeans(benchmark::State& state) {
   Rng rng(9);
@@ -176,8 +203,42 @@ void BM_KMeans(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(ml::kmeans(data, 8, opt));
   }
+  attach_simd_level(state);
 }
 BENCHMARK(BM_KMeans)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_KmeansAssign(benchmark::State& state) {
+  // The assignment scan in isolation: 800 points x 8 centroids in 20
+  // dimensions, each distance one squared_distance kernel call — the inner
+  // loop Lloyd iterations and k-means++ seeding spend their time in.
+  Rng rng(14);
+  Matrix data(800, 20);
+  for (std::size_t r = 0; r < 800; ++r) {
+    for (std::size_t c = 0; c < 20; ++c) data(r, c) = rng.normal();
+  }
+  Matrix centroids(8, 20);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 20; ++c) centroids(r, c) = rng.normal();
+  }
+  std::vector<std::size_t> labels(800, 0);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 800; ++i) {
+      double best = ml::squared_distance(data.row(i), centroids.row(0));
+      std::size_t arg = 0;
+      for (std::size_t j = 1; j < 8; ++j) {
+        const double d = ml::squared_distance(data.row(i), centroids.row(j));
+        if (d < best) {
+          best = d;
+          arg = j;
+        }
+      }
+      labels[i] = arg;
+    }
+    benchmark::DoNotOptimize(labels.data());
+  }
+  attach_simd_level(state);
+}
+BENCHMARK(BM_KmeansAssign);
 
 void BM_ElbowScan(benchmark::State& state) {
   Rng rng(10);
@@ -223,8 +284,43 @@ void BM_Crh(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(truth::Crh().run(table));
   }
+  attach_simd_level(state);
 }
 BENCHMARK(BM_Crh);
+
+void BM_CrhIterate(benchmark::State& state) {
+  // One framework CRH sweep (weight + truth estimation) over a dense
+  // synthetic workload: 512 tasks x 64 groups, every group reporting every
+  // task.  Exercises residual_sq, weighted_sum_gather, safe_divide and
+  // max_abs_diff with no grouping or convergence logic in the timer.
+  constexpr std::size_t kTasks = 512;
+  constexpr std::size_t kAccounts = 64;
+  Rng rng(15);
+  core::FrameworkInput input;
+  input.task_count = kTasks;
+  input.accounts.resize(kAccounts);
+  for (std::size_t i = 0; i < kAccounts; ++i) {
+    input.accounts[i].reports.reserve(kTasks);
+    for (std::size_t j = 0; j < kTasks; ++j) {
+      input.accounts[i].reports.push_back(
+          {j, rng.uniform(-1, 1), static_cast<double>(j)});
+    }
+  }
+  const auto grouping = core::AccountGrouping::singletons(kAccounts);
+  const core::GroupedData grouped = core::group_data(input, grouping, {});
+  const auto norm = core::framework_task_normalizers(grouped, kTasks);
+  const auto initial = core::framework_initial_truths(grouped, kTasks, true);
+  std::vector<double> truths;
+  std::vector<double> group_weights(kAccounts, 1.0);
+  for (auto _ : state) {
+    // Reset the truths each iteration so every sweep does the same work.
+    truths = initial;
+    benchmark::DoNotOptimize(core::framework_iterate_once(
+        grouped, norm, 1e-9, truths, group_weights));
+  }
+  attach_simd_level(state);
+}
+BENCHMARK(BM_CrhIterate);
 
 void BM_AgFp(benchmark::State& state) {
   const auto input = eval::to_framework_input(shared_scenario());

@@ -101,8 +101,13 @@ double AgTr::dtw_value(const std::vector<double>& a,
     // dissimilar so it always lands in its own group.
     return kInf;
   }
-  const dtw::DtwResult r = dtw::dtw_full(a, b, options_.dtw);
-  return options_.mode == DtwMode::kTotalCost ? r.total_cost : r.distance;
+  // Total-cost mode (the default) needs no warping path, so it runs the
+  // path-free banded DP — same total_cost bits as dtw_full, minus the
+  // full band matrix and backtracking.
+  if (options_.mode == DtwMode::kTotalCost) {
+    return dtw::dtw_total_cost(a, b, options_.dtw);
+  }
+  return dtw::dtw_full(a, b, options_.dtw).distance;
 }
 
 AgTr::Matrices AgTr::dissimilarity_matrices(

@@ -35,6 +35,19 @@ double aggregate_group_values(const std::vector<double>& values,
   return 0.0;
 }
 
+void GroupedData::build_soa() {
+  per_task_values.assign(per_task.size(), {});
+  per_task_groups.assign(per_task.size(), {});
+  for (std::size_t j = 0; j < per_task.size(); ++j) {
+    per_task_values[j].reserve(per_task[j].size());
+    per_task_groups[j].reserve(per_task[j].size());
+    for (const auto& datum : per_task[j]) {
+      per_task_values[j].push_back(datum.value);
+      per_task_groups[j].push_back(static_cast<std::uint32_t>(datum.group));
+    }
+  }
+}
+
 GroupedData group_data(const FrameworkInput& input,
                        const AccountGrouping& grouping,
                        const DataGroupingOptions& options) {
@@ -82,6 +95,7 @@ GroupedData group_data(const FrameworkInput& input,
       out.tasks_of_group[k].push_back(j);
     }
   }
+  out.build_soa();
   return out;
 }
 

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/framework_input.h"
@@ -66,6 +67,14 @@ struct GroupedData {
   std::vector<std::vector<GroupTaskDatum>> per_task;
   // tasks_of_group[k] = sorted task ids the group covers (T~_k).
   std::vector<std::vector<std::size_t>> tasks_of_group;
+  // Structure-of-arrays mirrors of per_task for the contiguous SIMD
+  // kernels: per_task_values[j][i] == per_task[j][i].value and
+  // per_task_groups[j][i] == per_task[j][i].group.  group_data fills
+  // them; build_soa() rebuilds them after manual edits to per_task.
+  std::vector<std::vector<double>> per_task_values;
+  std::vector<std::vector<std::uint32_t>> per_task_groups;
+
+  void build_soa();
 };
 
 // Aggregate values with the configured intra-group aggregator.

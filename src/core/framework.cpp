@@ -8,6 +8,7 @@
 #include "common/workspace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simd/simd.h"
 
 namespace sybiltd::core {
 
@@ -59,21 +60,14 @@ std::vector<double> framework_task_normalizers(const GroupedData& grouped,
                                                std::size_t task_count) {
   SYBILTD_CHECK(grouped.per_task.size() == task_count,
                 "grouped data does not match the task count");
+  SYBILTD_CHECK(grouped.per_task_values.size() == task_count,
+                "grouped data is missing its SoA mirrors (build_soa)");
   std::vector<double> norm(task_count, 1.0);
-  // Scratch for the per-task value list lives in the per-thread workspace
-  // instead of a fresh vector per task.
-  std::size_t max_group_size = 0;
-  for (const auto& per_task : grouped.per_task) {
-    max_group_size = std::max(max_group_size, per_task.size());
-  }
-  auto values = Workspace::local().borrow<double>(max_group_size);
+  // The SoA value mirror is already contiguous, so no per-task copy.
   for (std::size_t j = 0; j < task_count; ++j) {
-    const auto& per_task = grouped.per_task[j];
-    for (std::size_t i = 0; i < per_task.size(); ++i) {
-      values[i] = per_task[i].value;
-    }
-    if (per_task.size() >= 2) {
-      const double sd = stddev(values.span().first(per_task.size()));
+    const auto& values = grouped.per_task_values[j];
+    if (values.size() >= 2) {
+      const double sd = stddev(values);
       if (sd > 1e-12) norm[j] = sd;
     }
   }
@@ -108,19 +102,35 @@ double framework_iterate_once(const GroupedData& grouped,
                 "truth vector does not match the grouped data");
   SYBILTD_CHECK(normalizers.size() == n_tasks,
                 "normalizers do not match the grouped data");
+  SYBILTD_CHECK(grouped.per_task_values.size() == n_tasks,
+                "grouped data is missing its SoA mirrors (build_soa)");
+
+  const auto& kernels = simd::kernels();
+  std::size_t max_task_width = 0;
+  for (const auto& values : grouped.per_task_values) {
+    max_task_width = std::max(max_task_width, values.size());
+  }
 
   // Group weight estimation: W over the group's aggregated residuals.
   // Per-iteration scratch comes from the per-thread workspace, so a warm
-  // iteration performs zero heap allocations.
+  // iteration performs zero heap allocations.  The residual squares of a
+  // task are one kernel call; the scatter-add into the group slots stays
+  // serial and in the original order, so the losses are bit-identical to
+  // the fused loop at every dispatch level.
   auto losses_storage = Workspace::local().borrow<double>(n_groups);
+  auto residual_storage = Workspace::local().borrow<double>(max_task_width);
+  double* residuals = residual_storage.data();
   std::span<double> losses = losses_storage.span();
   std::fill(losses.begin(), losses.end(), 0.0);
   double total_loss = 0.0;
   for (std::size_t j = 0; j < n_tasks; ++j) {
     if (std::isnan(truths[j])) continue;
-    for (const auto& datum : grouped.per_task[j]) {
-      const double diff = (datum.value - truths[j]) / normalizers[j];
-      losses[datum.group] += diff * diff;
+    const auto& values = grouped.per_task_values[j];
+    const auto& groups = grouped.per_task_groups[j];
+    kernels.residual_sq(values.data(), values.size(), truths[j],
+                        normalizers[j], residuals);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      losses[groups[i]] += residuals[i];
     }
   }
   for (std::size_t k = 0; k < n_groups; ++k) {
@@ -141,25 +151,27 @@ double framework_iterate_once(const GroupedData& grouped,
     }
   }
 
-  // Truth estimation over groups.
+  // Truth estimation over groups: per-task weighted sums via the gather
+  // kernel (scalar level is the original serial loop; vector levels use
+  // the fixed 4-lane tree), then one elementwise guarded divide.
+  auto num_storage = Workspace::local().borrow<double>(n_tasks);
+  auto den_storage = Workspace::local().borrow<double>(n_tasks);
   auto next_storage = Workspace::local().borrow<double>(n_tasks);
+  double* num = num_storage.data();
+  double* den = den_storage.data();
   std::span<double> next_truths = next_storage.span();
   for (std::size_t j = 0; j < n_tasks; ++j) {
-    double num = 0.0, den = 0.0;
-    for (const auto& datum : grouped.per_task[j]) {
-      num += group_weights[datum.group] * datum.value;
-      den += group_weights[datum.group];
-    }
-    next_truths[j] = den > 0.0 ? num / den : nan_value();
+    const auto& values = grouped.per_task_values[j];
+    kernels.weighted_sum_gather(values.data(),
+                                grouped.per_task_groups[j].data(),
+                                group_weights.data(), values.size(), &num[j],
+                                &den[j]);
   }
+  kernels.safe_divide(num, den, n_tasks, next_truths.data());
 
-  double delta = 0.0;
-  for (std::size_t j = 0; j < n_tasks; ++j) {
-    if (!std::isnan(truths[j]) && !std::isnan(next_truths[j])) {
-      delta = std::max(delta, std::abs(truths[j] - next_truths[j]));
-    }
-    truths[j] = next_truths[j];
-  }
+  const double delta =
+      kernels.max_abs_diff(truths.data(), next_truths.data(), n_tasks);
+  std::copy(next_truths.begin(), next_truths.end(), truths.begin());
   return delta;
 }
 

@@ -40,6 +40,13 @@ DtwResult dtw_full(std::span<const double> a, std::span<const double> b,
 double dtw_distance(std::span<const double> a, std::span<const double> b,
                     const DtwOptions& options = {});
 
+// Total accumulated squared cost only — the value dtw_full reports as
+// total_cost, bit-identical, without materializing the path.  The cost
+// recurrence is a pure min over exact values, so the result is the same
+// at every SIMD dispatch level.
+double dtw_total_cost(std::span<const double> a, std::span<const double> b,
+                      const DtwOptions& options = {});
+
 // DTW distance after z-normalizing both series (constant series map to 0).
 double dtw_distance_znorm(std::span<const double> a,
                           std::span<const double> b,

@@ -7,6 +7,7 @@
 #include "common/workspace.h"
 #include "signal/fft.h"
 #include "signal/welch.h"
+#include "simd/simd.h"
 
 namespace sybiltd::signal {
 
@@ -32,9 +33,8 @@ Spectrum compute_spectrum(std::span<const double> signal,
   const std::span<const double> w = plan->window();
   auto full_storage = Workspace::local().borrow<Complex>(n);
   Complex* full = full_storage.data();
-  for (std::size_t i = 0; i < n; ++i) {
-    full[i] = Complex(signal[i] * w[i], 0.0);
-  }
+  simd::kernels().window_multiply_complex(signal.data(), w.data(), n,
+                                          reinterpret_cast<double*>(full));
   plan->fft().apply({full, n});
 
   const std::size_t half = n / 2 + 1;

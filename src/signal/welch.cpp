@@ -9,6 +9,7 @@
 #include "common/error.h"
 #include "common/workspace.h"
 #include "obs/metrics.h"
+#include "simd/simd.h"
 
 namespace sybiltd::signal {
 
@@ -101,19 +102,30 @@ void welch_psd_into(std::span<const double> signal, double sample_rate_hz,
   out.psd.assign(seg / 2 + 1, 0.0);
 
   // One complex segment buffer from the per-thread workspace, windowed and
-  // transformed in place per segment.
+  // transformed in place per segment.  std::complex<double> is
+  // array-compatible with double[2], so the SIMD kernels see the segment
+  // as interleaved (re, im) pairs.
   auto segment_storage = Workspace::local().borrow<Complex>(seg);
   Complex* segment = segment_storage.data();
+  double* segment_ri = reinterpret_cast<double*>(segment);
+  const auto& kernels = simd::kernels();
+  const double denom = sample_rate_hz * window_power;
+  // One-sided periodogram scaling: the interior bins are doubled; DC and
+  // (for even segments) Nyquist are not.  The interior run is one kernel
+  // call; the one or two boundary bins stay scalar.
+  const std::size_t last = out.psd.size() - 1;
+  const std::size_t interior_end = 2 * last == seg ? last : last + 1;
   for (std::size_t start = 0; start + seg <= signal.size(); start += hop) {
-    for (std::size_t i = 0; i < seg; ++i) {
-      segment[i] = Complex(signal[start + i] * window[i], 0.0);
-    }
+    kernels.window_multiply_complex(signal.data() + start, window.data(),
+                                    seg, segment_ri);
     plan->fft().apply({segment, seg});
-    for (std::size_t k = 0; k < out.psd.size(); ++k) {
-      // One-sided periodogram scaling: double the interior bins.
-      const double scale = (k == 0 || 2 * k == seg) ? 1.0 : 2.0;
-      out.psd[k] += scale * std::norm(segment[k]) /
-                    (sample_rate_hz * window_power);
+    out.psd[0] += 1.0 * std::norm(segment[0]) / denom;
+    if (interior_end > 1) {
+      kernels.psd_accumulate(segment_ri + 2, interior_end - 1, 2.0, denom,
+                             out.psd.data() + 1);
+    }
+    if (2 * last == seg) {
+      out.psd[last] += 1.0 * std::norm(segment[last]) / denom;
     }
     ++out.segments_averaged;
     if (signal.size() < seg + hop) break;

@@ -1,0 +1,162 @@
+#include "simd/simd.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+#include "simd/kernels.h"
+
+namespace sybiltd::simd {
+
+namespace {
+
+// Levels compiled in AND usable on this host, ascending rank.
+std::vector<Level> detect_available() {
+  std::vector<Level> levels{Level::kScalar};
+#if defined(SYBILTD_SIMD_HAVE_SSE2)
+  // SSE2 is part of the x86-64 baseline: always usable when compiled in.
+  levels.push_back(Level::kSse2);
+#endif
+#if defined(SYBILTD_SIMD_HAVE_NEON)
+  // NEON is part of the aarch64 baseline.
+  levels.push_back(Level::kNeon);
+#endif
+#if defined(SYBILTD_SIMD_HAVE_AVX2)
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) levels.push_back(Level::kAvx2);
+#endif
+#endif
+  return levels;
+}
+
+const KernelTable* table_for_impl(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return &scalar::table();
+    case Level::kSse2:
+#if defined(SYBILTD_SIMD_HAVE_SSE2)
+      return &sse2::table();
+#else
+      return nullptr;
+#endif
+    case Level::kNeon:
+#if defined(SYBILTD_SIMD_HAVE_NEON)
+      return &neon::table();
+#else
+      return nullptr;
+#endif
+    case Level::kAvx2:
+#if defined(SYBILTD_SIMD_HAVE_AVX2)
+      return &avx2::table();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+obs::Gauge& level_gauge() {
+  static obs::Gauge& gauge = obs::MetricsRegistry::global().gauge(
+      "simd.level", "Active SIMD dispatch level (0=scalar 1=sse2 2=neon 3=avx2)");
+  return gauge;
+}
+
+struct Dispatch {
+  std::vector<Level> available;
+  std::atomic<int> level;
+  std::atomic<const KernelTable*> table;
+
+  Dispatch() : available(detect_available()) {
+    Level pick = available.back();
+    if (const char* env = std::getenv("SYBILTD_SIMD")) {
+      Level requested;
+      if (parse_level(env, &requested)) pick = clamp(requested);
+    }
+    level.store(static_cast<int>(pick), std::memory_order_relaxed);
+    table.store(table_for_impl(pick), std::memory_order_relaxed);
+    level_gauge().set(static_cast<double>(static_cast<int>(pick)));
+  }
+
+  // Best available level whose rank does not exceed the request.
+  Level clamp(Level requested) const {
+    Level best = Level::kScalar;
+    for (Level l : available) {
+      if (static_cast<int>(l) <= static_cast<int>(requested)) best = l;
+    }
+    return best;
+  }
+};
+
+Dispatch& dispatch() {
+  // Leaked singleton, like the metrics registry: kernels may run from
+  // thread_local destructors during shutdown.
+  static Dispatch* d = new Dispatch();
+  return *d;
+}
+
+}  // namespace
+
+Level active_level() {
+  return static_cast<Level>(dispatch().level.load(std::memory_order_relaxed));
+}
+
+Level set_active_level(Level level) {
+  Dispatch& d = dispatch();
+  const Level picked = d.clamp(level);
+  d.level.store(static_cast<int>(picked), std::memory_order_relaxed);
+  d.table.store(table_for_impl(picked), std::memory_order_relaxed);
+  level_gauge().set(static_cast<double>(static_cast<int>(picked)));
+  return picked;
+}
+
+const std::vector<Level>& available_levels() { return dispatch().available; }
+
+std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kNeon:
+      return "neon";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool parse_level(std::string_view text, Level* out) {
+  std::string lower(text);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "scalar" || lower == "off" || lower == "0") {
+    *out = Level::kScalar;
+  } else if (lower == "sse2") {
+    *out = Level::kSse2;
+  } else if (lower == "neon") {
+    *out = Level::kNeon;
+  } else if (lower == "avx2") {
+    *out = Level::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const KernelTable& kernels() {
+  return *dispatch().table.load(std::memory_order_relaxed);
+}
+
+const KernelTable* table_for(Level level) {
+  Dispatch& d = dispatch();
+  for (Level l : d.available) {
+    if (l == level) return table_for_impl(level);
+  }
+  return nullptr;
+}
+
+}  // namespace sybiltd::simd

@@ -1,0 +1,35 @@
+// Per-backend kernel tables.  Each backend lives in its own translation
+// unit so it can be compiled with the matching -m flags; dispatch.cpp picks
+// one at runtime.  The SYBILTD_SIMD_HAVE_* macros are defined by the build
+// (see src/simd/CMakeLists.txt) for backends that are compiled in.
+#pragma once
+
+#include "simd/simd.h"
+
+namespace sybiltd::simd {
+
+namespace scalar {
+// Reference implementations: byte-for-byte the loops the call sites ran
+// before this layer existed.  Compiled with the project's default flags.
+const KernelTable& table();
+}  // namespace scalar
+
+#if defined(SYBILTD_SIMD_HAVE_SSE2)
+namespace sse2 {
+const KernelTable& table();
+}
+#endif
+
+#if defined(SYBILTD_SIMD_HAVE_AVX2)
+namespace avx2 {
+const KernelTable& table();
+}
+#endif
+
+#if defined(SYBILTD_SIMD_HAVE_NEON)
+namespace neon {
+const KernelTable& table();
+}
+#endif
+
+}  // namespace sybiltd::simd

@@ -1,0 +1,260 @@
+// Generic vector kernel bodies over the F64x4 abstraction in vec.h.
+// Included by each vector backend TU (kernels_avx2.cpp, kernels_sse2.cpp,
+// kernels_neon.cpp) inside its own namespace, after defining the backend
+// macro that selects the F64x4 implementation.  Because every backend has
+// identical virtual-lane semantics, all vector backends produce the same
+// bits; the comments on each kernel state its contract versus the scalar
+// reference (bit-identical, or 4-lane-tree reduction).
+//
+// Tails (n % 4 trailing elements) replicate the scalar reference's exact
+// per-element operations, so elementwise kernels are bit-identical to
+// scalar at every length.  Reduction tails are folded in serially after
+// the (l0 + l1) + (l2 + l3) lane combine; inputs shorter than one vector
+// take the scalar reference path unchanged.
+
+// out[i] = sd > 1e-12 ? (x[i] - mu) / sd : 0.0   (bit-identical)
+void znorm(const double* x, std::size_t n, double mu, double sd,
+           double* out) {
+  if (!(sd > 1e-12)) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = 0.0;
+    return;
+  }
+  const F64x4 vmu = F64x4::splat(mu);
+  const F64x4 vsd = F64x4::splat(sd);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    ((F64x4::load(x + i) - vmu) / vsd).store(out + i);
+  }
+  for (; i < n; ++i) out[i] = (x[i] - mu) / sd;
+}
+
+// out[i] = (a[i] - b[i])^2   (bit-identical)
+void sq_diff(const double* a, const double* b, std::size_t n, double* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const F64x4 d = F64x4::load(a + i) - F64x4::load(b + i);
+    (d * d).store(out + i);
+  }
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    out[i] = d * d;
+  }
+}
+
+// out[i] = ((v[i] - truth) / norm)^2   (bit-identical)
+void residual_sq(const double* v, std::size_t n, double truth, double norm,
+                 double* out) {
+  const F64x4 vt = F64x4::splat(truth);
+  const F64x4 vn = F64x4::splat(norm);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const F64x4 d = (F64x4::load(v + i) - vt) / vn;
+    (d * d).store(out + i);
+  }
+  for (; i < n; ++i) {
+    const double d = (v[i] - truth) / norm;
+    out[i] = d * d;
+  }
+}
+
+// out[2i] = x[i] * w[i]; out[2i+1] = 0.0   (bit-identical)
+void window_multiply_complex(const double* x, const double* w,
+                             std::size_t n, double* out_ri) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    (F64x4::load(x + i) * F64x4::load(w + i))
+        .store_complex_re(out_ri + 2 * i);
+  }
+  for (; i < n; ++i) {
+    out_ri[2 * i] = x[i] * w[i];
+    out_ri[2 * i + 1] = 0.0;
+  }
+}
+
+// psd[k] += (scale * (re^2 + im^2)) / denom   (bit-identical)
+void psd_accumulate(const double* seg_ri, std::size_t n, double scale,
+                    double denom, double* psd) {
+  const F64x4 vscale = F64x4::splat(scale);
+  const F64x4 vdenom = F64x4::splat(denom);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const F64x4 norms = F64x4::complex_norms(seg_ri + 2 * k);
+    const F64x4 add = (vscale * norms) / vdenom;
+    (F64x4::load(psd + k) + add).store(psd + k);
+  }
+  for (; k < n; ++k) {
+    const double re = seg_ri[2 * k];
+    const double im = seg_ri[2 * k + 1];
+    psd[k] += scale * (re * re + im * im) / denom;
+  }
+}
+
+// out[i] = den[i] > 0 ? num[i] / den[i] : quiet NaN   (bit-identical; the
+// speculative lanes' divide-by-zero results are discarded by the blend)
+void safe_divide(const double* num, const double* den, std::size_t n,
+                 double* out) {
+  const F64x4 vzero = F64x4::zero();
+  const F64x4 vnan = F64x4::splat(std::numeric_limits<double>::quiet_NaN());
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const F64x4 vnum = F64x4::load(num + i);
+    const F64x4 vden = F64x4::load(den + i);
+    F64x4::select(F64x4::gt(vden, vzero), vnum / vden, vnan).store(out + i);
+  }
+  for (; i < n; ++i) {
+    out[i] = den[i] > 0.0 ? num[i] / den[i]
+                          : std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+// out[i] = cost[i] + min(diag[i], vert[i], horiz[i])   (bit-identical:
+// min via exact ordered compares, NaN candidates never replace)
+void dtw_wave_cost(const double* cost, const double* diag,
+                   const double* vert, const double* horiz, std::size_t n,
+                   double* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    F64x4 best = F64x4::load(diag + i);
+    const F64x4 v = F64x4::load(vert + i);
+    best = F64x4::select(F64x4::lt(v, best), v, best);
+    const F64x4 h = F64x4::load(horiz + i);
+    best = F64x4::select(F64x4::lt(h, best), h, best);
+    (F64x4::load(cost + i) + best).store(out + i);
+  }
+  for (; i < n; ++i) {
+    double best = diag[i];
+    if (vert[i] < best) best = vert[i];
+    if (horiz[i] < best) best = horiz[i];
+    out[i] = cost[i] + best;
+  }
+}
+
+// (cost, len) DTW cells with the scalar tie-break: a candidate replaces
+// the best when its cost is smaller, or equal with a smaller length.
+// (bit-identical: compares and blends only)
+void dtw_wave_cell(const double* cost, const double* diag_c,
+                   const double* diag_l, const double* vert_c,
+                   const double* vert_l, const double* horiz_c,
+                   const double* horiz_l, std::size_t n, double* out_c,
+                   double* out_l) {
+  const F64x4 vone = F64x4::splat(1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    F64x4 bc = F64x4::load(diag_c + i);
+    F64x4 bl = F64x4::load(diag_l + i);
+    const auto consider = [&](F64x4 cc, F64x4 cl) {
+      const F64x4 take = F64x4::or_(
+          F64x4::lt(cc, bc),
+          F64x4::and_(F64x4::eq(cc, bc), F64x4::lt(cl, bl)));
+      bc = F64x4::select(take, cc, bc);
+      bl = F64x4::select(take, cl, bl);
+    };
+    consider(F64x4::load(vert_c + i), F64x4::load(vert_l + i));
+    consider(F64x4::load(horiz_c + i), F64x4::load(horiz_l + i));
+    (F64x4::load(cost + i) + bc).store(out_c + i);
+    (bl + vone).store(out_l + i);
+  }
+  for (; i < n; ++i) {
+    double bc = diag_c[i];
+    double bl = diag_l[i];
+    if (vert_c[i] < bc || (vert_c[i] == bc && vert_l[i] < bl)) {
+      bc = vert_c[i];
+      bl = vert_l[i];
+    }
+    if (horiz_c[i] < bc || (horiz_c[i] == bc && horiz_l[i] < bl)) {
+      bc = horiz_c[i];
+      bl = horiz_l[i];
+    }
+    out_c[i] = cost[i] + bc;
+    out_l[i] = bl + 1.0;
+  }
+}
+
+// max |a[i] - b[i]| with NaN differences skipped   (bit-identical: max is
+// exact, and a NaN difference never passes the < comparison)
+double max_abs_diff(const double* a, const double* b, std::size_t n) {
+  F64x4 worst = F64x4::zero();
+  // |d| clears the sign bit; NaN differences fail the < below and are
+  // skipped, exactly like the scalar reference.
+  const F64x4 abs_mask =
+      F64x4::splat(std::bit_cast<double>(std::uint64_t{0x7FFFFFFFFFFFFFFF}));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const F64x4 d = F64x4::load(a + i) - F64x4::load(b + i);
+    const F64x4 ad = F64x4::and_(d, abs_mask);
+    const F64x4 m = F64x4::lt(worst, ad);
+    worst = F64x4::select(m, ad, worst);
+  }
+  // Fixed lane combine; exact, so the order is irrelevant for max.
+  double best = worst.lane(0);
+  for (std::size_t l = 1; l < 4; ++l) {
+    const double v = worst.lane(l);
+    if (best < v) best = v;
+  }
+  for (; i < n; ++i) {
+    const double d = std::abs(a[i] - b[i]);
+    if (best < d) best = d;
+  }
+  return best;
+}
+
+// sum of (a[i] - b[i])^2 over four virtual lanes combined as
+// (l0 + l1) + (l2 + l3), tail folded serially.  n < 4 takes the scalar
+// reference path.  (<= 1e-12 relative envelope vs scalar)
+double squared_distance(const double* a, const double* b, std::size_t n) {
+  if (n < 4) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = a[i] - b[i];
+      acc += d * d;
+    }
+    return acc;
+  }
+  F64x4 acc = F64x4::zero();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const F64x4 d = F64x4::load(a + i) - F64x4::load(b + i);
+    acc = acc + d * d;
+  }
+  double sum = (acc.lane(0) + acc.lane(1)) + (acc.lane(2) + acc.lane(3));
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+// num = sum w[groups[i]] * values[i]; den = sum w[groups[i]], 4-lane tree
+// as above.  (<= 1e-12 relative envelope vs scalar)
+void weighted_sum_gather(const double* values, const std::uint32_t* groups,
+                         const double* weights, std::size_t n, double* num,
+                         double* den) {
+  if (n < 4) {
+    double sn = 0.0, sd = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = weights[groups[i]];
+      sn += w * values[i];
+      sd += w;
+    }
+    *num = sn;
+    *den = sd;
+    return;
+  }
+  F64x4 accn = F64x4::zero();
+  F64x4 accd = F64x4::zero();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const F64x4 w = F64x4::gather_u32(weights, groups + i);
+    accn = accn + w * F64x4::load(values + i);
+    accd = accd + w;
+  }
+  double sn = (accn.lane(0) + accn.lane(1)) + (accn.lane(2) + accn.lane(3));
+  double sd = (accd.lane(0) + accd.lane(1)) + (accd.lane(2) + accd.lane(3));
+  for (; i < n; ++i) {
+    const double w = weights[groups[i]];
+    sn += w * values[i];
+    sd += w;
+  }
+  *num = sn;
+  *den = sd;
+}

@@ -2,21 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "simd/simd.h"
 
 namespace sybiltd::truth {
 
 double max_abs_difference(const std::vector<double>& a,
                           const std::vector<double>& b) {
   SYBILTD_CHECK(a.size() == b.size(), "truth vectors differ in length");
-  double worst = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (std::isnan(a[i]) || std::isnan(b[i])) continue;
-    worst = std::max(worst, std::abs(a[i] - b[i]));
-  }
-  return worst;
+  // Exact max with NaN pairs skipped — bit-identical at every dispatch
+  // level.
+  return simd::kernels().max_abs_diff(a.data(), b.data(), a.size());
 }
 
 Result Crh::run(const ObservationTable& data) const {
@@ -61,10 +60,34 @@ Result Crh::run(const ObservationTable& data) const {
     }
   }
 
+  // Per-task SoA mirrors (contiguous values + account ids in
+  // task_observations order) so the reductions below are single kernel
+  // calls per task.
+  const auto& kernels = simd::kernels();
+  const bool vector_level =
+      simd::active_level() != simd::Level::kScalar;
+  std::vector<std::vector<double>> task_values(n_tasks);
+  std::vector<std::vector<std::uint32_t>> task_accounts(n_tasks);
+  std::size_t max_task_width = 0;
+  for (std::size_t j = 0; j < n_tasks; ++j) {
+    const auto& idxs = data.task_observations(j);
+    task_values[j].reserve(idxs.size());
+    task_accounts[j].reserve(idxs.size());
+    for (std::size_t idx : idxs) {
+      const Observation& obs = data.observations()[idx];
+      task_values[j].push_back(obs.value);
+      task_accounts[j].push_back(static_cast<std::uint32_t>(obs.account));
+    }
+    max_task_width = std::max(max_task_width, idxs.size());
+  }
+
   // Per-iteration scratch, allocated once: the iteration loop itself is
   // heap-allocation-free (asserted in tests/workspace_test.cpp).
   std::vector<double> next_truths(n_tasks, nan_value());
   std::vector<double> losses(n_accounts, 0.0);
+  std::vector<double> residuals(max_task_width, 0.0);
+  std::vector<double> num(n_tasks, 0.0);
+  std::vector<double> den(n_tasks, 0.0);
   for (std::size_t iter = 0; iter < options_.convergence.max_iterations;
        ++iter) {
     result.iterations = iter + 1;
@@ -72,11 +95,29 @@ Result Crh::run(const ObservationTable& data) const {
     // --- Weight estimation (Eq. 1 with W = log(sum/·)) ------------------
     std::fill(losses.begin(), losses.end(), 0.0);
     double total_loss = 0.0;
-    for (const Observation& obs : data.observations()) {
-      if (std::isnan(result.truths[obs.task])) continue;
-      const double diff =
-          (obs.value - result.truths[obs.task]) / task_norm[obs.task];
-      losses[obs.account] += diff * diff;
+    if (vector_level) {
+      // Vector levels accumulate task by task (one residual_sq kernel call
+      // per task, serial scatter into the account slots); the per-account
+      // sums pick up the observations in (task, index) instead of flat
+      // index order, a pure reassociation within the documented envelope.
+      for (std::size_t j = 0; j < n_tasks; ++j) {
+        if (std::isnan(result.truths[j])) continue;
+        const auto& values = task_values[j];
+        kernels.residual_sq(values.data(), values.size(), result.truths[j],
+                            task_norm[j], residuals.data());
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          losses[task_accounts[j][i]] += residuals[i];
+        }
+      }
+    } else {
+      // The scalar level keeps the original flat observation-order loop so
+      // SYBILTD_SIMD=scalar reproduces the pre-SIMD bytes exactly.
+      for (const Observation& obs : data.observations()) {
+        if (std::isnan(result.truths[obs.task])) continue;
+        const double diff =
+            (obs.value - result.truths[obs.task]) / task_norm[obs.task];
+        losses[obs.account] += diff * diff;
+      }
     }
     for (std::size_t i = 0; i < n_accounts; ++i) {
       if (data.account_observations(i).empty()) {
@@ -98,15 +139,16 @@ Result Crh::run(const ObservationTable& data) const {
     }
 
     // --- Truth estimation (Eq. 2) ----------------------------------------
+    // Weighted sums through the gather kernel: the scalar table runs the
+    // original serial loop; vector levels use the fixed 4-lane tree.
     for (std::size_t j = 0; j < n_tasks; ++j) {
-      double num = 0.0, den = 0.0;
-      for (std::size_t idx : data.task_observations(j)) {
-        const Observation& obs = data.observations()[idx];
-        num += result.account_weights[obs.account] * obs.value;
-        den += result.account_weights[obs.account];
-      }
-      next_truths[j] = den > 0.0 ? num / den : nan_value();
+      kernels.weighted_sum_gather(task_values[j].data(),
+                                  task_accounts[j].data(),
+                                  result.account_weights.data(),
+                                  task_values[j].size(), &num[j], &den[j]);
     }
+    kernels.safe_divide(num.data(), den.data(), n_tasks,
+                        next_truths.data());
 
     const double delta = max_abs_difference(result.truths, next_truths);
     // Swap instead of copy: next_truths' old contents are fully rewritten

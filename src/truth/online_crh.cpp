@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/stats.h"
 #include "common/workspace.h"
+#include "simd/simd.h"
 
 namespace sybiltd::truth {
 
@@ -111,9 +112,9 @@ void OnlineCrh::iterate_once() {
     num[obs.task] += w * obs.value;
     den[obs.task] += w;
   }
-  for (std::size_t j = 0; j < task_count_; ++j) {
-    truths_[j] = den[j] > 0.0 ? num[j] / den[j] : nan_value();
-  }
+  // Elementwise guarded divide — bit-identical at every dispatch level.
+  simd::kernels().safe_divide(num.data(), den.data(), task_count_,
+                              truths_.data());
 }
 
 }  // namespace sybiltd::truth

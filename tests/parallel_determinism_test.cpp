@@ -4,6 +4,10 @@
 // scenario.  This is the contract documented in docs/PERFORMANCE.md —
 // parallel tasks write disjoint slots and reductions fold serially, so
 // the outputs are bit-identical, not merely close.
+//
+// The SIMD dispatch level is a second determinism axis: the grouping
+// labels (the ARI-relevant output) must be identical at every available
+// level, and at each level the pool-size invariance must hold too.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -17,6 +21,7 @@
 #include "eval/adapters.h"
 #include "eval/experiment.h"
 #include "mcs/scenario.h"
+#include "simd/simd.h"
 
 namespace sybiltd {
 namespace {
@@ -111,6 +116,43 @@ TEST_F(ParallelDeterminismTest, FrameworkTruths) {
   for (std::size_t j = 0; j < truths[0].size(); ++j) {
     EXPECT_NEAR(truths[0][j], truths[1][j], 1e-12) << "task " << j;
   }
+}
+
+// Pin SYBILTD_SIMD at each available level and re-run the groupers: the
+// labels feeding ARI must be identical whether the hot loops ran through
+// the scalar reference, SSE2, NEON, or AVX2 kernels — and at every level
+// the 1-vs-8-thread invariance above must still hold.
+TEST_F(ParallelDeterminismTest, GroupingIdenticalAtEveryDispatchLevel) {
+  const simd::Level before = simd::active_level();
+  simd::set_active_level(simd::Level::kScalar);
+  ThreadPool::set_global_concurrency(1);
+  const auto tr_ref = core::AgTr().group(*input_).labels();
+  const auto ts_ref = core::AgTs().group(*input_).labels();
+  const auto fp_ref = core::AgFp().group(*input_).labels();
+  const auto truths_ref = core::run_framework(*input_, core::AgTr()).truths;
+
+  for (simd::Level level : simd::available_levels()) {
+    simd::set_active_level(level);
+    for (int threads : {1, 8}) {
+      ThreadPool::set_global_concurrency(threads);
+      EXPECT_EQ(core::AgTr().group(*input_).labels(), tr_ref)
+          << "AG-TR at " << simd::level_name(level) << " threads=" << threads;
+      EXPECT_EQ(core::AgTs().group(*input_).labels(), ts_ref)
+          << "AG-TS at " << simd::level_name(level) << " threads=" << threads;
+      EXPECT_EQ(core::AgFp().group(*input_).labels(), fp_ref)
+          << "AG-FP at " << simd::level_name(level) << " threads=" << threads;
+      // Truths go through the envelope-bounded reductions, so compare
+      // within the documented 1e-12 envelope rather than bitwise.
+      const auto truths =
+          core::run_framework(*input_, core::AgTr()).truths;
+      ASSERT_EQ(truths.size(), truths_ref.size());
+      for (std::size_t j = 0; j < truths.size(); ++j) {
+        EXPECT_NEAR(truths[j], truths_ref[j], 1e-9)
+            << "task " << j << " at " << simd::level_name(level);
+      }
+    }
+  }
+  simd::set_active_level(before);
 }
 
 TEST_F(ParallelDeterminismTest, EvaluationSweeps) {
