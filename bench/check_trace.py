@@ -2,6 +2,7 @@
 """Validate the observability artifacts a campaign run leaves behind.
 
 Usage: check_trace.py <trace.json> <metrics.json>
+       check_trace.py --prometheus <metrics.txt>
 
 The trace file is the Chrome trace-event JSON written when SYBILTD_TRACE is
 set; the metrics file is the obs::to_json() dump written by
@@ -9,8 +10,15 @@ set; the metrics file is the obs::to_json() dump written by
 then this script, so a refactor that silently stops emitting spans or
 renames a core metric fails the build instead of being discovered the next
 time someone opens Perfetto.
+
+`--prometheus` instead validates a Prometheus text exposition, as served by
+the campaign server's GET /metrics: every sample line must parse, and the
+server.* request/ingestion series plus the process uptime gauge must be
+present (the CI server-smoke job curls the endpoint into a file and runs
+this mode against it).
 """
 import json
+import re
 import sys
 
 # Spans the streaming example must emit: the per-shard drain, the campaign
@@ -115,7 +123,68 @@ def check_metrics(path):
           f"schema OK")
 
 
+# Series the server's /metrics endpoint must expose (post-sanitization
+# names; counters carry the _total suffix).
+REQUIRED_PROMETHEUS = {
+    "server_requests_total",
+    "server_connections_accepted_total",
+    "server_reports_accepted_total",
+    "server_responses_2xx_total",
+    "uptime_seconds",
+    "pipeline_applied_total",
+}
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$")
+
+
+def check_prometheus(path):
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        fail(f"{path}: empty exposition")
+    names = set()
+    helped = set()
+    typed = set()
+    for line in lines:
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if parts[3] not in ("counter", "gauge", "histogram"):
+                fail(f"{path}: bad TYPE {parts[3]!r} for {parts[2]}")
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            fail(f"{path}: unparseable sample line {line!r}")
+        name = match.group(1)
+        # Histogram series fold back to their family name for the checks.
+        family = re.sub(r"_(bucket|count|sum)$", "", name)
+        names.add(name)
+        names.add(family)
+        if not re.fullmatch(r"[a-zA-Z0-9_:]+", name):
+            fail(f"{path}: unsanitized metric name {name!r}")
+    missing = REQUIRED_PROMETHEUS - names
+    if missing:
+        fail(f"{path}: missing series {sorted(missing)}")
+    untyped = {n for n in names if n in helped} - typed
+    if untyped:
+        fail(f"{path}: HELP without TYPE for {sorted(untyped)}")
+    print(f"check_trace: {path}: {len(names)} series, "
+          f"all required server series present")
+
+
 def main(argv):
+    if len(argv) == 3 and argv[1] == "--prometheus":
+        check_prometheus(argv[2])
+        print("check_trace: PASS")
+        return 0
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2

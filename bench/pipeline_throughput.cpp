@@ -11,7 +11,10 @@
 //   pipeline_throughput [reports_per_run] [shards] [--metrics <path>]
 //
 // After the sweep it prints the per-shard queue/work breakdown of the last
-// run, and `--metrics <path>` dumps the process metrics registry as JSON.
+// run, and `--metrics <path>` dumps {"engine": <last run's counters>,
+// "metrics": <process metrics registry>} — the engine side rendered by the
+// same pipeline/status_json code the HTTP server's /v1/status uses, so the
+// bench artifact and the wire format cannot drift apart.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -24,6 +27,7 @@
 #include "common/table.h"
 #include "obs/metrics.h"
 #include "pipeline/engine.h"
+#include "pipeline/status_json.h"
 
 using namespace sybiltd;
 
@@ -79,6 +83,7 @@ int main(int argc, char** argv) {
   TextTable table({"producers", "reports", "seconds", "reports/sec",
                    "micro-batches", "regroups", "snapshots"});
   std::vector<pipeline::ShardStatus> last_shards;
+  pipeline::EngineCounters last_counters;
   for (std::size_t producers : {1u, 2u, 4u, 8u}) {
     pipeline::EngineOptions options;
     options.shard_count = shards;
@@ -107,6 +112,7 @@ int main(int argc, char** argv) {
 
     const pipeline::EngineCounters counters = engine.counters();
     last_shards = counters.shards;
+    last_counters = counters;
     table.add_row({std::to_string(producers), std::to_string(total),
                    format_cell(seconds, 3),
                    std::to_string(static_cast<std::size_t>(total / seconds)),
@@ -137,7 +143,8 @@ int main(int argc, char** argv) {
                    metrics_path.c_str());
       return 1;
     }
-    out << obs::to_json(obs::snapshot());
+    out << "{\"engine\": " << pipeline::to_json(last_counters)
+        << ", \"metrics\": " << obs::to_json(obs::snapshot()) << "}";
     std::printf("\nmetrics written to %s\n", metrics_path.c_str());
   }
   return 0;

@@ -1,0 +1,281 @@
+// Extension bench: HTTP ingestion throughput over loopback.
+//
+// Starts a CampaignServer on an ephemeral loopback port inside the bench
+// process, then hammers it from N concurrent client connections.  Each
+// client keeps one keep-alive connection and POSTs batches of reports to
+// /v1/campaigns/{id}/reports, measuring per-request latency from the first
+// byte written to the last response byte read.  After the timed window the
+// bench drains the server (so every accepted report is aggregated) and
+// reports sustained accepted reports/sec plus latency p50/p99.
+//
+//   server_load [reports_total] [connections] [batch] [--json]
+//
+//   --json  google-benchmark-compatible JSON (one "iteration" entry, with
+//           reports_per_sec / p50_us / p99_us user counters) — the shape
+//           compare_bench.py understands; committed as BENCH_server.json.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+
+using namespace sybiltd;
+
+namespace {
+
+constexpr std::size_t kCampaigns = 4;
+constexpr std::size_t kAccounts = 64;
+constexpr std::size_t kTasks = 32;
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Read until a full response (headers + Content-Length body) is buffered.
+bool read_response(int fd, std::string& buffer) {
+  char chunk[8192];
+  while (true) {
+    const std::size_t header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      const std::size_t cl = buffer.find("Content-Length: ");
+      std::size_t body_len = 0;
+      if (cl != std::string::npos && cl < header_end) {
+        body_len = std::strtoul(buffer.c_str() + cl + 16, nullptr, 10);
+      }
+      const std::size_t total = header_end + 4 + body_len;
+      if (buffer.size() >= total) {
+        buffer.erase(0, total);
+        return true;
+      }
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+struct ClientResult {
+  std::size_t accepted = 0;
+  std::size_t requests = 0;
+  std::vector<double> latencies_us;
+  bool ok = true;
+};
+
+// Pre-rendered request bodies: generation cost must not pollute the
+// ingestion measurement.
+std::string make_batch_body(std::size_t client, std::size_t batch_index,
+                            std::size_t batch) {
+  std::string body = "[";
+  for (std::size_t k = 0; k < batch; ++k) {
+    const std::size_t seq = batch_index * batch + k;
+    const std::size_t account = (client * 13 + seq) % kAccounts;
+    const std::size_t task = (account % 4) * (kTasks / 4) + seq % (kTasks / 4);
+    if (k > 0) body += ",";
+    body += "{\"account\":" + std::to_string(account) +
+            ",\"task\":" + std::to_string(task) +
+            ",\"value\":" + std::to_string(-70.0 + (seq % 17) * 0.5) + "}";
+  }
+  body += "]";
+  return body;
+}
+
+void run_client(std::uint16_t port, std::size_t client, std::size_t requests,
+                std::size_t batch, ClientResult* result) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) {
+    result->ok = false;
+    return;
+  }
+  const std::size_t campaign = client % kCampaigns;
+  const std::string path = "/v1/campaigns/" + std::to_string(campaign) +
+                           "/reports";
+  std::string response_buffer;
+  result->latencies_us.reserve(requests);
+  for (std::size_t r = 0; r < requests; ++r) {
+    const std::string body = make_batch_body(client, r, batch);
+    const std::string request =
+        "POST " + path + " HTTP/1.1\r\nHost: bench\r\nContent-Type: "
+        "application/json\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    const auto start = std::chrono::steady_clock::now();
+    if (!write_all(fd, request) || !read_response(fd, response_buffer)) {
+      result->ok = false;
+      break;
+    }
+    result->latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    result->accepted += batch;
+    ++result->requests;
+  }
+  ::close(fd);
+}
+
+double percentile(std::vector<double>& values, double p) {
+  if (values.empty()) return 0.0;
+  const std::size_t k = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1));
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(k),
+                   values.end());
+  return values[k];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t total = 200000;
+  std::size_t connections = 4;
+  std::size_t batch = 100;
+  bool json = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (!positional.empty()) total = std::stoul(positional[0]);
+  if (positional.size() > 1) connections = std::stoul(positional[1]);
+  if (positional.size() > 2) batch = std::stoul(positional[2]);
+  const std::size_t per_client =
+      (total / connections) / batch;  // requests per connection
+
+  server::ServerOptions options;
+  options.port = 0;
+  options.engine.shard_count = 2;
+  options.engine.queue_capacity = 65536;
+  options.engine.max_batch = 1024;
+  server::CampaignServer server(options);
+  for (std::size_t c = 0; c < kCampaigns; ++c) {
+    server.engine().add_campaign(kTasks);
+  }
+  server.start();
+
+  if (!json) {
+    std::printf("=== Extension: HTTP ingestion load over loopback ===\n");
+    std::printf("%zu connections x %zu requests x %zu reports/batch "
+                "against 127.0.0.1:%u\n\n",
+                connections, per_client, batch,
+                static_cast<unsigned>(server.port()));
+  }
+
+  std::vector<ClientResult> results(connections);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < connections; ++c) {
+    clients.emplace_back(run_client, server.port(), c, per_client, batch,
+                         &results[c]);
+  }
+  for (auto& t : clients) t.join();
+  const double ingest_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.engine().drain();
+  const double total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::size_t accepted = 0;
+  std::size_t requests = 0;
+  bool ok = true;
+  std::vector<double> latencies;
+  for (const ClientResult& r : results) {
+    accepted += r.accepted;
+    requests += r.requests;
+    ok = ok && r.ok;
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+  }
+  const auto counters = server.engine().counters();
+  server.shutdown();
+
+  const double reports_per_sec =
+      ingest_seconds > 0.0 ? static_cast<double>(accepted) / ingest_seconds
+                           : 0.0;
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"context\": {\n");
+    std::printf("    \"executable\": \"server_load\",\n");
+    std::printf("    \"connections\": %zu,\n", connections);
+    std::printf("    \"batch\": %zu,\n", batch);
+    std::printf("    \"reports\": %zu\n", accepted);
+    std::printf("  },\n");
+    std::printf("  \"benchmarks\": [\n");
+    std::printf("    {\n");
+    std::printf("      \"name\": \"http_ingest/connections:%zu/batch:%zu\",\n",
+                connections, batch);
+    std::printf("      \"run_type\": \"iteration\",\n");
+    std::printf("      \"iterations\": %zu,\n", requests);
+    std::printf("      \"real_time\": %.6f,\n", ingest_seconds * 1e3);
+    std::printf("      \"cpu_time\": %.6f,\n", ingest_seconds * 1e3);
+    std::printf("      \"time_unit\": \"ms\",\n");
+    std::printf("      \"reports_per_sec\": %.1f,\n", reports_per_sec);
+    std::printf("      \"p50_us\": %.1f,\n", p50);
+    std::printf("      \"p99_us\": %.1f\n", p99);
+    std::printf("    }\n");
+    std::printf("  ]\n}\n");
+  } else {
+    std::printf("accepted %zu reports in %zu requests over %.3f s "
+                "(+%.3f s drain)\n",
+                accepted, requests, ingest_seconds,
+                total_seconds - ingest_seconds);
+    std::printf("sustained     %.0f reports/sec\n", reports_per_sec);
+    std::printf("latency       p50 %.0f us, p99 %.0f us\n", p50, p99);
+    std::printf("engine        accepted=%llu applied=%llu batches=%llu\n",
+                static_cast<unsigned long long>(counters.accepted),
+                static_cast<unsigned long long>(counters.applied),
+                static_cast<unsigned long long>(counters.batches));
+  }
+
+  // Loss anywhere (socket failure, engine mismatch) is a bench failure:
+  // every report this bench accepted over the wire must be applied.
+  if (!ok || counters.applied != accepted) {
+    std::fprintf(stderr, "FAILED: ok=%d applied=%llu accepted=%zu\n", ok,
+                 static_cast<unsigned long long>(counters.applied), accepted);
+    return 1;
+  }
+  return 0;
+}

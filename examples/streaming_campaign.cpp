@@ -18,8 +18,12 @@
 // Observability: run with SYBILTD_TRACE=<path> to record a Chrome trace of
 // the shard steps / regroups / framework runs, and pass
 // `--metrics <path>` to dump the process metrics registry as JSON at exit
-// (docs/OBSERVABILITY.md describes both).
+// (docs/OBSERVABILITY.md describes both).  Ctrl-C mid-stream is handled
+// gracefully: the replay stops at the current slice, the engine drains, and
+// the metrics/trace exports still run, so an interrupted run never leaves a
+// truncated dump behind.
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,7 +40,21 @@
 
 using namespace sybiltd;
 
+namespace {
+
+// Set by the SIGINT handler; the replay loop polls it between submissions.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void handle_sigint(int) { g_interrupted = 1; }
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  struct sigaction action {};
+  action.sa_handler = handle_sigint;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+
   std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
@@ -89,9 +107,9 @@ int main(int argc, char** argv) {
               "groups", "live", "version", "iters", "residual", "entropy");
   const std::size_t slices = 10;
   std::size_t sent = 0;
-  for (std::size_t s = 0; s < slices; ++s) {
+  for (std::size_t s = 0; s < slices && !g_interrupted; ++s) {
     const std::size_t end = stream.size() * (s + 1) / slices;
-    for (; sent < end; ++sent) engine.submit(stream[sent]);
+    for (; sent < end && !g_interrupted; ++sent) engine.submit(stream[sent]);
     engine.drain();  // barrier: converge before reading this slice's MAE
     const auto snap = engine.snapshot(0);
     const double mae = eval::mean_absolute_error(
@@ -102,6 +120,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(snap->version),
                 snap->iterations, snap->final_residual,
                 snap->weight_entropy);
+  }
+
+  if (g_interrupted) {
+    // Drain once more so the final snapshot covers everything submitted
+    // before the interrupt — the metrics dump below then matches what the
+    // engine actually aggregated.
+    engine.drain();
+    std::printf("\ninterrupted after %zu reports; drained and finishing\n",
+                sent);
   }
 
   // --- 3. final snapshot: grouped accounts vs ground truth ----------------

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <deque>
@@ -70,6 +71,12 @@ struct MetricsRegistry::Impl {
     Kind kind;
     std::size_t index;  // into the matching deque
   };
+
+  // Registry construction time, the reference point of the process-level
+  // `uptime_seconds` gauge (refreshed on every snapshot so /metrics
+  // scrapes can turn counter totals into rates).
+  const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
 
   std::mutex mutex;
   // Deques: instrument addresses never move once registered, so the
@@ -161,6 +168,19 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  // Refresh the process uptime first, so every exposition — Prometheus,
+  // JSON, or a direct snapshot() consumer — carries a current value.
+  {
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      impl_->start)
+            .count();
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const Impl::Entry& entry = impl_->lookup(
+        "uptime_seconds", Impl::Kind::kGauge,
+        "seconds since the process metrics registry was created");
+    impl_->gauges[entry.index].set(uptime);
+  }
   MetricsSnapshot out;
   // Collect names and stable instrument addresses under the lock (deque
   // elements never move, but the containers themselves may grow under a

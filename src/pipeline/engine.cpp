@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "truth/truth_discovery.h"
 
 namespace sybiltd::pipeline {
 
@@ -22,15 +23,43 @@ CampaignEngine::CampaignEngine(EngineOptions options)
 CampaignEngine::~CampaignEngine() { stop(); }
 
 std::size_t CampaignEngine::add_campaign(std::size_t task_count) {
-  SYBILTD_CHECK(!started_.load(std::memory_order_acquire),
-                "register campaigns before start()");
   SYBILTD_CHECK(task_count > 0, "campaign needs at least one task");
+  std::lock_guard<std::mutex> lock(campaigns_mutex_);
   const std::size_t campaign = task_counts_.size();
+  auto cell = std::make_unique<SnapshotCell>();
+  if (!started_.load(std::memory_order_acquire)) {
+    // Pre-start registration: the shard is not running, install directly.
+    shards_[shard_of(campaign)]->add_campaign(campaign, task_count,
+                                              cell.get());
+  } else {
+    SYBILTD_CHECK(running_.load(std::memory_order_acquire),
+                  "cannot add campaigns to a stopped engine");
+    // Live registration (the wire lifecycle path).  Publish the version-0
+    // empty snapshot from here so readers never observe a null cell, then
+    // hand the campaign to its shard; the worker adopts it at the top of
+    // its next step.  The hand-off happens before the id becomes valid to
+    // submit()/try_submit() (both validate under campaigns_mutex_), so a
+    // report can never reach a shard before its campaign's pending entry.
+    auto snapshot = std::make_shared<CampaignSnapshot>();
+    snapshot->campaign = campaign;
+    snapshot->truths.assign(task_count, truth::nan_value());
+    cell->publish(std::move(snapshot));
+    shards_[shard_of(campaign)]->enqueue_campaign(campaign, task_count,
+                                                  cell.get());
+  }
   task_counts_.push_back(task_count);
-  cells_.push_back(std::make_unique<SnapshotCell>());
-  shards_[shard_of(campaign)]->add_campaign(campaign, task_count,
-                                            cells_.back().get());
+  cells_.push_back(std::move(cell));
   return campaign;
+}
+
+std::size_t CampaignEngine::campaign_count() const {
+  std::lock_guard<std::mutex> lock(campaigns_mutex_);
+  return task_counts_.size();
+}
+
+std::size_t CampaignEngine::campaign_task_count(std::size_t campaign) const {
+  std::lock_guard<std::mutex> lock(campaigns_mutex_);
+  return campaign < task_counts_.size() ? task_counts_[campaign] : 0;
 }
 
 void CampaignEngine::start() {
@@ -65,9 +94,12 @@ void CampaignEngine::schedule_shard(Shard* shard) {
 PushResult CampaignEngine::submit(const Report& report) {
   SYBILTD_CHECK(running_.load(std::memory_order_acquire),
                 "submit() needs a running engine");
-  SYBILTD_CHECK(report.campaign < task_counts_.size(), "unknown campaign");
-  SYBILTD_CHECK(report.task < task_counts_[report.campaign],
-                "task index out of range for the campaign");
+  {
+    std::lock_guard<std::mutex> lock(campaigns_mutex_);
+    SYBILTD_CHECK(report.campaign < task_counts_.size(), "unknown campaign");
+    SYBILTD_CHECK(report.task < task_counts_[report.campaign],
+                  "task index out of range for the campaign");
+  }
   SYBILTD_CHECK(!std::isnan(report.value), "report value must not be NaN");
   submitted_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = *shards_[shard_of(report.campaign)];
@@ -76,10 +108,46 @@ PushResult CampaignEngine::submit(const Report& report) {
   return result;
 }
 
+SubmitStatus CampaignEngine::try_submit(const Report& report) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return SubmitStatus::kNotRunning;
+  }
+  {
+    std::lock_guard<std::mutex> lock(campaigns_mutex_);
+    if (report.campaign >= task_counts_.size()) {
+      return SubmitStatus::kUnknownCampaign;
+    }
+    if (report.task >= task_counts_[report.campaign]) {
+      return SubmitStatus::kInvalidTask;
+    }
+  }
+  if (std::isnan(report.value)) return SubmitStatus::kInvalidValue;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = *shards_[shard_of(report.campaign)];
+  const PushResult result =
+      shard.queue().push(report, BackpressurePolicy::kReject);
+  shard.record_push(result);
+  switch (result) {
+    case PushResult::kOk:
+      return SubmitStatus::kAccepted;
+    case PushResult::kClosed:
+      return SubmitStatus::kClosed;
+    case PushResult::kDropped:
+    case PushResult::kRejected:
+      break;
+  }
+  return SubmitStatus::kQueueFull;
+}
+
 std::shared_ptr<const CampaignSnapshot> CampaignEngine::snapshot(
     std::size_t campaign) const {
-  SYBILTD_CHECK(campaign < cells_.size(), "unknown campaign");
-  return cells_[campaign]->read();
+  SnapshotCell* cell = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(campaigns_mutex_);
+    SYBILTD_CHECK(campaign < cells_.size(), "unknown campaign");
+    cell = cells_[campaign].get();
+  }
+  return cell->read();
 }
 
 void CampaignEngine::drain() {
@@ -135,7 +203,10 @@ EngineCounters CampaignEngine::counters() const {
 const CampaignState* CampaignEngine::debug_state(std::size_t campaign) const {
   SYBILTD_CHECK(!running_.load(std::memory_order_acquire),
                 "debug_state is only safe while the workers are stopped");
-  SYBILTD_CHECK(campaign < task_counts_.size(), "unknown campaign");
+  {
+    std::lock_guard<std::mutex> lock(campaigns_mutex_);
+    SYBILTD_CHECK(campaign < task_counts_.size(), "unknown campaign");
+  }
   return shards_[shard_of(campaign)]->campaign_state(campaign);
 }
 

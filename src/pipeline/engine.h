@@ -100,6 +100,19 @@ struct EngineCounters {
   std::vector<ShardStatus> shards;
 };
 
+// Outcome of a wire-facing try_submit(): validation folded into the result
+// so a network front end can map every case to a status code without
+// exceptions on the ingestion hot path.
+enum class SubmitStatus {
+  kAccepted,         // enqueued
+  kQueueFull,        // shard queue full right now (backpressure; retry)
+  kClosed,           // queues closed, engine shutting down
+  kNotRunning,       // start() not called yet, or already stopped
+  kUnknownCampaign,  // campaign id never registered
+  kInvalidTask,      // task index out of range for the campaign
+  kInvalidValue,     // NaN value
+};
+
 class CampaignEngine {
  public:
   explicit CampaignEngine(EngineOptions options = {});
@@ -108,7 +121,13 @@ class CampaignEngine {
   CampaignEngine(const CampaignEngine&) = delete;
   CampaignEngine& operator=(const CampaignEngine&) = delete;
 
-  // Register a campaign (before start()).  Returns its dense id.
+  // Register a campaign and return its dense id.  Callable both before
+  // start() and on a running engine (the wire lifecycle path): a live
+  // registration publishes the version-0 empty snapshot immediately and
+  // hands the campaign to its shard, whose worker adopts it at the top of
+  // its next step — strictly before any report for the new id can be
+  // applied, because submit()/try_submit() only accept the id after the
+  // hand-off is visible.
   std::size_t add_campaign(std::size_t task_count);
 
   // Schedule the shard chains on ThreadPool::global().  Idempotent calls
@@ -119,6 +138,16 @@ class CampaignEngine {
   // Enqueue one report under the configured backpressure policy.
   // Validates campaign/task/value; requires a started engine.
   PushResult submit(const Report& report);
+
+  // Non-blocking, non-throwing submit for network front ends: always uses
+  // kReject semantics regardless of the configured backpressure policy, so
+  // an event loop can never be stalled by a full shard queue, and folds
+  // the validation outcome into the returned status instead of throwing.
+  SubmitStatus try_submit(const Report& report);
+
+  // Task count of a registered campaign, or 0 when the id is unknown —
+  // lets wire handlers pre-validate a whole batch before any shard work.
+  std::size_t campaign_task_count(std::size_t campaign) const;
 
   // Wait-free read of the campaign's latest published snapshot.  Never
   // null: campaigns publish a version-0 empty snapshot on registration.
@@ -137,7 +166,7 @@ class CampaignEngine {
 
   EngineCounters counters() const;
 
-  std::size_t campaign_count() const { return task_counts_.size(); }
+  std::size_t campaign_count() const;
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t shard_of(std::size_t campaign) const {
     return campaign % shards_.size();
@@ -153,6 +182,11 @@ class CampaignEngine {
 
   EngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Campaign registry.  Guarded by campaigns_mutex_ because add_campaign()
+  // may now grow it while producers validate against it; the pointed-to
+  // SnapshotCells are stable, so readers copy the raw pointer under the
+  // lock and read the cell outside it.
+  mutable std::mutex campaigns_mutex_;
   std::vector<std::unique_ptr<SnapshotCell>> cells_;  // per campaign
   std::vector<std::size_t> task_counts_;              // per campaign
   std::atomic<bool> started_{false};

@@ -343,6 +343,24 @@ void Shard::add_campaign(std::size_t campaign, std::size_t task_count,
   SYBILTD_CHECK(inserted, "campaign already registered with this shard");
 }
 
+void Shard::enqueue_campaign(std::size_t campaign, std::size_t task_count,
+                             SnapshotCell* cell) {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  pending_campaigns_.push_back({campaign, task_count, cell});
+}
+
+void Shard::adopt_pending_campaigns() {
+  std::vector<PendingCampaign> pending;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    if (pending_campaigns_.empty()) return;
+    pending.swap(pending_campaigns_);
+  }
+  for (const PendingCampaign& p : pending) {
+    add_campaign(p.campaign, p.task_count, p.cell);
+  }
+}
+
 const CampaignState* Shard::campaign_state(std::size_t campaign) const {
   const auto it = states_.find(campaign);
   return it == states_.end() ? nullptr : &it->second;
@@ -406,6 +424,11 @@ bool Shard::step() {
   constexpr std::chrono::milliseconds kIdlePoll{2};
   batch_.clear();
   if (queue_.pop_batch(batch_, max_batch_, kIdlePoll) > 0) {
+    // A report can only be enqueued after its campaign's pending entry was
+    // handed to this shard (the engine orders both under its campaign
+    // registry lock), so adopting here — after the pop, before the apply —
+    // guarantees every popped report finds its campaign installed.
+    adopt_pending_campaigns();
     // Spanned only when there is work — idle polls would otherwise flood
     // the trace with 2 ms no-op events.
     obs::TraceSpan span("shard/step");
@@ -418,6 +441,9 @@ bool Shard::step() {
   }
   queue_depth_gauge_->set(static_cast<double>(queue_.size()));
   queue_hwm_gauge_->set(static_cast<double>(queue_.high_watermark()));
+  // Adopt before any finalize below, so a drain covers campaigns that were
+  // registered (possibly empty, awaiting their first report) before it.
+  adopt_pending_campaigns();
   // Idle tick: honor a pending drain barrier, but only once the queue is
   // verifiably empty (the acquire load orders the emptiness check after
   // every push that preceded the finalize request).

@@ -182,6 +182,14 @@ class Shard {
   void add_campaign(std::size_t campaign, std::size_t task_count,
                     SnapshotCell* cell);
 
+  // Thread-safe registration while the shard chain runs (the engine's live
+  // add_campaign path).  The worker adopts pending campaigns at the top of
+  // every step — always before applying a popped batch and before honoring
+  // a finalize request, so a report or drain that post-dates the hand-off
+  // can never observe the campaign missing.
+  void enqueue_campaign(std::size_t campaign, std::size_t task_count,
+                        SnapshotCell* cell);
+
   ReportQueue& queue() { return queue_; }
   const ShardCounters& counters() const { return counters_; }
   std::size_t index() const { return index_; }
@@ -217,6 +225,14 @@ class Shard {
  private:
   void process_batch(const std::vector<Report>& batch);
   void finalize_all();
+  // Install campaigns registered via enqueue_campaign (worker thread only).
+  void adopt_pending_campaigns();
+
+  struct PendingCampaign {
+    std::size_t campaign = 0;
+    std::size_t task_count = 0;
+    SnapshotCell* cell = nullptr;
+  };
 
   std::size_t index_;
   ShardOptions options_;
@@ -236,6 +252,10 @@ class Shard {
   std::atomic<std::uint64_t> finalize_done_{0};
   std::mutex finalize_mutex_;
   std::condition_variable finalize_cv_;
+
+  // Campaigns registered while the chain runs, waiting for worker adoption.
+  std::mutex pending_mutex_;
+  std::vector<PendingCampaign> pending_campaigns_;
 };
 
 }  // namespace pipeline

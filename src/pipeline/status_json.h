@@ -1,0 +1,27 @@
+// One shared JSON rendering of the engine's operational state.
+//
+// The HTTP server's /v1/status and snapshot-query endpoints and the
+// pipeline_throughput bench's --metrics dump all need EngineCounters /
+// ShardStatus / CampaignSnapshot as JSON; rendering them here once keeps
+// the wire format and the bench artifact from drifting apart.  The shape
+// mirrors the structs field-for-field; NaN truths render as null so the
+// output stays valid JSON.
+#pragma once
+
+#include <string>
+
+#include "pipeline/engine.h"
+#include "pipeline/snapshot.h"
+
+namespace sybiltd::pipeline {
+
+std::string to_json(const ShardStatus& status);
+
+// {"submitted": ..., totals ..., "shards": [<ShardStatus>...]}
+std::string to_json(const EngineCounters& counters);
+
+// Full snapshot: truths (null where NaN), group weights and labels,
+// convergence telemetry.
+std::string to_json(const CampaignSnapshot& snapshot);
+
+}  // namespace sybiltd::pipeline

@@ -1,0 +1,361 @@
+#include "server/handlers.h"
+
+#include <cmath>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "pipeline/status_json.h"
+#include "server/json.h"
+
+namespace sybiltd::server {
+
+namespace {
+
+// Per-endpoint request counters plus ingestion outcome totals, registered
+// once in the process metrics registry (surfacing on /metrics itself).
+struct HandlerMetrics {
+  obs::Counter& healthz = obs::MetricsRegistry::global().counter(
+      "server.endpoint.healthz", "GET /healthz requests");
+  obs::Counter& metrics = obs::MetricsRegistry::global().counter(
+      "server.endpoint.metrics", "GET /metrics requests");
+  obs::Counter& status = obs::MetricsRegistry::global().counter(
+      "server.endpoint.status", "GET /v1/status requests");
+  obs::Counter& campaigns = obs::MetricsRegistry::global().counter(
+      "server.endpoint.campaigns", "POST /v1/campaigns requests");
+  obs::Counter& ingest = obs::MetricsRegistry::global().counter(
+      "server.endpoint.ingest", "POST .../reports requests");
+  obs::Counter& truths = obs::MetricsRegistry::global().counter(
+      "server.endpoint.truths", "GET .../truths requests");
+  obs::Counter& groups = obs::MetricsRegistry::global().counter(
+      "server.endpoint.groups", "GET .../groups requests");
+  obs::Counter& drain = obs::MetricsRegistry::global().counter(
+      "server.endpoint.drain", "POST .../drain requests");
+  obs::Counter& other = obs::MetricsRegistry::global().counter(
+      "server.endpoint.other", "requests to unknown routes");
+  obs::Counter& reports_accepted = obs::MetricsRegistry::global().counter(
+      "server.reports.accepted", "reports accepted over HTTP");
+  obs::Counter& reports_rejected = obs::MetricsRegistry::global().counter(
+      "server.reports.rejected", "reports refused by backpressure (429s)");
+  obs::Counter& reports_invalid = obs::MetricsRegistry::global().counter(
+      "server.reports.invalid", "reports refused by validation (400s)");
+
+  static HandlerMetrics& get() {
+    static HandlerMetrics metrics;
+    return metrics;
+  }
+};
+
+// Path without the query string, split on '/'.
+std::vector<std::string_view> split_path(std::string_view target) {
+  const std::size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+  std::vector<std::string_view> segments;
+  std::size_t pos = 0;
+  while (pos < target.size()) {
+    if (target[pos] == '/') {
+      ++pos;
+      continue;
+    }
+    const std::size_t end = target.find('/', pos);
+    segments.push_back(target.substr(
+        pos, end == std::string_view::npos ? end : end - pos));
+    if (end == std::string_view::npos) break;
+    pos = end + 1;
+  }
+  return segments;
+}
+
+bool parse_index(std::string_view text, std::size_t* out) {
+  if (text.empty() || text.size() > 18) return false;
+  std::size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+HandlerResponse make_error(int status, std::string_view message) {
+  return {status, "application/json", error_body(message)};
+}
+
+HandlerResponse method_not_allowed() {
+  return make_error(405, "method not allowed for this resource");
+}
+
+// --- Ingestion --------------------------------------------------------------
+
+// One decoded report plus enough context for a useful 400 message.
+bool decode_report(const JsonValue& value, std::size_t campaign,
+                   std::size_t task_count, pipeline::Report* out,
+                   std::string* error) {
+  if (!value.is_object()) {
+    *error = "report must be a JSON object";
+    return false;
+  }
+  const JsonValue* account = value.find("account");
+  const JsonValue* task = value.find("task");
+  const JsonValue* report_value = value.find("value");
+  if (account == nullptr || !account->as_index(&out->account)) {
+    *error = "report needs a non-negative integer \"account\"";
+    return false;
+  }
+  if (task == nullptr || !task->as_index(&out->task)) {
+    *error = "report needs a non-negative integer \"task\"";
+    return false;
+  }
+  if (out->task >= task_count) {
+    *error = "task index out of range for the campaign";
+    return false;
+  }
+  if (report_value == nullptr || !report_value->is_number() ||
+      std::isnan(report_value->number)) {
+    *error = "report needs a finite number \"value\"";
+    return false;
+  }
+  out->value = report_value->number;
+  out->timestamp_hours = 0.0;
+  if (const JsonValue* ts = value.find("timestamp_hours")) {
+    if (!ts->is_number()) {
+      *error = "\"timestamp_hours\" must be a number";
+      return false;
+    }
+    out->timestamp_hours = ts->number;
+  }
+  out->campaign = campaign;
+  return true;
+}
+
+HandlerResponse handle_ingest(pipeline::CampaignEngine& engine,
+                              std::size_t campaign,
+                              const HttpRequest& request) {
+  auto& metrics = HandlerMetrics::get();
+  const std::size_t task_count = engine.campaign_task_count(campaign);
+  if (task_count == 0) return make_error(404, "unknown campaign");
+
+  JsonValue doc;
+  std::string parse_error;
+  if (!json_parse(request.body, doc, &parse_error)) {
+    metrics.reports_invalid.inc();
+    return make_error(400, "invalid JSON: " + parse_error);
+  }
+  // Accept three shapes: a bare array of reports, {"reports": [...]}, or a
+  // single report object.
+  const std::vector<JsonValue>* reports = nullptr;
+  std::vector<JsonValue> single;
+  if (doc.is_array()) {
+    reports = &doc.array;
+  } else if (const JsonValue* wrapped = doc.find("reports")) {
+    if (!wrapped->is_array()) {
+      metrics.reports_invalid.inc();
+      return make_error(400, "\"reports\" must be an array");
+    }
+    reports = &wrapped->array;
+  } else if (doc.is_object()) {
+    single.push_back(doc);
+    reports = &single;
+  } else {
+    metrics.reports_invalid.inc();
+    return make_error(400, "expected a report object or an array of reports");
+  }
+  if (reports->empty()) {
+    return {202, "application/json",
+            "{\"campaign\": " + std::to_string(campaign) +
+                ", \"accepted\": 0, \"rejected\": 0}"};
+  }
+
+  // Decode and validate the whole batch before any shard work, so a 400
+  // never leaves a partially-applied batch behind.
+  std::vector<pipeline::Report> decoded(reports->size());
+  for (std::size_t i = 0; i < reports->size(); ++i) {
+    std::string error;
+    if (!decode_report((*reports)[i], campaign, task_count, &decoded[i],
+                       &error)) {
+      metrics.reports_invalid.inc(reports->size());
+      return make_error(400,
+                        "report " + std::to_string(i) + ": " + error);
+    }
+  }
+
+  std::size_t accepted = 0;
+  bool closed = false;
+  for (const pipeline::Report& report : decoded) {
+    const pipeline::SubmitStatus status = engine.try_submit(report);
+    if (status == pipeline::SubmitStatus::kAccepted) {
+      ++accepted;
+      continue;
+    }
+    if (status == pipeline::SubmitStatus::kClosed ||
+        status == pipeline::SubmitStatus::kNotRunning) {
+      closed = true;
+    }
+    break;  // queue full (or shutdown): stop, report the partial accept
+  }
+  const std::size_t rejected = decoded.size() - accepted;
+  metrics.reports_accepted.inc(accepted);
+  std::string body = "{\"campaign\": " + std::to_string(campaign) +
+                     ", \"accepted\": " + std::to_string(accepted) +
+                     ", \"rejected\": " + std::to_string(rejected) + "}";
+  if (rejected == 0) return {202, "application/json", std::move(body)};
+  if (closed) return make_error(503, "engine is shutting down");
+  metrics.reports_rejected.inc(rejected);
+  return {429, "application/json", std::move(body)};
+}
+
+// --- Queries ----------------------------------------------------------------
+
+HandlerResponse handle_truths(pipeline::CampaignEngine& engine,
+                              std::size_t campaign) {
+  if (engine.campaign_task_count(campaign) == 0) {
+    return make_error(404, "unknown campaign");
+  }
+  return {200, "application/json",
+          pipeline::to_json(*engine.snapshot(campaign))};
+}
+
+HandlerResponse handle_groups(pipeline::CampaignEngine& engine,
+                              std::size_t campaign) {
+  if (engine.campaign_task_count(campaign) == 0) {
+    return make_error(404, "unknown campaign");
+  }
+  const auto snapshot = engine.snapshot(campaign);
+  std::string body = "{\"campaign\": " + std::to_string(snapshot->campaign) +
+                     ", \"version\": " + std::to_string(snapshot->version) +
+                     ", \"group_count\": " +
+                     std::to_string(snapshot->group_count) +
+                     ", \"group_of\": [";
+  for (std::size_t i = 0; i < snapshot->group_of.size(); ++i) {
+    if (i > 0) body += ", ";
+    body += std::to_string(snapshot->group_of[i]);
+  }
+  body += "], \"group_weights\": [";
+  for (std::size_t i = 0; i < snapshot->group_weights.size(); ++i) {
+    if (i > 0) body += ", ";
+    json_append_number(body, snapshot->group_weights[i]);
+  }
+  body += "]}";
+  return {200, "application/json", std::move(body)};
+}
+
+HandlerResponse handle_status(pipeline::CampaignEngine& engine) {
+  std::string body =
+      "{\"campaigns\": " + std::to_string(engine.campaign_count()) +
+      ", \"shards\": " + std::to_string(engine.shard_count()) +
+      ", \"engine\": " + pipeline::to_json(engine.counters()) + "}";
+  return {200, "application/json", std::move(body)};
+}
+
+HandlerResponse handle_create_campaign(pipeline::CampaignEngine& engine,
+                                       const HttpRequest& request) {
+  JsonValue doc;
+  std::string parse_error;
+  if (!json_parse(request.body, doc, &parse_error)) {
+    return make_error(400, "invalid JSON: " + parse_error);
+  }
+  const JsonValue* tasks = doc.find("tasks");
+  std::size_t task_count = 0;
+  if (tasks == nullptr || !tasks->as_index(&task_count) || task_count == 0 ||
+      task_count > 1000000) {
+    return make_error(400,
+                      "campaign config needs \"tasks\": an integer in "
+                      "[1, 1000000]");
+  }
+  const std::size_t campaign = engine.add_campaign(task_count);
+  return {201, "application/json",
+          "{\"campaign\": " + std::to_string(campaign) +
+              ", \"tasks\": " + std::to_string(task_count) + "}"};
+}
+
+}  // namespace
+
+std::string error_body(std::string_view message) {
+  std::string body = "{\"error\": ";
+  json_append_string(body, message);
+  body += "}";
+  return body;
+}
+
+bool is_drain_request(const HttpRequest& request, std::size_t* campaign) {
+  const auto segments = split_path(request.target);
+  return request.method == "POST" && segments.size() == 4 &&
+         segments[0] == "v1" && segments[1] == "campaigns" &&
+         segments[3] == "drain" && parse_index(segments[2], campaign);
+}
+
+HandlerResponse handle_drain(pipeline::CampaignEngine& engine,
+                             std::size_t campaign) {
+  HandlerMetrics::get().drain.inc();
+  if (engine.campaign_task_count(campaign) == 0) {
+    return make_error(404, "unknown campaign");
+  }
+  engine.drain();
+  const auto snapshot = engine.snapshot(campaign);
+  std::string body =
+      "{\"campaign\": " + std::to_string(campaign) +
+      ", \"version\": " + std::to_string(snapshot->version) +
+      ", \"applied_reports\": " + std::to_string(snapshot->applied_reports) +
+      ", \"converged\": " + (snapshot->converged ? "true" : "false") + "}";
+  return {200, "application/json", std::move(body)};
+}
+
+HandlerResponse handle_api_request(pipeline::CampaignEngine& engine,
+                                   const HttpRequest& request) {
+  auto& metrics = HandlerMetrics::get();
+  const auto segments = split_path(request.target);
+  const bool is_get = request.method == "GET";
+  const bool is_post = request.method == "POST";
+
+  if (segments.size() == 1 && segments[0] == "healthz") {
+    if (!is_get) return method_not_allowed();
+    metrics.healthz.inc();
+    return {200, "text/plain; charset=utf-8", "ok\n"};
+  }
+  if (segments.size() == 1 && segments[0] == "metrics") {
+    if (!is_get) return method_not_allowed();
+    metrics.metrics.inc();
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            obs::to_prometheus(obs::snapshot())};
+  }
+  if (segments.size() == 2 && segments[0] == "v1" &&
+      segments[1] == "status") {
+    if (!is_get) return method_not_allowed();
+    metrics.status.inc();
+    return handle_status(engine);
+  }
+  if (segments.size() == 2 && segments[0] == "v1" &&
+      segments[1] == "campaigns") {
+    if (!is_post) return method_not_allowed();
+    metrics.campaigns.inc();
+    return handle_create_campaign(engine, request);
+  }
+  if (segments.size() == 4 && segments[0] == "v1" &&
+      segments[1] == "campaigns") {
+    std::size_t campaign = 0;
+    if (!parse_index(segments[2], &campaign)) {
+      metrics.other.inc();
+      return make_error(404, "campaign id must be a non-negative integer");
+    }
+    if (segments[3] == "reports") {
+      if (!is_post) return method_not_allowed();
+      metrics.ingest.inc();
+      return handle_ingest(engine, campaign, request);
+    }
+    if (segments[3] == "truths") {
+      if (!is_get) return method_not_allowed();
+      metrics.truths.inc();
+      return handle_truths(engine, campaign);
+    }
+    if (segments[3] == "groups") {
+      if (!is_get) return method_not_allowed();
+      metrics.groups.inc();
+      return handle_groups(engine, campaign);
+    }
+    // NB: .../drain belongs to is_drain_request/handle_drain.
+  }
+  metrics.other.inc();
+  return make_error(404, "no such resource");
+}
+
+}  // namespace sybiltd::server

@@ -1,0 +1,61 @@
+// Endpoint routing and JSON rendering for the campaign server, factored
+// out of the event loop so the whole API surface is unit-testable without
+// a socket: build an HttpRequest, call handle_api_request, assert on the
+// HandlerResponse.
+//
+// Endpoints (docs/SERVER.md has the full table):
+//
+//   GET  /healthz                        liveness probe
+//   GET  /metrics                        Prometheus exposition (obs registry)
+//   GET  /v1/status                      engine counters + per-shard status
+//   POST /v1/campaigns                   create a campaign {"tasks": N}
+//   POST /v1/campaigns/{id}/reports      ingest one report or a batch
+//   GET  /v1/campaigns/{id}/truths       latest snapshot, truth view
+//   GET  /v1/campaigns/{id}/groups       latest snapshot, grouping view
+//   POST /v1/campaigns/{id}/drain        convergence barrier (slow path)
+//
+// Ingestion maps the engine's backpressure-aware try_submit onto status
+// codes: every report enqueued -> 202, shard queue full -> 429 (with the
+// partial-accept count), malformed JSON or an invalid report -> 400
+// before ANY report of the batch reaches a shard, unknown campaign -> 404,
+// engine shutting down -> 503.
+//
+// Drain is the one slow endpoint (it blocks on the convergence barrier),
+// so the event loop hands it to a worker instead of calling it inline;
+// is_drain_request() is how the loop recognizes it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "pipeline/engine.h"
+#include "server/http.h"
+
+namespace sybiltd::server {
+
+struct HandlerResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+// True when the request targets POST /v1/campaigns/{id}/drain; extracts
+// the campaign id.  Such requests must go to handle_drain (on a worker),
+// never to handle_api_request.
+bool is_drain_request(const HttpRequest& request, std::size_t* campaign);
+
+// Dispatch any non-drain request.  Never blocks: ingestion uses
+// try_submit, queries read the wait-free snapshot cells.
+HandlerResponse handle_api_request(pipeline::CampaignEngine& engine,
+                                   const HttpRequest& request);
+
+// Run the drain barrier to completion and render the drained campaign's
+// snapshot summary.  Blocks until every accepted report is reflected;
+// call from a worker thread.
+HandlerResponse handle_drain(pipeline::CampaignEngine& engine,
+                             std::size_t campaign);
+
+// A JSON error document {"error": "..."}.
+std::string error_body(std::string_view message);
+
+}  // namespace sybiltd::server

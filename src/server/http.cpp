@@ -1,0 +1,291 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sybiltd::server {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string lowercase(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool equals_ignore_case(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// A comma-separated Connection header contains `token` (case-insensitive).
+bool connection_has_token(std::string_view value, std::string_view token) {
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t comma = value.find(',', pos);
+    const std::string_view part = trim(
+        value.substr(pos, comma == std::string_view::npos ? comma
+                                                          : comma - pos));
+    if (equals_ignore_case(part, token)) return true;
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view lower_name) const {
+  for (const auto& [name, value] : headers) {
+    if (name == lower_name) return &value;
+  }
+  return nullptr;
+}
+
+HttpParser::HttpParser(HttpLimits limits) : limits_(limits) {}
+
+void HttpParser::feed(std::string_view data) {
+  if (state_ == State::kError) return;
+  buffer_.append(data);
+}
+
+HttpParser::Status HttpParser::fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  return Status::kError;
+}
+
+bool HttpParser::take_line(std::string& line, std::size_t limit,
+                          int overflow_status, const char* overflow_reason) {
+  const std::size_t nl = buffer_.find('\n', consumed_);
+  if (nl == std::string::npos) {
+    if (buffer_.size() - consumed_ > limit) {
+      fail(overflow_status, overflow_reason);
+    }
+    return false;
+  }
+  std::size_t len = nl - consumed_;
+  if (len > 0 && buffer_[consumed_ + len - 1] == '\r') --len;
+  if (len > limit) {
+    fail(overflow_status, overflow_reason);
+    return false;
+  }
+  line.assign(buffer_, consumed_, len);
+  consumed_ = nl + 1;
+  return true;
+}
+
+HttpParser::Status HttpParser::finish_headers() {
+  // Chunked (or any other) transfer coding is out of scope; refusing it
+  // outright beats silently mis-framing the stream.
+  if (current_.header("transfer-encoding") != nullptr) {
+    return fail(501, "transfer codings are not supported");
+  }
+  body_remaining_ = 0;
+  bool have_length = false;
+  for (const auto& [name, value] : current_.headers) {
+    if (name != "content-length") continue;
+    if (value.empty() ||
+        !std::all_of(value.begin(), value.end(), [](unsigned char c) {
+          return std::isdigit(c);
+        })) {
+      return fail(400, "malformed Content-Length");
+    }
+    std::size_t length = 0;
+    for (char c : value) {
+      if (length > (limits_.max_body_bytes + 9) / 10) {
+        return fail(413, "request body exceeds the configured limit");
+      }
+      length = length * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (have_length && length != body_remaining_) {
+      return fail(400, "conflicting Content-Length headers");
+    }
+    have_length = true;
+    body_remaining_ = length;
+  }
+  if (body_remaining_ > limits_.max_body_bytes) {
+    return fail(413, "request body exceeds the configured limit");
+  }
+
+  current_.keep_alive = current_.version_minor >= 1;
+  if (const std::string* connection = current_.header("connection")) {
+    if (connection_has_token(*connection, "close")) {
+      current_.keep_alive = false;
+    } else if (connection_has_token(*connection, "keep-alive")) {
+      current_.keep_alive = true;
+    }
+  }
+  state_ = State::kBody;
+  return Status::kNeedMore;  // caller loop proceeds to the body state
+}
+
+HttpParser::Status HttpParser::next(HttpRequest& out) {
+  while (true) {
+    switch (state_) {
+      case State::kError:
+        return Status::kError;
+
+      case State::kStartLine: {
+        std::string line;
+        if (!take_line(line, limits_.max_request_line, 414,
+                       "request line too long")) {
+          compact();
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        }
+        if (line.empty()) continue;  // tolerate CRLF between requests
+        const std::size_t sp1 = line.find(' ');
+        const std::size_t sp2 =
+            sp1 == std::string::npos ? std::string::npos
+                                     : line.find(' ', sp1 + 1);
+        if (sp1 == std::string::npos || sp2 == std::string::npos ||
+            sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= line.size() ||
+            line.find(' ', sp2 + 1) != std::string::npos) {
+          return fail(400, "malformed request line");
+        }
+        const std::string_view version =
+            std::string_view(line).substr(sp2 + 1);
+        int minor = -1;
+        if (version == "HTTP/1.1") {
+          minor = 1;
+        } else if (version == "HTTP/1.0") {
+          minor = 0;
+        } else {
+          return fail(505, "only HTTP/1.0 and HTTP/1.1 are supported");
+        }
+        current_ = HttpRequest{};
+        current_.method = line.substr(0, sp1);
+        current_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        current_.version_minor = minor;
+        if (current_.target[0] != '/') {
+          return fail(400, "request target must be origin-form");
+        }
+        header_bytes_ = 0;
+        state_ = State::kHeaders;
+        break;
+      }
+
+      case State::kHeaders: {
+        std::string line;
+        const std::size_t allowance =
+            limits_.max_header_bytes - std::min(header_bytes_,
+                                                limits_.max_header_bytes);
+        if (!take_line(line, allowance, 431, "header block too large")) {
+          compact();
+          return state_ == State::kError ? Status::kError : Status::kNeedMore;
+        }
+        header_bytes_ += line.size() + 2;
+        if (line.empty()) {
+          if (finish_headers() == Status::kError) return Status::kError;
+          break;
+        }
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos || colon == 0) {
+          return fail(400, "malformed header field");
+        }
+        const std::string_view raw_name =
+            std::string_view(line).substr(0, colon);
+        if (raw_name.back() == ' ' || raw_name.back() == '\t') {
+          return fail(400, "whitespace before header colon");
+        }
+        current_.headers.emplace_back(
+            lowercase(raw_name),
+            std::string(trim(std::string_view(line).substr(colon + 1))));
+        break;
+      }
+
+      case State::kBody: {
+        const std::size_t avail = buffer_.size() - consumed_;
+        const std::size_t take = std::min(avail, body_remaining_);
+        current_.body.append(buffer_, consumed_, take);
+        consumed_ += take;
+        body_remaining_ -= take;
+        if (body_remaining_ > 0) {
+          compact();
+          return Status::kNeedMore;
+        }
+        out = std::move(current_);
+        current_ = HttpRequest{};
+        state_ = State::kStartLine;
+        compact();
+        return Status::kRequest;
+      }
+    }
+  }
+}
+
+void HttpParser::compact() {
+  // Reclaim consumed prefix bytes once they dominate the buffer, keeping
+  // per-connection memory proportional to the unparsed remainder.
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 414: return "URI Too Long";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive,
+                          std::string_view extra_headers) {
+  std::string out;
+  out.reserve(128 + extra_headers.size() + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += http_status_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n";
+  out += extra_headers;
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace sybiltd::server

@@ -1,0 +1,109 @@
+// Dependency-free incremental HTTP/1.1 request parsing and response
+// serialization — the wire layer under the campaign server.
+//
+// The parser is push-driven: the event loop feed()s whatever bytes the
+// socket produced and then drains complete requests with next(), so a
+// request split across arbitrarily many reads (down to one byte at a time)
+// and multiple pipelined requests arriving in one read both parse
+// identically.  Every limit is enforced incrementally — an oversized
+// request line, header block, or declared body fails as soon as the
+// overflow is observable, long before the peer finishes sending it —
+// which is what keeps a public-facing ingestion port bounded in memory
+// per connection.
+//
+// Scope is deliberately the subset a JSON API needs: methods with either
+// no body or a Content-Length body.  Chunked transfer encoding is refused
+// with 501 rather than half-supported.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sybiltd::server {
+
+struct HttpLimits {
+  std::size_t max_request_line = 4096;   // request line, excluding CRLF
+  std::size_t max_header_bytes = 16384;  // all header lines together
+  std::size_t max_body_bytes = 1 << 20;  // Content-Length cap -> 413
+};
+
+struct HttpRequest {
+  std::string method;          // verbatim, e.g. "GET"
+  std::string target;          // request-target, e.g. "/v1/status?x=1"
+  int version_minor = 1;       // HTTP/1.<minor>
+  // Header fields in arrival order; names lowercased, values trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  // Resolved connection semantics: HTTP/1.1 defaults to keep-alive,
+  // HTTP/1.0 to close, either overridden by a Connection header.
+  bool keep_alive = true;
+
+  // First header with this (lowercase) name, or nullptr.
+  const std::string* header(std::string_view lower_name) const;
+};
+
+class HttpParser {
+ public:
+  enum class Status {
+    kNeedMore,  // no complete request buffered yet
+    kRequest,   // one request extracted into `out`
+    kError,     // protocol violation; see error_status()/error_reason()
+  };
+
+  explicit HttpParser(HttpLimits limits = {});
+
+  // Append raw socket bytes.  Cheap; parsing happens in next().
+  void feed(std::string_view data);
+
+  // Extract the next complete pipelined request.  After kError the parser
+  // is poisoned: the connection should send the error response and close.
+  Status next(HttpRequest& out);
+
+  // HTTP status code describing the parse failure (400, 413, 414, 431,
+  // 501, 505); 0 while no error occurred.
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  // True when a request is partially parsed (useful to distinguish a clean
+  // EOF between requests from one mid-request).
+  bool mid_request() const {
+    return state_ != State::kStartLine || buffered_bytes() > 0;
+  }
+
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  enum class State { kStartLine, kHeaders, kBody, kError };
+
+  Status fail(int status, std::string reason);
+  // Extract one CRLF- (or bare-LF-) terminated line into `line`.  Returns
+  // false when the buffer holds no complete line yet; fails the parse when
+  // the line (or the unterminated prefix) exceeds `limit`.
+  bool take_line(std::string& line, std::size_t limit, int overflow_status,
+                 const char* overflow_reason);
+  Status finish_headers();
+  void compact();
+
+  HttpLimits limits_;
+  State state_ = State::kStartLine;
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  HttpRequest current_;
+  std::size_t header_bytes_ = 0;
+  std::size_t body_remaining_ = 0;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+// Serialize a response with Content-Length framing.  `extra_headers`, when
+// non-empty, must be fully formed "Name: value\r\n" lines.
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive,
+                          std::string_view extra_headers = {});
+
+const char* http_status_reason(int status);
+
+}  // namespace sybiltd::server

@@ -1,0 +1,337 @@
+#include "server/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sybiltd::server {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+bool JsonValue::as_index(std::size_t* out) const {
+  if (kind != Kind::kNumber) return false;
+  if (!(number >= 0.0) || number != std::floor(number)) return false;
+  if (number > 9007199254740992.0) return false;  // 2^53: exact int range
+  *out = static_cast<std::size_t>(number);
+  return true;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  bool fail(const char* message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = std::string(message) + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return fail("invalid literal");
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, std::size_t depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return consume_literal("null");
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return consume_literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return consume_literal("false");
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case '[':
+        return parse_array(out, depth);
+      case '{':
+        return parse_object(out, depth);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_array(JsonValue& out, std::size_t depth) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      out.array.emplace_back();
+      skip_ws();
+      if (!parse_value(out.array.back(), depth + 1)) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(JsonValue& out, std::size_t depth) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':' after object key");
+      }
+      ++pos_;
+      skip_ws();
+      out.object.emplace_back(std::move(key), JsonValue{});
+      if (!parse_value(out.object.back().second, depth + 1)) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_hex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      unsigned digit;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("invalid \\u escape");
+      }
+      value = value * 16 + digit;
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("unpaired surrogate");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parse_hex4(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("invalid escape");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t int_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == int_start) return fail("invalid number");
+    // JSON forbids leading zeros on multi-digit integer parts.
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      return fail("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t frac_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == frac_start) return fail("missing fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const std::size_t exp_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == exp_start) return fail("missing exponent digits");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(token.c_str(), nullptr);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue& out, std::string* error) {
+  if (error != nullptr) error->clear();
+  out = JsonValue{};
+  return Parser(text, error).parse(out);
+}
+
+void json_append_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void json_append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+}  // namespace sybiltd::server

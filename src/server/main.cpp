@@ -1,0 +1,157 @@
+// sybiltd_server — the long-running ingestion and query daemon.
+//
+//   sybiltd_server --port 8080 --shards 2 --campaigns 4 --tasks 50
+//
+// Binds, pre-registers --campaigns campaigns of --tasks tasks each (more
+// can be created over the wire via POST /v1/campaigns), prints one
+// "listening on HOST:PORT" line to stdout, and serves until SIGTERM or
+// SIGINT, on which it stops accepting, flushes in-flight responses, drains
+// the engine so every accepted report is reflected in converged snapshots,
+// and exits 0.  --port 0 picks an ephemeral port; --port-file writes the
+// resolved port for scripts that need it (the CI smoke test does).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "server/server.h"
+
+namespace {
+
+// The signal handler only touches this pointer and the async-signal-safe
+// request_shutdown(); everything slow happens on the main thread after
+// wait() returns.
+sybiltd::server::CampaignServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --port N            TCP port (default 8080; 0 = ephemeral)\n"
+      << "  --bind ADDR         bind address (default 127.0.0.1)\n"
+      << "  --port-file PATH    write the resolved port to PATH\n"
+      << "  --shards N          engine shards (default 2)\n"
+      << "  --queue-capacity N  per-shard queue capacity (default 4096)\n"
+      << "  --max-batch N       micro-batch size cap (default 256)\n"
+      << "  --rho X             AG-TS grouping threshold (default 1.0)\n"
+      << "  --decay X           influence decay per step (default 1.0)\n"
+      << "  --campaigns N       campaigns to pre-register (default 1)\n"
+      << "  --tasks N           tasks per pre-registered campaign"
+         " (default 50)\n"
+      << "  --max-body N        request body cap in bytes (default 1MiB)\n";
+}
+
+bool parse_size(const char* text, std::size_t* out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<std::size_t>(value);
+  return true;
+}
+
+bool parse_double(const char* text, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sybiltd::server::ServerOptions options;
+  options.port = 8080;
+  std::size_t campaigns = 1;
+  std::size_t tasks = 50;
+  std::string port_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = (i + 1 < argc) ? argv[i + 1] : nullptr;
+    auto need = [&](const char* name) {
+      if (value == nullptr) {
+        std::cerr << name << " requires a value\n";
+        std::exit(2);
+      }
+      ++i;
+      return value;
+    };
+    std::size_t n = 0;
+    double x = 0.0;
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "--port" && parse_size(need("--port"), &n) &&
+               n <= 65535) {
+      options.port = static_cast<std::uint16_t>(n);
+    } else if (arg == "--bind") {
+      options.bind_address = need("--bind");
+    } else if (arg == "--port-file") {
+      port_file = need("--port-file");
+    } else if (arg == "--shards" && parse_size(need("--shards"), &n) &&
+               n > 0) {
+      options.engine.shard_count = n;
+    } else if (arg == "--queue-capacity" &&
+               parse_size(need("--queue-capacity"), &n) && n > 0) {
+      options.engine.queue_capacity = n;
+    } else if (arg == "--max-batch" && parse_size(need("--max-batch"), &n) &&
+               n > 0) {
+      options.engine.max_batch = n;
+    } else if (arg == "--rho" && parse_double(need("--rho"), &x)) {
+      options.engine.shard.rho = x;
+    } else if (arg == "--decay" && parse_double(need("--decay"), &x)) {
+      options.engine.shard.decay = x;
+    } else if (arg == "--campaigns" && parse_size(need("--campaigns"), &n)) {
+      campaigns = n;
+    } else if (arg == "--tasks" && parse_size(need("--tasks"), &n) && n > 0) {
+      tasks = n;
+    } else if (arg == "--max-body" && parse_size(need("--max-body"), &n) &&
+               n > 0) {
+      options.http.max_body_bytes = n;
+    } else {
+      std::cerr << "bad argument: " << arg << "\n";
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  try {
+    sybiltd::server::CampaignServer server(options);
+    for (std::size_t i = 0; i < campaigns; ++i) {
+      server.engine().add_campaign(tasks);
+    }
+
+    g_server = &server;
+    struct sigaction action {};
+    action.sa_handler = handle_signal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+    signal(SIGPIPE, SIG_IGN);  // broken peers must not kill the daemon
+
+    server.start();
+    std::printf("listening on %s:%u\n", options.bind_address.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      out << server.port() << "\n";
+    }
+
+    server.wait();
+    g_server = nullptr;
+    std::printf("drained and stopped\n");
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "fatal: " << error.what() << "\n";
+    return 1;
+  }
+}

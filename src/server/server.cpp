@@ -1,0 +1,509 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "server/handlers.h"
+
+namespace sybiltd::server {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  SYBILTD_CHECK(flags >= 0, "fcntl(F_GETFL) failed");
+  SYBILTD_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+// Event-loop and ingestion metrics, registered once.
+struct ServerMetrics {
+  obs::Counter& connections_accepted = obs::MetricsRegistry::global().counter(
+      "server.connections.accepted", "TCP connections accepted");
+  obs::Counter& connections_refused = obs::MetricsRegistry::global().counter(
+      "server.connections.refused", "connections closed for exceeding the cap");
+  obs::Gauge& connections_active = obs::MetricsRegistry::global().gauge(
+      "server.connections.active", "currently open connections");
+  obs::Counter& requests = obs::MetricsRegistry::global().counter(
+      "server.requests", "HTTP requests parsed");
+  obs::Counter& responses_2xx = obs::MetricsRegistry::global().counter(
+      "server.responses.2xx", "responses with a 2xx status");
+  obs::Counter& responses_4xx = obs::MetricsRegistry::global().counter(
+      "server.responses.4xx", "responses with a 4xx status");
+  obs::Counter& responses_5xx = obs::MetricsRegistry::global().counter(
+      "server.responses.5xx", "responses with a 5xx status");
+  obs::Histogram& request_us = obs::MetricsRegistry::global().histogram(
+      "server.request_us", "request handling latency in microseconds");
+
+  static ServerMetrics& get() {
+    static ServerMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+struct CampaignServer::Impl {
+  explicit Impl(ServerOptions opts)
+      : options(std::move(opts)), engine(options.engine) {}
+
+  // One multiplexed connection.  `generation` distinguishes a live
+  // connection from a recycled slot when a parked drain completes late.
+  struct Connection {
+    int fd = -1;
+    std::uint64_t generation = 0;
+    HttpParser parser;
+    std::string out;             // bytes not yet written to the socket
+    std::size_t out_offset = 0;  // prefix of `out` already written
+    bool close_after_flush = false;
+    bool waiting_slow = false;  // parked: a drain is running for it
+
+    explicit Connection(const HttpLimits& limits) : parser(limits) {}
+  };
+
+  struct SlowJob {
+    std::uint64_t generation = 0;
+    int fd = -1;  // key into connections at completion time
+    std::size_t campaign = 0;
+    bool keep_alive = true;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  struct SlowDone {
+    std::uint64_t generation = 0;
+    int fd = -1;
+    bool keep_alive = true;
+    HandlerResponse response;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  ServerOptions options;
+  pipeline::CampaignEngine engine;
+
+  int listen_fd = -1;
+  int wake_read = -1;   // self-pipe: worker completions and shutdown
+  int wake_write = -1;  // async-signal-safe side
+  std::uint16_t bound_port = 0;
+
+  std::thread loop_thread;
+  std::thread worker_thread;
+  std::atomic<bool> started{false};
+  std::atomic<bool> stopped{false};
+  std::atomic<bool> shutdown_requested{false};
+
+  std::unordered_map<int, Connection> connections;
+  std::uint64_t next_generation = 1;
+
+  // Event loop -> worker: drain jobs.  Worker -> event loop: completions
+  // (picked up after a self-pipe wake).
+  std::mutex slow_mutex;
+  std::condition_variable slow_cv;
+  std::deque<SlowJob> slow_jobs;
+  std::deque<SlowDone> slow_done;
+  bool worker_quit = false;
+
+  // --- Socket setup ---------------------------------------------------------
+
+  void open_sockets() {
+    int fds[2];
+    SYBILTD_CHECK(::pipe(fds) == 0, "pipe() failed");
+    wake_read = fds[0];
+    wake_write = fds[1];
+    set_nonblocking(wake_read);
+    set_nonblocking(wake_write);
+
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    SYBILTD_CHECK(listen_fd >= 0, "socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.port);
+    SYBILTD_CHECK(
+        ::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) ==
+            1,
+        "bind address is not a valid IPv4 address");
+    SYBILTD_CHECK(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0,
+                  "bind() failed (port in use?)");
+    SYBILTD_CHECK(::listen(listen_fd, options.backlog) == 0,
+                  "listen() failed");
+    set_nonblocking(listen_fd);
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    SYBILTD_CHECK(::getsockname(listen_fd,
+                                reinterpret_cast<sockaddr*>(&bound),
+                                &len) == 0,
+                  "getsockname() failed");
+    bound_port = ntohs(bound.sin_port);
+  }
+
+  void close_sockets() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_read >= 0) ::close(wake_read);
+    if (wake_write >= 0) ::close(wake_write);
+    listen_fd = wake_read = wake_write = -1;
+  }
+
+  void wake() {
+    const char byte = 1;
+    // Full pipe means a wake is already pending; EINTR retry is the only
+    // loop, keeping this callable from a signal handler.
+    while (::write(wake_write, &byte, 1) < 0 && errno == EINTR) {
+    }
+  }
+
+  // --- Worker thread (drain barrier) ----------------------------------------
+
+  void worker_main() {
+    while (true) {
+      SlowJob job;
+      {
+        std::unique_lock<std::mutex> lock(slow_mutex);
+        slow_cv.wait(lock,
+                     [this] { return worker_quit || !slow_jobs.empty(); });
+        if (slow_jobs.empty()) return;  // quit with no pending work
+        job = std::move(slow_jobs.front());
+        slow_jobs.pop_front();
+      }
+      SlowDone done;
+      done.generation = job.generation;
+      done.fd = job.fd;
+      done.keep_alive = job.keep_alive;
+      done.start = job.start;
+      done.response = handle_drain(engine, job.campaign);
+      {
+        std::lock_guard<std::mutex> lock(slow_mutex);
+        slow_done.push_back(std::move(done));
+      }
+      wake();
+    }
+  }
+
+  // --- Event loop -----------------------------------------------------------
+
+  void record_response(int status,
+                       std::chrono::steady_clock::time_point start) {
+    auto& metrics = ServerMetrics::get();
+    if (status < 400) {
+      metrics.responses_2xx.inc();
+    } else if (status < 500) {
+      metrics.responses_4xx.inc();
+    } else {
+      metrics.responses_5xx.inc();
+    }
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    metrics.request_us.record(us);
+  }
+
+  void queue_response(Connection& conn, const HandlerResponse& response,
+                      bool keep_alive,
+                      std::chrono::steady_clock::time_point start) {
+    conn.out += http_response(response.status, response.content_type,
+                              response.body, keep_alive);
+    if (!keep_alive) conn.close_after_flush = true;
+    record_response(response.status, start);
+  }
+
+  void close_connection(int fd) {
+    ::close(fd);
+    connections.erase(fd);
+    ServerMetrics::get().connections_active.set(
+        static_cast<double>(connections.size()));
+  }
+
+  void accept_new() {
+    while (true) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN or transient error: poll() will retry
+      }
+      auto& metrics = ServerMetrics::get();
+      if (connections.size() >= options.max_connections) {
+        metrics.connections_refused.inc();
+        ::close(fd);
+        continue;
+      }
+      set_nonblocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      Connection conn(options.http);
+      conn.fd = fd;
+      conn.generation = next_generation++;
+      connections.emplace(fd, std::move(conn));
+      metrics.connections_accepted.inc();
+      metrics.connections_active.set(
+          static_cast<double>(connections.size()));
+    }
+  }
+
+  // Parse and answer everything buffered on the connection.  Returns false
+  // when the connection should be closed immediately.
+  bool process_requests(Connection& conn) {
+    if (conn.waiting_slow) return true;  // parked until the drain completes
+    auto& metrics = ServerMetrics::get();
+    HttpRequest request;
+    while (true) {
+      const HttpParser::Status status = conn.parser.next(request);
+      if (status == HttpParser::Status::kNeedMore) return true;
+      if (status == HttpParser::Status::kError) {
+        metrics.requests.inc();
+        const auto start = std::chrono::steady_clock::now();
+        HandlerResponse response{conn.parser.error_status(),
+                                 "application/json",
+                                 error_body(conn.parser.error_reason())};
+        queue_response(conn, response, /*keep_alive=*/false, start);
+        return true;  // flush the error, then close
+      }
+      metrics.requests.inc();
+      const auto start = std::chrono::steady_clock::now();
+      const bool keep_alive =
+          request.keep_alive && !shutdown_requested.load();
+      std::size_t campaign = 0;
+      if (is_drain_request(request, &campaign)) {
+        SlowJob job;
+        job.generation = conn.generation;
+        job.fd = conn.fd;
+        job.campaign = campaign;
+        job.keep_alive = keep_alive;
+        job.start = start;
+        conn.waiting_slow = true;
+        {
+          std::lock_guard<std::mutex> lock(slow_mutex);
+          slow_jobs.push_back(std::move(job));
+        }
+        slow_cv.notify_one();
+        // Later pipelined requests stay buffered in the parser until the
+        // drain response is queued.
+        return true;
+      }
+      queue_response(conn, handle_api_request(engine, request), keep_alive,
+                     start);
+    }
+  }
+
+  // Returns false when the peer hung up or errored.
+  bool read_from(Connection& conn) {
+    char buffer[16384];
+    while (true) {
+      const ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+      if (n > 0) {
+        conn.parser.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+        if (static_cast<std::size_t>(n) < sizeof(buffer)) return true;
+        continue;
+      }
+      if (n == 0) return false;  // EOF
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+
+  // Returns false on a write error.
+  bool flush_to(Connection& conn) {
+    while (conn.out_offset < conn.out.size()) {
+      const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_offset,
+                                conn.out.size() - conn.out_offset);
+      if (n > 0) {
+        conn.out_offset += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.out.clear();
+    conn.out_offset = 0;
+    return true;
+  }
+
+  void drain_wake_pipe() {
+    char buffer[256];
+    while (::read(wake_read, buffer, sizeof(buffer)) > 0) {
+    }
+  }
+
+  void collect_slow_done() {
+    std::deque<SlowDone> done;
+    {
+      std::lock_guard<std::mutex> lock(slow_mutex);
+      done.swap(slow_done);
+    }
+    for (SlowDone& item : done) {
+      auto it = connections.find(item.fd);
+      if (it == connections.end() ||
+          it->second.generation != item.generation) {
+        continue;  // peer went away while draining; drop the response
+      }
+      Connection& conn = it->second;
+      conn.waiting_slow = false;
+      queue_response(conn, item.response, item.keep_alive, item.start);
+      // Answer any requests the peer pipelined behind the drain.
+      process_requests(conn);
+    }
+  }
+
+  void loop_main() {
+    std::vector<pollfd> pollfds;
+    std::vector<int> to_close;
+    while (true) {
+      const bool stopping = shutdown_requested.load();
+      // Once shutdown is requested and every response has been flushed,
+      // the loop is done.
+      if (stopping) {
+        bool pending = false;
+        for (const auto& [fd, conn] : connections) {
+          if (conn.waiting_slow || conn.out_offset < conn.out.size() ||
+              !conn.out.empty()) {
+            pending = true;
+            break;
+          }
+        }
+        if (!pending) break;
+      }
+
+      pollfds.clear();
+      pollfds.push_back({wake_read, POLLIN, 0});
+      if (!stopping) pollfds.push_back({listen_fd, POLLIN, 0});
+      for (const auto& [fd, conn] : connections) {
+        short events = 0;
+        if (!conn.waiting_slow) events |= POLLIN;
+        if (conn.out_offset < conn.out.size()) events |= POLLOUT;
+        if (events != 0) pollfds.push_back({fd, events, 0});
+      }
+
+      const int ready =
+          ::poll(pollfds.data(), static_cast<nfds_t>(pollfds.size()),
+                 stopping ? 100 : 1000);
+      if (ready < 0 && errno != EINTR) break;
+
+      for (const pollfd& pfd : pollfds) {
+        if (pfd.revents == 0) continue;
+        if (pfd.fd == wake_read) {
+          drain_wake_pipe();
+          continue;
+        }
+        if (pfd.fd == listen_fd) {
+          accept_new();
+          continue;
+        }
+        auto it = connections.find(pfd.fd);
+        if (it == connections.end()) continue;
+        Connection& conn = it->second;
+        bool alive = true;
+        if (pfd.revents & (POLLERR | POLLNVAL)) alive = false;
+        if (alive && (pfd.revents & (POLLIN | POLLHUP))) {
+          alive = read_from(conn);
+          if (alive) alive = process_requests(conn);
+          // EOF with queued output: still flush what we owe.
+          if (!alive && conn.out_offset < conn.out.size()) alive = true;
+        }
+        if (alive && (pfd.revents & POLLOUT)) alive = flush_to(conn);
+        const bool flushed = conn.out_offset >= conn.out.size();
+        if (!alive || (flushed && conn.close_after_flush)) {
+          to_close.push_back(pfd.fd);
+        }
+      }
+      // Closing also covers fds with a drain in flight: erasing the slot
+      // is what makes collect_slow_done's generation check drop the stale
+      // completion instead of writing to a recycled descriptor.
+      for (int fd : to_close) {
+        if (connections.count(fd) != 0) close_connection(fd);
+      }
+      to_close.clear();
+
+      collect_slow_done();
+
+      if (stopping) {
+        // Cut keep-alive connections that owe us nothing.
+        std::vector<int> idle;
+        for (const auto& [fd, conn] : connections) {
+          if (!conn.waiting_slow && conn.out.empty() &&
+              !conn.parser.mid_request()) {
+            idle.push_back(fd);
+          }
+        }
+        for (int fd : idle) close_connection(fd);
+      }
+    }
+
+    for (const auto& [fd, conn] : connections) ::close(fd);
+    connections.clear();
+    ServerMetrics::get().connections_active.set(0.0);
+  }
+};
+
+CampaignServer::CampaignServer(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+CampaignServer::~CampaignServer() { shutdown(); }
+
+void CampaignServer::start() {
+  SYBILTD_CHECK(!impl_->started.load(), "server already started");
+  impl_->open_sockets();
+  impl_->engine.start();
+  impl_->started.store(true);
+  impl_->worker_thread = std::thread([this] { impl_->worker_main(); });
+  impl_->loop_thread = std::thread([this] { impl_->loop_main(); });
+}
+
+std::uint16_t CampaignServer::port() const { return impl_->bound_port; }
+
+pipeline::CampaignEngine& CampaignServer::engine() { return impl_->engine; }
+
+void CampaignServer::request_shutdown() {
+  impl_->shutdown_requested.store(true);
+  if (impl_->wake_write >= 0) impl_->wake();
+}
+
+void CampaignServer::wait() {
+  if (!impl_->started.load()) return;
+  if (impl_->loop_thread.joinable()) impl_->loop_thread.join();
+  {
+    std::lock_guard<std::mutex> lock(impl_->slow_mutex);
+    impl_->worker_quit = true;
+  }
+  impl_->slow_cv.notify_one();
+  if (impl_->worker_thread.joinable()) impl_->worker_thread.join();
+  if (!impl_->stopped.exchange(true)) {
+    // Graceful contract: every report accepted over the wire is reflected
+    // in a final converged snapshot before the process exits.
+    impl_->engine.drain();
+    impl_->engine.stop();
+    impl_->close_sockets();
+  }
+}
+
+void CampaignServer::shutdown() {
+  if (!impl_->started.load()) {
+    if (!impl_->stopped.exchange(true)) impl_->close_sockets();
+    return;
+  }
+  request_shutdown();
+  wait();
+}
+
+}  // namespace sybiltd::server

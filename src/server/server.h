@@ -1,0 +1,80 @@
+// CampaignServer — a long-running HTTP/1.1 front end over
+// pipeline::CampaignEngine.
+//
+// Threading model: one event-loop thread multiplexes every connection with
+// poll() over non-blocking sockets, and one slow-op worker runs the drain
+// barrier.  The loop itself never blocks on anything but poll(): reads and
+// writes are non-blocking, ingestion goes through the engine's
+// try_submit() (kReject semantics — a full shard queue becomes a 429, not
+// a stalled loop), and snapshot queries read wait-free cells.  Drain is
+// the one endpoint that must block (it waits for the convergence barrier),
+// so the loop parks the connection, hands the request to the worker, and a
+// self-pipe write wakes the loop when the response is ready.  A connection
+// generation counter guards the hand-back: if the peer disconnected while
+// draining, the stale completion is discarded instead of writing to a
+// recycled slot.
+//
+// Shutdown is graceful and signal-driven: request_shutdown() is
+// async-signal-safe (a single write() to the self-pipe), after which the
+// loop stops accepting, finishes in-flight responses, drains the engine so
+// every accepted report is reflected in final snapshots, and returns.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "pipeline/engine.h"
+#include "server/http.h"
+
+namespace sybiltd::server {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  // TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  int backlog = 128;
+  // Connections beyond this are accepted and immediately closed with 503.
+  std::size_t max_connections = 1024;
+  HttpLimits http;
+  pipeline::EngineOptions engine;
+};
+
+class CampaignServer {
+ public:
+  explicit CampaignServer(ServerOptions options = {});
+  ~CampaignServer();
+
+  CampaignServer(const CampaignServer&) = delete;
+  CampaignServer& operator=(const CampaignServer&) = delete;
+
+  // Bind, listen, start the engine, and launch the event-loop and worker
+  // threads.  Throws common::Error on socket failures (e.g. port in use).
+  void start();
+
+  // The bound port (resolves port 0 after start()).
+  std::uint16_t port() const;
+
+  // The engine behind the API — for tests and for pre-registering
+  // campaigns before start().
+  pipeline::CampaignEngine& engine();
+
+  // Begin graceful shutdown.  Async-signal-safe: only writes one byte to
+  // the self-pipe, so it is callable straight from a SIGTERM/SIGINT
+  // handler.  Idempotent.
+  void request_shutdown();
+
+  // Block until the server has fully shut down (event loop returned,
+  // engine drained and stopped).  Returns immediately if never started.
+  void wait();
+
+  // request_shutdown() + wait() + close sockets.  Also run by the
+  // destructor.  Idempotent.
+  void shutdown();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sybiltd::server

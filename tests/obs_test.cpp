@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -301,6 +302,28 @@ TEST(Exposition, PrometheusShape) {
             std::string::npos);
   EXPECT_NE(text.find("obs_test_promo_hist_count"), std::string::npos);
   EXPECT_NE(text.find("obs_test_promo_hist_sum"), std::string::npos);
+}
+
+TEST(Exposition, UptimeGaugeIsMaintainedBySnapshot) {
+  const MetricsSnapshot first = snapshot();
+  const GaugeValue* uptime = nullptr;
+  for (const GaugeValue& gauge : first.gauges) {
+    if (gauge.name == "uptime_seconds") uptime = &gauge;
+  }
+  ASSERT_NE(uptime, nullptr) << "uptime_seconds gauge not registered";
+  EXPECT_GE(uptime->value, 0.0);
+  EXPECT_FALSE(uptime->help.empty());
+  // The gauge refreshes on every snapshot and is monotone in process time.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const MetricsSnapshot second = snapshot();
+  for (const GaugeValue& gauge : second.gauges) {
+    if (gauge.name == "uptime_seconds") {
+      EXPECT_GT(gauge.value, uptime->value);
+    }
+  }
+  // And it surfaces through both exposition formats.
+  EXPECT_NE(to_prometheus(second).find("uptime_seconds"), std::string::npos);
+  EXPECT_NE(to_json(second).find("\"uptime_seconds\""), std::string::npos);
 }
 
 TEST(Exposition, JsonShapeParsesAndCarriesValues) {

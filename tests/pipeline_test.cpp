@@ -395,7 +395,9 @@ TEST(CampaignEngine, ValidatesArguments) {
   EXPECT_THROW(engine.submit({0, 0, 0, -70.0, 0.0}),
                std::invalid_argument);  // not started
   engine.start();
-  EXPECT_THROW(engine.add_campaign(3), std::invalid_argument);
+  // Live registration is supported (see AddCampaignWhileRunning), but the
+  // task count is still validated.
+  EXPECT_THROW(engine.add_campaign(0), std::invalid_argument);
   EXPECT_THROW(engine.submit({1, 0, 0, -70.0, 0.0}), std::invalid_argument);
   EXPECT_THROW(engine.submit({0, 0, 3, -70.0, 0.0}), std::invalid_argument);
   EXPECT_THROW(engine.submit({0, 0, 0, std::nan(""), 0.0}),
@@ -465,6 +467,86 @@ TEST(CampaignEngine, StressConcurrentProducersAndReaders) {
   }
   EXPECT_LE(live, kCampaigns * 40 * 20);  // distinct pairs only
   EXPECT_GT(live, 0u);
+  engine.stop();
+}
+
+// --- Engine: live campaign registration ------------------------------------
+
+TEST(CampaignEngine, AddCampaignWhileRunning) {
+  EngineOptions options;
+  options.shard_count = 2;
+  options.max_batch = 8;
+  CampaignEngine engine(options);
+  const std::size_t first = engine.add_campaign(3);
+  engine.start();
+
+  // Submissions against a not-yet-registered id are refused, not lost.
+  EXPECT_EQ(engine.try_submit({first + 1, 0, 0, 1.0, 0.0}),
+            SubmitStatus::kUnknownCampaign);
+
+  // Register on the running engine: readers immediately see the version-0
+  // snapshot, and reports submitted right after registration land.
+  const std::size_t second = engine.add_campaign(5);
+  EXPECT_EQ(second, first + 1);
+  EXPECT_EQ(engine.campaign_task_count(second), 5u);
+  const auto empty = engine.snapshot(second);
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(empty->version, 0u);
+  EXPECT_TRUE(std::isnan(empty->truths[0]));
+
+  for (std::size_t a = 0; a < 4; ++a) {
+    EXPECT_EQ(engine.submit({second, a, a % 5, -60.0 + double(a), 0.0}),
+              PushResult::kOk);
+    EXPECT_EQ(engine.submit({first, a, a % 3, -70.0, 0.0}), PushResult::kOk);
+  }
+  engine.drain();
+  const auto snap = engine.snapshot(second);
+  EXPECT_EQ(snap->applied_reports, 4u);
+  EXPECT_TRUE(snap->converged);
+  EXPECT_EQ(engine.snapshot(first)->applied_reports, 4u);
+  EXPECT_EQ(engine.campaign_count(), 2u);
+  engine.stop();
+}
+
+// Hammer registration from one thread while another streams reports to the
+// already-registered campaigns: every accepted report must still be applied
+// exactly once and every new campaign must become immediately usable.
+TEST(CampaignEngine, ConcurrentRegistrationAndIngestion) {
+  EngineOptions options;
+  options.shard_count = 2;
+  options.max_batch = 16;
+  CampaignEngine engine(options);
+  engine.add_campaign(4);
+  engine.start();
+
+  std::atomic<std::size_t> registered{1};
+  std::thread registrar([&] {
+    for (int k = 0; k < 12; ++k) {
+      engine.add_campaign(4);
+      registered.fetch_add(1);
+      std::this_thread::sleep_for(milliseconds(1));
+    }
+  });
+  std::uint64_t sent = 0;
+  Rng rng(11);
+  for (int round = 0; round < 400; ++round) {
+    const std::size_t visible = registered.load();
+    const std::size_t campaign = rng.uniform_index(visible);
+    EXPECT_EQ(engine.submit({campaign, rng.uniform_index(6),
+                             rng.uniform_index(4), -60.0, 0.0}),
+              PushResult::kOk);
+    ++sent;
+  }
+  registrar.join();
+  engine.drain();
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.accepted, sent);
+  EXPECT_EQ(counters.applied, sent);
+  std::uint64_t applied = 0;
+  for (std::size_t c = 0; c < engine.campaign_count(); ++c) {
+    applied += engine.snapshot(c)->applied_reports;
+  }
+  EXPECT_EQ(applied, sent);
   engine.stop();
 }
 

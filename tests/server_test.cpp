@@ -1,0 +1,715 @@
+// Tests for the HTTP server subsystem: the incremental request parser
+// (including splits at every byte boundary and pipelined keep-alive), the
+// minimal JSON codec, the endpoint handlers (unit-tested without a
+// socket), and the end-to-end equivalence of HTTP-ingested reports with
+// the one-shot batch framework.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ag_ts.h"
+#include "core/framework.h"
+#include "pipeline/engine.h"
+#include "server/handlers.h"
+#include "server/http.h"
+#include "server/json.h"
+#include "server/server.h"
+
+namespace sybiltd::server {
+namespace {
+
+// --- HttpParser ------------------------------------------------------------
+
+TEST(HttpParser, ParsesSimpleGet) {
+  HttpParser parser;
+  parser.feed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next(request), HttpParser::Status::kRequest);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(request.version_minor, 1);
+  EXPECT_TRUE(request.keep_alive);
+  ASSERT_NE(request.header("host"), nullptr);
+  EXPECT_EQ(*request.header("host"), "x");
+  EXPECT_EQ(parser.next(request), HttpParser::Status::kNeedMore);
+  EXPECT_FALSE(parser.mid_request());
+}
+
+TEST(HttpParser, ParsesBodyAndLowercasesHeaderNames) {
+  HttpParser parser;
+  parser.feed(
+      "POST /v1/campaigns HTTP/1.1\r\nContent-Type: application/json\r\n"
+      "Content-Length: 12\r\n\r\n{\"tasks\": 3}");
+  HttpRequest request;
+  ASSERT_EQ(parser.next(request), HttpParser::Status::kRequest);
+  EXPECT_EQ(request.body, "{\"tasks\": 3}");
+  ASSERT_NE(request.header("content-type"), nullptr);
+  EXPECT_EQ(*request.header("content-type"), "application/json");
+}
+
+// The same request must parse identically no matter where the reads split
+// it — down to one byte at a time, at every boundary.
+TEST(HttpParser, EveryByteBoundarySplitParsesIdentically) {
+  const std::string raw =
+      "POST /v1/campaigns/0/reports HTTP/1.1\r\nHost: t\r\n"
+      "Content-Length: 29\r\n\r\n"
+      "{\"account\":1,\"task\":2,\"value\"";
+  ASSERT_EQ(raw.size() - raw.find("{"), 29u);
+  for (std::size_t split = 1; split < raw.size(); ++split) {
+    HttpParser parser;
+    HttpRequest request;
+    parser.feed(std::string_view(raw).substr(0, split));
+    const HttpParser::Status first = parser.next(request);
+    if (first == HttpParser::Status::kRequest) {
+      FAIL() << "complete before all bytes arrived (split " << split << ")";
+    }
+    ASSERT_EQ(first, HttpParser::Status::kNeedMore) << "split " << split;
+    parser.feed(std::string_view(raw).substr(split));
+    ASSERT_EQ(parser.next(request), HttpParser::Status::kRequest)
+        << "split " << split;
+    EXPECT_EQ(request.target, "/v1/campaigns/0/reports");
+    EXPECT_EQ(request.body.size(), 29u);
+  }
+}
+
+TEST(HttpParser, DrainsPipelinedRequestsFromOneFeed) {
+  HttpParser parser;
+  parser.feed(
+      "GET /a HTTP/1.1\r\n\r\n"
+      "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /c HTTP/1.1\r\nConnection: close\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next(request), HttpParser::Status::kRequest);
+  EXPECT_EQ(request.target, "/a");
+  ASSERT_EQ(parser.next(request), HttpParser::Status::kRequest);
+  EXPECT_EQ(request.target, "/b");
+  EXPECT_EQ(request.body, "hi");
+  ASSERT_EQ(parser.next(request), HttpParser::Status::kRequest);
+  EXPECT_EQ(request.target, "/c");
+  EXPECT_FALSE(request.keep_alive);
+  EXPECT_EQ(parser.next(request), HttpParser::Status::kNeedMore);
+}
+
+TEST(HttpParser, KeepAliveSemanticsPerVersion) {
+  const auto parse_one = [](const std::string& raw) {
+    HttpParser parser;
+    parser.feed(raw);
+    HttpRequest request;
+    EXPECT_EQ(parser.next(request), HttpParser::Status::kRequest);
+    return request.keep_alive;
+  };
+  EXPECT_TRUE(parse_one("GET / HTTP/1.1\r\n\r\n"));
+  EXPECT_FALSE(parse_one("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  EXPECT_FALSE(parse_one("GET / HTTP/1.0\r\n\r\n"));
+  EXPECT_TRUE(parse_one("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+  // Token scan, not substring match, over a comma-separated header.
+  EXPECT_FALSE(
+      parse_one("GET / HTTP/1.1\r\nConnection: foo, Close\r\n\r\n"));
+}
+
+TEST(HttpParser, OversizedDeclaredBodyFailsEarlyWith413) {
+  HttpLimits limits;
+  limits.max_body_bytes = 64;
+  HttpParser parser(limits);
+  // The parser must refuse from the Content-Length alone — no body bytes
+  // are ever fed.
+  parser.feed("POST /x HTTP/1.1\r\nContent-Length: 65\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next(request), HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParser, HugeContentLengthDoesNotOverflow) {
+  HttpParser parser;
+  parser.feed(
+      "POST /x HTTP/1.1\r\nContent-Length: "
+      "99999999999999999999999999999999\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next(request), HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParser, OversizedRequestLineFailsWith414BeforeTermination) {
+  HttpLimits limits;
+  limits.max_request_line = 32;
+  HttpParser parser(limits);
+  // No newline yet: the overflow must be detected incrementally.
+  parser.feed("GET /" + std::string(64, 'a'));
+  HttpRequest request;
+  ASSERT_EQ(parser.next(request), HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 414);
+}
+
+TEST(HttpParser, OversizedHeaderBlockFailsWith431) {
+  HttpLimits limits;
+  limits.max_header_bytes = 64;
+  HttpParser parser(limits);
+  parser.feed("GET / HTTP/1.1\r\nX-A: " + std::string(80, 'b') + "\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next(request), HttpParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, RejectsProtocolViolations) {
+  const auto error_of = [](const std::string& raw) {
+    HttpParser parser;
+    parser.feed(raw);
+    HttpRequest request;
+    EXPECT_EQ(parser.next(request), HttpParser::Status::kError);
+    return parser.error_status();
+  };
+  EXPECT_EQ(error_of("GARBAGE\r\n\r\n"), 400);
+  EXPECT_EQ(error_of("GET  / HTTP/1.1\r\n\r\n"), 400);  // empty target
+  EXPECT_EQ(error_of("GET example.com HTTP/1.1\r\n\r\n"), 400);
+  EXPECT_EQ(error_of("GET / HTTP/2.0\r\n\r\n"), 505);
+  EXPECT_EQ(error_of("GET / HTTP/1.1\r\nBad Header\r\n\r\n"), 400);
+  EXPECT_EQ(
+      error_of("POST / HTTP/1.1\r\nContent-Length: 2\r\n"
+               "Content-Length: 3\r\n\r\n"),
+      400);
+  EXPECT_EQ(error_of("POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"), 400);
+  EXPECT_EQ(
+      error_of("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+      501);
+}
+
+TEST(HttpParser, ToleratesBareLfLineEndings) {
+  HttpParser parser;
+  parser.feed("GET /x HTTP/1.1\nHost: y\n\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.next(request), HttpParser::Status::kRequest);
+  EXPECT_EQ(request.target, "/x");
+  ASSERT_NE(request.header("host"), nullptr);
+  EXPECT_EQ(*request.header("host"), "y");
+}
+
+TEST(HttpResponse, SerializesWithContentLengthFraming) {
+  const std::string response =
+      http_response(202, "application/json", "{\"ok\":true}", true);
+  EXPECT_NE(response.find("HTTP/1.1 202 Accepted\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(response.substr(response.size() - 11), "{\"ok\":true}");
+}
+
+// --- JSON codec ------------------------------------------------------------
+
+TEST(Json, ParsesNestedDocument) {
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(
+      R"({"reports": [{"account": 1, "task": 2, "value": -7.25e1}], "ok": true, "note": null})",
+      doc));
+  const JsonValue* reports = doc.find("reports");
+  ASSERT_NE(reports, nullptr);
+  ASSERT_TRUE(reports->is_array());
+  ASSERT_EQ(reports->array.size(), 1u);
+  std::size_t account = 0;
+  ASSERT_TRUE(reports->array[0].find("account")->as_index(&account));
+  EXPECT_EQ(account, 1u);
+  EXPECT_DOUBLE_EQ(reports->array[0].find("value")->number, -72.5);
+  EXPECT_TRUE(doc.find("ok")->boolean);
+  EXPECT_TRUE(doc.find("note")->is_null());
+}
+
+TEST(Json, DecodesEscapesIncludingSurrogatePairs) {
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(R"("a\n\t\"\\\u00e9\ud83d\ude00")", doc));
+  EXPECT_EQ(doc.string, "a\n\t\"\\\xC3\xA9\xF0\x9F\x98\x80");
+}
+
+TEST(Json, RejectsMalformedDocumentsWithOffsets) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(json_parse("{\"a\": 1,}", doc, &error));
+  EXPECT_NE(error.find("offset"), std::string::npos);
+  EXPECT_FALSE(json_parse("[1, 2", doc, &error));
+  EXPECT_FALSE(json_parse("01", doc, &error));
+  EXPECT_FALSE(json_parse("1 trailing", doc, &error));
+  EXPECT_FALSE(json_parse("\"unterminated", doc, &error));
+  EXPECT_FALSE(json_parse("\"\\ud800\"", doc, &error));  // lone surrogate
+  EXPECT_FALSE(json_parse("nul", doc, &error));
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_FALSE(json_parse(deep, doc, &error));
+  EXPECT_NE(error.find("deep"), std::string::npos);
+}
+
+TEST(Json, AsIndexRejectsNonIndices) {
+  const auto index_of = [](const std::string& text, std::size_t* out) {
+    JsonValue doc;
+    EXPECT_TRUE(json_parse(text, doc));
+    return doc.as_index(out);
+  };
+  std::size_t out = 0;
+  EXPECT_TRUE(index_of("7", &out));
+  EXPECT_EQ(out, 7u);
+  EXPECT_FALSE(index_of("-1", &out));
+  EXPECT_FALSE(index_of("1.5", &out));
+  EXPECT_FALSE(index_of("1e300", &out));
+  EXPECT_FALSE(index_of("\"3\"", &out));
+}
+
+TEST(Json, WriterEscapesAndHandlesNonFinite) {
+  std::string out;
+  json_append_string(out, "a\"b\\c\nd\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+  out.clear();
+  json_append_number(out, std::nan(""));
+  EXPECT_EQ(out, "null");
+}
+
+// --- Handlers (no socket) ---------------------------------------------------
+
+HttpRequest make_request(std::string method, std::string target,
+                         std::string body = {}) {
+  HttpRequest request;
+  request.method = std::move(method);
+  request.target = std::move(target);
+  request.body = std::move(body);
+  return request;
+}
+
+TEST(Handlers, HealthzAndUnknownRoutes) {
+  pipeline::CampaignEngine engine;
+  EXPECT_EQ(handle_api_request(engine, make_request("GET", "/healthz")).status,
+            200);
+  EXPECT_EQ(handle_api_request(engine, make_request("POST", "/healthz")).status,
+            405);
+  EXPECT_EQ(handle_api_request(engine, make_request("GET", "/nope")).status,
+            404);
+  EXPECT_EQ(
+      handle_api_request(engine, make_request("GET", "/v1/campaigns/x/truths"))
+          .status,
+      404);
+}
+
+TEST(Handlers, MetricsEndpointServesPrometheusText) {
+  pipeline::CampaignEngine engine;
+  const HandlerResponse response =
+      handle_api_request(engine, make_request("GET", "/metrics"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(response.body.find("uptime_seconds"), std::string::npos);
+}
+
+TEST(Handlers, CampaignLifecycleOverRequests) {
+  pipeline::CampaignEngine engine;
+  const HandlerResponse created = handle_api_request(
+      engine, make_request("POST", "/v1/campaigns", "{\"tasks\": 4}"));
+  ASSERT_EQ(created.status, 201);
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(created.body, doc));
+  std::size_t id = 99;
+  ASSERT_TRUE(doc.find("campaign")->as_index(&id));
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(engine.campaign_task_count(0), 4u);
+
+  EXPECT_EQ(handle_api_request(
+                engine, make_request("POST", "/v1/campaigns", "{\"tasks\": 0}"))
+                .status,
+            400);
+  EXPECT_EQ(handle_api_request(
+                engine, make_request("POST", "/v1/campaigns", "not json"))
+                .status,
+            400);
+  // Query string is ignored for routing.
+  EXPECT_EQ(handle_api_request(
+                engine, make_request("GET", "/v1/campaigns/0/truths?x=1"))
+                .status,
+            200);
+}
+
+TEST(Handlers, InvalidBatchIsRejectedBeforeAnyShardWork) {
+  pipeline::CampaignEngine engine;
+  engine.add_campaign(4);
+  engine.start();
+  // Second report has an out-of-range task: the whole batch must bounce
+  // with 400 and NO report may reach a shard queue.
+  const HandlerResponse response = handle_api_request(
+      engine,
+      make_request("POST", "/v1/campaigns/0/reports",
+                   R"([{"account":0,"task":0,"value":1.0},)"
+                   R"({"account":1,"task":9,"value":1.0}])"));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_EQ(engine.counters().accepted, 0u);
+  EXPECT_EQ(engine.counters().submitted, 0u);
+
+  // Same for NaN-shaped values (JSON null) and malformed JSON.
+  EXPECT_EQ(handle_api_request(
+                engine, make_request("POST", "/v1/campaigns/0/reports",
+                                     R"([{"account":0,"task":0}])"))
+                .status,
+            400);
+  EXPECT_EQ(handle_api_request(engine,
+                               make_request("POST", "/v1/campaigns/0/reports",
+                                            "[{\"account\":"))
+                .status,
+            400);
+  EXPECT_EQ(engine.counters().accepted, 0u);
+  engine.stop();
+}
+
+TEST(Handlers, IngestAcceptsSingleObjectWrappedAndBareArrayForms) {
+  pipeline::CampaignEngine engine;
+  engine.add_campaign(4);
+  engine.start();
+  EXPECT_EQ(handle_api_request(
+                engine, make_request("POST", "/v1/campaigns/0/reports",
+                                     R"({"account":0,"task":0,"value":2.0})"))
+                .status,
+            202);
+  EXPECT_EQ(
+      handle_api_request(
+          engine,
+          make_request("POST", "/v1/campaigns/0/reports",
+                       R"({"reports":[{"account":1,"task":0,"value":4.0}]})"))
+          .status,
+      202);
+  EXPECT_EQ(handle_api_request(
+                engine, make_request("POST", "/v1/campaigns/0/reports",
+                                     R"([{"account":2,"task":1,"value":6.0}])"))
+                .status,
+            202);
+  engine.drain();
+  EXPECT_EQ(engine.counters().applied, 3u);
+  EXPECT_EQ(handle_api_request(
+                engine, make_request("POST", "/v1/campaigns/7/reports",
+                                     R"([{"account":0,"task":0,"value":1.0}])"))
+                .status,
+            404);
+  engine.stop();
+}
+
+TEST(Handlers, IngestOnStoppedEngineReturns503) {
+  pipeline::CampaignEngine engine;
+  engine.add_campaign(2);
+  const HandlerResponse response = handle_api_request(
+      engine, make_request("POST", "/v1/campaigns/0/reports",
+                           R"([{"account":0,"task":0,"value":1.0}])"));
+  EXPECT_EQ(response.status, 503);
+}
+
+TEST(Handlers, DrainRouteRecognitionAndBarrier) {
+  pipeline::CampaignEngine engine;
+  engine.add_campaign(2);
+  engine.start();
+  std::size_t campaign = 99;
+  EXPECT_TRUE(is_drain_request(
+      make_request("POST", "/v1/campaigns/0/drain"), &campaign));
+  EXPECT_EQ(campaign, 0u);
+  EXPECT_FALSE(is_drain_request(
+      make_request("GET", "/v1/campaigns/0/drain"), &campaign));
+  EXPECT_FALSE(is_drain_request(
+      make_request("POST", "/v1/campaigns/0/truths"), &campaign));
+
+  handle_api_request(engine,
+                     make_request("POST", "/v1/campaigns/0/reports",
+                                  R"([{"account":0,"task":0,"value":5.0},)"
+                                  R"({"account":1,"task":1,"value":3.0}])"));
+  const HandlerResponse drained = handle_drain(engine, 0);
+  EXPECT_EQ(drained.status, 200);
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(drained.body, doc));
+  EXPECT_DOUBLE_EQ(doc.find("applied_reports")->number, 2.0);
+  EXPECT_TRUE(doc.find("converged")->boolean);
+  EXPECT_EQ(handle_drain(engine, 9).status, 404);
+  engine.stop();
+}
+
+// --- try_submit status coverage ---------------------------------------------
+
+TEST(TrySubmit, FoldsValidationIntoStatuses) {
+  pipeline::CampaignEngine engine;
+  engine.add_campaign(3);
+  EXPECT_EQ(engine.try_submit({0, 0, 0, 1.0, 0.0}),
+            pipeline::SubmitStatus::kNotRunning);
+  engine.start();
+  EXPECT_EQ(engine.try_submit({0, 0, 0, 1.0, 0.0}),
+            pipeline::SubmitStatus::kAccepted);
+  EXPECT_EQ(engine.try_submit({5, 0, 0, 1.0, 0.0}),
+            pipeline::SubmitStatus::kUnknownCampaign);
+  EXPECT_EQ(engine.try_submit({0, 0, 7, 1.0, 0.0}),
+            pipeline::SubmitStatus::kInvalidTask);
+  EXPECT_EQ(engine.try_submit({0, 0, 0, std::nan(""), 0.0}),
+            pipeline::SubmitStatus::kInvalidValue);
+  engine.drain();
+  EXPECT_EQ(engine.counters().applied, 1u);
+  engine.stop();
+  EXPECT_EQ(engine.try_submit({0, 0, 0, 1.0, 0.0}),
+            pipeline::SubmitStatus::kNotRunning);
+}
+
+// --- End-to-end over a real socket -------------------------------------------
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+};
+
+// One round trip on an already-connected keep-alive socket.
+ClientResponse round_trip(int fd, const std::string& method,
+                          const std::string& target,
+                          const std::string& body = {}) {
+  std::string request = method + " " + target + " HTTP/1.1\r\nHost: t\r\n";
+  if (!body.empty()) {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n" + body;
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n =
+        ::write(fd, request.data() + off, request.size() - off);
+    if (n <= 0) return {};
+    off += static_cast<std::size_t>(n);
+  }
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const std::size_t header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      const std::size_t cl = buffer.find("Content-Length: ");
+      std::size_t body_len = 0;
+      if (cl != std::string::npos && cl < header_end) {
+        body_len = std::strtoul(buffer.c_str() + cl + 16, nullptr, 10);
+      }
+      if (buffer.size() >= header_end + 4 + body_len) {
+        ClientResponse response;
+        response.status = std::atoi(buffer.c_str() + 9);
+        response.body = buffer.substr(header_end + 4, body_len);
+        return response;
+      }
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return {};
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+TEST(CampaignServer, EphemeralPortStartupAndHealth) {
+  ServerOptions options;
+  options.port = 0;
+  CampaignServer server(options);
+  server.engine().add_campaign(2);
+  server.start();
+  ASSERT_NE(server.port(), 0);
+  const int fd = connect_loopback(server.port());
+  EXPECT_EQ(round_trip(fd, "GET", "/healthz").status, 200);
+  // Keep-alive: the same connection serves further requests.
+  EXPECT_EQ(round_trip(fd, "GET", "/v1/status").status, 200);
+  EXPECT_EQ(round_trip(fd, "GET", "/metrics").status, 200);
+  ::close(fd);
+  server.shutdown();
+}
+
+TEST(CampaignServer, ParserErrorsSurfaceAsStatusCodesOverTheWire) {
+  ServerOptions options;
+  options.port = 0;
+  options.http.max_body_bytes = 128;
+  CampaignServer server(options);
+  server.engine().add_campaign(2);
+  server.start();
+
+  int fd = connect_loopback(server.port());
+  const std::string big(256, 'x');
+  EXPECT_EQ(round_trip(fd, "POST", "/v1/campaigns/0/reports", big).status,
+            413);
+  ::close(fd);
+
+  // Malformed reports travel the full wire path to a 400 with no shard
+  // work behind them.
+  fd = connect_loopback(server.port());
+  EXPECT_EQ(round_trip(fd, "POST", "/v1/campaigns/0/reports", "{oops")
+                .status,
+            400);
+  EXPECT_EQ(server.engine().counters().accepted, 0u);
+  ::close(fd);
+  server.shutdown();
+}
+
+// Acceptance: reports ingested over HTTP followed by a drain match the
+// one-shot batch framework on identical data to 1e-9.
+TEST(CampaignServer, HttpIngestThenDrainMatchesBatchFramework) {
+  constexpr std::size_t kTasks = 12;
+  Rng rng(23);
+  std::vector<double> truth(kTasks);
+  for (auto& t : truth) t = rng.uniform(-90.0, -50.0);
+
+  core::FrameworkInput input;
+  input.task_count = kTasks;
+  auto add_account = [&](const std::vector<std::size_t>& tasks, double base,
+                         double sigma) {
+    core::AccountTrace trace;
+    std::vector<std::size_t> sorted = tasks;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t t : sorted) {
+      const double value =
+          (base == 0.0 ? truth[t] : base) + rng.normal(0.0, sigma);
+      trace.reports.push_back({t, value, 0.0});
+    }
+    input.accounts.push_back(std::move(trace));
+  };
+  for (int s = 0; s < 3; ++s) {
+    add_account({0, 1, 2, 3, 4, 5, 6, 7}, -50.0, 0.2);
+  }
+  for (int s = 0; s < 2; ++s) {
+    add_account({4, 5, 6, 7, 8, 9, 10, 11}, -55.0, 0.2);
+  }
+  for (std::size_t u = 0; u < 8; ++u) {
+    add_account({u % kTasks, (u + 3) % kTasks, (u + 6) % kTasks}, 0.0, 2.0);
+  }
+
+  struct Flat {
+    std::size_t account, task;
+    double value;
+  };
+  std::vector<Flat> reports;
+  for (std::size_t a = 0; a < input.accounts.size(); ++a) {
+    for (const auto& r : input.accounts[a].reports) {
+      reports.push_back({a, r.task, r.value});
+    }
+  }
+  std::shuffle(reports.begin(), reports.end(), rng);
+
+  ServerOptions options;
+  options.port = 0;
+  options.engine.shard_count = 2;
+  options.engine.max_batch = 16;
+  CampaignServer server(options);
+  server.engine().add_campaign(kTasks);
+  server.start();
+
+  // Ingest over the wire in small batches from one keep-alive connection.
+  const int fd = connect_loopback(server.port());
+  constexpr std::size_t kBatch = 7;
+  for (std::size_t begin = 0; begin < reports.size(); begin += kBatch) {
+    std::string body = "[";
+    for (std::size_t k = begin;
+         k < std::min(begin + kBatch, reports.size()); ++k) {
+      if (k > begin) body += ",";
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.17g", reports[k].value);
+      body += "{\"account\":" + std::to_string(reports[k].account) +
+              ",\"task\":" + std::to_string(reports[k].task) +
+              ",\"value\":" + value + "}";
+    }
+    body += "]";
+    ASSERT_EQ(round_trip(fd, "POST", "/v1/campaigns/0/reports", body).status,
+              202);
+  }
+
+  const ClientResponse drained =
+      round_trip(fd, "POST", "/v1/campaigns/0/drain");
+  ASSERT_EQ(drained.status, 200);
+  const ClientResponse truths =
+      round_trip(fd, "GET", "/v1/campaigns/0/truths");
+  ASSERT_EQ(truths.status, 200);
+  const ClientResponse groups =
+      round_trip(fd, "GET", "/v1/campaigns/0/groups");
+  ASSERT_EQ(groups.status, 200);
+  ::close(fd);
+  server.shutdown();
+
+  const core::FrameworkResult batch = core::run_framework(
+      input, core::AgTs(core::AgTsOptions{1.0}), core::FrameworkOptions{});
+
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(truths.body, doc));
+  const JsonValue* wire_truths = doc.find("truths");
+  ASSERT_NE(wire_truths, nullptr);
+  ASSERT_EQ(wire_truths->array.size(), batch.truths.size());
+  for (std::size_t j = 0; j < kTasks; ++j) {
+    ASSERT_FALSE(std::isnan(batch.truths[j]));
+    ASSERT_TRUE(wire_truths->array[j].is_number()) << "task " << j;
+    EXPECT_NEAR(wire_truths->array[j].number, batch.truths[j], 1e-9)
+        << "task " << j;
+  }
+  EXPECT_TRUE(doc.find("converged")->boolean);
+  EXPECT_DOUBLE_EQ(doc.find("applied_reports")->number,
+                   static_cast<double>(reports.size()));
+
+  JsonValue group_doc;
+  ASSERT_TRUE(json_parse(groups.body, group_doc));
+  const JsonValue* group_of = group_doc.find("group_of");
+  ASSERT_NE(group_of, nullptr);
+  ASSERT_EQ(group_of->array.size(), batch.grouping.labels().size());
+  for (std::size_t a = 0; a < group_of->array.size(); ++a) {
+    EXPECT_DOUBLE_EQ(group_of->array[a].number,
+                     static_cast<double>(batch.grouping.labels()[a]));
+  }
+}
+
+TEST(CampaignServer, LiveCampaignCreationOverTheWire) {
+  ServerOptions options;
+  options.port = 0;
+  CampaignServer server(options);
+  server.start();  // zero campaigns pre-registered
+
+  const int fd = connect_loopback(server.port());
+  const ClientResponse created =
+      round_trip(fd, "POST", "/v1/campaigns", "{\"tasks\": 3}");
+  ASSERT_EQ(created.status, 201);
+  EXPECT_EQ(round_trip(fd, "POST", "/v1/campaigns/0/reports",
+                       R"([{"account":0,"task":0,"value":4.0},)"
+                       R"({"account":1,"task":0,"value":6.0}])")
+                .status,
+            202);
+  ASSERT_EQ(round_trip(fd, "POST", "/v1/campaigns/0/drain").status, 200);
+  const ClientResponse truths =
+      round_trip(fd, "GET", "/v1/campaigns/0/truths");
+  ASSERT_EQ(truths.status, 200);
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(truths.body, doc));
+  EXPECT_DOUBLE_EQ(doc.find("truths")->array[0].number, 5.0);
+  ::close(fd);
+  server.shutdown();
+}
+
+TEST(CampaignServer, GracefulShutdownDrainsAcceptedReports) {
+  ServerOptions options;
+  options.port = 0;
+  CampaignServer server(options);
+  server.engine().add_campaign(2);
+  server.start();
+
+  const int fd = connect_loopback(server.port());
+  ASSERT_EQ(round_trip(fd, "POST", "/v1/campaigns/0/reports",
+                       R"([{"account":0,"task":0,"value":1.0},)"
+                       R"({"account":1,"task":1,"value":2.0}])")
+                .status,
+            202);
+  ::close(fd);
+
+  server.request_shutdown();  // what the SIGTERM handler calls
+  server.wait();
+  // The graceful path drained before stopping: accepted == applied and the
+  // final snapshot reflects every report.
+  const auto counters = server.engine().counters();
+  EXPECT_EQ(counters.accepted, 2u);
+  EXPECT_EQ(counters.applied, 2u);
+  EXPECT_TRUE(server.engine().snapshot(0)->converged);
+}
+
+}  // namespace
+}  // namespace sybiltd::server
