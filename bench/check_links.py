@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validate relative markdown links.
+
+Usage: check_links.py FILE [FILE...]
+
+For every `[text](target)` and reference-style `[text]: target` link in
+the given markdown files, checks that a *relative* target resolves to an
+existing file or directory (anchors and query strings are stripped;
+http/https/mailto and bare-anchor links are skipped).  Exits nonzero
+listing every dangling link, so renamed or deleted docs fail CI instead
+of rotting silently.  Only stdlib is used.
+"""
+
+import os
+import re
+import sys
+
+_INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFERENCE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def links_of(text):
+    for pattern in (_INLINE, _REFERENCE):
+        for match in pattern.finditer(text):
+            yield match.group(1)
+
+
+def check_file(path):
+    """Return a list of (link, resolved_path) that do not exist."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    # Fenced code blocks routinely contain `[...](...)`-shaped text that
+    # is not a link; drop them before scanning.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    base = os.path.dirname(os.path.abspath(path))
+    bad = []
+    for link in links_of(text):
+        if link.startswith(_SKIP_PREFIXES):
+            continue
+        target = link.split("#")[0].split("?")[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            bad.append((link, resolved))
+    return bad
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for path in argv[1:]:
+        checked += 1
+        for link, resolved in check_file(path):
+            print(f"{path}: dangling link {link!r} -> {resolved}",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"\n{failures} dangling link(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

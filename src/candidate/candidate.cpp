@@ -1,0 +1,33 @@
+#include "candidate/candidate.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace sybiltd::candidate {
+
+Mode resolve_mode(Mode configured) {
+  const char* env = std::getenv("SYBILTD_CANDIDATES");
+  if (env == nullptr) return configured;
+  const std::string_view value(env);
+  if (value.empty() || value == "auto") return configured;
+  if (value == "off" || value == "0" || value == "false") return Mode::kOff;
+  if (value == "on" || value == "1" || value == "true") return Mode::kOn;
+  SYBILTD_CHECK(false, "SYBILTD_CANDIDATES must be off, auto, or on");
+  return configured;
+}
+
+bool enabled(const Policy& policy, std::size_t n) {
+  switch (resolve_mode(policy.mode)) {
+    case Mode::kOff:
+      return false;
+    case Mode::kOn:
+      return true;
+    case Mode::kAuto:
+      return n >= policy.min_accounts;
+  }
+  return false;
+}
+
+}  // namespace sybiltd::candidate

@@ -1,0 +1,35 @@
+#include "candidate/features.h"
+
+namespace sybiltd::candidate {
+
+namespace {
+inline double sq(double v) { return v * v; }
+}  // namespace
+
+SeriesProfile profile_of(std::span<const double> series) {
+  SeriesProfile p;
+  p.length = series.size();
+  if (series.empty()) return p;
+  p.first = series.front();
+  p.last = series.back();
+  for (double v : series) {
+    if (v < p.lo) p.lo = v;
+    if (v > p.hi) p.hi = v;
+  }
+  return p;
+}
+
+double envelope_bound(std::span<const double> query,
+                      const SeriesProfile& candidate) {
+  double bound = 0.0;
+  for (double v : query) {
+    if (v > candidate.hi) {
+      bound += sq(v - candidate.hi);
+    } else if (v < candidate.lo) {
+      bound += sq(candidate.lo - v);
+    }
+  }
+  return bound;
+}
+
+}  // namespace sybiltd::candidate

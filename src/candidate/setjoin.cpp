@@ -1,0 +1,175 @@
+#include "candidate/setjoin.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "candidate/blocking.h"
+#include "common/error.h"
+#include "common/thread_pool.h"
+
+namespace sybiltd::candidate {
+
+namespace {
+
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t hash_task_set(const std::vector<std::uint32_t>& set) {
+  std::uint64_t h = 0x243f6a8885a308d3ull ^ set.size();
+  for (std::uint32_t t : set) h = splitmix64(h ^ t);
+  return h;
+}
+
+std::size_t intersection_size(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b) {
+  std::size_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> sparse_affinity_edges(
+    const std::vector<std::vector<std::uint32_t>>& task_sets,
+    const std::function<bool(std::size_t both, std::size_t alone)>& is_edge,
+    const SetJoinOptions& options, SetJoinStats* stats) {
+  const std::size_t n = task_sets.size();
+  SYBILTD_CHECK(n < (1ull << 32), "set join packs account ids into 32 bits");
+  SYBILTD_CHECK(options.bands > 0 && options.rows > 0,
+                "LSH needs at least one band of at least one row");
+  SetJoinStats local;
+  local.accounts = n;
+  std::vector<std::uint64_t> edges;
+
+  // Tier 1: collapse byte-identical task sets behind a representative.
+  struct Group {
+    std::uint32_t rep = 0;
+    std::vector<std::uint32_t> members;  // ascending; members[0] == rep
+  };
+  std::vector<Group> groups;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_hash;
+  by_hash.reserve(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    const std::uint64_t h = hash_task_set(task_sets[a]);
+    auto& bucket = by_hash[h];
+    bool merged = false;
+    for (std::uint32_t g : bucket) {
+      if (task_sets[groups[g].rep] == task_sets[a]) {
+        groups[g].members.push_back(static_cast<std::uint32_t>(a));
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      bucket.push_back(static_cast<std::uint32_t>(groups.size()));
+      groups.push_back(Group{static_cast<std::uint32_t>(a),
+                             {static_cast<std::uint32_t>(a)}});
+    }
+  }
+  std::vector<std::uint32_t> reps;  // non-empty distinct sets only
+  reps.reserve(groups.size());
+  for (const Group& g : groups) {
+    if (g.members.size() > 1) {
+      local.collapsed += g.members.size() - 1;
+      // Identical sets: T = |set|, L = 0 for every within-group pair; one
+      // check decides them all, and a star keeps the component connected.
+      if (is_edge(task_sets[g.rep].size(), 0)) {
+        for (std::size_t k = 1; k < g.members.size(); ++k) {
+          edges.push_back(pack_pair(g.rep, g.members[k]));
+        }
+      }
+    }
+    if (!task_sets[g.rep].empty()) reps.push_back(g.rep);
+  }
+  const std::size_t distinct = reps.size();
+  local.distinct_sets = distinct;
+
+  // Tier 2: candidate representative pairs (indices into `reps`).
+  std::vector<std::uint64_t> candidates;
+  if (distinct <= options.exact_distinct_cap) {
+    local.exhaustive = true;
+    candidates.reserve(ThreadPool::pair_count(distinct));
+    for (std::size_t i = 0; i < distinct; ++i) {
+      for (std::size_t j = i + 1; j < distinct; ++j) {
+        candidates.push_back(pack_pair(i, j));
+      }
+    }
+  } else {
+    // MinHash LSH, one band at a time so memory stays O(distinct).  Hash
+    // functions are indexed by (band, row) and derived from the fixed seed,
+    // so the candidate set is deterministic for a given input.
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> buckets;
+    for (std::size_t band = 0; band < options.bands; ++band) {
+      buckets.clear();
+      buckets.reserve(distinct);
+      for (std::size_t d = 0; d < distinct; ++d) {
+        const std::vector<std::uint32_t>& set = task_sets[reps[d]];
+        std::uint64_t key = 0x9ae16a3b2f90404full ^ band;
+        for (std::size_t r = 0; r < options.rows; ++r) {
+          const std::uint64_t k = band * options.rows + r;
+          std::uint64_t mh = std::numeric_limits<std::uint64_t>::max();
+          for (std::uint32_t t : set) {
+            mh = std::min(mh, splitmix64(options.seed ^ (k << 32) ^ t));
+          }
+          key = splitmix64(key ^ mh);
+        }
+        buckets[key].push_back(static_cast<std::uint32_t>(d));
+      }
+      for (const auto& [key, members] : buckets) {
+        (void)key;
+        for (std::size_t a = 0; a < members.size(); ++a) {
+          for (std::size_t b = a + 1; b < members.size(); ++b) {
+            candidates.push_back(pack_pair(members[a], members[b]));
+          }
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+  local.candidates = candidates.size();
+
+  // Tier 3: exact verification of every candidate (is_edge must be safe to
+  // call concurrently; each slot is owned by one task, the fold is serial).
+  std::vector<std::uint8_t> keep(candidates.size(), 0);
+  parallel_for(candidates.size(), [&](std::size_t k) {
+    const std::vector<std::uint32_t>& a = task_sets[reps[pair_first(candidates[k])]];
+    const std::vector<std::uint32_t>& b =
+        task_sets[reps[pair_second(candidates[k])]];
+    const std::size_t both = intersection_size(a, b);
+    const std::size_t alone = a.size() + b.size() - 2 * both;
+    if (is_edge(both, alone)) keep[k] = 1;
+  });
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    if (!keep[k]) continue;
+    const std::uint32_t u = reps[pair_first(candidates[k])];
+    const std::uint32_t v = reps[pair_second(candidates[k])];
+    edges.push_back(u < v ? pack_pair(u, v) : pack_pair(v, u));
+  }
+  std::sort(edges.begin(), edges.end());
+  local.edges = edges.size();
+  if (stats != nullptr) *stats = local;
+  return edges;
+}
+
+}  // namespace sybiltd::candidate

@@ -1,0 +1,72 @@
+// Sparse affinity-graph construction for AG-TS: find every account pair
+// whose Eq. (6) affinity clears the edge threshold without evaluating the
+// dense n x n matrix.
+//
+// Structure of the problem.  The affinity A(i,j) = (T - 2L)(T + L) / m is
+// positive only when T > 2L, i.e. when the intersection dominates the
+// symmetric difference; with the non-negative thresholds rho used in
+// practice, an edge therefore requires Jaccard similarity
+// J = T / (T + L) > 2/3.  That gap is what makes generate-then-verify
+// work: the generator only has to surface pairs that *could* be that
+// similar, and an exact verification of each candidate keeps the edge set
+// truthful.
+//
+// Three tiers, cheapest first:
+//   1. Signature collapse.  Accounts with byte-identical task sets (the
+//      Sybil signature: replayed schedules share the exact set) are grouped
+//      behind one representative; within such a group every pair has T = s,
+//      L = 0, so one affinity check decides all of them and a star of edges
+//      to the representative keeps the component intact.  This tier is
+//      deterministic and loses nothing.
+//   2. Candidate generation over *distinct* sets.  When the number of
+//      distinct sets is at most `exact_distinct_cap`, all representative
+//      pairs are verified — the join is exact by exhaustion.  Above the
+//      cap, MinHash LSH (`bands` bands of `rows` rows, deterministic
+//      seeds) surfaces pairs likely to have J > 2/3; a pair with Jaccard J
+//      is caught with probability 1 - (1 - J^rows)^bands (>= 0.999 at the
+//      default 32 x 4 for J just above 2/3, higher as J grows).  This is
+//      the one probabilistic tier, and only for pairs of *different* sets.
+//   3. Exact verification.  Every candidate pair's true T (sorted-vector
+//      intersection) and L decide the edge; no false positives ever.
+//
+// The caller supplies the edge predicate, and guarantees it implies
+// J > 2/3 (AG-TS checks rho >= 0 before taking this path; rho < 0 keeps
+// the dense evaluation, where the necessity argument breaks down).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sybiltd::candidate {
+
+struct SetJoinOptions {
+  std::size_t bands = 32;  // LSH bands ...
+  std::size_t rows = 4;    // ... of this many MinHash rows each
+  // Verify all representative pairs exhaustively at or below this many
+  // distinct task sets (exact join); LSH engages only above it.
+  std::size_t exact_distinct_cap = 4096;
+  std::uint64_t seed = 0x5359424c54445uLL;  // deterministic hash seed
+};
+
+struct SetJoinStats {
+  std::size_t accounts = 0;
+  std::size_t distinct_sets = 0;   // non-empty distinct task sets
+  std::size_t collapsed = 0;       // accounts folded behind a representative
+  bool exhaustive = false;         // tier 2 ran exact instead of LSH
+  std::size_t candidates = 0;      // representative pairs verified
+  std::size_t edges = 0;           // spanning edges emitted
+};
+
+// Spanning edges (packed (i << 32) | j with i < j, sorted ascending) of the
+// graph { (i,j) : is_edge(T_ij, L_ij) }.  "Spanning" means the connected
+// components match the full graph's; within-group stars and cross-
+// representative edges stand in for the cliques the dense path would build.
+// `task_sets[i]` must be sorted and duplicate-free.
+std::vector<std::uint64_t> sparse_affinity_edges(
+    const std::vector<std::vector<std::uint32_t>>& task_sets,
+    const std::function<bool(std::size_t both, std::size_t alone)>& is_edge,
+    const SetJoinOptions& options = {}, SetJoinStats* stats = nullptr);
+
+}  // namespace sybiltd::candidate

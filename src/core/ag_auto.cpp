@@ -1,38 +1,85 @@
 #include "core/ag_auto.h"
 
+#include <algorithm>
 #include <vector>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace sybiltd::core {
 
-double AgAuto::mean_task_set_similarity(const FrameworkInput& input) {
-  const std::size_t n = input.accounts.size();
+namespace {
+
+std::vector<std::vector<bool>> task_bitmaps(const FrameworkInput& input) {
   std::vector<std::vector<bool>> done(
-      n, std::vector<bool>(input.task_count, false));
-  for (std::size_t i = 0; i < n; ++i) {
+      input.accounts.size(), std::vector<bool>(input.task_count, false));
+  for (std::size_t i = 0; i < input.accounts.size(); ++i) {
     for (const auto& report : input.accounts[i].reports) {
       done[i][report.task] = true;
     }
   }
+  return done;
+}
+
+double jaccard_of(const std::vector<bool>& a, const std::vector<bool>& b,
+                  std::size_t task_count, bool* defined) {
+  std::size_t intersection = 0, set_union = 0;
+  for (std::size_t t = 0; t < task_count; ++t) {
+    if (a[t] && b[t]) ++intersection;
+    if (a[t] || b[t]) ++set_union;
+  }
+  *defined = set_union > 0;
+  return *defined ? static_cast<double>(intersection) /
+                        static_cast<double>(set_union)
+                  : 0.0;
+}
+
+}  // namespace
+
+double AgAuto::mean_task_set_similarity(const FrameworkInput& input) {
+  const std::size_t n = input.accounts.size();
+  const auto done = task_bitmaps(input);
   double total = 0.0;
   std::size_t pairs = 0;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      std::size_t intersection = 0, set_union = 0;
-      for (std::size_t t = 0; t < input.task_count; ++t) {
-        if (done[i][t] && done[j][t]) ++intersection;
-        if (done[i][t] || done[j][t]) ++set_union;
-      }
-      if (set_union == 0) continue;
-      total += static_cast<double>(intersection) /
-               static_cast<double>(set_union);
+      bool defined = false;
+      const double jaccard =
+          jaccard_of(done[i], done[j], input.task_count, &defined);
+      if (!defined) continue;
+      total += jaccard;
       ++pairs;
     }
   }
   return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
 }
 
+double AgAuto::mean_task_set_similarity_sampled(const FrameworkInput& input,
+                                                std::size_t max_pairs) {
+  SYBILTD_CHECK(max_pairs > 0, "need a positive sampling budget");
+  const std::size_t n = input.accounts.size();
+  const std::size_t pair_count = ThreadPool::pair_count(n);
+  const auto done = task_bitmaps(input);
+  // Stride 1 visits every pair in the same order as the exact mean, so the
+  // two are bit-identical whenever the budget covers the campaign.
+  const std::size_t stride = (pair_count + max_pairs - 1) / std::max<std::size_t>(max_pairs, 1);
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t k = 0; k < pair_count; k += std::max<std::size_t>(stride, 1)) {
+    const auto [i, j] = ThreadPool::unrank_pair(n, k);
+    bool defined = false;
+    const double jaccard =
+        jaccard_of(done[i], done[j], input.task_count, &defined);
+    if (!defined) continue;
+    total += jaccard;
+    ++pairs;
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
 AccountGrouping AgAuto::group(const FrameworkInput& input) const {
-  const double similarity = mean_task_set_similarity(input);
+  const double similarity = mean_task_set_similarity_sampled(
+      input, options_.similarity_sample_pairs);
   if (similarity >= options_.similarity_threshold) {
     return AgTr(options_.ag_tr).group(input);
   }

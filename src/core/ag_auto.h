@@ -20,6 +20,11 @@ struct AgAutoOptions {
   // Above this mean pairwise Jaccard similarity of task sets, task sets are
   // "similar" and AG-TR is used; below it AG-TS.
   double similarity_threshold = 0.6;
+  // Pair budget for the dispatch statistic.  Campaigns whose pair count
+  // fits the budget get the exact mean (bit-identical to the historical
+  // behavior); larger ones get the deterministic stride sample, keeping
+  // dispatch O(max_pairs · m) instead of O(n² · m).
+  std::size_t similarity_sample_pairs = 100000;
   AgTsOptions ag_ts;
   AgTrOptions ag_tr;
 };
@@ -33,6 +38,14 @@ class AgAuto final : public AccountGrouper {
   // Mean pairwise Jaccard similarity of the accounts' task sets (0 when
   // fewer than two accounts report anything).
   static double mean_task_set_similarity(const FrameworkInput& input);
+
+  // Deterministic stride-sampled estimate over at most `max_pairs`
+  // unordered pairs — what group() dispatches on once the campaign is
+  // large enough for the candidate policy, where the exact O(n²·m) mean
+  // would dwarf the grouping itself.  Equal to the exact mean whenever
+  // pair_count(n) <= max_pairs.
+  static double mean_task_set_similarity_sampled(const FrameworkInput& input,
+                                                 std::size_t max_pairs);
 
  private:
   AgAutoOptions options_;

@@ -1,8 +1,11 @@
 #include "core/ag_tr.h"
 
-#include <atomic>
+#include <cstdint>
 #include <limits>
 
+#include "candidate/blocking.h"
+#include "candidate/cascade.h"
+#include "candidate/features.h"
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "dtw/fastdtw.h"
@@ -15,41 +18,6 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-inline double sq(double v) { return v * v; }
-
-// Whole-series min/max, cached per account so the degenerate LB_Keogh
-// envelope bound is one pass per pair instead of three.
-struct Envelope {
-  double lo = kInf;
-  double hi = -kInf;
-};
-
-Envelope envelope_of(const std::vector<double>& series) {
-  Envelope e;
-  for (double v : series) {
-    e.lo = std::min(e.lo, v);
-    e.hi = std::max(e.hi, v);
-  }
-  return e;
-}
-
-// LB_Keogh with the degenerate whole-series envelope: every warping path
-// aligns each element of `query` with *some* element of `candidate`, so
-// the squared distance to [lo, hi] can never be beaten.  Valid for any
-// pair of lengths and with or without a band, unlike the strict LB_Keogh.
-double envelope_bound(const std::vector<double>& query,
-                      const Envelope& candidate) {
-  double bound = 0.0;
-  for (double v : query) {
-    if (v > candidate.hi) {
-      bound += sq(v - candidate.hi);
-    } else if (v < candidate.lo) {
-      bound += sq(candidate.lo - v);
-    }
-  }
-  return bound;
-}
-
 // Row-major rank of the unordered pair (i, j), i < j, in [0, n*(n-1)/2).
 inline std::size_t pair_rank(std::size_t n, std::size_t i, std::size_t j) {
   return i * n - i * (i + 1) / 2 + (j - i - 1);
@@ -57,12 +25,26 @@ inline std::size_t pair_rank(std::size_t n, std::size_t i, std::size_t j) {
 
 // Registry mirror of AgTrStats, accumulated across every grouping pass so
 // pruning effectiveness shows up in obs::snapshot() even when callers do
-// not ask for per-call stats.
+// not ask for per-call stats.  The cascade stages get their own counters so
+// the prune funnel is visible end to end.
 struct AgTrMetrics {
   obs::Counter& pairs = obs::MetricsRegistry::global().counter(
       "agtr.pairs", "unordered account pairs considered by AG-TR");
+  obs::Counter& blocked = obs::MetricsRegistry::global().counter(
+      "agtr.blocked", "pairs excluded by endpoint-grid blocking");
+  obs::Counter& candidates = obs::MetricsRegistry::global().counter(
+      "agtr.candidates", "pairs that reached the lower-bound cascade");
   obs::Counter& lb_pruned = obs::MetricsRegistry::global().counter(
       "agtr.lb_pruned", "pairs discarded by the DTW lower bound");
+  obs::Counter& endpoint_pruned = obs::MetricsRegistry::global().counter(
+      "agtr.cascade.endpoint_pruned",
+      "cascade prunes at the O(1) endpoint stage");
+  obs::Counter& envelope_pruned = obs::MetricsRegistry::global().counter(
+      "agtr.cascade.envelope_pruned",
+      "cascade prunes at the whole-series envelope stage");
+  obs::Counter& keogh_pruned = obs::MetricsRegistry::global().counter(
+      "agtr.cascade.keogh_pruned",
+      "cascade prunes at the strict LB_Keogh stage");
   obs::Counter& task_abandoned = obs::MetricsRegistry::global().counter(
       "agtr.task_abandoned", "pairs abandoned after the task-series DTW");
   obs::Counter& exact_pairs = obs::MetricsRegistry::global().counter(
@@ -73,6 +55,10 @@ struct AgTrMetrics {
     return metrics;
   }
 };
+
+// Outcome sentinel for pairs the evaluation never touched (empty series in
+// the all-pairs path); distinct from every CascadeOutcome value.
+constexpr std::uint8_t kSkipped = 0xff;
 
 }  // namespace
 
@@ -149,23 +135,39 @@ AccountGrouping AgTr::group_with_stats(const FrameworkInput& input,
   const double phi = options_.phi;
 
   // The lower bounds hold for the accumulated squared cost; Eq. (7)'s
-  // path-length normalization breaks them, so that mode runs unpruned.
+  // path-length normalization breaks them, so that mode runs unpruned and
+  // without candidate generation (kAuto degrades silently; explicit kOn is
+  // a configuration error).
   SYBILTD_CHECK(options_.mode == DtwMode::kTotalCost ||
                     !options_.prune_with_lower_bound,
                 "lower-bound pruning requires total-cost DTW mode");
+  SYBILTD_CHECK(
+      options_.mode == DtwMode::kTotalCost ||
+          candidate::resolve_mode(options_.candidates.mode) !=
+              candidate::Mode::kOn,
+      "candidate generation requires total-cost DTW mode");
+  const bool use_candidates = options_.mode == DtwMode::kTotalCost &&
+                              candidate::enabled(options_.candidates, n);
 
   std::vector<std::vector<double>> xs(n), ys(n);
   for (std::size_t i = 0; i < n; ++i) {
     xs[i] = task_series(input.accounts[i]);
     ys[i] = timestamp_series(input.accounts[i]);
   }
-  std::vector<Envelope> xenv(n), yenv(n);
-  if (options_.prune_with_lower_bound) {
-    for (std::size_t i = 0; i < n; ++i) {
-      xenv[i] = envelope_of(xs[i]);
-      yenv[i] = envelope_of(ys[i]);
-    }
+  const bool need_fingerprints =
+      use_candidates || options_.prune_with_lower_bound;
+  std::vector<candidate::TrajectoryFingerprint> fps(
+      need_fingerprints ? n : 0);
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    fps[i].task = candidate::profile_of(xs[i]);
+    fps[i].time = candidate::profile_of(ys[i]);
   }
+  candidate::CascadeOptions cascade_options;
+  cascade_options.phi = phi;
+  cascade_options.dtw = options_.dtw;
+  cascade_options.approximate = options_.approximate;
+  cascade_options.fast_dtw = options_.fast_dtw;
+  const candidate::LbCascade cascade(xs, ys, fps, cascade_options);
 
   auto pair_dtw = [&](const std::vector<double>& a,
                       const std::vector<double>& b) {
@@ -176,68 +178,98 @@ AccountGrouping AgTr::group_with_stats(const FrameworkInput& input,
     }
     return dtw_value(a, b);
   };
-  // Lower bound on one DTW term: endpoint alignment plus the tightest
-  // applicable LB_Keogh flavor.  The strict LB_Keogh needs equal lengths
-  // and bounds the band-constrained cost, so it only applies when a band
-  // is configured; the envelope bound applies always.
-  auto term_bound = [&](const std::vector<double>& a,
-                        const std::vector<double>& b, const Envelope& ea,
-                        const Envelope& eb) {
-    double bound = dtw::endpoint_lower_bound(a, b);
-    bound = std::max(bound, envelope_bound(a, eb));
-    bound = std::max(bound, envelope_bound(b, ea));
-    if (options_.dtw.band > 0 && a.size() == b.size()) {
-      bound = std::max(bound, dtw::lb_keogh(a, b, options_.dtw.band));
-      bound = std::max(bound, dtw::lb_keogh(b, a, options_.dtw.band));
-    }
-    return bound;
-  };
-
-  // One dissimilarity per unordered pair, written to a slot owned by the
-  // pair; kInf marks "no edge" (excluded, pruned, or >= phi).  The edge
-  // pass below is serial and in canonical order, so the graph — and the
-  // grouping — is identical at every thread count.
-  std::vector<double> dissim(ThreadPool::pair_count(n), kInf);
-  std::atomic<std::size_t> lb_pruned{0};
-  std::atomic<std::size_t> task_abandoned{0};
-  std::atomic<std::size_t> exact_pairs{0};
-  parallel_pairwise(n, [&](std::size_t i, std::size_t j) {
-    if (xs[i].empty() || xs[j].empty()) return;
-    if (options_.prune_with_lower_bound) {
-      const double bound = term_bound(xs[i], xs[j], xenv[i], xenv[j]) +
-                           term_bound(ys[i], ys[j], yenv[i], yenv[j]);
-      if (bound >= phi) {
-        lb_pruned.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-    }
-    const double task_d = pair_dtw(xs[i], xs[j]);
-    if (task_d >= phi) {  // the time term can only add
-      task_abandoned.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    exact_pairs.fetch_add(1, std::memory_order_relaxed);
-    dissim[pair_rank(n, i, j)] = task_d + pair_dtw(ys[i], ys[j]);
-  });
 
   graph::UndirectedGraph g(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double d = dissim[pair_rank(n, i, j)];
-      if (d < phi) g.add_edge(i, j, d);
+  candidate::CascadeStats cascade_stats;
+  AgTrStats local;
+  local.pairs = ThreadPool::pair_count(n);
+
+  if (use_candidates) {
+    // Generate-then-verify: the endpoint grid emits the only pairs that
+    // could have D < phi, in the same lexicographic (i, j) order the
+    // all-pairs loop visits — so the serial edge fold below builds the
+    // identical graph, and the grouping is bit-identical to exact mode.
+    candidate::BlockingStats blocking;
+    const std::vector<std::uint64_t> pairs =
+        candidate::endpoint_grid_candidates(fps, phi, &blocking);
+    local.candidates = pairs.size();
+    local.blocked = local.pairs - pairs.size();
+    std::vector<double> dissim(pairs.size(), kInf);
+    std::vector<std::uint8_t> outcome(pairs.size(), kSkipped);
+    parallel_for(pairs.size(), [&](std::size_t k) {
+      outcome[k] = static_cast<std::uint8_t>(
+          cascade.evaluate(candidate::pair_first(pairs[k]),
+                           candidate::pair_second(pairs[k]), &dissim[k]));
+    });
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      cascade_stats.count(static_cast<candidate::CascadeOutcome>(outcome[k]));
+      if (outcome[k] ==
+              static_cast<std::uint8_t>(candidate::CascadeOutcome::kExact) &&
+          dissim[k] < phi) {
+        g.add_edge(candidate::pair_first(pairs[k]),
+                   candidate::pair_second(pairs[k]), dissim[k]);
+      }
+    }
+  } else {
+    // All-pairs evaluation (the pre-candidate code path).  One
+    // dissimilarity per unordered pair, written to a slot owned by the
+    // pair; kInf marks "no edge" (excluded, pruned, or >= phi).  The edge
+    // pass below is serial and in canonical order, so the graph — and the
+    // grouping — is identical at every thread count.
+    local.candidates = local.pairs;
+    std::vector<double> dissim(ThreadPool::pair_count(n), kInf);
+    std::vector<std::uint8_t> outcome(ThreadPool::pair_count(n), kSkipped);
+    parallel_pairwise(n, [&](std::size_t i, std::size_t j) {
+      const std::size_t rank = pair_rank(n, i, j);
+      if (options_.prune_with_lower_bound) {
+        // The staged cascade takes the same max-of-bounds decisions as the
+        // original single-shot prefilter, just cheapest-first.
+        outcome[rank] = static_cast<std::uint8_t>(
+            cascade.evaluate(i, j, &dissim[rank]));
+        return;
+      }
+      if (xs[i].empty() || xs[j].empty()) return;
+      const double task_d = pair_dtw(xs[i], xs[j]);
+      if (task_d >= phi) {  // the time term can only add
+        outcome[rank] = static_cast<std::uint8_t>(
+            candidate::CascadeOutcome::kTaskAbandoned);
+        return;
+      }
+      outcome[rank] =
+          static_cast<std::uint8_t>(candidate::CascadeOutcome::kExact);
+      dissim[rank] = task_d + pair_dtw(ys[i], ys[j]);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const std::size_t rank = pair_rank(n, i, j);
+        if (outcome[rank] != kSkipped) {
+          cascade_stats.count(
+              static_cast<candidate::CascadeOutcome>(outcome[rank]));
+        }
+        const double d = dissim[rank];
+        if (d < phi) g.add_edge(i, j, d);
+      }
     }
   }
+
+  local.lb_pruned = cascade_stats.lb_pruned();
+  local.endpoint_pruned = cascade_stats.endpoint_pruned;
+  local.envelope_pruned = cascade_stats.envelope_pruned;
+  local.keogh_pruned = cascade_stats.keogh_pruned;
+  local.task_abandoned = cascade_stats.task_abandoned;
+  local.exact_pairs = cascade_stats.exact_pairs;
+
   auto& metrics = AgTrMetrics::get();
-  metrics.pairs.inc(ThreadPool::pair_count(n));
-  metrics.lb_pruned.inc(lb_pruned.load(std::memory_order_relaxed));
-  metrics.task_abandoned.inc(task_abandoned.load(std::memory_order_relaxed));
-  metrics.exact_pairs.inc(exact_pairs.load(std::memory_order_relaxed));
-  if (stats != nullptr) {
-    stats->pairs = ThreadPool::pair_count(n);
-    stats->lb_pruned = lb_pruned.load(std::memory_order_relaxed);
-    stats->task_abandoned = task_abandoned.load(std::memory_order_relaxed);
-    stats->exact_pairs = exact_pairs.load(std::memory_order_relaxed);
-  }
+  metrics.pairs.inc(local.pairs);
+  metrics.blocked.inc(local.blocked);
+  metrics.candidates.inc(local.candidates);
+  metrics.lb_pruned.inc(local.lb_pruned);
+  metrics.endpoint_pruned.inc(local.endpoint_pruned);
+  metrics.envelope_pruned.inc(local.envelope_pruned);
+  metrics.keogh_pruned.inc(local.keogh_pruned);
+  metrics.task_abandoned.inc(local.task_abandoned);
+  metrics.exact_pairs.inc(local.exact_pairs);
+  if (stats != nullptr) *stats = local;
   return AccountGrouping(g.connected_components(), n);
 }
 

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "candidate/candidate.h"
 #include "core/grouping.h"
 #include "dtw/dtw.h"
 #include "dtw/fastdtw.h"
@@ -43,12 +44,29 @@ struct AgTrOptions {
   // Use FastDTW instead of the exact DP (approximate; total-cost mode).
   bool approximate = false;
   dtw::FastDtwOptions fast_dtw;
+  // Generate-then-verify candidate pairs (src/candidate/): an endpoint-grid
+  // blocking pass emits only pairs that could have D < phi, and the
+  // lower-bound cascade filters those before exact DTW.  Provably the same
+  // edge set — and the same grouping, bit for bit — as the all-pairs path
+  // in total-cost mode (see docs/GROUPING.md).  kAuto engages at
+  // min_accounts; SYBILTD_CANDIDATES=off|auto|on overrides.
+  candidate::Policy candidates;
 };
 
 // Counters from one group() run, for the scalability/parallel benches.
+// The funnel reads top to bottom: of `pairs` total, `blocked` never left
+// the blocking grid, `candidates` reached the cascade, the `*_pruned`
+// stages discarded their share, `task_abandoned` stopped after one DP, and
+// `exact_pairs` ran both.  With candidates off, candidates == pairs and the
+// per-stage counters are only populated when the prefilter runs.
 struct AgTrStats {
   std::size_t pairs = 0;           // unordered pairs considered
+  std::size_t blocked = 0;         // excluded by endpoint-grid blocking
+  std::size_t candidates = 0;      // pairs evaluated by the cascade
   std::size_t lb_pruned = 0;       // excluded by the lower-bound prefilter
+  std::size_t endpoint_pruned = 0;  //   ... at the O(1) endpoint stage
+  std::size_t envelope_pruned = 0;  //   ... at the envelope stage
+  std::size_t keogh_pruned = 0;     //   ... at the strict LB_Keogh stage
   std::size_t task_abandoned = 0;  // excluded after the task-series DTW alone
   std::size_t exact_pairs = 0;     // pairs that ran both DTW evaluations
 };

@@ -6,6 +6,16 @@
 // either did alone) and m is the task count.  Accounts are nodes of a graph
 // with edges where A > rho; connected components become groups.
 //
+// Two evaluation strategies produce that graph:
+//   * dense — the n x n affinity matrix (exposed for the Fig. 3 bench), the
+//     paper-verbatim path and the only valid one for rho < 0;
+//   * sparse (candidate::sparse_affinity_edges) — for the non-negative
+//     thresholds used in practice an edge needs T > 2L, i.e. Jaccard
+//     similarity above 2/3, so identical-set collapse + MinHash LSH +
+//     exact verification finds the same components without ever
+//     materializing a dense matrix.  Engaged per the candidate policy
+//     (kAuto at min_accounts; SYBILTD_CANDIDATES overrides).
+//
 // NOTE on the paper's worked example (Table III / Fig. 3): by Eq. (6) as
 // printed, A(1,4') = A(1,3) = (3-2)(3+1)/4 = 1 — the two pairs are
 // indistinguishable from task sets alone (both share 3 tasks with one
@@ -18,12 +28,26 @@
 
 #include <vector>
 
+#include "candidate/candidate.h"
+#include "candidate/setjoin.h"
 #include "core/grouping.h"
 
 namespace sybiltd::core {
 
 struct AgTsOptions {
   double rho = 1.0;  // edge threshold (paper's example value)
+  // Sparse-path policy; the dense matrix is only ever built when this says
+  // off, the campaign is small, or rho < 0 (where the sparse necessity
+  // argument J > 2/3 does not hold).
+  candidate::Policy candidates;
+  candidate::SetJoinOptions set_join;
+};
+
+// Counters from one group() run, for the scalability bench.
+struct AgTsStats {
+  std::size_t pairs = 0;  // unordered account pairs
+  bool sparse = false;    // sparse set-join path taken
+  candidate::SetJoinStats join;  // populated on the sparse path
 };
 
 class AgTs final : public AccountGrouper {
@@ -32,6 +56,10 @@ class AgTs final : public AccountGrouper {
   std::string name() const override { return "AG-TS"; }
   AccountGrouping group(const FrameworkInput& input) const override;
 
+  // group() plus sparse-path counters (stats may be null).
+  AccountGrouping group_with_stats(const FrameworkInput& input,
+                                   AgTsStats* stats) const;
+
   // The full affinity matrix (diagonal = 0), exposed for the Fig. 3 bench
   // and for tests.
   static std::vector<std::vector<double>> affinity_matrix(
@@ -39,6 +67,10 @@ class AgTs final : public AccountGrouper {
   // Eq. (6) for one pair.
   static double affinity(std::size_t both, std::size_t alone,
                          std::size_t task_count);
+
+  // Sorted duplicate-free task sets per account, the sparse path's input.
+  static std::vector<std::vector<std::uint32_t>> task_sets(
+      const FrameworkInput& input);
 
  private:
   AgTsOptions options_;

@@ -1,0 +1,82 @@
+#include "graph/incremental.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sybiltd::graph {
+
+void IncrementalComponents::resize(std::size_t n) {
+  SYBILTD_CHECK(n >= adjacency_.size(),
+                "incremental components cannot shrink");
+  adjacency_.resize(n);
+  uf_.grow(n);  // new nodes are isolated: existing merges stay valid
+}
+
+void IncrementalComponents::set_neighbors(
+    std::size_t u, const std::vector<std::uint32_t>& neighbors) {
+  const std::size_t n = adjacency_.size();
+  SYBILTD_CHECK(u < n, "node out of range");
+  for (std::size_t k = 0; k < neighbors.size(); ++k) {
+    SYBILTD_CHECK(neighbors[k] < n && neighbors[k] != u,
+                  "neighbor out of range or self-loop");
+    SYBILTD_CHECK(k == 0 || neighbors[k - 1] < neighbors[k],
+                  "neighbors must be strictly ascending");
+  }
+  std::vector<std::uint32_t>& old = adjacency_[u];
+  const std::uint32_t uu = static_cast<std::uint32_t>(u);
+  // Diff the two sorted lists; mirror the changes into the neighbors' rows.
+  std::size_t i = 0, j = 0;
+  while (i < old.size() || j < neighbors.size()) {
+    if (j == neighbors.size() ||
+        (i < old.size() && old[i] < neighbors[j])) {
+      // Removed edge (u, old[i]): a split may have happened — the
+      // union-find can only be trusted again after a rebuild.
+      std::vector<std::uint32_t>& row = adjacency_[old[i]];
+      row.erase(std::lower_bound(row.begin(), row.end(), uu));
+      uf_stale_ = true;
+      ++i;
+    } else if (i == old.size() || neighbors[j] < old[i]) {
+      // Added edge (u, neighbors[j]): merging is safe incrementally.
+      std::vector<std::uint32_t>& row = adjacency_[neighbors[j]];
+      row.insert(std::lower_bound(row.begin(), row.end(), uu), uu);
+      if (!uf_stale_) uf_.unite(u, neighbors[j]);
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  adjacency_[u] = neighbors;
+}
+
+void IncrementalComponents::rebuild() {
+  uf_ = UnionFind(adjacency_.size());
+  for (std::size_t u = 0; u < adjacency_.size(); ++u) {
+    for (std::uint32_t v : adjacency_[u]) {
+      if (v > u) uf_.unite(u, v);
+    }
+  }
+  uf_stale_ = false;
+  ++rebuilds_;
+}
+
+std::vector<std::size_t> IncrementalComponents::labels() {
+  if (uf_stale_) {
+    rebuild();
+  } else {
+    ++reuses_;
+  }
+  return uf_.labels();
+}
+
+std::size_t IncrementalComponents::component_count() {
+  if (uf_stale_) {
+    rebuild();
+  } else {
+    ++reuses_;
+  }
+  return uf_.set_count();
+}
+
+}  // namespace sybiltd::graph

@@ -12,6 +12,15 @@ UnionFind::UnionFind(std::size_t n)
   std::iota(parent_.begin(), parent_.end(), std::size_t{0});
 }
 
+void UnionFind::grow(std::size_t n) {
+  SYBILTD_CHECK(n >= parent_.size(), "union-find cannot shrink");
+  while (parent_.size() < n) {
+    parent_.push_back(parent_.size());
+    size_.push_back(1);
+    ++set_count_;
+  }
+}
+
 std::size_t UnionFind::find(std::size_t x) {
   SYBILTD_CHECK(x < parent_.size(), "union-find element out of range");
   // Path halving.

@@ -12,6 +12,10 @@ class UnionFind {
  public:
   explicit UnionFind(std::size_t n);
 
+  // Append isolated elements until there are n (shrinking is rejected).
+  void grow(std::size_t n);
+  std::size_t element_count() const { return parent_.size(); }
+
   std::size_t find(std::size_t x);
   // Returns true if the sets were distinct (i.e. a merge happened).
   bool unite(std::size_t a, std::size_t b);

@@ -35,6 +35,14 @@ struct PipelineMetrics {
       "pipeline.batches", "micro-batches processed");
   obs::Counter& regroups = obs::MetricsRegistry::global().counter(
       "pipeline.regroups", "incremental grouping rebuilds");
+  obs::Counter& regroups_incremental = obs::MetricsRegistry::global().counter(
+      "pipeline.regroups.incremental",
+      "regroups that only touched dirty affinity rows");
+  obs::Counter& regroups_full = obs::MetricsRegistry::global().counter(
+      "pipeline.regroups.full", "regroups that rebuilt from every pair");
+  obs::Counter& regroup_uf_rebuilds = obs::MetricsRegistry::global().counter(
+      "pipeline.regroups.uf_rebuilds",
+      "union-find rebuilds forced by edge removals on the incremental path");
   obs::Counter& evictions = obs::MetricsRegistry::global().counter(
       "pipeline.evictions", "observations decayed out");
   obs::Counter& publications = obs::MetricsRegistry::global().counter(
@@ -77,6 +85,16 @@ std::uint32_t& CampaignState::pair_alone(std::size_t i, std::size_t j) {
   return i > j ? alone_[i][j] : alone_[j][i];
 }
 
+void CampaignState::mark_dirty(std::size_t account) {
+  if (dirty_account_.size() < observations_.size()) {
+    dirty_account_.resize(observations_.size(), 0);
+  }
+  if (!dirty_account_[account]) {
+    dirty_account_[account] = 1;
+    dirty_list_.push_back(static_cast<std::uint32_t>(account));
+  }
+}
+
 void CampaignState::ensure_account(std::size_t account) {
   while (observations_.size() <= account) {
     const std::size_t n = observations_.size();
@@ -90,6 +108,7 @@ void CampaignState::ensure_account(std::size_t account) {
     alone_.push_back(std::move(alone_row));
     tasks_of_account_.push_back(0);
     grouping_dirty_ = true;  // a new singleton changes the partition
+    mark_dirty(n);
   }
 }
 
@@ -109,6 +128,7 @@ void CampaignState::add_membership(std::size_t account, std::size_t task) {
     }
   }
   grouping_dirty_ = true;
+  mark_dirty(account);
 }
 
 void CampaignState::remove_membership(std::size_t account, std::size_t task) {
@@ -125,6 +145,7 @@ void CampaignState::remove_membership(std::size_t account, std::size_t task) {
     }
   }
   grouping_dirty_ = true;
+  mark_dirty(account);
 }
 
 void CampaignState::apply(const Report& report) {
@@ -175,8 +196,38 @@ const core::AccountGrouping& CampaignState::grouping() {
   span.arg("campaign", static_cast<double>(campaign_));
   const std::size_t n = observations_.size();
   span.arg("accounts", static_cast<double>(n));
+  auto& metrics = PipelineMetrics::get();
   if (n == 0) {
     grouping_ = core::AccountGrouping::singletons(0);
+  } else if (candidate::enabled(options_->candidates, n)) {
+    // Lazy path: only accounts whose task set changed since the last
+    // incremental regroup can have different affinity edges (a report only
+    // mutates its own account's pair counts), so recomputing those rows
+    // and handing them to IncrementalComponents reproduces the full
+    // rebuild's partition — and its canonical labels — in O(dirty · n).
+    span.arg("dirty", static_cast<double>(dirty_list_.size()));
+    components_.resize(n);
+    std::sort(dirty_list_.begin(), dirty_list_.end());
+    std::vector<std::uint32_t> neighbors;
+    for (std::uint32_t a : dirty_list_) {
+      neighbors.clear();
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == a) continue;
+        const std::uint32_t both = a > j ? both_[a][j] : both_[j][a];
+        const std::uint32_t alone = a > j ? alone_[a][j] : alone_[j][a];
+        if (core::AgTs::affinity(both, alone, task_count_) > options_->rho) {
+          neighbors.push_back(static_cast<std::uint32_t>(j));
+        }
+      }
+      components_.set_neighbors(a, neighbors);
+      dirty_account_[a] = 0;
+    }
+    dirty_list_.clear();
+    grouping_ = core::AccountGrouping::from_labels(components_.labels());
+    metrics.regroups_incremental.inc();
+    const std::uint64_t rebuilds = components_.rebuilds();
+    metrics.regroup_uf_rebuilds.inc(rebuilds - component_rebuilds_seen_);
+    component_rebuilds_seen_ = rebuilds;
   } else {
     graph::UnionFind components(n);
     for (std::size_t i = 1; i < n; ++i) {
@@ -188,6 +239,7 @@ const core::AccountGrouping& CampaignState::grouping() {
       }
     }
     grouping_ = core::AccountGrouping::from_labels(components.labels());
+    metrics.regroups_full.inc();
   }
   grouping_dirty_ = false;
   counters_->regroups.fetch_add(1, std::memory_order_relaxed);

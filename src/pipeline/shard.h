@@ -43,8 +43,10 @@
 #include <utility>
 #include <vector>
 
+#include "candidate/candidate.h"
 #include "core/framework.h"
 #include "core/grouping.h"
+#include "graph/incremental.h"
 #include "pipeline/report_queue.h"
 #include "pipeline/snapshot.h"
 
@@ -70,6 +72,13 @@ struct ShardOptions {
   // Eq. 3/4 aggregation and convergence configuration shared with the
   // batch framework.
   core::FrameworkOptions framework;
+  // Incremental-regroup policy: once a campaign reaches
+  // candidates.min_accounts (or always under kOn; SYBILTD_CANDIDATES
+  // overrides), regrouping only recomputes the affinity rows of accounts
+  // dirtied since the last regroup — O(dirty · n) instead of O(n²) — via
+  // graph::IncrementalComponents.  Off reproduces the full union-find
+  // rebuild byte for byte.
+  candidate::Policy candidates;
 };
 
 // Monotonic work counters, aggregated across a shard's campaigns.  Atomics
@@ -135,6 +144,7 @@ class CampaignState {
   void ensure_account(std::size_t account);
   void add_membership(std::size_t account, std::size_t task);
   void remove_membership(std::size_t account, std::size_t task);
+  void mark_dirty(std::size_t account);
   std::uint32_t& pair_both(std::size_t i, std::size_t j);
   std::uint32_t& pair_alone(std::size_t i, std::size_t j);
 
@@ -155,6 +165,14 @@ class CampaignState {
 
   core::AccountGrouping grouping_;
   bool grouping_dirty_ = false;
+  // Lazy-regroup bookkeeping: accounts whose affinity row changed since the
+  // incremental component structure last consumed them.  The bits are only
+  // cleared by the incremental path, so a campaign that crosses the policy
+  // threshold (or an env flip) hands the structure a complete backlog.
+  std::vector<std::uint8_t> dirty_account_;
+  std::vector<std::uint32_t> dirty_list_;
+  graph::IncrementalComponents components_;
+  std::uint64_t component_rebuilds_seen_ = 0;
 
   std::vector<double> truths_;         // warm CRH state, per task
   std::vector<double> group_weights_;  // last iterated weights, per group

@@ -1,0 +1,487 @@
+// Tests for the candidate-generation layer (src/candidate/): endpoint-grid
+// blocking exactness, the lower-bound cascade, the sparse AG-TS set join,
+// the incremental component tracker, and the SYBILTD_CANDIDATES escape
+// hatch — in particular the recall properties the docs promise: AG-TR
+// candidate mode is bit-identical to exact grouping, and AG-TS sparse mode
+// reproduces the dense partition on seed-scale scenarios.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "candidate/blocking.h"
+#include "candidate/candidate.h"
+#include "candidate/cascade.h"
+#include "candidate/features.h"
+#include "candidate/setjoin.h"
+#include "core/ag_tr.h"
+#include "core/ag_ts.h"
+#include "core/ag_auto.h"
+#include "dtw/dtw.h"
+#include "dtw/fastdtw.h"
+#include "eval/adapters.h"
+#include "graph/incremental.h"
+#include "graph/union_find.h"
+#include "mcs/scenario.h"
+#include "pipeline/shard.h"
+
+namespace sybiltd {
+namespace {
+
+core::FrameworkInput scenario_input(std::size_t legit, std::size_t attackers,
+                                    std::size_t accounts_per_attacker,
+                                    std::size_t tasks, std::uint64_t seed) {
+  const auto data = mcs::generate_scenario(mcs::make_large_scenario(
+      legit, attackers, accounts_per_attacker, tasks, seed));
+  return eval::to_framework_input(data);
+}
+
+// RAII environment override so a throwing test cannot leak the variable
+// into its neighbors.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_value_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+// --- Policy ----------------------------------------------------------------
+
+TEST(CandidatePolicy, AutoEngagesAtThreshold) {
+  candidate::Policy policy;
+  policy.min_accounts = 100;
+  EXPECT_FALSE(candidate::enabled(policy, 99));
+  EXPECT_TRUE(candidate::enabled(policy, 100));
+  policy.mode = candidate::Mode::kOn;
+  EXPECT_TRUE(candidate::enabled(policy, 0));
+  policy.mode = candidate::Mode::kOff;
+  EXPECT_FALSE(candidate::enabled(policy, 1u << 20));
+}
+
+TEST(CandidatePolicy, EnvOverridesConfiguredMode) {
+  candidate::Policy on;
+  on.mode = candidate::Mode::kOn;
+  {
+    ScopedEnv env("SYBILTD_CANDIDATES", "off");
+    EXPECT_FALSE(candidate::enabled(on, 1u << 20));
+  }
+  candidate::Policy off;
+  off.mode = candidate::Mode::kOff;
+  {
+    ScopedEnv env("SYBILTD_CANDIDATES", "on");
+    EXPECT_TRUE(candidate::enabled(off, 1));
+  }
+  {
+    ScopedEnv env("SYBILTD_CANDIDATES", "banana");
+    EXPECT_THROW(candidate::resolve_mode(candidate::Mode::kAuto),
+                 std::invalid_argument);
+  }
+}
+
+// --- Blocking --------------------------------------------------------------
+
+TEST(EndpointGrid, DroppedPairsAreProvablyBeyondPhi) {
+  const auto input = scenario_input(60, 5, 4, 20, 7);
+  const std::size_t n = input.accounts.size();
+  std::vector<std::vector<double>> xs(n), ys(n);
+  std::vector<candidate::TrajectoryFingerprint> fps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = core::AgTr::task_series(input.accounts[i]);
+    ys[i] = core::AgTr::timestamp_series(input.accounts[i]);
+    fps[i].task = candidate::profile_of(xs[i]);
+    fps[i].time = candidate::profile_of(ys[i]);
+  }
+  const double phi = 1.0;
+  candidate::BlockingStats stats;
+  const auto pairs = candidate::endpoint_grid_candidates(fps, phi, &stats);
+  EXPECT_EQ(stats.candidates, pairs.size());
+  EXPECT_GT(stats.occupied_cells, 0u);
+  // Sorted and unique — the order contract the edge fold depends on.
+  for (std::size_t k = 1; k < pairs.size(); ++k) {
+    EXPECT_LT(pairs[k - 1], pairs[k]);
+  }
+  std::set<std::uint64_t> emitted(pairs.begin(), pairs.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (emitted.count(candidate::pack_pair(i, j)) > 0) continue;
+      if (xs[i].empty() || xs[j].empty()) continue;  // excluded by design
+      // Every dropped pair must already be unreachable from phi by the
+      // endpoint bound alone — the grid's exactness invariant.
+      const double bound = dtw::endpoint_lower_bound(xs[i], xs[j]) +
+                           dtw::endpoint_lower_bound(ys[i], ys[j]);
+      EXPECT_GE(bound, phi) << "pair (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(EndpointGrid, NonPositivePhiEmitsNothing) {
+  std::vector<candidate::TrajectoryFingerprint> fps(3);
+  for (auto& fp : fps) {
+    const std::vector<double> series{1.0, 2.0};
+    fp.task = candidate::profile_of(series);
+    fp.time = candidate::profile_of(series);
+  }
+  EXPECT_TRUE(candidate::endpoint_grid_candidates(fps, 0.0).empty());
+  EXPECT_TRUE(candidate::endpoint_grid_candidates(fps, -1.0).empty());
+}
+
+// --- Cascade ---------------------------------------------------------------
+
+TEST(LbCascade, PrunesOnlyPairsBeyondPhiAndReturnsExactValues) {
+  std::mt19937_64 rng(1234);
+  std::uniform_real_distribution<double> value(0.0, 4.0);
+  std::uniform_int_distribution<std::size_t> length(1, 12);
+  const std::size_t n = 48;
+  std::vector<std::vector<double>> xs(n), ys(n);
+  std::vector<candidate::TrajectoryFingerprint> fps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = length(rng);
+    for (std::size_t k = 0; k < len; ++k) {
+      xs[i].push_back(value(rng));
+      ys[i].push_back(value(rng));
+    }
+    fps[i].task = candidate::profile_of(xs[i]);
+    fps[i].time = candidate::profile_of(ys[i]);
+  }
+  candidate::CascadeOptions options;
+  options.phi = 6.0;
+  const candidate::LbCascade cascade(xs, ys, fps, options);
+  candidate::CascadeStats stats;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double d = -1.0;
+      const auto outcome = cascade.evaluate(i, j, &d);
+      stats.count(outcome);
+      const double exact = dtw::dtw_total_cost(xs[i], xs[j], {}) +
+                           dtw::dtw_total_cost(ys[i], ys[j], {});
+      if (outcome == candidate::CascadeOutcome::kExact) {
+        EXPECT_DOUBLE_EQ(d, exact);
+      } else {
+        // Every prune stage is a valid lower bound: a discarded pair's true
+        // dissimilarity really is at or beyond phi.
+        EXPECT_GE(exact, options.phi)
+            << "outcome " << static_cast<int>(outcome);
+      }
+    }
+  }
+  // The random data should exercise the funnel, not bypass it.
+  EXPECT_GT(stats.endpoint_pruned + stats.envelope_pruned, 0u);
+  EXPECT_GT(stats.exact_pairs, 0u);
+  EXPECT_EQ(stats.evaluated, n * (n - 1) / 2);
+}
+
+// --- AG-TR candidate mode --------------------------------------------------
+
+TEST(AgTrCandidates, GroupingBitIdenticalToExactAllPairs) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 11ull}) {
+    const auto input = scenario_input(40, 4, 5, 20, seed);
+    core::AgTrOptions exact_opt;  // all-pairs, no pruning
+    core::AgTrOptions cand_opt;
+    cand_opt.candidates.mode = candidate::Mode::kOn;
+    core::AgTrStats stats;
+    const auto exact = core::AgTr(exact_opt).group(input);
+    const auto cand =
+        core::AgTr(cand_opt).group_with_stats(input, &stats);
+    // Bit-identical, not merely equivalent: same groups, same member
+    // order, same labels (the candidate edge fold replays the all-pairs
+    // insertion order).
+    EXPECT_EQ(exact.labels(), cand.labels()) << "seed " << seed;
+    EXPECT_EQ(exact.groups(), cand.groups()) << "seed " << seed;
+    EXPECT_EQ(stats.blocked + stats.candidates, stats.pairs);
+    EXPECT_GT(stats.blocked, 0u) << "blocking should drop some pairs";
+  }
+}
+
+TEST(AgTrCandidates, FunnelCountersAreConsistent) {
+  const auto input = scenario_input(50, 5, 4, 25, 5);
+  core::AgTrOptions opt;
+  opt.candidates.mode = candidate::Mode::kOn;
+  core::AgTrStats stats;
+  (void)core::AgTr(opt).group_with_stats(input, &stats);
+  EXPECT_EQ(stats.lb_pruned,
+            stats.endpoint_pruned + stats.envelope_pruned +
+                stats.keogh_pruned);
+  EXPECT_EQ(stats.candidates, stats.lb_pruned + stats.task_abandoned +
+                                  stats.exact_pairs);
+}
+
+TEST(AgTrCandidates, ExplicitOnRequiresTotalCostMode) {
+  core::AgTrOptions opt;
+  opt.mode = core::DtwMode::kPathNormalized;
+  opt.candidates.mode = candidate::Mode::kOn;
+  const auto input = scenario_input(10, 1, 2, 10, 3);
+  EXPECT_THROW(core::AgTr(opt).group(input), std::invalid_argument);
+}
+
+// --- AG-TS sparse mode -----------------------------------------------------
+
+TEST(AgTsSparse, MatchesDensePartitionOnScenarios) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 11ull}) {
+    const auto input = scenario_input(40, 4, 5, 20, seed);
+    core::AgTsOptions dense_opt;  // kAuto stays dense at this size
+    core::AgTsOptions sparse_opt;
+    sparse_opt.candidates.mode = candidate::Mode::kOn;
+    core::AgTsStats stats;
+    const auto dense = core::AgTs(dense_opt).group(input);
+    const auto sparse =
+        core::AgTs(sparse_opt).group_with_stats(input, &stats);
+    EXPECT_TRUE(stats.sparse);
+    EXPECT_TRUE(stats.join.exhaustive);  // few distinct sets at this scale
+    EXPECT_EQ(dense.labels(), sparse.labels()) << "seed " << seed;
+  }
+}
+
+TEST(AgTsSparse, LshTierMatchesDenseOnScenarios) {
+  for (std::uint64_t seed : {1ull, 2ull, 7ull}) {
+    const auto input = scenario_input(60, 6, 4, 24, seed);
+    core::AgTsOptions dense_opt;
+    core::AgTsOptions lsh_opt;
+    lsh_opt.candidates.mode = candidate::Mode::kOn;
+    lsh_opt.set_join.exact_distinct_cap = 0;  // force the MinHash tier
+    core::AgTsStats stats;
+    const auto dense = core::AgTs(dense_opt).group(input);
+    const auto sparse =
+        core::AgTs(lsh_opt).group_with_stats(input, &stats);
+    EXPECT_TRUE(stats.sparse);
+    EXPECT_FALSE(stats.join.exhaustive);
+    EXPECT_EQ(dense.labels(), sparse.labels()) << "seed " << seed;
+  }
+}
+
+TEST(AgTsSparse, NegativeRhoKeepsDensePath) {
+  const auto input = scenario_input(20, 2, 3, 12, 9);
+  core::AgTsOptions opt;
+  opt.rho = -0.5;
+  opt.candidates.mode = candidate::Mode::kOn;
+  core::AgTsStats stats;
+  (void)core::AgTs(opt).group_with_stats(input, &stats);
+  EXPECT_FALSE(stats.sparse) << "rho < 0 must stay dense";
+}
+
+TEST(SetJoin, ComponentsMatchBruteForceOnRandomSets) {
+  std::mt19937_64 rng(99);
+  const std::size_t m = 30;
+  const std::size_t n = 120;
+  std::uniform_int_distribution<std::uint32_t> task(0, m - 1);
+  std::uniform_int_distribution<int> size(0, 10);
+  std::vector<std::vector<std::uint32_t>> sets(n);
+  for (auto& set : sets) {
+    const int s = size(rng);
+    std::set<std::uint32_t> chosen;
+    while (static_cast<int>(chosen.size()) < s) chosen.insert(task(rng));
+    set.assign(chosen.begin(), chosen.end());
+  }
+  // Clone a few sets to exercise the collapse tier.
+  for (std::size_t k = 0; k < 20; ++k) sets[n - 1 - k] = sets[k];
+  const double rho = 0.2;
+  const auto is_edge = [&](std::size_t both, std::size_t alone) {
+    return core::AgTs::affinity(both, alone, m) > rho;
+  };
+  candidate::SetJoinStats stats;
+  const auto edges =
+      candidate::sparse_affinity_edges(sets, is_edge, {}, &stats);
+  EXPECT_GT(stats.collapsed, 0u);
+  graph::UnionFind sparse_uf(n);
+  for (const std::uint64_t e : edges) {
+    sparse_uf.unite(candidate::pair_first(e), candidate::pair_second(e));
+  }
+  graph::UnionFind brute_uf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::size_t both = 0;
+      for (std::uint32_t t : sets[i]) {
+        both += std::binary_search(sets[j].begin(), sets[j].end(), t);
+      }
+      const std::size_t alone = sets[i].size() + sets[j].size() - 2 * both;
+      if (is_edge(both, alone)) brute_uf.unite(i, j);
+    }
+  }
+  EXPECT_EQ(sparse_uf.labels(), brute_uf.labels());
+}
+
+// --- Incremental components ------------------------------------------------
+
+TEST(IncrementalComponents, MatchesFullRebuildUnderChurn) {
+  std::mt19937_64 rng(4242);
+  const std::size_t n = 64;
+  graph::IncrementalComponents inc;
+  inc.resize(n);
+  // Reference adjacency as sets; set_neighbors must track it exactly.
+  std::vector<std::set<std::uint32_t>> ref(n);
+  std::uniform_int_distribution<std::size_t> node(0, n - 1);
+  std::uniform_int_distribution<int> degree(0, 6);
+  for (int round = 0; round < 400; ++round) {
+    const std::size_t u = node(rng);
+    // New neighbor set for u: some survivors, some fresh nodes.
+    std::set<std::uint32_t> next;
+    for (std::uint32_t v : ref[u]) {
+      if (rng() % 2 == 0) next.insert(v);
+    }
+    const int fresh = degree(rng);
+    for (int k = 0; k < fresh; ++k) {
+      const std::size_t v = node(rng);
+      if (v != u) next.insert(static_cast<std::uint32_t>(v));
+    }
+    // Mirror the row replacement in the reference model.
+    for (std::uint32_t v : ref[u]) ref[v].erase(static_cast<std::uint32_t>(u));
+    ref[u] = next;
+    for (std::uint32_t v : next) ref[v].insert(static_cast<std::uint32_t>(u));
+    inc.set_neighbors(u,
+                      std::vector<std::uint32_t>(next.begin(), next.end()));
+    if (round % 7 == 0) {
+      graph::UnionFind full(n);
+      for (std::size_t a = 0; a < n; ++a) {
+        for (std::uint32_t b : ref[a]) {
+          if (b > a) full.unite(a, b);
+        }
+      }
+      EXPECT_EQ(inc.labels(), full.labels()) << "round " << round;
+    }
+  }
+  // The churn must have exercised both the cheap and the rebuild paths.
+  EXPECT_GT(inc.rebuilds(), 0u);
+  EXPECT_GT(inc.incremental_reuses(), 0u);
+}
+
+TEST(IncrementalComponents, GrowKeepsExistingMerges) {
+  graph::IncrementalComponents inc;
+  inc.resize(3);
+  inc.set_neighbors(0, {1});
+  inc.resize(5);
+  const auto labels = inc.labels();
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[3], labels[4]);
+  EXPECT_EQ(inc.component_count(), 4u);
+}
+
+TEST(UnionFind, GrowAddsIsolatedElements) {
+  graph::UnionFind uf(2);
+  uf.unite(0, 1);
+  uf.grow(4);
+  EXPECT_EQ(uf.set_count(), 3u);
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_THROW(uf.grow(1), std::invalid_argument);
+}
+
+// --- Pipeline lazy regroup -------------------------------------------------
+
+TEST(PipelineIncrementalRegroup, MatchesFullRegroupUnderChurnAndDecay) {
+  pipeline::ShardOptions incremental_options;
+  incremental_options.candidates.mode = candidate::Mode::kOn;
+  incremental_options.decay = 0.9;  // force evictions → edge removals
+  incremental_options.influence_floor = 1e-2;
+  pipeline::ShardOptions full_options = incremental_options;
+  full_options.candidates.mode = candidate::Mode::kOff;
+
+  const std::size_t kTasks = 12;
+  pipeline::SnapshotCell cell_a, cell_b;
+  pipeline::ShardCounters counters_a, counters_b;
+  pipeline::CampaignState incremental(0, kTasks, &incremental_options,
+                                      &cell_a, &counters_a);
+  pipeline::CampaignState full(0, kTasks, &full_options, &cell_b,
+                               &counters_b);
+
+  std::mt19937_64 rng(77);
+  std::uniform_int_distribution<std::size_t> account(0, 39);
+  std::uniform_int_distribution<std::size_t> task(0, kTasks - 1);
+  std::normal_distribution<double> value(-60.0, 3.0);
+  for (int step = 0; step < 600; ++step) {
+    pipeline::Report report;
+    report.campaign = 0;
+    report.account = account(rng);
+    report.task = task(rng);
+    report.value = value(rng);
+    report.timestamp_hours = step * 0.01;
+    incremental.apply(report);
+    full.apply(report);
+    if (step % 20 == 19) {
+      incremental.evict_stale();
+      full.evict_stale();
+    }
+    if (step % 5 == 4) {
+      EXPECT_EQ(incremental.grouping().labels(), full.grouping().labels())
+          << "step " << step;
+    }
+  }
+}
+
+TEST(PipelineIncrementalRegroup, EscapeHatchForcesFullPath) {
+  ScopedEnv env("SYBILTD_CANDIDATES", "off");
+  pipeline::ShardOptions options;
+  options.candidates.mode = candidate::Mode::kOn;  // env wins
+  pipeline::SnapshotCell cell;
+  pipeline::ShardCounters counters;
+  pipeline::CampaignState state(0, 4, &options, &cell, &counters);
+  pipeline::Report report;
+  report.campaign = 0;
+  report.account = 0;
+  report.task = 1;
+  report.value = 1.0;
+  state.apply(report);
+  // With the env off, grouping uses the historical full-rebuild path; the
+  // result is the same partition either way — this pins the routing.
+  EXPECT_EQ(state.grouping().group_count(), 1u);
+}
+
+// --- Escape hatch ----------------------------------------------------------
+
+TEST(EscapeHatch, OffReproducesPrePrGroupingBitIdentically) {
+  const auto input = scenario_input(40, 4, 5, 20, 2);
+  // Reference: the all-pairs paths, taken because the default kAuto policy
+  // stays off below min_accounts — this is the pre-candidate behavior.
+  const auto agtr_ref = core::AgTr().group(input);
+  core::AgTrOptions tr_pruned;
+  tr_pruned.prune_with_lower_bound = true;
+  const auto agtr_pruned_ref = core::AgTr(tr_pruned).group(input);
+  const auto agts_ref = core::AgTs().group(input);
+
+  ScopedEnv env("SYBILTD_CANDIDATES", "off");
+  // Even with the policy forced on, the env escape hatch must route every
+  // method through the legacy code and reproduce it bit for bit.
+  core::AgTrOptions tr_on;
+  tr_on.candidates.mode = candidate::Mode::kOn;
+  core::AgTrStats tr_stats;
+  const auto agtr_off =
+      core::AgTr(tr_on).group_with_stats(input, &tr_stats);
+  EXPECT_EQ(tr_stats.blocked, 0u);
+  EXPECT_EQ(tr_stats.candidates, tr_stats.pairs);
+  EXPECT_EQ(agtr_ref.labels(), agtr_off.labels());
+  EXPECT_EQ(agtr_ref.groups(), agtr_off.groups());
+
+  core::AgTrOptions tr_on_pruned = tr_on;
+  tr_on_pruned.prune_with_lower_bound = true;
+  const auto agtr_off_pruned = core::AgTr(tr_on_pruned).group(input);
+  EXPECT_EQ(agtr_pruned_ref.labels(), agtr_off_pruned.labels());
+  EXPECT_EQ(agtr_pruned_ref.groups(), agtr_off_pruned.groups());
+
+  core::AgTsOptions ts_on;
+  ts_on.candidates.mode = candidate::Mode::kOn;
+  core::AgTsStats ts_stats;
+  const auto agts_off =
+      core::AgTs(ts_on).group_with_stats(input, &ts_stats);
+  EXPECT_FALSE(ts_stats.sparse);
+  EXPECT_EQ(agts_ref.labels(), agts_off.labels());
+  EXPECT_EQ(agts_ref.groups(), agts_off.groups());
+}
+
+}  // namespace
+}  // namespace sybiltd

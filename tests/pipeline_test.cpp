@@ -284,7 +284,7 @@ TEST(CampaignEngine, DrainMatchesBatchFramework) {
 
   const core::FrameworkOptions framework_options;  // engine default
   const core::FrameworkResult batch = core::run_framework(
-      input, core::AgTs(core::AgTsOptions{1.0}), framework_options);
+      input, core::AgTs(core::AgTsOptions{.rho = 1.0}), framework_options);
 
   ASSERT_EQ(snap->truths.size(), batch.truths.size());
   for (std::size_t j = 0; j < kTasks; ++j) {
