@@ -24,6 +24,7 @@
 #include "ml/kmeans.h"
 #include "ml/pca.h"
 #include "obs/metrics.h"
+#include "pipeline/engine.h"
 #include "sensing/fingerprint.h"
 #include "signal/features.h"
 #include "signal/fft.h"
@@ -423,6 +424,71 @@ void BM_KMeansThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_KMeansThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// Contended ingestion hot path: N benchmark threads hammering one started
+// engine, the way N event loops do in the multi-loop server.  BM_TrySubmit
+// measures the per-report path (wait-free routing + one queue lock per
+// report); BM_TrySubmitBatch measures the batched path (one validation
+// snapshot + one queue lock per shard per 64-report batch).  Rejected
+// pushes (a full shard queue under the 1-consumer-per-shard drain rate)
+// still traverse the full path, so items/s stays an honest submit rate.
+constexpr std::size_t kSubmitTasks = 64;
+
+pipeline::CampaignEngine* g_submit_engine = nullptr;
+
+void submit_bench_setup(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    pipeline::EngineOptions options;
+    options.shard_count = 4;
+    options.queue_capacity = 1 << 15;
+    g_submit_engine = new pipeline::CampaignEngine(options);
+    g_submit_engine->add_campaign(kSubmitTasks);
+    g_submit_engine->start();
+  }
+}
+
+void submit_bench_teardown(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_submit_engine->drain();
+    g_submit_engine->stop();
+    delete g_submit_engine;
+    g_submit_engine = nullptr;
+  }
+}
+
+void BM_TrySubmit(benchmark::State& state) {
+  submit_bench_setup(state);
+  pipeline::Report report;
+  report.account = static_cast<std::size_t>(state.thread_index());
+  std::size_t task = 0;
+  for (auto _ : state) {
+    report.task = task;
+    report.value = static_cast<double>(task);
+    task = (task + 1) % kSubmitTasks;
+    benchmark::DoNotOptimize(g_submit_engine->try_submit(report));
+  }
+  state.SetItemsProcessed(state.iterations());
+  submit_bench_teardown(state);
+}
+BENCHMARK(BM_TrySubmit)->ThreadRange(1, 8)->UseRealTime();
+
+void BM_TrySubmitBatch(benchmark::State& state) {
+  submit_bench_setup(state);
+  constexpr std::size_t kBatch = 64;
+  std::vector<pipeline::Report> batch(kBatch);
+  for (std::size_t k = 0; k < kBatch; ++k) {
+    batch[k].account = static_cast<std::size_t>(state.thread_index());
+    batch[k].task = k % kSubmitTasks;
+    batch[k].value = static_cast<double>(k);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_submit_engine->try_submit_batch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch));
+  submit_bench_teardown(state);
+}
+BENCHMARK(BM_TrySubmitBatch)->ThreadRange(1, 8)->UseRealTime();
 
 }  // namespace
 

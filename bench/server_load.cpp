@@ -8,11 +8,19 @@
 // bench drains the server (so every accepted report is aggregated) and
 // reports sustained accepted reports/sec plus latency p50/p99.
 //
-//   server_load [reports_total] [connections] [batch] [--json]
+//   server_load [reports_total] [connections] [batch] [--loops N]
+//               [--sweep L1,L2,...] [--json]
 //
-//   --json  google-benchmark-compatible JSON (one "iteration" entry, with
-//           reports_per_sec / p50_us / p99_us user counters) — the shape
-//           compare_bench.py understands; committed as BENCH_server.json.
+//   --loops N   event-loop threads for the server under test (default 1)
+//   --sweep     run the whole load once per listed loop count (same
+//               reports/connections/batch) and emit one benchmark entry
+//               per configuration — the loops x connections scaling sweep
+//               behind docs/PERFORMANCE.md and BENCH_server.json
+//   --json      google-benchmark-compatible JSON, one entry per run named
+//               http_ingest/loops:L/connections:C/batch:B with
+//               reports_per_sec / p50_us / p99_us user counters — the
+//               shape compare_bench.py understands; committed as
+//               BENCH_server.json.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -159,29 +167,38 @@ double percentile(std::vector<double>& values, double p) {
   return values[k];
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::size_t total = 200000;
+struct LoadConfig {
+  std::size_t loops = 1;
   std::size_t connections = 4;
+  std::size_t total = 200000;
   std::size_t batch = 100;
-  bool json = false;
-  std::vector<std::string> positional;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else {
-      positional.emplace_back(argv[i]);
-    }
-  }
-  if (!positional.empty()) total = std::stoul(positional[0]);
-  if (positional.size() > 1) connections = std::stoul(positional[1]);
-  if (positional.size() > 2) batch = std::stoul(positional[2]);
+};
+
+struct LoadResult {
+  std::size_t accepted = 0;
+  std::size_t requests = 0;
+  double ingest_seconds = 0.0;
+  double drain_seconds = 0.0;
+  double reports_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t engine_accepted = 0;
+  std::uint64_t engine_applied = 0;
+  std::uint64_t engine_batches = 0;
+  bool ok = true;
+};
+
+// One full measurement: fresh server with the given loop count, timed
+// ingestion from `connections` keep-alive clients, then drain.  The
+// accepted => applied cross-check runs per configuration, so a sweep is as
+// strict as a single run.
+LoadResult run_load(const LoadConfig& config) {
   const std::size_t per_client =
-      (total / connections) / batch;  // requests per connection
+      (config.total / config.connections) / config.batch;
 
   server::ServerOptions options;
   options.port = 0;
+  options.loops = config.loops;
   options.engine.shard_count = 2;
   options.engine.queue_capacity = 65536;
   options.engine.max_batch = 1024;
@@ -191,20 +208,12 @@ int main(int argc, char** argv) {
   }
   server.start();
 
-  if (!json) {
-    std::printf("=== Extension: HTTP ingestion load over loopback ===\n");
-    std::printf("%zu connections x %zu requests x %zu reports/batch "
-                "against 127.0.0.1:%u\n\n",
-                connections, per_client, batch,
-                static_cast<unsigned>(server.port()));
-  }
-
-  std::vector<ClientResult> results(connections);
+  std::vector<ClientResult> results(config.connections);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
-  for (std::size_t c = 0; c < connections; ++c) {
-    clients.emplace_back(run_client, server.port(), c, per_client, batch,
-                         &results[c]);
+  for (std::size_t c = 0; c < config.connections; ++c) {
+    clients.emplace_back(run_client, server.port(), c, per_client,
+                         config.batch, &results[c]);
   }
   for (auto& t : clients) t.join();
   const double ingest_seconds =
@@ -215,66 +224,144 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  std::size_t accepted = 0;
-  std::size_t requests = 0;
-  bool ok = true;
+  LoadResult out;
+  out.ingest_seconds = ingest_seconds;
+  out.drain_seconds = total_seconds - ingest_seconds;
   std::vector<double> latencies;
   for (const ClientResult& r : results) {
-    accepted += r.accepted;
-    requests += r.requests;
-    ok = ok && r.ok;
+    out.accepted += r.accepted;
+    out.requests += r.requests;
+    out.ok = out.ok && r.ok;
     latencies.insert(latencies.end(), r.latencies_us.begin(),
                      r.latencies_us.end());
   }
   const auto counters = server.engine().counters();
   server.shutdown();
 
-  const double reports_per_sec =
-      ingest_seconds > 0.0 ? static_cast<double>(accepted) / ingest_seconds
+  out.reports_per_sec =
+      ingest_seconds > 0.0 ? static_cast<double>(out.accepted) / ingest_seconds
                            : 0.0;
-  const double p50 = percentile(latencies, 0.50);
-  const double p99 = percentile(latencies, 0.99);
+  out.p50_us = percentile(latencies, 0.50);
+  out.p99_us = percentile(latencies, 0.99);
+  out.engine_accepted = counters.accepted;
+  out.engine_applied = counters.applied;
+  out.engine_batches = counters.batches;
+  // Loss anywhere (socket failure, engine mismatch) is a bench failure:
+  // every report this bench accepted over the wire must be applied.
+  out.ok = out.ok && counters.applied == out.accepted;
+  return out;
+}
+
+void print_json_entry(const LoadConfig& config, const LoadResult& result,
+                      bool last) {
+  std::printf("    {\n");
+  std::printf(
+      "      \"name\": \"http_ingest/loops:%zu/connections:%zu/batch:%zu\",\n",
+      config.loops, config.connections, config.batch);
+  std::printf("      \"run_type\": \"iteration\",\n");
+  std::printf("      \"iterations\": %zu,\n", result.requests);
+  std::printf("      \"real_time\": %.6f,\n", result.ingest_seconds * 1e3);
+  std::printf("      \"cpu_time\": %.6f,\n", result.ingest_seconds * 1e3);
+  std::printf("      \"time_unit\": \"ms\",\n");
+  std::printf("      \"reports_per_sec\": %.1f,\n", result.reports_per_sec);
+  std::printf("      \"p50_us\": %.1f,\n", result.p50_us);
+  std::printf("      \"p99_us\": %.1f\n", result.p99_us);
+  std::printf("    }%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadConfig config;
+  bool json = false;
+  std::vector<std::size_t> sweep_loops;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--loops" && i + 1 < argc) {
+      config.loops = std::stoul(argv[++i]);
+    } else if (arg == "--sweep" && i + 1 < argc) {
+      std::string list = argv[++i];
+      for (std::size_t begin = 0; begin <= list.size();) {
+        const std::size_t comma = std::min(list.find(',', begin), list.size());
+        if (comma > begin) {
+          sweep_loops.push_back(std::stoul(list.substr(begin, comma - begin)));
+        }
+        begin = comma + 1;
+      }
+    } else {
+      positional.emplace_back(arg);
+    }
+  }
+  if (!positional.empty()) config.total = std::stoul(positional[0]);
+  if (positional.size() > 1) config.connections = std::stoul(positional[1]);
+  if (positional.size() > 2) config.batch = std::stoul(positional[2]);
+  if (sweep_loops.empty()) sweep_loops.push_back(config.loops);
+
+  std::vector<LoadResult> results;
+  bool ok = true;
+  for (std::size_t index = 0; index < sweep_loops.size(); ++index) {
+    config.loops = sweep_loops[index];
+    if (!json) {
+      if (index == 0) {
+        std::printf(
+            "=== Extension: HTTP ingestion load over loopback ===\n\n");
+      }
+      std::printf("--- loops=%zu: %zu connections x %zu reports/batch "
+                  "(%zu reports total) ---\n",
+                  config.loops, config.connections, config.batch,
+                  config.total);
+    }
+    const LoadResult result = run_load(config);
+    ok = ok && result.ok;
+    if (!json) {
+      std::printf("accepted %zu reports in %zu requests over %.3f s "
+                  "(+%.3f s drain)\n",
+                  result.accepted, result.requests, result.ingest_seconds,
+                  result.drain_seconds);
+      std::printf("sustained     %.0f reports/sec\n", result.reports_per_sec);
+      std::printf("latency       p50 %.0f us, p99 %.0f us\n", result.p50_us,
+                  result.p99_us);
+      std::printf("engine        accepted=%llu applied=%llu batches=%llu\n\n",
+                  static_cast<unsigned long long>(result.engine_accepted),
+                  static_cast<unsigned long long>(result.engine_applied),
+                  static_cast<unsigned long long>(result.engine_batches));
+    }
+    results.push_back(result);
+  }
 
   if (json) {
     std::printf("{\n");
     std::printf("  \"context\": {\n");
     std::printf("    \"executable\": \"server_load\",\n");
-    std::printf("    \"connections\": %zu,\n", connections);
-    std::printf("    \"batch\": %zu,\n", batch);
-    std::printf("    \"reports\": %zu\n", accepted);
+    std::printf("    \"connections\": %zu,\n", config.connections);
+    std::printf("    \"batch\": %zu,\n", config.batch);
+    std::printf("    \"reports\": %zu\n", config.total);
     std::printf("  },\n");
     std::printf("  \"benchmarks\": [\n");
-    std::printf("    {\n");
-    std::printf("      \"name\": \"http_ingest/connections:%zu/batch:%zu\",\n",
-                connections, batch);
-    std::printf("      \"run_type\": \"iteration\",\n");
-    std::printf("      \"iterations\": %zu,\n", requests);
-    std::printf("      \"real_time\": %.6f,\n", ingest_seconds * 1e3);
-    std::printf("      \"cpu_time\": %.6f,\n", ingest_seconds * 1e3);
-    std::printf("      \"time_unit\": \"ms\",\n");
-    std::printf("      \"reports_per_sec\": %.1f,\n", reports_per_sec);
-    std::printf("      \"p50_us\": %.1f,\n", p50);
-    std::printf("      \"p99_us\": %.1f\n", p99);
-    std::printf("    }\n");
+    for (std::size_t index = 0; index < results.size(); ++index) {
+      config.loops = sweep_loops[index];
+      print_json_entry(config, results[index],
+                       index + 1 == results.size());
+    }
     std::printf("  ]\n}\n");
-  } else {
-    std::printf("accepted %zu reports in %zu requests over %.3f s "
-                "(+%.3f s drain)\n",
-                accepted, requests, ingest_seconds,
-                total_seconds - ingest_seconds);
-    std::printf("sustained     %.0f reports/sec\n", reports_per_sec);
-    std::printf("latency       p50 %.0f us, p99 %.0f us\n", p50, p99);
-    std::printf("engine        accepted=%llu applied=%llu batches=%llu\n",
-                static_cast<unsigned long long>(counters.accepted),
-                static_cast<unsigned long long>(counters.applied),
-                static_cast<unsigned long long>(counters.batches));
+  } else if (results.size() > 1) {
+    std::printf("--- scaling (vs loops=%zu) ---\n", sweep_loops[0]);
+    for (std::size_t index = 0; index < results.size(); ++index) {
+      std::printf("loops=%zu  %.0f reports/sec  (%.2fx)\n", sweep_loops[index],
+                  results[index].reports_per_sec,
+                  results[0].reports_per_sec > 0.0
+                      ? results[index].reports_per_sec /
+                            results[0].reports_per_sec
+                      : 0.0);
+    }
   }
 
-  // Loss anywhere (socket failure, engine mismatch) is a bench failure:
-  // every report this bench accepted over the wire must be applied.
-  if (!ok || counters.applied != accepted) {
-    std::fprintf(stderr, "FAILED: ok=%d applied=%llu accepted=%zu\n", ok,
-                 static_cast<unsigned long long>(counters.applied), accepted);
+  if (!ok) {
+    std::fprintf(stderr, "FAILED: a configuration lost reports or a client "
+                         "errored (see above)\n");
     return 1;
   }
   return 0;

@@ -1,6 +1,7 @@
 #include "pipeline/engine.h"
 
 #include <cmath>
+#include <optional>
 
 #include "common/error.h"
 #include "common/thread_pool.h"
@@ -25,7 +26,7 @@ CampaignEngine::~CampaignEngine() { stop(); }
 std::size_t CampaignEngine::add_campaign(std::size_t task_count) {
   SYBILTD_CHECK(task_count > 0, "campaign needs at least one task");
   std::lock_guard<std::mutex> lock(campaigns_mutex_);
-  const std::size_t campaign = task_counts_.size();
+  const std::size_t campaign = routing_.size();
   auto cell = std::make_unique<SnapshotCell>();
   if (!started_.load(std::memory_order_acquire)) {
     // Pre-start registration: the shard is not running, install directly.
@@ -37,9 +38,10 @@ std::size_t CampaignEngine::add_campaign(std::size_t task_count) {
     // Live registration (the wire lifecycle path).  Publish the version-0
     // empty snapshot from here so readers never observe a null cell, then
     // hand the campaign to its shard; the worker adopts it at the top of
-    // its next step.  The hand-off happens before the id becomes valid to
-    // submit()/try_submit() (both validate under campaigns_mutex_), so a
-    // report can never reach a shard before its campaign's pending entry.
+    // its next step.  The hand-off happens before routing_.append() makes
+    // the id visible to submit()/try_submit() — the table's release store
+    // is the last thing this function does — so a report can never reach a
+    // shard before its campaign's pending entry (publish-before-visible).
     auto snapshot = std::make_shared<CampaignSnapshot>();
     snapshot->campaign = campaign;
     snapshot->truths.assign(task_count, truth::nan_value());
@@ -47,19 +49,20 @@ std::size_t CampaignEngine::add_campaign(std::size_t task_count) {
     shards_[shard_of(campaign)]->enqueue_campaign(campaign, task_count,
                                                   cell.get());
   }
-  task_counts_.push_back(task_count);
+  RoutingTable::Entry entry;
+  entry.task_count = task_count;
+  entry.cell = cell.get();
   cells_.push_back(std::move(cell));
+  const std::size_t published = routing_.append(entry);
+  SYBILTD_CHECK(published == campaign, "routing table out of sync");
   return campaign;
 }
 
-std::size_t CampaignEngine::campaign_count() const {
-  std::lock_guard<std::mutex> lock(campaigns_mutex_);
-  return task_counts_.size();
-}
+std::size_t CampaignEngine::campaign_count() const { return routing_.size(); }
 
 std::size_t CampaignEngine::campaign_task_count(std::size_t campaign) const {
-  std::lock_guard<std::mutex> lock(campaigns_mutex_);
-  return campaign < task_counts_.size() ? task_counts_[campaign] : 0;
+  const RoutingTable::Entry* entry = routing_.find(campaign);
+  return entry != nullptr ? entry->task_count : 0;
 }
 
 void CampaignEngine::start() {
@@ -94,12 +97,10 @@ void CampaignEngine::schedule_shard(Shard* shard) {
 PushResult CampaignEngine::submit(const Report& report) {
   SYBILTD_CHECK(running_.load(std::memory_order_acquire),
                 "submit() needs a running engine");
-  {
-    std::lock_guard<std::mutex> lock(campaigns_mutex_);
-    SYBILTD_CHECK(report.campaign < task_counts_.size(), "unknown campaign");
-    SYBILTD_CHECK(report.task < task_counts_[report.campaign],
-                  "task index out of range for the campaign");
-  }
+  const RoutingTable::Entry* entry = routing_.find(report.campaign);
+  SYBILTD_CHECK(entry != nullptr, "unknown campaign");
+  SYBILTD_CHECK(report.task < entry->task_count,
+                "task index out of range for the campaign");
   SYBILTD_CHECK(!std::isnan(report.value), "report value must not be NaN");
   submitted_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = *shards_[shard_of(report.campaign)];
@@ -112,15 +113,12 @@ SubmitStatus CampaignEngine::try_submit(const Report& report) {
   if (!running_.load(std::memory_order_acquire)) {
     return SubmitStatus::kNotRunning;
   }
-  {
-    std::lock_guard<std::mutex> lock(campaigns_mutex_);
-    if (report.campaign >= task_counts_.size()) {
-      return SubmitStatus::kUnknownCampaign;
-    }
-    if (report.task >= task_counts_[report.campaign]) {
-      return SubmitStatus::kInvalidTask;
-    }
-  }
+  // Wait-free validation: one acquire load of the routing table's size plus
+  // an indexed read.  N event-loop threads validating concurrently never
+  // serialize against each other or against add_campaign().
+  const RoutingTable::Entry* entry = routing_.find(report.campaign);
+  if (entry == nullptr) return SubmitStatus::kUnknownCampaign;
+  if (report.task >= entry->task_count) return SubmitStatus::kInvalidTask;
   if (std::isnan(report.value)) return SubmitStatus::kInvalidValue;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = *shards_[shard_of(report.campaign)];
@@ -139,15 +137,120 @@ SubmitStatus CampaignEngine::try_submit(const Report& report) {
   return SubmitStatus::kQueueFull;
 }
 
+SubmitBatchResult CampaignEngine::try_submit_batch(
+    std::span<const Report> reports) {
+  SubmitBatchResult result;
+  if (reports.empty()) return result;
+  if (!running_.load(std::memory_order_acquire)) {
+    result.status = SubmitStatus::kNotRunning;
+    return result;
+  }
+  submitted_batches_.fetch_add(1, std::memory_order_relaxed);
+
+  // Phase 1 — validate the whole batch against one snapshot of the routing
+  // table (a single acquire of its size): the valid prefix is [0, valid),
+  // and validation_stop is what a per-report try_submit(reports[valid])
+  // would have returned.
+  const std::size_t known = routing_.size();
+  std::size_t valid = reports.size();
+  SubmitStatus validation_stop = SubmitStatus::kAccepted;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const Report& report = reports[i];
+    if (report.campaign >= known) {
+      valid = i;
+      validation_stop = SubmitStatus::kUnknownCampaign;
+      break;
+    }
+    if (report.task >= routing_.entry_unchecked(report.campaign).task_count) {
+      valid = i;
+      validation_stop = SubmitStatus::kInvalidTask;
+      break;
+    }
+    if (std::isnan(report.value)) {
+      valid = i;
+      validation_stop = SubmitStatus::kInvalidValue;
+      break;
+    }
+  }
+  if (valid == 0) {
+    result.status = validation_stop;
+    return result;
+  }
+
+  // Phase 2 — lock every shard the valid prefix touches, in ascending shard
+  // order so concurrent batches cannot deadlock.  Holding all the locks
+  // pins each queue's free space and closed flag, which is what makes the
+  // accepted prefix exact: nothing can close a queue or steal capacity
+  // between the decision and the insert.
+  const std::size_t shard_count = shards_.size();
+  std::vector<char> used(shard_count, 0);
+  for (std::size_t i = 0; i < valid; ++i) {
+    used[shard_of(reports[i].campaign)] = 1;
+  }
+  std::vector<std::optional<ReportQueue::BatchLock>> locks(shard_count);
+  std::vector<std::size_t> budget(shard_count, 0);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (used[s]) {
+      locks[s].emplace(shards_[s]->queue());
+      budget[s] = locks[s]->free();
+    }
+  }
+
+  // Phase 3 — walk the prefix in order, pushing until a queue is closed or
+  // out of space.  `accepted` stays a clean prefix of the original batch
+  // even when its reports interleave several shards.
+  SubmitStatus push_stop = SubmitStatus::kAccepted;
+  std::size_t accepted = 0;
+  std::vector<std::size_t> per_shard_accepted(shard_count, 0);
+  for (; accepted < valid; ++accepted) {
+    const Report& report = reports[accepted];
+    const std::size_t s = shard_of(report.campaign);
+    if (locks[s]->closed()) {
+      push_stop = SubmitStatus::kClosed;
+      break;
+    }
+    if (budget[s] == 0) {
+      push_stop = SubmitStatus::kQueueFull;
+      break;
+    }
+    locks[s]->push(report);
+    --budget[s];
+    ++per_shard_accepted[s];
+  }
+  locks.clear();  // release + notify consumers, one wake-up per shard
+
+  // Counter parity with the per-report loop: submitted_ counts reports that
+  // passed validation and reached the push stage (the stopping report
+  // included when it failed at the queue, not when it failed validation),
+  // and the queue-full stop records one rejection on its shard.
+  const bool stopped_at_queue = push_stop == SubmitStatus::kQueueFull;
+  submitted_.fetch_add(
+      accepted + (push_stop == SubmitStatus::kAccepted ? 0 : 1),
+      std::memory_order_relaxed);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_[s]->record_accepted(per_shard_accepted[s]);
+  }
+  if (stopped_at_queue) {
+    shards_[shard_of(reports[accepted].campaign)]->record_push(
+        PushResult::kRejected);
+  }
+
+  result.accepted = accepted;
+  if (accepted == reports.size()) {
+    result.status = SubmitStatus::kAccepted;
+  } else if (push_stop != SubmitStatus::kAccepted) {
+    result.status = push_stop;
+  } else {
+    result.status = validation_stop;
+  }
+  return result;
+}
+
 std::shared_ptr<const CampaignSnapshot> CampaignEngine::snapshot(
     std::size_t campaign) const {
-  SnapshotCell* cell = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(campaigns_mutex_);
-    SYBILTD_CHECK(campaign < cells_.size(), "unknown campaign");
-    cell = cells_[campaign].get();
-  }
-  return cell->read();
+  const RoutingTable::Entry* entry = routing_.find(campaign);
+  SYBILTD_CHECK(entry != nullptr, "unknown campaign");
+  return entry->cell->read();
 }
 
 void CampaignEngine::drain() {
@@ -171,6 +274,7 @@ void CampaignEngine::stop() {
 EngineCounters CampaignEngine::counters() const {
   EngineCounters totals;
   totals.submitted = submitted_.load(std::memory_order_relaxed);
+  totals.submitted_batches = submitted_batches_.load(std::memory_order_relaxed);
   totals.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
     const ShardCounters& c = shard->counters();
@@ -203,10 +307,7 @@ EngineCounters CampaignEngine::counters() const {
 const CampaignState* CampaignEngine::debug_state(std::size_t campaign) const {
   SYBILTD_CHECK(!running_.load(std::memory_order_acquire),
                 "debug_state is only safe while the workers are stopped");
-  {
-    std::lock_guard<std::mutex> lock(campaigns_mutex_);
-    SYBILTD_CHECK(campaign < task_counts_.size(), "unknown campaign");
-  }
+  SYBILTD_CHECK(routing_.find(campaign) != nullptr, "unknown campaign");
   return shards_[shard_of(campaign)]->campaign_state(campaign);
 }
 

@@ -38,9 +38,11 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "pipeline/report_queue.h"
+#include "pipeline/routing.h"
 #include "pipeline/shard.h"
 #include "pipeline/snapshot.h"
 
@@ -87,6 +89,7 @@ struct ShardStatus {
 // as accepted == applied hold exactly.
 struct EngineCounters {
   std::uint64_t submitted = 0;  // submit() calls that passed validation
+  std::uint64_t submitted_batches = 0;  // try_submit_batch() calls
   std::uint64_t accepted = 0;   // reports enqueued
   std::uint64_t dropped = 0;    // discarded by kDropNewest backpressure
   std::uint64_t rejected = 0;   // refused by kReject backpressure
@@ -111,6 +114,18 @@ enum class SubmitStatus {
   kUnknownCampaign,  // campaign id never registered
   kInvalidTask,      // task index out of range for the campaign
   kInvalidValue,     // NaN value
+};
+
+// Outcome of try_submit_batch(): the clean prefix of the batch that was
+// enqueued plus the status of the first report that was not.  Equivalent by
+// construction to calling try_submit() per report and stopping at the first
+// non-kAccepted result (the contract the ingest handler's 202/429 mapping
+// is built on, and that the tests assert).
+struct SubmitBatchResult {
+  std::size_t accepted = 0;  // reports [0, accepted) were enqueued
+  // kAccepted iff the whole batch was enqueued; otherwise the status a
+  // per-report try_submit(reports[accepted]) would have returned.
+  SubmitStatus status = SubmitStatus::kAccepted;
 };
 
 class CampaignEngine {
@@ -143,7 +158,18 @@ class CampaignEngine {
   // kReject semantics regardless of the configured backpressure policy, so
   // an event loop can never be stalled by a full shard queue, and folds
   // the validation outcome into the returned status instead of throwing.
+  // Wait-free up to the shard queue's own mutex: validation reads the
+  // routing table, never a lock shared with add_campaign().
   SubmitStatus try_submit(const Report& report);
+
+  // Batched try_submit: validates every report against one routing-table
+  // snapshot, groups the valid prefix by shard, and pushes each shard's run
+  // into its queue under a single lock acquisition (ReportQueue::BatchLock),
+  // so an N-report wire batch costs one queue lock per touched shard rather
+  // than N.  Clean-prefix semantics: reports [0, accepted) are enqueued in
+  // order and nothing after the first failing report is, exactly as a
+  // per-report try_submit() loop would behave.
+  SubmitBatchResult try_submit_batch(std::span<const Report> reports);
 
   // Task count of a registered campaign, or 0 when the id is unknown —
   // lets wire handlers pre-validate a whole batch before any shard work.
@@ -182,13 +208,15 @@ class CampaignEngine {
 
   EngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  // Campaign registry.  Guarded by campaigns_mutex_ because add_campaign()
-  // may now grow it while producers validate against it; the pointed-to
-  // SnapshotCells are stable, so readers copy the raw pointer under the
-  // lock and read the cell outside it.
+  // Campaign registry.  campaigns_mutex_ serializes writers only
+  // (add_campaign and its shard hand-off); every submission/snapshot path
+  // validates and routes through routing_ wait-free, so producers never
+  // contend with registration or with each other here.  cells_ owns the
+  // SnapshotCells the routing entries point at; it is only touched under
+  // the mutex and the cells themselves are stable once created.
   mutable std::mutex campaigns_mutex_;
   std::vector<std::unique_ptr<SnapshotCell>> cells_;  // per campaign
-  std::vector<std::size_t> task_counts_;              // per campaign
+  RoutingTable routing_;
   std::atomic<bool> started_{false};
   std::atomic<bool> running_{false};
 
@@ -198,6 +226,7 @@ class CampaignEngine {
   std::size_t live_chains_ = 0;
 
   std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> submitted_batches_{0};
 };
 
 }  // namespace sybiltd::pipeline

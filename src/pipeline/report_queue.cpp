@@ -11,6 +11,27 @@ ReportQueue::ReportQueue(std::size_t capacity)
   SYBILTD_CHECK(capacity >= 1, "queue capacity must be positive");
 }
 
+ReportQueue::BatchLock::BatchLock(ReportQueue& queue)
+    : queue_(queue), lock_(queue.mutex_) {}
+
+void ReportQueue::BatchLock::push(const Report& report) {
+  SYBILTD_CHECK(!queue_.closed_ && queue_.count_ < queue_.capacity_,
+                "BatchLock::push needs an open queue with free space");
+  queue_.ring_[(queue_.head_ + queue_.count_) % queue_.capacity_] = report;
+  ++queue_.count_;
+  ++pushed_;
+}
+
+ReportQueue::BatchLock::~BatchLock() {
+  if (pushed_ > 0 && queue_.count_ > queue_.high_watermark_) {
+    queue_.high_watermark_ = queue_.count_;
+  }
+  lock_.unlock();
+  // One wake-up per run; each shard queue has a single consumer chain, so
+  // notify_one is sufficient even for multi-report runs.
+  if (pushed_ > 0) queue_.not_empty_.notify_one();
+}
+
 PushResult ReportQueue::push(const Report& report, BackpressurePolicy policy) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (closed_) return PushResult::kClosed;

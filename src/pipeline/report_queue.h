@@ -48,6 +48,40 @@ class ReportQueue {
   ReportQueue(const ReportQueue&) = delete;
   ReportQueue& operator=(const ReportQueue&) = delete;
 
+  // Two-phase batched push.  A BatchLock pins the queue's mutex so a caller
+  // can *decide* how much of a multi-report run fits (free()/closed()) and
+  // then insert exactly that run atomically — nothing can close the queue or
+  // steal capacity between the decision and the insert.  This is what makes
+  // the engine's try_submit_batch() clean-prefix contract exact instead of
+  // best-effort: with per-report push() a concurrent close() could land in
+  // the middle of a run and split it.
+  //
+  // Consumers are notified once on release (destructor), not per report, so
+  // a 100-report run costs one lock round-trip instead of 100.
+  //
+  // Lock ordering: callers holding several BatchLocks at once must acquire
+  // them in ascending shard-index order (see CampaignEngine::try_submit_batch)
+  // so two batches can never deadlock.
+  class BatchLock {
+   public:
+    explicit BatchLock(ReportQueue& queue);
+    ~BatchLock();
+
+    BatchLock(const BatchLock&) = delete;
+    BatchLock& operator=(const BatchLock&) = delete;
+
+    bool closed() const { return queue_.closed_; }
+    // Slots available right now; stable while the lock is held.
+    std::size_t free() const { return queue_.capacity_ - queue_.count_; }
+    // Insert one report.  Precondition: !closed() && free() > 0.
+    void push(const Report& report);
+
+   private:
+    ReportQueue& queue_;
+    std::unique_lock<std::mutex> lock_;
+    std::size_t pushed_ = 0;
+  };
+
   // Enqueue one report under the given policy.  Returns kClosed once the
   // queue has been closed (also wakes blocked producers).
   PushResult push(const Report& report, BackpressurePolicy policy);

@@ -1,0 +1,32 @@
+#include "pipeline/routing.h"
+
+#include "common/error.h"
+
+namespace sybiltd::pipeline {
+
+RoutingTable::~RoutingTable() {
+  for (std::size_t i = 0; i < kMaxBlocks; ++i) {
+    Entry* block = blocks_[i].load(std::memory_order_relaxed);
+    if (block == nullptr) break;  // blocks are allocated densely
+    delete[] block;
+  }
+}
+
+std::size_t RoutingTable::append(const Entry& entry) {
+  const std::size_t id = count_.load(std::memory_order_relaxed);
+  SYBILTD_CHECK(id < kBlockSize * kMaxBlocks,
+                "RoutingTable: campaign capacity exhausted");
+  const std::size_t block_index = id / kBlockSize;
+  Entry* block = blocks_[block_index].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new Entry[kBlockSize];
+    // Release so a reader that chases this pointer after observing the
+    // count sees fully-constructed slots.
+    blocks_[block_index].store(block, std::memory_order_release);
+  }
+  block[id % kBlockSize] = entry;
+  count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+}  // namespace sybiltd::pipeline

@@ -1,0 +1,91 @@
+// RoutingTable — the read-mostly campaign registry behind the engine's
+// wire-facing submission paths.
+//
+// Before this table existed, every try_submit() validated its campaign and
+// task index under the engine's campaigns_mutex_: one global lock acquired
+// per report, shared with add_campaign().  At one event-loop thread that
+// was invisible; with N ingestion loops it is the first serialization
+// point every report crosses, ahead of even the shard queues.
+//
+// The registry is append-only — campaign ids are dense and never retired,
+// task counts never change after registration — which admits a publication
+// scheme cheaper than the classic atomically-swapped immutable snapshot
+// (std::atomic<std::shared_ptr<Table>> costs a reference-count update per
+// read, and libstdc++ implements it with a spinlock that is neither
+// wait-free nor transparent to ThreadSanitizer).  Instead the table is a
+// two-level array with release-published size:
+//
+//   * entries live in fixed 1024-slot blocks that are allocated once and
+//     never moved or freed until destruction, so a reader-held pointer
+//     can never dangle;
+//   * the single writer (serialized by the engine's campaigns_mutex_)
+//     fully writes the new entry, then publishes it with one
+//     release-store of count_; readers acquire-load count_ once and index
+//     below it.
+//
+// Reads are wait-free: one acquire load plus two dependent array reads, no
+// locks, no allocation, no reference counting.  The acquire/release pair
+// on count_ is the happens-before edge that makes the plain entry writes
+// visible, so the scheme is exactly as verifiable under TSan as a mutex.
+//
+// Semantics relied on by CampaignEngine (and proven by its tests): an id
+// becomes visible to find() only after its shard hand-off completed
+// (publish-before-visible), so a report can never reach a shard before the
+// shard knows the campaign; ids below size() are permanently valid.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace sybiltd::pipeline {
+
+class SnapshotCell;
+
+class RoutingTable {
+ public:
+  // Everything a submission path needs to validate and route one report
+  // without touching the engine's writer-side state.
+  struct Entry {
+    std::size_t task_count = 0;
+    SnapshotCell* cell = nullptr;
+  };
+
+  RoutingTable() = default;
+  ~RoutingTable();
+
+  RoutingTable(const RoutingTable&) = delete;
+  RoutingTable& operator=(const RoutingTable&) = delete;
+
+  // Registered campaigns.  Wait-free; pairs with append()'s release store.
+  std::size_t size() const { return count_.load(std::memory_order_acquire); }
+
+  // Wait-free lookup: nullptr when the id has not been published yet.
+  // The returned pointer is valid for the table's lifetime.
+  const Entry* find(std::size_t campaign) const {
+    if (campaign >= size()) return nullptr;
+    return &entry_unchecked(campaign);
+  }
+
+  // Lookup for ids already validated against a size() observed earlier in
+  // the same operation — lets a batch validate every report against one
+  // consistent snapshot of the registry.
+  const Entry& entry_unchecked(std::size_t campaign) const {
+    return blocks_[campaign / kBlockSize].load(std::memory_order_acquire)
+        [campaign % kBlockSize];
+  }
+
+  // Append one campaign and return its dense id.  Single-writer: callers
+  // must serialize appends externally (the engine holds campaigns_mutex_).
+  // The entry becomes visible to readers only at the final release store,
+  // after every side effect the caller sequenced before the call.
+  std::size_t append(const Entry& entry);
+
+ private:
+  static constexpr std::size_t kBlockSize = 1024;
+  static constexpr std::size_t kMaxBlocks = 4096;  // 4M campaigns
+
+  std::atomic<Entry*> blocks_[kMaxBlocks] = {};
+  std::atomic<std::size_t> count_{0};
+};
+
+}  // namespace sybiltd::pipeline

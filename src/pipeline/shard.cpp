@@ -385,6 +385,12 @@ void Shard::record_push(PushResult result) {
   }
 }
 
+void Shard::record_accepted(std::size_t n) {
+  if (n == 0) return;
+  counters_.accepted.fetch_add(n, std::memory_order_relaxed);
+  PipelineMetrics::get().accepted.inc(n);
+}
+
 void Shard::add_campaign(std::size_t campaign, std::size_t task_count,
                          SnapshotCell* cell) {
   const bool inserted =

@@ -216,6 +216,10 @@ class Shard {
   // engine's submit path; thread-safe relaxed increments).
   void record_push(PushResult result);
 
+  // Bulk form of record_push(kOk) for the batched submit path: one pair of
+  // counter updates per run instead of one per report.
+  void record_accepted(std::size_t n);
+
   // One cooperative scheduling round: pop one micro-batch and process it,
   // or (when idle) honor a pending finalize request.  Returns false once
   // the queue is closed and drained — after running any finalize that

@@ -80,6 +80,7 @@ std::string to_json(const EngineCounters& counters) {
   std::string out = "{";
   bool first = true;
   append_u64(out, "submitted", counters.submitted, &first);
+  append_u64(out, "submitted_batches", counters.submitted_batches, &first);
   append_u64(out, "accepted", counters.accepted, &first);
   append_u64(out, "dropped", counters.dropped, &first);
   append_u64(out, "rejected", counters.rejected, &first);

@@ -179,20 +179,13 @@ HandlerResponse handle_ingest(pipeline::CampaignEngine& engine,
     }
   }
 
-  std::size_t accepted = 0;
-  bool closed = false;
-  for (const pipeline::Report& report : decoded) {
-    const pipeline::SubmitStatus status = engine.try_submit(report);
-    if (status == pipeline::SubmitStatus::kAccepted) {
-      ++accepted;
-      continue;
-    }
-    if (status == pipeline::SubmitStatus::kClosed ||
-        status == pipeline::SubmitStatus::kNotRunning) {
-      closed = true;
-    }
-    break;  // queue full (or shutdown): stop, report the partial accept
-  }
+  // One engine call for the whole batch: validation against a single
+  // routing snapshot, one queue lock per touched shard, and the same
+  // clean-prefix outcome a per-report try_submit loop would produce.
+  const pipeline::SubmitBatchResult submit = engine.try_submit_batch(decoded);
+  const std::size_t accepted = submit.accepted;
+  const bool closed = submit.status == pipeline::SubmitStatus::kClosed ||
+                      submit.status == pipeline::SubmitStatus::kNotRunning;
   const std::size_t rejected = decoded.size() - accepted;
   metrics.reports_accepted.inc(accepted);
   std::string body = "{\"campaign\": " + std::to_string(campaign) +

@@ -37,6 +37,8 @@ void usage(const char* argv0) {
       << "  --port N            TCP port (default 8080; 0 = ephemeral)\n"
       << "  --bind ADDR         bind address (default 127.0.0.1)\n"
       << "  --port-file PATH    write the resolved port to PATH\n"
+      << "  --loops N           event-loop threads (default: "
+         "SYBILTD_SERVER_LOOPS, else 1)\n"
       << "  --shards N          engine shards (default 2)\n"
       << "  --queue-capacity N  per-shard queue capacity (default 4096)\n"
       << "  --max-batch N       micro-batch size cap (default 256)\n"
@@ -96,6 +98,8 @@ int main(int argc, char** argv) {
       options.bind_address = need("--bind");
     } else if (arg == "--port-file") {
       port_file = need("--port-file");
+    } else if (arg == "--loops" && parse_size(need("--loops"), &n) && n > 0) {
+      options.loops = n;
     } else if (arg == "--shards" && parse_size(need("--shards"), &n) &&
                n > 0) {
       options.engine.shard_count = n;

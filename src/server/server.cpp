@@ -12,9 +12,11 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +28,10 @@
 namespace sybiltd::server {
 
 namespace {
+
+// Hard cap on event loops: bounds the fixed wake-fd fan-out that
+// request_shutdown() walks from a signal handler.
+constexpr std::size_t kMaxLoops = 64;
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -41,7 +47,10 @@ struct ServerMetrics {
   obs::Counter& connections_refused = obs::MetricsRegistry::global().counter(
       "server.connections.refused", "connections closed for exceeding the cap");
   obs::Gauge& connections_active = obs::MetricsRegistry::global().gauge(
-      "server.connections.active", "currently open connections");
+      "server.connections.active", "currently open connections (all loops)");
+  obs::Counter& accept_errors = obs::MetricsRegistry::global().counter(
+      "server.accept.errors",
+      "accept() failures other than would-block (EMFILE sheds included)");
   obs::Counter& requests = obs::MetricsRegistry::global().counter(
       "server.requests", "HTTP requests parsed");
   obs::Counter& responses_2xx = obs::MetricsRegistry::global().counter(
@@ -59,14 +68,30 @@ struct ServerMetrics {
   }
 };
 
+std::size_t resolve_loop_count(const ServerOptions& options) {
+  std::size_t loops = options.loops;
+  if (loops == 0) {
+    if (const char* env = std::getenv("SYBILTD_SERVER_LOOPS")) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0) {
+        loops = static_cast<std::size_t>(parsed);
+      }
+    }
+  }
+  if (loops == 0) loops = 1;
+  return loops > kMaxLoops ? kMaxLoops : loops;
+}
+
 }  // namespace
 
 struct CampaignServer::Impl {
   explicit Impl(ServerOptions opts)
       : options(std::move(opts)), engine(options.engine) {}
 
-  // One multiplexed connection.  `generation` distinguishes a live
-  // connection from a recycled slot when a parked drain completes late.
+  // One multiplexed connection.  Owned by exactly one loop; `generation`
+  // distinguishes a live connection from a recycled slot when a parked
+  // drain completes late.
   struct Connection {
     int fd = -1;
     std::uint64_t generation = 0;
@@ -81,7 +106,8 @@ struct CampaignServer::Impl {
 
   struct SlowJob {
     std::uint64_t generation = 0;
-    int fd = -1;  // key into connections at completion time
+    int fd = -1;            // key into the owning loop's map at completion
+    std::size_t loop = 0;   // which loop parked the connection
     std::size_t campaign = 0;
     bool keep_alive = true;
     std::chrono::steady_clock::time_point start;
@@ -95,81 +121,169 @@ struct CampaignServer::Impl {
     std::chrono::steady_clock::time_point start;
   };
 
+  // One event loop: a poll() set over connections this loop owns, plus an
+  // inbox other threads use to hand it work (accepted fds in shared-acceptor
+  // mode, drain completions from the worker).  Everything outside the inbox
+  // is touched only by the loop's own thread.
+  struct Loop {
+    std::size_t index = 0;
+    int listen_fd = -1;   // own listener (SO_REUSEPORT) or loop 0's shared one
+    int wake_read = -1;
+    int wake_write = -1;  // async-signal-safe side; also the inbox doorbell
+    int reserve_fd = -1;  // spare descriptor for EMFILE shedding
+    std::thread thread;
+    std::unordered_map<int, Connection> connections;
+    std::uint64_t next_generation = 1;
+
+    // Index-keyed registry instruments (server.loop<N>.*) so repeated
+    // server constructions reuse the same entries, mirroring the per-shard
+    // gauge naming in src/pipeline.
+    obs::Counter* requests_counter = nullptr;
+    obs::Gauge* connections_gauge = nullptr;
+
+    // Cross-thread inbox, drained after a wake.
+    std::mutex inbox_mutex;
+    std::vector<int> inbox_fds;
+    std::deque<SlowDone> inbox_done;
+  };
+
   ServerOptions options;
   pipeline::CampaignEngine engine;
 
-  int listen_fd = -1;
-  int wake_read = -1;   // self-pipe: worker completions and shutdown
-  int wake_write = -1;  // async-signal-safe side
+  std::size_t loop_count = 1;
+  bool reuseport = true;  // accept mode actually in use
+  std::vector<std::unique_ptr<Loop>> loops;  // immutable once start() returns
   std::uint16_t bound_port = 0;
+  std::size_t rr_next = 0;  // shared-acceptor round-robin (acceptor thread)
+  std::atomic<std::size_t> active_connections{0};
 
-  std::thread loop_thread;
   std::thread worker_thread;
   std::atomic<bool> started{false};
   std::atomic<bool> stopped{false};
   std::atomic<bool> shutdown_requested{false};
 
-  std::unordered_map<int, Connection> connections;
-  std::uint64_t next_generation = 1;
-
-  // Event loop -> worker: drain jobs.  Worker -> event loop: completions
-  // (picked up after a self-pipe wake).
+  // Event loops -> worker: drain jobs.  Worker -> owning loop: completions
+  // via the loop's inbox plus a wake.
   std::mutex slow_mutex;
   std::condition_variable slow_cv;
   std::deque<SlowJob> slow_jobs;
-  std::deque<SlowDone> slow_done;
   bool worker_quit = false;
 
   // --- Socket setup ---------------------------------------------------------
 
-  void open_sockets() {
-    int fds[2];
-    SYBILTD_CHECK(::pipe(fds) == 0, "pipe() failed");
-    wake_read = fds[0];
-    wake_write = fds[1];
-    set_nonblocking(wake_read);
-    set_nonblocking(wake_write);
-
-    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    SYBILTD_CHECK(listen_fd >= 0, "socket() failed");
+  int open_listener(bool with_reuseport, std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    SYBILTD_CHECK(fd >= 0, "socket() failed");
     const int one = 1;
-    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+#ifdef SO_REUSEPORT
+    if (with_reuseport) {
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+    }
+#else
+    (void)with_reuseport;
+#endif
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
-    addr.sin_port = htons(options.port);
+    addr.sin_port = htons(port);
     SYBILTD_CHECK(
         ::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) ==
             1,
         "bind address is not a valid IPv4 address");
-    SYBILTD_CHECK(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
-                         sizeof(addr)) == 0,
-                  "bind() failed (port in use?)");
-    SYBILTD_CHECK(::listen(listen_fd, options.backlog) == 0,
-                  "listen() failed");
-    set_nonblocking(listen_fd);
+    SYBILTD_CHECK(
+        ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+        "bind() failed (port in use?)");
+    SYBILTD_CHECK(::listen(fd, options.backlog) == 0, "listen() failed");
+    set_nonblocking(fd);
+    return fd;
+  }
 
+  std::uint16_t local_port(int fd) {
     sockaddr_in bound{};
     socklen_t len = sizeof(bound);
-    SYBILTD_CHECK(::getsockname(listen_fd,
-                                reinterpret_cast<sockaddr*>(&bound),
-                                &len) == 0,
-                  "getsockname() failed");
-    bound_port = ntohs(bound.sin_port);
+    SYBILTD_CHECK(
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+        "getsockname() failed");
+    return ntohs(bound.sin_port);
+  }
+
+  void open_sockets() {
+    loop_count = resolve_loop_count(options);
+#ifdef SO_REUSEPORT
+    reuseport = true;
+#else
+    reuseport = false;
+#endif
+    if (const char* env = std::getenv("SYBILTD_SERVER_ACCEPT")) {
+      if (std::string_view(env) == "shared") reuseport = false;
+    }
+    // One listener needs no kernel balancing; the plain path also keeps
+    // single-loop behaviour identical to the historical server.
+    if (loop_count == 1) reuseport = false;
+
+    loops.reserve(loop_count);
+    auto& registry = obs::MetricsRegistry::global();
+    for (std::size_t i = 0; i < loop_count; ++i) {
+      auto loop = std::make_unique<Loop>();
+      loop->index = i;
+      int fds[2];
+      SYBILTD_CHECK(::pipe(fds) == 0, "pipe() failed");
+      loop->wake_read = fds[0];
+      loop->wake_write = fds[1];
+      set_nonblocking(loop->wake_read);
+      set_nonblocking(loop->wake_write);
+      loop->reserve_fd = ::open("/dev/null", O_RDONLY);
+      const std::string prefix = "server.loop" + std::to_string(i);
+      loop->requests_counter = &registry.counter(
+          prefix + ".requests", "HTTP requests parsed by this event loop");
+      loop->connections_gauge = &registry.gauge(
+          prefix + ".connections_active",
+          "connections currently owned by this event loop");
+      loops.push_back(std::move(loop));
+    }
+
+    if (reuseport) {
+      // Every listener (the first included) must carry SO_REUSEPORT before
+      // bind for the kernel to build the balancing group; the first bind
+      // resolves an ephemeral port for the rest to join.
+      loops[0]->listen_fd = open_listener(/*with_reuseport=*/true,
+                                          options.port);
+      bound_port = local_port(loops[0]->listen_fd);
+      for (std::size_t i = 1; i < loop_count; ++i) {
+        loops[i]->listen_fd = open_listener(/*with_reuseport=*/true,
+                                            bound_port);
+      }
+    } else {
+      // Shared-acceptor fallback: loop 0 owns the only listener and
+      // round-robins accepted fds to the other loops over their inboxes.
+      loops[0]->listen_fd = open_listener(/*with_reuseport=*/false,
+                                          options.port);
+      bound_port = local_port(loops[0]->listen_fd);
+    }
   }
 
   void close_sockets() {
-    if (listen_fd >= 0) ::close(listen_fd);
-    if (wake_read >= 0) ::close(wake_read);
-    if (wake_write >= 0) ::close(wake_write);
-    listen_fd = wake_read = wake_write = -1;
+    for (auto& loop : loops) {
+      {
+        // Accepted fds handed off after their target loop already exited.
+        std::lock_guard<std::mutex> lock(loop->inbox_mutex);
+        for (int fd : loop->inbox_fds) ::close(fd);
+        loop->inbox_fds.clear();
+      }
+      if (loop->listen_fd >= 0) ::close(loop->listen_fd);
+      if (loop->wake_read >= 0) ::close(loop->wake_read);
+      if (loop->wake_write >= 0) ::close(loop->wake_write);
+      if (loop->reserve_fd >= 0) ::close(loop->reserve_fd);
+      loop->listen_fd = loop->wake_read = loop->wake_write =
+          loop->reserve_fd = -1;
+    }
   }
 
-  void wake() {
+  void wake(Loop& loop) {
     const char byte = 1;
     // Full pipe means a wake is already pending; EINTR retry is the only
     // loop, keeping this callable from a signal handler.
-    while (::write(wake_write, &byte, 1) < 0 && errno == EINTR) {
+    while (::write(loop.wake_write, &byte, 1) < 0 && errno == EINTR) {
     }
   }
 
@@ -192,11 +306,12 @@ struct CampaignServer::Impl {
       done.keep_alive = job.keep_alive;
       done.start = job.start;
       done.response = handle_drain(engine, job.campaign);
+      Loop& loop = *loops[job.loop];
       {
-        std::lock_guard<std::mutex> lock(slow_mutex);
-        slow_done.push_back(std::move(done));
+        std::lock_guard<std::mutex> lock(loop.inbox_mutex);
+        loop.inbox_done.push_back(std::move(done));
       }
-      wake();
+      wake(loop);
     }
   }
 
@@ -227,42 +342,98 @@ struct CampaignServer::Impl {
     record_response(response.status, start);
   }
 
-  void close_connection(int fd) {
+  void close_connection(Loop& loop, int fd) {
     ::close(fd);
-    connections.erase(fd);
-    ServerMetrics::get().connections_active.set(
-        static_cast<double>(connections.size()));
+    loop.connections.erase(fd);
+    const std::size_t active =
+        active_connections.fetch_sub(1, std::memory_order_relaxed) - 1;
+    ServerMetrics::get().connections_active.set(static_cast<double>(active));
+    loop.connections_gauge->set(static_cast<double>(loop.connections.size()));
   }
 
-  void accept_new() {
+  // Take ownership of an accepted socket on this loop's thread.
+  void adopt_fd(Loop& loop, int fd) {
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Connection conn(options.http);
+    conn.fd = fd;
+    conn.generation = loop.next_generation++;
+    loop.connections.emplace(fd, std::move(conn));
+    ServerMetrics::get().connections_accepted.inc();
+    loop.connections_gauge->set(static_cast<double>(loop.connections.size()));
+  }
+
+  // Hand a freshly accepted fd to a loop (shared-acceptor mode only; the
+  // caller is loop 0's thread).  The global connection count was already
+  // charged at accept time.
+  void deliver_fd(Loop& from, int fd) {
+    Loop& target = *loops[rr_next];
+    rr_next = (rr_next + 1) % loops.size();
+    if (&target == &from) {
+      adopt_fd(target, fd);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(target.inbox_mutex);
+      target.inbox_fds.push_back(fd);
+    }
+    wake(target);
+  }
+
+  void accept_new(Loop& loop) {
     while (true) {
-      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      const int fd = ::accept(loop.listen_fd, nullptr, nullptr);
       if (fd < 0) {
         if (errno == EINTR) continue;
-        return;  // EAGAIN or transient error: poll() will retry
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == ECONNABORTED) continue;  // peer gave up; next in queue
+        auto& metrics = ServerMetrics::get();
+        metrics.accept_errors.inc();
+        if (errno == EMFILE || errno == ENFILE) {
+          // Out of descriptors.  Returning here would spin the loop hot:
+          // the pending connection keeps the listener level-triggered
+          // readable forever.  Burn the reserve fd to free one slot, accept
+          // and immediately close the head of the queue (the peer gets a
+          // deterministic RST/EOF instead of hanging), then re-arm the
+          // reserve and back off to poll().
+          if (loop.reserve_fd >= 0) {
+            ::close(loop.reserve_fd);
+            loop.reserve_fd = -1;
+          }
+          const int shed = ::accept(loop.listen_fd, nullptr, nullptr);
+          if (shed >= 0) {
+            ::close(shed);
+            metrics.connections_refused.inc();
+          }
+          loop.reserve_fd = ::open("/dev/null", O_RDONLY);
+          return;
+        }
+        // Hard accept failure (ENOBUFS, ENOMEM, ...): counted; back off to
+        // poll() rather than spinning on a broken listener.
+        return;
       }
       auto& metrics = ServerMetrics::get();
-      if (connections.size() >= options.max_connections) {
+      const std::size_t active =
+          active_connections.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (active > options.max_connections) {
+        active_connections.fetch_sub(1, std::memory_order_relaxed);
         metrics.connections_refused.inc();
         ::close(fd);
         continue;
       }
-      set_nonblocking(fd);
-      const int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      Connection conn(options.http);
-      conn.fd = fd;
-      conn.generation = next_generation++;
-      connections.emplace(fd, std::move(conn));
-      metrics.connections_accepted.inc();
-      metrics.connections_active.set(
-          static_cast<double>(connections.size()));
+      metrics.connections_active.set(static_cast<double>(active));
+      if (reuseport || loops.size() == 1) {
+        adopt_fd(loop, fd);
+      } else {
+        deliver_fd(loop, fd);
+      }
     }
   }
 
   // Parse and answer everything buffered on the connection.  Returns false
   // when the connection should be closed immediately.
-  bool process_requests(Connection& conn) {
+  bool process_requests(Loop& loop, Connection& conn) {
     if (conn.waiting_slow) return true;  // parked until the drain completes
     auto& metrics = ServerMetrics::get();
     HttpRequest request;
@@ -271,6 +442,7 @@ struct CampaignServer::Impl {
       if (status == HttpParser::Status::kNeedMore) return true;
       if (status == HttpParser::Status::kError) {
         metrics.requests.inc();
+        loop.requests_counter->inc();
         const auto start = std::chrono::steady_clock::now();
         HandlerResponse response{conn.parser.error_status(),
                                  "application/json",
@@ -279,6 +451,7 @@ struct CampaignServer::Impl {
         return true;  // flush the error, then close
       }
       metrics.requests.inc();
+      loop.requests_counter->inc();
       const auto start = std::chrono::steady_clock::now();
       const bool keep_alive =
           request.keep_alive && !shutdown_requested.load();
@@ -287,6 +460,7 @@ struct CampaignServer::Impl {
         SlowJob job;
         job.generation = conn.generation;
         job.fd = conn.fd;
+        job.loop = loop.index;
         job.campaign = campaign;
         job.keep_alive = keep_alive;
         job.start = start;
@@ -340,21 +514,38 @@ struct CampaignServer::Impl {
     return true;
   }
 
-  void drain_wake_pipe() {
+  void drain_wake_pipe(Loop& loop) {
     char buffer[256];
-    while (::read(wake_read, buffer, sizeof(buffer)) > 0) {
+    while (::read(loop.wake_read, buffer, sizeof(buffer)) > 0) {
     }
   }
 
-  void collect_slow_done() {
+  // Adopt handed-off fds and apply drain completions.  Runs on the loop's
+  // thread after a wake (and once per iteration as a safety net).
+  void collect_inbox(Loop& loop, bool stopping) {
+    std::vector<int> fds;
     std::deque<SlowDone> done;
     {
-      std::lock_guard<std::mutex> lock(slow_mutex);
-      done.swap(slow_done);
+      std::lock_guard<std::mutex> lock(loop.inbox_mutex);
+      fds.swap(loop.inbox_fds);
+      done.swap(loop.inbox_done);
+    }
+    for (int fd : fds) {
+      if (stopping) {
+        // Accepted before shutdown, handed off after: close instead of
+        // serving, and release the slot charged at accept time.
+        ::close(fd);
+        const std::size_t active =
+            active_connections.fetch_sub(1, std::memory_order_relaxed) - 1;
+        ServerMetrics::get().connections_active.set(
+            static_cast<double>(active));
+        continue;
+      }
+      adopt_fd(loop, fd);
     }
     for (SlowDone& item : done) {
-      auto it = connections.find(item.fd);
-      if (it == connections.end() ||
+      auto it = loop.connections.find(item.fd);
+      if (it == loop.connections.end() ||
           it->second.generation != item.generation) {
         continue;  // peer went away while draining; drop the response
       }
@@ -362,20 +553,21 @@ struct CampaignServer::Impl {
       conn.waiting_slow = false;
       queue_response(conn, item.response, item.keep_alive, item.start);
       // Answer any requests the peer pipelined behind the drain.
-      process_requests(conn);
+      process_requests(loop, conn);
     }
   }
 
-  void loop_main() {
+  void loop_main(Loop& loop) {
     std::vector<pollfd> pollfds;
     std::vector<int> to_close;
     while (true) {
       const bool stopping = shutdown_requested.load();
       // Once shutdown is requested and every response has been flushed,
-      // the loop is done.
+      // this loop is done; wait() joining all loops forms the barrier.
       if (stopping) {
+        collect_inbox(loop, /*stopping=*/true);
         bool pending = false;
-        for (const auto& [fd, conn] : connections) {
+        for (const auto& [fd, conn] : loop.connections) {
           if (conn.waiting_slow || conn.out_offset < conn.out.size() ||
               !conn.out.empty()) {
             pending = true;
@@ -386,9 +578,11 @@ struct CampaignServer::Impl {
       }
 
       pollfds.clear();
-      pollfds.push_back({wake_read, POLLIN, 0});
-      if (!stopping) pollfds.push_back({listen_fd, POLLIN, 0});
-      for (const auto& [fd, conn] : connections) {
+      pollfds.push_back({loop.wake_read, POLLIN, 0});
+      if (!stopping && loop.listen_fd >= 0) {
+        pollfds.push_back({loop.listen_fd, POLLIN, 0});
+      }
+      for (const auto& [fd, conn] : loop.connections) {
         short events = 0;
         if (!conn.waiting_slow) events |= POLLIN;
         if (conn.out_offset < conn.out.size()) events |= POLLOUT;
@@ -402,22 +596,22 @@ struct CampaignServer::Impl {
 
       for (const pollfd& pfd : pollfds) {
         if (pfd.revents == 0) continue;
-        if (pfd.fd == wake_read) {
-          drain_wake_pipe();
+        if (pfd.fd == loop.wake_read) {
+          drain_wake_pipe(loop);
           continue;
         }
-        if (pfd.fd == listen_fd) {
-          accept_new();
+        if (pfd.fd == loop.listen_fd) {
+          accept_new(loop);
           continue;
         }
-        auto it = connections.find(pfd.fd);
-        if (it == connections.end()) continue;
+        auto it = loop.connections.find(pfd.fd);
+        if (it == loop.connections.end()) continue;
         Connection& conn = it->second;
         bool alive = true;
         if (pfd.revents & (POLLERR | POLLNVAL)) alive = false;
         if (alive && (pfd.revents & (POLLIN | POLLHUP))) {
           alive = read_from(conn);
-          if (alive) alive = process_requests(conn);
+          if (alive) alive = process_requests(loop, conn);
           // EOF with queued output: still flush what we owe.
           if (!alive && conn.out_offset < conn.out.size()) alive = true;
         }
@@ -428,31 +622,39 @@ struct CampaignServer::Impl {
         }
       }
       // Closing also covers fds with a drain in flight: erasing the slot
-      // is what makes collect_slow_done's generation check drop the stale
+      // is what makes collect_inbox's generation check drop the stale
       // completion instead of writing to a recycled descriptor.
       for (int fd : to_close) {
-        if (connections.count(fd) != 0) close_connection(fd);
+        if (loop.connections.count(fd) != 0) close_connection(loop, fd);
       }
       to_close.clear();
 
-      collect_slow_done();
+      collect_inbox(loop, shutdown_requested.load());
 
       if (stopping) {
         // Cut keep-alive connections that owe us nothing.
         std::vector<int> idle;
-        for (const auto& [fd, conn] : connections) {
+        for (const auto& [fd, conn] : loop.connections) {
           if (!conn.waiting_slow && conn.out.empty() &&
               !conn.parser.mid_request()) {
             idle.push_back(fd);
           }
         }
-        for (int fd : idle) close_connection(fd);
+        for (int fd : idle) close_connection(loop, fd);
       }
     }
 
-    for (const auto& [fd, conn] : connections) ::close(fd);
-    connections.clear();
-    ServerMetrics::get().connections_active.set(0.0);
+    // Final sweep: release everything this loop still owns, including fds
+    // that were handed off but never adopted.
+    collect_inbox(loop, /*stopping=*/true);
+    for (const auto& [fd, conn] : loop.connections) {
+      ::close(fd);
+      active_connections.fetch_sub(1, std::memory_order_relaxed);
+    }
+    loop.connections.clear();
+    loop.connections_gauge->set(0.0);
+    ServerMetrics::get().connections_active.set(static_cast<double>(
+        active_connections.load(std::memory_order_relaxed)));
   }
 };
 
@@ -467,21 +669,36 @@ void CampaignServer::start() {
   impl_->engine.start();
   impl_->started.store(true);
   impl_->worker_thread = std::thread([this] { impl_->worker_main(); });
-  impl_->loop_thread = std::thread([this] { impl_->loop_main(); });
+  for (auto& loop : impl_->loops) {
+    Impl::Loop* raw = loop.get();
+    raw->thread = std::thread([this, raw] { impl_->loop_main(*raw); });
+  }
 }
 
 std::uint16_t CampaignServer::port() const { return impl_->bound_port; }
+
+std::size_t CampaignServer::loop_count() const { return impl_->loop_count; }
 
 pipeline::CampaignEngine& CampaignServer::engine() { return impl_->engine; }
 
 void CampaignServer::request_shutdown() {
   impl_->shutdown_requested.store(true);
-  if (impl_->wake_write >= 0) impl_->wake();
+  // Async-signal-safe: the loops vector is immutable after start() and each
+  // wake is one write() to a pre-opened pipe.
+  if (!impl_->started.load()) return;
+  for (auto& loop : impl_->loops) {
+    if (loop->wake_write >= 0) impl_->wake(*loop);
+  }
 }
 
 void CampaignServer::wait() {
   if (!impl_->started.load()) return;
-  if (impl_->loop_thread.joinable()) impl_->loop_thread.join();
+  // Joining every loop is the drain barrier: each loop exits only after
+  // flushing its own in-flight responses, so once all have returned no
+  // report can still be entering the engine.
+  for (auto& loop : impl_->loops) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
   {
     std::lock_guard<std::mutex> lock(impl_->slow_mutex);
     impl_->worker_quit = true;

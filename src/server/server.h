@@ -1,23 +1,36 @@
 // CampaignServer — a long-running HTTP/1.1 front end over
 // pipeline::CampaignEngine.
 //
-// Threading model: one event-loop thread multiplexes every connection with
-// poll() over non-blocking sockets, and one slow-op worker runs the drain
-// barrier.  The loop itself never blocks on anything but poll(): reads and
-// writes are non-blocking, ingestion goes through the engine's
-// try_submit() (kReject semantics — a full shard queue becomes a 429, not
-// a stalled loop), and snapshot queries read wait-free cells.  Drain is
-// the one endpoint that must block (it waits for the convergence barrier),
-// so the loop parks the connection, hands the request to the worker, and a
-// self-pipe write wakes the loop when the response is ready.  A connection
-// generation counter guards the hand-back: if the peer disconnected while
-// draining, the stale completion is discarded instead of writing to a
-// recycled slot.
+// Threading model: N event-loop threads (ServerOptions::loops /
+// SYBILTD_SERVER_LOOPS, default 1) each multiplex a disjoint subset of the
+// connections with poll() over non-blocking sockets, plus one slow-op
+// worker that runs the drain barrier.  Every connection is owned by
+// exactly one loop for its whole lifetime — parser state, output buffer
+// and generation counter are plain members touched only by that loop's
+// thread — so the read/parse/respond path has no cross-loop locking at
+// all.  Ingestion goes through the engine's wait-free routing table and
+// try_submit_batch() (kReject semantics — a full shard queue becomes a
+// 429, not a stalled loop), and snapshot queries read wait-free cells.
+//
+// Connections are spread across loops by SO_REUSEPORT: each loop has its
+// own listener bound to the same port and the kernel load-balances
+// accepts.  Where SO_REUSEPORT is unavailable (or SYBILTD_SERVER_ACCEPT=
+// shared forces it, which the tests use), loop 0 owns the single listener
+// and round-robins accepted fds to the other loops over their wake pipes.
+//
+// Drain is the one endpoint that must block (it waits for the convergence
+// barrier), so a loop parks the connection, hands the request to the
+// worker, and the worker wakes the owning loop — by index — when the
+// response is ready.  A connection generation counter guards the
+// hand-back: if the peer disconnected while draining, the stale completion
+// is discarded instead of writing to a recycled slot.
 //
 // Shutdown is graceful and signal-driven: request_shutdown() is
-// async-signal-safe (a single write() to the self-pipe), after which the
-// loop stops accepting, finishes in-flight responses, drains the engine so
-// every accepted report is reflected in final snapshots, and returns.
+// async-signal-safe (one write() per loop's wake pipe), after which every
+// loop stops accepting, finishes its in-flight responses and returns;
+// wait() joining all N loops is the drain barrier, and only then is the
+// engine drained so every accepted report is reflected in final snapshots
+// (the accepted ⇒ applied contract is loop-count independent).
 #pragma once
 
 #include <cstdint>
@@ -34,8 +47,11 @@ struct ServerOptions {
   // TCP port; 0 picks an ephemeral port (read it back via port()).
   std::uint16_t port = 0;
   int backlog = 128;
-  // Connections beyond this are accepted and immediately closed with 503.
+  // Connections beyond this (summed across loops) are accepted and
+  // immediately closed.
   std::size_t max_connections = 1024;
+  // Event-loop threads.  0 = resolve from SYBILTD_SERVER_LOOPS, else 1.
+  std::size_t loops = 0;
   HttpLimits http;
   pipeline::EngineOptions engine;
 };
@@ -55,16 +71,19 @@ class CampaignServer {
   // The bound port (resolves port 0 after start()).
   std::uint16_t port() const;
 
+  // Event-loop threads the server runs with (resolved from options/env).
+  std::size_t loop_count() const;
+
   // The engine behind the API — for tests and for pre-registering
   // campaigns before start().
   pipeline::CampaignEngine& engine();
 
   // Begin graceful shutdown.  Async-signal-safe: only writes one byte to
-  // the self-pipe, so it is callable straight from a SIGTERM/SIGINT
-  // handler.  Idempotent.
+  // each loop's wake pipe, so it is callable straight from a
+  // SIGTERM/SIGINT handler.  Idempotent.
   void request_shutdown();
 
-  // Block until the server has fully shut down (event loop returned,
+  // Block until the server has fully shut down (every event loop returned,
   // engine drained and stopped).  Returns immediately if never started.
   void wait();
 

@@ -7,11 +7,14 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/ag_ts.h"
 #include "core/framework.h"
 #include "pipeline/engine.h"
@@ -50,6 +53,41 @@ TEST(ReportQueue, DropAndRejectPoliciesWhenFull) {
   EXPECT_EQ(queue.push({}, BackpressurePolicy::kReject),
             PushResult::kRejected);
   EXPECT_EQ(queue.size(), 2u);  // the full ring was untouched
+}
+
+TEST(ReportQueueBatchLock, InsertsRunAtomicallyAndUpdatesWatermark) {
+  ReportQueue queue(8);
+  {
+    ReportQueue::BatchLock lock(queue);
+    EXPECT_FALSE(lock.closed());
+    EXPECT_EQ(lock.free(), 8u);
+    for (std::size_t k = 0; k < 3; ++k) {
+      lock.push({0, k, 0, double(k), 0.0});
+    }
+    EXPECT_EQ(lock.free(), 5u);
+  }
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.high_watermark(), 3u);
+  Report out;
+  for (std::size_t k = 0; k < 3; ++k) {
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.account, k);  // FIFO order preserved through the run
+  }
+}
+
+TEST(ReportQueueBatchLock, ReportsFreeSpaceAndClosedState) {
+  ReportQueue queue(2);
+  EXPECT_EQ(queue.push({}, BackpressurePolicy::kBlock), PushResult::kOk);
+  {
+    ReportQueue::BatchLock lock(queue);
+    EXPECT_EQ(lock.free(), 1u);
+    lock.push({});
+    EXPECT_EQ(lock.free(), 0u);
+  }
+  EXPECT_EQ(queue.size(), 2u);
+  queue.close();
+  ReportQueue::BatchLock lock(queue);
+  EXPECT_TRUE(lock.closed());
 }
 
 TEST(ReportQueue, BlockingPushWaitsForSpace) {
@@ -573,6 +611,150 @@ TEST(CampaignEngine, RepeatedDrainsSeeMonotoneState) {
     EXPECT_TRUE(snap->converged);
   }
   engine.stop();
+}
+
+// --- try_submit_batch: equivalence with a per-report loop -------------------
+
+// The oracle try_submit_batch must match: call try_submit per report and
+// stop at the first non-kAccepted result.
+SubmitBatchResult submit_loop(CampaignEngine& engine,
+                              const std::vector<Report>& reports) {
+  SubmitBatchResult result;
+  for (const Report& report : reports) {
+    const SubmitStatus status = engine.try_submit(report);
+    if (status != SubmitStatus::kAccepted) {
+      result.status = status;
+      return result;
+    }
+    ++result.accepted;
+  }
+  return result;
+}
+
+// Run the same batch through one engine's try_submit_batch and a twin
+// engine's per-report loop; prefix, status, and every counter must agree.
+void expect_batch_matches_loop(const std::vector<Report>& reports) {
+  EngineOptions options;
+  options.shard_count = 3;
+  CampaignEngine batch_engine(options);
+  CampaignEngine loop_engine(options);
+  for (CampaignEngine* engine : {&batch_engine, &loop_engine}) {
+    for (int c = 0; c < 3; ++c) engine->add_campaign(4);
+    engine->start();
+  }
+  const SubmitBatchResult batch = batch_engine.try_submit_batch(reports);
+  const SubmitBatchResult loop = submit_loop(loop_engine, reports);
+  EXPECT_EQ(batch.accepted, loop.accepted);
+  EXPECT_EQ(batch.status, loop.status);
+  batch_engine.drain();
+  loop_engine.drain();
+  const EngineCounters bc = batch_engine.counters();
+  const EngineCounters lc = loop_engine.counters();
+  EXPECT_EQ(bc.submitted, lc.submitted);
+  EXPECT_EQ(bc.accepted, lc.accepted);
+  EXPECT_EQ(bc.rejected, lc.rejected);
+  EXPECT_EQ(bc.applied, lc.applied);
+  EXPECT_EQ(bc.accepted, bc.applied);  // every enqueued report was applied
+  batch_engine.stop();
+  loop_engine.stop();
+}
+
+TEST(TrySubmitBatch, MatchesPerReportLoopAcrossValidationStops) {
+  // All valid, spanning all three shards.
+  expect_batch_matches_loop({{0, 0, 0, 1.0, 0.0},
+                             {1, 0, 1, 2.0, 0.0},
+                             {2, 0, 2, 3.0, 0.0},
+                             {0, 1, 3, 4.0, 0.0}});
+  // Unknown campaign mid-batch: the prefix before it is still enqueued.
+  expect_batch_matches_loop(
+      {{0, 0, 0, 1.0, 0.0}, {9, 0, 0, 2.0, 0.0}, {1, 0, 0, 3.0, 0.0}});
+  // Invalid task on the first report: empty prefix, nothing enqueued.
+  expect_batch_matches_loop({{0, 0, 99, 1.0, 0.0}, {0, 0, 0, 2.0, 0.0}});
+  // NaN value mid-batch.
+  expect_batch_matches_loop({{1, 0, 0, 1.0, 0.0},
+                             {2, 0, 1, std::nan(""), 0.0},
+                             {0, 0, 0, 3.0, 0.0}});
+}
+
+TEST(TrySubmitBatch, EmptyBatchAndNotRunning) {
+  CampaignEngine engine;
+  engine.add_campaign(2);
+  std::vector<Report> reports{{0, 0, 0, 1.0, 0.0}};
+  const SubmitBatchResult before = engine.try_submit_batch(reports);
+  EXPECT_EQ(before.accepted, 0u);
+  EXPECT_EQ(before.status, SubmitStatus::kNotRunning);
+  engine.start();
+  const SubmitBatchResult empty = engine.try_submit_batch({});
+  EXPECT_EQ(empty.accepted, 0u);
+  EXPECT_EQ(empty.status, SubmitStatus::kAccepted);
+  engine.stop();
+}
+
+// Deterministic queue-full coverage: shrink the global pool to one worker
+// and park it, so no shard chain can pop while the batch lands.  Both the
+// batch engine and the loop oracle hit the same frozen queues.
+TEST(TrySubmitBatch, QueueFullStopsAtCleanPrefixAcrossShards) {
+  ThreadPool::set_global_concurrency(1);
+  {
+    EngineOptions options;
+    options.shard_count = 2;
+    options.queue_capacity = 2;
+    CampaignEngine batch_engine(options);
+    CampaignEngine loop_engine(options);
+    for (CampaignEngine* engine : {&batch_engine, &loop_engine}) {
+      for (int c = 0; c < 2; ++c) engine->add_campaign(2);
+      engine->start();
+    }
+    std::atomic<bool> blocker_running{false};
+    std::atomic<bool> release{false};
+    std::mutex blocker_mutex;
+    std::condition_variable blocker_cv;
+    ThreadPool::global().submit([&] {
+      blocker_running.store(true);
+      std::unique_lock<std::mutex> lock(blocker_mutex);
+      blocker_cv.wait(lock, [&] { return release.load(); });
+    });
+    while (!blocker_running.load()) std::this_thread::yield();
+
+    // Campaigns 0/1 land on shards 0/1; each shard holds 2.  The batch
+    // interleaves shards so the stop lands mid-batch on shard 0: reports
+    // 0,2 fill shard 0, report 1 goes to shard 1, report 4 (shard 0 again)
+    // finds no budget — accepted prefix is exactly 4.
+    const std::vector<Report> reports{{0, 0, 0, 1.0, 0.0},
+                                      {1, 0, 0, 2.0, 0.0},
+                                      {0, 1, 1, 3.0, 0.0},
+                                      {1, 1, 1, 4.0, 0.0},
+                                      {0, 2, 0, 5.0, 0.0},
+                                      {1, 2, 0, 6.0, 0.0}};
+    const SubmitBatchResult batch = batch_engine.try_submit_batch(reports);
+    const SubmitBatchResult loop = submit_loop(loop_engine, reports);
+    EXPECT_EQ(batch.accepted, 4u);
+    EXPECT_EQ(batch.status, SubmitStatus::kQueueFull);
+    EXPECT_EQ(batch.accepted, loop.accepted);
+    EXPECT_EQ(batch.status, loop.status);
+    const EngineCounters bc = batch_engine.counters();
+    const EngineCounters lc = loop_engine.counters();
+    // 4 accepted plus the one report that reached the queue and was turned
+    // away; the rejection is charged to the stopping report's shard.
+    EXPECT_EQ(bc.submitted, 5u);
+    EXPECT_EQ(bc.submitted, lc.submitted);
+    EXPECT_EQ(bc.rejected, 1u);
+    EXPECT_EQ(bc.rejected, lc.rejected);
+    EXPECT_EQ(bc.shards[0].rejected, 1u);
+
+    {
+      std::lock_guard<std::mutex> lock(blocker_mutex);
+      release.store(true);
+    }
+    blocker_cv.notify_one();
+    batch_engine.drain();
+    loop_engine.drain();
+    EXPECT_EQ(batch_engine.counters().applied, 4u);
+    EXPECT_EQ(loop_engine.counters().applied, 4u);
+    batch_engine.stop();
+    loop_engine.stop();
+  }
+  ThreadPool::set_global_concurrency(ThreadPool::configured_concurrency());
 }
 
 }  // namespace

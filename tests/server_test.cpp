@@ -12,9 +12,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 #include "common/rng.h"
 #include "core/ag_ts.h"
@@ -684,6 +687,371 @@ TEST(CampaignServer, LiveCampaignCreationOverTheWire) {
   EXPECT_DOUBLE_EQ(doc.find("truths")->array[0].number, 5.0);
   ::close(fd);
   server.shutdown();
+}
+
+// --- Multi-loop end-to-end ---------------------------------------------------
+
+// Scoped environment override (SYBILTD_SERVER_ACCEPT / SYBILTD_SERVER_LOOPS).
+struct EnvGuard {
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_) old_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  const char* name_;
+  std::string old_;
+  bool had_ = false;
+};
+
+// Write `wire` in one syscall-sized burst, then read `count` complete
+// responses off the socket — exercises pipelined keep-alive on one loop.
+std::vector<ClientResponse> pipelined(int fd, const std::string& wire,
+                                      std::size_t count) {
+  std::vector<ClientResponse> out;
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = ::write(fd, wire.data() + off, wire.size() - off);
+    if (n <= 0) return out;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string buffer;
+  char chunk[4096];
+  while (out.size() < count) {
+    const std::size_t header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      const std::size_t cl = buffer.find("Content-Length: ");
+      std::size_t body_len = 0;
+      if (cl != std::string::npos && cl < header_end) {
+        body_len = std::strtoul(buffer.c_str() + cl + 16, nullptr, 10);
+      }
+      if (buffer.size() >= header_end + 4 + body_len) {
+        ClientResponse response;
+        response.status = std::atoi(buffer.c_str() + 9);
+        response.body = buffer.substr(header_end + 4, body_len);
+        out.push_back(std::move(response));
+        buffer.erase(0, header_end + 4 + body_len);
+        continue;
+      }
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return out;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+std::string ingest_request(std::size_t campaign, const std::string& body) {
+  return "POST /v1/campaigns/" + std::to_string(campaign) +
+         "/reports HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\n\r\n" + body;
+}
+
+TEST(MultiLoopServer, FourLoopsServeManyConnections) {
+  ServerOptions options;
+  options.port = 0;
+  options.loops = 4;
+  CampaignServer server(options);
+  server.engine().add_campaign(4);
+  server.start();
+  EXPECT_EQ(server.loop_count(), 4u);
+
+  std::vector<int> fds;
+  for (int i = 0; i < 8; ++i) fds.push_back(connect_loopback(server.port()));
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    const std::string body = "[{\"account\":" + std::to_string(i) +
+                             ",\"task\":0,\"value\":1.0}]";
+    EXPECT_EQ(
+        round_trip(fds[i], "POST", "/v1/campaigns/0/reports", body).status,
+        202);
+    EXPECT_EQ(round_trip(fds[i], "GET", "/v1/status").status, 200);
+  }
+  for (int fd : fds) ::close(fd);
+  server.shutdown();
+  const auto counters = server.engine().counters();
+  EXPECT_EQ(counters.accepted, 8u);
+  EXPECT_EQ(counters.applied, 8u);
+}
+
+TEST(MultiLoopServer, SharedAcceptorRoundRobinsAcrossLoops) {
+  EnvGuard accept_mode("SYBILTD_SERVER_ACCEPT", "shared");
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t loop1_before =
+      registry.counter("server.loop1.requests", "").value();
+  const std::uint64_t loop2_before =
+      registry.counter("server.loop2.requests", "").value();
+
+  ServerOptions options;
+  options.port = 0;
+  options.loops = 3;
+  CampaignServer server(options);
+  server.engine().add_campaign(2);
+  server.start();
+  EXPECT_EQ(server.loop_count(), 3u);
+
+  // Round-robin hand-off: connection i lands on loop i % 3, so every loop
+  // owns two of these six connections and serves their requests.
+  std::vector<int> fds;
+  for (int i = 0; i < 6; ++i) fds.push_back(connect_loopback(server.port()));
+  for (int fd : fds) {
+    EXPECT_EQ(round_trip(fd, "GET", "/healthz").status, 200);
+  }
+  for (int fd : fds) ::close(fd);
+  server.shutdown();
+
+  EXPECT_GT(registry.counter("server.loop1.requests", "").value(),
+            loop1_before);
+  EXPECT_GT(registry.counter("server.loop2.requests", "").value(),
+            loop2_before);
+}
+
+TEST(MultiLoopServer, LiveCampaignVisibleOnEveryLoop) {
+  // Shared-acceptor mode makes connection→loop placement deterministic, so
+  // this really does ingest on all four loops.
+  EnvGuard accept_mode("SYBILTD_SERVER_ACCEPT", "shared");
+  ServerOptions options;
+  options.port = 0;
+  options.loops = 4;
+  CampaignServer server(options);
+  server.start();  // zero campaigns pre-registered
+
+  std::vector<int> fds;
+  for (int i = 0; i < 4; ++i) fds.push_back(connect_loopback(server.port()));
+  // Create the campaign through loop 0's connection; the registration must
+  // be visible to try_submit_batch on every other loop thread immediately.
+  ASSERT_EQ(round_trip(fds[0], "POST", "/v1/campaigns", "{\"tasks\": 2}")
+                .status,
+            201);
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    const std::string body = "[{\"account\":" + std::to_string(i) +
+                             ",\"task\":0,\"value\":4.0}]";
+    EXPECT_EQ(
+        round_trip(fds[i], "POST", "/v1/campaigns/0/reports", body).status,
+        202)
+        << "loop " << i;
+  }
+  ASSERT_EQ(round_trip(fds[1], "POST", "/v1/campaigns/0/drain").status, 200);
+  const ClientResponse truths =
+      round_trip(fds[2], "GET", "/v1/campaigns/0/truths");
+  ASSERT_EQ(truths.status, 200);
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(truths.body, doc));
+  EXPECT_DOUBLE_EQ(doc.find("applied_reports")->number, 4.0);
+  for (int fd : fds) ::close(fd);
+  server.shutdown();
+}
+
+TEST(MultiLoopServer, KeepAlivePipeliningPerLoop) {
+  EnvGuard accept_mode("SYBILTD_SERVER_ACCEPT", "shared");
+  ServerOptions options;
+  options.port = 0;
+  options.loops = 2;
+  CampaignServer server(options);
+  server.engine().add_campaign(2);
+  server.start();
+
+  const int fd_a = connect_loopback(server.port());  // loop 0
+  const int fd_b = connect_loopback(server.port());  // loop 1
+  for (int fd : {fd_a, fd_b}) {
+    std::string wire;
+    for (int k = 0; k < 3; ++k) {
+      wire += ingest_request(
+          0, "[{\"account\":" + std::to_string(k) +
+                 ",\"task\":1,\"value\":2.0}]");
+    }
+    const std::vector<ClientResponse> responses = pipelined(fd, wire, 3);
+    ASSERT_EQ(responses.size(), 3u);
+    for (const ClientResponse& response : responses) {
+      EXPECT_EQ(response.status, 202);
+    }
+  }
+  ::close(fd_a);
+  ::close(fd_b);
+  server.shutdown();
+  EXPECT_EQ(server.engine().counters().applied, 6u);
+}
+
+TEST(MultiLoopServer, ShutdownBarrierFlushesInFlightWritesOnEveryLoop) {
+  EnvGuard accept_mode("SYBILTD_SERVER_ACCEPT", "shared");
+  ServerOptions options;
+  options.port = 0;
+  options.loops = 4;
+  CampaignServer server(options);
+  server.engine().add_campaign(4);
+  server.start();
+
+  // Two connections per loop, each with an ingest response in flight: the
+  // request is written and at least one response byte exists server-side
+  // (MSG_PEEK), but nothing has been read.  The SIGTERM-path shutdown must
+  // flush every one of these before the loops exit.
+  std::vector<int> fds;
+  for (int i = 0; i < 8; ++i) fds.push_back(connect_loopback(server.port()));
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    const std::string wire = ingest_request(
+        0, "[{\"account\":" + std::to_string(i) +
+               ",\"task\":" + std::to_string(i % 4) + ",\"value\":1.5}]");
+    ASSERT_EQ(::write(fds[i], wire.data(), wire.size()),
+              static_cast<ssize_t>(wire.size()));
+  }
+  for (int fd : fds) {
+    char peek = 0;
+    ASSERT_EQ(::recv(fd, &peek, 1, MSG_PEEK), 1);  // response started
+  }
+
+  server.request_shutdown();  // what the SIGTERM handler calls
+  server.wait();              // barrier across all four loops
+
+  // Every in-flight response is intact in the socket even though the
+  // server is gone.
+  std::string buffer;
+  char chunk[4096];
+  for (int fd : fds) {
+    buffer.clear();
+    ssize_t n = 0;
+    while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    EXPECT_EQ(buffer.compare(0, 12, "HTTP/1.1 202"), 0) << buffer;
+    ::close(fd);
+  }
+  const auto counters = server.engine().counters();
+  EXPECT_EQ(counters.accepted, 8u);
+  EXPECT_EQ(counters.applied, 8u);
+  EXPECT_TRUE(server.engine().snapshot(0)->converged);
+}
+
+TEST(MultiLoopServer, LoopCountResolvesFromEnvAndOptions) {
+  EnvGuard loops_env("SYBILTD_SERVER_LOOPS", "3");
+  {
+    ServerOptions options;
+    options.port = 0;  // options.loops = 0 defers to the environment
+    CampaignServer server(options);
+    server.engine().add_campaign(1);
+    server.start();
+    EXPECT_EQ(server.loop_count(), 3u);
+    server.shutdown();
+  }
+  {
+    ServerOptions options;
+    options.port = 0;
+    options.loops = 2;  // explicit option wins over the environment
+    CampaignServer server(options);
+    server.engine().add_campaign(1);
+    server.start();
+    EXPECT_EQ(server.loop_count(), 2u);
+    server.shutdown();
+  }
+}
+
+// Acceptance: the batch-framework equivalence holds with four loops and the
+// ingest split across four connections — report order across connections is
+// free, and last-write-wins per (account, task) makes the result invariant.
+TEST(MultiLoopServer, HttpIngestThenDrainMatchesBatchFrameworkAcrossLoops) {
+  constexpr std::size_t kTasks = 12;
+  Rng rng(29);
+  std::vector<double> truth(kTasks);
+  for (auto& t : truth) t = rng.uniform(-90.0, -50.0);
+
+  core::FrameworkInput input;
+  input.task_count = kTasks;
+  auto add_account = [&](const std::vector<std::size_t>& tasks, double base,
+                         double sigma) {
+    core::AccountTrace trace;
+    std::vector<std::size_t> sorted = tasks;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t t : sorted) {
+      const double value =
+          (base == 0.0 ? truth[t] : base) + rng.normal(0.0, sigma);
+      trace.reports.push_back({t, value, 0.0});
+    }
+    input.accounts.push_back(std::move(trace));
+  };
+  for (int s = 0; s < 3; ++s) {
+    add_account({0, 1, 2, 3, 4, 5, 6, 7}, -50.0, 0.2);
+  }
+  for (int s = 0; s < 2; ++s) {
+    add_account({4, 5, 6, 7, 8, 9, 10, 11}, -55.0, 0.2);
+  }
+  for (std::size_t u = 0; u < 8; ++u) {
+    add_account({u % kTasks, (u + 3) % kTasks, (u + 6) % kTasks}, 0.0, 2.0);
+  }
+
+  struct Flat {
+    std::size_t account, task;
+    double value;
+  };
+  std::vector<Flat> reports;
+  for (std::size_t a = 0; a < input.accounts.size(); ++a) {
+    for (const auto& r : input.accounts[a].reports) {
+      reports.push_back({a, r.task, r.value});
+    }
+  }
+  std::shuffle(reports.begin(), reports.end(), rng);
+
+  ServerOptions options;
+  options.port = 0;
+  options.loops = 4;
+  options.engine.shard_count = 2;
+  options.engine.max_batch = 16;
+  CampaignServer server(options);
+  server.engine().add_campaign(kTasks);
+  server.start();
+
+  // Four keep-alive connections (spread over the loops by SO_REUSEPORT or
+  // the shared acceptor — either way the result must match), batches dealt
+  // round-robin.
+  std::vector<int> fds;
+  for (int i = 0; i < 4; ++i) fds.push_back(connect_loopback(server.port()));
+  constexpr std::size_t kBatch = 5;
+  std::size_t turn = 0;
+  for (std::size_t begin = 0; begin < reports.size(); begin += kBatch) {
+    std::string body = "[";
+    for (std::size_t k = begin;
+         k < std::min(begin + kBatch, reports.size()); ++k) {
+      if (k > begin) body += ",";
+      char value[64];
+      std::snprintf(value, sizeof(value), "%.17g", reports[k].value);
+      body += "{\"account\":" + std::to_string(reports[k].account) +
+              ",\"task\":" + std::to_string(reports[k].task) +
+              ",\"value\":" + value + "}";
+    }
+    body += "]";
+    const int fd = fds[turn++ % fds.size()];
+    ASSERT_EQ(round_trip(fd, "POST", "/v1/campaigns/0/reports", body).status,
+              202);
+  }
+
+  ASSERT_EQ(round_trip(fds[0], "POST", "/v1/campaigns/0/drain").status, 200);
+  const ClientResponse truths =
+      round_trip(fds[1], "GET", "/v1/campaigns/0/truths");
+  ASSERT_EQ(truths.status, 200);
+  for (int fd : fds) ::close(fd);
+  server.shutdown();
+
+  const core::FrameworkResult batch = core::run_framework(
+      input, core::AgTs(core::AgTsOptions{1.0}), core::FrameworkOptions{});
+
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(truths.body, doc));
+  const JsonValue* wire_truths = doc.find("truths");
+  ASSERT_NE(wire_truths, nullptr);
+  ASSERT_EQ(wire_truths->array.size(), batch.truths.size());
+  for (std::size_t j = 0; j < kTasks; ++j) {
+    ASSERT_FALSE(std::isnan(batch.truths[j]));
+    ASSERT_TRUE(wire_truths->array[j].is_number()) << "task " << j;
+    EXPECT_NEAR(wire_truths->array[j].number, batch.truths[j], 1e-9)
+        << "task " << j;
+  }
+  EXPECT_TRUE(doc.find("converged")->boolean);
+  EXPECT_DOUBLE_EQ(doc.find("applied_reports")->number,
+                   static_cast<double>(reports.size()));
 }
 
 TEST(CampaignServer, GracefulShutdownDrainsAcceptedReports) {
