@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a structured JSON-lines log written via SYBILTD_LOG.
+
+Usage: check_logs.py <log.jsonl> [--require EVENT[:MIN]]... [--min-lines N]
+
+Every non-empty line must be a standalone JSON object carrying the schema
+the obs logger promises: a numeric `ts` (fractional seconds since the unix
+epoch), a `level` drawn from debug/info/warn/error, and a non-empty string
+`event`.  Any further keys are free-form fields and only need to be valid
+JSON scalars.  `--require EVENT` asserts at least one entry (or `:MIN`
+entries) with that event name — CI uses it to prove the server actually
+emitted `server_started` / `slow_request` entries rather than an empty
+file.  Exits non-zero with a `check_logs: FAIL:` diagnostic on the first
+violation so a malformed emitter breaks the build, not the log pipeline
+downstream.
+"""
+import json
+import sys
+
+LEVELS = {"debug", "info", "warn", "error"}
+
+
+def fail(message):
+    print(f"check_logs: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_entry(path, lineno, line):
+    try:
+        entry = json.loads(line)
+    except json.JSONDecodeError as error:
+        fail(f"{path}:{lineno}: not valid JSON ({error}): {line[:120]!r}")
+    if not isinstance(entry, dict):
+        fail(f"{path}:{lineno}: line is not a JSON object")
+    ts = entry.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts <= 0:
+        fail(f"{path}:{lineno}: bad or missing ts: {ts!r}")
+    level = entry.get("level")
+    if level not in LEVELS:
+        fail(f"{path}:{lineno}: bad or missing level: {level!r}")
+    event = entry.get("event")
+    if not isinstance(event, str) or not event:
+        fail(f"{path}:{lineno}: bad or missing event: {event!r}")
+    for key, value in entry.items():
+        if not isinstance(value, (str, int, float, bool)):
+            fail(f"{path}:{lineno}: field {key!r} is not a JSON scalar: "
+                 f"{value!r}")
+    return entry
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1].startswith("-"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    required = {}
+    min_lines = 1
+    i = 2
+    while i < len(argv):
+        if argv[i] == "--require" and i + 1 < len(argv):
+            spec = argv[i + 1]
+            event, _, minimum = spec.partition(":")
+            required[event] = int(minimum) if minimum else 1
+            i += 2
+        elif argv[i] == "--min-lines" and i + 1 < len(argv):
+            min_lines = int(argv[i + 1])
+            i += 2
+        else:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+
+    events = {}
+    last_ts = None
+    total = 0
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            entry = check_entry(path, lineno, line)
+            total += 1
+            events[entry["event"]] = events.get(entry["event"], 0) + 1
+            # The writer thread drains the ring in order, so timestamps
+            # must be non-decreasing; going backwards means interleaved
+            # writers are corrupting the file.
+            if last_ts is not None and entry["ts"] < last_ts:
+                fail(f"{path}:{lineno}: ts went backwards "
+                     f"({entry['ts']} < {last_ts})")
+            last_ts = entry["ts"]
+
+    if total < min_lines:
+        fail(f"{path}: only {total} entries; expected at least {min_lines}")
+    for event, minimum in sorted(required.items()):
+        if events.get(event, 0) < minimum:
+            fail(f"{path}: event {event!r} seen {events.get(event, 0)} "
+                 f"times; expected at least {minimum}")
+    print(f"check_logs: {path}: {total} entries, "
+          f"{len(events)} distinct events, schema OK")
+    print("check_logs: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,7 +2,7 @@
 """Validate the observability artifacts a campaign run leaves behind.
 
 Usage: check_trace.py <trace.json> <metrics.json>
-       check_trace.py --prometheus <metrics.txt>
+       check_trace.py --prometheus <metrics.txt> [extra_required_series...]
 
 The trace file is the Chrome trace-event JSON written when SYBILTD_TRACE is
 set; the metrics file is the obs::to_json() dump written by
@@ -12,22 +12,30 @@ renames a core metric fails the build instead of being discovered the next
 time someone opens Perfetto.
 
 `--prometheus` instead validates a Prometheus text exposition, as served by
-the campaign server's GET /metrics: every sample line must parse, and the
+the campaign server's GET /metrics: every sample line must parse (including
+label blocks, whose values must be correctly escaped), histogram families
+must be internally coherent (`le` on every `_bucket`, a `+Inf` bucket whose
+count matches `_count`, cumulative bucket counts, a `_sum` sample), and the
 server.* request/ingestion series plus the process uptime gauge must be
 present (the CI server-smoke job curls the endpoint into a file and runs
-this mode against it).
+this mode against it).  Any further positional arguments name additional
+series that must be present — the observability job uses this to gate the
+per-campaign ingest latency histograms.
 """
 import json
 import re
 import sys
 
 # Spans the streaming example must emit: the per-shard drain, the campaign
-# regroup/refine pair, and the truth-discovery iteration loop.
+# regroup/refine/publish stages, and the truth-discovery iteration loop.
+# (The server adds http/parse, ingest/route, and shard/queue_wait on top,
+# but those need live HTTP traffic so the example run cannot gate them.)
 REQUIRED_SPANS = {
     "shard/step",
     "shard/apply",
     "campaign/regroup",
     "campaign/refine",
+    "campaign/publish",
     "framework/run",
     "framework/iterate",
 }
@@ -135,10 +143,70 @@ REQUIRED_PROMETHEUS = {
 }
 
 _SAMPLE_RE = re.compile(
-    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$")
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|[+-]Inf|NaN)$")
+# One label pair: a bare identifier key and a double-quoted value in which
+# only \" \\ and \n escapes are legal (the exposition format's rules).
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\["\\n])*)"')
 
 
-def check_prometheus(path):
+def parse_labels(block, path, line):
+    """Parse a `{k="v",...}` block into a dict, failing on malformed input."""
+    inner = block[1:-1]
+    labels = {}
+    pos = 0
+    while pos < len(inner):
+        match = _LABEL_RE.match(inner, pos)
+        if not match:
+            fail(f"{path}: malformed label block in {line!r}")
+        if match.group(1) in labels:
+            fail(f"{path}: duplicate label {match.group(1)!r} in {line!r}")
+        labels[match.group(1)] = match.group(2)
+        pos = match.end()
+        if pos < len(inner):
+            if inner[pos] != ",":
+                fail(f"{path}: expected ',' between labels in {line!r}")
+            pos += 1
+            if pos == len(inner):
+                fail(f"{path}: trailing ',' in label block of {line!r}")
+    return labels
+
+
+def parse_value(text, path, line):
+    try:
+        return float(text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+    except ValueError:
+        fail(f"{path}: bad sample value in {line!r}")
+
+
+def check_histogram_coherence(path, buckets, counts, sums):
+    """Every histogram series must be cumulative and agree with _count."""
+    for key, series in sorted(buckets.items()):
+        family, labels = key
+        where = f"{family}{{{labels}}}" if labels else family
+        if "+Inf" not in series:
+            fail(f"{path}: {where}: no le=\"+Inf\" bucket")
+        ordered = sorted(series.items(), key=lambda kv: float(
+            kv[0].replace("+Inf", "inf")))
+        previous = 0.0
+        for edge, count in ordered:
+            if count < previous:
+                fail(f"{path}: {where}: bucket le={edge} count {count} "
+                     f"below previous {previous}; not cumulative")
+            previous = count
+        if key not in counts:
+            fail(f"{path}: {where}: _bucket series without _count")
+        if counts[key] != series["+Inf"]:
+            fail(f"{path}: {where}: _count {counts[key]} != "
+                 f"+Inf bucket {series['+Inf']}")
+        if key not in sums:
+            fail(f"{path}: {where}: _bucket series without _sum")
+    for key in counts:
+        if key not in buckets:
+            family, labels = key
+            fail(f"{path}: {family}{{{labels}}}: _count without _bucket")
+
+
+def check_prometheus(path, extra_required=()):
     with open(path) as handle:
         lines = handle.read().splitlines()
     if not lines:
@@ -146,6 +214,10 @@ def check_prometheus(path):
     names = set()
     helped = set()
     typed = set()
+    # Histogram bookkeeping, keyed by (family, sorted-labels-minus-le).
+    buckets = {}
+    counts = {}
+    sums = {}
     for line in lines:
         if not line:
             continue
@@ -164,25 +236,45 @@ def check_prometheus(path):
         if not match:
             fail(f"{path}: unparseable sample line {line!r}")
         name = match.group(1)
+        labels = parse_labels(match.group(2), path, line) \
+            if match.group(2) else {}
+        value = parse_value(match.group(3), path, line)
         # Histogram series fold back to their family name for the checks.
         family = re.sub(r"_(bucket|count|sum)$", "", name)
         names.add(name)
         names.add(family)
         if not re.fullmatch(r"[a-zA-Z0-9_:]+", name):
             fail(f"{path}: unsanitized metric name {name!r}")
-    missing = REQUIRED_PROMETHEUS - names
+        rest = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items())
+                        if k != "le")
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                fail(f"{path}: _bucket sample without le label: {line!r}")
+            series = buckets.setdefault((family, rest), {})
+            if labels["le"] in series:
+                fail(f"{path}: duplicate bucket le={labels['le']} "
+                     f"for {family}{{{rest}}}")
+            series[labels["le"]] = value
+        elif name.endswith("_count") and family in typed:
+            counts[(family, rest)] = value
+        elif name.endswith("_sum") and family in typed:
+            sums[(family, rest)] = value
+    check_histogram_coherence(path, buckets, counts, sums)
+    required = REQUIRED_PROMETHEUS | set(extra_required)
+    missing = required - names
     if missing:
         fail(f"{path}: missing series {sorted(missing)}")
     untyped = {n for n in names if n in helped} - typed
     if untyped:
         fail(f"{path}: HELP without TYPE for {sorted(untyped)}")
     print(f"check_trace: {path}: {len(names)} series, "
+          f"{len(buckets)} histogram label-sets coherent, "
           f"all required server series present")
 
 
 def main(argv):
-    if len(argv) == 3 and argv[1] == "--prometheus":
-        check_prometheus(argv[2])
+    if len(argv) >= 3 and argv[1] == "--prometheus":
+        check_prometheus(argv[2], argv[3:])
         print("check_trace: PASS")
         return 0
     if len(argv) != 3:

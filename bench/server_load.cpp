@@ -18,7 +18,9 @@
 //               behind docs/PERFORMANCE.md and BENCH_server.json
 //   --json      google-benchmark-compatible JSON, one entry per run named
 //               http_ingest/loops:L/connections:C/batch:B with
-//               reports_per_sec / p50_us / p99_us user counters — the
+//               reports_per_sec / p50_us / p99_us user counters plus
+//               publish_p50_us / publish_p99_us (end-to-end ingest->publish
+//               latency from the per-campaign registry histograms) — the
 //               shape compare_bench.py understands; committed as
 //               BENCH_server.json.
 #include <arpa/inet.h>
@@ -31,10 +33,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "server/server.h"
 
 using namespace sybiltd;
@@ -158,6 +162,37 @@ void run_client(std::uint16_t port, std::size_t client, std::size_t requests,
   ::close(fd);
 }
 
+// Bucket counts of every pipeline.ingest_to_publish_us series, merged
+// across campaign labels.  The registry accumulates across sweep
+// configurations, so callers take a before/after delta per run.
+std::map<double, std::uint64_t> publish_latency_buckets() {
+  std::map<double, std::uint64_t> merged;
+  for (const obs::HistogramValue& h : obs::snapshot().histograms) {
+    if (h.name != "pipeline.ingest_to_publish_us") continue;
+    for (const obs::HistogramBucket& bucket : h.buckets) {
+      merged[bucket.upper_edge] += bucket.count;
+    }
+  }
+  return merged;
+}
+
+// Percentile from log2 bucket counts: the upper edge of the bucket the
+// quantile lands in (a <=2x over-estimate, same resolution as /metrics).
+double bucket_percentile(const std::map<double, std::uint64_t>& buckets,
+                         double q) {
+  std::uint64_t total = 0;
+  for (const auto& [edge, count] : buckets) total += count;
+  if (total == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::max(1.0, q * static_cast<double>(total)));
+  std::uint64_t cumulative = 0;
+  for (const auto& [edge, count] : buckets) {
+    cumulative += count;
+    if (cumulative >= target) return edge;
+  }
+  return buckets.rbegin()->first;
+}
+
 double percentile(std::vector<double>& values, double p) {
   if (values.empty()) return 0.0;
   const std::size_t k = static_cast<std::size_t>(
@@ -182,6 +217,10 @@ struct LoadResult {
   double reports_per_sec = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  // End-to-end ingest->publish latency from the labeled registry
+  // histograms (0 when SYBILTD_LATENCY=off disables stamping).
+  double publish_p50_us = 0.0;
+  double publish_p99_us = 0.0;
   std::uint64_t engine_accepted = 0;
   std::uint64_t engine_applied = 0;
   std::uint64_t engine_batches = 0;
@@ -207,6 +246,8 @@ LoadResult run_load(const LoadConfig& config) {
     server.engine().add_campaign(kTasks);
   }
   server.start();
+  const std::map<double, std::uint64_t> publish_before =
+      publish_latency_buckets();
 
   std::vector<ClientResult> results(config.connections);
   const auto start = std::chrono::steady_clock::now();
@@ -236,6 +277,10 @@ LoadResult run_load(const LoadConfig& config) {
                      r.latencies_us.end());
   }
   const auto counters = server.engine().counters();
+  std::map<double, std::uint64_t> publish_delta = publish_latency_buckets();
+  for (const auto& [edge, count] : publish_before) {
+    publish_delta[edge] -= count;
+  }
   server.shutdown();
 
   out.reports_per_sec =
@@ -243,6 +288,8 @@ LoadResult run_load(const LoadConfig& config) {
                            : 0.0;
   out.p50_us = percentile(latencies, 0.50);
   out.p99_us = percentile(latencies, 0.99);
+  out.publish_p50_us = bucket_percentile(publish_delta, 0.50);
+  out.publish_p99_us = bucket_percentile(publish_delta, 0.99);
   out.engine_accepted = counters.accepted;
   out.engine_applied = counters.applied;
   out.engine_batches = counters.batches;
@@ -265,7 +312,9 @@ void print_json_entry(const LoadConfig& config, const LoadResult& result,
   std::printf("      \"time_unit\": \"ms\",\n");
   std::printf("      \"reports_per_sec\": %.1f,\n", result.reports_per_sec);
   std::printf("      \"p50_us\": %.1f,\n", result.p50_us);
-  std::printf("      \"p99_us\": %.1f\n", result.p99_us);
+  std::printf("      \"p99_us\": %.1f,\n", result.p99_us);
+  std::printf("      \"publish_p50_us\": %.1f,\n", result.publish_p50_us);
+  std::printf("      \"publish_p99_us\": %.1f\n", result.publish_p99_us);
   std::printf("    }%s\n", last ? "" : ",");
 }
 
@@ -324,6 +373,8 @@ int main(int argc, char** argv) {
       std::printf("sustained     %.0f reports/sec\n", result.reports_per_sec);
       std::printf("latency       p50 %.0f us, p99 %.0f us\n", result.p50_us,
                   result.p99_us);
+      std::printf("publish       p50 %.0f us, p99 %.0f us (ingest->publish)\n",
+                  result.publish_p50_us, result.publish_p99_us);
       std::printf("engine        accepted=%llu applied=%llu batches=%llu\n\n",
                   static_cast<unsigned long long>(result.engine_accepted),
                   static_cast<unsigned long long>(result.engine_applied),

@@ -1,0 +1,317 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sybiltd::obs {
+
+namespace {
+
+// Bound on buffered lines: at ~200 bytes/line this caps the ring near
+// 1 MiB, and a writer stall sheds lines instead of memory.
+constexpr std::size_t kRingCapacity = 4096;
+
+Counter& dropped_counter() {
+  static Counter& counter = MetricsRegistry::global().counter(
+      "obs.log.dropped", "log lines dropped because the ring was full");
+  return counter;
+}
+
+Counter& emitted_counter() {
+  static Counter& counter = MetricsRegistry::global().counter(
+      "obs.log.emitted", "log lines accepted into the ring");
+  return counter;
+}
+
+Counter& suppressed_counter() {
+  static Counter& counter = MetricsRegistry::global().counter(
+      "obs.log.suppressed", "log lines withheld by a rate limiter");
+  return counter;
+}
+
+struct Logger {
+  std::mutex mutex;
+  std::condition_variable ring_cv;    // writer: work available / quitting
+  std::condition_variable flush_cv;   // flushers: ring drained
+  std::deque<std::string> ring;
+  std::thread writer;
+  std::FILE* sink = nullptr;          // nullptr = disabled
+  bool own_sink = false;              // close on reconfigure (not stderr)
+  bool quit = false;
+  std::size_t in_flight = 0;          // lines popped but not yet written
+
+  // Relaxed mirrors of the configuration, readable without the mutex.
+  std::atomic<bool> enabled{false};
+  std::atomic<int> level{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<double> slow_us{100000.0};
+
+  void writer_main() {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      ring_cv.wait(lock, [this] { return quit || !ring.empty(); });
+      if (ring.empty()) return;  // quit with nothing pending
+      std::vector<std::string> batch(ring.begin(), ring.end());
+      ring.clear();
+      in_flight = batch.size();
+      std::FILE* out = sink;
+      lock.unlock();
+      if (out != nullptr) {
+        for (const std::string& line : batch) {
+          std::fwrite(line.data(), 1, line.size(), out);
+        }
+        std::fflush(out);
+      }
+      lock.lock();
+      in_flight = 0;
+      flush_cv.notify_all();
+      if (quit && ring.empty()) return;
+    }
+  }
+};
+
+// Leaked, like the metrics registry: events may be emitted during static
+// destruction; the atexit flush below drains what the writer still owes.
+Logger& logger() {
+  static Logger* instance = new Logger();
+  return *instance;
+}
+
+LogLevel parse_level(std::string_view text, LogLevel fallback) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  return fallback;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+// Opens the sink and starts the writer under `log.mutex`.
+void open_locked(Logger& log, const std::string& path, LogLevel level) {
+  if (log.sink != nullptr && log.own_sink) std::fclose(log.sink);
+  log.sink = nullptr;
+  log.own_sink = false;
+  if (path == "stderr") {
+    log.sink = stderr;
+  } else if (!path.empty()) {
+    log.sink = std::fopen(path.c_str(), "a");
+    log.own_sink = log.sink != nullptr;
+  }
+  log.level.store(static_cast<int>(level), std::memory_order_relaxed);
+  log.enabled.store(log.sink != nullptr, std::memory_order_relaxed);
+  if (log.sink != nullptr && !log.writer.joinable()) {
+    log.writer = std::thread([&log] { log.writer_main(); });
+    // The writer thread is never joined (the logger leaks); flush at exit
+    // so buffered lines reach the sink before the process ends.
+    std::atexit([] { log_flush(); });
+  }
+}
+
+// Reads SYBILTD_LOG* exactly once, before any emit.
+const bool g_env_initialized = [] {
+  const char* path = std::getenv("SYBILTD_LOG");
+  if (path == nullptr || *path == '\0') return true;
+  LogLevel level = LogLevel::kInfo;
+  if (const char* env = std::getenv("SYBILTD_LOG_LEVEL")) {
+    level = parse_level(env, level);
+  }
+  Logger& log = logger();
+  if (const char* env = std::getenv("SYBILTD_LOG_SLOW_MS")) {
+    char* end = nullptr;
+    const double ms = std::strtod(env, &end);
+    if (end != env && ms >= 0.0) {
+      log.slow_us.store(ms * 1000.0, std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> lock(log.mutex);
+  open_locked(log, path, level);
+  return true;
+}();
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (uc < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", uc);
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_number(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+bool log_enabled(LogLevel level) {
+  Logger& log = logger();
+  return log.enabled.load(std::memory_order_relaxed) &&
+         static_cast<int>(level) >= log.level.load(std::memory_order_relaxed);
+}
+
+double log_slow_threshold_us() {
+  return logger().slow_us.load(std::memory_order_relaxed);
+}
+
+void log_open(const std::string& path, LogLevel level) {
+  Logger& log = logger();
+  std::lock_guard<std::mutex> lock(log.mutex);
+  open_locked(log, path, level);
+}
+
+void log_close() {
+  log_flush();
+  Logger& log = logger();
+  std::lock_guard<std::mutex> lock(log.mutex);
+  log.enabled.store(false, std::memory_order_relaxed);
+  if (log.sink != nullptr && log.own_sink) std::fclose(log.sink);
+  log.sink = nullptr;
+  log.own_sink = false;
+}
+
+void log_flush() {
+  Logger& log = logger();
+  std::unique_lock<std::mutex> lock(log.mutex);
+  if (!log.writer.joinable()) return;
+  log.ring_cv.notify_one();
+  log.flush_cv.wait(
+      lock, [&log] { return log.ring.empty() && log.in_flight == 0; });
+}
+
+std::uint64_t log_dropped() { return dropped_counter().value(); }
+
+LogEvent::LogEvent(LogLevel level, std::string_view event) {
+  if (!log_enabled(level)) return;
+  live_ = true;
+  const double ts =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  line_.reserve(128);
+  line_ += "{\"ts\": ";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ts);
+  line_ += buffer;
+  line_ += ", \"level\": \"";
+  line_ += level_name(level);
+  line_ += "\", \"event\": \"";
+  append_escaped(line_, event);
+  line_ += '"';
+}
+
+LogEvent::~LogEvent() {
+  if (!live_) return;
+  line_ += "}\n";
+  Logger& log = logger();
+  {
+    std::lock_guard<std::mutex> lock(log.mutex);
+    if (log.sink == nullptr) return;
+    if (log.ring.size() >= kRingCapacity) {
+      dropped_counter().inc();
+      return;
+    }
+    log.ring.push_back(std::move(line_));
+  }
+  emitted_counter().inc();
+  log.ring_cv.notify_one();
+}
+
+LogEvent& LogEvent::field(std::string_view key, std::string_view value) {
+  if (!live_) return *this;
+  line_ += ", \"";
+  append_escaped(line_, key);
+  line_ += "\": \"";
+  append_escaped(line_, value);
+  line_ += '"';
+  return *this;
+}
+
+LogEvent& LogEvent::field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+
+LogEvent& LogEvent::field(std::string_view key, double value) {
+  if (!live_) return *this;
+  line_ += ", \"";
+  append_escaped(line_, key);
+  line_ += "\": ";
+  append_number(line_, value);
+  return *this;
+}
+
+LogEvent& LogEvent::field_u64(std::string_view key, std::uint64_t value) {
+  if (!live_) return *this;
+  line_ += ", \"";
+  append_escaped(line_, key);
+  line_ += "\": ";
+  line_ += std::to_string(value);
+  return *this;
+}
+
+LogEvent& LogEvent::field_i64(std::string_view key, std::int64_t value) {
+  if (!live_) return *this;
+  line_ += ", \"";
+  append_escaped(line_, key);
+  line_ += "\": ";
+  line_ += std::to_string(value);
+  return *this;
+}
+
+LogEvent& LogEvent::field(std::string_view key, bool value) {
+  if (!live_) return *this;
+  line_ += ", \"";
+  append_escaped(line_, key);
+  line_ += "\": ";
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
+LogRateLimiter::LogRateLimiter(double per_second, double burst)
+    : per_second_(per_second > 0.0 ? per_second : 1.0),
+      burst_(burst >= 1.0 ? burst : 1.0),
+      tokens_(burst_),
+      last_(std::chrono::steady_clock::now()) {}
+
+bool LogRateLimiter::allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(now - last_).count();
+  last_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed * per_second_);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  suppressed_counter().inc();
+  return false;
+}
+
+}  // namespace sybiltd::obs

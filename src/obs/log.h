@@ -1,0 +1,119 @@
+// Structured logging: leveled JSON-lines events with an async ring-buffer
+// writer.
+//
+// The metrics registry answers "how much / how fast"; the log answers
+// "what happened to THIS request" — why a connection was shed, which
+// campaign's batch was rejected, which request blew the slow threshold.
+// Events are single-line JSON objects:
+//
+//   {"ts": 1754550000.123, "level": "warn", "event": "reports_rejected",
+//    "campaign": 7, "rejected": 120}
+//
+// Design constraints, in order:
+//
+//   * Emission must never block a server event loop on disk I/O.  emit()
+//     formats the line and pushes it into a bounded ring; a background
+//     writer thread drains the ring to the sink.  When the ring is full
+//     the line is dropped and counted (`obs.log.dropped`) — shedding log
+//     lines beats shedding requests.
+//   * Disabled logging must cost one relaxed load.  SYBILTD_LOG=<path>
+//     (or the literal `stderr`) turns the subsystem on; unset means every
+//     log_enabled() check short-circuits and no thread is ever started.
+//   * Events that fire per failure (shed, reject, backpressure) go through
+//     a RateLimiter so an attack or an overload cannot turn the log itself
+//     into the bottleneck; suppressed lines are counted
+//     (`obs.log.suppressed`).
+//
+// Environment:
+//   SYBILTD_LOG         sink: a file path, or `stderr`; unset = disabled
+//   SYBILTD_LOG_LEVEL   debug | info | warn | error   (default info)
+//   SYBILTD_LOG_SLOW_MS slow-request threshold in ms  (default 100)
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace sybiltd::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// True when the sink is open and `level` passes the configured threshold.
+// One relaxed load when logging is disabled — safe on any hot path.
+bool log_enabled(LogLevel level);
+
+// Configured slow-request threshold (SYBILTD_LOG_SLOW_MS), microseconds.
+// Meaningful only when logging is enabled.
+double log_slow_threshold_us();
+
+// Programmatic control, primarily for tests: (re)open the sink at `path`
+// ("stderr" for the stream) with the given threshold level.  Replaces any
+// env-driven configuration.
+void log_open(const std::string& path, LogLevel level);
+void log_close();
+
+// Block until every line emitted so far has reached the sink.  Called at
+// process exit (atexit) and by tests before reading the file back.
+void log_flush();
+
+// Lines dropped because the ring was full (diagnostic; also a counter).
+std::uint64_t log_dropped();
+
+// One event under construction.  Appends typed fields, emits on
+// destruction.  Cheap no-op when the level is filtered: callers should
+// still guard hot paths with log_enabled() to skip the field formatting.
+class LogEvent {
+ public:
+  LogEvent(LogLevel level, std::string_view event);
+  ~LogEvent();
+
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& field(std::string_view key, std::string_view value);
+  LogEvent& field(std::string_view key, const char* value);
+  LogEvent& field(std::string_view key, double value);
+  LogEvent& field(std::string_view key, bool value);
+
+  // Any integral type routes through one signed/unsigned 64-bit path, so
+  // std::size_t, int, campaign ids etc. all format exactly.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  LogEvent& field(std::string_view key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return field_i64(key, static_cast<std::int64_t>(value));
+    } else {
+      return field_u64(key, static_cast<std::uint64_t>(value));
+    }
+  }
+
+ private:
+  LogEvent& field_u64(std::string_view key, std::uint64_t value);
+  LogEvent& field_i64(std::string_view key, std::int64_t value);
+
+  std::string line_;
+  bool live_ = false;
+};
+
+// Token-bucket limiter for shed/reject warn paths: allow() grants up to
+// `burst` events instantly and refills at `per_second`.  Suppressed calls
+// bump `obs.log.suppressed`.  Thread-safe.
+class LogRateLimiter {
+ public:
+  explicit LogRateLimiter(double per_second, double burst);
+
+  bool allow();
+
+ private:
+  const double per_second_;
+  const double burst_;
+  std::mutex mutex_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace sybiltd::obs

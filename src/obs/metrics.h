@@ -29,13 +29,26 @@
 // snapshot() returns a structured record; to_prometheus() renders the
 // text exposition format and to_json() a machine-checkable JSON dump (the
 // CI observability job validates its schema).
+// Labeled families extend the same three kinds with one label dimension
+// (`campaign=<id>`, `loop=<n>`, `endpoint=<path>`): a family is registered
+// once by (name, label key) and hands out per-label-value series on demand.
+// Cardinality is bounded — when a family is full, the least-recently-touched
+// series is folded into a reserved `_other` series and its instrument is
+// recycled for the new label, so a campaign flood can never grow the
+// registry without bound while counter/histogram totals stay conserved.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace sybiltd::obs {
@@ -70,6 +83,18 @@ class Counter {
     return total;
   }
 
+  // Move this counter's total into `dest`, leaving this counter at zero —
+  // how a labeled family folds an evicted series into its `_other`
+  // aggregate.  Increments racing with the drain land in whichever counter
+  // their cell belonged to at the exchange, so the combined total is exact.
+  void drain_into(Counter& dest) {
+    std::uint64_t total = 0;
+    for (auto& cell : cells_) {
+      total += cell.value.exchange(0, std::memory_order_relaxed);
+    }
+    if (total > 0) dest.inc(total);
+  }
+
  private:
   detail::StripeCell cells_[kStripes];
 };
@@ -96,6 +121,10 @@ class Gauge {
   }
 
   double value() const { return value_.load(std::memory_order_relaxed); }
+
+  // Return the gauge to zero (family eviction: a level has no meaningful
+  // fold into an aggregate, so an evicted gauge series is simply dropped).
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> value_{0.0};
@@ -130,6 +159,10 @@ class Histogram {
   // Aggregated per-bucket counts (kBuckets entries).
   std::vector<std::uint64_t> bucket_counts() const;
 
+  // Move every recorded sample (bucket counts, count, sum) into `dest`,
+  // leaving this histogram empty — the family-eviction fold.
+  void drain_into(Histogram& dest);
+
  private:
   struct alignas(64) Stripe {
     std::atomic<std::uint64_t> buckets[kBuckets]{};
@@ -139,18 +172,189 @@ class Histogram {
   Stripe stripes_[kStripes];
 };
 
+// --- Labeled families -------------------------------------------------------
+
+// Series that absorbs evicted siblings; reserved, never evicted itself.
+inline constexpr std::string_view kOverflowLabel = "_other";
+
+namespace detail {
+
+// Heterogeneous hash so at(string_view) never materializes a std::string on
+// the hot lookup path.
+struct StringViewHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+void recycle_into(Counter& from, Counter& overflow);
+void recycle_into(Gauge& from, Gauge& overflow);
+void recycle_into(Histogram& from, Histogram& overflow);
+
+// One metric name fanned out over the values of a single label key.
+//
+// at(label_value) is the hot path: a shared lock plus one heterogeneous
+// hash lookup — no allocation for an existing series, so labeled increments
+// stay legal inside zero-allocation kernels.  Unknown labels take the
+// exclusive slow path; once `max_series` live series exist, the
+// least-recently-touched one is folded into the `_other` series (counters
+// and histograms conserve their totals; gauges reset) and its instrument
+// is recycled for the new label.
+//
+// References returned by at() stay valid forever (series live in a deque),
+// but after an eviction a cached reference counts toward whatever label the
+// series was recycled for — callers with unbounded label sets must re-fetch
+// at() per operation; callers with small fixed sets (loop or shard indices)
+// may cache.
+template <typename Instrument>
+class Family {
+ public:
+  Family(std::string name, std::string label_key, std::string help,
+         std::size_t max_series)
+      : name_(std::move(name)),
+        label_key_(std::move(label_key)),
+        help_(std::move(help)),
+        max_series_(max_series == 0 ? 1 : max_series) {}
+
+  Family(const Family&) = delete;
+  Family& operator=(const Family&) = delete;
+
+  Instrument& at(std::string_view label_value) {
+    const std::uint64_t stamp = epoch_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      const auto it = index_.find(label_value);
+      if (it != index_.end()) {
+        it->second->touch.store(stamp, std::memory_order_relaxed);
+        return it->second->instrument;
+      }
+    }
+    return materialize(label_value);
+  }
+
+  const std::string& name() const { return name_; }
+  const std::string& label_key() const { return label_key_; }
+  const std::string& help() const { return help_; }
+  std::size_t max_series() const { return max_series_; }
+
+  // First-non-empty-help-wins, matching plain instrument registration.
+  // Called by the registry under its own mutex.
+  void set_help_if_empty(std::string_view help) {
+    if (help_.empty() && !help.empty()) help_ = std::string(help);
+  }
+
+  // Live series count, the `_other` aggregate included once it exists.
+  std::size_t series_count() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return index_.size();
+  }
+
+  // Series folded into `_other` since construction.
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  // Label + stable instrument address per live series, for snapshot
+  // aggregation outside the lock.
+  void collect(
+      std::vector<std::pair<std::string, const Instrument*>>& out) const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    out.reserve(out.size() + index_.size());
+    for (const auto& [label, series] : index_) {
+      out.emplace_back(label, &series->instrument);
+    }
+  }
+
+ private:
+  struct Series {
+    std::string label;
+    Instrument instrument;
+    std::atomic<std::uint64_t> touch{0};
+  };
+
+  Instrument& materialize(std::string_view label_value) {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (const auto it = index_.find(label_value); it != index_.end()) {
+      return it->second->instrument;  // lost the registration race
+    }
+    Series* slot = nullptr;
+    const std::size_t live = index_.size() - (overflow_ != nullptr ? 1 : 0);
+    if (live >= max_series_ && label_value != kOverflowLabel) {
+      Series* victim = nullptr;
+      std::uint64_t oldest = 0;
+      for (const auto& [label, series] : index_) {
+        if (series == overflow_) continue;
+        const std::uint64_t t = series->touch.load(std::memory_order_relaxed);
+        if (victim == nullptr || t < oldest) {
+          victim = series;
+          oldest = t;
+        }
+      }
+      if (overflow_ == nullptr) {
+        const auto it = index_.find(kOverflowLabel);
+        if (it != index_.end()) {
+          overflow_ = it->second;  // a caller used the reserved label
+        } else {
+          series_.emplace_back();
+          overflow_ = &series_.back();
+          overflow_->label = std::string(kOverflowLabel);
+          index_.emplace(overflow_->label, overflow_);
+        }
+      }
+      index_.erase(victim->label);
+      recycle_into(victim->instrument, overflow_->instrument);
+      victim->label = std::string(label_value);
+      slot = victim;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      series_.emplace_back();
+      slot = &series_.back();
+      slot->label = std::string(label_value);
+    }
+    slot->touch.store(epoch_.fetch_add(1, std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    index_.emplace(slot->label, slot);
+    return slot->instrument;
+  }
+
+  const std::string name_;
+  const std::string label_key_;
+  std::string help_;  // mutated only via set_help_if_empty
+  const std::size_t max_series_;
+  mutable std::shared_mutex mutex_;
+  // Deque: series addresses never move, so at() references are stable.
+  std::deque<Series> series_;
+  std::unordered_map<std::string, Series*, StringViewHash, std::equal_to<>>
+      index_;
+  Series* overflow_ = nullptr;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace detail
+
+using CounterFamily = detail::Family<Counter>;
+using GaugeFamily = detail::Family<Gauge>;
+using HistogramFamily = detail::Family<Histogram>;
+
 // --- Snapshot --------------------------------------------------------------
 
 struct CounterValue {
   std::string name;
   std::string help;
   std::uint64_t value = 0;
+  // Labeled series carry their family's label; empty key = unlabeled.
+  std::string label_key;
+  std::string label_value;
 };
 
 struct GaugeValue {
   std::string name;
   std::string help;
   double value = 0.0;
+  std::string label_key;
+  std::string label_value;
 };
 
 struct HistogramBucket {
@@ -164,6 +368,8 @@ struct HistogramValue {
   std::uint64_t count = 0;
   double sum = 0.0;
   std::vector<HistogramBucket> buckets;  // non-empty buckets only
+  std::string label_key;
+  std::string label_value;
 };
 
 struct MetricsSnapshot {
@@ -187,6 +393,25 @@ class MetricsRegistry {
   Counter& counter(std::string_view name, std::string_view help = {});
   Gauge& gauge(std::string_view name, std::string_view help = {});
   Histogram& histogram(std::string_view name, std::string_view help = {});
+
+  // Cardinality cap per family when the caller does not pick one.
+  static constexpr std::size_t kDefaultMaxSeries = 256;
+
+  // Register-or-fetch a labeled family by name.  The label key and series
+  // cap are fixed at first registration (re-registering with a different
+  // label key throws); like plain instruments, the first non-empty help
+  // wins and the returned reference is stable forever.
+  CounterFamily& counter_family(std::string_view name,
+                                std::string_view label_key,
+                                std::string_view help = {},
+                                std::size_t max_series = kDefaultMaxSeries);
+  GaugeFamily& gauge_family(std::string_view name, std::string_view label_key,
+                            std::string_view help = {},
+                            std::size_t max_series = kDefaultMaxSeries);
+  HistogramFamily& histogram_family(
+      std::string_view name, std::string_view label_key,
+      std::string_view help = {},
+      std::size_t max_series = kDefaultMaxSeries);
 
   // Aggregated point-in-time view, sorted by name.  Concurrent writers keep
   // running; each cell is read atomically, so counters are monotonic

@@ -21,6 +21,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
@@ -35,6 +36,10 @@ struct Report {
   std::size_t task = 0;
   double value = 0.0;
   double timestamp_hours = 0.0;
+  // steady_clock ticks (time_since_epoch().count()) stamped once per batch
+  // at HTTP arrival; 0 = unstamped.  Carried through the queue so the shard
+  // can export per-campaign ingest→apply / ingest→publish latency.
+  std::uint64_t ingest_ticks = 0;
 };
 
 enum class BackpressurePolicy { kBlock, kDropNewest, kReject };

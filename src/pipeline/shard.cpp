@@ -9,6 +9,7 @@
 #include "core/ag_ts.h"
 #include "core/data_grouping.h"
 #include "graph/union_find.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -49,12 +50,53 @@ struct PipelineMetrics {
       "pipeline.publications", "campaign snapshots published");
   obs::Histogram& batch_us = obs::MetricsRegistry::global().histogram(
       "pipeline.batch_us", "micro-batch processing latency (us)");
+  obs::Histogram& queue_wait_us = obs::MetricsRegistry::global().histogram(
+      "pipeline.queue_wait_us",
+      "time the oldest report of each micro-batch spent in a shard queue "
+      "before the batch was applied (us)");
+  // Per-campaign report-lifecycle latency.  Series are keyed by the
+  // campaign id; when more campaigns than the cardinality cap ever exist,
+  // the least-recently-active series folds into `_other`.
+  obs::HistogramFamily& ingest_to_apply_us =
+      obs::MetricsRegistry::global().histogram_family(
+          "pipeline.ingest_to_apply_us", "campaign",
+          "report latency from HTTP arrival to shard apply (us)");
+  obs::HistogramFamily& ingest_to_publish_us =
+      obs::MetricsRegistry::global().histogram_family(
+          "pipeline.ingest_to_publish_us", "campaign",
+          "report latency from HTTP arrival to the snapshot that first "
+          "reflects it (us)");
+  obs::GaugeFamily& shard_queue_depth =
+      obs::MetricsRegistry::global().gauge_family(
+          "pipeline.shard.queue_depth", "shard",
+          "shard ingestion queue occupancy");
+  obs::GaugeFamily& shard_queue_hwm =
+      obs::MetricsRegistry::global().gauge_family(
+          "pipeline.shard.queue_high_watermark", "shard",
+          "max shard queue occupancy ever observed");
 
   static PipelineMetrics& get() {
     static PipelineMetrics metrics;
     return metrics;
   }
 };
+
+// Rate-limited warn stream for pipeline shed events: drops, rejects and
+// decay evictions can fire per report under overload, so the log sees a
+// bounded sample rather than one line per loss.
+obs::LogRateLimiter& pipeline_warn_limiter() {
+  static obs::LogRateLimiter limiter(/*per_second=*/10.0, /*burst=*/20.0);
+  return limiter;
+}
+
+double ticks_to_us_since(std::uint64_t ingest_ticks,
+                         std::chrono::steady_clock::time_point now) {
+  const std::chrono::steady_clock::duration age =
+      now.time_since_epoch() -
+      std::chrono::steady_clock::duration(
+          static_cast<std::chrono::steady_clock::rep>(ingest_ticks));
+  return std::chrono::duration<double, std::micro>(age).count();
+}
 
 }  // namespace
 
@@ -68,8 +110,12 @@ CampaignState::CampaignState(std::size_t campaign, std::size_t task_count,
       options_(options),
       cell_(cell),
       counters_(counters),
-      truths_(task_count, nan_value()) {
+      truths_(task_count, nan_value()),
+      label_(std::to_string(campaign)) {
   SYBILTD_CHECK(task_count_ > 0, "campaign needs at least one task");
+  auto& metrics = PipelineMetrics::get();
+  ingest_to_apply_hist_ = &metrics.ingest_to_apply_us.at(label_);
+  ingest_to_publish_hist_ = &metrics.ingest_to_publish_us.at(label_);
   // Version-0 snapshot so readers never observe a null cell.
   auto snapshot = std::make_shared<CampaignSnapshot>();
   snapshot->campaign = campaign_;
@@ -168,11 +214,15 @@ void CampaignState::apply(const Report& report) {
     ++live_;
     add_membership(report.account, report.task);
   }
+  if (report.ingest_ticks != 0) {
+    pending_publish_ticks_.push_back(report.ingest_ticks);
+  }
 }
 
 void CampaignState::evict_stale() {
   if (options_->decay >= 1.0) return;
   const std::size_t n = observations_.size();
+  std::uint64_t evicted = 0;
   for (std::size_t i = 0; i < n; ++i) {
     auto& row = observations_[i];
     for (auto it = row.begin(); it != row.end();) {
@@ -181,12 +231,20 @@ void CampaignState::evict_stale() {
         remove_membership(i, it->task);
         it = row.erase(it);
         --live_;
+        ++evicted;
         counters_->evictions.fetch_add(1, std::memory_order_relaxed);
         PipelineMetrics::get().evictions.inc();
       } else {
         ++it;
       }
     }
+  }
+  if (evicted > 0 && obs::log_enabled(obs::LogLevel::kDebug) &&
+      pipeline_warn_limiter().allow()) {
+    obs::LogEvent(obs::LogLevel::kDebug, "observations_evicted")
+        .field("campaign", campaign_)
+        .field("evicted", evicted)
+        .field("live", live_);
   }
 }
 
@@ -320,22 +378,37 @@ void CampaignState::refine_and_publish(bool to_convergence) {
   }
   span.arg("iterations", static_cast<double>(iterations));
 
-  auto snapshot = std::make_shared<CampaignSnapshot>();
-  snapshot->campaign = campaign_;
-  snapshot->version = ++version_;
-  snapshot->truths = truths_;
-  snapshot->group_weights = group_weights_;
-  snapshot->group_of = current.labels();
-  snapshot->group_count = current.group_count();
-  snapshot->live_observations = live_;
-  snapshot->applied_reports = applied_;
-  snapshot->iterations = iterations;
-  snapshot->converged = converged;
-  snapshot->final_residual = final_residual;
-  snapshot->weight_entropy = core::group_weight_entropy(group_weights_);
-  cell_->publish(std::move(snapshot));
+  {
+    obs::TraceSpan publish_span("campaign/publish");
+    publish_span.arg("campaign", static_cast<double>(campaign_));
+    publish_span.arg("reports",
+                     static_cast<double>(pending_publish_ticks_.size()));
+    auto snapshot = std::make_shared<CampaignSnapshot>();
+    snapshot->campaign = campaign_;
+    snapshot->version = ++version_;
+    snapshot->truths = truths_;
+    snapshot->group_weights = group_weights_;
+    snapshot->group_of = current.labels();
+    snapshot->group_count = current.group_count();
+    snapshot->live_observations = live_;
+    snapshot->applied_reports = applied_;
+    snapshot->iterations = iterations;
+    snapshot->converged = converged;
+    snapshot->final_residual = final_residual;
+    snapshot->weight_entropy = core::group_weight_entropy(group_weights_);
+    cell_->publish(std::move(snapshot));
+  }
   counters_->publications.fetch_add(1, std::memory_order_relaxed);
   PipelineMetrics::get().publications.inc();
+  if (!pending_publish_ticks_.empty()) {
+    // This snapshot is the first that reflects every report applied since
+    // the last publication: close out their ingest→publish latencies.
+    const auto now = std::chrono::steady_clock::now();
+    for (const std::uint64_t ticks : pending_publish_ticks_) {
+      ingest_to_publish_hist_->record(ticks_to_us_since(ticks, now));
+    }
+    pending_publish_ticks_.clear();
+  }
 }
 
 // --- Shard -----------------------------------------------------------------
@@ -354,15 +427,12 @@ Shard::Shard(std::size_t index, const ShardOptions& options,
                 "need at least one refinement iteration per micro-batch");
   SYBILTD_CHECK(max_batch_ >= 1, "micro-batch size must be positive");
   batch_.reserve(max_batch_);
-  // Index-keyed gauge names, so repeated engine constructions (tests,
+  // Index-labeled series, so repeated engine constructions (tests,
   // benchmark sweeps) reuse the same registry entries.
-  const std::string prefix = "pipeline.shard" + std::to_string(index_);
-  auto& registry = obs::MetricsRegistry::global();
-  queue_depth_gauge_ = &registry.gauge(prefix + ".queue_depth",
-                                       "shard ingestion queue occupancy");
-  queue_hwm_gauge_ =
-      &registry.gauge(prefix + ".queue_high_watermark",
-                      "max shard queue occupancy ever observed");
+  auto& metrics = PipelineMetrics::get();
+  const std::string label = std::to_string(index_);
+  queue_depth_gauge_ = &metrics.shard_queue_depth.at(label);
+  queue_hwm_gauge_ = &metrics.shard_queue_hwm.at(label);
 }
 
 void Shard::record_push(PushResult result) {
@@ -426,9 +496,11 @@ const CampaignState* Shard::campaign_state(std::size_t campaign) const {
 
 void Shard::process_batch(const std::vector<Report>& batch) {
   const auto batch_start = std::chrono::steady_clock::now();
+  auto& latency_metrics = PipelineMetrics::get();
   // Apply everything first, then evict/refine/publish once per touched
   // campaign — the micro-batch amortizes regrouping and iteration cost.
   std::vector<CampaignState*> touched;
+  std::uint64_t earliest_ingest = 0;
   {
     obs::TraceSpan apply_span("shard/apply");
     apply_span.arg("shard", static_cast<double>(index_));
@@ -437,11 +509,36 @@ void Shard::process_batch(const std::vector<Report>& batch) {
       const auto it = states_.find(report.campaign);
       SYBILTD_ASSERT(it != states_.end());
       CampaignState& state = it->second;
+      if (report.ingest_ticks != 0) {
+        state.ingest_to_apply_hist_->record(
+            ticks_to_us_since(report.ingest_ticks, batch_start));
+        if (earliest_ingest == 0 || report.ingest_ticks < earliest_ingest) {
+          earliest_ingest = report.ingest_ticks;
+        }
+      }
       state.apply(report);
       if (!state.touched_) {
         state.touched_ = true;
         touched.push_back(&state);
       }
+    }
+  }
+  if (earliest_ingest != 0) {
+    // One sample per micro-batch, for the batch's oldest report: recording
+    // per report would triple the histogram traffic on the apply path for
+    // a distribution the batch-level view already characterizes.
+    const double wait_us = ticks_to_us_since(earliest_ingest, batch_start);
+    latency_metrics.queue_wait_us.record(wait_us);
+    if (obs::trace_enabled()) {
+      // Retro-dated span covering the oldest report's time in the shard
+      // queue: starts at its HTTP arrival, ends now.
+      const std::uint64_t end_us = obs::detail::trace_now_us();
+      const std::uint64_t span_us = static_cast<std::uint64_t>(
+          std::max(0.0, wait_us));
+      obs::detail::trace_span_end(
+          "shard/queue_wait", end_us > span_us ? end_us - span_us : 0,
+          "shard", static_cast<double>(index_), "reports",
+          static_cast<double>(batch.size()));
     }
   }
   for (CampaignState* state : touched) {

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -54,6 +55,7 @@ namespace sybiltd {
 
 namespace obs {
 class Gauge;
+class Histogram;
 }  // namespace obs
 
 namespace pipeline {
@@ -183,15 +185,31 @@ class CampaignState {
   std::size_t live_ = 0;       // distinct (account, task) pairs held
   // Marker used by the worker to dedupe touched campaigns per micro-batch.
   bool touched_ = false;
+  // Label value for this campaign's series in the obs registry's labeled
+  // families (pipeline.ingest_to_*_us{campaign=...}); cached so the
+  // per-report family lookup never allocates.
+  std::string label_;
+  // Series resolved once at construction: at() takes a shared lock plus a
+  // hash probe, which is measurable at per-report frequency.  Family
+  // references stay valid forever (series live in a deque); after an
+  // eviction the pointer counts toward whatever label the slot was
+  // reassigned to, which the family contract documents as acceptable.
+  obs::Histogram* ingest_to_apply_hist_ = nullptr;
+  obs::Histogram* ingest_to_publish_hist_ = nullptr;
+  // Ingest stamps of reports applied since the last publication; drained
+  // into the ingest→publish histogram when the covering snapshot goes out.
+  // Bounded by the shard's micro-batch size between publications.
+  std::vector<std::uint64_t> pending_publish_ticks_;
 
   friend class Shard;
 };
 
 class Shard {
  public:
-  // `index` is the shard's position in the engine — it keys the registry
-  // gauges (`pipeline.shard<index>.queue_depth` / `.queue_high_watermark`),
-  // so repeated engine constructions reuse the same registry entries.
+  // `index` is the shard's position in the engine — it is the `shard` label
+  // on the queue-occupancy gauge family (`pipeline.shard.queue_depth{shard=
+  // <index>}` / `.queue_high_watermark`), so repeated engine constructions
+  // reuse the same registry series.
   Shard(std::size_t index, const ShardOptions& options,
         std::size_t queue_capacity, std::size_t max_batch);
 

@@ -1,10 +1,14 @@
 #include "server/handlers.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <string_view>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/status_json.h"
 #include "server/json.h"
 
@@ -33,18 +37,43 @@ struct HandlerMetrics {
       "server.endpoint.drain", "POST .../drain requests");
   obs::Counter& other = obs::MetricsRegistry::global().counter(
       "server.endpoint.other", "requests to unknown routes");
+  obs::Counter& readyz = obs::MetricsRegistry::global().counter(
+      "server.endpoint.readyz", "GET /readyz requests");
   obs::Counter& reports_accepted = obs::MetricsRegistry::global().counter(
       "server.reports.accepted", "reports accepted over HTTP");
   obs::Counter& reports_rejected = obs::MetricsRegistry::global().counter(
       "server.reports.rejected", "reports refused by backpressure (429s)");
   obs::Counter& reports_invalid = obs::MetricsRegistry::global().counter(
       "server.reports.invalid", "reports refused by validation (400s)");
+  obs::CounterFamily& campaign_accepted =
+      obs::MetricsRegistry::global().counter_family(
+          "server.campaign.reports_accepted", "campaign",
+          "reports accepted over HTTP, per campaign");
+  obs::CounterFamily& campaign_rejected =
+      obs::MetricsRegistry::global().counter_family(
+          "server.campaign.reports_rejected", "campaign",
+          "reports refused by backpressure, per campaign");
 
   static HandlerMetrics& get() {
     static HandlerMetrics metrics;
     return metrics;
   }
 };
+
+// SYBILTD_LATENCY=off disables the per-batch arrival stamp (and with it
+// the ingest→apply/publish histograms) for overhead A/B runs.
+bool latency_tracking_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("SYBILTD_LATENCY");
+    return env == nullptr || std::string_view(env) != "off";
+  }();
+  return enabled;
+}
+
+obs::LogRateLimiter& ingest_warn_limiter() {
+  static obs::LogRateLimiter limiter(10.0, 20.0);
+  return limiter;
+}
 
 // Path without the query string, split on '/'.
 std::vector<std::string_view> split_path(std::string_view target) {
@@ -130,8 +159,12 @@ bool decode_report(const JsonValue& value, std::size_t campaign,
 
 HandlerResponse handle_ingest(pipeline::CampaignEngine& engine,
                               std::size_t campaign,
-                              const HttpRequest& request) {
+                              const HttpRequest& request,
+                              const HandlerContext& context) {
   auto& metrics = HandlerMetrics::get();
+  obs::TraceSpan route_span("ingest/route");
+  route_span.arg("request", static_cast<double>(context.request_id));
+  route_span.arg("campaign", static_cast<double>(campaign));
   const std::size_t task_count = engine.campaign_task_count(campaign);
   if (task_count == 0) return make_error(404, "unknown campaign");
 
@@ -139,6 +172,13 @@ HandlerResponse handle_ingest(pipeline::CampaignEngine& engine,
   std::string parse_error;
   if (!json_parse(request.body, doc, &parse_error)) {
     metrics.reports_invalid.inc();
+    if (obs::log_enabled(obs::LogLevel::kWarn) &&
+        ingest_warn_limiter().allow()) {
+      obs::LogEvent(obs::LogLevel::kWarn, "ingest_invalid_json")
+          .field("request", context.request_id)
+          .field("campaign", campaign)
+          .field("error", parse_error);
+    }
     return make_error(400, "invalid JSON: " + parse_error);
   }
   // Accept three shapes: a bare array of reports, {"reports": [...]}, or a
@@ -174,9 +214,25 @@ HandlerResponse handle_ingest(pipeline::CampaignEngine& engine,
     if (!decode_report((*reports)[i], campaign, task_count, &decoded[i],
                        &error)) {
       metrics.reports_invalid.inc(reports->size());
+      if (obs::log_enabled(obs::LogLevel::kWarn) &&
+          ingest_warn_limiter().allow()) {
+        obs::LogEvent(obs::LogLevel::kWarn, "ingest_invalid_report")
+            .field("request", context.request_id)
+            .field("campaign", campaign)
+            .field("index", i)
+            .field("error", error);
+      }
       return make_error(400,
                         "report " + std::to_string(i) + ": " + error);
     }
+  }
+
+  // Stamp the batch with one steady-clock read at HTTP arrival; the shard
+  // turns the stamp into ingest→apply / ingest→publish latency.
+  if (latency_tracking_enabled()) {
+    const std::uint64_t ticks = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    for (pipeline::Report& report : decoded) report.ingest_ticks = ticks;
   }
 
   // One engine call for the whole batch: validation against a single
@@ -188,12 +244,22 @@ HandlerResponse handle_ingest(pipeline::CampaignEngine& engine,
                       submit.status == pipeline::SubmitStatus::kNotRunning;
   const std::size_t rejected = decoded.size() - accepted;
   metrics.reports_accepted.inc(accepted);
-  std::string body = "{\"campaign\": " + std::to_string(campaign) +
+  const std::string campaign_label = std::to_string(campaign);
+  if (accepted > 0) metrics.campaign_accepted.at(campaign_label).inc(accepted);
+  std::string body = "{\"campaign\": " + campaign_label +
                      ", \"accepted\": " + std::to_string(accepted) +
                      ", \"rejected\": " + std::to_string(rejected) + "}";
   if (rejected == 0) return {202, "application/json", std::move(body)};
   if (closed) return make_error(503, "engine is shutting down");
   metrics.reports_rejected.inc(rejected);
+  metrics.campaign_rejected.at(campaign_label).inc(rejected);
+  if (obs::log_enabled(obs::LogLevel::kWarn) && ingest_warn_limiter().allow()) {
+    obs::LogEvent(obs::LogLevel::kWarn, "ingest_backpressure")
+        .field("request", context.request_id)
+        .field("campaign", campaign)
+        .field("accepted", accepted)
+        .field("rejected", rejected);
+  }
   return {429, "application/json", std::move(body)};
 }
 
@@ -294,7 +360,8 @@ HandlerResponse handle_drain(pipeline::CampaignEngine& engine,
 }
 
 HandlerResponse handle_api_request(pipeline::CampaignEngine& engine,
-                                   const HttpRequest& request) {
+                                   const HttpRequest& request,
+                                   const HandlerContext& context) {
   auto& metrics = HandlerMetrics::get();
   const auto segments = split_path(request.target);
   const bool is_get = request.method == "GET";
@@ -304,6 +371,18 @@ HandlerResponse handle_api_request(pipeline::CampaignEngine& engine,
     if (!is_get) return method_not_allowed();
     metrics.healthz.inc();
     return {200, "text/plain; charset=utf-8", "ok\n"};
+  }
+  if (segments.size() == 1 && segments[0] == "readyz") {
+    // Liveness vs readiness: /healthz answers "is the process up" (200 for
+    // as long as the loop can respond), /readyz answers "should a load
+    // balancer still send work here" — 503 from the moment drain/shutdown
+    // begins, so upstream traffic falls off before the listener closes.
+    if (!is_get) return method_not_allowed();
+    metrics.readyz.inc();
+    if (!context.ready) {
+      return {503, "text/plain; charset=utf-8", "draining\n"};
+    }
+    return {200, "text/plain; charset=utf-8", "ready\n"};
   }
   if (segments.size() == 1 && segments[0] == "metrics") {
     if (!is_get) return method_not_allowed();
@@ -333,7 +412,7 @@ HandlerResponse handle_api_request(pipeline::CampaignEngine& engine,
     if (segments[3] == "reports") {
       if (!is_post) return method_not_allowed();
       metrics.ingest.inc();
-      return handle_ingest(engine, campaign, request);
+      return handle_ingest(engine, campaign, request, context);
     }
     if (segments[3] == "truths") {
       if (!is_get) return method_not_allowed();

@@ -5,7 +5,8 @@
 //
 // Endpoints (docs/SERVER.md has the full table):
 //
-//   GET  /healthz                        liveness probe
+//   GET  /healthz                        liveness probe (always 200)
+//   GET  /readyz                         readiness probe (503 once draining)
 //   GET  /metrics                        Prometheus exposition (obs registry)
 //   GET  /v1/status                      engine counters + per-shard status
 //   POST /v1/campaigns                   create a campaign {"tasks": N}
@@ -13,6 +14,9 @@
 //   GET  /v1/campaigns/{id}/truths       latest snapshot, truth view
 //   GET  /v1/campaigns/{id}/groups       latest snapshot, grouping view
 //   POST /v1/campaigns/{id}/drain        convergence barrier (slow path)
+//
+// (GET /v1/metrics/stream — the SSE live feed — is served by the event
+// loop itself, since it outlives a single request/response exchange.)
 //
 // Ingestion maps the engine's backpressure-aware try_submit onto status
 // codes: every report enqueued -> 202, shard queue full -> 429 (with the
@@ -26,6 +30,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "pipeline/engine.h"
@@ -39,6 +44,15 @@ struct HandlerResponse {
   std::string body;
 };
 
+// Per-request context the event loop threads into the handler: whether the
+// server still accepts work (drives /readyz) and a process-unique request
+// id that joins the request's trace spans and log lines.  The defaults make
+// direct handler calls (unit tests) behave like a healthy server.
+struct HandlerContext {
+  bool ready = true;
+  std::uint64_t request_id = 0;
+};
+
 // True when the request targets POST /v1/campaigns/{id}/drain; extracts
 // the campaign id.  Such requests must go to handle_drain (on a worker),
 // never to handle_api_request.
@@ -47,7 +61,8 @@ bool is_drain_request(const HttpRequest& request, std::size_t* campaign);
 // Dispatch any non-drain request.  Never blocks: ingestion uses
 // try_submit, queries read the wait-free snapshot cells.
 HandlerResponse handle_api_request(pipeline::CampaignEngine& engine,
-                                   const HttpRequest& request);
+                                   const HttpRequest& request,
+                                   const HandlerContext& context = {});
 
 // Run the drain barrier to completion and render the drained campaign's
 // snapshot summary.  Blocks until every accepted report is reflected;

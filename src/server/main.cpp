@@ -47,7 +47,14 @@ void usage(const char* argv0) {
       << "  --campaigns N       campaigns to pre-register (default 1)\n"
       << "  --tasks N           tasks per pre-registered campaign"
          " (default 50)\n"
-      << "  --max-body N        request body cap in bytes (default 1MiB)\n";
+      << "  --max-body N        request body cap in bytes (default 1MiB)\n"
+      << "environment:\n"
+      << "  SYBILTD_LOG=PATH|stderr   structured JSON-lines log sink\n"
+      << "  SYBILTD_LOG_LEVEL=LVL     debug|info|warn|error (default info)\n"
+      << "  SYBILTD_LOG_SLOW_MS=N     slow-request log threshold "
+         "(default 100)\n"
+      << "  SYBILTD_LATENCY=off       disable ingest latency stamping\n"
+      << "  SYBILTD_TRACE=PATH        Chrome-trace span output\n";
 }
 
 bool parse_size(const char* text, std::size_t* out) {

@@ -9,9 +9,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -22,7 +24,10 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pipeline/status_json.h"
 #include "server/handlers.h"
 
 namespace sybiltd::server {
@@ -61,12 +66,55 @@ struct ServerMetrics {
       "server.responses.5xx", "responses with a 5xx status");
   obs::Histogram& request_us = obs::MetricsRegistry::global().histogram(
       "server.request_us", "request handling latency in microseconds");
+  // Per-loop instruments live in labeled families keyed by the loop index,
+  // replacing the historical hand-numbered server.loop<N>.* names.
+  obs::CounterFamily& loop_requests =
+      obs::MetricsRegistry::global().counter_family(
+          "server.loop.requests", "loop",
+          "HTTP requests parsed, per event loop");
+  obs::GaugeFamily& loop_connections =
+      obs::MetricsRegistry::global().gauge_family(
+          "server.loop.connections_active", "loop",
+          "connections currently owned, per event loop");
+  obs::Counter& sse_events = obs::MetricsRegistry::global().counter(
+      "server.sse.events", "metric-stream events written");
+  obs::Counter& sse_slow_disconnects = obs::MetricsRegistry::global().counter(
+      "server.sse.slow_disconnects",
+      "metric-stream clients dropped for not keeping up");
+  obs::Gauge& sse_clients = obs::MetricsRegistry::global().gauge(
+      "server.sse.clients_active", "open /v1/metrics/stream connections");
 
   static ServerMetrics& get() {
     static ServerMetrics metrics;
     return metrics;
   }
 };
+
+obs::LogRateLimiter& server_warn_limiter() {
+  static obs::LogRateLimiter limiter(10.0, 20.0);
+  return limiter;
+}
+
+// Percentile estimate from a snapshot histogram: walk the cumulative bucket
+// counts to the quantile and report that bucket's upper edge.  Log2 buckets
+// make this a ≤2x over-estimate — plenty for a live dashboard feed.
+double histogram_percentile(const obs::HistogramValue& h, double q) {
+  if (h.count == 0) return 0.0;
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      std::max(1.0, q * static_cast<double>(h.count)));
+  std::uint64_t cumulative = 0;
+  for (const obs::HistogramBucket& bucket : h.buckets) {
+    cumulative += bucket.count;
+    if (cumulative >= target) return bucket.upper_edge;
+  }
+  return h.buckets.empty() ? 0.0 : h.buckets.back().upper_edge;
+}
+
+void append_json_number(std::string& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  out += buffer;
+}
 
 std::size_t resolve_loop_count(const ServerOptions& options) {
   std::size_t loops = options.loops;
@@ -101,6 +149,16 @@ struct CampaignServer::Impl {
     bool close_after_flush = false;
     bool waiting_slow = false;  // parked: a drain is running for it
 
+    // Metric-stream state (GET /v1/metrics/stream).  Once `sse` flips the
+    // connection stops parsing requests and instead receives one event per
+    // interval from its owning loop's tick until it disconnects.
+    bool sse = false;
+    std::chrono::steady_clock::time_point sse_next{};
+    std::chrono::milliseconds sse_interval{1000};
+    std::uint64_t sse_seq = 0;
+    // Last streamed snapshot version per campaign, for delta events.
+    std::unordered_map<std::size_t, std::uint64_t> sse_versions;
+
     explicit Connection(const HttpLimits& limits) : parser(limits) {}
   };
 
@@ -110,6 +168,8 @@ struct CampaignServer::Impl {
     std::size_t loop = 0;   // which loop parked the connection
     std::size_t campaign = 0;
     bool keep_alive = true;
+    std::uint64_t request_id = 0;
+    std::string target;  // for the slow-request log
     std::chrono::steady_clock::time_point start;
   };
 
@@ -117,6 +177,8 @@ struct CampaignServer::Impl {
     std::uint64_t generation = 0;
     int fd = -1;
     bool keep_alive = true;
+    std::uint64_t request_id = 0;
+    std::string target;
     HandlerResponse response;
     std::chrono::steady_clock::time_point start;
   };
@@ -135,11 +197,12 @@ struct CampaignServer::Impl {
     std::unordered_map<int, Connection> connections;
     std::uint64_t next_generation = 1;
 
-    // Index-keyed registry instruments (server.loop<N>.*) so repeated
+    // Index-labeled series (server.loop.*{loop=<index>}) so repeated
     // server constructions reuse the same entries, mirroring the per-shard
-    // gauge naming in src/pipeline.
+    // gauge labeling in src/pipeline.
     obs::Counter* requests_counter = nullptr;
     obs::Gauge* connections_gauge = nullptr;
+    std::size_t sse_connections = 0;  // loop-owned /v1/metrics/stream conns
 
     // Cross-thread inbox, drained after a wake.
     std::mutex inbox_mutex;
@@ -161,6 +224,8 @@ struct CampaignServer::Impl {
   std::atomic<bool> started{false};
   std::atomic<bool> stopped{false};
   std::atomic<bool> shutdown_requested{false};
+  std::atomic<bool> ready{true};
+  std::atomic<std::uint64_t> next_request_id{1};
 
   // Event loops -> worker: drain jobs.  Worker -> owning loop: completions
   // via the loop's inbox plus a wake.
@@ -222,7 +287,7 @@ struct CampaignServer::Impl {
     if (loop_count == 1) reuseport = false;
 
     loops.reserve(loop_count);
-    auto& registry = obs::MetricsRegistry::global();
+    auto& metrics = ServerMetrics::get();
     for (std::size_t i = 0; i < loop_count; ++i) {
       auto loop = std::make_unique<Loop>();
       loop->index = i;
@@ -233,12 +298,9 @@ struct CampaignServer::Impl {
       set_nonblocking(loop->wake_read);
       set_nonblocking(loop->wake_write);
       loop->reserve_fd = ::open("/dev/null", O_RDONLY);
-      const std::string prefix = "server.loop" + std::to_string(i);
-      loop->requests_counter = &registry.counter(
-          prefix + ".requests", "HTTP requests parsed by this event loop");
-      loop->connections_gauge = &registry.gauge(
-          prefix + ".connections_active",
-          "connections currently owned by this event loop");
+      const std::string label = std::to_string(i);
+      loop->requests_counter = &metrics.loop_requests.at(label);
+      loop->connections_gauge = &metrics.loop_connections.at(label);
       loops.push_back(std::move(loop));
     }
 
@@ -317,8 +379,8 @@ struct CampaignServer::Impl {
 
   // --- Event loop -----------------------------------------------------------
 
-  void record_response(int status,
-                       std::chrono::steady_clock::time_point start) {
+  void record_response(int status, std::chrono::steady_clock::time_point start,
+                       std::string_view target, std::uint64_t request_id) {
     auto& metrics = ServerMetrics::get();
     if (status < 400) {
       metrics.responses_2xx.inc();
@@ -331,18 +393,32 @@ struct CampaignServer::Impl {
                           std::chrono::steady_clock::now() - start)
                           .count();
     metrics.request_us.record(us);
+    if (us > obs::log_slow_threshold_us() &&
+        obs::log_enabled(obs::LogLevel::kWarn)) {
+      obs::LogEvent(obs::LogLevel::kWarn, "slow_request")
+          .field("request", request_id)
+          .field("target", target)
+          .field("status", status)
+          .field("us", us);
+    }
   }
 
   void queue_response(Connection& conn, const HandlerResponse& response,
                       bool keep_alive,
-                      std::chrono::steady_clock::time_point start) {
+                      std::chrono::steady_clock::time_point start,
+                      std::string_view target, std::uint64_t request_id) {
     conn.out += http_response(response.status, response.content_type,
                               response.body, keep_alive);
     if (!keep_alive) conn.close_after_flush = true;
-    record_response(response.status, start);
+    record_response(response.status, start, target, request_id);
   }
 
   void close_connection(Loop& loop, int fd) {
+    const auto it = loop.connections.find(fd);
+    if (it != loop.connections.end() && it->second.sse) {
+      --loop.sse_connections;
+      ServerMetrics::get().sse_clients.add(-1.0);
+    }
     ::close(fd);
     loop.connections.erase(fd);
     const std::size_t active =
@@ -407,6 +483,12 @@ struct CampaignServer::Impl {
             metrics.connections_refused.inc();
           }
           loop.reserve_fd = ::open("/dev/null", O_RDONLY);
+          if (obs::log_enabled(obs::LogLevel::kWarn) &&
+              server_warn_limiter().allow()) {
+            obs::LogEvent(obs::LogLevel::kWarn, "accept_shed")
+                .field("loop", loop.index)
+                .field("reason", "fd_exhausted");
+          }
           return;
         }
         // Hard accept failure (ENOBUFS, ENOMEM, ...): counted; back off to
@@ -420,6 +502,13 @@ struct CampaignServer::Impl {
         active_connections.fetch_sub(1, std::memory_order_relaxed);
         metrics.connections_refused.inc();
         ::close(fd);
+        if (obs::log_enabled(obs::LogLevel::kWarn) &&
+            server_warn_limiter().allow()) {
+          obs::LogEvent(obs::LogLevel::kWarn, "connection_refused")
+              .field("loop", loop.index)
+              .field("active", active)
+              .field("limit", options.max_connections);
+        }
         continue;
       }
       metrics.connections_active.set(static_cast<double>(active));
@@ -431,15 +520,137 @@ struct CampaignServer::Impl {
     }
   }
 
+  // --- Metric streaming (GET /v1/metrics/stream) ----------------------------
+
+  // A streaming client that lets this much formatted output pile up gets
+  // disconnected instead of growing the buffer without bound.
+  static constexpr std::size_t kSseMaxBuffered = 256 * 1024;
+
+  static bool is_stream_request(const HttpRequest& request) {
+    std::string_view target = request.target;
+    const std::size_t query = target.find('?');
+    if (query != std::string_view::npos) target = target.substr(0, query);
+    return request.method == "GET" && target == "/v1/metrics/stream";
+  }
+
+  static std::chrono::milliseconds stream_interval(const HttpRequest& request) {
+    long ms = 1000;
+    const std::string_view target = request.target;
+    const std::size_t query = target.find('?');
+    if (query != std::string_view::npos) {
+      std::string_view qs = target.substr(query + 1);
+      constexpr std::string_view key = "interval_ms=";
+      while (!qs.empty()) {
+        const std::size_t amp = qs.find('&');
+        const std::string_view param =
+            amp == std::string_view::npos ? qs : qs.substr(0, amp);
+        if (param.size() > key.size() && param.substr(0, key.size()) == key) {
+          long parsed = 0;
+          bool valid = true;
+          for (char c : param.substr(key.size())) {
+            if (c < '0' || c > '9' || parsed > 1000000) {
+              valid = false;
+              break;
+            }
+            parsed = parsed * 10 + (c - '0');
+          }
+          if (valid && parsed > 0) ms = parsed;
+        }
+        if (amp == std::string_view::npos) break;
+        qs = qs.substr(amp + 1);
+      }
+    }
+    ms = std::clamp(ms, 50L, 60000L);
+    return std::chrono::milliseconds(ms);
+  }
+
+  // One stream event: engine counters, per-campaign snapshot deltas (only
+  // campaigns whose published version moved since this client's last
+  // event), and per-campaign latency summaries from the labeled registry
+  // histograms.
+  std::string build_sse_event(Connection& conn) {
+    std::string data = "{\"seq\": " + std::to_string(conn.sse_seq++) +
+                       ", \"engine\": " + pipeline::to_json(engine.counters());
+    data += ", \"campaigns\": [";
+    bool first = true;
+    const std::size_t campaigns = engine.campaign_count();
+    for (std::size_t c = 0; c < campaigns; ++c) {
+      if (engine.campaign_task_count(c) == 0) continue;
+      const auto snapshot = engine.snapshot(c);
+      if (snapshot == nullptr) continue;
+      std::uint64_t& last = conn.sse_versions[c];
+      if (snapshot->version == last) continue;
+      last = snapshot->version;
+      if (!first) data += ", ";
+      first = false;
+      data += "{\"campaign\": " + std::to_string(c) +
+              ", \"version\": " + std::to_string(snapshot->version) +
+              ", \"applied_reports\": " +
+              std::to_string(snapshot->applied_reports) +
+              ", \"live_observations\": " +
+              std::to_string(snapshot->live_observations) +
+              ", \"group_count\": " + std::to_string(snapshot->group_count) +
+              "}";
+    }
+    data += "], \"latency\": [";
+    const obs::MetricsSnapshot snap = obs::snapshot();
+    first = true;
+    for (const obs::HistogramValue& h : snap.histograms) {
+      if (h.label_key != "campaign" || h.count == 0) continue;
+      if (h.name != "pipeline.ingest_to_apply_us" &&
+          h.name != "pipeline.ingest_to_publish_us") {
+        continue;
+      }
+      if (!first) data += ", ";
+      first = false;
+      data += "{\"name\": \"" + h.name + "\", \"campaign\": \"" +
+              h.label_value + "\", \"count\": " + std::to_string(h.count) +
+              ", \"p50_us\": ";
+      append_json_number(data, histogram_percentile(h, 0.50));
+      data += ", \"p99_us\": ";
+      append_json_number(data, histogram_percentile(h, 0.99));
+      data += "}";
+    }
+    data += "]}";
+    ServerMetrics::get().sse_events.inc();
+    return "data: " + data + "\n\n";
+  }
+
+  // Switch the connection into streaming mode: hand-built response head
+  // (unframed body, so no Content-Length; the stream ends by close) plus
+  // the first event immediately.
+  void start_stream(Loop& loop, Connection& conn, const HttpRequest& request,
+                    std::chrono::steady_clock::time_point start,
+                    std::uint64_t request_id) {
+    conn.sse = true;
+    conn.sse_interval = stream_interval(request);
+    conn.sse_next = std::chrono::steady_clock::now() + conn.sse_interval;
+    conn.out +=
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/event-stream\r\n"
+        "Cache-Control: no-store\r\n"
+        "Connection: close\r\n"
+        "\r\n";
+    conn.out += build_sse_event(conn);
+    ++loop.sse_connections;
+    ServerMetrics::get().sse_clients.add(1.0);
+    record_response(200, start, request.target, request_id);
+  }
+
   // Parse and answer everything buffered on the connection.  Returns false
   // when the connection should be closed immediately.
   bool process_requests(Loop& loop, Connection& conn) {
     if (conn.waiting_slow) return true;  // parked until the drain completes
+    if (conn.sse) return true;  // streaming: input is ignored from here on
     auto& metrics = ServerMetrics::get();
     HttpRequest request;
     while (true) {
+      const std::uint64_t parse_start =
+          obs::trace_enabled() ? obs::detail::trace_now_us() : 0;
       const HttpParser::Status status = conn.parser.next(request);
       if (status == HttpParser::Status::kNeedMore) return true;
+      const std::uint64_t request_id =
+          next_request_id.fetch_add(1, std::memory_order_relaxed);
       if (status == HttpParser::Status::kError) {
         metrics.requests.inc();
         loop.requests_counter->inc();
@@ -447,8 +658,15 @@ struct CampaignServer::Impl {
         HandlerResponse response{conn.parser.error_status(),
                                  "application/json",
                                  error_body(conn.parser.error_reason())};
-        queue_response(conn, response, /*keep_alive=*/false, start);
+        queue_response(conn, response, /*keep_alive=*/false, start,
+                       "<parse error>", request_id);
         return true;  // flush the error, then close
+      }
+      if (obs::trace_enabled()) {
+        obs::detail::trace_span_end(
+            "http/parse", parse_start, "request",
+            static_cast<double>(request_id), "bytes",
+            static_cast<double>(request.body.size()));
       }
       metrics.requests.inc();
       loop.requests_counter->inc();
@@ -463,6 +681,8 @@ struct CampaignServer::Impl {
         job.loop = loop.index;
         job.campaign = campaign;
         job.keep_alive = keep_alive;
+        job.request_id = request_id;
+        job.target = std::string(request.target);
         job.start = start;
         conn.waiting_slow = true;
         {
@@ -474,8 +694,16 @@ struct CampaignServer::Impl {
         // drain response is queued.
         return true;
       }
-      queue_response(conn, handle_api_request(engine, request), keep_alive,
-                     start);
+      if (is_stream_request(request)) {
+        start_stream(loop, conn, request, start, request_id);
+        return true;
+      }
+      HandlerContext context;
+      context.ready = !shutdown_requested.load() &&
+                      ready.load(std::memory_order_relaxed);
+      context.request_id = request_id;
+      queue_response(conn, handle_api_request(engine, request, context),
+                     keep_alive, start, request.target, request_id);
     }
   }
 
@@ -551,7 +779,8 @@ struct CampaignServer::Impl {
       }
       Connection& conn = it->second;
       conn.waiting_slow = false;
-      queue_response(conn, item.response, item.keep_alive, item.start);
+      queue_response(conn, item.response, item.keep_alive, item.start,
+                     item.target, item.request_id);
       // Answer any requests the peer pipelined behind the drain.
       process_requests(loop, conn);
     }
@@ -589,10 +818,23 @@ struct CampaignServer::Impl {
         if (events != 0) pollfds.push_back({fd, events, 0});
       }
 
-      const int ready =
+      int timeout_ms = stopping ? 100 : 1000;
+      if (!stopping && loop.sse_connections > 0) {
+        // Wake in time for the earliest stream deadline.
+        const auto now = std::chrono::steady_clock::now();
+        for (const auto& [fd, conn] : loop.connections) {
+          if (!conn.sse) continue;
+          const auto until = std::chrono::duration_cast<
+                                 std::chrono::milliseconds>(conn.sse_next -
+                                                            now)
+                                 .count();
+          timeout_ms = std::clamp(static_cast<int>(until), 1, timeout_ms);
+        }
+      }
+      const int poll_ready =
           ::poll(pollfds.data(), static_cast<nfds_t>(pollfds.size()),
-                 stopping ? 100 : 1000);
-      if (ready < 0 && errno != EINTR) break;
+                 timeout_ms);
+      if (poll_ready < 0 && errno != EINTR) break;
 
       for (const pollfd& pfd : pollfds) {
         if (pfd.revents == 0) continue;
@@ -628,6 +870,32 @@ struct CampaignServer::Impl {
         if (loop.connections.count(fd) != 0) close_connection(loop, fd);
       }
       to_close.clear();
+
+      // Stream tick: emit due events, drop clients that stopped reading.
+      if (!stopping && loop.sse_connections > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        for (auto& [fd, conn] : loop.connections) {
+          if (!conn.sse || now < conn.sse_next) continue;
+          if (conn.out.size() - conn.out_offset > kSseMaxBuffered) {
+            ServerMetrics::get().sse_slow_disconnects.inc();
+            if (obs::log_enabled(obs::LogLevel::kWarn) &&
+                server_warn_limiter().allow()) {
+              obs::LogEvent(obs::LogLevel::kWarn, "sse_slow_disconnect")
+                  .field("loop", loop.index)
+                  .field("buffered", conn.out.size() - conn.out_offset);
+            }
+            to_close.push_back(fd);
+            continue;
+          }
+          conn.out += build_sse_event(conn);
+          conn.sse_next = now + conn.sse_interval;
+          flush_to(conn);
+        }
+        for (int fd : to_close) {
+          if (loop.connections.count(fd) != 0) close_connection(loop, fd);
+        }
+        to_close.clear();
+      }
 
       collect_inbox(loop, shutdown_requested.load());
 
@@ -673,6 +941,9 @@ void CampaignServer::start() {
     Impl::Loop* raw = loop.get();
     raw->thread = std::thread([this, raw] { impl_->loop_main(*raw); });
   }
+  obs::LogEvent(obs::LogLevel::kInfo, "server_started")
+      .field("port", impl_->bound_port)
+      .field("loops", impl_->loop_count);
 }
 
 std::uint16_t CampaignServer::port() const { return impl_->bound_port; }
@@ -680,6 +951,10 @@ std::uint16_t CampaignServer::port() const { return impl_->bound_port; }
 std::size_t CampaignServer::loop_count() const { return impl_->loop_count; }
 
 pipeline::CampaignEngine& CampaignServer::engine() { return impl_->engine; }
+
+void CampaignServer::set_ready(bool ready) {
+  impl_->ready.store(ready, std::memory_order_relaxed);
+}
 
 void CampaignServer::request_shutdown() {
   impl_->shutdown_requested.store(true);
@@ -711,6 +986,8 @@ void CampaignServer::wait() {
     impl_->engine.drain();
     impl_->engine.stop();
     impl_->close_sockets();
+    obs::LogEvent(obs::LogLevel::kInfo, "server_stopped")
+        .field("port", impl_->bound_port);
   }
 }
 

@@ -78,9 +78,15 @@ class CampaignServer {
   // campaigns before start().
   pipeline::CampaignEngine& engine();
 
+  // Readiness control for GET /readyz.  The server starts ready; flipping
+  // to false makes /readyz answer 503 (while /healthz stays 200) so a load
+  // balancer stops routing new work here — shutdown flips it implicitly,
+  // this is the explicit handle (deploy hooks, tests).  Thread-safe.
+  void set_ready(bool ready);
+
   // Begin graceful shutdown.  Async-signal-safe: only writes one byte to
   // each loop's wake pipe, so it is callable straight from a
-  // SIGTERM/SIGINT handler.  Idempotent.
+  // SIGTERM/SIGINT handler.  Idempotent.  Also marks the server not ready.
   void request_shutdown();
 
   // Block until the server has fully shut down (every event loop returned,

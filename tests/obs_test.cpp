@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -282,6 +283,66 @@ TEST(Trace, EnableResetsBuffer) {
   std::remove(path.c_str());
 }
 
+// --- Structured logging -----------------------------------------------------
+
+TEST(Log, WritesJsonLinesAndFiltersBelowLevel) {
+  const std::string path = ::testing::TempDir() + "obs_test_log.jsonl";
+  std::remove(path.c_str());
+  log_open(path, LogLevel::kInfo);
+  EXPECT_TRUE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  {
+    LogEvent(LogLevel::kInfo, "test_event")
+        .field("text", "a\"b\\c")
+        .field("count", std::uint64_t{42})
+        .field("delta", -3)
+        .field("ratio", 0.5)
+        .field("flag", true);
+  }
+  { LogEvent(LogLevel::kDebug, "below_level"); }  // filtered out
+  log_flush();
+  log_close();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  // One complete JSON object per line, with typed fields and escaping.
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(line.find("\"level\": \"info\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\": \"test_event\""), std::string::npos);
+  EXPECT_NE(line.find("\"text\": \"a\\\"b\\\\c\""), std::string::npos);
+  EXPECT_NE(line.find("\"count\": 42"), std::string::npos);
+  EXPECT_NE(line.find("\"delta\": -3"), std::string::npos);
+  EXPECT_NE(line.find("\"ratio\": 0.5"), std::string::npos);
+  EXPECT_NE(line.find("\"flag\": true"), std::string::npos);
+  EXPECT_FALSE(std::getline(in, line)) << "debug line leaked: " << line;
+  std::remove(path.c_str());
+}
+
+TEST(Log, DisabledEventsCostNoOutput) {
+  // No sink configured in this test (log_close() above or never opened):
+  // events evaporate and log_enabled gates callers' field formatting.
+  log_close();
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+  { LogEvent(LogLevel::kError, "nowhere_to_go").field("x", 1); }
+  // Nothing to assert on disk; the contract is simply "does not crash or
+  // accumulate" — dropped stays untouched because nothing was enqueued.
+}
+
+TEST(Log, RateLimiterAllowsBurstThenSuppresses) {
+  LogRateLimiter limiter(/*per_second=*/1.0, /*burst=*/3.0);
+  int allowed = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (limiter.allow()) ++allowed;
+  }
+  EXPECT_GE(allowed, 3);
+  EXPECT_LE(allowed, 4);  // the burst, plus at most one elapsed-time refill
+}
+
 // --- Exposition formats -----------------------------------------------------
 
 TEST(Exposition, PrometheusShape) {
@@ -340,11 +401,164 @@ TEST(Exposition, JsonShapeParsesAndCarriesValues) {
   EXPECT_NE(text.find("\"gauges\""), std::string::npos);
   EXPECT_NE(text.find("\"histograms\""), std::string::npos);
   EXPECT_NE(text.find("\"obs_test.json_counter\""), std::string::npos);
-  // Snapshot is sorted by name, so exposition order is deterministic.
+  // Snapshot is sorted by (name, label value), so exposition order is
+  // deterministic; labeled series of one family share a name.
   const auto snap = snapshot();
   for (std::size_t i = 1; i < snap.counters.size(); ++i) {
-    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+    if (snap.counters[i - 1].name == snap.counters[i].name) {
+      EXPECT_LT(snap.counters[i - 1].label_value,
+                snap.counters[i].label_value);
+    } else {
+      EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+    }
   }
+}
+
+// --- Labeled families -------------------------------------------------------
+
+TEST(MetricsFamily, RegistrationIsIdempotentAndChecked) {
+  auto& a = MetricsRegistry::global().counter_family("obs_test.family_reg",
+                                                     "campaign");
+  auto& b = MetricsRegistry::global().counter_family("obs_test.family_reg",
+                                                     "campaign");
+  EXPECT_EQ(&a, &b);
+  // Same name, different label key: a schema bug, not a new family.
+  EXPECT_THROW(MetricsRegistry::global().counter_family("obs_test.family_reg",
+                                                        "shard"),
+               std::exception);
+  // Same name, different kind.
+  EXPECT_THROW(
+      MetricsRegistry::global().gauge_family("obs_test.family_reg",
+                                             "campaign"),
+      std::exception);
+  EXPECT_THROW(MetricsRegistry::global().counter("obs_test.family_reg"),
+               std::exception);
+}
+
+TEST(MetricsFamily, SameLabelReturnsSameInstrument) {
+  auto& family = MetricsRegistry::global().counter_family(
+      "obs_test.family_identity", "campaign");
+  auto& one = family.at("17");
+  auto& two = family.at("17");
+  EXPECT_EQ(&one, &two);
+  EXPECT_NE(&family.at("17"), &family.at("18"));
+}
+
+TEST(MetricsFamily, CardinalityCapEvictsIntoOverflowConservingTotals) {
+  auto& family = MetricsRegistry::global().counter_family(
+      "obs_test.family_cap", "campaign", "cap test", /*max_series=*/4);
+  family.at("a").inc(1);
+  family.at("b").inc(2);
+  family.at("c").inc(3);
+  family.at("d").inc(4);
+  // Flood far past the cap: every new label recycles the least-recently
+  // touched series into the reserved overflow slot.
+  for (int i = 0; i < 100; ++i) {
+    family.at("flood" + std::to_string(i)).inc(1);
+  }
+  EXPECT_GT(family.evictions(), 0u);
+  // At most max_series live labels plus the overflow series.
+  EXPECT_LE(family.series_count(), 5u);
+  std::vector<std::pair<std::string, const Counter*>> series;
+  family.collect(series);
+  std::uint64_t total = 0;
+  bool overflow_seen = false;
+  for (const auto& [label, counter] : series) {
+    total += counter->value();
+    if (label == std::string(kOverflowLabel)) overflow_seen = true;
+  }
+  // Eviction folds counts into `_other` instead of losing them.
+  EXPECT_EQ(total, 1u + 2u + 3u + 4u + 100u);
+  EXPECT_TRUE(overflow_seen);
+}
+
+TEST(MetricsFamily, HistogramEvictionConservesCountAndSum) {
+  auto& family = MetricsRegistry::global().histogram_family(
+      "obs_test.family_hist_cap", "campaign", "cap test", /*max_series=*/2);
+  family.at("a").record(1.5);
+  family.at("a").record(2.5);
+  family.at("b").record(4.0);
+  family.at("c").record(8.0);  // evicts the LRU series into _other
+  family.at("d").record(16.0);
+  std::vector<std::pair<std::string, const Histogram*>> series;
+  family.collect(series);
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  for (const auto& [label, histogram] : series) {
+    count += histogram->count();
+    sum += histogram->sum();
+  }
+  EXPECT_EQ(count, 5u);
+  EXPECT_DOUBLE_EQ(sum, 32.0);
+  EXPECT_GT(family.evictions(), 0u);
+}
+
+TEST(MetricsFamily, EightThreadLabeledHammerIsExact) {
+  auto& family = MetricsRegistry::global().counter_family(
+      "obs_test.family_hammer", "worker");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&family, t] {
+      const std::string label = std::to_string(t % 4);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        family.at(label).inc();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int label = 0; label < 4; ++label) {
+    EXPECT_EQ(family.at(std::to_string(label)).value(), 2 * kPerThread);
+  }
+}
+
+TEST(MetricsAllocation, FamilyLookupOfExistingLabelAllocatesNothing) {
+  auto& family = MetricsRegistry::global().counter_family(
+      "obs_test.family_zero_alloc", "campaign");
+  family.at("7").inc();  // materialize the series and warm the stripe
+  const std::uint64_t allocs = count_allocations([&] {
+    for (int i = 0; i < 1000; ++i) family.at("7").inc();
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(Exposition, LabeledSeriesRenderPrometheusLabelSets) {
+  auto& counters = MetricsRegistry::global().counter_family(
+      "obs_test.labeled_counter", "campaign", "labeled counter");
+  counters.at("7").inc(3);
+  counters.at("esc\"ape\\me").inc(1);
+  auto& hists = MetricsRegistry::global().histogram_family(
+      "obs_test.labeled_hist", "campaign", "labeled histogram");
+  hists.at("7").record(1.5);
+  const std::string text = to_prometheus(snapshot());
+  EXPECT_NE(text.find("obs_test_labeled_counter_total{campaign=\"7\"} 3"),
+            std::string::npos);
+  // Label values are escaped per the exposition format.
+  EXPECT_NE(
+      text.find(
+          "obs_test_labeled_counter_total{campaign=\"esc\\\"ape\\\\me\"} 1"),
+      std::string::npos);
+  // Labeled histograms weave the family label into every bucket line.
+  EXPECT_NE(text.find("obs_test_labeled_hist_bucket{campaign=\"7\",le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_labeled_hist_bucket{campaign=\"7\",le=\"+Inf"
+                      "\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_labeled_hist_count{campaign=\"7\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_labeled_hist_sum{campaign=\"7\"} 1.5"),
+            std::string::npos);
+  // HELP/TYPE headers appear once per family, not once per series.
+  const std::string help_line =
+      "# HELP obs_test_labeled_counter_total labeled counter";
+  const std::size_t first = text.find(help_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(help_line, first + 1), std::string::npos);
+  // And the JSON exposition carries the label object.
+  const std::string json = to_json(snapshot());
+  EXPECT_NE(json.find("\"labels\": {\"campaign\": \"7\"}"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -296,6 +296,26 @@ TEST(Handlers, HealthzAndUnknownRoutes) {
       404);
 }
 
+TEST(Handlers, ReadyzTracksHandlerContextWhileHealthzStaysUp) {
+  pipeline::CampaignEngine engine;
+  // Default context (unit tests, healthy server): ready.
+  EXPECT_EQ(handle_api_request(engine, make_request("GET", "/readyz")).status,
+            200);
+  EXPECT_EQ(handle_api_request(engine, make_request("POST", "/readyz")).status,
+            405);
+  HandlerContext draining;
+  draining.ready = false;
+  EXPECT_EQ(
+      handle_api_request(engine, make_request("GET", "/readyz"), draining)
+          .status,
+      503);
+  // Liveness is independent of readiness.
+  EXPECT_EQ(
+      handle_api_request(engine, make_request("GET", "/healthz"), draining)
+          .status,
+      200);
+}
+
 TEST(Handlers, MetricsEndpointServesPrometheusText) {
   pipeline::CampaignEngine engine;
   const HandlerResponse response =
@@ -522,6 +542,102 @@ TEST(CampaignServer, EphemeralPortStartupAndHealth) {
   // Keep-alive: the same connection serves further requests.
   EXPECT_EQ(round_trip(fd, "GET", "/v1/status").status, 200);
   EXPECT_EQ(round_trip(fd, "GET", "/metrics").status, 200);
+  ::close(fd);
+  server.shutdown();
+}
+
+TEST(CampaignServer, ReadyzFlipsWithSetReadyWhileHealthzStaysUp) {
+  ServerOptions options;
+  options.port = 0;
+  CampaignServer server(options);
+  server.start();
+  const int fd = connect_loopback(server.port());
+  EXPECT_EQ(round_trip(fd, "GET", "/readyz").status, 200);
+  server.set_ready(false);
+  EXPECT_EQ(round_trip(fd, "GET", "/readyz").status, 503);
+  // Liveness is unaffected: the process still answers.
+  EXPECT_EQ(round_trip(fd, "GET", "/healthz").status, 200);
+  server.set_ready(true);
+  EXPECT_EQ(round_trip(fd, "GET", "/readyz").status, 200);
+  ::close(fd);
+  server.shutdown();
+}
+
+TEST(CampaignServer, IngestExportsPerCampaignLatencyHistograms) {
+  ServerOptions options;
+  options.port = 0;
+  CampaignServer server(options);
+  server.engine().add_campaign(3);
+  server.start();
+  const int fd = connect_loopback(server.port());
+  EXPECT_EQ(round_trip(fd, "POST", "/v1/campaigns/0/reports",
+                       "[{\"account\":0,\"task\":0,\"value\":1.0},"
+                       "{\"account\":1,\"task\":1,\"value\":2.0}]")
+                .status,
+            202);
+  // The drain barrier guarantees the reports were applied and published,
+  // so both lifecycle histograms have closed out their stamps.
+  EXPECT_EQ(round_trip(fd, "POST", "/v1/campaigns/0/drain").status, 200);
+  const ClientResponse metrics = round_trip(fd, "GET", "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("pipeline_ingest_to_apply_us_count{"
+                              "campaign=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("pipeline_ingest_to_publish_us_count{"
+                              "campaign=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("server_campaign_reports_accepted_total{"
+                              "campaign=\"0\"}"),
+            std::string::npos);
+  ::close(fd);
+  server.shutdown();
+}
+
+TEST(CampaignServer, MetricStreamDeliversEventsUntilClose) {
+  ServerOptions options;
+  options.port = 0;
+  CampaignServer server(options);
+  server.engine().add_campaign(2);
+  server.start();
+
+  // Seed one report so the first event carries a campaign delta.
+  const int ingest_fd = connect_loopback(server.port());
+  EXPECT_EQ(round_trip(ingest_fd, "POST", "/v1/campaigns/0/reports",
+                       "{\"account\":0,\"task\":0,\"value\":1.0}")
+                .status,
+            202);
+  ::close(ingest_fd);
+
+  const int fd = connect_loopback(server.port());
+  const std::string request =
+      "GET /v1/metrics/stream?interval_ms=50 HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+
+  // Read until three full events arrived (the immediate one plus ticks)
+  // AND one of them carried the campaign-0 delta for the seeded report;
+  // capped so a regression fails instead of hanging.
+  std::string buffer;
+  char chunk[4096];
+  std::size_t events = 0;
+  while (events < 50 &&
+         (events < 3 ||
+          buffer.find("\"campaign\": 0") == std::string::npos)) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    ASSERT_GT(n, 0) << "stream ended after " << events << " events";
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    events = 0;
+    for (std::size_t pos = 0;
+         (pos = buffer.find("data: ", pos)) != std::string::npos; ++pos) {
+      ++events;
+    }
+  }
+  EXPECT_GE(events, 3u);
+  EXPECT_NE(buffer.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(buffer.find("Content-Type: text/event-stream"),
+            std::string::npos);
+  EXPECT_NE(buffer.find("\"engine\": "), std::string::npos);
+  EXPECT_NE(buffer.find("\"campaign\": 0"), std::string::npos);
   ::close(fd);
   server.shutdown();
 }
@@ -782,11 +898,10 @@ TEST(MultiLoopServer, FourLoopsServeManyConnections) {
 
 TEST(MultiLoopServer, SharedAcceptorRoundRobinsAcrossLoops) {
   EnvGuard accept_mode("SYBILTD_SERVER_ACCEPT", "shared");
-  auto& registry = obs::MetricsRegistry::global();
-  const std::uint64_t loop1_before =
-      registry.counter("server.loop1.requests", "").value();
-  const std::uint64_t loop2_before =
-      registry.counter("server.loop2.requests", "").value();
+  auto& loop_requests = obs::MetricsRegistry::global().counter_family(
+      "server.loop.requests", "loop");
+  const std::uint64_t loop1_before = loop_requests.at("1").value();
+  const std::uint64_t loop2_before = loop_requests.at("2").value();
 
   ServerOptions options;
   options.port = 0;
@@ -806,10 +921,8 @@ TEST(MultiLoopServer, SharedAcceptorRoundRobinsAcrossLoops) {
   for (int fd : fds) ::close(fd);
   server.shutdown();
 
-  EXPECT_GT(registry.counter("server.loop1.requests", "").value(),
-            loop1_before);
-  EXPECT_GT(registry.counter("server.loop2.requests", "").value(),
-            loop2_before);
+  EXPECT_GT(loop_requests.at("1").value(), loop1_before);
+  EXPECT_GT(loop_requests.at("2").value(), loop2_before);
 }
 
 TEST(MultiLoopServer, LiveCampaignVisibleOnEveryLoop) {
