@@ -7,7 +7,11 @@
 // committed BENCH_baseline.json with bench/compare_bench.py.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <new>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -25,12 +29,39 @@
 #include "ml/pca.h"
 #include "obs/metrics.h"
 #include "pipeline/engine.h"
+#include "pipeline/status_json.h"
 #include "sensing/fingerprint.h"
+#include "server/report_decode.h"
+#include "server/snapshot_cache.h"
 #include "signal/features.h"
 #include "signal/fft.h"
 #include "signal/welch.h"
 #include "simd/simd.h"
 #include "truth/crh.h"
+
+// Replacement global operator new/delete forwarding to malloc/free with an
+// opt-in counter (same idiom as tests/workspace_test.cpp): the decode
+// benchmarks report heap allocations per iteration as `allocs_per_op`, and
+// the CI perf-smoke job asserts it is exactly 0 for BM_ReportDecodeFast —
+// the zero-copy claim is measured, not asserted in prose.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_alloc_tracking{false};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (g_alloc_tracking.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace sybiltd;
 
@@ -489,6 +520,135 @@ void BM_TrySubmitBatch(benchmark::State& state) {
   submit_bench_teardown(state);
 }
 BENCHMARK(BM_TrySubmitBatch)->ThreadRange(1, 8)->UseRealTime();
+
+// --- Ingest decode & snapshot rendering ------------------------------------
+// The two halves of the zero-copy fast path (docs/PERFORMANCE.md "Ingest
+// decode").  Registered arg-less so the CI perf-smoke filter matches the
+// plain names.
+
+// A canonical 100-report bare-array batch, the wire shape bench/server_load
+// sends.  Varied digits so number parsing isn't unrealistically uniform.
+std::string decode_bench_body() {
+  std::string body = "[";
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    if (i > 0) body += ',';
+    body += "{\"account\":" + std::to_string(i) +
+            ",\"task\":" + std::to_string(i % kSubmitTasks) +
+            ",\"value\":" + std::to_string(rng.uniform(-100, 100)) +
+            ",\"timestamp_hours\":" + std::to_string(i / 24) + "}";
+  }
+  body += "]";
+  return body;
+}
+
+void attach_alloc_count(benchmark::State& state, std::uint64_t allocs) {
+  state.counters["allocs_per_op"] =
+      benchmark::Counter(static_cast<double>(allocs),
+                         benchmark::Counter::kAvgIterations);
+}
+
+void BM_ReportDecodeFast(benchmark::State& state) {
+  const std::string body = decode_bench_body();
+  {
+    // Warm the thread's workspace pool; the timed loop must not heap-allocate.
+    const server::DecodedReports warm = server::decode_reports(body, 0, kSubmitTasks);
+    if (!warm.ok || !warm.fast_path) {
+      state.SkipWithError("fast path did not engage on the canonical body");
+      return;
+    }
+  }
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_tracking.store(true, std::memory_order_relaxed);
+  for (auto _ : state) {
+    const server::DecodedReports decoded =
+        server::decode_reports(body, 0, kSubmitTasks);
+    benchmark::DoNotOptimize(decoded.reports.data());
+  }
+  g_alloc_tracking.store(false, std::memory_order_relaxed);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(body.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+  attach_alloc_count(state, g_alloc_count.load(std::memory_order_relaxed));
+  attach_simd_level(state);
+}
+BENCHMARK(BM_ReportDecodeFast);
+
+void BM_ReportDecodeGeneric(benchmark::State& state) {
+  // The same body through the JsonValue-tree codec the fallback uses: the
+  // gap between this and BM_ReportDecodeFast is what the fast path buys.
+  const std::string body = decode_bench_body();
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_tracking.store(true, std::memory_order_relaxed);
+  for (auto _ : state) {
+    const server::DecodedReports decoded =
+        server::decode_reports(body, 0, kSubmitTasks, /*allow_fast=*/false);
+    benchmark::DoNotOptimize(decoded.reports.data());
+  }
+  g_alloc_tracking.store(false, std::memory_order_relaxed);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(body.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+  attach_alloc_count(state, g_alloc_count.load(std::memory_order_relaxed));
+  attach_simd_level(state);
+}
+BENCHMARK(BM_ReportDecodeGeneric);
+
+void BM_SnapshotRenderCached(benchmark::State& state) {
+  // Repeat GETs of one snapshot version: after the first miss every get()
+  // is a hash lookup + shared_ptr copy.  cache_hits/iter ~ 1 in the JSON
+  // report proves the render really happened once.
+  auto snapshot = std::make_shared<pipeline::CampaignSnapshot>();
+  snapshot->campaign = 0;
+  snapshot->version = 1;
+  snapshot->truths.resize(256);
+  snapshot->group_of.resize(512);
+  snapshot->group_weights.resize(32, 1.0);
+  snapshot->group_count = 32;
+  Rng rng(32);
+  for (auto& t : snapshot->truths) t = rng.uniform(-100, 100);
+  for (auto& g : snapshot->group_of) g = static_cast<std::size_t>(rng.uniform(0, 32));
+  const std::shared_ptr<const pipeline::CampaignSnapshot> frozen = snapshot;
+  server::SnapshotResponseCache cache;
+  // The cache counters are a per-campaign labeled family, so the delta reads
+  // campaign 0's series rather than a plain registry counter.
+  obs::Counter& hit_series =
+      obs::MetricsRegistry::global()
+          .counter_family("server.snapshot_cache.hits", "campaign")
+          .at("0");
+  const std::uint64_t hits_before = hit_series.value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.get(0, frozen, server::SnapshotResponseCache::View::kTruths));
+  }
+  state.counters["cache_hits"] = benchmark::Counter(
+      static_cast<double>(hit_series.value() - hits_before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SnapshotRenderCached);
+
+void BM_SnapshotRenderUncached(benchmark::State& state) {
+  // The render a cache miss pays, with reused output storage.
+  pipeline::CampaignSnapshot snapshot;
+  snapshot.campaign = 0;
+  snapshot.version = 1;
+  snapshot.truths.resize(256);
+  snapshot.group_of.resize(512);
+  snapshot.group_weights.resize(32, 1.0);
+  snapshot.group_count = 32;
+  Rng rng(33);
+  for (auto& t : snapshot.truths) t = rng.uniform(-100, 100);
+  for (auto& g : snapshot.group_of) g = static_cast<std::size_t>(rng.uniform(0, 32));
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    pipeline::to_json_into(snapshot, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_SnapshotRenderUncached);
 
 }  // namespace
 

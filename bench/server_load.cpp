@@ -18,10 +18,13 @@
 //               behind docs/PERFORMANCE.md and BENCH_server.json
 //   --json      google-benchmark-compatible JSON, one entry per run named
 //               http_ingest/loops:L/connections:C/batch:B with
-//               reports_per_sec / p50_us / p99_us user counters plus
-//               publish_p50_us / publish_p99_us (end-to-end ingest->publish
-//               latency from the per-campaign registry histograms) — the
-//               shape compare_bench.py understands; committed as
+//               reports_per_sec / bytes_per_sec user counters,
+//               request_p50_us / request_p99_us (client round-trip; p50_us /
+//               p99_us remain as aliases), publish_p50_us / publish_p99_us
+//               (end-to-end ingest->publish latency from the per-campaign
+//               registry histograms) and decode_fast / decode_fallback
+//               (which ingest codec served the run) — the shape
+//               compare_bench.py understands; committed as
 //               BENCH_server.json.
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -107,12 +110,11 @@ bool read_response(int fd, std::string& buffer) {
 struct ClientResult {
   std::size_t accepted = 0;
   std::size_t requests = 0;
+  std::size_t bytes = 0;  // request bytes written (headers + body)
   std::vector<double> latencies_us;
   bool ok = true;
 };
 
-// Pre-rendered request bodies: generation cost must not pollute the
-// ingestion measurement.
 std::string make_batch_body(std::size_t client, std::size_t batch_index,
                             std::size_t batch) {
   std::string body = "[";
@@ -129,24 +131,38 @@ std::string make_batch_body(std::size_t client, std::size_t batch_index,
   return body;
 }
 
-void run_client(std::uint16_t port, std::size_t client, std::size_t requests,
+// Every request a client will send, rendered before the timed window opens:
+// body generation and header formatting must not pollute the wall-clock
+// ingestion measurement (they used to shave a few percent off the
+// sustained rate at loops=1).
+std::vector<std::string> render_client_requests(std::size_t client,
+                                                std::size_t requests,
+                                                std::size_t batch) {
+  const std::size_t campaign = client % kCampaigns;
+  const std::string path =
+      "/v1/campaigns/" + std::to_string(campaign) + "/reports";
+  std::vector<std::string> out;
+  out.reserve(requests);
+  for (std::size_t r = 0; r < requests; ++r) {
+    const std::string body = make_batch_body(client, r, batch);
+    out.push_back("POST " + path +
+                  " HTTP/1.1\r\nHost: bench\r\nContent-Type: "
+                  "application/json\r\nContent-Length: " +
+                  std::to_string(body.size()) + "\r\n\r\n" + body);
+  }
+  return out;
+}
+
+void run_client(std::uint16_t port, const std::vector<std::string>* requests,
                 std::size_t batch, ClientResult* result) {
   const int fd = connect_loopback(port);
   if (fd < 0) {
     result->ok = false;
     return;
   }
-  const std::size_t campaign = client % kCampaigns;
-  const std::string path = "/v1/campaigns/" + std::to_string(campaign) +
-                           "/reports";
   std::string response_buffer;
-  result->latencies_us.reserve(requests);
-  for (std::size_t r = 0; r < requests; ++r) {
-    const std::string body = make_batch_body(client, r, batch);
-    const std::string request =
-        "POST " + path + " HTTP/1.1\r\nHost: bench\r\nContent-Type: "
-        "application/json\r\nContent-Length: " +
-        std::to_string(body.size()) + "\r\n\r\n" + body;
+  result->latencies_us.reserve(requests->size());
+  for (const std::string& request : *requests) {
     const auto start = std::chrono::steady_clock::now();
     if (!write_all(fd, request) || !read_response(fd, response_buffer)) {
       result->ok = false;
@@ -157,6 +173,7 @@ void run_client(std::uint16_t port, std::size_t client, std::size_t requests,
             std::chrono::steady_clock::now() - start)
             .count());
     result->accepted += batch;
+    result->bytes += request.size();
     ++result->requests;
   }
   ::close(fd);
@@ -215,12 +232,22 @@ struct LoadResult {
   double ingest_seconds = 0.0;
   double drain_seconds = 0.0;
   double reports_per_sec = 0.0;
-  double p50_us = 0.0;
-  double p99_us = 0.0;
+  // Request wire bytes (headers + body) per second of the ingest window.
+  double bytes_per_sec = 0.0;
+  // Client-observed request round-trip latency (first byte written to last
+  // response byte read).  Emitted as request_p50_us/request_p99_us so the
+  // JSON never conflates them with the publish percentiles below; p50_us /
+  // p99_us stay as aliases for older tooling.
+  double request_p50_us = 0.0;
+  double request_p99_us = 0.0;
   // End-to-end ingest->publish latency from the labeled registry
   // histograms (0 when SYBILTD_LATENCY=off disables stamping).
   double publish_p50_us = 0.0;
   double publish_p99_us = 0.0;
+  // server.decode.fast / server.decode.fallback deltas across the run:
+  // the canonical load must take the fast path for ~every request.
+  std::uint64_t decode_fast = 0;
+  std::uint64_t decode_fallback = 0;
   std::uint64_t engine_accepted = 0;
   std::uint64_t engine_applied = 0;
   std::uint64_t engine_batches = 0;
@@ -248,12 +275,23 @@ LoadResult run_load(const LoadConfig& config) {
   server.start();
   const std::map<double, std::uint64_t> publish_before =
       publish_latency_buckets();
+  obs::Counter& decode_fast_counter =
+      obs::MetricsRegistry::global().counter("server.decode.fast");
+  obs::Counter& decode_fallback_counter =
+      obs::MetricsRegistry::global().counter("server.decode.fallback");
+  const std::uint64_t decode_fast_before = decode_fast_counter.value();
+  const std::uint64_t decode_fallback_before = decode_fallback_counter.value();
+
+  std::vector<std::vector<std::string>> requests(config.connections);
+  for (std::size_t c = 0; c < config.connections; ++c) {
+    requests[c] = render_client_requests(c, per_client, config.batch);
+  }
 
   std::vector<ClientResult> results(config.connections);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   for (std::size_t c = 0; c < config.connections; ++c) {
-    clients.emplace_back(run_client, server.port(), c, per_client,
+    clients.emplace_back(run_client, server.port(), &requests[c],
                          config.batch, &results[c]);
   }
   for (auto& t : clients) t.join();
@@ -268,10 +306,12 @@ LoadResult run_load(const LoadConfig& config) {
   LoadResult out;
   out.ingest_seconds = ingest_seconds;
   out.drain_seconds = total_seconds - ingest_seconds;
+  std::size_t bytes = 0;
   std::vector<double> latencies;
   for (const ClientResult& r : results) {
     out.accepted += r.accepted;
     out.requests += r.requests;
+    bytes += r.bytes;
     out.ok = out.ok && r.ok;
     latencies.insert(latencies.end(), r.latencies_us.begin(),
                      r.latencies_us.end());
@@ -281,13 +321,18 @@ LoadResult run_load(const LoadConfig& config) {
   for (const auto& [edge, count] : publish_before) {
     publish_delta[edge] -= count;
   }
+  out.decode_fast = decode_fast_counter.value() - decode_fast_before;
+  out.decode_fallback =
+      decode_fallback_counter.value() - decode_fallback_before;
   server.shutdown();
 
   out.reports_per_sec =
       ingest_seconds > 0.0 ? static_cast<double>(out.accepted) / ingest_seconds
                            : 0.0;
-  out.p50_us = percentile(latencies, 0.50);
-  out.p99_us = percentile(latencies, 0.99);
+  out.bytes_per_sec =
+      ingest_seconds > 0.0 ? static_cast<double>(bytes) / ingest_seconds : 0.0;
+  out.request_p50_us = percentile(latencies, 0.50);
+  out.request_p99_us = percentile(latencies, 0.99);
   out.publish_p50_us = bucket_percentile(publish_delta, 0.50);
   out.publish_p99_us = bucket_percentile(publish_delta, 0.99);
   out.engine_accepted = counters.accepted;
@@ -311,10 +356,19 @@ void print_json_entry(const LoadConfig& config, const LoadResult& result,
   std::printf("      \"cpu_time\": %.6f,\n", result.ingest_seconds * 1e3);
   std::printf("      \"time_unit\": \"ms\",\n");
   std::printf("      \"reports_per_sec\": %.1f,\n", result.reports_per_sec);
-  std::printf("      \"p50_us\": %.1f,\n", result.p50_us);
-  std::printf("      \"p99_us\": %.1f,\n", result.p99_us);
+  std::printf("      \"bytes_per_sec\": %.1f,\n", result.bytes_per_sec);
+  std::printf("      \"request_p50_us\": %.1f,\n", result.request_p50_us);
+  std::printf("      \"request_p99_us\": %.1f,\n", result.request_p99_us);
+  // Aliases kept for older compare_bench baselines; same values as the
+  // request_* keys above.
+  std::printf("      \"p50_us\": %.1f,\n", result.request_p50_us);
+  std::printf("      \"p99_us\": %.1f,\n", result.request_p99_us);
   std::printf("      \"publish_p50_us\": %.1f,\n", result.publish_p50_us);
-  std::printf("      \"publish_p99_us\": %.1f\n", result.publish_p99_us);
+  std::printf("      \"publish_p99_us\": %.1f,\n", result.publish_p99_us);
+  std::printf("      \"decode_fast\": %llu,\n",
+              static_cast<unsigned long long>(result.decode_fast));
+  std::printf("      \"decode_fallback\": %llu\n",
+              static_cast<unsigned long long>(result.decode_fallback));
   std::printf("    }%s\n", last ? "" : ",");
 }
 
@@ -370,11 +424,15 @@ int main(int argc, char** argv) {
                   "(+%.3f s drain)\n",
                   result.accepted, result.requests, result.ingest_seconds,
                   result.drain_seconds);
-      std::printf("sustained     %.0f reports/sec\n", result.reports_per_sec);
-      std::printf("latency       p50 %.0f us, p99 %.0f us\n", result.p50_us,
-                  result.p99_us);
+      std::printf("sustained     %.0f reports/sec (%.1f MB/s on the wire)\n",
+                  result.reports_per_sec, result.bytes_per_sec / 1e6);
+      std::printf("request       p50 %.0f us, p99 %.0f us (round-trip)\n",
+                  result.request_p50_us, result.request_p99_us);
       std::printf("publish       p50 %.0f us, p99 %.0f us (ingest->publish)\n",
                   result.publish_p50_us, result.publish_p99_us);
+      std::printf("decode        fast=%llu fallback=%llu\n",
+                  static_cast<unsigned long long>(result.decode_fast),
+                  static_cast<unsigned long long>(result.decode_fallback));
       std::printf("engine        accepted=%llu applied=%llu batches=%llu\n\n",
                   static_cast<unsigned long long>(result.engine_accepted),
                   static_cast<unsigned long long>(result.engine_applied),

@@ -96,7 +96,13 @@ std::string to_json(const EngineCounters& counters) {
 }
 
 std::string to_json(const CampaignSnapshot& snapshot) {
-  std::string out = "{";
+  std::string out;
+  to_json_into(snapshot, out);
+  return out;
+}
+
+void to_json_into(const CampaignSnapshot& snapshot, std::string& out) {
+  out += '{';
   bool first = true;
   append_u64(out, "campaign", snapshot.campaign, &first);
   append_u64(out, "version", snapshot.version, &first);
@@ -117,7 +123,26 @@ std::string to_json(const CampaignSnapshot& snapshot) {
   append_double(out, "final_residual", snapshot.final_residual, &first);
   append_double(out, "weight_entropy", snapshot.weight_entropy, &first);
   out += '}';
-  return out;
+}
+
+void groups_json_into(const CampaignSnapshot& snapshot, std::string& out) {
+  out += "{\"campaign\": ";
+  out += std::to_string(snapshot.campaign);
+  out += ", \"version\": ";
+  out += std::to_string(snapshot.version);
+  out += ", \"group_count\": ";
+  out += std::to_string(snapshot.group_count);
+  out += ", \"group_of\": [";
+  for (std::size_t i = 0; i < snapshot.group_of.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(snapshot.group_of[i]);
+  }
+  out += "], \"group_weights\": [";
+  for (std::size_t i = 0; i < snapshot.group_weights.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_double_value(out, snapshot.group_weights[i]);
+  }
+  out += "]}";
 }
 
 }  // namespace sybiltd::pipeline

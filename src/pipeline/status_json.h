@@ -24,4 +24,12 @@ std::string to_json(const EngineCounters& counters);
 // convergence telemetry.
 std::string to_json(const CampaignSnapshot& snapshot);
 
+// Append-into variants used by the server's snapshot response cache so a
+// render lands directly in the cache's shared buffer.  to_json_into
+// appends exactly the to_json(CampaignSnapshot) text; groups_json_into
+// appends the /groups endpoint view (campaign, version, group_count,
+// group_of, group_weights).
+void to_json_into(const CampaignSnapshot& snapshot, std::string& out);
+void groups_json_into(const CampaignSnapshot& snapshot, std::string& out);
+
 }  // namespace sybiltd::pipeline

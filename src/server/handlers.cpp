@@ -11,6 +11,8 @@
 #include "obs/trace.h"
 #include "pipeline/status_json.h"
 #include "server/json.h"
+#include "server/report_decode.h"
+#include "server/snapshot_cache.h"
 
 namespace sybiltd::server {
 
@@ -53,6 +55,14 @@ struct HandlerMetrics {
       obs::MetricsRegistry::global().counter_family(
           "server.campaign.reports_rejected", "campaign",
           "reports refused by backpressure, per campaign");
+  obs::Counter& decode_fast = obs::MetricsRegistry::global().counter(
+      "server.decode.fast",
+      "ingest bodies decoded by the schema-specialized fast path");
+  obs::Counter& decode_fallback = obs::MetricsRegistry::global().counter(
+      "server.decode.fallback",
+      "ingest bodies decoded by the generic JSON codec");
+  obs::Counter& decode_bytes = obs::MetricsRegistry::global().counter(
+      "server.decode.bytes", "ingest body bytes decoded");
 
   static HandlerMetrics& get() {
     static HandlerMetrics metrics;
@@ -116,47 +126,6 @@ HandlerResponse method_not_allowed() {
 
 // --- Ingestion --------------------------------------------------------------
 
-// One decoded report plus enough context for a useful 400 message.
-bool decode_report(const JsonValue& value, std::size_t campaign,
-                   std::size_t task_count, pipeline::Report* out,
-                   std::string* error) {
-  if (!value.is_object()) {
-    *error = "report must be a JSON object";
-    return false;
-  }
-  const JsonValue* account = value.find("account");
-  const JsonValue* task = value.find("task");
-  const JsonValue* report_value = value.find("value");
-  if (account == nullptr || !account->as_index(&out->account)) {
-    *error = "report needs a non-negative integer \"account\"";
-    return false;
-  }
-  if (task == nullptr || !task->as_index(&out->task)) {
-    *error = "report needs a non-negative integer \"task\"";
-    return false;
-  }
-  if (out->task >= task_count) {
-    *error = "task index out of range for the campaign";
-    return false;
-  }
-  if (report_value == nullptr || !report_value->is_number() ||
-      std::isnan(report_value->number)) {
-    *error = "report needs a finite number \"value\"";
-    return false;
-  }
-  out->value = report_value->number;
-  out->timestamp_hours = 0.0;
-  if (const JsonValue* ts = value.find("timestamp_hours")) {
-    if (!ts->is_number()) {
-      *error = "\"timestamp_hours\" must be a number";
-      return false;
-    }
-    out->timestamp_hours = ts->number;
-  }
-  out->campaign = campaign;
-  return true;
-}
-
 HandlerResponse handle_ingest(pipeline::CampaignEngine& engine,
                               std::size_t campaign,
                               const HttpRequest& request,
@@ -168,63 +137,49 @@ HandlerResponse handle_ingest(pipeline::CampaignEngine& engine,
   const std::size_t task_count = engine.campaign_task_count(campaign);
   if (task_count == 0) return make_error(404, "unknown campaign");
 
-  JsonValue doc;
-  std::string parse_error;
-  if (!json_parse(request.body, doc, &parse_error)) {
-    metrics.reports_invalid.inc();
-    if (obs::log_enabled(obs::LogLevel::kWarn) &&
-        ingest_warn_limiter().allow()) {
-      obs::LogEvent(obs::LogLevel::kWarn, "ingest_invalid_json")
-          .field("request", context.request_id)
-          .field("campaign", campaign)
-          .field("error", parse_error);
+  // Decode and validate the whole batch before any shard work, so a 400
+  // never leaves a partially-applied batch behind.  The fast path and the
+  // generic codec produce identical results (see report_decode.h); only
+  // the counters tell them apart.
+  DecodedReports decoded =
+      decode_reports(request.body, campaign, task_count);
+  metrics.decode_bytes.inc(request.body.size());
+  (decoded.fast_path ? metrics.decode_fast : metrics.decode_fallback).inc();
+  if (!decoded.ok) {
+    switch (decoded.error_kind) {
+      case DecodeErrorKind::kJson:
+        metrics.reports_invalid.inc();
+        if (obs::log_enabled(obs::LogLevel::kWarn) &&
+            ingest_warn_limiter().allow()) {
+          obs::LogEvent(obs::LogLevel::kWarn, "ingest_invalid_json")
+              .field("request", context.request_id)
+              .field("campaign", campaign)
+              .field("error", decoded.detail);
+        }
+        break;
+      case DecodeErrorKind::kShape:
+        metrics.reports_invalid.inc();
+        break;
+      case DecodeErrorKind::kReport:
+        metrics.reports_invalid.inc(decoded.batch_size);
+        if (obs::log_enabled(obs::LogLevel::kWarn) &&
+            ingest_warn_limiter().allow()) {
+          obs::LogEvent(obs::LogLevel::kWarn, "ingest_invalid_report")
+              .field("request", context.request_id)
+              .field("campaign", campaign)
+              .field("index", decoded.error_index)
+              .field("error", decoded.detail);
+        }
+        break;
+      case DecodeErrorKind::kNone:
+        break;
     }
-    return make_error(400, "invalid JSON: " + parse_error);
+    return make_error(400, decoded.error);
   }
-  // Accept three shapes: a bare array of reports, {"reports": [...]}, or a
-  // single report object.
-  const std::vector<JsonValue>* reports = nullptr;
-  std::vector<JsonValue> single;
-  if (doc.is_array()) {
-    reports = &doc.array;
-  } else if (const JsonValue* wrapped = doc.find("reports")) {
-    if (!wrapped->is_array()) {
-      metrics.reports_invalid.inc();
-      return make_error(400, "\"reports\" must be an array");
-    }
-    reports = &wrapped->array;
-  } else if (doc.is_object()) {
-    single.push_back(doc);
-    reports = &single;
-  } else {
-    metrics.reports_invalid.inc();
-    return make_error(400, "expected a report object or an array of reports");
-  }
-  if (reports->empty()) {
+  if (decoded.reports.empty()) {
     return {202, "application/json",
             "{\"campaign\": " + std::to_string(campaign) +
                 ", \"accepted\": 0, \"rejected\": 0}"};
-  }
-
-  // Decode and validate the whole batch before any shard work, so a 400
-  // never leaves a partially-applied batch behind.
-  std::vector<pipeline::Report> decoded(reports->size());
-  for (std::size_t i = 0; i < reports->size(); ++i) {
-    std::string error;
-    if (!decode_report((*reports)[i], campaign, task_count, &decoded[i],
-                       &error)) {
-      metrics.reports_invalid.inc(reports->size());
-      if (obs::log_enabled(obs::LogLevel::kWarn) &&
-          ingest_warn_limiter().allow()) {
-        obs::LogEvent(obs::LogLevel::kWarn, "ingest_invalid_report")
-            .field("request", context.request_id)
-            .field("campaign", campaign)
-            .field("index", i)
-            .field("error", error);
-      }
-      return make_error(400,
-                        "report " + std::to_string(i) + ": " + error);
-    }
   }
 
   // Stamp the batch with one steady-clock read at HTTP arrival; the shard
@@ -232,17 +187,20 @@ HandlerResponse handle_ingest(pipeline::CampaignEngine& engine,
   if (latency_tracking_enabled()) {
     const std::uint64_t ticks = static_cast<std::uint64_t>(
         std::chrono::steady_clock::now().time_since_epoch().count());
-    for (pipeline::Report& report : decoded) report.ingest_ticks = ticks;
+    for (pipeline::Report& report : decoded.reports) {
+      report.ingest_ticks = ticks;
+    }
   }
 
   // One engine call for the whole batch: validation against a single
   // routing snapshot, one queue lock per touched shard, and the same
   // clean-prefix outcome a per-report try_submit loop would produce.
-  const pipeline::SubmitBatchResult submit = engine.try_submit_batch(decoded);
+  const pipeline::SubmitBatchResult submit =
+      engine.try_submit_batch(decoded.reports);
   const std::size_t accepted = submit.accepted;
   const bool closed = submit.status == pipeline::SubmitStatus::kClosed ||
                       submit.status == pipeline::SubmitStatus::kNotRunning;
-  const std::size_t rejected = decoded.size() - accepted;
+  const std::size_t rejected = decoded.reports.size() - accepted;
   metrics.reports_accepted.inc(accepted);
   const std::string campaign_label = std::to_string(campaign);
   if (accepted > 0) metrics.campaign_accepted.at(campaign_label).inc(accepted);
@@ -265,37 +223,28 @@ HandlerResponse handle_ingest(pipeline::CampaignEngine& engine,
 
 // --- Queries ----------------------------------------------------------------
 
-HandlerResponse handle_truths(pipeline::CampaignEngine& engine,
-                              std::size_t campaign) {
+// Both snapshot views serve out of the response cache: one rendering per
+// snapshot version, shared across every reader.
+HandlerResponse snapshot_view(pipeline::CampaignEngine& engine,
+                              std::size_t campaign,
+                              SnapshotResponseCache::View view) {
   if (engine.campaign_task_count(campaign) == 0) {
     return make_error(404, "unknown campaign");
   }
-  return {200, "application/json",
-          pipeline::to_json(*engine.snapshot(campaign))};
+  HandlerResponse response{200, "application/json", {}};
+  response.shared_body = SnapshotResponseCache::global().get(
+      campaign, engine.snapshot(campaign), view);
+  return response;
+}
+
+HandlerResponse handle_truths(pipeline::CampaignEngine& engine,
+                              std::size_t campaign) {
+  return snapshot_view(engine, campaign, SnapshotResponseCache::View::kTruths);
 }
 
 HandlerResponse handle_groups(pipeline::CampaignEngine& engine,
                               std::size_t campaign) {
-  if (engine.campaign_task_count(campaign) == 0) {
-    return make_error(404, "unknown campaign");
-  }
-  const auto snapshot = engine.snapshot(campaign);
-  std::string body = "{\"campaign\": " + std::to_string(snapshot->campaign) +
-                     ", \"version\": " + std::to_string(snapshot->version) +
-                     ", \"group_count\": " +
-                     std::to_string(snapshot->group_count) +
-                     ", \"group_of\": [";
-  for (std::size_t i = 0; i < snapshot->group_of.size(); ++i) {
-    if (i > 0) body += ", ";
-    body += std::to_string(snapshot->group_of[i]);
-  }
-  body += "], \"group_weights\": [";
-  for (std::size_t i = 0; i < snapshot->group_weights.size(); ++i) {
-    if (i > 0) body += ", ";
-    json_append_number(body, snapshot->group_weights[i]);
-  }
-  body += "]}";
-  return {200, "application/json", std::move(body)};
+  return snapshot_view(engine, campaign, SnapshotResponseCache::View::kGroups);
 }
 
 HandlerResponse handle_status(pipeline::CampaignEngine& engine) {

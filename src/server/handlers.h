@@ -31,6 +31,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "pipeline/engine.h"
@@ -42,6 +43,14 @@ struct HandlerResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  // When set, the response body is this shared immutable buffer (the
+  // snapshot response cache hands the same rendering to every reader of a
+  // snapshot version) and `body` is ignored.  Use text() to read either.
+  std::shared_ptr<const std::string> shared_body = nullptr;
+
+  const std::string& text() const {
+    return shared_body != nullptr ? *shared_body : body;
+  }
 };
 
 // Per-request context the event loop threads into the handler: whether the

@@ -266,11 +266,11 @@ const char* http_status_reason(int status) {
   }
 }
 
-std::string http_response(int status, std::string_view content_type,
-                          std::string_view body, bool keep_alive,
-                          std::string_view extra_headers) {
+std::string http_response_head(int status, std::string_view content_type,
+                               std::size_t content_length, bool keep_alive,
+                               std::string_view extra_headers) {
   std::string out;
-  out.reserve(128 + extra_headers.size() + body.size());
+  out.reserve(128 + extra_headers.size());
   out += "HTTP/1.1 ";
   out += std::to_string(status);
   out += ' ';
@@ -278,12 +278,20 @@ std::string http_response(int status, std::string_view content_type,
   out += "\r\nContent-Type: ";
   out += content_type;
   out += "\r\nContent-Length: ";
-  out += std::to_string(body.size());
+  out += std::to_string(content_length);
   out += "\r\nConnection: ";
   out += keep_alive ? "keep-alive" : "close";
   out += "\r\n";
   out += extra_headers;
   out += "\r\n";
+  return out;
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive,
+                          std::string_view extra_headers) {
+  std::string out = http_response_head(status, content_type, body.size(),
+                                       keep_alive, extra_headers);
   out += body;
   return out;
 }

@@ -104,6 +104,14 @@ std::string http_response(int status, std::string_view content_type,
                           std::string_view body, bool keep_alive,
                           std::string_view extra_headers = {});
 
+// Just the status line and headers (through the blank line) for a body of
+// `content_length` bytes.  Lets the event loop append a shared cached body
+// directly to the connection buffer instead of materializing
+// head+body in an intermediate string first.
+std::string http_response_head(int status, std::string_view content_type,
+                               std::size_t content_length, bool keep_alive,
+                               std::string_view extra_headers = {});
+
 const char* http_status_reason(int status);
 
 }  // namespace sybiltd::server

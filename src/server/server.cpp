@@ -407,8 +407,13 @@ struct CampaignServer::Impl {
                       bool keep_alive,
                       std::chrono::steady_clock::time_point start,
                       std::string_view target, std::uint64_t request_id) {
-    conn.out += http_response(response.status, response.content_type,
-                              response.body, keep_alive);
+    // Head and body appended separately: a cached shared body lands in the
+    // connection buffer without first materializing head+body in a
+    // temporary string.
+    const std::string& body = response.text();
+    conn.out += http_response_head(response.status, response.content_type,
+                                   body.size(), keep_alive);
+    conn.out += body;
     if (!keep_alive) conn.close_after_flush = true;
     record_response(response.status, start, target, request_id);
   }

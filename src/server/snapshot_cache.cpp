@@ -1,0 +1,89 @@
+#include "server/snapshot_cache.h"
+
+#include "obs/metrics.h"
+#include "pipeline/status_json.h"
+
+namespace sybiltd::server {
+
+namespace {
+
+struct CacheMetrics {
+  obs::CounterFamily& hits = obs::MetricsRegistry::global().counter_family(
+      "server.snapshot_cache.hits", "campaign",
+      "snapshot GETs served from the rendered-response cache");
+  obs::CounterFamily& misses = obs::MetricsRegistry::global().counter_family(
+      "server.snapshot_cache.misses", "campaign",
+      "snapshot GETs that rendered a fresh response");
+
+  static CacheMetrics& get() {
+    static CacheMetrics metrics;
+    return metrics;
+  }
+};
+
+std::shared_ptr<const std::string> render(
+    const pipeline::CampaignSnapshot& snapshot,
+    SnapshotResponseCache::View view) {
+  auto body = std::make_shared<std::string>();
+  if (view == SnapshotResponseCache::View::kTruths) {
+    body->reserve(64 + 24 * snapshot.truths.size() +
+                  24 * snapshot.group_weights.size() +
+                  8 * snapshot.group_of.size());
+    pipeline::to_json_into(snapshot, *body);
+  } else {
+    body->reserve(96 + 8 * snapshot.group_of.size() +
+                  24 * snapshot.group_weights.size());
+    pipeline::groups_json_into(snapshot, *body);
+  }
+  return body;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::string> SnapshotResponseCache::get(
+    std::size_t campaign,
+    const std::shared_ptr<const pipeline::CampaignSnapshot>& snapshot,
+    View view) {
+  auto& metrics = CacheMetrics::get();
+  const std::string label = std::to_string(campaign);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(campaign);
+    if (it != entries_.end() && it->second.snapshot == snapshot) {
+      const auto& cached =
+          view == View::kTruths ? it->second.truths : it->second.groups;
+      if (cached != nullptr) {
+        metrics.hits.at(label).inc();
+        return cached;
+      }
+    }
+  }
+  metrics.misses.at(label).inc();
+  // Render outside the lock: a publish-heavy campaign should not serialize
+  // every reader behind one writer's render.
+  auto body = render(*snapshot, view);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.size() >= kMaxEntries && !entries_.contains(campaign)) {
+      entries_.erase(entries_.begin());
+    }
+    Entry& entry = entries_[campaign];
+    if (entry.snapshot != snapshot) {
+      entry = Entry{snapshot, nullptr, nullptr};
+    }
+    (view == View::kTruths ? entry.truths : entry.groups) = body;
+  }
+  return body;
+}
+
+void SnapshotResponseCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+SnapshotResponseCache& SnapshotResponseCache::global() {
+  static SnapshotResponseCache cache;
+  return cache;
+}
+
+}  // namespace sybiltd::server

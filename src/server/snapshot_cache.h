@@ -1,0 +1,66 @@
+// Versioned snapshot response cache.
+//
+// GET /v1/campaigns/<id>/truths and .../groups re-serialized the same
+// CampaignSnapshot on every request even though the snapshot only changes
+// when a shard publishes.  This cache renders each view once per snapshot
+// and hands the result out as a shared immutable buffer; repeat GETs are a
+// map lookup plus a shared_ptr copy, and the response writer appends the
+// buffer to the socket without another copy.
+//
+// An entry is keyed by campaign id and validated by snapshot *identity*:
+// the entry pins the shared_ptr<const CampaignSnapshot> it rendered, so a
+// recycled allocation address can never masquerade as a fresh version, and
+// a second engine serving the same campaign id in one process (common in
+// tests) invalidates naturally.  Lookups that lose a publish race simply
+// re-render; whichever writer stores last wins and the next request
+// reconciles, so a reader always receives the rendering of the exact
+// snapshot it fetched.
+//
+// Hits and misses surface as the per-campaign labeled counter families
+// server.snapshot_cache.hits / server.snapshot_cache.misses.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "pipeline/snapshot.h"
+
+namespace sybiltd::server {
+
+class SnapshotResponseCache {
+ public:
+  enum class View { kTruths, kGroups };
+
+  // The cached (or freshly rendered) JSON body for `snapshot`'s view.
+  // Never null; `snapshot` must not be null.
+  std::shared_ptr<const std::string> get(
+      std::size_t campaign,
+      const std::shared_ptr<const pipeline::CampaignSnapshot>& snapshot,
+      View view);
+
+  // Drop every entry (tests).
+  void clear();
+
+  // Process-wide instance used by the handlers.
+  static SnapshotResponseCache& global();
+
+ private:
+  // One live entry per campaign (two rendered views); a stale snapshot
+  // replaces the whole entry.  Campaign count is operator-bounded, but cap
+  // the map anyway so a hostile id sweep cannot grow it without limit.
+  static constexpr std::size_t kMaxEntries = 4096;
+
+  struct Entry {
+    std::shared_ptr<const pipeline::CampaignSnapshot> snapshot;
+    std::shared_ptr<const std::string> truths;
+    std::shared_ptr<const std::string> groups;
+  };
+
+  std::mutex mutex_;
+  std::unordered_map<std::size_t, Entry> entries_;
+};
+
+}  // namespace sybiltd::server

@@ -25,6 +25,7 @@ const KernelTable& table() {
       safe_divide,   dtw_wave_cost, dtw_wave_cell,
       max_abs_diff,  squared_distance,
       weighted_sum_gather,
+      scan_json_ws,  scan_json_string,
   };
   return t;
 }

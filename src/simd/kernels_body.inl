@@ -224,6 +224,144 @@ double squared_distance(const double* a, const double* b, std::size_t n) {
   return sum;
 }
 
+// --- Byte scans for the ingest wire codec --------------------------------
+// Unlike the F64x4 kernels above these work on raw bytes, so each backend
+// carries its own intrinsic block (the headers are already pulled in by
+// vec.h).  They return exact indexes — bit-identical to scalar at every
+// level by construction.
+
+#if defined(SYBILTD_VEC_NEON)
+// Compress a per-byte 0x00/0xFF mask into a 64-bit word holding 4 bits per
+// input byte: shift each 16-bit pair right by 4 and narrow, so byte i of
+// the input owns bits [4i, 4i+4) of the result.
+inline std::uint64_t neon_mask_bits(uint8x16_t mask) {
+  const uint8x8_t narrowed =
+      vshrn_n_u16(vreinterpretq_u16_u8(mask), 4);
+  return vget_lane_u64(vreinterpret_u64_u8(narrowed), 0);
+}
+#endif
+
+// First index in [begin, end) that is not JSON whitespace; `end` if none.
+std::size_t scan_json_ws(const char* data, std::size_t begin,
+                         std::size_t end) {
+  std::size_t i = begin;
+#if defined(SYBILTD_VEC_AVX2)
+  const __m256i sp = _mm256_set1_epi8(' ');
+  const __m256i tab = _mm256_set1_epi8('\t');
+  const __m256i nl = _mm256_set1_epi8('\n');
+  const __m256i cr = _mm256_set1_epi8('\r');
+  for (; i + 32 <= end; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    __m256i ws = _mm256_or_si256(_mm256_cmpeq_epi8(v, sp),
+                                 _mm256_cmpeq_epi8(v, tab));
+    ws = _mm256_or_si256(ws, _mm256_or_si256(_mm256_cmpeq_epi8(v, nl),
+                                             _mm256_cmpeq_epi8(v, cr)));
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_epi8(ws));
+    if (mask != 0xFFFFFFFFu) {
+      return i + static_cast<std::size_t>(std::countr_one(mask));
+    }
+  }
+#elif defined(SYBILTD_VEC_SSE2)
+  const __m128i sp = _mm_set1_epi8(' ');
+  const __m128i tab = _mm_set1_epi8('\t');
+  const __m128i nl = _mm_set1_epi8('\n');
+  const __m128i cr = _mm_set1_epi8('\r');
+  for (; i + 16 <= end; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    __m128i ws = _mm_or_si128(_mm_cmpeq_epi8(v, sp), _mm_cmpeq_epi8(v, tab));
+    ws = _mm_or_si128(
+        ws, _mm_or_si128(_mm_cmpeq_epi8(v, nl), _mm_cmpeq_epi8(v, cr)));
+    const unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(ws));
+    if (mask != 0xFFFFu) {
+      return i + static_cast<std::size_t>(std::countr_one(mask));
+    }
+  }
+#elif defined(SYBILTD_VEC_NEON)
+  const uint8x16_t sp = vdupq_n_u8(' ');
+  const uint8x16_t tab = vdupq_n_u8('\t');
+  const uint8x16_t nl = vdupq_n_u8('\n');
+  const uint8x16_t cr = vdupq_n_u8('\r');
+  for (; i + 16 <= end; i += 16) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const std::uint8_t*>(data + i));
+    uint8x16_t ws = vorrq_u8(vceqq_u8(v, sp), vceqq_u8(v, tab));
+    ws = vorrq_u8(ws, vorrq_u8(vceqq_u8(v, nl), vceqq_u8(v, cr)));
+    const std::uint64_t bits = neon_mask_bits(vmvnq_u8(ws));
+    if (bits != 0) {
+      return i + static_cast<std::size_t>(std::countr_zero(bits) >> 2);
+    }
+  }
+#endif
+  for (; i < end; ++i) {
+    const char c = data[i];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return i;
+  }
+  return end;
+}
+
+// First index in [begin, end) holding '"', '\\', or a control byte < 0x20;
+// `end` if none.
+std::size_t scan_json_string(const char* data, std::size_t begin,
+                             std::size_t end) {
+  std::size_t i = begin;
+#if defined(SYBILTD_VEC_AVX2)
+  const __m256i quote = _mm256_set1_epi8('"');
+  const __m256i bslash = _mm256_set1_epi8('\\');
+  const __m256i ctrl_max = _mm256_set1_epi8(0x1F);
+  for (; i + 32 <= end; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    // byte <= 0x1F  <=>  min_epu8(byte, 0x1F) == byte (unsigned compare)
+    const __m256i ctrl = _mm256_cmpeq_epi8(_mm256_min_epu8(v, ctrl_max), v);
+    __m256i hit = _mm256_or_si256(_mm256_cmpeq_epi8(v, quote),
+                                  _mm256_cmpeq_epi8(v, bslash));
+    hit = _mm256_or_si256(hit, ctrl);
+    const unsigned mask = static_cast<unsigned>(_mm256_movemask_epi8(hit));
+    if (mask != 0) {
+      return i + static_cast<std::size_t>(std::countr_zero(mask));
+    }
+  }
+#elif defined(SYBILTD_VEC_SSE2)
+  const __m128i quote = _mm_set1_epi8('"');
+  const __m128i bslash = _mm_set1_epi8('\\');
+  const __m128i ctrl_max = _mm_set1_epi8(0x1F);
+  for (; i + 16 <= end; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const __m128i ctrl = _mm_cmpeq_epi8(_mm_min_epu8(v, ctrl_max), v);
+    __m128i hit =
+        _mm_or_si128(_mm_cmpeq_epi8(v, quote), _mm_cmpeq_epi8(v, bslash));
+    hit = _mm_or_si128(hit, ctrl);
+    const unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(hit));
+    if (mask != 0) {
+      return i + static_cast<std::size_t>(std::countr_zero(mask));
+    }
+  }
+#elif defined(SYBILTD_VEC_NEON)
+  const uint8x16_t quote = vdupq_n_u8('"');
+  const uint8x16_t bslash = vdupq_n_u8('\\');
+  const uint8x16_t ctrl_lim = vdupq_n_u8(0x20);
+  for (; i + 16 <= end; i += 16) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const std::uint8_t*>(data + i));
+    uint8x16_t hit = vorrq_u8(vceqq_u8(v, quote), vceqq_u8(v, bslash));
+    hit = vorrq_u8(hit, vcltq_u8(v, ctrl_lim));
+    const std::uint64_t bits = neon_mask_bits(hit);
+    if (bits != 0) {
+      return i + static_cast<std::size_t>(std::countr_zero(bits) >> 2);
+    }
+  }
+#endif
+  for (; i < end; ++i) {
+    const unsigned char c = static_cast<unsigned char>(data[i]);
+    if (c == '"' || c == '\\' || c < 0x20) return i;
+  }
+  return end;
+}
+
 // num = sum w[groups[i]] * values[i]; den = sum w[groups[i]], 4-lane tree
 // as above.  (<= 1e-12 relative envelope vs scalar)
 void weighted_sum_gather(const double* values, const std::uint32_t* groups,

@@ -127,6 +127,24 @@ void weighted_sum_gather(const double* values, const std::uint32_t* groups,
   *den = sd;
 }
 
+std::size_t scan_json_ws(const char* data, std::size_t begin,
+                         std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = data[i];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return i;
+  }
+  return end;
+}
+
+std::size_t scan_json_string(const char* data, std::size_t begin,
+                             std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const unsigned char c = static_cast<unsigned char>(data[i]);
+    if (c == '"' || c == '\\' || c < 0x20) return i;
+  }
+  return end;
+}
+
 }  // namespace
 
 const KernelTable& table() {
@@ -136,6 +154,7 @@ const KernelTable& table() {
       safe_divide,   dtw_wave_cost, dtw_wave_cell,
       max_abs_diff,  squared_distance,
       weighted_sum_gather,
+      scan_json_ws,  scan_json_string,
   };
   return t;
 }

@@ -31,6 +31,9 @@
 //    sum the result differs only by reassociation, within a 1e-12
 //    relative envelope.  For n < 4 the vector paths degenerate to the
 //    serial loop and are bit-identical to scalar.
+//  - Byte-scan kernels (scan_json_ws, scan_json_string, used by the
+//    server's schema-specialized report decoder) return exact indexes and
+//    are trivially identical at every level.
 //  - The level is read once per kernel call; with the level held fixed,
 //    results are invariant across runs and thread counts.
 //    `SYBILTD_SIMD=scalar` reproduces the pre-SIMD scalar code exactly.
@@ -111,6 +114,17 @@ struct KernelTable {
                               const std::uint32_t* groups,
                               const double* weights, std::size_t n,
                               double* num, double* den);
+
+  // --- Byte scans for the ingest wire codec: exact at every level --------
+
+  // First index in [begin, end) whose byte is not JSON whitespace
+  // (' ', '\t', '\n', '\r'); `end` when the whole range is whitespace.
+  std::size_t (*scan_json_ws)(const char* data, std::size_t begin,
+                              std::size_t end);
+  // First index in [begin, end) whose byte ends or escapes a JSON string
+  // body: '"', '\\', or any control byte < 0x20; `end` when none occurs.
+  std::size_t (*scan_json_string)(const char* data, std::size_t begin,
+                                  std::size_t end);
 };
 
 // The active dispatch level (detected on first use, then fixed until

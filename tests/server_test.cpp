@@ -11,9 +11,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -23,13 +25,51 @@
 #include "core/ag_ts.h"
 #include "core/framework.h"
 #include "pipeline/engine.h"
+#include "pipeline/status_json.h"
 #include "server/handlers.h"
 #include "server/http.h"
 #include "server/json.h"
+#include "server/report_decode.h"
 #include "server/server.h"
+#include "server/snapshot_cache.h"
+
+// --- Counting allocation probe ---------------------------------------------
+// Same idiom as workspace_test.cpp: replace this binary's global operator
+// new/delete with a counting forwarder to malloc, so the fast-decode
+// zero-allocation contract is proven, not assumed.  Composes with
+// ASan/TSan (their malloc interceptors still see every allocation).
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_alloc_tracking{false};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (g_alloc_tracking.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace sybiltd::server {
 namespace {
+
+// Allocations performed by `body` (a plain lambda; std::function would
+// allocate).
+template <typename Fn>
+std::uint64_t count_allocations(Fn&& body) {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_tracking.store(true, std::memory_order_relaxed);
+  body();
+  g_alloc_tracking.store(false, std::memory_order_relaxed);
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
 
 // --- HttpParser ------------------------------------------------------------
 
@@ -1190,6 +1230,164 @@ TEST(CampaignServer, GracefulShutdownDrainsAcceptedReports) {
   EXPECT_EQ(counters.accepted, 2u);
   EXPECT_EQ(counters.applied, 2u);
   EXPECT_TRUE(server.engine().snapshot(0)->converged);
+}
+
+// --- Fast decode: zero-allocation proof -------------------------------------
+
+TEST(ReportDecodeFast, SteadyStateDecodesWithZeroHeapAllocations) {
+  std::string body = "[";
+  for (int i = 0; i < 100; ++i) {
+    if (i > 0) body += ',';
+    body += "{\"account\":" + std::to_string(i) +
+            ",\"task\":" + std::to_string(i % 16) +
+            ",\"value\":" + std::to_string(i) + ".5}";
+  }
+  body += "]";
+
+  // Warm the thread's workspace pool and the SIMD dispatch table.
+  {
+    const DecodedReports warm = decode_reports(body, 0, 16);
+    ASSERT_TRUE(warm.ok);
+    ASSERT_TRUE(warm.fast_path);
+    ASSERT_EQ(warm.reports.size(), 100u);
+  }
+
+  bool ok = false, fast = false;
+  std::size_t count = 0;
+  double checksum = 0.0;
+  const std::uint64_t allocs = count_allocations([&] {
+    const DecodedReports decoded = decode_reports(body, 0, 16);
+    ok = decoded.ok;
+    fast = decoded.fast_path;
+    count = decoded.reports.size();
+    for (const pipeline::Report& r : decoded.reports) checksum += r.value;
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(fast);
+  EXPECT_EQ(count, 100u);
+  EXPECT_DOUBLE_EQ(checksum, 100 * 0.5 + 99.0 * 100.0 / 2.0);
+  EXPECT_EQ(allocs, 0u)
+      << "fast-path decode must not touch the heap once the workspace "
+         "pool is warm";
+}
+
+// --- Snapshot response cache ------------------------------------------------
+
+pipeline::CampaignSnapshot make_snapshot(std::size_t campaign,
+                                         std::uint64_t version) {
+  pipeline::CampaignSnapshot snapshot;
+  snapshot.campaign = campaign;
+  snapshot.version = version;
+  snapshot.truths = {1.5, std::nan(""), 3.0};
+  snapshot.group_weights = {0.25, 0.75};
+  snapshot.group_of = {0, 1, 1};
+  snapshot.group_count = 2;
+  snapshot.applied_reports = 7;
+  return snapshot;
+}
+
+TEST(SnapshotCache, ServesOneRenderingPerSnapshotIdentity) {
+  SnapshotResponseCache cache;
+  const auto snap = std::make_shared<const pipeline::CampaignSnapshot>(
+      make_snapshot(5, 9));
+
+  const auto first =
+      cache.get(5, snap, SnapshotResponseCache::View::kTruths);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(*first, pipeline::to_json(*snap));
+
+  // Same snapshot pointer -> the very same buffer, not an equal copy.
+  const auto second =
+      cache.get(5, snap, SnapshotResponseCache::View::kTruths);
+  EXPECT_EQ(first.get(), second.get());
+
+  // The groups view caches independently under the same entry.
+  const auto groups =
+      cache.get(5, snap, SnapshotResponseCache::View::kGroups);
+  std::string expected_groups;
+  pipeline::groups_json_into(*snap, expected_groups);
+  EXPECT_EQ(*groups, expected_groups);
+  EXPECT_EQ(groups.get(),
+            cache.get(5, snap, SnapshotResponseCache::View::kGroups).get());
+
+  // A new snapshot version invalidates; the old buffer stays valid for
+  // readers still holding it.
+  const auto next = std::make_shared<const pipeline::CampaignSnapshot>(
+      make_snapshot(5, 10));
+  const auto third =
+      cache.get(5, next, SnapshotResponseCache::View::kTruths);
+  EXPECT_NE(first.get(), third.get());
+  EXPECT_EQ(*third, pipeline::to_json(*next));
+  EXPECT_EQ(*first, pipeline::to_json(*snap));
+}
+
+TEST(SnapshotCache, DistinguishesSameVersionFromDifferentEngines) {
+  // Two engines in one process can both serve campaign 0 at version 1
+  // (ubiquitous in tests).  Identity keying must not leak one engine's
+  // rendering to the other.
+  SnapshotResponseCache cache;
+  auto a = std::make_shared<const pipeline::CampaignSnapshot>(
+      make_snapshot(0, 1));
+  auto b_value = make_snapshot(0, 1);
+  b_value.truths = {42.0};
+  const auto b =
+      std::make_shared<const pipeline::CampaignSnapshot>(std::move(b_value));
+
+  EXPECT_EQ(*cache.get(0, a, SnapshotResponseCache::View::kTruths),
+            pipeline::to_json(*a));
+  EXPECT_EQ(*cache.get(0, b, SnapshotResponseCache::View::kTruths),
+            pipeline::to_json(*b));
+
+  // And a recycled allocation at the same address cannot alias: the entry
+  // pins its snapshot, so `a`'s storage can't be reused while cached.
+  const auto held = cache.get(0, a, SnapshotResponseCache::View::kTruths);
+  EXPECT_EQ(*held, pipeline::to_json(*a));
+}
+
+TEST(SnapshotCache, HandlerServesSharedBodyAndCountsHits) {
+  pipeline::CampaignEngine engine;
+  engine.add_campaign(3);
+  engine.start();
+  ASSERT_EQ(handle_api_request(
+                engine, make_request("POST", "/v1/campaigns/0/reports",
+                                     R"([{"account":0,"task":0,"value":5.0}])"))
+                .status,
+            202);
+  engine.drain();
+
+  const HandlerResponse truths =
+      handle_api_request(engine, make_request("GET", "/v1/campaigns/0/truths"));
+  ASSERT_EQ(truths.status, 200);
+  ASSERT_NE(truths.shared_body, nullptr);
+  EXPECT_EQ(truths.text(), pipeline::to_json(*engine.snapshot(0)));
+
+  // A second GET of the same snapshot returns the same shared buffer.
+  const HandlerResponse again =
+      handle_api_request(engine, make_request("GET", "/v1/campaigns/0/truths"));
+  ASSERT_EQ(again.status, 200);
+  EXPECT_EQ(truths.shared_body.get(), again.shared_body.get());
+
+  const HandlerResponse groups =
+      handle_api_request(engine, make_request("GET", "/v1/campaigns/0/groups"));
+  ASSERT_EQ(groups.status, 200);
+  ASSERT_NE(groups.shared_body, nullptr);
+  std::string expected;
+  pipeline::groups_json_into(*engine.snapshot(0), expected);
+  EXPECT_EQ(groups.text(), expected);
+
+  // After more reports are applied the version ticks and a GET re-renders.
+  ASSERT_EQ(handle_api_request(
+                engine, make_request("POST", "/v1/campaigns/0/reports",
+                                     R"([{"account":1,"task":1,"value":2.0}])"))
+                .status,
+            202);
+  engine.drain();
+  const HandlerResponse fresh =
+      handle_api_request(engine, make_request("GET", "/v1/campaigns/0/truths"));
+  ASSERT_EQ(fresh.status, 200);
+  EXPECT_NE(truths.shared_body.get(), fresh.shared_body.get());
+  EXPECT_EQ(fresh.text(), pipeline::to_json(*engine.snapshot(0)));
+  engine.stop();
 }
 
 }  // namespace

@@ -235,6 +235,67 @@ TEST_F(SimdKernelTest, MaxAbsDiffBitIdentical) {
   }
 }
 
+TEST_F(SimdKernelTest, ByteScanKernelsExactAtEveryLevel) {
+  Rng rng(777111);
+  // Random byte soups biased toward long whitespace runs (scan_json_ws)
+  // and long clean-string runs (scan_json_string), so the vector loops
+  // actually advance before the first hit.
+  const char kWs[] = {' ', '\t', '\n', '\r'};
+  for (Level level : vector_levels()) {
+    const KernelTable& table = *simd::table_for(level);
+    for (std::size_t n : kLengths) {
+      for (std::size_t offset = 0; offset <= kMaxOffset; ++offset) {
+        std::vector<char> buf(n + offset + 4, 'x');
+        for (std::size_t i = 0; i < n; ++i) {
+          const double roll = rng.uniform();
+          char c;
+          if (roll < 0.55) {
+            c = kWs[static_cast<std::size_t>(rng.uniform(0.0, 4.0)) % 4];
+          } else if (roll < 0.60) {
+            c = '"';
+          } else if (roll < 0.65) {
+            c = '\\';
+          } else if (roll < 0.70) {
+            c = static_cast<char>(rng.uniform(0.0, 32.0));
+          } else {
+            c = static_cast<char>(rng.uniform(32.0, 256.0));
+          }
+          buf[offset + i] = c;
+        }
+        const char* data = buf.data();
+        // Every begin position: the scans must agree on the exact index.
+        for (std::size_t begin = offset; begin <= offset + n; ++begin) {
+          const std::size_t end = offset + n;
+          ASSERT_EQ(ref_.scan_json_ws(data, begin, end),
+                    table.scan_json_ws(data, begin, end))
+              << "scan_json_ws at " << simd::level_name(level) << " n=" << n
+              << " begin=" << begin;
+          ASSERT_EQ(ref_.scan_json_string(data, begin, end),
+                    table.scan_json_string(data, begin, end))
+              << "scan_json_string at " << simd::level_name(level)
+              << " n=" << n << " begin=" << begin;
+        }
+      }
+    }
+    // Exhaustive single-byte coverage: for each of the 256 byte values,
+    // a long homogeneous run followed by that byte.
+    for (int value = 0; value < 256; ++value) {
+      std::vector<char> ws_run(70, ' ');
+      ws_run[64] = static_cast<char>(value);
+      std::vector<char> clean_run(70, 'a');
+      clean_run[64] = static_cast<char>(value);
+      ASSERT_EQ(ref_.scan_json_ws(ws_run.data(), 0, ws_run.size()),
+                table.scan_json_ws(ws_run.data(), 0, ws_run.size()))
+          << "scan_json_ws byte " << value << " at "
+          << simd::level_name(level);
+      ASSERT_EQ(ref_.scan_json_string(clean_run.data(), 0, clean_run.size()),
+                table.scan_json_string(clean_run.data(), 0, clean_run.size()))
+          << "scan_json_string byte " << value << " at "
+          << simd::level_name(level);
+    }
+  }
+}
+
 TEST_F(SimdKernelTest, SumReductionsWithinEnvelopeAndLaneStable) {
   Rng rng(987654);
   for (std::size_t n : kLengths) {
